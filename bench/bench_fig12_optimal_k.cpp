@@ -1,0 +1,109 @@
+// Reproduces paper Figure 12: behaviour of the optimal k of the
+// k-binomial tree (Theorem 3).
+//   (a) optimal k vs number of packets m, for fixed destination counts
+//       {15, 31, 47, 63} (multicast set sizes 16/32/48/64);
+//   (b) optimal k vs multicast set size n, for fixed m in {1, 2, 4, 8}.
+// Purely analytic — no simulation — exactly like the paper's Section 5.1
+// study.
+
+#include "bench/common.hpp"
+#include "core/optimal_k.hpp"
+
+using namespace nimcast;
+
+namespace {
+
+void figure_12a() {
+  std::printf("Figure 12(a): optimal k vs m (fixed multicast set size)\n\n");
+  const std::int32_t sizes[] = {16, 32, 48, 64};
+  harness::Table table{{"m", "n=16 (15 dest)", "n=32 (31 dest)",
+                        "n=48 (47 dest)", "n=64 (63 dest)"}};
+  core::CoverageTable cov;
+  std::vector<std::vector<std::int32_t>> curves(4);
+  for (std::int32_t m = 1; m <= 32; ++m) {
+    std::vector<std::string> row{harness::Table::num(std::int64_t{m})};
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto choice = core::optimal_k(sizes[i], m, cov);
+      curves[i].push_back(choice.k);
+      row.push_back(harness::Table::num(std::int64_t{choice.k}));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  // Paper: at m=1 the optimal k is ceil(log2 n); it is non-increasing in
+  // m; and it converges toward 1 (smaller n crossing earlier).
+  for (std::size_t i = 0; i < 4; ++i) {
+    bench::expect_shape(
+        curves[i].front() == core::ceil_log2(
+                                 static_cast<std::uint64_t>(sizes[i])),
+        "Fig12a: optimal k at m=1 equals ceil(log2 n)");
+    for (std::size_t j = 1; j < curves[i].size(); ++j) {
+      bench::expect_shape(curves[i][j] <= curves[i][j - 1],
+                          "Fig12a: optimal k non-increasing in m");
+    }
+  }
+  // n=16 reaches k=1 before n=32 does (paper Section 5.1).
+  const auto first_one = [&](std::size_t i) {
+    core::CoverageTable c2;
+    for (std::int32_t m = 1; m <= 4096; ++m) {
+      if (core::optimal_k(sizes[i], m, c2).k == 1) return m;
+    }
+    return 1 << 30;
+  };
+  bench::expect_shape(first_one(0) < first_one(1),
+                      "Fig12a: n=16 converges to linear before n=32");
+}
+
+void figure_12b() {
+  std::printf("\nFigure 12(b): optimal k vs n (fixed packet count)\n\n");
+  const std::int32_t packets[] = {1, 2, 4, 8};
+  harness::Table table{{"n", "m=1", "m=2", "m=4", "m=8"}};
+  core::CoverageTable cov;
+  std::vector<std::vector<std::int32_t>> curves(4);
+  for (std::int32_t n = 2; n <= 64; ++n) {
+    std::vector<std::string> row{harness::Table::num(std::int64_t{n})};
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto choice = core::optimal_k(n, packets[i], cov);
+      curves[i].push_back(choice.k);
+      row.push_back(harness::Table::num(std::int64_t{choice.k}));
+    }
+    if (n % 4 == 0 || n <= 8) table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  // Paper: the m=1 curve is ceil(log2 n); for m in {4, 8} the optimal k
+  // settles at 2 across the upper range of n (Fig. 12(b)).
+  for (std::int32_t n = 2; n <= 64; ++n) {
+    bench::expect_shape(
+        curves[0][static_cast<std::size_t>(n - 2)] ==
+            core::ceil_log2(static_cast<std::uint64_t>(n)),
+        "Fig12b: m=1 curve equals ceil(log2 n)");
+  }
+  for (std::size_t i : {std::size_t{2}, std::size_t{3}}) {  // m = 4, 8
+    for (std::int32_t n = 16; n <= 64; ++n) {
+      bench::expect_shape(curves[i][static_cast<std::size_t>(n - 2)] == 2,
+                          "Fig12b: optimal k plateaus at 2 for m>=4, n in "
+                          "[16,64]");
+    }
+  }
+  // Larger m never wants a larger k than smaller m at the same n.
+  for (std::int32_t n = 2; n <= 64; ++n) {
+    for (std::size_t i = 1; i < 4; ++i) {
+      bench::expect_shape(
+          curves[i][static_cast<std::size_t>(n - 2)] <=
+              curves[i - 1][static_cast<std::size_t>(n - 2)],
+          "Fig12b: optimal k non-increasing in m at fixed n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 12 reproduction: optimal k of the k-binomial tree "
+              "===\n\n");
+  figure_12a();
+  figure_12b();
+  return bench::finish("bench_fig12_optimal_k");
+}

@@ -1,0 +1,69 @@
+// Reproduces paper Figure 5 / Section 2.6: the binomial tree is NOT
+// optimal for packetized multicast over a smart (FPFS) NI. The canonical
+// counterexample — 3 packets to 3 destinations — takes 6 steps binomial
+// vs 5 steps linear. The bench then maps the whole (n, m) plane to show
+// where each plain tree wins and how much the optimal k-binomial saves.
+
+#include "bench/common.hpp"
+#include "core/kbinomial.hpp"
+#include "core/optimal_k.hpp"
+#include "mcast/step_model.hpp"
+
+using namespace nimcast;
+
+int main() {
+  std::printf("=== Fig. 5 reproduction: binomial is not optimal under "
+              "packetization ===\n\n");
+
+  const auto steps = [](const core::RankTree& t, std::int32_t m) {
+    return mcast::step_schedule(t, m, mcast::Discipline::kFpfs).total_steps;
+  };
+
+  const std::int32_t bin_steps = steps(core::make_binomial(4), 3);
+  const std::int32_t lin_steps = steps(core::make_linear(4), 3);
+  std::printf("m=3 packets to 3 destinations:\n");
+  std::printf("  binomial tree : %d steps   (paper: 6)\n", bin_steps);
+  std::printf("  linear tree   : %d steps   (paper: 5)\n\n", lin_steps);
+  bench::expect_shape(bin_steps == 6, "Fig5: binomial takes 6 steps");
+  bench::expect_shape(lin_steps == 5, "Fig5: linear takes 5 steps");
+  bench::expect_shape(lin_steps < bin_steps,
+                      "Fig5: linear beats binomial at n=4, m=3");
+
+  std::printf("Step counts across the (n, m) plane (FPFS step model):\n\n");
+  harness::Table table{{"n", "m", "binomial", "linear", "opt k-binomial",
+                        "k*", "winner among plain trees"}};
+  for (const std::int32_t n : {4, 8, 16, 32, 64}) {
+    for (const std::int32_t m : {1, 2, 3, 4, 8, 16, 32, 64}) {
+      const std::int32_t b = steps(core::make_binomial(n), m);
+      const std::int32_t l = steps(core::make_linear(n), m);
+      const auto choice = core::optimal_k(n, m);
+      const std::int32_t o =
+          steps(core::make_kbinomial(n, choice.k), m);
+      table.add_row({harness::Table::num(std::int64_t{n}),
+                     harness::Table::num(std::int64_t{m}),
+                     harness::Table::num(std::int64_t{b}),
+                     harness::Table::num(std::int64_t{l}),
+                     harness::Table::num(std::int64_t{o}),
+                     harness::Table::num(std::int64_t{choice.k}),
+                     b < l ? "binomial" : (l < b ? "linear" : "tie")});
+      bench::expect_shape(o <= b && o <= l,
+                          "Fig5: optimal k-binomial dominates both plain "
+                          "trees");
+      bench::expect_shape(o == choice.total_steps,
+                          "Fig5: executed steps match Theorem 3 value");
+    }
+  }
+  table.print(std::cout);
+  table.write_csv("fig5_plane.csv");
+
+  // Binomial wins the small-m corner, linear the large-m corner: there
+  // must exist both a binomial-wins point and a linear-wins point.
+  bench::expect_shape(
+      steps(core::make_binomial(64), 1) < steps(core::make_linear(64), 1),
+      "Fig5: binomial wins at m=1");
+  bench::expect_shape(
+      steps(core::make_linear(8), 64) < steps(core::make_binomial(8), 64),
+      "Fig5: linear wins at large m, small n");
+
+  return bench::finish("bench_fig5_binomial_not_optimal");
+}

@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark) of the library's hot paths: tree
+// construction, the Theorem 3 solver, the step-model executor, the event
+// queue, and a full end-to-end multicast simulation. These guard the
+// experiment harness's own performance — regenerating the figures runs
+// hundreds of thousands of these operations.
+
+#include <benchmark/benchmark.h>
+
+#include "core/host_tree.hpp"
+#include "core/kbinomial.hpp"
+#include "core/optimal_k.hpp"
+#include "harness/testbed.hpp"
+#include "mcast/step_model.hpp"
+#include "routing/up_down.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace nimcast;
+
+void BM_MakeKBinomial(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::make_kbinomial(n, 3));
+  }
+}
+BENCHMARK(BM_MakeKBinomial)->Arg(16)->Arg(64)->Arg(1024);
+
+void BM_OptimalK(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  core::CoverageTable cov;
+  for (auto _ : state) {
+    for (std::int32_t m = 1; m <= 32; ++m) {
+      benchmark::DoNotOptimize(core::optimal_k(n, m, cov));
+    }
+  }
+}
+BENCHMARK(BM_OptimalK)->Arg(64)->Arg(1024);
+
+void BM_OptimalKTableBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::OptimalKTable{64, 32});
+  }
+}
+BENCHMARK(BM_OptimalKTableBuild);
+
+void BM_StepSchedule(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto m = static_cast<std::int32_t>(state.range(1));
+  const auto tree = core::make_kbinomial(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mcast::step_schedule(tree, m, mcast::Discipline::kFpfs));
+  }
+}
+BENCHMARK(BM_StepSchedule)->Args({64, 8})->Args({64, 64})->Args({1024, 8});
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  const auto batch = state.range(0);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::int64_t i = 0; i < batch; ++i) {
+      q.schedule(sim::Time::ns(i * 37 % 1000), [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(10000);
+
+void BM_UpDownRouteTable(benchmark::State& state) {
+  sim::Rng rng{5};
+  const auto topology = topo::make_irregular(topo::IrregularConfig{}, rng);
+  const routing::UpDownRouter router{topology.switches()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::RouteTable{topology, router});
+  }
+}
+BENCHMARK(BM_UpDownRouteTable);
+
+void BM_FullMulticastSimulation(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto m = static_cast<std::int32_t>(state.range(1));
+  sim::Rng rng{5};
+  const auto topology = topo::make_irregular(topo::IrregularConfig{}, rng);
+  const routing::UpDownRouter router{topology.switches()};
+  const routing::RouteTable routes{topology, router};
+  const auto chain = core::cco_ordering(topology, router);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::measure_point(
+        topology, routes, chain, netif::SystemParams{}, net::NetworkConfig{},
+        n, m, harness::TreeSpec::optimal(), mcast::NiStyle::kSmartFpfs,
+        harness::OrderingKind::kCco, 1, 42));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n - 1) * m);
+}
+BENCHMARK(BM_FullMulticastSimulation)
+    ->Args({16, 8})
+    ->Args({64, 8})
+    ->Args({64, 32});
+
+}  // namespace
+
+BENCHMARK_MAIN();

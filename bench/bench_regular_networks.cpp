@@ -1,0 +1,100 @@
+// Extension experiment (paper Section 7 future work / Section 4.3.2):
+// k-binomial trees on *regular* k-ary n-cube networks using
+// dimension-ordered routing and the dimension-ordered chain as the
+// contention-free base ordering. Same headline comparison as Fig. 14 on
+// an 8x8 mesh, a 4x4x4 mesh, and a binary 6-cube — all 64 hosts, so the
+// results are directly comparable to the irregular-network figures.
+
+#include "bench/common.hpp"
+#include "routing/dimension_ordered.hpp"
+#include "routing/up_down.hpp"
+#include "topology/fat_tree.hpp"
+
+using namespace nimcast;
+
+namespace {
+
+struct RegularRig {
+  std::string label;
+  topo::Topology topology;
+  std::unique_ptr<routing::Router> router;
+  routing::RouteTable routes;
+  core::Chain chain;
+
+  RegularRig(std::string name, topo::KAryNCubeConfig cfg)
+      : label{std::move(name)},
+        topology{topo::make_kary_ncube(cfg)},
+        router{std::make_unique<routing::DimensionOrderedRouter>(
+            topology.switches(), cfg)},
+        routes{topology, *router},
+        chain{core::dimension_chain(topology)} {}
+
+  RegularRig(std::string name, topo::FatTreeConfig cfg)
+      : label{std::move(name)},
+        topology{topo::make_fat_tree(cfg)},
+        router{std::make_unique<routing::UpDownRouter>(topology.switches())},
+        routes{topology, *router},
+        chain{core::cco_ordering(
+            topology,
+            static_cast<const routing::UpDownRouter&>(*router))} {}
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: k-binomial multicast on regular k-ary "
+              "n-cubes ===\n\n");
+  const netif::SystemParams params;
+  const net::NetworkConfig network;
+  const std::int32_t reps =
+      std::getenv("NIMCAST_QUICK") != nullptr ? 10 : 60;
+
+  std::vector<std::unique_ptr<RegularRig>> rigs;
+  rigs.push_back(std::make_unique<RegularRig>(
+      "8x8 mesh", topo::KAryNCubeConfig{8, 2, false}));
+  rigs.push_back(std::make_unique<RegularRig>(
+      "4x4x4 mesh", topo::KAryNCubeConfig{4, 3, false}));
+  rigs.push_back(std::make_unique<RegularRig>(
+      "binary 6-cube", topo::KAryNCubeConfig{2, 6, false}));
+  rigs.push_back(std::make_unique<RegularRig>(
+      "8x8 torus (2 VCs, dateline)", topo::KAryNCubeConfig{8, 2, true}));
+  rigs.push_back(std::make_unique<RegularRig>(
+      "fat-tree 8x4 (up*/down*)", topo::FatTreeConfig{}));
+
+  for (const auto& rig : rigs) {
+    std::printf("--- %s (64 hosts) ---\n", rig->label.c_str());
+    harness::Table table{
+        {"n", "m", "binomial (us)", "opt k-bin (us)", "ratio"}};
+    for (const std::int32_t n : {16, 48}) {
+      for (const std::int32_t m : {1, 4, 16, 32}) {
+        const auto bin = harness::measure_point(
+            rig->topology, rig->routes, rig->chain, params, network, n, m,
+            harness::TreeSpec::binomial(), mcast::NiStyle::kSmartFpfs,
+            harness::OrderingKind::kCco, reps, 7);
+        const auto opt = harness::measure_point(
+            rig->topology, rig->routes, rig->chain, params, network, n, m,
+            harness::TreeSpec::optimal(), mcast::NiStyle::kSmartFpfs,
+            harness::OrderingKind::kCco, reps, 7);
+        const double ratio =
+            bin.latency_us.mean() / opt.latency_us.mean();
+        table.add_row({harness::Table::num(std::int64_t{n}),
+                       harness::Table::num(std::int64_t{m}),
+                       harness::Table::num(bin.latency_us.mean()),
+                       harness::Table::num(opt.latency_us.mean()),
+                       harness::Table::num(ratio, 2)});
+        bench::expect_shape(ratio >= 0.999,
+                            rig->label + ": k-binomial never loses");
+        if (m >= 16 && n == 48) {
+          bench::expect_shape(ratio > 1.5,
+                              rig->label +
+                                  ": large-m advantage carries over to "
+                                  "regular networks");
+        }
+      }
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  return bench::finish("bench_regular_networks");
+}

@@ -1,0 +1,100 @@
+// Extension (paper related work [4], [12]): reliable multicast over a
+// lossy fabric. The cited systems built reliability layers over ATM and
+// Myrinet NIs; this bench measures what reliability costs on top of the
+// paper's optimal trees: latency and retransmission overhead vs loss
+// rate, and the ACK tax at zero loss.
+
+#include "bench/common.hpp"
+#include "core/host_tree.hpp"
+#include "core/optimal_k.hpp"
+#include "routing/up_down.hpp"
+#include "sim/rng.hpp"
+
+using namespace nimcast;
+
+namespace {
+
+struct Rig {
+  topo::Topology topology;
+  routing::UpDownRouter router;
+  routing::RouteTable routes;
+  core::Chain cco;
+
+  explicit Rig(std::uint64_t seed)
+      : topology{[&] {
+          sim::Rng rng{seed};
+          return topo::make_irregular(topo::IrregularConfig{}, rng);
+        }()},
+        router{topology.switches()},
+        routes{topology, router},
+        cco{core::cco_ordering(topology, router)} {}
+};
+
+double mean_latency(const Rig& rig, std::int32_t n, std::int32_t m,
+                    double loss, mcast::NiStyle style, int reps) {
+  const auto choice = core::optimal_k(n, m);
+  net::NetworkConfig netcfg;
+  netcfg.loss_rate = loss;
+  double total = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    netcfg.loss_seed = static_cast<std::uint64_t>(rep) * 7919 + 5;
+    sim::Rng rng{static_cast<std::uint64_t>(rep) + 11};
+    const auto draw = rng.sample_without_replacement(
+        static_cast<std::size_t>(rig.topology.num_hosts()),
+        static_cast<std::size_t>(n));
+    std::vector<topo::HostId> dests;
+    for (std::size_t i = 1; i < draw.size(); ++i) {
+      dests.push_back(static_cast<topo::HostId>(draw[i]));
+    }
+    const auto members = core::arrange_participants(
+        rig.cco, static_cast<topo::HostId>(draw.front()), dests);
+    const auto tree =
+        core::HostTree::bind(core::make_kbinomial(n, choice.k), members);
+    const mcast::MulticastEngine engine{
+        rig.topology, rig.routes,
+        mcast::MulticastEngine::Config{netif::SystemParams{}, netcfg, style}};
+    total += engine.run(tree, m).latency.as_us();
+  }
+  return total / reps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: reliable multicast over a lossy fabric "
+              "(n=32, m=8, optimal tree) ===\n\n");
+  const int reps = std::getenv("NIMCAST_QUICK") != nullptr ? 5 : 20;
+  const Rig rig{3};
+
+  const double baseline =
+      mean_latency(rig, 32, 8, 0.0, mcast::NiStyle::kSmartFpfs, reps);
+  std::printf("plain FPFS, lossless fabric: %.1f us (reference)\n\n",
+              baseline);
+
+  harness::Table table{{"loss rate", "reliable FPFS (us)",
+                        "vs lossless plain"}};
+  std::vector<double> curve;
+  for (const double loss : {0.0, 0.01, 0.05, 0.1, 0.2, 0.4}) {
+    const double lat =
+        mean_latency(rig, 32, 8, loss, mcast::NiStyle::kReliableFpfs, reps);
+    curve.push_back(lat);
+    table.add_row({harness::Table::num(loss, 2), harness::Table::num(lat),
+                   harness::Table::num(lat / baseline, 2)});
+  }
+  table.print(std::cout);
+  table.write_csv("reliability.csv");
+
+  bench::expect_shape(curve.front() < baseline * 1.3,
+                      "ACK tax at zero loss stays under ~30%");
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    bench::expect_shape(curve[i] >= curve[i - 1] - 2.0,
+                        "latency degrades monotonically with loss");
+  }
+  bench::expect_shape(curve.back() < baseline * 9.0,
+                      "even 40% loss stays within ~9x of lossless");
+  std::printf("\nACK tax at zero loss: %.2fx; 40%% loss costs %.2fx "
+              "lossless plain FPFS\n",
+              curve.front() / baseline, curve.back() / baseline);
+
+  return bench::finish("bench_reliability");
+}

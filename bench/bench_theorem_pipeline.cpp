@@ -1,0 +1,77 @@
+// Reproduces the paper's pipelined model (Section 4.1, Theorems 1 & 2,
+// Figure 8): the multicast of an m-packet message over a tree behaves as
+// m pipelined single-packet multicasts, successive packets completing
+// exactly c_R steps apart, for a total of t_1 + (m-1) * c_R steps.
+
+#include "bench/common.hpp"
+#include "core/coverage.hpp"
+#include "core/kbinomial.hpp"
+#include "mcast/step_model.hpp"
+
+using namespace nimcast;
+
+int main() {
+  std::printf("=== Theorems 1 & 2 / Fig. 8: the pipelined multicast model "
+              "===\n\n");
+
+  // Fig. 8 exactly: binomial tree, 7 destinations, 3 packets.
+  {
+    const auto tree = core::make_binomial(8);
+    const auto sched =
+        mcast::step_schedule(tree, 3, mcast::Discipline::kFpfs);
+    std::printf("Fig. 8 (binomial, 7 dests, 3 packets): packets complete "
+                "at steps %d, %d, %d; total %d (paper: 3, 6, 9; 9)\n\n",
+                sched.completion[0], sched.completion[1],
+                sched.completion[2], sched.total_steps);
+    bench::expect_shape(sched.completion[0] == 3 &&
+                            sched.completion[1] == 6 &&
+                            sched.completion[2] == 9,
+                        "Fig8: packet completions at 3, 6, 9");
+  }
+
+  std::printf("Pipeline gap and total vs Theorem prediction (FPFS step "
+              "model):\n\n");
+  harness::Table table{{"n", "k", "m", "c_R", "t1", "gap (measured)",
+                        "total (measured)", "total (Thm 2)"}};
+  core::CoverageTable cov;
+  for (const std::int32_t n : {8, 16, 31, 48, 64}) {
+    for (const std::int32_t k : {1, 2, 3, 6}) {
+      for (const std::int32_t m : {2, 8}) {
+        const auto tree = core::make_kbinomial(n, k);
+        const auto sched =
+            mcast::step_schedule(tree, m, mcast::Discipline::kFpfs);
+        const std::int32_t c_root = tree.root_children();
+        const std::int32_t t1 =
+            cov.min_steps(static_cast<std::uint64_t>(n), k);
+        // Gap between every successive pair must be identical.
+        std::int32_t gap = -1;
+        bool uniform = true;
+        for (std::int32_t j = 0; j + 1 < m; ++j) {
+          const std::int32_t g =
+              sched.completion[static_cast<std::size_t>(j + 1)] -
+              sched.completion[static_cast<std::size_t>(j)];
+          if (gap < 0) gap = g;
+          uniform &= (g == gap);
+        }
+        const std::int64_t predicted =
+            t1 + static_cast<std::int64_t>(m - 1) * c_root;
+        table.add_row({harness::Table::num(std::int64_t{n}),
+                       harness::Table::num(std::int64_t{k}),
+                       harness::Table::num(std::int64_t{m}),
+                       harness::Table::num(std::int64_t{c_root}),
+                       harness::Table::num(std::int64_t{t1}),
+                       harness::Table::num(std::int64_t{gap}),
+                       harness::Table::num(std::int64_t{sched.total_steps}),
+                       harness::Table::num(predicted)});
+        bench::expect_shape(uniform, "Thm1: gap uniform across packets");
+        bench::expect_shape(gap == c_root, "Thm1: gap equals c_R");
+        bench::expect_shape(sched.total_steps == predicted,
+                            "Thm2: total = t1 + (m-1)*c_R");
+      }
+    }
+  }
+  table.print(std::cout);
+  table.write_csv("theorem_pipeline.csv");
+
+  return bench::finish("bench_theorem_pipeline");
+}

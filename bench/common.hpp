@@ -1,0 +1,53 @@
+#pragma once
+
+// Shared scaffolding for the figure-regeneration benches. Each bench
+// binary reproduces one table/figure of the paper, prints it in the
+// harness::Table format, optionally writes CSV next to the binary, and
+// self-checks the qualitative *shape* the paper reports (who wins, how
+// trends move). A failed shape check exits non-zero so CI catches drift.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/report.hpp"
+#include "harness/testbed.hpp"
+
+namespace nimcast::bench {
+
+/// The paper's evaluation rig (Section 5.2): 64 hosts, 16 eight-port
+/// switches, 10 random topologies x 30 random destination sets, default
+/// system parameters. NIMCAST_QUICK=1 shrinks repetitions for smoke runs.
+inline harness::IrregularTestbed::Config paper_testbed_config() {
+  harness::IrregularTestbed::Config cfg;
+  if (std::getenv("NIMCAST_QUICK") != nullptr) {
+    cfg.num_topologies = 2;
+    cfg.sets_per_topology = 5;
+  }
+  return cfg;
+}
+
+inline int g_shape_failures = 0;
+
+/// Records a qualitative expectation from the paper's figure. Prints and
+/// counts failures instead of aborting so the full table still appears.
+inline void expect_shape(bool ok, const std::string& what) {
+  if (!ok) {
+    ++g_shape_failures;
+    std::printf("SHAPE-CHECK FAILED: %s\n", what.c_str());
+  }
+}
+
+/// Call at the end of main().
+inline int finish(const char* bench_name) {
+  if (g_shape_failures == 0) {
+    std::printf("\n[%s] all shape checks passed\n", bench_name);
+    return 0;
+  }
+  std::printf("\n[%s] %d shape check(s) FAILED\n", bench_name,
+              g_shape_failures);
+  return 1;
+}
+
+}  // namespace nimcast::bench

@@ -1,0 +1,68 @@
+// Scenario: broadcast on an MPP-style regular network — an 8x8 mesh of
+// routers with dimension-ordered (e-cube) wormhole routing, the setting
+// of the paper's Section 4.3.2 remark that dimension-ordered chains give
+// contention-free k-binomial trees on k-ary n-cubes.
+//
+// A broadcast (all 64 nodes) of messages from 64 B to 4 KiB is run over
+// the linear, binomial, and optimal k-binomial trees, showing where each
+// wins and how the optimal k moves with message length.
+//
+// Run: ./build/examples/mpp_mesh
+
+#include <cstdio>
+
+#include "core/host_tree.hpp"
+#include "core/kbinomial.hpp"
+#include "core/optimal_k.hpp"
+#include "core/ordering.hpp"
+#include "mcast/multicast_engine.hpp"
+#include "routing/dimension_ordered.hpp"
+#include "topology/kary_ncube.hpp"
+
+int main() {
+  using namespace nimcast;
+
+  const topo::KAryNCubeConfig cfg{8, 2, false};
+  const topo::Topology mesh = topo::make_kary_ncube(cfg);
+  const routing::DimensionOrderedRouter router{mesh.switches(), cfg};
+  const routing::RouteTable routes{mesh, router};
+  std::printf("network: %s, routing: %s, deadlock-free: %s\n\n",
+              mesh.name().c_str(), router.name(),
+              routing::deadlock_free(mesh.switches(), router) ? "yes"
+                                                              : "NO!");
+
+  // Broadcast from node 0 over the dimension-ordered chain.
+  const core::Chain chain = core::dimension_chain(mesh);
+  const std::int32_t n = mesh.num_hosts();
+  std::vector<topo::HostId> dests;
+  for (topo::HostId h = 1; h < n; ++h) dests.push_back(h);
+  const core::Chain members = core::arrange_participants(chain, 0, dests);
+
+  mcast::MulticastEngine engine{
+      mesh, routes,
+      mcast::MulticastEngine::Config{netif::SystemParams{},
+                                     net::NetworkConfig{},
+                                     mcast::NiStyle::kSmartFpfs}};
+
+  std::printf("broadcast latency from node 0 (64 B packets):\n\n");
+  std::printf("%-10s %-4s %-6s %-12s %-12s %-12s\n", "message", "m", "k*",
+              "linear", "binomial", "opt k-bin");
+  for (const std::int32_t m : {1, 2, 4, 8, 16, 32, 64}) {
+    const core::OptimalChoice choice = core::optimal_k(n, m);
+    const auto run = [&](const core::RankTree& shape) {
+      return engine.run(core::HostTree::bind(shape, members), m)
+          .latency.as_us();
+    };
+    std::printf("%5d B   %-4d %-6d %-12.1f %-12.1f %-12.1f\n", m * 64, m,
+                choice.k, run(core::make_linear(n)),
+                run(core::make_binomial(n)),
+                run(core::make_kbinomial(n, choice.k)));
+  }
+
+  std::printf(
+      "\nNote how the binomial tree wins short messages, the 2-binomial\n"
+      "tree takes over as packet count grows, and for very long messages\n"
+      "the optimum collapses to the chain (k=1) — whose pipeline finally\n"
+      "amortizes the huge first-packet latency and overtakes binomial.\n");
+  return 0;
+}

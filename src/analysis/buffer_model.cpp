@@ -1,0 +1,41 @@
+#include "analysis/buffer_model.hpp"
+
+#include <stdexcept>
+
+namespace nimcast::analysis {
+namespace {
+
+void check(std::int32_t children, std::int32_t packets) {
+  if (children < 1) throw std::invalid_argument("buffer model: children < 1");
+  if (packets < 1) throw std::invalid_argument("buffer model: packets < 1");
+}
+
+}  // namespace
+
+sim::Time fcfs_holding_time(std::int32_t children, std::int32_t packets,
+                            sim::Time t_nd) {
+  check(children, packets);
+  const auto copies = static_cast<sim::Time::rep>(children - 1) *
+                          static_cast<sim::Time::rep>(packets) +
+                      1;
+  return t_nd * copies;
+}
+
+sim::Time fpfs_holding_time(std::int32_t children, sim::Time t_nd) {
+  check(children, 1);
+  return t_nd * static_cast<sim::Time::rep>(children);
+}
+
+double fcfs_buffer_integral_us(std::int32_t children, std::int32_t packets,
+                               sim::Time t_nd) {
+  return static_cast<double>(packets) *
+         fcfs_holding_time(children, packets, t_nd).as_us();
+}
+
+double fpfs_buffer_integral_us(std::int32_t children, std::int32_t packets,
+                               sim::Time t_nd) {
+  return static_cast<double>(packets) *
+         fpfs_holding_time(children, t_nd).as_us();
+}
+
+}  // namespace nimcast::analysis

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/sim_time.hpp"
+
+namespace nimcast::analysis {
+
+/// Section 3.3.2 buffer-holding-time analysis.
+///
+/// t_nd is the time to push one packet copy from the NI queue to the
+/// network adaptor (our t_snd). Under best-case zero inter-arrival delay:
+///
+///   FCFS: packet j stays buffered while (m - j + 1) packets finish going
+///         to the first child, m packets go to each of the middle (c - 2)
+///         children, and j packets go to the last child —
+///         T_f = ((c - 1) * m + 1) * t_nd, independent of j.
+///   FPFS: packet j leaves after its own c copies —
+///         T_p = c * t_nd.
+///
+/// T_f >= T_p for every c >= 1, m >= 1, with equality only at m = 1 or
+/// c = 1 — the paper's argument that FPFS needs less NI buffering.
+[[nodiscard]] sim::Time fcfs_holding_time(std::int32_t children,
+                                          std::int32_t packets,
+                                          sim::Time t_nd);
+
+[[nodiscard]] sim::Time fpfs_holding_time(std::int32_t children,
+                                          sim::Time t_nd);
+
+/// Aggregate buffer demand (packet * time) at one intermediate node for a
+/// whole message: m packets each held for the per-packet holding time.
+[[nodiscard]] double fcfs_buffer_integral_us(std::int32_t children,
+                                             std::int32_t packets,
+                                             sim::Time t_nd);
+[[nodiscard]] double fpfs_buffer_integral_us(std::int32_t children,
+                                             std::int32_t packets,
+                                             sim::Time t_nd);
+
+}  // namespace nimcast::analysis

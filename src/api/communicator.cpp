@@ -1,0 +1,232 @@
+#include "api/communicator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/host_tree.hpp"
+#include "core/kbinomial.hpp"
+#include "routing/dimension_ordered.hpp"
+#include "routing/up_down.hpp"
+
+namespace nimcast::api {
+
+struct Communicator::Impl {
+  Options options;
+  std::unique_ptr<topo::Topology> topology;
+  std::unique_ptr<routing::Router> router;
+  std::unique_ptr<routing::RouteTable> routes;
+  core::Chain chain;
+  std::unique_ptr<core::OptimalKTable> ktable;
+  std::unique_ptr<mcast::MulticastEngine> mcast_engine;
+  std::unique_ptr<collectives::CollectiveEngine> coll_engine;
+
+  void finish_setup() {
+    routes = std::make_unique<routing::RouteTable>(*topology, *router);
+    // Covers messages up to 512 packets (32 KiB at 64 B); larger ones
+    // fall back to the direct Theorem 3 solver in choose().
+    ktable = std::make_unique<core::OptimalKTable>(
+        std::max<std::int32_t>(2, topology->num_hosts()), 512);
+    mcast_engine = std::make_unique<mcast::MulticastEngine>(
+        *topology, *routes,
+        mcast::MulticastEngine::Config{options.params, options.network,
+                                       mcast::NiStyle::kSmartFpfs});
+    coll_engine = std::make_unique<collectives::CollectiveEngine>(
+        *topology, *routes,
+        collectives::CollectiveEngine::Config{options.params, options.network,
+                                              options.t_comb});
+  }
+
+  [[nodiscard]] std::int32_t packetize(std::int64_t bytes) const {
+    if (bytes < 0) throw std::invalid_argument("packetize: negative bytes");
+    const auto per = static_cast<std::int64_t>(options.network.packet_bytes);
+    return static_cast<std::int32_t>(std::max<std::int64_t>(
+        1, (bytes + per - 1) / per));
+  }
+
+  [[nodiscard]] core::OptimalChoice choose(std::int32_t n,
+                                           std::int32_t m) const {
+    if (n >= 2 && n <= ktable->max_n() && m <= ktable->max_m()) {
+      return ktable->lookup(n, m);
+    }
+    return core::optimal_k(n, m);
+  }
+
+  [[nodiscard]] core::HostTree tree_for(topo::HostId source,
+                                        std::vector<topo::HostId> dests,
+                                        std::int32_t m) const {
+    const auto n = static_cast<std::int32_t>(dests.size()) + 1;
+    const core::OptimalChoice c = choose(n, m);
+    const core::Chain members =
+        core::arrange_participants(chain, source, dests);
+    return core::HostTree::bind(core::make_kbinomial(n, c.k), members);
+  }
+
+  [[nodiscard]] std::vector<topo::HostId> everyone_but(
+      topo::HostId source) const {
+    std::vector<topo::HostId> dests;
+    for (topo::HostId h = 0; h < topology->num_hosts(); ++h) {
+      if (h != source) dests.push_back(h);
+    }
+    return dests;
+  }
+};
+
+Communicator Communicator::irregular() {
+  return irregular(topo::IrregularConfig{}, Options{});
+}
+Communicator Communicator::irregular(const topo::IrregularConfig& cfg) {
+  return irregular(cfg, Options{});
+}
+
+Communicator Communicator::irregular(const topo::IrregularConfig& cfg,
+                                     const Options& options) {
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  sim::Rng rng{options.seed};
+  impl->topology =
+      std::make_unique<topo::Topology>(topo::make_irregular(cfg, rng));
+  auto updown =
+      std::make_unique<routing::UpDownRouter>(impl->topology->switches());
+  impl->chain = core::cco_ordering(*impl->topology, *updown);
+  impl->router = std::move(updown);
+  impl->finish_setup();
+  return Communicator{std::move(impl)};
+}
+
+Communicator Communicator::mesh(const topo::KAryNCubeConfig& cfg) {
+  return mesh(cfg, Options{});
+}
+
+Communicator Communicator::mesh(const topo::KAryNCubeConfig& cfg,
+                                const Options& options) {
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  impl->topology =
+      std::make_unique<topo::Topology>(topo::make_kary_ncube(cfg));
+  impl->router = std::make_unique<routing::DimensionOrderedRouter>(
+      impl->topology->switches(), cfg);
+  impl->chain = core::dimension_chain(*impl->topology);
+  impl->finish_setup();
+  return Communicator{std::move(impl)};
+}
+
+Communicator::Communicator(std::unique_ptr<Impl> impl)
+    : impl_{std::move(impl)} {}
+Communicator::Communicator(Communicator&&) noexcept = default;
+Communicator& Communicator::operator=(Communicator&&) noexcept = default;
+Communicator::~Communicator() = default;
+
+std::int32_t Communicator::num_hosts() const {
+  return impl_->topology->num_hosts();
+}
+const std::string& Communicator::system_name() const {
+  return impl_->topology->name();
+}
+const Communicator::Options& Communicator::options() const {
+  return impl_->options;
+}
+
+std::int32_t Communicator::packetize(std::int64_t bytes) const {
+  return impl_->packetize(bytes);
+}
+
+std::int32_t Communicator::plan_fanout(std::int32_t n,
+                                       std::int64_t bytes) const {
+  return impl_->choose(n, impl_->packetize(bytes)).k;
+}
+
+Communicator::OpReport Communicator::multicast(
+    topo::HostId source, std::span<const topo::HostId> dests,
+    std::int64_t bytes) const {
+  if (dests.empty()) {
+    throw std::invalid_argument("multicast: no destinations");
+  }
+  const std::int32_t m = impl_->packetize(bytes);
+  const core::HostTree tree =
+      impl_->tree_for(source, {dests.begin(), dests.end()}, m);
+  const mcast::MulticastResult r = impl_->mcast_engine->run(tree, m);
+  OpReport report;
+  report.latency = r.latency;
+  report.packets = m;
+  report.fanout_bound =
+      impl_->choose(static_cast<std::int32_t>(dests.size()) + 1, m).k;
+  report.tree_depth =
+      impl_->choose(static_cast<std::int32_t>(dests.size()) + 1, m).t1;
+  report.packets_on_wire = r.packets_delivered;
+  report.contention = r.total_channel_block_time;
+  return report;
+}
+
+Communicator::OpReport Communicator::broadcast(topo::HostId source,
+                                               std::int64_t bytes) const {
+  const auto dests = impl_->everyone_but(source);
+  return multicast(source, dests, bytes);
+}
+
+namespace {
+
+Communicator::OpReport from_collective(const collectives::CollectiveResult& r,
+                                       std::int32_t m, std::int32_t k,
+                                       std::int32_t t1) {
+  Communicator::OpReport report;
+  report.latency = r.latency;
+  report.packets = m;
+  report.fanout_bound = k;
+  report.tree_depth = t1;
+  report.packets_on_wire = r.packets_injected;
+  report.contention = r.total_channel_block_time;
+  return report;
+}
+
+}  // namespace
+
+Communicator::OpReport Communicator::scatter(topo::HostId source,
+                                             std::int64_t bytes_per_dest) const {
+  const std::int32_t m = impl_->packetize(bytes_per_dest);
+  const auto dests = impl_->everyone_but(source);
+  const auto choice =
+      impl_->choose(static_cast<std::int32_t>(dests.size()) + 1, m);
+  const auto tree = impl_->tree_for(source, dests, m);
+  return from_collective(
+      impl_->coll_engine->run(collectives::CollectiveKind::kScatter, tree, m),
+      m, choice.k, choice.t1);
+}
+
+Communicator::OpReport Communicator::gather(topo::HostId root,
+                                            std::int64_t bytes_per_src) const {
+  const std::int32_t m = impl_->packetize(bytes_per_src);
+  const auto dests = impl_->everyone_but(root);
+  const auto choice =
+      impl_->choose(static_cast<std::int32_t>(dests.size()) + 1, m);
+  const auto tree = impl_->tree_for(root, dests, m);
+  return from_collective(
+      impl_->coll_engine->run(collectives::CollectiveKind::kGather, tree, m),
+      m, choice.k, choice.t1);
+}
+
+Communicator::OpReport Communicator::reduce(topo::HostId root,
+                                            std::int64_t bytes) const {
+  const std::int32_t m = impl_->packetize(bytes);
+  const auto dests = impl_->everyone_but(root);
+  const auto choice =
+      impl_->choose(static_cast<std::int32_t>(dests.size()) + 1, m);
+  const auto tree = impl_->tree_for(root, dests, m);
+  return from_collective(
+      impl_->coll_engine->run(collectives::CollectiveKind::kReduce, tree, m),
+      m, choice.k, choice.t1);
+}
+
+Communicator::OpReport Communicator::allreduce(topo::HostId root,
+                                               std::int64_t bytes) const {
+  const std::int32_t m = impl_->packetize(bytes);
+  const auto dests = impl_->everyone_but(root);
+  const auto choice =
+      impl_->choose(static_cast<std::int32_t>(dests.size()) + 1, m);
+  const auto tree = impl_->tree_for(root, dests, m);
+  return from_collective(
+      impl_->coll_engine->run(collectives::CollectiveKind::kAllReduce, tree,
+                              m),
+      m, choice.k, choice.t1);
+}
+
+}  // namespace nimcast::api

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "collectives/collective_engine.hpp"
+#include "core/optimal_k.hpp"
+#include "core/ordering.hpp"
+#include "mcast/multicast_engine.hpp"
+#include "netif/system_params.hpp"
+#include "network/network_config.hpp"
+#include "routing/route_table.hpp"
+#include "sim/rng.hpp"
+#include "topology/irregular.hpp"
+#include "topology/kary_ncube.hpp"
+
+namespace nimcast::api {
+
+/// High-level entry point: a simulated parallel system with smart
+/// (FPFS) network interfaces, ready to run optimally-shaped collective
+/// operations.
+///
+/// The Communicator bundles everything the lower layers need wiring
+/// together — topology, deadlock-free routing, the contention-free node
+/// ordering, the precomputed optimal-k table — and exposes MPI-flavoured
+/// operations sized in *bytes*. Packetization (64-byte packets by
+/// default), tree selection (Theorem 3) and contention-free construction
+/// (Fig. 11) all happen behind this interface.
+///
+///     auto comm = api::Communicator::irregular();          // 64 hosts
+///     auto r = comm.multicast(/*src=*/0, {1, 5, 9}, /*bytes=*/1024);
+///     std::printf("%.1f us over a %d-binomial tree\n",
+///                 r.latency.as_us(), r.fanout_bound);
+class Communicator {
+ public:
+  struct Options {
+    netif::SystemParams params;
+    net::NetworkConfig network;
+    /// NI combining cost for reduce/allreduce.
+    sim::Time t_comb = sim::Time::us(1.0);
+    /// Seed for random topology generation (irregular systems).
+    std::uint64_t seed = 1997;
+  };
+
+  /// A random irregular switch-based cluster (paper Section 5.2 system
+  /// by default).
+  [[nodiscard]] static Communicator irregular();
+  [[nodiscard]] static Communicator irregular(const topo::IrregularConfig& cfg);
+  [[nodiscard]] static Communicator irregular(const topo::IrregularConfig& cfg,
+                                              const Options& options);
+
+  /// A k-ary n-cube MPP with dimension-ordered routing. Tori use two
+  /// virtual channels per physical channel (dateline scheme) to stay
+  /// deadlock-free.
+  [[nodiscard]] static Communicator mesh(const topo::KAryNCubeConfig& cfg);
+  [[nodiscard]] static Communicator mesh(const topo::KAryNCubeConfig& cfg,
+                                         const Options& options);
+
+  Communicator(Communicator&&) noexcept;
+  Communicator& operator=(Communicator&&) noexcept;
+  ~Communicator();
+
+  [[nodiscard]] std::int32_t num_hosts() const;
+  [[nodiscard]] const std::string& system_name() const;
+  [[nodiscard]] const Options& options() const;
+
+  /// Result of one simulated operation.
+  struct OpReport {
+    sim::Time latency;           ///< full operation latency (t_s .. t_r)
+    std::int32_t packets = 0;    ///< packets per logical message
+    std::int32_t fanout_bound = 0;  ///< the k the tree was built with
+    std::int32_t tree_depth = 0;    ///< steps of the first packet
+    std::int64_t packets_on_wire = 0;
+    sim::Time contention;        ///< cumulative channel block time
+  };
+
+  /// One-to-many, same data: the paper's headline operation. The tree is
+  /// the optimal k-binomial tree for (|dests|+1, packet count).
+  [[nodiscard]] OpReport multicast(topo::HostId source,
+                                   std::span<const topo::HostId> dests,
+                                   std::int64_t bytes) const;
+  /// Brace-list convenience: comm.multicast(0, {3, 9, 17}, 4096).
+  [[nodiscard]] OpReport multicast(topo::HostId source,
+                                   std::initializer_list<topo::HostId> dests,
+                                   std::int64_t bytes) const {
+    return multicast(source, std::span<const topo::HostId>{dests.begin(),
+                                                           dests.size()},
+                     bytes);
+  }
+
+  /// Multicast to every other host.
+  [[nodiscard]] OpReport broadcast(topo::HostId source,
+                                   std::int64_t bytes) const;
+
+  /// Personalized one-to-all / all-to-one / combining collectives over
+  /// the same optimally-shaped tree.
+  [[nodiscard]] OpReport scatter(topo::HostId source,
+                                 std::int64_t bytes_per_dest) const;
+  [[nodiscard]] OpReport gather(topo::HostId root,
+                                std::int64_t bytes_per_src) const;
+  [[nodiscard]] OpReport reduce(topo::HostId root, std::int64_t bytes) const;
+  [[nodiscard]] OpReport allreduce(topo::HostId root,
+                                   std::int64_t bytes) const;
+
+  /// The fan-out bound Theorem 3 picks for a message of `bytes` to
+  /// `n - 1` destinations on this system — exposed for planning without
+  /// running a simulation.
+  [[nodiscard]] std::int32_t plan_fanout(std::int32_t n,
+                                         std::int64_t bytes) const;
+  /// Packets a message of `bytes` fragments into.
+  [[nodiscard]] std::int32_t packetize(std::int64_t bytes) const;
+
+ private:
+  struct Impl;
+  explicit Communicator(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nimcast::api

@@ -1,0 +1,360 @@
+#include "collectives/collective_engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "netif/buffer_tracker.hpp"
+#include "netif/host.hpp"
+#include "netif/serial_server.hpp"
+#include "network/wormhole_network.hpp"
+#include "sim/simulator.hpp"
+
+namespace nimcast::collectives {
+
+const char* to_string(CollectiveKind k) {
+  switch (k) {
+    case CollectiveKind::kBroadcast: return "broadcast";
+    case CollectiveKind::kScatter: return "scatter";
+    case CollectiveKind::kGather: return "gather";
+    case CollectiveKind::kReduce: return "reduce";
+    case CollectiveKind::kAllReduce: return "allreduce";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr net::MessageId kMessage = 1;
+/// Packet tag values for reduce/allreduce phases; scatter/gather store a
+/// host id (>= 0) in the tag instead.
+constexpr std::int32_t kUpPhase = -2;
+constexpr std::int32_t kDownPhase = -3;
+
+/// Collective firmware model: one per participating host. Mirrors the
+/// structure of netif::NetworkInterface (coprocessor SerialServer, t_rcv
+/// receive processing in the low-priority lane, t_snd per injected copy)
+/// but speaks the collective protocols instead of plain multicast
+/// forwarding.
+class CollectiveNi {
+ public:
+  CollectiveNi(sim::Simulator& simctx, net::WormholeNetwork& network,
+               const CollectiveEngine::Config& cfg, CollectiveKind kind,
+               topo::HostId self, topo::HostId parent,
+               std::vector<topo::HostId> children, std::int32_t m,
+               sim::Trace* trace)
+      : sim_{simctx},
+        network_{network},
+        cfg_{cfg},
+        kind_{kind},
+        self_{self},
+        parent_{parent},
+        children_{std::move(children)},
+        m_{m},
+        trace_{trace},
+        coproc_{simctx, cfg.params.ni_engines},
+        buffer_{simctx} {}
+
+  /// Installed by the engine: packet hand-off to the destination NI.
+  std::function<void(topo::HostId, const net::Packet&)> deliver_to;
+  /// Fired when this NI's role in the collective is fulfilled (before
+  /// the host's t_r).
+  std::function<void(topo::HostId)> on_complete;
+  /// Scatter: next tree hop per final destination.
+  std::unordered_map<topo::HostId, topo::HostId> next_hop;
+  /// Gather/reduce: number of direct children (reduce) or subtree
+  /// descendants (gather) feeding this node.
+  std::int32_t subtree_below = 0;
+
+  [[nodiscard]] const netif::BufferTracker& buffer() const { return buffer_; }
+
+  /// Source-side start, called after the host's t_s.
+  void start() {
+    switch (kind_) {
+      case CollectiveKind::kBroadcast:
+        // Packet-major FPFS over the children.
+        for (std::int32_t j = 0; j < m_; ++j) {
+          for (topo::HostId c : children_) send(c, j, kDownPhase);
+        }
+        break;
+      case CollectiveKind::kScatter: {
+        // Packet-major across destinations in chain order: packet 0 of
+        // every destination first, then packet 1, ... — keeps every
+        // subtree's pipeline fed (the FPFS principle applied to
+        // personalized data).
+        std::vector<topo::HostId> dests;
+        for (const auto& [dest, hop] : next_hop) dests.push_back(dest);
+        std::sort(dests.begin(), dests.end());
+        for (std::int32_t j = 0; j < m_; ++j) {
+          for (topo::HostId dest : dests) send(next_hop.at(dest), j, dest);
+        }
+        break;
+      }
+      case CollectiveKind::kGather:
+        // Non-root nodes push their own message toward the root.
+        if (parent_ != topo::kInvalidId) {
+          for (std::int32_t j = 0; j < m_; ++j) send(parent_, j, self_);
+        }
+        break;
+      case CollectiveKind::kReduce:
+      case CollectiveKind::kAllReduce:
+        // Leaves stream their contribution up; interior nodes hold
+        // theirs as the initial partial result and wait for children.
+        if (children_.empty() && parent_ != topo::kInvalidId) {
+          for (std::int32_t j = 0; j < m_; ++j) send(parent_, j, kUpPhase);
+        }
+        break;
+    }
+  }
+
+  void deliver(const net::Packet& packet) {
+    buffer_.acquire();
+    coproc_.enqueue_low(cfg_.params.t_rcv, [this, packet] {
+      handle(packet);
+    });
+  }
+
+ private:
+  void send(topo::HostId to, std::int32_t index, std::int32_t tag) {
+    coproc_.enqueue(cfg_.params.t_snd, [this, to, index, tag] {
+      net::Packet p;
+      p.message = kMessage;
+      p.packet_index = index;
+      p.packet_count = m_;
+      p.sender = self_;
+      p.dest = to;
+      p.tag = tag;
+      network_.send(p, [this](const net::Packet& delivered) {
+        deliver_to(delivered.dest, delivered);
+      });
+      if (trace_) {
+        trace_->record(sim_.now(), sim::TraceCategory::kNi, self_,
+                       "coll send pkt=" + std::to_string(index) + " tag=" +
+                           std::to_string(tag) + " -> host " +
+                           std::to_string(to));
+      }
+    });
+  }
+
+  void complete() {
+    if (done_) throw std::logic_error("CollectiveNi: completed twice");
+    done_ = true;
+    if (on_complete) on_complete(self_);
+  }
+
+  void handle(const net::Packet& packet) {
+    buffer_.release();
+    switch (kind_) {
+      case CollectiveKind::kBroadcast:
+        for (topo::HostId c : children_) {
+          send(c, packet.packet_index, kDownPhase);
+        }
+        if (++own_received_ == m_) complete();
+        break;
+
+      case CollectiveKind::kScatter:
+        if (packet.tag == self_) {
+          if (++own_received_ == m_) complete();
+        } else {
+          send(next_hop.at(packet.tag), packet.packet_index, packet.tag);
+        }
+        break;
+
+      case CollectiveKind::kGather:
+        if (parent_ == topo::kInvalidId) {
+          // Root: done once every descendant's full message is in.
+          if (++own_received_ == subtree_below * m_) complete();
+        } else {
+          send(parent_, packet.packet_index, packet.tag);
+        }
+        break;
+
+      case CollectiveKind::kReduce:
+      case CollectiveKind::kAllReduce:
+        if (packet.tag == kUpPhase) {
+          handle_up(packet.packet_index);
+        } else {
+          // Down phase (allreduce only): plain broadcast forwarding.
+          for (topo::HostId c : children_) {
+            send(c, packet.packet_index, kDownPhase);
+          }
+          if (++own_received_ == m_) complete();
+        }
+        break;
+    }
+  }
+
+  /// Reduce up-phase: fold one child packet into the local partial
+  /// result (t_comb of coprocessor time); when every child's j-th packet
+  /// is folded, index j is ready to move up (or, at the root, is final).
+  void handle_up(std::int32_t index) {
+    coproc_.enqueue(cfg_.t_comb, [this, index] {
+      auto& folded = folded_[index];
+      ++folded;
+      if (folded < static_cast<std::int32_t>(children_.size())) return;
+      if (parent_ != topo::kInvalidId) {
+        send(parent_, index, kUpPhase);
+      } else {
+        if (kind_ == CollectiveKind::kAllReduce) {
+          // Pipeline the finished index straight back down; the root
+          // itself holds the full result once every index has folded.
+          for (topo::HostId c : children_) send(c, index, kDownPhase);
+        }
+        if (++reduced_indexes_ == m_) complete();
+      }
+    });
+  }
+
+  sim::Simulator& sim_;
+  net::WormholeNetwork& network_;
+  const CollectiveEngine::Config& cfg_;
+  CollectiveKind kind_;
+  topo::HostId self_;
+  topo::HostId parent_;
+  std::vector<topo::HostId> children_;
+  std::int32_t m_;
+  sim::Trace* trace_;
+  netif::SerialServer coproc_;
+  netif::BufferTracker buffer_;
+
+  std::int32_t own_received_ = 0;
+  std::unordered_map<std::int32_t, std::int32_t> folded_;
+  std::int32_t reduced_indexes_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace
+
+CollectiveEngine::CollectiveEngine(const topo::Topology& topology,
+                                   const routing::RouteTable& routes,
+                                   Config config, sim::Trace* trace)
+    : topology_{topology}, routes_{routes}, config_{config}, trace_{trace} {}
+
+CollectiveResult CollectiveEngine::run(CollectiveKind kind,
+                                       const core::HostTree& tree,
+                                       std::int32_t m) const {
+  if (m < 1) throw std::invalid_argument("CollectiveEngine::run: m < 1");
+  if (tree.size() < 2) {
+    throw std::invalid_argument("CollectiveEngine::run: need >= 2 nodes");
+  }
+  for (topo::HostId h : tree.nodes) {
+    if (h < 0 || h >= topology_.num_hosts()) {
+      throw std::invalid_argument("CollectiveEngine::run: host out of range");
+    }
+  }
+
+  sim::Simulator simctx;
+  net::WormholeNetwork network{simctx, topology_, routes_, config_.network,
+                               trace_};
+
+  // Parents and subtree structure from the tree.
+  std::unordered_map<topo::HostId, topo::HostId> parent;
+  parent[tree.root] = topo::kInvalidId;
+  for (const auto& [v, kids] : tree.children) {
+    for (topo::HostId c : kids) parent[c] = v;
+  }
+
+  // Subtree membership for scatter next-hop and gather counting:
+  // post-order accumulation.
+  std::unordered_map<topo::HostId, std::vector<topo::HostId>> subtree;
+  {
+    // Children-first order via reverse BFS.
+    std::vector<topo::HostId> order{tree.root};
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      for (topo::HostId c : tree.children.at(order[i])) order.push_back(c);
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      auto& mine = subtree[*it];
+      mine.push_back(*it);
+      for (topo::HostId c : tree.children.at(*it)) {
+        const auto& sub = subtree[c];
+        mine.insert(mine.end(), sub.begin(), sub.end());
+      }
+    }
+  }
+
+  std::unordered_map<topo::HostId, std::unique_ptr<CollectiveNi>> nis;
+  std::unordered_map<topo::HostId, std::unique_ptr<netif::Host>> hosts;
+  for (topo::HostId h : tree.nodes) {
+    nis.emplace(h, std::make_unique<CollectiveNi>(
+                       simctx, network, config_, kind, h, parent.at(h),
+                       tree.children.at(h), m, trace_));
+    hosts.emplace(h, std::make_unique<netif::Host>(simctx, h, config_.params));
+  }
+  for (topo::HostId h : tree.nodes) {
+    auto& ni = *nis.at(h);
+    ni.subtree_below = static_cast<std::int32_t>(subtree.at(h).size()) - 1;
+    for (topo::HostId c : tree.children.at(h)) {
+      for (topo::HostId d : subtree.at(c)) ni.next_hop.emplace(d, c);
+    }
+    ni.deliver_to = [&nis](topo::HostId dest, const net::Packet& p) {
+      nis.at(dest)->deliver(p);
+    };
+  }
+
+  CollectiveResult result;
+  std::size_t expected_completions = 0;
+  switch (kind) {
+    case CollectiveKind::kBroadcast:
+    case CollectiveKind::kScatter:
+      expected_completions = static_cast<std::size_t>(tree.size()) - 1;
+      break;
+    case CollectiveKind::kGather:
+    case CollectiveKind::kReduce:
+      expected_completions = 1;
+      break;
+    case CollectiveKind::kAllReduce:
+      expected_completions = static_cast<std::size_t>(tree.size());
+      break;
+  }
+  for (topo::HostId h : tree.nodes) {
+    nis.at(h)->on_complete = [&, h](topo::HostId) {
+      hosts.at(h)->software_receive(
+          [&, h] { result.completions.emplace_back(h, simctx.now()); });
+    };
+  }
+
+  // Start-up: who pays t_s before their NI acts.
+  const auto start_host = [&](topo::HostId h) {
+    hosts.at(h)->software_send([&nis, h] { nis.at(h)->start(); });
+  };
+  switch (kind) {
+    case CollectiveKind::kBroadcast:
+    case CollectiveKind::kScatter:
+      start_host(tree.root);
+      break;
+    case CollectiveKind::kGather:
+      for (topo::HostId h : tree.nodes) {
+        if (h != tree.root) start_host(h);
+      }
+      break;
+    case CollectiveKind::kReduce:
+    case CollectiveKind::kAllReduce:
+      // Everyone contributes data: every host pays the send start-up
+      // (the root's moves its own partial result to the NI).
+      for (topo::HostId h : tree.nodes) start_host(h);
+      break;
+  }
+
+  simctx.run();
+  if (network.in_flight() != 0) {
+    throw std::runtime_error("CollectiveEngine: network deadlock");
+  }
+  if (result.completions.size() != expected_completions) {
+    throw std::runtime_error("CollectiveEngine: " + std::string(to_string(kind)) +
+                             " did not complete everywhere");
+  }
+  for (const auto& [h, t] : result.completions) {
+    result.latency = std::max(result.latency, t);
+  }
+  for (topo::HostId h : tree.nodes) {
+    result.peak_ni_buffer =
+        std::max(result.peak_ni_buffer, nis.at(h)->buffer().peak());
+  }
+  result.packets_injected = network.packets_delivered();
+  result.total_channel_block_time = network.total_block_time();
+  return result;
+}
+
+}  // namespace nimcast::collectives

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/host_tree.hpp"
+#include "netif/system_params.hpp"
+#include "network/network_config.hpp"
+#include "routing/route_table.hpp"
+#include "sim/sim_time.hpp"
+#include "sim/trace.hpp"
+#include "topology/topology.hpp"
+
+namespace nimcast::collectives {
+
+/// Collective operations built on packetization + smart NI support — the
+/// paper's Section 7 future-work direction, implemented over the same
+/// substrate as the multicast engine.
+///
+/// All operations run over a (contention-free) tree of participants and
+/// pipeline at packet granularity in the FPFS spirit: a packet moves as
+/// soon as it is ready, independent of the rest of its message.
+enum class CollectiveKind : std::uint8_t {
+  kBroadcast,  ///< root's message to every node (multicast to all)
+  kScatter,    ///< root sends a distinct m-packet message to every node
+  kGather,     ///< every node sends a distinct m-packet message to root
+  kReduce,     ///< in-network combining up the tree; result at root
+  kAllReduce,  ///< reduce, then the result pipelined back down
+};
+
+[[nodiscard]] const char* to_string(CollectiveKind k);
+
+/// Outcome of one collective.
+struct CollectiveResult {
+  /// Operation start to the completion at the last host that must finish
+  /// (all non-roots for scatter/broadcast/allreduce, the root for
+  /// gather/reduce). Includes the host software overheads.
+  sim::Time latency;
+  /// Per-host completion times for hosts with a completion semantic.
+  std::vector<std::pair<topo::HostId, sim::Time>> completions;
+  std::int64_t packets_injected = 0;
+  sim::Time total_channel_block_time;
+  double peak_ni_buffer = 0.0;
+};
+
+/// Runs collectives on the full simulated system. Stateless between
+/// calls: each run builds a fresh simulation over the shared
+/// (topology, routes).
+class CollectiveEngine {
+ public:
+  struct Config {
+    netif::SystemParams params;
+    net::NetworkConfig network;
+    /// NI coprocessor occupancy to combine one received packet into the
+    /// local partial result (reduce/allreduce). Modeled on the NI — the
+    /// in-network-computing assumption; set high to model host-assisted
+    /// combining.
+    sim::Time t_comb = sim::Time::us(1.0);
+  };
+
+  CollectiveEngine(const topo::Topology& topology,
+                   const routing::RouteTable& routes, Config config,
+                   sim::Trace* trace = nullptr);
+
+  /// `tree.root` initiates; `m` is the per-message packet count (for
+  /// scatter/gather: per destination/source; for broadcast/reduce: of
+  /// the single logical message).
+  [[nodiscard]] CollectiveResult run(CollectiveKind kind,
+                                     const core::HostTree& tree,
+                                     std::int32_t m) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  const topo::Topology& topology_;
+  const routing::RouteTable& routes_;
+  Config config_;
+  sim::Trace* trace_;
+};
+
+}  // namespace nimcast::collectives

@@ -1,0 +1,58 @@
+#include "core/coverage.hpp"
+
+#include <stdexcept>
+
+namespace nimcast::core {
+namespace {
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return (s >= kCoverageInfinity || s < a) ? kCoverageInfinity : s;
+}
+
+}  // namespace
+
+std::uint64_t CoverageTable::coverage(std::int32_t s, std::int32_t k) {
+  if (s < 0) throw std::invalid_argument("coverage: s < 0");
+  if (k < 1) throw std::invalid_argument("coverage: k < 1");
+  if (s <= k) {
+    return s >= 62 ? kCoverageInfinity : (UINT64_C(1) << s);
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(s))
+                             << 32) |
+                            static_cast<std::uint32_t>(k);
+  if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+  std::uint64_t total = 1;
+  for (std::int32_t i = 1; i <= k; ++i) {
+    total = saturating_add(total, coverage(s - i, k));
+  }
+  memo_.emplace(key, total);
+  return total;
+}
+
+std::int32_t CoverageTable::min_steps(std::uint64_t n, std::int32_t k) {
+  if (n < 1) throw std::invalid_argument("min_steps: n < 1");
+  if (k < 1) throw std::invalid_argument("min_steps: k < 1");
+  std::int32_t s = 0;
+  while (coverage(s, k) < n) {
+    ++s;
+    if (s > 1'000'000) {
+      throw std::logic_error("min_steps: runaway search (bug)");
+    }
+  }
+  return s;
+}
+
+std::int32_t ceil_log2(std::uint64_t n) {
+  if (n < 1) throw std::invalid_argument("ceil_log2: n < 1");
+  std::int32_t bits = 0;
+  std::uint64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace nimcast::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace nimcast::core {
+
+/// Saturation value for coverage counts: once a k-binomial tree covers
+/// this many nodes it covers "everything we will ever ask about".
+inline constexpr std::uint64_t kCoverageInfinity = UINT64_C(1) << 62;
+
+/// N(s, k) and t_1(n, k) — the paper's Lemma 1 machinery.
+///
+/// N(s, k) is the number of nodes (source included) a k-binomial tree
+/// covers in s steps:
+///
+///     N(s, k) = 2^s                               for s <= k
+///     N(s, k) = 1 + sum_{i=1..k} N(s - i, k)      for s >  k
+///
+/// Values are memoized and saturate at kCoverageInfinity, so callers can
+/// compare without overflow. t_1(n, k) is the minimum s with
+/// N(s, k) >= n: the number of steps a single-packet multicast over the
+/// k-binomial tree needs to reach n - 1 destinations.
+class CoverageTable {
+ public:
+  /// N(s, k); requires s >= 0, k >= 1.
+  [[nodiscard]] std::uint64_t coverage(std::int32_t s, std::int32_t k);
+
+  /// t_1(n, k): minimum steps to cover a multicast set of size n
+  /// (source included); requires n >= 1, k >= 1.
+  [[nodiscard]] std::int32_t min_steps(std::uint64_t n, std::int32_t k);
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> memo_;
+};
+
+/// ceil(log2(n)) for n >= 1; the step count of the unrestricted binomial
+/// tree and the upper end of the paper's optimal-k search interval.
+[[nodiscard]] std::int32_t ceil_log2(std::uint64_t n);
+
+}  // namespace nimcast::core

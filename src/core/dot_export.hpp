@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "core/host_tree.hpp"
+#include "core/tree.hpp"
+#include "topology/topology.hpp"
+
+namespace nimcast::core {
+
+/// Graphviz DOT renderings of the library's structures — for papers,
+/// debugging and the examples. Render with e.g.
+/// `dot -Tsvg tree.dot -o tree.svg`.
+
+/// A rank tree; edges are labeled with the send step of the paper's
+/// single-packet schedule, so the drawing reads like the paper's Figs. 5
+/// and 9 (numbers in brackets).
+[[nodiscard]] std::string to_dot(const RankTree& tree);
+
+/// A host-bound tree; node labels are host ids, the root is doubled.
+[[nodiscard]] std::string to_dot(const HostTree& tree);
+
+/// The physical system: boxes for switches, circles for hosts.
+[[nodiscard]] std::string to_dot(const topo::Topology& topology);
+
+/// Writes any of the above to a file. Throws on I/O failure.
+void write_dot(const std::string& dot, const std::string& path);
+
+}  // namespace nimcast::core

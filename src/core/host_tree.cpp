@@ -1,0 +1,24 @@
+#include "core/host_tree.hpp"
+
+#include <stdexcept>
+
+namespace nimcast::core {
+
+HostTree HostTree::bind(const RankTree& tree, const Chain& order) {
+  if (static_cast<std::size_t>(tree.size()) != order.size()) {
+    throw std::invalid_argument("HostTree::bind: size mismatch");
+  }
+  HostTree out;
+  out.root = order.front();
+  out.nodes = order;
+  for (std::int32_t r = 0; r < tree.size(); ++r) {
+    const topo::HostId h = order[static_cast<std::size_t>(r)];
+    auto& kids = out.children[h];
+    for (std::int32_t c : tree.children[static_cast<std::size_t>(r)]) {
+      kids.push_back(order[static_cast<std::size_t>(c)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace nimcast::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/ordering.hpp"
+#include "core/tree.hpp"
+#include "topology/ids.hpp"
+
+namespace nimcast::core {
+
+/// A multicast tree bound to concrete hosts: rank r of a RankTree mapped
+/// to `order[r]`. This is what gets installed into NI forwarding tables.
+struct HostTree {
+  topo::HostId root = topo::kInvalidId;
+  /// Children in send order; every participant has an entry (leaves map
+  /// to empty vectors).
+  std::unordered_map<topo::HostId, std::vector<topo::HostId>> children;
+  /// All participants, root first, in rank order.
+  std::vector<topo::HostId> nodes;
+
+  [[nodiscard]] std::int32_t size() const {
+    return static_cast<std::int32_t>(nodes.size());
+  }
+  [[nodiscard]] std::int32_t root_children() const {
+    return static_cast<std::int32_t>(children.at(root).size());
+  }
+
+  /// Binds `tree` (over ranks) to the participant arrangement `order`
+  /// (source first — see arrange_participants). Sizes must match.
+  [[nodiscard]] static HostTree bind(const RankTree& tree, const Chain& order);
+};
+
+}  // namespace nimcast::core

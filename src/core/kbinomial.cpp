@@ -1,0 +1,83 @@
+#include "core/kbinomial.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nimcast::core {
+namespace {
+
+/// Covers chain segment [lo..hi] from the node at `lo`, which has `s`
+/// steps of budget. Precondition: N(s, k) >= hi - lo + 1.
+///
+/// Child at send step i may root a subtree of up to N(s-i, k) nodes.
+/// When the segment is smaller than N(s, k), the deficit is absorbed by
+/// the *earliest* children (largest capacity, most slack): sizes are
+/// assigned from the last child backward, each taking its full capacity,
+/// and whatever remains goes to earlier children. This keeps the root's
+/// child count maximal — no descendant ever has more children than the
+/// root, which is what makes the Theorem 1 pipeline gap equal c_R and
+/// matches the shapes of the paper's Fig. 9.
+void build_segment(RankTree& tree, CoverageTable& cov, std::int32_t lo,
+                   std::int32_t hi, std::int32_t s, std::int32_t k) {
+  const auto span = static_cast<std::uint64_t>(hi - lo);
+  if (span == 0) return;
+  const std::int32_t max_children = std::min(k, s);
+  if (max_children <= 0) {
+    throw std::logic_error("make_kbinomial: budget exhausted (bug)");
+  }
+  std::vector<std::uint64_t> size(static_cast<std::size_t>(max_children) + 1,
+                                  0);
+  std::uint64_t remaining = span;
+  for (std::int32_t i = max_children; i >= 1 && remaining > 0; --i) {
+    const std::uint64_t cap = cov.coverage(s - i, k);
+    size[static_cast<std::size_t>(i)] = std::min(cap, remaining);
+    remaining -= size[static_cast<std::size_t>(i)];
+  }
+  if (remaining != 0) {
+    throw std::logic_error("make_kbinomial: segment not coverable (bug)");
+  }
+  // Children in send order (step 1 first) take segments right to left,
+  // per the Fig. 11 geometry. Zero-size steps are skipped; skipping only
+  // grants later children extra step budget, never less.
+  std::int32_t right = hi;
+  for (std::int32_t i = 1; i <= max_children; ++i) {
+    const auto take = static_cast<std::int32_t>(size[static_cast<std::size_t>(i)]);
+    if (take == 0) continue;
+    const std::int32_t child = right - take + 1;
+    tree.children[static_cast<std::size_t>(lo)].push_back(child);
+    tree.parent[static_cast<std::size_t>(child)] = lo;
+    build_segment(tree, cov, child, right, s - i, k);
+    right = child - 1;
+  }
+  if (right != lo) {
+    throw std::logic_error("make_kbinomial: segment not covered (bug)");
+  }
+}
+
+}  // namespace
+
+RankTree make_kbinomial(std::int32_t n, std::int32_t k) {
+  if (n < 1) throw std::invalid_argument("make_kbinomial: n < 1");
+  if (k < 1) throw std::invalid_argument("make_kbinomial: k < 1");
+  RankTree tree;
+  tree.parent.assign(static_cast<std::size_t>(n), -1);
+  tree.children.assign(static_cast<std::size_t>(n), {});
+  if (n == 1) return tree;
+  CoverageTable cov;
+  const std::int32_t s = cov.min_steps(static_cast<std::uint64_t>(n), k);
+  build_segment(tree, cov, 0, n - 1, s, k);
+  return tree;
+}
+
+RankTree make_binomial(std::int32_t n) {
+  if (n < 1) throw std::invalid_argument("make_binomial: n < 1");
+  const std::int32_t k =
+      std::max<std::int32_t>(1, ceil_log2(static_cast<std::uint64_t>(n)));
+  return make_kbinomial(n, k);
+}
+
+RankTree make_linear(std::int32_t n) { return make_kbinomial(n, 1); }
+
+}  // namespace nimcast::core

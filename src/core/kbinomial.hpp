@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/coverage.hpp"
+#include "core/tree.hpp"
+
+namespace nimcast::core {
+
+/// Builds the k-binomial tree over n chain-ordered ranks (Definition 1 +
+/// the Fig. 11 construction).
+///
+/// The source (rank 0) sends first to the node N(s-1, k) places from the
+/// right end of the chain, then N(s-2, k) places left of that recipient,
+/// and so on for up to k children; each child recursively covers the
+/// chain segment to its right. Because routes between disjoint chain
+/// segments are link-disjoint on a contention-free ordering, the
+/// resulting tree is depth-contention-free.
+///
+/// Requires n >= 1 and k >= 1. The tree completes a single-packet
+/// multicast in exactly t_1(n, k) steps and no vertex exceeds k children.
+[[nodiscard]] RankTree make_kbinomial(std::int32_t n, std::int32_t k);
+
+/// The conventional binomial tree: recursive doubling with unbounded
+/// fan-out, i.e. the k-binomial tree with k = ceil(log2 n). Optimal for
+/// single-packet multicast (McKinley et al.), not for multi-packet FPFS
+/// multicast (paper Section 2.6).
+[[nodiscard]] RankTree make_binomial(std::int32_t n);
+
+/// The linear tree (chain): the k-binomial tree with k = 1. The paper's
+/// Figure 5(b) counterexample showing binomial is not optimal under
+/// packetization.
+[[nodiscard]] RankTree make_linear(std::int32_t n);
+
+}  // namespace nimcast::core

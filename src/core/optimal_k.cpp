@@ -1,0 +1,72 @@
+#include "core/optimal_k.hpp"
+
+#include <stdexcept>
+
+namespace nimcast::core {
+
+OptimalChoice optimal_k(std::int32_t n, std::int32_t m, CoverageTable& cov) {
+  if (n < 1) throw std::invalid_argument("optimal_k: n < 1");
+  if (m < 1) throw std::invalid_argument("optimal_k: m < 1");
+  if (n == 1) return OptimalChoice{1, 0, 0};
+  const std::int32_t k_max = ceil_log2(static_cast<std::uint64_t>(n));
+  OptimalChoice best;
+  bool have = false;
+  for (std::int32_t k = 1; k <= std::max<std::int32_t>(1, k_max); ++k) {
+    const std::int32_t t1 = cov.min_steps(static_cast<std::uint64_t>(n), k);
+    const std::int64_t total =
+        t1 + static_cast<std::int64_t>(m - 1) * static_cast<std::int64_t>(k);
+    // `<=` implements the larger-k tie-break (k ascends).
+    if (!have || total <= best.total_steps) {
+      best = OptimalChoice{k, t1, total};
+      have = true;
+    }
+  }
+  return best;
+}
+
+OptimalChoice optimal_k(std::int32_t n, std::int32_t m) {
+  CoverageTable cov;
+  return optimal_k(n, m, cov);
+}
+
+OptimalKTable::OptimalKTable(std::int32_t max_n, std::int32_t max_m)
+    : max_n_{max_n}, max_m_{max_m} {
+  if (max_n < 2 || max_m < 1) {
+    throw std::invalid_argument("OptimalKTable: max_n >= 2, max_m >= 1");
+  }
+  CoverageTable cov;
+  per_n_.resize(static_cast<std::size_t>(max_n) + 1);
+  for (std::int32_t n = 2; n <= max_n; ++n) {
+    auto& segments = per_n_[static_cast<std::size_t>(n)];
+    for (std::int32_t m = 1; m <= max_m; ++m) {
+      const OptimalChoice c = optimal_k(n, m, cov);
+      if (segments.empty() || segments.back().k != c.k) {
+        segments.push_back(Segment{m, c.k, c.t1});
+      }
+    }
+  }
+}
+
+OptimalChoice OptimalKTable::lookup(std::int32_t n, std::int32_t m) const {
+  if (n < 2 || n > max_n_ || m < 1 || m > max_m_) {
+    throw std::out_of_range("OptimalKTable::lookup: (n, m) outside table");
+  }
+  const auto& segments = per_n_[static_cast<std::size_t>(n)];
+  const Segment* chosen = &segments.front();
+  for (const Segment& s : segments) {
+    if (s.m_from <= m) chosen = &s;
+  }
+  OptimalChoice out;
+  out.k = chosen->k;
+  out.t1 = chosen->t1;
+  out.total_steps = chosen->t1 + static_cast<std::int64_t>(m - 1) * chosen->k;
+  return out;
+}
+
+std::size_t OptimalKTable::stored_entries() const {
+  std::size_t total = 0;
+  for (const auto& v : per_n_) total += v.size();
+  return total;
+}
+
+}  // namespace nimcast::core

@@ -1,0 +1,102 @@
+#include "core/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nimcast::core {
+
+Chain cco_ordering(const topo::Topology& topology,
+                   const routing::UpDownRouter& router) {
+  const auto& g = topology.switches();
+  const auto& level = router.levels();
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+
+  // Up-tree children: v's parent is its lowest-id strictly-higher
+  // neighbor (with BFS levels this is exactly the level-1 parent).
+  // Switches at the minimum level are forest roots — a single one for
+  // BFS orientations, every spine for explicit level functions.
+  std::int32_t min_level = level[0];
+  for (std::int32_t lv : level) min_level = std::min(min_level, lv);
+  std::vector<std::vector<topo::SwitchId>> tree_children(n);
+  std::vector<topo::SwitchId> roots;
+  for (topo::SwitchId v = 0; v < g.num_vertices(); ++v) {
+    if (level[static_cast<std::size_t>(v)] == min_level) {
+      roots.push_back(v);
+      continue;
+    }
+    topo::SwitchId parent = topo::kInvalidId;
+    for (topo::LinkId e : g.incident(v)) {
+      const topo::SwitchId w = g.edge(e).other(v);
+      if (level[static_cast<std::size_t>(w)] <
+          level[static_cast<std::size_t>(v)]) {
+        if (parent == topo::kInvalidId || w < parent) parent = w;
+      }
+    }
+    if (parent == topo::kInvalidId) {
+      throw std::logic_error("cco_ordering: level structure broken");
+    }
+    tree_children[static_cast<std::size_t>(parent)].push_back(v);
+  }
+  for (auto& kids : tree_children) std::sort(kids.begin(), kids.end());
+
+  // Preorder DFS from each root (ascending id); hosts of each switch
+  // appended in ascending id order.
+  Chain chain;
+  chain.reserve(static_cast<std::size_t>(topology.num_hosts()));
+  std::vector<topo::SwitchId> stack{roots.rbegin(), roots.rend()};
+  while (!stack.empty()) {
+    const topo::SwitchId v = stack.back();
+    stack.pop_back();
+    for (topo::HostId h : topology.hosts_of(v)) chain.push_back(h);
+    const auto& kids = tree_children[static_cast<std::size_t>(v)];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  if (chain.size() != static_cast<std::size_t>(topology.num_hosts())) {
+    throw std::logic_error("cco_ordering: chain misses hosts");
+  }
+  return chain;
+}
+
+Chain dimension_chain(const topo::Topology& topology) {
+  Chain chain(static_cast<std::size_t>(topology.num_hosts()));
+  std::iota(chain.begin(), chain.end(), 0);
+  return chain;
+}
+
+Chain random_ordering(std::int32_t num_hosts, sim::Rng& rng) {
+  Chain chain(static_cast<std::size_t>(num_hosts));
+  std::iota(chain.begin(), chain.end(), 0);
+  rng.shuffle(chain);
+  return chain;
+}
+
+Chain arrange_participants(const Chain& chain, topo::HostId source,
+                           const std::vector<topo::HostId>& dests) {
+  std::unordered_set<topo::HostId> want{dests.begin(), dests.end()};
+  if (want.size() != dests.size()) {
+    throw std::invalid_argument("arrange_participants: duplicate destination");
+  }
+  if (want.contains(source)) {
+    throw std::invalid_argument("arrange_participants: source in dests");
+  }
+  want.insert(source);
+
+  // Participants in chain order.
+  Chain members;
+  members.reserve(want.size());
+  for (topo::HostId h : chain) {
+    if (want.contains(h)) members.push_back(h);
+  }
+  if (members.size() != want.size()) {
+    throw std::invalid_argument(
+        "arrange_participants: participant missing from chain");
+  }
+  // Rotate so the source leads.
+  const auto it = std::find(members.begin(), members.end(), source);
+  std::rotate(members.begin(), it, members.end());
+  return members;
+}
+
+}  // namespace nimcast::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "routing/up_down.hpp"
+#include "sim/rng.hpp"
+#include "topology/kary_ncube.hpp"
+#include "topology/topology.hpp"
+
+namespace nimcast::core {
+
+/// A chain: a permutation of all hosts used as the base ordering for
+/// contention-free tree construction (paper Section 4.3.2).
+using Chain = std::vector<topo::HostId>;
+
+/// Chain-concatenated ordering for irregular up*/down*-routed networks.
+///
+/// Follows the CCO idea of the paper's reference [5]: switches are
+/// visited by a depth-first, left-to-right traversal of the up*/down* BFS
+/// tree (children in ascending id order), and each switch contributes its
+/// attached hosts consecutively. Hosts in disjoint subtrees then occupy
+/// disjoint chain ranges and their mutual routes avoid each other's
+/// subtree links, which is the property the recursive Fig. 11
+/// construction needs. (The reference's exact construction is not public;
+/// DESIGN.md documents this substitution.)
+[[nodiscard]] Chain cco_ordering(const topo::Topology& topology,
+                                 const routing::UpDownRouter& router);
+
+/// Dimension-ordered chain for k-ary n-cubes: hosts sorted
+/// lexicographically by coordinates, most significant dimension last in
+/// routing order — which for our node numbering is simply ascending host
+/// id. Contention-free for e-cube routing (McKinley et al.).
+[[nodiscard]] Chain dimension_chain(const topo::Topology& topology);
+
+/// Uniformly random permutation — the "no ordering discipline" baseline
+/// for the ordering ablation.
+[[nodiscard]] Chain random_ordering(std::int32_t num_hosts, sim::Rng& rng);
+
+/// Restricts `chain` to a multicast set and rotates it so `source` comes
+/// first (the paper's "without loss of generality, the source is the
+/// first node in the ordering"). `dests` must not contain `source`;
+/// duplicates are rejected. The result lists source at index 0 followed
+/// by the destinations in (rotated) chain order.
+[[nodiscard]] Chain arrange_participants(const Chain& chain,
+                                         topo::HostId source,
+                                         const std::vector<topo::HostId>& dests);
+
+}  // namespace nimcast::core

@@ -1,0 +1,66 @@
+#include "core/ordering_quality.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nimcast::core {
+namespace {
+
+bool routes_conflict(const topo::Topology& topology,
+                     const routing::RouteTable& routes, topo::HostId a,
+                     topo::HostId b, topo::HostId c, topo::HostId d) {
+  return !routes.disjoint(topology.switches(), a, b, c, d);
+}
+
+}  // namespace
+
+OrderingQuality assess_ordering_exhaustive(const topo::Topology& topology,
+                                           const routing::RouteTable& routes,
+                                           const Chain& chain) {
+  const auto n = static_cast<std::int64_t>(chain.size());
+  if (n > 32) {
+    throw std::invalid_argument(
+        "assess_ordering_exhaustive: > 32 hosts; use the sampled variant");
+  }
+  OrderingQuality q;
+  for (std::int64_t a = 0; a < n; ++a) {
+    for (std::int64_t b = a; b < n; ++b) {
+      for (std::int64_t c = b + 1; c < n; ++c) {
+        for (std::int64_t d = c; d < n; ++d) {
+          ++q.checked;
+          if (routes_conflict(topology, routes,
+                              chain[static_cast<std::size_t>(a)],
+                              chain[static_cast<std::size_t>(b)],
+                              chain[static_cast<std::size_t>(c)],
+                              chain[static_cast<std::size_t>(d)])) {
+            ++q.violations;
+          }
+        }
+      }
+    }
+  }
+  return q;
+}
+
+OrderingQuality assess_ordering_sampled(const topo::Topology& topology,
+                                        const routing::RouteTable& routes,
+                                        const Chain& chain,
+                                        std::int64_t samples, sim::Rng& rng) {
+  const auto n = chain.size();
+  if (n < 4) throw std::invalid_argument("assess_ordering_sampled: n < 4");
+  OrderingQuality q;
+  for (std::int64_t s = 0; s < samples; ++s) {
+    // Draw four distinct positions and sort them into a <= b < c <= d
+    // (collapse to "a <= b" / "c <= d" pairs by using the middle split).
+    auto pos = rng.sample_without_replacement(n, 4);
+    std::sort(pos.begin(), pos.end());
+    ++q.checked;
+    if (routes_conflict(topology, routes, chain[pos[0]], chain[pos[1]],
+                        chain[pos[2]], chain[pos[3]])) {
+      ++q.violations;
+    }
+  }
+  return q;
+}
+
+}  // namespace nimcast::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/ordering.hpp"
+#include "routing/route_table.hpp"
+#include "sim/rng.hpp"
+#include "topology/topology.hpp"
+
+namespace nimcast::core {
+
+/// Quantifies how contention-free a base ordering is (paper Section
+/// 4.3.2 / Definition of contention-free ordering).
+///
+/// An ordering is contention-free iff for all chain positions
+/// a <= b < c <= d, the route chain[a] -> chain[b] shares no directed
+/// channel with chain[c] -> chain[d]. That is exactly the pattern the
+/// Fig. 11 construction generates: rightward messages inside disjoint
+/// chain segments. The paper notes no fully contention-free ordering
+/// exists for up*/down*-routed irregular networks, so the interesting
+/// quantity is the *violation rate* — which this module measures, either
+/// exhaustively (small systems) or by sampling.
+struct OrderingQuality {
+  std::int64_t checked = 0;     ///< quadruples examined
+  std::int64_t violations = 0;  ///< quadruples whose routes share a channel
+
+  [[nodiscard]] double violation_rate() const {
+    return checked == 0 ? 0.0
+                        : static_cast<double>(violations) /
+                              static_cast<double>(checked);
+  }
+  [[nodiscard]] bool contention_free() const { return violations == 0; }
+};
+
+/// Exhaustive check over all O(n^4) quadruples. Feasible up to ~20 hosts;
+/// throws beyond 32 to protect callers from accidental hour-long loops.
+[[nodiscard]] OrderingQuality assess_ordering_exhaustive(
+    const topo::Topology& topology, const routing::RouteTable& routes,
+    const Chain& chain);
+
+/// Monte-Carlo estimate over `samples` uniformly drawn quadruples.
+[[nodiscard]] OrderingQuality assess_ordering_sampled(
+    const topo::Topology& topology, const routing::RouteTable& routes,
+    const Chain& chain, std::int64_t samples, sim::Rng& rng);
+
+}  // namespace nimcast::core

@@ -1,0 +1,96 @@
+#include "core/tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nimcast::core {
+
+std::int32_t RankTree::max_children() const {
+  std::size_t best = 0;
+  for (const auto& c : children) best = std::max(best, c.size());
+  return static_cast<std::int32_t>(best);
+}
+
+void RankTree::validate() const {
+  const auto n = static_cast<std::size_t>(size());
+  if (n == 0) throw std::logic_error("RankTree: empty");
+  if (children.size() != n) {
+    throw std::logic_error("RankTree: parent/children size mismatch");
+  }
+  if (parent[0] != -1) throw std::logic_error("RankTree: rank 0 has a parent");
+  std::vector<bool> seen(n, false);
+  seen[0] = true;
+  std::size_t reached = 1;
+  // Children lists must form a consistent, acyclic covering: walk in BFS
+  // order from the root.
+  std::vector<std::int32_t> frontier{0};
+  while (!frontier.empty()) {
+    std::vector<std::int32_t> next;
+    for (std::int32_t v : frontier) {
+      for (std::int32_t c : children[static_cast<std::size_t>(v)]) {
+        if (c < 0 || c >= size()) {
+          throw std::logic_error("RankTree: child out of range");
+        }
+        if (seen[static_cast<std::size_t>(c)]) {
+          throw std::logic_error("RankTree: node reached twice");
+        }
+        if (parent[static_cast<std::size_t>(c)] != v) {
+          throw std::logic_error("RankTree: parent link mismatch");
+        }
+        seen[static_cast<std::size_t>(c)] = true;
+        ++reached;
+        next.push_back(c);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (reached != n) throw std::logic_error("RankTree: unreachable nodes");
+}
+
+std::vector<std::int32_t> RankTree::single_packet_steps() const {
+  std::vector<std::int32_t> step(static_cast<std::size_t>(size()), 0);
+  // Parents are always processed before children when walking ranks in
+  // tree (BFS) order; do an explicit traversal to avoid assuming rank
+  // order correlates with depth.
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const std::int32_t v = stack.back();
+    stack.pop_back();
+    const auto& kids = children[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      step[static_cast<std::size_t>(kids[i])] =
+          step[static_cast<std::size_t>(v)] + static_cast<std::int32_t>(i) + 1;
+      stack.push_back(kids[i]);
+    }
+  }
+  return step;
+}
+
+std::int32_t RankTree::steps_to_complete() const {
+  const auto steps = single_packet_steps();
+  return *std::max_element(steps.begin(), steps.end());
+}
+
+namespace {
+
+void render(const RankTree& t, std::int32_t v, std::string& out) {
+  out += std::to_string(v);
+  const auto& kids = t.children[static_cast<std::size_t>(v)];
+  if (kids.empty()) return;
+  out += " -> (";
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    if (i > 0) out += ", ";
+    render(t, kids[i], out);
+  }
+  out += ")";
+}
+
+}  // namespace
+
+std::string RankTree::to_string() const {
+  std::string out;
+  render(*this, 0, out);
+  return out;
+}
+
+}  // namespace nimcast::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nimcast::core {
+
+/// A multicast tree over *ranks* 0..n-1, rank 0 being the source.
+///
+/// Ranks are positions in a (contention-free) chain ordering of the
+/// participants; `HostTree` later binds them to concrete hosts. Children
+/// lists are in *send order* — the order in which a node transmits to its
+/// children — which both the step model and the NI disciplines honor, and
+/// which the contention-free construction (paper Fig. 11) prescribes:
+/// the first child is the one whose subtree lies farthest down the chain.
+struct RankTree {
+  std::vector<std::int32_t> parent;                 ///< parent[0] == -1
+  std::vector<std::vector<std::int32_t>> children;  ///< send order
+
+  [[nodiscard]] std::int32_t size() const {
+    return static_cast<std::int32_t>(parent.size());
+  }
+  [[nodiscard]] std::int32_t root_children() const {
+    return children.empty() ? 0
+                            : static_cast<std::int32_t>(children[0].size());
+  }
+  /// Maximum children count over all nodes — the k of a k-binomial tree.
+  [[nodiscard]] std::int32_t max_children() const;
+
+  /// Structural validation: every non-root has exactly one parent, edges
+  /// are consistent, the tree is connected and acyclic. Throws on
+  /// violation; used by tests and the builders' postconditions.
+  void validate() const;
+
+  /// Step at which each rank receives a single-packet multicast under the
+  /// paper's step model: a node that received at step t sends to its i-th
+  /// child (1-based, send order) at step t + i. Rank 0 holds the packet
+  /// at step 0.
+  [[nodiscard]] std::vector<std::int32_t> single_packet_steps() const;
+
+  /// max(single_packet_steps) — the paper's t_1 for this tree.
+  [[nodiscard]] std::int32_t steps_to_complete() const;
+
+  /// Human-readable rendering, e.g. "0 -> (2 -> (3), 1)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace nimcast::core

@@ -1,0 +1,107 @@
+#include "harness/cli.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nimcast::harness {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "nimcast";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("Cli: positional argument '" + arg +
+                                  "' not supported");
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not an option; bare flag
+    // otherwise.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";
+    }
+  }
+}
+
+Cli& Cli::describe(const std::string& name, const std::string& help) {
+  docs_.emplace_back(name, help);
+  return *this;
+}
+
+const std::string* Cli::raw(const std::string& name) {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) {
+  const std::string* v = raw(name);
+  return v == nullptr ? fallback : *v;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) {
+  const std::string* v = raw(name);
+  if (v == nullptr) return fallback;
+  std::size_t pos = 0;
+  const std::int64_t out = std::stoll(*v, &pos);
+  if (pos != v->size()) {
+    throw std::invalid_argument("Cli: --" + name + " expects an integer");
+  }
+  return out;
+}
+
+double Cli::get_double(const std::string& name, double fallback) {
+  const std::string* v = raw(name);
+  if (v == nullptr) return fallback;
+  std::size_t pos = 0;
+  const double out = std::stod(*v, &pos);
+  if (pos != v->size()) {
+    throw std::invalid_argument("Cli: --" + name + " expects a number");
+  }
+  return out;
+}
+
+bool Cli::get_flag(const std::string& name) {
+  const std::string* v = raw(name);
+  if (v == nullptr) return false;
+  if (v->empty() || *v == "true" || *v == "1") return true;
+  if (*v == "false" || *v == "0") return false;
+  throw std::invalid_argument("Cli: --" + name + " is a flag");
+}
+
+bool Cli::finish() const {
+  std::string leftovers;
+  for (const auto& [name, value] : values_) {
+    if (!consumed_.contains(name)) {
+      leftovers += " --" + name;
+    }
+  }
+  if (!leftovers.empty()) {
+    throw std::invalid_argument("Cli: unknown option(s):" + leftovers);
+  }
+  return !help_;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [options]\n";
+  for (const auto& [name, help] : docs_) {
+    os << "  --" << name;
+    for (std::size_t pad = name.size(); pad < 18; ++pad) os << ' ';
+    os << help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace nimcast::harness

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nimcast::harness {
+
+/// Minimal command-line option parser for the bench/CLI binaries.
+///
+/// Accepts `--name value` and `--name=value` options plus bare `--flag`
+/// switches. Unknown options are an error at `finish()` so typos fail
+/// fast, and every option documented via `describe` appears in `usage()`.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Registers documentation for an option (shown by usage()).
+  Cli& describe(const std::string& name, const std::string& help);
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback);
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback);
+  [[nodiscard]] double get_double(const std::string& name, double fallback);
+  /// Bare switch (or --name true/false).
+  [[nodiscard]] bool get_flag(const std::string& name);
+
+  /// Validates that every supplied option was consumed; throws
+  /// std::invalid_argument listing leftovers otherwise. Returns false
+  /// when --help was passed (caller should print usage() and exit 0).
+  [[nodiscard]] bool finish() const;
+
+  [[nodiscard]] std::string usage() const;
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  [[nodiscard]] const std::string* raw(const std::string& name);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;  ///< name -> value ("" = flag)
+  mutable std::set<std::string> consumed_;
+  std::vector<std::pair<std::string, std::string>> docs_;
+  bool help_ = false;
+};
+
+}  // namespace nimcast::harness

@@ -1,0 +1,72 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace nimcast::harness {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_{std::move(headers)} {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: column count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = static_cast<std::size_t>(2) * (headers_.size() - 1);
+  for (std::size_t w : width) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("Table::write_csv: cannot open " + path);
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].find(',') != std::string::npos) {
+        throw std::invalid_argument("Table::write_csv: comma in cell");
+      }
+      out << (c == 0 ? "" : ",") << row[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace nimcast::harness

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nimcast::harness {
+
+/// Fixed-width text table, the format every bench binary prints its
+/// figure/table data in. Cells are strings; numeric helpers format with
+/// sensible precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` decimals.
+  [[nodiscard]] static std::string num(double v, int digits = 1);
+  [[nodiscard]] static std::string num(std::int64_t v);
+
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting needed for our cell contents;
+  /// commas in cells are rejected).
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nimcast::harness

@@ -1,0 +1,107 @@
+#include "harness/testbed.hpp"
+
+#include <stdexcept>
+
+#include "core/host_tree.hpp"
+#include "sim/rng.hpp"
+
+namespace nimcast::harness {
+
+void MeasurePoint::merge(const MeasurePoint& other) {
+  latency_us.merge(other.latency_us);
+  block_us.merge(other.block_us);
+  peak_buffer.merge(other.peak_buffer);
+  buffer_integral.merge(other.buffer_integral);
+}
+
+MeasurePoint measure_point(const topo::Topology& topology,
+                           const routing::RouteTable& routes,
+                           const core::Chain& base_chain,
+                           const netif::SystemParams& params,
+                           const net::NetworkConfig& network, std::int32_t n,
+                           std::int32_t m, const TreeSpec& spec,
+                           mcast::NiStyle style, OrderingKind ordering,
+                           std::int32_t repetitions, std::uint64_t seed) {
+  const std::int32_t num_hosts = topology.num_hosts();
+  if (n < 2 || n > num_hosts) {
+    throw std::invalid_argument("measure_point: n out of [2, hosts]");
+  }
+  if (m < 1) throw std::invalid_argument("measure_point: m < 1");
+  if (repetitions < 1) {
+    throw std::invalid_argument("measure_point: repetitions < 1");
+  }
+
+  const core::RankTree rank_tree = spec.build(n, m);
+  mcast::MulticastEngine engine{
+      topology, routes,
+      mcast::MulticastEngine::Config{params, network, style}};
+
+  MeasurePoint point;
+  for (std::int32_t rep = 0; rep < repetitions; ++rep) {
+    // One deterministic stream per repetition: every tree and NI variant
+    // sees identical participant draws.
+    sim::Rng rng{seed ^
+                 (UINT64_C(0xbf58476d1ce4e5b9) *
+                  (static_cast<std::uint64_t>(rep) + 1))};
+    const auto draw = rng.sample_without_replacement(
+        static_cast<std::size_t>(num_hosts), static_cast<std::size_t>(n));
+    const auto source = static_cast<topo::HostId>(draw.front());
+    std::vector<topo::HostId> dests;
+    dests.reserve(draw.size() - 1);
+    for (std::size_t i = 1; i < draw.size(); ++i) {
+      dests.push_back(static_cast<topo::HostId>(draw[i]));
+    }
+
+    const core::Chain base = ordering == OrderingKind::kCco
+                                 ? base_chain
+                                 : core::random_ordering(num_hosts, rng);
+    const core::Chain members =
+        core::arrange_participants(base, source, dests);
+    const core::HostTree tree = core::HostTree::bind(rank_tree, members);
+
+    const mcast::MulticastResult result = engine.run(tree, m);
+    point.latency_us.add(result.latency.as_us());
+    point.block_us.add(result.total_channel_block_time.as_us());
+    point.peak_buffer.add(result.peak_buffer());
+    point.buffer_integral.add(result.max_buffer_integral());
+  }
+  return point;
+}
+
+IrregularTestbed::IrregularTestbed(Config config) : cfg_{std::move(config)} {
+  if (cfg_.num_topologies < 1 || cfg_.sets_per_topology < 1) {
+    throw std::invalid_argument("IrregularTestbed: non-positive repetitions");
+  }
+  sim::Rng topo_rng{cfg_.seed};
+  instances_.reserve(static_cast<std::size_t>(cfg_.num_topologies));
+  for (std::int32_t t = 0; t < cfg_.num_topologies; ++t) {
+    Instance inst;
+    inst.topology = std::make_unique<topo::Topology>(
+        topo::make_irregular(cfg_.topology, topo_rng));
+    inst.router =
+        std::make_unique<routing::UpDownRouter>(inst.topology->switches());
+    inst.routes =
+        std::make_unique<routing::RouteTable>(*inst.topology, *inst.router);
+    inst.cco = core::cco_ordering(*inst.topology, *inst.router);
+    instances_.push_back(std::move(inst));
+  }
+}
+
+IrregularTestbed::Point IrregularTestbed::measure(std::int32_t n,
+                                                  std::int32_t m,
+                                                  const TreeSpec& spec,
+                                                  mcast::NiStyle style,
+                                                  OrderingKind ordering) const {
+  Point point;
+  for (std::size_t t = 0; t < instances_.size(); ++t) {
+    const Instance& inst = instances_[t];
+    const std::uint64_t seed =
+        cfg_.seed ^ (UINT64_C(0x9e3779b97f4a7c15) * (t + 1));
+    point.merge(measure_point(*inst.topology, *inst.routes, inst.cco,
+                              cfg_.params, cfg_.network, n, m, spec, style,
+                              ordering, cfg_.sets_per_topology, seed));
+  }
+  return point;
+}
+
+}  // namespace nimcast::harness

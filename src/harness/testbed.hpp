@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ordering.hpp"
+#include "harness/tree_spec.hpp"
+#include "mcast/multicast_engine.hpp"
+#include "netif/system_params.hpp"
+#include "network/network_config.hpp"
+#include "routing/route_table.hpp"
+#include "routing/up_down.hpp"
+#include "sim/stats.hpp"
+#include "topology/irregular.hpp"
+
+namespace nimcast::harness {
+
+/// Base ordering used when binding trees onto participants.
+enum class OrderingKind : std::uint8_t {
+  kCco,     ///< the supplied contention-free base chain
+  kRandom,  ///< fresh random permutation per repetition (ablation)
+};
+
+/// Measurement summaries of one sweep point.
+struct MeasurePoint {
+  sim::Summary latency_us;       ///< multicast latency per repetition
+  sim::Summary block_us;         ///< channel block time per repetition
+  sim::Summary peak_buffer;      ///< max NI buffer occupancy (packets)
+  sim::Summary buffer_integral;  ///< max per-NI packet-us integral
+
+  void merge(const MeasurePoint& other);
+};
+
+/// Runs `repetitions` multicasts of an m-packet message to n-1 random
+/// destinations on one concrete system (topology + routes + base chain),
+/// binding `spec`'s tree via `ordering`. Draws derive from `seed` alone,
+/// so identical seeds give identical participant sets across specs and
+/// styles — measurements are paired. This is the generic engine behind
+/// IrregularTestbed and the regular-network benches.
+[[nodiscard]] MeasurePoint measure_point(
+    const topo::Topology& topology, const routing::RouteTable& routes,
+    const core::Chain& base_chain, const netif::SystemParams& params,
+    const net::NetworkConfig& network, std::int32_t n, std::int32_t m,
+    const TreeSpec& spec, mcast::NiStyle style, OrderingKind ordering,
+    std::int32_t repetitions, std::uint64_t seed);
+
+/// The paper's evaluation rig (Section 5.2): a set of random irregular
+/// 64-host topologies with up*/down* routing and CCO base orderings,
+/// measured by averaging multicast latency over random destination sets.
+///
+/// Construction is the expensive part (route tables are all-pairs);
+/// `measure` replays identical destination sets for every tree/NI
+/// variant, so comparisons are paired.
+class IrregularTestbed {
+ public:
+  struct Config {
+    topo::IrregularConfig topology;
+    netif::SystemParams params;
+    net::NetworkConfig network;
+    std::int32_t num_topologies = 10;
+    std::int32_t sets_per_topology = 30;
+    std::uint64_t seed = 1997;
+  };
+
+  using Point = MeasurePoint;
+
+  explicit IrregularTestbed(Config config);
+
+  /// Multicast-set size `n` (source + n-1 destinations), `m` packets.
+  [[nodiscard]] Point measure(std::int32_t n, std::int32_t m,
+                              const TreeSpec& spec, mcast::NiStyle style,
+                              OrderingKind ordering = OrderingKind::kCco) const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] std::int32_t num_hosts() const {
+    return cfg_.topology.num_hosts;
+  }
+
+ private:
+  struct Instance {
+    std::unique_ptr<topo::Topology> topology;
+    std::unique_ptr<routing::UpDownRouter> router;
+    std::unique_ptr<routing::RouteTable> routes;
+    core::Chain cco;
+  };
+
+  Config cfg_;
+  std::vector<Instance> instances_;
+};
+
+}  // namespace nimcast::harness

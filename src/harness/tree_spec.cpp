@@ -1,0 +1,39 @@
+#include "harness/tree_spec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nimcast::harness {
+
+std::int32_t TreeSpec::resolve_k(std::int32_t n, std::int32_t m) const {
+  if (n < 1) throw std::invalid_argument("TreeSpec::resolve_k: n < 1");
+  switch (kind) {
+    case Kind::kBinomial:
+      return std::max<std::int32_t>(
+          1, core::ceil_log2(static_cast<std::uint64_t>(n)));
+    case Kind::kLinear:
+      return 1;
+    case Kind::kKBinomial:
+      if (fixed_k < 1) throw std::invalid_argument("TreeSpec: fixed_k < 1");
+      return fixed_k;
+    case Kind::kOptimal:
+      return core::optimal_k(n, m).k;
+  }
+  throw std::logic_error("TreeSpec::resolve_k: bad kind");
+}
+
+core::RankTree TreeSpec::build(std::int32_t n, std::int32_t m) const {
+  return core::make_kbinomial(n, resolve_k(n, m));
+}
+
+std::string TreeSpec::name() const {
+  switch (kind) {
+    case Kind::kBinomial: return "binomial";
+    case Kind::kLinear: return "linear";
+    case Kind::kKBinomial: return std::to_string(fixed_k) + "-binomial";
+    case Kind::kOptimal: return "opt-k-binomial";
+  }
+  return "?";
+}
+
+}  // namespace nimcast::harness

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/coverage.hpp"
+#include "core/kbinomial.hpp"
+#include "core/optimal_k.hpp"
+#include "core/tree.hpp"
+
+namespace nimcast::harness {
+
+/// Declarative multicast-tree choice, resolved per (n, m) point. The
+/// optimal spec re-solves Theorem 3 at every point, which is how the
+/// paper's "k-bin" curves are produced.
+struct TreeSpec {
+  enum class Kind : std::uint8_t {
+    kBinomial,   ///< k = ceil(log2 n) — the conventional baseline
+    kLinear,     ///< k = 1 — the chain
+    kKBinomial,  ///< fixed k
+    kOptimal,    ///< k from Theorem 3 for this (n, m)
+  };
+
+  Kind kind = Kind::kOptimal;
+  std::int32_t fixed_k = 1;  ///< used when kind == kKBinomial
+
+  [[nodiscard]] static TreeSpec binomial() { return {Kind::kBinomial, 0}; }
+  [[nodiscard]] static TreeSpec linear() { return {Kind::kLinear, 0}; }
+  [[nodiscard]] static TreeSpec kbinomial(std::int32_t k) {
+    return {Kind::kKBinomial, k};
+  }
+  [[nodiscard]] static TreeSpec optimal() { return {Kind::kOptimal, 0}; }
+
+  /// Builds the rank tree for a multicast set of size `n` (source
+  /// included) carrying `m` packets.
+  [[nodiscard]] core::RankTree build(std::int32_t n, std::int32_t m) const;
+
+  /// The k this spec resolves to at (n, m).
+  [[nodiscard]] std::int32_t resolve_k(std::int32_t n, std::int32_t m) const;
+
+  [[nodiscard]] std::string name() const;
+};
+
+}  // namespace nimcast::harness

@@ -1,0 +1,175 @@
+#include "mcast/multicast_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netif/conventional_ni.hpp"
+#include "netif/reliable_ni.hpp"
+#include "netif/host.hpp"
+#include "netif/smart_ni.hpp"
+#include "network/wormhole_network.hpp"
+#include "sim/simulator.hpp"
+
+namespace nimcast::mcast {
+
+const char* to_string(NiStyle s) {
+  switch (s) {
+    case NiStyle::kConventional: return "conventional";
+    case NiStyle::kSmartFcfs: return "smart-fcfs";
+    case NiStyle::kSmartFpfs: return "smart-fpfs";
+    case NiStyle::kReliableFpfs: return "reliable-fpfs";
+  }
+  return "?";
+}
+
+double MulticastResult::peak_buffer() const {
+  double best = 0.0;
+  for (const auto& b : buffers) best = std::max(best, b.peak_packets);
+  return best;
+}
+
+double MulticastResult::max_buffer_integral() const {
+  double best = 0.0;
+  for (const auto& b : buffers) best = std::max(best, b.packet_us_integral);
+  return best;
+}
+
+MulticastEngine::MulticastEngine(const topo::Topology& topology,
+                                 const routing::RouteTable& routes,
+                                 Config config, sim::Trace* trace)
+    : topology_{topology}, routes_{routes}, config_{config}, trace_{trace} {}
+
+MulticastResult MulticastEngine::run(const core::HostTree& tree,
+                                     std::int32_t packet_count) const {
+  MultiMulticastResult batch =
+      run_many({MulticastSpec{tree, packet_count, sim::Time::zero()}});
+  MulticastResult result = std::move(batch.operations.front());
+  result.buffers = std::move(batch.buffers);
+  result.total_channel_block_time = batch.total_channel_block_time;
+  return result;
+}
+
+MultiMulticastResult MulticastEngine::run_many(
+    const std::vector<MulticastSpec>& specs) const {
+  if (specs.empty()) {
+    throw std::invalid_argument("run_many: no operations");
+  }
+  std::unordered_set<topo::HostId> participants;
+  for (const auto& spec : specs) {
+    if (spec.packet_count < 1) {
+      throw std::invalid_argument("run_many: packet_count < 1");
+    }
+    if (spec.tree.size() < 1) {
+      throw std::invalid_argument("run_many: empty tree");
+    }
+    for (topo::HostId h : spec.tree.nodes) {
+      if (h < 0 || h >= topology_.num_hosts()) {
+        throw std::invalid_argument("run_many: host out of range");
+      }
+      participants.insert(h);
+    }
+  }
+
+  sim::Simulator simctx;
+  net::WormholeNetwork network{simctx, topology_, routes_, config_.network,
+                               trace_};
+
+  std::unordered_map<topo::HostId, std::unique_ptr<netif::NetworkInterface>>
+      nis;
+  std::unordered_map<topo::HostId, std::unique_ptr<netif::Host>> hosts;
+  for (topo::HostId h : participants) {
+    switch (config_.style) {
+      case NiStyle::kConventional:
+        nis.emplace(h, std::make_unique<netif::ConventionalNi>(
+                           simctx, network, config_.params, h, trace_));
+        break;
+      case NiStyle::kSmartFcfs:
+        nis.emplace(h, std::make_unique<netif::FcfsNi>(
+                           simctx, network, config_.params, h, trace_));
+        break;
+      case NiStyle::kSmartFpfs:
+        nis.emplace(h, std::make_unique<netif::FpfsNi>(
+                           simctx, network, config_.params, h, trace_));
+        break;
+      case NiStyle::kReliableFpfs:
+        nis.emplace(h, std::make_unique<netif::ReliableFpfsNi>(
+                           simctx, network, config_.params,
+                           config_.reliability, h, trace_));
+        break;
+    }
+    hosts.emplace(h, std::make_unique<netif::Host>(simctx, h, config_.params));
+  }
+
+  // Forwarding state: one message id per operation.
+  for (std::size_t op = 0; op < specs.size(); ++op) {
+    const auto message = static_cast<net::MessageId>(op + 1);
+    const auto& spec = specs[op];
+    for (topo::HostId h : spec.tree.nodes) {
+      netif::ForwardingEntry entry;
+      entry.children = spec.tree.children.at(h);
+      entry.packet_count = spec.packet_count;
+      entry.is_destination = (h != spec.tree.root);
+      nis.at(h)->install(message, entry);
+    }
+  }
+
+  MultiMulticastResult batch;
+  batch.operations.resize(specs.size());
+  for (auto& [h, ni] : nis) {
+    ni->deliver_to = [&nis](topo::HostId dest, const net::Packet& p) {
+      nis.at(dest)->deliver(p);
+    };
+    ni->on_message_at_ni = [&, this](topo::HostId dest, net::MessageId msg) {
+      const auto op = static_cast<std::size_t>(msg - 1);
+      auto& result = batch.operations[op];
+      result.ni_latency =
+          std::max(result.ni_latency, simctx.now() - specs[op].start);
+      auto& host = *hosts.at(dest);
+      host.software_receive([&, dest, msg, op] {
+        batch.operations[op].completions.emplace_back(dest, simctx.now());
+        nis.at(dest)->after_host_receive(msg, *hosts.at(dest));
+      });
+    };
+  }
+
+  for (std::size_t op = 0; op < specs.size(); ++op) {
+    const auto message = static_cast<net::MessageId>(op + 1);
+    const topo::HostId root = specs[op].tree.root;
+    simctx.schedule_at(specs[op].start, [&nis, &hosts, root, message] {
+      nis.at(root)->start_from_host(message, *hosts.at(root));
+    });
+  }
+  simctx.run();
+
+  if (network.in_flight() != 0) {
+    throw std::runtime_error(
+        "MulticastEngine: network deadlock (worms still in flight)");
+  }
+
+  for (std::size_t op = 0; op < specs.size(); ++op) {
+    auto& result = batch.operations[op];
+    if (result.completions.size() !=
+        static_cast<std::size_t>(specs[op].tree.size() - 1)) {
+      throw std::runtime_error(
+          "MulticastEngine: not every destination completed (op " +
+          std::to_string(op) + ")");
+    }
+    for (const auto& [h, t] : result.completions) {
+      result.latency = std::max(result.latency, t - specs[op].start);
+      batch.makespan = std::max(batch.makespan, t);
+    }
+    result.packets_delivered =
+        static_cast<std::int64_t>(specs[op].tree.size() - 1) *
+        specs[op].packet_count;
+  }
+  for (topo::HostId h : participants) {
+    const auto& buf = nis.at(h)->buffer();
+    batch.buffers.push_back(BufferStat{h, buf.peak(), buf.integral()});
+  }
+  batch.total_channel_block_time = network.total_block_time();
+  return batch;
+}
+
+}  // namespace nimcast::mcast

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/host_tree.hpp"
+#include "netif/reliable_ni.hpp"
+#include "netif/system_params.hpp"
+#include "network/network_config.hpp"
+#include "routing/route_table.hpp"
+#include "sim/sim_time.hpp"
+#include "sim/trace.hpp"
+#include "topology/topology.hpp"
+
+namespace nimcast::mcast {
+
+/// Which network-interface architecture the system runs (paper Sections
+/// 2.3 vs 3.1/3.2).
+enum class NiStyle : std::uint8_t {
+  kConventional,   ///< host forwards every copy
+  kSmartFcfs,      ///< NI forwards, child-major
+  kSmartFpfs,      ///< NI forwards, packet-major
+  kReliableFpfs,   ///< FPFS + hop-by-hop ACK/retransmit (lossy networks)
+};
+
+[[nodiscard]] const char* to_string(NiStyle s);
+
+/// Per-participant NI buffer statistics from one run.
+struct BufferStat {
+  topo::HostId host = topo::kInvalidId;
+  double peak_packets = 0.0;
+  double packet_us_integral = 0.0;
+};
+
+/// Outcome of one multicast operation.
+struct MulticastResult {
+  /// Start to last destination *host* completion (includes the final t_r)
+  /// — the paper's multicast latency.
+  sim::Time latency;
+  /// Start to last destination *NI* completion (all packets received and
+  /// receive-processed; excludes t_r).
+  sim::Time ni_latency;
+  /// Host-level completion time per destination.
+  std::vector<std::pair<topo::HostId, sim::Time>> completions;
+  std::vector<BufferStat> buffers;
+  sim::Time total_channel_block_time;
+  std::int64_t packets_delivered = 0;
+
+  [[nodiscard]] double peak_buffer() const;
+  [[nodiscard]] double max_buffer_integral() const;
+};
+
+/// One multicast operation for the multi-operation entry point.
+struct MulticastSpec {
+  core::HostTree tree;
+  std::int32_t packet_count = 1;
+  /// When the source host issues the send (multiple concurrent
+  /// multicasts model the paper's reference [6] "multiple multicast"
+  /// workload; staggered starts model bursty traffic).
+  sim::Time start = sim::Time::zero();
+};
+
+/// Result of a batch of concurrent multicasts.
+struct MultiMulticastResult {
+  /// Per operation, in spec order. `latency` is measured from that
+  /// operation's own start time.
+  std::vector<MulticastResult> operations;
+  /// Completion of the last operation, from time zero.
+  sim::Time makespan;
+  /// System-wide contention across all operations.
+  sim::Time total_channel_block_time;
+  /// Buffer stats per NI across the whole batch.
+  std::vector<BufferStat> buffers;
+};
+
+/// Runs complete multicast operations on the full simulated system:
+/// wormhole network + NIs + hosts. Each `run`/`run_many` builds a fresh
+/// simulation over the shared (topology, routes), so results are
+/// independent and reproducible.
+class MulticastEngine {
+ public:
+  struct Config {
+    netif::SystemParams params;
+    net::NetworkConfig network;
+    NiStyle style = NiStyle::kSmartFpfs;
+    /// Only used by kReliableFpfs.
+    netif::ReliabilityParams reliability = {};
+  };
+
+  MulticastEngine(const topo::Topology& topology,
+                  const routing::RouteTable& routes, Config config,
+                  sim::Trace* trace = nullptr);
+
+  /// Multicasts a `packet_count`-packet message over `tree`. The tree's
+  /// nodes must be valid hosts of the topology.
+  [[nodiscard]] MulticastResult run(const core::HostTree& tree,
+                                    std::int32_t packet_count) const;
+
+  /// Runs several multicasts in one simulation; they share NIs, hosts
+  /// and wires and therefore contend. An NI participating in several
+  /// operations demultiplexes by message id exactly as the firmware
+  /// would.
+  [[nodiscard]] MultiMulticastResult run_many(
+      const std::vector<MulticastSpec>& specs) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  const topo::Topology& topology_;
+  const routing::RouteTable& routes_;
+  Config config_;
+  sim::Trace* trace_;
+};
+
+}  // namespace nimcast::mcast

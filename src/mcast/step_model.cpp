@@ -1,0 +1,121 @@
+#include "mcast/step_model.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+
+namespace nimcast::mcast {
+
+const char* to_string(Discipline d) {
+  switch (d) {
+    case Discipline::kFpfs: return "FPFS";
+    case Discipline::kFcfs: return "FCFS";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-node sending state. Sends are appended in discipline order and
+/// execute back-to-back, one step each; appends happen in arrival-time
+/// order, so greedy assignment of start steps is exact.
+struct NodeState {
+  std::int32_t busy_until = 0;   ///< first step this node is free to send
+  std::int32_t arrived = 0;      ///< packets received so far (FCFS counter)
+};
+
+struct Arrival {
+  std::int32_t step;
+  std::uint64_t seq;  ///< FIFO tie-break, mirrors the event queue
+  std::int32_t rank;
+  std::int32_t pkt;
+};
+struct Later {
+  bool operator()(const Arrival& a, const Arrival& b) const {
+    return std::tie(a.step, a.seq) > std::tie(b.step, b.seq);
+  }
+};
+
+}  // namespace
+
+StepSchedule step_schedule(const core::RankTree& tree, std::int32_t m,
+                           Discipline discipline) {
+  if (m < 1) throw std::invalid_argument("step_schedule: m < 1");
+  tree.validate();
+  const std::int32_t n = tree.size();
+
+  StepSchedule sched;
+  sched.arrival.assign(static_cast<std::size_t>(n),
+                       std::vector<std::int32_t>(static_cast<std::size_t>(m),
+                                                 -1));
+  for (auto& a : sched.arrival[0]) a = 0;  // source holds everything
+
+  std::vector<NodeState> state(static_cast<std::size_t>(n));
+  std::priority_queue<Arrival, std::vector<Arrival>, Later> events;
+  std::uint64_t seq = 0;
+
+  // One send occupies the sender for exactly one step; the packet is at
+  // the child at the end of that step.
+  const auto emit = [&](std::int32_t from, std::int32_t pkt, std::int32_t to,
+                        std::int32_t ready_step) {
+    auto& st = state[static_cast<std::size_t>(from)];
+    const std::int32_t start = std::max(st.busy_until, ready_step);
+    st.busy_until = start + 1;
+    events.push(Arrival{start + 1, seq++, to, pkt});
+  };
+
+  const auto& root_kids = tree.children[0];
+  if (discipline == Discipline::kFpfs) {
+    for (std::int32_t j = 0; j < m; ++j) {
+      for (std::int32_t c : root_kids) emit(0, j, c, 0);
+    }
+  } else {
+    for (std::int32_t c : root_kids) {
+      for (std::int32_t j = 0; j < m; ++j) emit(0, j, c, 0);
+    }
+  }
+
+  while (!events.empty()) {
+    const Arrival a = events.top();
+    events.pop();
+    auto& slot = sched.arrival[static_cast<std::size_t>(a.rank)]
+                              [static_cast<std::size_t>(a.pkt)];
+    if (slot != -1) throw std::logic_error("step_schedule: duplicate arrival");
+    slot = a.step;
+
+    const auto& kids = tree.children[static_cast<std::size_t>(a.rank)];
+    auto& st = state[static_cast<std::size_t>(a.rank)];
+    ++st.arrived;
+    if (kids.empty()) continue;
+
+    if (discipline == Discipline::kFpfs) {
+      for (std::int32_t c : kids) emit(a.rank, a.pkt, c, a.step);
+    } else {
+      emit(a.rank, a.pkt, kids.front(), a.step);
+      if (st.arrived == m) {
+        for (std::size_t i = 1; i < kids.size(); ++i) {
+          for (std::int32_t j = 0; j < m; ++j) {
+            emit(a.rank, j, kids[i], a.step);
+          }
+        }
+      }
+    }
+  }
+
+  sched.completion.assign(static_cast<std::size_t>(m), 0);
+  for (std::int32_t r = 0; r < n; ++r) {
+    for (std::int32_t j = 0; j < m; ++j) {
+      const std::int32_t s = sched.arrival[static_cast<std::size_t>(r)]
+                                          [static_cast<std::size_t>(j)];
+      if (s < 0) throw std::logic_error("step_schedule: packet never arrived");
+      auto& comp = sched.completion[static_cast<std::size_t>(j)];
+      comp = std::max(comp, s);
+    }
+  }
+  sched.total_steps = *std::max_element(sched.completion.begin(),
+                                        sched.completion.end());
+  return sched;
+}
+
+}  // namespace nimcast::mcast

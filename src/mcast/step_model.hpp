@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tree.hpp"
+
+namespace nimcast::mcast {
+
+/// NI forwarding discipline (paper Section 3).
+enum class Discipline : std::uint8_t {
+  kFpfs,  ///< First-Packet-First-Served (Figure 7)
+  kFcfs,  ///< First-Child-First-Served (Figure 6)
+};
+
+[[nodiscard]] const char* to_string(Discipline d);
+
+/// Step-level schedule of a multi-packet multicast over a tree — the
+/// paper's abstract pipelined model of Section 4.1, where transmitting
+/// one packet NI-to-NI is one *step*, each NI performs at most one send
+/// per step, and a received packet is forwardable from the next step.
+///
+/// This executor is the reference the theorems are stated against:
+/// Theorem 1 (inter-packet completion gap equals the root's child count)
+/// and Theorem 2 (total = t_1 + (m-1) * c_R) are validated against it,
+/// and multiplying `total_steps` by t_step reproduces the paper's latency
+/// expressions exactly.
+struct StepSchedule {
+  /// arrival[rank][pkt]: step at which `rank` has received packet `pkt`
+  /// (0 for the source, which holds all packets at step 0).
+  std::vector<std::vector<std::int32_t>> arrival;
+  /// completion[pkt]: step at which packet `pkt` has reached every rank.
+  std::vector<std::int32_t> completion;
+  std::int32_t total_steps = 0;
+
+  [[nodiscard]] std::int32_t num_ranks() const {
+    return static_cast<std::int32_t>(arrival.size());
+  }
+  [[nodiscard]] std::int32_t num_packets() const {
+    return static_cast<std::int32_t>(completion.size());
+  }
+};
+
+/// Computes the schedule for `m` packets over `tree` under `discipline`.
+/// Requires m >= 1; the tree must validate().
+[[nodiscard]] StepSchedule step_schedule(const core::RankTree& tree,
+                                         std::int32_t m,
+                                         Discipline discipline);
+
+}  // namespace nimcast::mcast

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace nimcast::netif {
+
+/// Tracks how many packets are resident in one NI's memory over time.
+///
+/// This is the measurement behind the Section 3.3.2 comparison: under FCFS
+/// a packet stays buffered until the whole message has gone to every
+/// child; under FPFS it leaves as soon as its own copies have gone out.
+/// Peak and time-averaged occupancy are both reported.
+class BufferTracker {
+ public:
+  explicit BufferTracker(sim::Simulator& simctx) : sim_{simctx} {}
+
+  void acquire() { occ_.change(sim_.now().as_us(), +1.0); }
+  void release() { occ_.change(sim_.now().as_us(), -1.0); }
+
+  [[nodiscard]] double current() const { return occ_.level(); }
+  [[nodiscard]] double peak() const { return occ_.peak(); }
+  [[nodiscard]] double time_average() const {
+    return occ_.time_average(sim_.now().as_us());
+  }
+  /// Integral of occupancy over time (packet·us) — proportional to the
+  /// buffer *holding time* the paper's T_f / T_p analysis bounds.
+  [[nodiscard]] double integral() const {
+    return occ_.integral(sim_.now().as_us());
+  }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Occupancy occ_;
+};
+
+}  // namespace nimcast::netif

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "network/packet.hpp"
+#include "topology/ids.hpp"
+
+namespace nimcast::netif {
+
+/// Per-message forwarding state installed at an NI before a multicast
+/// starts — the moral equivalent of a multicast-group entry in NI
+/// firmware. `children` is ordered: both disciplines send to children in
+/// this order, and the contention-free constructions depend on it.
+struct ForwardingEntry {
+  std::vector<topo::HostId> children;
+  std::int32_t packet_count = 1;
+  /// True for every participant except the multicast source (the source
+  /// already has the message; it is not a destination).
+  bool is_destination = true;
+};
+
+}  // namespace nimcast::netif

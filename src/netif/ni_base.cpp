@@ -1,0 +1,154 @@
+#include "netif/ni_base.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace nimcast::netif {
+
+NetworkInterface::NetworkInterface(sim::Simulator& simctx,
+                                   net::WormholeNetwork& network,
+                                   SystemParams params, topo::HostId self,
+                                   sim::Trace* trace)
+    : sim_{simctx},
+      network_{network},
+      params_{params},
+      self_{self},
+      trace_{trace},
+      coproc_{simctx, params.ni_engines},
+      buffer_{simctx} {}
+
+void NetworkInterface::install(net::MessageId message, ForwardingEntry entry) {
+  if (entry.packet_count < 1) {
+    throw std::invalid_argument("ForwardingEntry: packet_count < 1");
+  }
+  for (topo::HostId c : entry.children) {
+    if (c == self_) {
+      throw std::invalid_argument("ForwardingEntry: node is its own child");
+    }
+  }
+  entries_[message] = std::move(entry);
+  received_count_[message] = 0;
+}
+
+const ForwardingEntry* NetworkInterface::find_entry(net::MessageId m) const {
+  const auto it = entries_.find(m);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void NetworkInterface::after_host_receive(net::MessageId, Host&) {}
+
+void NetworkInterface::deliver(const net::Packet& packet) {
+  // Receive processing occupies the coprocessor for t_rcv; only then does
+  // the firmware see the header and react. Low priority: firmware
+  // finishes forwarding the packet in hand before polling the receive
+  // queue (the loop structure of Figs. 6 and 7).
+  coproc_.enqueue_low(params_.t_rcv, [this, packet] {
+    const ForwardingEntry* entry = find_entry(packet.message);
+    if (entry == nullptr) {
+      throw std::logic_error("NI " + std::to_string(self_) +
+                             ": packet for unknown message " +
+                             std::to_string(packet.message));
+    }
+    if (trace_) {
+      trace_->record(sim_.now(), sim::TraceCategory::kNi, self_,
+                     "rcv done msg=" + std::to_string(packet.message) +
+                         " pkt=" + std::to_string(packet.packet_index));
+    }
+    on_packet_received(packet, *entry);
+    note_data_processed(packet, *entry);
+  });
+}
+
+void NetworkInterface::note_data_processed(const net::Packet& packet,
+                                           const ForwardingEntry& entry) {
+  auto& count = received_count_[packet.message];
+  ++count;
+  if (count > entry.packet_count) {
+    throw std::logic_error("NI " + std::to_string(self_) +
+                           ": duplicate packet delivery");
+  }
+  if (count == entry.packet_count && entry.is_destination &&
+      on_message_at_ni) {
+    on_message_at_ni(self_, packet.message);
+  }
+}
+
+void NetworkInterface::release_copy(net::MessageId message,
+                                    std::int32_t index) {
+  const auto key = packet_key(message, index);
+  auto it = outstanding_.find(key);
+  assert(it != outstanding_.end() && "release_copy on packet not held");
+  --it->second;
+  release_if_done(key);
+}
+
+void NetworkInterface::hold_packet(net::MessageId message, std::int32_t index,
+                                   std::int32_t copies) {
+  const auto key = packet_key(message, index);
+  assert(!outstanding_.contains(key) && "packet already held");
+  outstanding_[key] = copies;
+  buffer_.acquire();
+  if (copies == 0) release_if_done(key);
+}
+
+void NetworkInterface::release_if_done(std::uint64_t key) {
+  auto it = outstanding_.find(key);
+  if (it != outstanding_.end() && it->second <= 0) {
+    outstanding_.erase(it);
+    buffer_.release();
+  }
+}
+
+void NetworkInterface::inject_copy(net::MessageId message, std::int32_t index,
+                                   std::int32_t packet_count,
+                                   topo::HostId child) {
+  coproc_.enqueue(params_.t_snd, [this, message, index, packet_count, child] {
+    net::Packet p;
+    p.message = message;
+    p.packet_index = index;
+    p.packet_count = packet_count;
+    p.sender = self_;
+    p.dest = child;
+    network_.send(p, [this](const net::Packet& delivered) {
+      assert(deliver_to && "engine did not install deliver_to");
+      deliver_to(delivered.dest, delivered);
+    });
+    if (trace_) {
+      trace_->record(sim_.now(), sim::TraceCategory::kNi, self_,
+                     "sent msg=" + std::to_string(message) + " pkt=" +
+                         std::to_string(index) + " -> host " +
+                         std::to_string(child));
+    }
+  });
+}
+
+void NetworkInterface::send_copy(net::MessageId message, std::int32_t index,
+                                 std::int32_t packet_count,
+                                 topo::HostId child) {
+  coproc_.enqueue(params_.t_snd, [this, message, index, packet_count, child] {
+    net::Packet p;
+    p.message = message;
+    p.packet_index = index;
+    p.packet_count = packet_count;
+    p.sender = self_;
+    p.dest = child;
+    network_.send(p, [this](const net::Packet& delivered) {
+      assert(deliver_to && "engine did not install deliver_to");
+      deliver_to(delivered.dest, delivered);
+    });
+    const auto key = packet_key(message, index);
+    auto it = outstanding_.find(key);
+    assert(it != outstanding_.end() && "send_copy without hold_packet");
+    --it->second;
+    release_if_done(key);
+    if (trace_) {
+      trace_->record(sim_.now(), sim::TraceCategory::kNi, self_,
+                     "sent msg=" + std::to_string(message) + " pkt=" +
+                         std::to_string(index) + " -> host " +
+                         std::to_string(child));
+    }
+  });
+}
+
+}  // namespace nimcast::netif

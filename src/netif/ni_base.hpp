@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "netif/buffer_tracker.hpp"
+#include "netif/forwarding.hpp"
+#include "netif/host.hpp"
+#include "netif/serial_server.hpp"
+#include "netif/system_params.hpp"
+#include "network/wormhole_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace nimcast::netif {
+
+/// Base network interface model.
+///
+/// One per host. The NI owns a coprocessor (a `SerialServer`): accepting a
+/// packet from the network costs `t_rcv`, injecting one copy costs
+/// `t_snd`. Subclasses implement the multicast forwarding discipline —
+/// what the coprocessor firmware does with a received multicast packet and
+/// how the source side schedules the initial copies.
+///
+/// The engine wires `on_message_at_ni` to fire when this NI has received
+/// (and finished receive-processing of) every packet of a message for
+/// which it is a destination; host-level completion (the +t_r) is layered
+/// on top by the engine through the Host object.
+class NetworkInterface {
+ public:
+  NetworkInterface(sim::Simulator& simctx, net::WormholeNetwork& network,
+                   SystemParams params, topo::HostId self,
+                   sim::Trace* trace = nullptr);
+  virtual ~NetworkInterface() = default;
+
+  NetworkInterface(const NetworkInterface&) = delete;
+  NetworkInterface& operator=(const NetworkInterface&) = delete;
+
+  /// Installs multicast forwarding state for `message`. Must be called on
+  /// every participant's NI before the source begins.
+  void install(net::MessageId message, ForwardingEntry entry);
+
+  /// Source-side entry point: begins the multicast at this node, charging
+  /// whatever host software cost the NI style requires (smart NIs: one
+  /// t_s to move the message into NI memory; conventional NIs: one t_s
+  /// per child, with the message staying in host memory).
+  virtual void start_from_host(net::MessageId message, Host& host) = 0;
+
+  /// Network delivery entry point: a packet has fully arrived in the NI
+  /// receive queue. Receive processing (t_rcv) is queued on the
+  /// coprocessor; the discipline hook runs when it completes. Virtual so
+  /// protocol layers (e.g. the reliable NI) can interpose on raw
+  /// arrivals (ACKs, duplicates) before the standard path.
+  virtual void deliver(const net::Packet& packet);
+
+  /// Called by the engine after the destination host finished its t_r for
+  /// `message` (the message is now in application memory). Conventional
+  /// NIs forward to children from here; smart NIs ignore it.
+  virtual void after_host_receive(net::MessageId message, Host& host);
+
+  /// Fired once per (destination NI, message): all packets received and
+  /// receive-processed.
+  std::function<void(topo::HostId, net::MessageId)> on_message_at_ni;
+
+  /// Dispatch used to hand a delivered packet to the receiving NI; the
+  /// engine installs a registry lookup here.
+  std::function<void(topo::HostId, const net::Packet&)> deliver_to;
+
+  [[nodiscard]] topo::HostId id() const { return self_; }
+  [[nodiscard]] const BufferTracker& buffer() const { return buffer_; }
+  [[nodiscard]] const SerialServer& coprocessor() const { return coproc_; }
+  [[nodiscard]] const SystemParams& params() const { return params_; }
+  [[nodiscard]] virtual const char* style() const = 0;
+
+ protected:
+  /// Discipline hook: a multicast packet finished receive processing.
+  /// Forward copies as the discipline dictates (leaves do nothing).
+  virtual void on_packet_received(const net::Packet& packet,
+                                  const ForwardingEntry& entry) = 0;
+
+  /// Queues one copy of packet `index` on the coprocessor (t_snd), then
+  /// injects it into the network. No buffer accounting.
+  void inject_copy(net::MessageId message, std::int32_t index,
+                   std::int32_t packet_count, topo::HostId child);
+
+  /// Buffer-accounted variant: decrements the packet's outstanding-copy
+  /// count when the injection completes, releasing the buffer slot at
+  /// zero. The packet must be held (see hold_packet).
+  void send_copy(net::MessageId message, std::int32_t index,
+                 std::int32_t packet_count, topo::HostId child);
+
+  /// Declares that packet `index` is resident in NI memory and will be
+  /// copied out `copies` times. Acquires a buffer slot (released
+  /// immediately when copies == 0).
+  void hold_packet(net::MessageId message, std::int32_t index,
+                   std::int32_t copies);
+
+  /// Decrements a held packet's outstanding-copy count without sending
+  /// (the reliable NI releases on acknowledgment, not on injection).
+  void release_copy(net::MessageId message, std::int32_t index);
+
+  /// Counts one successfully receive-processed *distinct* data packet and
+  /// fires on_message_at_ni when the message completes. deliver() calls
+  /// this; subclasses that override deliver() must call it themselves for
+  /// each distinct packet.
+  void note_data_processed(const net::Packet& packet,
+                           const ForwardingEntry& entry);
+
+  [[nodiscard]] const ForwardingEntry* find_entry(net::MessageId m) const;
+
+  sim::Simulator& sim_;
+  net::WormholeNetwork& network_;
+  SystemParams params_;
+  topo::HostId self_;
+  sim::Trace* trace_;
+  SerialServer coproc_;
+  BufferTracker buffer_;
+
+ private:
+  void release_if_done(std::uint64_t key);
+  static std::uint64_t packet_key(net::MessageId m, std::int32_t index) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m)) << 32) |
+           static_cast<std::uint32_t>(index);
+  }
+
+  std::unordered_map<net::MessageId, ForwardingEntry> entries_;
+  std::unordered_map<net::MessageId, std::int32_t> received_count_;
+  std::unordered_map<std::uint64_t, std::int32_t> outstanding_;
+};
+
+}  // namespace nimcast::netif

@@ -1,0 +1,157 @@
+#include "netif/reliable_ni.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace nimcast::netif {
+
+ReliableFpfsNi::ReliableFpfsNi(sim::Simulator& simctx,
+                               net::WormholeNetwork& network,
+                               SystemParams params,
+                               ReliabilityParams reliability,
+                               topo::HostId self, sim::Trace* trace)
+    : NetworkInterface{simctx, network, params, self, trace},
+      reliability_{reliability} {}
+
+void ReliableFpfsNi::start_from_host(net::MessageId message, Host& host) {
+  host.software_send([this, message] {
+    const ForwardingEntry* entry = find_entry(message);
+    if (entry == nullptr) {
+      throw std::logic_error("ReliableFpfsNi: no forwarding entry at source");
+    }
+    const auto copies = static_cast<std::int32_t>(entry->children.size());
+    for (std::int32_t j = 0; j < entry->packet_count; ++j) {
+      hold_packet(message, j, copies);
+    }
+    for (std::int32_t j = 0; j < entry->packet_count; ++j) {
+      for (topo::HostId child : entry->children) {
+        pending_.emplace(edge_key(message, j, child), PendingSend{});
+        reliable_send(message, j, entry->packet_count, child);
+      }
+    }
+  });
+}
+
+void ReliableFpfsNi::reliable_send(net::MessageId message, std::int32_t index,
+                                   std::int32_t packet_count,
+                                   topo::HostId child) {
+  coproc_.enqueue(params_.t_snd, [this, message, index, packet_count, child] {
+    // The ACK may have arrived while this (re)transmission sat in the
+    // coprocessor queue; if so the pending entry is gone and sending a
+    // copy now would only waste wire time (and double-release buffers).
+    if (!pending_.contains(edge_key(message, index, child))) return;
+    net::Packet p;
+    p.message = message;
+    p.packet_index = index;
+    p.packet_count = packet_count;
+    p.sender = self_;
+    p.dest = child;
+    network_.send(p, [this](const net::Packet& delivered) {
+      deliver_to(delivered.dest, delivered);
+    });
+    // Arm (or re-arm) the retransmission timer as of injection time.
+    auto& pending = pending_[edge_key(message, index, child)];
+    pending.timer = sim_.schedule_in(
+        reliability_.retx_timeout,
+        [this, message, index, packet_count, child] {
+          on_timeout(message, index, packet_count, child);
+        });
+    if (trace_) {
+      trace_->record(sim_.now(), sim::TraceCategory::kNi, self_,
+                     "rsent msg=" + std::to_string(message) + " pkt=" +
+                         std::to_string(index) + " -> host " +
+                         std::to_string(child));
+    }
+  });
+}
+
+void ReliableFpfsNi::on_timeout(net::MessageId message, std::int32_t index,
+                                std::int32_t packet_count,
+                                topo::HostId child) {
+  auto it = pending_.find(edge_key(message, index, child));
+  if (it == pending_.end()) return;  // ACKed in the meantime
+  auto& pending = it->second;
+  ++pending.attempts;
+  ++retx_count_;
+  if (pending.attempts > reliability_.max_retransmissions) {
+    throw std::runtime_error("ReliableFpfsNi " + std::to_string(self_) +
+                             ": gave up on packet " + std::to_string(index) +
+                             " to host " + std::to_string(child));
+  }
+  if (trace_) {
+    trace_->record(sim_.now(), sim::TraceCategory::kNi, self_,
+                   "retx msg=" + std::to_string(message) + " pkt=" +
+                       std::to_string(index) + " -> host " +
+                       std::to_string(child));
+  }
+  reliable_send(message, index, packet_count, child);
+}
+
+void ReliableFpfsNi::send_ack(const net::Packet& data) {
+  coproc_.enqueue_front(reliability_.t_ack, [this, data] {
+    net::Packet ack;
+    ack.message = data.message;
+    ack.packet_index = data.packet_index;
+    ack.packet_count = data.packet_count;
+    ack.sender = self_;
+    ack.dest = data.sender;
+    ack.tag = kAckTag;
+    network_.send(ack, [this](const net::Packet& delivered) {
+      deliver_to(delivered.dest, delivered);
+    });
+  });
+}
+
+void ReliableFpfsNi::handle_ack(const net::Packet& ack) {
+  const auto key = edge_key(ack.message, ack.packet_index, ack.sender);
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;  // duplicate ACK
+  sim_.cancel(it->second.timer);
+  pending_.erase(it);
+  // The child has the packet; this copy's buffer obligation is met.
+  release_copy(ack.message, ack.packet_index);
+}
+
+void ReliableFpfsNi::deliver(const net::Packet& packet) {
+  // Control traffic jumps the queue: a data or ACK packet behind a long
+  // forwarding backlog would otherwise delay acknowledgments past the
+  // retransmission timeout and trigger spurious retransmit storms even
+  // on a lossless fabric (real NIs prioritize tiny control responses for
+  // exactly this reason).
+  if (packet.tag == kAckTag) {
+    coproc_.enqueue_front(reliability_.t_ack,
+                          [this, packet] { handle_ack(packet); });
+    return;
+  }
+  // Acknowledge at arrival — the sender may be retransmitting because a
+  // previous ACK was lost, and duplicates must be re-ACKed too.
+  send_ack(packet);
+  coproc_.enqueue_low(params_.t_rcv, [this, packet] {
+    const ForwardingEntry* entry = find_entry(packet.message);
+    if (entry == nullptr) {
+      throw std::logic_error("ReliableFpfsNi: packet for unknown message");
+    }
+    const auto id = std::pair{packet.message, packet.packet_index};
+    if (!seen_.insert(id).second) {
+      ++dup_count_;
+      return;  // duplicate data: do not re-forward or re-count
+    }
+    on_packet_received(packet, *entry);
+    note_data_processed(packet, *entry);
+  });
+}
+
+void ReliableFpfsNi::on_packet_received(const net::Packet& packet,
+                                        const ForwardingEntry& entry) {
+  if (entry.children.empty()) return;
+  hold_packet(packet.message, packet.packet_index,
+              static_cast<std::int32_t>(entry.children.size()));
+  for (topo::HostId child : entry.children) {
+    pending_.emplace(edge_key(packet.message, packet.packet_index, child),
+                     PendingSend{});
+    reliable_send(packet.message, packet.packet_index, packet.packet_count,
+                  child);
+  }
+}
+
+}  // namespace nimcast::netif

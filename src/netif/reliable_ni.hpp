@@ -1,0 +1,91 @@
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "netif/ni_base.hpp"
+
+namespace nimcast::netif {
+
+/// Parameters of the hop-by-hop reliability protocol.
+struct ReliabilityParams {
+  /// Retransmission timeout, armed when a data packet is injected and
+  /// disarmed by the matching ACK. Should comfortably exceed one
+  /// round-trip (data + ACK traversal + both coprocessor passes).
+  sim::Time retx_timeout = sim::Time::us(60.0);
+  /// Give-up bound; exceeding it throws (the simulation equivalent of a
+  /// link-dead alarm). High enough that a loss rate < ~50% practically
+  /// never trips it.
+  std::int32_t max_retransmissions = 64;
+  /// Coprocessor occupancy to emit or absorb one ACK (ACKs are tiny
+  /// control packets; they still traverse the network as worms).
+  sim::Time t_ack = sim::Time::us(1.0);
+};
+
+/// Reliable FPFS smart NI: the paper's FPFS discipline layered with a
+/// hop-by-hop positive-acknowledgment protocol, the problem addressed by
+/// the reliable-multicast systems the paper cites ([4] ATM, [12]
+/// Myrinet).
+///
+/// Every tree edge runs its own ACK/retransmit loop:
+///   - each forwarded data packet arms a retransmission timer; the
+///     receiver ACKs every copy it sees (including duplicates — ACKs can
+///     be lost too);
+///   - duplicate data packets are detected by (message, index) and not
+///     re-forwarded or re-counted;
+///   - a packet's NI buffer slot is released when every child has
+///     ACKed it, not when the copies were injected — reliability is what
+///     actually forces multicast buffering at NIs.
+///
+/// With loss_rate == 0 the discipline behaves exactly like FpfsNi except
+/// for the added ACK traffic.
+class ReliableFpfsNi final : public NetworkInterface {
+ public:
+  ReliableFpfsNi(sim::Simulator& simctx, net::WormholeNetwork& network,
+                 SystemParams params, ReliabilityParams reliability,
+                 topo::HostId self, sim::Trace* trace = nullptr);
+
+  void start_from_host(net::MessageId message, Host& host) override;
+  void deliver(const net::Packet& packet) override;
+  [[nodiscard]] const char* style() const override { return "reliable-fpfs"; }
+
+  /// Wire tag marking acknowledgment packets.
+  static constexpr std::int32_t kAckTag = -77;
+
+  [[nodiscard]] std::int64_t retransmissions() const { return retx_count_; }
+  [[nodiscard]] std::int64_t duplicates_seen() const { return dup_count_; }
+
+ protected:
+  void on_packet_received(const net::Packet& packet,
+                          const ForwardingEntry& entry) override;
+
+ private:
+  struct PendingSend {
+    sim::EventId timer;
+    std::int32_t attempts = 0;
+  };
+
+  static std::uint64_t edge_key(net::MessageId m, std::int32_t index,
+                                topo::HostId child) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(m)) << 48) |
+           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(index))
+            << 32) |
+           static_cast<std::uint32_t>(child);
+  }
+
+  /// Queues (or re-queues) one copy and arms the timer at injection.
+  void reliable_send(net::MessageId message, std::int32_t index,
+                     std::int32_t packet_count, topo::HostId child);
+  void on_timeout(net::MessageId message, std::int32_t index,
+                  std::int32_t packet_count, topo::HostId child);
+  void handle_ack(const net::Packet& ack);
+  void send_ack(const net::Packet& data);
+
+  ReliabilityParams reliability_;
+  std::unordered_map<std::uint64_t, PendingSend> pending_;
+  std::set<std::pair<net::MessageId, std::int32_t>> seen_;
+  std::int64_t retx_count_ = 0;
+  std::int64_t dup_count_ = 0;
+};
+
+}  // namespace nimcast::netif

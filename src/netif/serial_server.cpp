@@ -1,0 +1,40 @@
+#include "netif/serial_server.hpp"
+
+#include <utility>
+
+namespace nimcast::netif {
+
+void SerialServer::enqueue(sim::Time duration, Action on_done) {
+  queue_.push_back(Task{duration, std::move(on_done)});
+  start_next();
+}
+
+void SerialServer::enqueue_front(sim::Time duration, Action on_done) {
+  queue_.push_front(Task{duration, std::move(on_done)});
+  start_next();
+}
+
+void SerialServer::enqueue_low(sim::Time duration, Action on_done) {
+  low_queue_.push_back(Task{duration, std::move(on_done)});
+  start_next();
+}
+
+void SerialServer::start_next() {
+  while (active_ < workers_) {
+    auto& source = !queue_.empty() ? queue_ : low_queue_;
+    if (source.empty()) return;
+    Task task = std::move(source.front());
+    source.pop_front();
+    ++active_;
+    busy_time_ += task.duration;
+    sim_.schedule_in(task.duration, [this, action = std::move(task.on_done)] {
+      // Run the completion action before dequeuing further work so a task
+      // enqueued by the action lands behind everything already queued.
+      if (action) action();
+      --active_;
+      start_next();
+    });
+  }
+}
+
+}  // namespace nimcast::netif

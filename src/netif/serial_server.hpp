@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/sim_time.hpp"
+#include "sim/simulator.hpp"
+
+namespace nimcast::netif {
+
+/// A serializing work server: models a processing element (an NI
+/// coprocessor, or a host CPU doing communication software) that executes
+/// queued tasks FIFO.
+///
+/// Each task occupies one worker for a fixed duration, then its
+/// completion action runs (still "on" the server conceptually, but at
+/// zero additional cost — the action typically hands a packet to the
+/// network or notifies the engine). Completion actions may enqueue
+/// further tasks.
+///
+/// `workers` > 1 models a multi-engine NI (multiple DMA/send engines à
+/// la modern multi-queue NICs): up to that many tasks run concurrently,
+/// still started in FIFO order. The paper's 1997 NIs are workers == 1.
+class SerialServer {
+ public:
+  explicit SerialServer(sim::Simulator& simctx, std::int32_t workers = 1)
+      : sim_{simctx}, workers_{workers} {
+    if (workers < 1) {
+      throw std::invalid_argument("SerialServer: workers < 1");
+    }
+  }
+
+  SerialServer(const SerialServer&) = delete;
+  SerialServer& operator=(const SerialServer&) = delete;
+
+  using Action = std::function<void()>;
+
+  /// Appends a task taking `duration` of server time; `on_done` runs when
+  /// the task finishes.
+  void enqueue(sim::Time duration, Action on_done);
+
+  /// Inserts a task ahead of all queued (but behind the in-service) work.
+  void enqueue_front(sim::Time duration, Action on_done);
+
+  /// Appends to the *low-priority* lane, served only when the normal
+  /// queue is empty. This models NI firmware that finishes forwarding the
+  /// current packet before polling the receive queue for the next one —
+  /// the structure of the paper's FCFS/FPFS pseudo-code (Figs. 6, 7):
+  /// receive processing is enqueued here, send work in the normal lane.
+  void enqueue_low(sim::Time duration, Action on_done);
+
+  [[nodiscard]] bool busy() const { return active_ > 0; }
+  [[nodiscard]] std::int32_t workers() const { return workers_; }
+  [[nodiscard]] std::size_t queued() const {
+    return queue_.size() + low_queue_.size();
+  }
+  /// Total time this server has spent executing tasks.
+  [[nodiscard]] sim::Time busy_time() const { return busy_time_; }
+
+ private:
+  struct Task {
+    sim::Time duration;
+    Action on_done;
+  };
+
+  void start_next();
+
+  sim::Simulator& sim_;
+  std::int32_t workers_;
+  std::deque<Task> queue_;
+  std::deque<Task> low_queue_;
+  std::int32_t active_ = 0;
+  sim::Time busy_time_ = sim::Time::zero();
+};
+
+}  // namespace nimcast::netif

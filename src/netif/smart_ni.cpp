@@ -1,0 +1,79 @@
+#include "netif/smart_ni.hpp"
+
+namespace nimcast::netif {
+
+void FpfsNi::start_from_host(net::MessageId message, Host& host) {
+  // One software start-up moves the whole message into NI memory; the
+  // coprocessor owns everything from there (Figure 4(b)).
+  host.software_send([this, message] {
+    const ForwardingEntry* entry = find_entry(message);
+    if (entry == nullptr) {
+      throw std::logic_error("FpfsNi: no forwarding entry at source");
+    }
+    const auto copies = static_cast<std::int32_t>(entry->children.size());
+    for (std::int32_t j = 0; j < entry->packet_count; ++j) {
+      hold_packet(message, j, copies);
+    }
+    // Packet-major: pkt j to every child before pkt j+1 to any.
+    for (std::int32_t j = 0; j < entry->packet_count; ++j) {
+      for (topo::HostId child : entry->children) {
+        send_copy(message, j, entry->packet_count, child);
+      }
+    }
+  });
+}
+
+void FpfsNi::on_packet_received(const net::Packet& packet,
+                                const ForwardingEntry& entry) {
+  if (entry.children.empty()) return;  // leaf: DMA to host only
+  hold_packet(packet.message, packet.packet_index,
+              static_cast<std::int32_t>(entry.children.size()));
+  for (topo::HostId child : entry.children) {
+    send_copy(packet.message, packet.packet_index, packet.packet_count,
+              child);
+  }
+}
+
+void FcfsNi::start_from_host(net::MessageId message, Host& host) {
+  host.software_send([this, message] {
+    const ForwardingEntry* entry = find_entry(message);
+    if (entry == nullptr) {
+      throw std::logic_error("FcfsNi: no forwarding entry at source");
+    }
+    const auto copies = static_cast<std::int32_t>(entry->children.size());
+    for (std::int32_t j = 0; j < entry->packet_count; ++j) {
+      hold_packet(message, j, copies);
+    }
+    // Child-major: the whole message to child i before child i+1 sees
+    // anything.
+    for (topo::HostId child : entry->children) {
+      for (std::int32_t j = 0; j < entry->packet_count; ++j) {
+        send_copy(message, j, entry->packet_count, child);
+      }
+    }
+  });
+}
+
+void FcfsNi::on_packet_received(const net::Packet& packet,
+                                const ForwardingEntry& entry) {
+  if (entry.children.empty()) return;
+  // Every packet will eventually be copied to every child; the copies to
+  // children 2..c only get queued when the message is complete, which is
+  // exactly why FCFS holds buffers so long.
+  hold_packet(packet.message, packet.packet_index,
+              static_cast<std::int32_t>(entry.children.size()));
+  send_copy(packet.message, packet.packet_index, packet.packet_count,
+            entry.children.front());
+
+  auto& seen = arrivals_[packet.message];
+  ++seen;
+  if (seen == entry.packet_count) {
+    for (std::size_t i = 1; i < entry.children.size(); ++i) {
+      for (std::int32_t j = 0; j < entry.packet_count; ++j) {
+        send_copy(packet.message, j, entry.packet_count, entry.children[i]);
+      }
+    }
+  }
+}
+
+}  // namespace nimcast::netif

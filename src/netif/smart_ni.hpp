@@ -1,0 +1,51 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "netif/ni_base.hpp"
+
+namespace nimcast::netif {
+
+/// First-Packet-First-Served smart NI (paper Section 3.2, Figure 7).
+///
+/// Source: packet-major order — packet 1 to every child, then packet 2 to
+/// every child, ... Intermediate: each received packet is forwarded to all
+/// children immediately; the firmware keeps no per-message counter. A
+/// packet's buffer slot frees once its last copy has been injected, giving
+/// the T_p = c * t_nd holding time of Section 3.3.2.
+class FpfsNi final : public NetworkInterface {
+ public:
+  using NetworkInterface::NetworkInterface;
+
+  void start_from_host(net::MessageId message, Host& host) override;
+  [[nodiscard]] const char* style() const override { return "smart-fpfs"; }
+
+ protected:
+  void on_packet_received(const net::Packet& packet,
+                          const ForwardingEntry& entry) override;
+};
+
+/// First-Child-First-Served smart NI (paper Section 3.1, Figure 6).
+///
+/// Source: child-major order — the whole message to child 1, then to
+/// child 2, ... Intermediate: each received packet is forwarded to the
+/// *first* child immediately; once all packets have arrived, the whole
+/// message is sent to each remaining child. Packets therefore stay
+/// buffered until the message has gone to every child — the
+/// T_f = ((c-1)m + 1) * t_nd holding time the paper charges against FCFS.
+class FcfsNi final : public NetworkInterface {
+ public:
+  using NetworkInterface::NetworkInterface;
+
+  void start_from_host(net::MessageId message, Host& host) override;
+  [[nodiscard]] const char* style() const override { return "smart-fcfs"; }
+
+ protected:
+  void on_packet_received(const net::Packet& packet,
+                          const ForwardingEntry& entry) override;
+
+ private:
+  std::unordered_map<net::MessageId, std::int32_t> arrivals_;
+};
+
+}  // namespace nimcast::netif

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/sim_time.hpp"
+
+namespace nimcast::net {
+
+/// When a worm's held channels are released.
+enum class ReleaseModel : std::uint8_t {
+  /// All channels release when the packet has fully drained into the
+  /// destination NI. Conservative (slightly over-serializes upstream
+  /// links) and the default — matches the behaviour assumed by the
+  /// hand-computed timings in the test suite.
+  kAtDelivery,
+  /// Channel i releases when the tail flit has passed it: the tail runs
+  /// (path_len-1-i) hops behind the header, so upstream channels free
+  /// earlier. More faithful for long paths; see the release-model
+  /// ablation bench for the measured difference.
+  kPipelined,
+};
+
+/// Physical-layer parameters of the wormhole network.
+///
+/// The paper folds the wire into t_step = (NI send overhead) + (propagation)
+/// + (NI receive overhead); the NI overheads live in `netif::SystemParams`.
+/// These parameters define the propagation part: per-hop header latency and
+/// the serialization time of one packet over a channel.
+struct NetworkConfig {
+  /// Fixed per-hop cost of the header flit: switch routing decision plus
+  /// wire flight time.
+  sim::Time t_hop = sim::Time::us(0.1);
+
+  /// Channel bandwidth in bytes per microsecond (== MB/s). A 64-byte
+  /// packet at 160 MB/s serializes in 0.4 us, in line with mid-90s
+  /// Myrinet-class links the paper targets.
+  double bandwidth_bytes_per_us = 160.0;
+
+  /// Fixed packet size enforced by the network (paper Section 5.2: 64 B).
+  std::int32_t packet_bytes = 64;
+
+  ReleaseModel release_model = ReleaseModel::kAtDelivery;
+
+  /// Probability that a packet is corrupted/dropped at the receiving NI
+  /// (checked after the worm has traversed — it still occupied the wire).
+  /// 0 models the paper's lossless wormhole fabric; non-zero values
+  /// exercise the reliable-multicast layer (netif::ReliableFpfsNi), the
+  /// problem the paper's references [4] and [12] address.
+  double loss_rate = 0.0;
+
+  /// Seed for the loss process (independent of workload seeds).
+  std::uint64_t loss_seed = 0x10551055;
+
+  [[nodiscard]] sim::Time serialization_time() const {
+    if (bandwidth_bytes_per_us <= 0.0) {
+      throw std::invalid_argument("NetworkConfig: non-positive bandwidth");
+    }
+    return sim::Time::us(static_cast<double>(packet_bytes) /
+                         bandwidth_bytes_per_us);
+  }
+};
+
+}  // namespace nimcast::net

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "topology/ids.hpp"
+
+namespace nimcast::net {
+
+/// Identifies a multicast operation in flight; packets of different
+/// operations are distinguished by this id at the receiving NI.
+using MessageId = std::int32_t;
+
+/// Wire-level packet metadata. The payload itself is never materialized —
+/// the simulator moves time, not bytes — but the header fields the NI
+/// coprocessor reads (message id, packet index, count) are carried so the
+/// FCFS/FPFS forwarding logic sees exactly what firmware would see.
+struct Packet {
+  MessageId message = -1;
+  std::int32_t packet_index = 0;   ///< 0-based index within the message
+  std::int32_t packet_count = 1;   ///< total packets in the message
+  topo::HostId sender = topo::kInvalidId;  ///< immediate upstream host
+  topo::HostId dest = topo::kInvalidId;    ///< this copy's destination host
+  /// Opaque per-protocol header field; multicast leaves it unused, the
+  /// collectives layer carries the scatter final-destination or the
+  /// gather origin here.
+  std::int32_t tag = -1;
+};
+
+}  // namespace nimcast::net

@@ -1,0 +1,200 @@
+#include "network/wormhole_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace nimcast::net {
+
+struct WormholeNetwork::Worm {
+  Packet packet;
+  DeliveryCallback cb;
+  std::vector<std::int32_t> path;  ///< channel ids, injection..ejection
+  std::vector<sim::Time> acquired_at;  ///< per-channel acquisition times
+  std::size_t next = 0;            ///< next channel to acquire
+  sim::Time block_start;           ///< set while parked on a busy channel
+};
+
+WormholeNetwork::~WormholeNetwork() = default;
+
+WormholeNetwork::WormholeNetwork(sim::Simulator& simctx,
+                                 const topo::Topology& topology,
+                                 const routing::RouteTable& routes,
+                                 NetworkConfig config, sim::Trace* trace)
+    : sim_{simctx},
+      topology_{topology},
+      routes_{routes},
+      config_{config},
+      trace_{trace},
+      loss_rng_{config.loss_seed} {
+  if (config.loss_rate < 0.0 || config.loss_rate >= 1.0) {
+    throw std::invalid_argument(
+        "WormholeNetwork: loss_rate must be in [0, 1)");
+  }
+  // Switch channels come first (expanded by the routes' virtual-channel
+  // multiplicity), then per-host injection and ejection channels.
+  const auto num_channels =
+      2 * topology.switches().num_edges() * routes.virtual_channels() +
+      2 * topology.num_hosts();
+  channels_.resize(static_cast<std::size_t>(num_channels));
+}
+
+std::int32_t WormholeNetwork::injection_channel(topo::HostId h) const {
+  return 2 * topology_.switches().num_edges() * routes_.virtual_channels() +
+         h;
+}
+
+std::int32_t WormholeNetwork::ejection_channel(topo::HostId h) const {
+  return 2 * topology_.switches().num_edges() * routes_.virtual_channels() +
+         topology_.num_hosts() + h;
+}
+
+std::vector<std::int32_t> WormholeNetwork::full_path(topo::HostId src,
+                                                     topo::HostId dst) const {
+  std::vector<std::int32_t> path;
+  path.push_back(injection_channel(src));
+  const auto& route = routes_.path(src, dst);
+  for (std::int32_t c : routing::route_channels(topology_.switches(), route,
+                                                routes_.virtual_channels())) {
+    path.push_back(c);
+  }
+  path.push_back(ejection_channel(dst));
+  return path;
+}
+
+sim::Time WormholeNetwork::uncontended_latency(std::size_t hops) const {
+  // One t_hop per acquired channel (injection + hops + ejection gets the
+  // header to the far side of each), then the payload drains.
+  const auto total_channels = static_cast<sim::Time::rep>(hops) + 2;
+  return config_.t_hop * total_channels + config_.serialization_time();
+}
+
+void WormholeNetwork::send(const Packet& packet, DeliveryCallback on_delivered) {
+  if (packet.sender < 0 || packet.sender >= topology_.num_hosts() ||
+      packet.dest < 0 || packet.dest >= topology_.num_hosts()) {
+    throw std::invalid_argument("WormholeNetwork::send: host out of range");
+  }
+  if (packet.sender == packet.dest) {
+    throw std::invalid_argument("WormholeNetwork::send: self-send");
+  }
+  auto worm = std::make_unique<Worm>();
+  worm->packet = packet;
+  worm->cb = std::move(on_delivered);
+  worm->path = full_path(packet.sender, packet.dest);
+  Worm* raw = worm.get();
+  live_worms_.push_back(std::move(worm));
+  ++in_flight_;
+  if (trace_) {
+    trace_->record(sim_.now(), sim::TraceCategory::kPacket, packet.sender,
+                   "inject msg=" + std::to_string(packet.message) + " pkt=" +
+                       std::to_string(packet.packet_index) + " -> host " +
+                       std::to_string(packet.dest));
+  }
+  progress(raw);
+}
+
+void WormholeNetwork::progress(Worm* worm) {
+  assert(worm->next < worm->path.size());
+  const std::int32_t chan = worm->path[worm->next];
+  auto& channel = channels_[static_cast<std::size_t>(chan)];
+  if (channel.busy) {
+    worm->block_start = sim_.now();
+    channel.waiters.push_back(worm);
+    if (trace_) {
+      trace_->record(sim_.now(), sim::TraceCategory::kChannel, chan,
+                     "block pkt=" +
+                         std::to_string(worm->packet.packet_index) +
+                         " dest=" + std::to_string(worm->packet.dest));
+    }
+    return;
+  }
+  channel.busy = true;
+  worm->acquired_at.push_back(sim_.now());
+  ++worm->next;
+  if (worm->next == worm->path.size()) {
+    schedule_drain(worm);
+  } else {
+    sim_.schedule_at(sim_.now() + config_.t_hop,
+                     [this, worm] { progress(worm); });
+  }
+}
+
+void WormholeNetwork::schedule_drain(Worm* worm) {
+  // Header crosses the final (ejection) channel, then the payload drains
+  // into the destination NI.
+  const sim::Time delivery =
+      sim_.now() + config_.t_hop + config_.serialization_time();
+  const std::size_t len = worm->path.size();
+  if (config_.release_model == ReleaseModel::kPipelined) {
+    // The tail flit trails the header by one hop per remaining channel;
+    // upstream channels free as it passes (never before the head of the
+    // packet has fully left them, and never after delivery).
+    for (std::size_t i = 0; i + 1 < len; ++i) {
+      const sim::Time earliest = worm->acquired_at[i] + config_.t_hop +
+                                 config_.serialization_time();
+      const sim::Time tail_passes =
+          delivery - config_.t_hop * static_cast<sim::Time::rep>(len - 1 - i);
+      const std::int32_t chan = worm->path[i];
+      sim_.schedule_at(std::max(earliest, tail_passes),
+                       [this, chan] { release_channel(chan); });
+    }
+  }
+  sim_.schedule_at(delivery, [this, worm] { complete(worm); });
+}
+
+void WormholeNetwork::release_channel(std::int32_t chan) {
+  auto& channel = channels_[static_cast<std::size_t>(chan)];
+  assert(channel.busy);
+  if (channel.waiters.empty()) {
+    channel.busy = false;
+    return;
+  }
+  // Immediate FIFO hand-off: the channel never goes idle, the head waiter
+  // owns it as of now. Keeps arbitration strictly first-come-first-served.
+  Worm* next = channel.waiters.front();
+  channel.waiters.pop_front();
+  total_block_ += sim_.now() - next->block_start;
+  assert(next->path[next->next] == chan);
+  next->acquired_at.push_back(sim_.now());
+  ++next->next;
+  if (next->next == next->path.size()) {
+    schedule_drain(next);
+  } else {
+    sim_.schedule_at(sim_.now() + config_.t_hop,
+                     [this, next] { progress(next); });
+  }
+}
+
+void WormholeNetwork::complete(Worm* worm) {
+  if (config_.release_model == ReleaseModel::kAtDelivery) {
+    for (std::int32_t chan : worm->path) release_channel(chan);
+  } else {
+    // Pipelined mode already released the upstream channels; only the
+    // final (ejection) channel is still held.
+    release_channel(worm->path.back());
+  }
+  --in_flight_;
+  const bool lost =
+      config_.loss_rate > 0.0 && loss_rng_.next_bool(config_.loss_rate);
+  if (lost) {
+    ++dropped_;
+  } else {
+    ++delivered_;
+  }
+  if (trace_) {
+    trace_->record(sim_.now(), sim::TraceCategory::kPacket, worm->packet.dest,
+                   std::string(lost ? "DROP" : "deliver") + " msg=" +
+                       std::to_string(worm->packet.message) + " pkt=" +
+                       std::to_string(worm->packet.packet_index));
+  }
+  DeliveryCallback cb = lost ? DeliveryCallback{} : std::move(worm->cb);
+  const Packet packet = worm->packet;
+  auto it = std::find_if(live_worms_.begin(), live_worms_.end(),
+                         [worm](const auto& p) { return p.get() == worm; });
+  assert(it != live_worms_.end());
+  live_worms_.erase(it);
+  if (cb) cb(packet);
+}
+
+}  // namespace nimcast::net

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "network/network_config.hpp"
+#include "network/packet.hpp"
+#include "routing/route_table.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "topology/topology.hpp"
+
+namespace nimcast::net {
+
+/// Channel-level wormhole network simulator.
+///
+/// Every undirected switch link contributes two directed channels; every
+/// host contributes an injection channel (NI -> switch) and an ejection
+/// channel (switch -> NI). A packet travels as a worm: the header acquires
+/// the channels of its route in order, advancing one `t_hop` per acquired
+/// channel; when a channel is busy the worm *blocks in place, holding
+/// everything it has acquired so far* — the defining wormhole behaviour
+/// and the reason the paper needs contention-free tree constructions.
+/// Channels release when the packet has fully drained into the destination
+/// NI (exact for short fixed-size packets whose worm spans the path).
+///
+/// Blocked worms wait in per-channel FIFO queues, so contention resolution
+/// is deterministic given the event order.
+///
+/// Virtual channels (when the route table's router uses them, e.g.
+/// dateline torus routing) are modeled as independent channels: each VC
+/// has its own occupancy and FIFO. This preserves the deadlock behaviour
+/// exactly; it idealizes bandwidth in the rare instants when two VCs of
+/// one physical link carry flits simultaneously (a standard lightweight
+/// simplification, noted in DESIGN.md).
+class WormholeNetwork {
+ public:
+  /// Called when the packet has fully arrived at the destination NI's
+  /// receive queue (header + payload).
+  using DeliveryCallback = std::function<void(const Packet&)>;
+
+  WormholeNetwork(sim::Simulator& simctx, const topo::Topology& topology,
+                  const routing::RouteTable& routes, NetworkConfig config,
+                  sim::Trace* trace = nullptr);
+
+  ~WormholeNetwork();  // out-of-line: Worm is incomplete here
+
+  WormholeNetwork(const WormholeNetwork&) = delete;
+  WormholeNetwork& operator=(const WormholeNetwork&) = delete;
+
+  /// Injects one packet from `packet.sender`'s NI toward `packet.dest`'s
+  /// NI at the current simulated time. The injection channel may itself be
+  /// busy, in which case the worm queues like at any other channel.
+  void send(const Packet& packet, DeliveryCallback on_delivered);
+
+  /// Worms currently traversing the network (or blocked inside it). A
+  /// simulator that goes idle while this is non-zero has hit a routing
+  /// deadlock — possible with torus dimension-ordered routes, impossible
+  /// with up*/down*.
+  [[nodiscard]] std::int32_t in_flight() const { return in_flight_; }
+
+  [[nodiscard]] std::int64_t packets_delivered() const { return delivered_; }
+
+  /// Packets dropped by the loss process (loss_rate > 0). Dropped packets
+  /// consumed wire time but never reached their delivery callback.
+  [[nodiscard]] std::int64_t packets_dropped() const { return dropped_; }
+
+  /// Cumulative time worms spent blocked on busy channels; the
+  /// contention metric reported by the ordering ablation.
+  [[nodiscard]] sim::Time total_block_time() const { return total_block_; }
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  /// Latency of an uncontended traversal over `hops` switch-switch links
+  /// (plus injection and ejection): the network component of the paper's
+  /// t_step.
+  [[nodiscard]] sim::Time uncontended_latency(std::size_t hops) const;
+
+ private:
+  struct Worm;
+
+  /// Channel ids: [0, 2E) switch channels, [2E, 2E+H) injection,
+  /// [2E+H, 2E+2H) ejection.
+  struct Channel {
+    bool busy = false;
+    std::deque<Worm*> waiters;
+  };
+
+  [[nodiscard]] std::int32_t injection_channel(topo::HostId h) const;
+  [[nodiscard]] std::int32_t ejection_channel(topo::HostId h) const;
+  [[nodiscard]] std::vector<std::int32_t> full_path(topo::HostId src,
+                                                    topo::HostId dst) const;
+
+  /// Advances the worm's header through free channels; parks it on the
+  /// first busy one.
+  void progress(Worm* worm);
+  /// Called once the final channel is acquired: schedules the tail drain
+  /// (and, in pipelined mode, the staggered upstream releases).
+  void schedule_drain(Worm* worm);
+  void complete(Worm* worm);
+  void release_channel(std::int32_t chan);
+
+  sim::Simulator& sim_;
+  const topo::Topology& topology_;
+  const routing::RouteTable& routes_;
+  NetworkConfig config_;
+  sim::Trace* trace_;
+
+  std::vector<Channel> channels_;
+  std::vector<std::unique_ptr<Worm>> live_worms_;
+  std::int32_t in_flight_ = 0;
+  std::int64_t delivered_ = 0;
+  std::int64_t dropped_ = 0;
+  sim::Rng loss_rng_;
+  sim::Time total_block_ = sim::Time::zero();
+};
+
+}  // namespace nimcast::net

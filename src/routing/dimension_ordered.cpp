@@ -1,0 +1,72 @@
+#include "routing/dimension_ordered.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace nimcast::routing {
+namespace {
+
+std::uint64_t pair_key(topo::SwitchId a, topo::SwitchId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+DimensionOrderedRouter::DimensionOrderedRouter(const topo::Graph& g,
+                                               topo::KAryNCubeConfig cfg)
+    : graph_{g}, cfg_{cfg} {
+  for (topo::LinkId e = 0; e < g.num_edges(); ++e) {
+    link_index_.emplace(pair_key(g.edge(e).a, g.edge(e).b), e);
+  }
+}
+
+topo::LinkId DimensionOrderedRouter::link_between(topo::SwitchId a,
+                                                  topo::SwitchId b) const {
+  const auto it = link_index_.find(pair_key(a, b));
+  if (it == link_index_.end()) {
+    throw std::logic_error("DimensionOrderedRouter: missing cube link");
+  }
+  return it->second;
+}
+
+SwitchRoute DimensionOrderedRouter::route(topo::SwitchId src,
+                                          topo::SwitchId dst) const {
+  SwitchRoute r;
+  r.switches.push_back(src);
+  auto cur = topo::to_coords(src, cfg_);
+  const auto goal = topo::to_coords(dst, cfg_);
+  for (std::int32_t d = 0; d < cfg_.dimensions; ++d) {
+    auto& c = cur[static_cast<std::size_t>(d)];
+    const auto g = goal[static_cast<std::size_t>(d)];
+    bool crossed_dateline = false;
+    while (c != g) {
+      std::int32_t step;
+      if (!cfg_.wraparound) {
+        step = g > c ? 1 : -1;
+      } else {
+        const std::int32_t fwd = (g - c + cfg_.radix) % cfg_.radix;
+        const std::int32_t bwd = cfg_.radix - fwd;
+        step = fwd <= bwd ? 1 : -1;
+      }
+      const std::int32_t c_before = c;
+      const topo::SwitchId prev = topo::from_coords(cur, cfg_);
+      c = (c + step + cfg_.radix) % cfg_.radix;
+      const topo::SwitchId next = topo::from_coords(cur, cfg_);
+      r.links.push_back(link_between(prev, next));
+      r.switches.push_back(next);
+      if (cfg_.wraparound) {
+        // Dateline: the wraparound hop and everything after it in this
+        // dimension ride VC 1.
+        if (std::abs(c - c_before) == cfg_.radix - 1) {
+          crossed_dateline = true;
+        }
+        r.vcs.push_back(crossed_dateline ? std::uint8_t{1} : std::uint8_t{0});
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace nimcast::routing

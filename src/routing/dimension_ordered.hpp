@@ -1,0 +1,42 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "routing/routing.hpp"
+#include "topology/kary_ncube.hpp"
+
+namespace nimcast::routing {
+
+/// Dimension-ordered (e-cube) routing on a k-ary n-cube.
+///
+/// A packet corrects its address one dimension at a time, lowest dimension
+/// first. On meshes this is the classic XY/XYZ routing and the channel
+/// dependency graph is acyclic outright. On tori the shorter wrap
+/// direction is taken (ties resolved toward increasing coordinates) and
+/// deadlock freedom is restored with two virtual channels per physical
+/// channel using Dally's dateline scheme: a packet rides VC 0 within each
+/// dimension until it crosses the wraparound link, then VC 1 for the rest
+/// of that dimension.
+class DimensionOrderedRouter final : public Router {
+ public:
+  DimensionOrderedRouter(const topo::Graph& g, topo::KAryNCubeConfig cfg);
+
+  [[nodiscard]] SwitchRoute route(topo::SwitchId src,
+                                  topo::SwitchId dst) const override;
+  [[nodiscard]] const char* name() const override {
+    return "dimension-ordered";
+  }
+  [[nodiscard]] std::int32_t virtual_channels() const override {
+    return cfg_.wraparound ? 2 : 1;
+  }
+
+ private:
+  [[nodiscard]] topo::LinkId link_between(topo::SwitchId a,
+                                          topo::SwitchId b) const;
+
+  const topo::Graph& graph_;
+  topo::KAryNCubeConfig cfg_;
+  std::unordered_map<std::uint64_t, topo::LinkId> link_index_;
+};
+
+}  // namespace nimcast::routing

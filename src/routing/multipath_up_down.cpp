@@ -1,0 +1,150 @@
+#include "routing/multipath_up_down.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <array>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace nimcast::routing {
+namespace {
+
+constexpr std::int32_t kUnvisited = std::numeric_limits<std::int32_t>::max();
+/// Path-explosion guard; 64 alternatives is far beyond what load
+/// balancing needs.
+constexpr std::size_t kMaxPaths = 64;
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= UINT64_C(0xff51afd7ed558ccd);
+  x ^= x >> 33;
+  x *= UINT64_C(0xc4ceb9fe1a85ec53);
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+MultipathUpDownRouter::MultipathUpDownRouter(const topo::Graph& g,
+                                             topo::SwitchId root,
+                                             std::uint64_t salt)
+    : base_{g, root}, graph_{g}, salt_{salt} {}
+
+MultipathUpDownRouter::MultipathUpDownRouter(const topo::Graph& g,
+                                             std::vector<std::int32_t> levels,
+                                             std::uint64_t salt)
+    : base_{g, std::move(levels)}, graph_{g}, salt_{salt} {}
+
+std::vector<SwitchRoute> MultipathUpDownRouter::all_shortest(
+    topo::SwitchId src, topo::SwitchId dst) const {
+  if (src == dst) return {SwitchRoute{{src}, {}, {}}};
+
+  // Forward BFS over (switch, phase) states; phase 0 = may still go up.
+  const auto n = static_cast<std::size_t>(graph_.num_vertices());
+  std::array<std::vector<std::int32_t>, 2> dist{
+      std::vector<std::int32_t>(n, kUnvisited),
+      std::vector<std::int32_t>(n, kUnvisited)};
+  std::queue<std::pair<topo::SwitchId, std::int8_t>> q;
+  dist[0][static_cast<std::size_t>(src)] = 0;
+  q.emplace(src, 0);
+  while (!q.empty()) {
+    const auto [v, phase] = q.front();
+    q.pop();
+    const auto dv =
+        dist[static_cast<std::size_t>(phase)][static_cast<std::size_t>(v)];
+    for (topo::LinkId e : graph_.incident(v)) {
+      const topo::SwitchId w = graph_.edge(e).other(v);
+      const bool up_move = base_.is_up(e, v);
+      if (up_move && phase != 0) continue;
+      const std::int8_t np = up_move ? std::int8_t{0} : std::int8_t{1};
+      auto& dw = dist[static_cast<std::size_t>(np)][static_cast<std::size_t>(w)];
+      if (dw != kUnvisited) continue;
+      dw = dv + 1;
+      q.emplace(w, np);
+    }
+  }
+
+  const auto d0 = dist[0][static_cast<std::size_t>(dst)];
+  const auto d1 = dist[1][static_cast<std::size_t>(dst)];
+  const std::int32_t dmin = std::min(d0, d1);
+  if (dmin == kUnvisited) {
+    throw NoLegalRoute("MultipathUpDownRouter: no legal up*/down* route");
+  }
+
+  // Backward DFS over decreasing-distance legal transitions, collecting
+  // every distinct shortest path. rev_links holds the links from dst
+  // back toward the current state; on reaching the source it is reversed
+  // into a route.
+  std::vector<SwitchRoute> paths;
+  std::vector<topo::LinkId> rev_links;
+
+  const std::function<void(topo::SwitchId, std::int8_t)> walk =
+      [&](topo::SwitchId w, std::int8_t p) {
+        if (paths.size() >= kMaxPaths) return;
+        if (w == src && p == 0) {
+          SwitchRoute r;
+          r.switches = {src};
+          for (auto it = rev_links.rbegin(); it != rev_links.rend(); ++it) {
+            r.switches.push_back(graph_.edge(*it).other(r.switches.back()));
+            r.links.push_back(*it);
+          }
+          paths.push_back(std::move(r));
+          return;
+        }
+        const auto dw =
+            dist[static_cast<std::size_t>(p)][static_cast<std::size_t>(w)];
+        for (topo::LinkId e : graph_.incident(w)) {
+          const topo::SwitchId v = graph_.edge(e).other(w);
+          const bool up_move = base_.is_up(e, v);  // move v -> w
+          const std::int8_t np = up_move ? std::int8_t{0} : std::int8_t{1};
+          if (np != p) continue;  // the forward move must land in phase p
+          // Predecessor phases that could make this move: up moves need
+          // phase 0; down moves can come from either phase.
+          for (const std::int8_t pp :
+               up_move ? std::vector<std::int8_t>{0}
+                       : std::vector<std::int8_t>{0, 1}) {
+            const auto dv = dist[static_cast<std::size_t>(pp)]
+                                [static_cast<std::size_t>(v)];
+            if (dv == kUnvisited || dv + 1 != dw) continue;
+            rev_links.push_back(e);
+            walk(v, pp);
+            rev_links.pop_back();
+            if (paths.size() >= kMaxPaths) return;
+          }
+        }
+      };
+
+  for (const std::int8_t p : {std::int8_t{0}, std::int8_t{1}}) {
+    if (dist[static_cast<std::size_t>(p)][static_cast<std::size_t>(dst)] ==
+        dmin) {
+      walk(dst, p);
+    }
+  }
+
+  std::sort(paths.begin(), paths.end(),
+            [](const SwitchRoute& a, const SwitchRoute& b) {
+              return a.switches < b.switches;
+            });
+  paths.erase(std::unique(paths.begin(), paths.end(),
+                          [](const SwitchRoute& a, const SwitchRoute& b) {
+                            return a.switches == b.switches;
+                          }),
+              paths.end());
+  if (paths.empty()) {
+    throw std::logic_error("MultipathUpDownRouter: no path collected (bug)");
+  }
+  return paths;
+}
+
+SwitchRoute MultipathUpDownRouter::route(topo::SwitchId src,
+                                         topo::SwitchId dst) const {
+  auto paths = all_shortest(src, dst);
+  const std::uint64_t h =
+      mix(salt_ ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                   << 32) ^
+          static_cast<std::uint32_t>(dst));
+  return paths[static_cast<std::size_t>(h % paths.size())];
+}
+
+}  // namespace nimcast::routing

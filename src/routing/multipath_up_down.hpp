@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "routing/up_down.hpp"
+
+namespace nimcast::routing {
+
+/// Multipath up*/down*: enumerates *all* shortest legal up*/down* paths
+/// per switch pair and spreads pairs across them by a deterministic
+/// hash.
+///
+/// The plain UpDownRouter always takes the lexicographically smallest
+/// shortest path, which funnels traffic through low-id switches near
+/// the BFS root. Irregular networks and fat-trees usually offer several
+/// equally short legal paths; hashing (src, dst) over them is the
+/// classic oblivious load-balancing move (ECMP avant la lettre).
+/// Deadlock freedom is untouched: every selected path is still a legal
+/// up*/down* path, and legality — not the selection rule — is what makes
+/// the channel dependency graph acyclic.
+///
+/// Routes remain deterministic per (src, dst), which the contention-free
+/// tree construction requires.
+class MultipathUpDownRouter final : public Router {
+ public:
+  explicit MultipathUpDownRouter(const topo::Graph& g,
+                                 topo::SwitchId root = -1,
+                                 std::uint64_t salt = 0);
+
+  /// Explicit-level orientation (see UpDownRouter): the variant that
+  /// actually yields path diversity on structured fabrics.
+  MultipathUpDownRouter(const topo::Graph& g,
+                        std::vector<std::int32_t> levels,
+                        std::uint64_t salt = 0);
+
+  [[nodiscard]] SwitchRoute route(topo::SwitchId src,
+                                  topo::SwitchId dst) const override;
+  [[nodiscard]] const char* name() const override {
+    return "multipath-up*/down*";
+  }
+
+  /// All shortest legal paths between two switches (at least one).
+  [[nodiscard]] std::vector<SwitchRoute> all_shortest(
+      topo::SwitchId src, topo::SwitchId dst) const;
+
+  [[nodiscard]] const UpDownRouter& base() const { return base_; }
+
+ private:
+  UpDownRouter base_;  ///< supplies orientation and the legality rule
+  const topo::Graph& graph_;
+  std::uint64_t salt_;
+};
+
+}  // namespace nimcast::routing

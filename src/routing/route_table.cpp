@@ -1,0 +1,30 @@
+#include "routing/route_table.hpp"
+
+#include <algorithm>
+
+namespace nimcast::routing {
+
+RouteTable::RouteTable(const topo::Topology& topology, const Router& router)
+    : num_hosts_{topology.num_hosts()},
+      num_vcs_{router.virtual_channels()} {
+  routes_.resize(static_cast<std::size_t>(num_hosts_) *
+                 static_cast<std::size_t>(num_hosts_));
+  for (topo::HostId s = 0; s < num_hosts_; ++s) {
+    for (topo::HostId d = 0; d < num_hosts_; ++d) {
+      routes_[index(s, d)] =
+          router.route(topology.switch_of(s), topology.switch_of(d));
+    }
+  }
+}
+
+bool RouteTable::disjoint(const topo::Graph& g, topo::HostId a, topo::HostId b,
+                          topo::HostId c, topo::HostId d) const {
+  const auto ch1 = route_channels(g, path(a, b), num_vcs_);
+  const auto ch2 = route_channels(g, path(c, d), num_vcs_);
+  for (std::int32_t x : ch1) {
+    if (std::find(ch2.begin(), ch2.end(), x) != ch2.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace nimcast::routing

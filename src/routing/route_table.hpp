@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace nimcast::routing {
+
+/// All-pairs host-level routes, precomputed once per (topology, router).
+///
+/// Host routes are switch routes between the attached switches; hosts on
+/// the same switch route through that single switch (zero link hops, but
+/// still one injection and one ejection channel in the network model).
+class RouteTable {
+ public:
+  RouteTable(const topo::Topology& topology, const Router& router);
+
+  [[nodiscard]] const SwitchRoute& path(topo::HostId src,
+                                        topo::HostId dst) const {
+    return routes_[index(src, dst)];
+  }
+
+  [[nodiscard]] std::int32_t num_hosts() const { return num_hosts_; }
+
+  /// Virtual channels the generating router uses; the network provisions
+  /// this many per directed physical channel.
+  [[nodiscard]] std::int32_t virtual_channels() const { return num_vcs_; }
+
+  /// Number of switch-switch link hops between two hosts.
+  [[nodiscard]] std::size_t hops(topo::HostId src, topo::HostId dst) const {
+    return path(src, dst).hops();
+  }
+
+  /// True when the routes of (a -> b) and (c -> d) share no directed
+  /// channel — the paper's link-disjointness condition for contention-free
+  /// orderings (Section 4.3.2).
+  [[nodiscard]] bool disjoint(const topo::Graph& g, topo::HostId a,
+                              topo::HostId b, topo::HostId c,
+                              topo::HostId d) const;
+
+ private:
+  [[nodiscard]] std::size_t index(topo::HostId s, topo::HostId d) const {
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(num_hosts_) +
+           static_cast<std::size_t>(d);
+  }
+
+  std::int32_t num_hosts_;
+  std::int32_t num_vcs_;
+  std::vector<SwitchRoute> routes_;
+};
+
+}  // namespace nimcast::routing

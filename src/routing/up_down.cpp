@@ -1,0 +1,165 @@
+#include "routing/up_down.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace nimcast::routing {
+namespace {
+
+topo::SwitchId default_root(const topo::Graph& g) {
+  topo::SwitchId best = 0;
+  for (topo::SwitchId s = 1; s < g.num_vertices(); ++s) {
+    if (g.degree(s) > g.degree(best)) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+namespace {
+
+std::vector<topo::SwitchId> orient_links(const topo::Graph& g,
+                                         const std::vector<std::int32_t>& lv) {
+  std::vector<topo::SwitchId> up_end(static_cast<std::size_t>(g.num_edges()));
+  for (topo::LinkId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    const auto la = lv[static_cast<std::size_t>(edge.a)];
+    const auto lb = lv[static_cast<std::size_t>(edge.b)];
+    if (la != lb) {
+      up_end[static_cast<std::size_t>(e)] = la < lb ? edge.a : edge.b;
+    } else {
+      up_end[static_cast<std::size_t>(e)] = std::min(edge.a, edge.b);
+    }
+  }
+  return up_end;
+}
+
+}  // namespace
+
+UpDownRouter::UpDownRouter(const topo::Graph& g, topo::SwitchId root)
+    : graph_{g}, root_{root >= 0 ? root : default_root(g)} {
+  if (!g.connected()) {
+    throw std::invalid_argument("UpDownRouter: graph must be connected");
+  }
+  level_ = g.bfs_levels(root_);
+  up_end_ = orient_links(g, level_);
+}
+
+UpDownRouter::UpDownRouter(const topo::Graph& g,
+                           std::vector<std::int32_t> levels)
+    : graph_{g}, level_{std::move(levels)} {
+  if (!g.connected()) {
+    throw std::invalid_argument("UpDownRouter: graph must be connected");
+  }
+  if (level_.size() != static_cast<std::size_t>(g.num_vertices())) {
+    throw std::invalid_argument("UpDownRouter: levels size mismatch");
+  }
+  // Report the lowest-id top-level vertex as the root.
+  root_ = 0;
+  for (topo::SwitchId s = 1; s < g.num_vertices(); ++s) {
+    if (level_[static_cast<std::size_t>(s)] <
+        level_[static_cast<std::size_t>(root_)]) {
+      root_ = s;
+    }
+  }
+  up_end_ = orient_links(g, level_);
+}
+
+bool UpDownRouter::is_up(topo::LinkId link, topo::SwitchId from) const {
+  // Moving out of `from` is "up" when the *other* end is the up end.
+  return graph_.edge(link).other(from) == up_end(link);
+}
+
+SwitchRoute UpDownRouter::route(topo::SwitchId src, topo::SwitchId dst) const {
+  if (src < 0 || src >= graph_.num_vertices() || dst < 0 ||
+      dst >= graph_.num_vertices()) {
+    throw std::invalid_argument("UpDownRouter::route: switch out of range");
+  }
+  if (src == dst) return SwitchRoute{{src}, {}, {}};
+
+  // BFS over (switch, phase) states; phase 0 = may still go up,
+  // phase 1 = committed to going down. A down move from phase 0 enters
+  // phase 1; an up move is legal only in phase 0.
+  const auto n = static_cast<std::size_t>(graph_.num_vertices());
+  constexpr std::int32_t kUnvisited = std::numeric_limits<std::int32_t>::max();
+  struct Parent {
+    topo::SwitchId sw = topo::kInvalidId;
+    topo::LinkId link = topo::kInvalidId;
+    std::int8_t phase = -1;
+  };
+  std::array<std::vector<std::int32_t>, 2> dist{
+      std::vector<std::int32_t>(n, kUnvisited),
+      std::vector<std::int32_t>(n, kUnvisited)};
+  std::array<std::vector<Parent>, 2> parent{std::vector<Parent>(n),
+                                            std::vector<Parent>(n)};
+
+  std::queue<std::pair<topo::SwitchId, std::int8_t>> q;
+  dist[0][static_cast<std::size_t>(src)] = 0;
+  q.emplace(src, 0);
+
+  // Deterministic neighbor order: sort incident links of each step by
+  // (neighbor id, link id). Incident spans are in construction order, so
+  // sort a local copy.
+  while (!q.empty()) {
+    const auto [v, phase] = q.front();
+    q.pop();
+    if (v == dst) break;  // first dequeue of dst is a shortest legal path
+    const auto dv = dist[static_cast<std::size_t>(phase)]
+                        [static_cast<std::size_t>(v)];
+
+    auto span = graph_.incident(v);
+    std::vector<topo::LinkId> links{span.begin(), span.end()};
+    std::sort(links.begin(), links.end(),
+              [&](topo::LinkId x, topo::LinkId y) {
+                const auto wx = graph_.edge(x).other(v);
+                const auto wy = graph_.edge(y).other(v);
+                return std::tie(wx, x) < std::tie(wy, y);
+              });
+
+    for (topo::LinkId e : links) {
+      const topo::SwitchId w = graph_.edge(e).other(v);
+      const bool up_move = is_up(e, v);
+      if (up_move && phase != 0) continue;  // down->up turn is illegal
+      const std::int8_t next_phase = up_move ? std::int8_t{0} : std::int8_t{1};
+      auto& dw = dist[static_cast<std::size_t>(next_phase)]
+                     [static_cast<std::size_t>(w)];
+      if (dw != kUnvisited) continue;
+      dw = dv + 1;
+      parent[static_cast<std::size_t>(next_phase)][static_cast<std::size_t>(w)] =
+          Parent{v, e, phase};
+      q.emplace(w, next_phase);
+    }
+  }
+
+  const auto d0 = dist[0][static_cast<std::size_t>(dst)];
+  const auto d1 = dist[1][static_cast<std::size_t>(dst)];
+  if (d0 == kUnvisited && d1 == kUnvisited) {
+    throw NoLegalRoute("UpDownRouter::route: no legal up*/down* route");
+  }
+  // Prefer the shorter; ties go to the pure-up arrival (phase 0), which is
+  // the deterministic first-found in our BFS order as well.
+  std::int8_t phase = (d0 <= d1) ? std::int8_t{0} : std::int8_t{1};
+
+  // Reconstruct by walking parents from (dst, phase) to (src, 0).
+  SwitchRoute r;
+  std::vector<topo::SwitchId> rev_switches{dst};
+  std::vector<topo::LinkId> rev_links;
+  topo::SwitchId cur = dst;
+  std::int8_t cur_phase = phase;
+  while (cur != src) {
+    const Parent& p =
+        parent[static_cast<std::size_t>(cur_phase)][static_cast<std::size_t>(cur)];
+    rev_links.push_back(p.link);
+    rev_switches.push_back(p.sw);
+    cur = p.sw;
+    cur_phase = p.phase;
+  }
+  r.switches.assign(rev_switches.rbegin(), rev_switches.rend());
+  r.links.assign(rev_links.rbegin(), rev_links.rend());
+  return r;
+}
+
+}  // namespace nimcast::routing

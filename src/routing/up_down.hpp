@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace nimcast::routing {
+
+/// up*/down* routing for irregular switch-based networks.
+///
+/// A BFS spanning tree is grown from a root switch and every link (tree
+/// and cross link alike) is oriented: the "up" end is the endpoint closer
+/// to the root, with lower switch id breaking ties. A legal route crosses
+/// zero or more links in the up direction followed by zero or more in the
+/// down direction — this forbids the down->up turn and makes the channel
+/// dependency graph acyclic, hence deadlock-free wormhole routing
+/// (the scheme of Autonet, used by the paper's reference [5]).
+///
+/// Routes returned are shortest legal paths with deterministic tie-breaks
+/// (prefer the lexicographically smallest next (switch, link)).
+class UpDownRouter final : public Router {
+ public:
+  /// `root < 0` selects the default root: the switch with the highest
+  /// degree (lowest id on ties), a standard heuristic that keeps the BFS
+  /// tree shallow.
+  explicit UpDownRouter(const topo::Graph& g, topo::SwitchId root = -1);
+
+  /// Orientation from an explicit level function instead of BFS: "up"
+  /// points toward strictly smaller levels (lower id on equal levels).
+  /// Structured fabrics (fat-trees) use this to make *every* spine an
+  /// "up" target — BFS from a single root would bury the other spines
+  /// below the leaves and destroy path diversity. Still deadlock-free:
+  /// any consistent orientation forbidding down->up turns is.
+  UpDownRouter(const topo::Graph& g, std::vector<std::int32_t> levels);
+
+  [[nodiscard]] SwitchRoute route(topo::SwitchId src,
+                                  topo::SwitchId dst) const override;
+  [[nodiscard]] const char* name() const override { return "up*/down*"; }
+
+  [[nodiscard]] topo::SwitchId root() const { return root_; }
+  [[nodiscard]] const std::vector<std::int32_t>& levels() const {
+    return level_;
+  }
+  /// The endpoint of `link` on the "up" side (closer to the root).
+  [[nodiscard]] topo::SwitchId up_end(topo::LinkId link) const {
+    return up_end_[static_cast<std::size_t>(link)];
+  }
+  /// True when traversing `link` out of `from` moves in the up direction.
+  [[nodiscard]] bool is_up(topo::LinkId link, topo::SwitchId from) const;
+
+ private:
+  const topo::Graph& graph_;
+  topo::SwitchId root_;
+  std::vector<std::int32_t> level_;
+  std::vector<topo::SwitchId> up_end_;
+};
+
+}  // namespace nimcast::routing

@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace nimcast::sim {
+
+EventId EventQueue::schedule(Time when, Callback cb) {
+  assert(cb && "scheduling an empty callback");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) { return callbacks_.erase(id.seq) > 0; }
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  skip_cancelled();
+  assert(!heap_.empty() && "next_time() on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty() && "pop() on empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.seq);
+  Fired fired{top.time, std::move(it->second)};
+  callbacks_.erase(it);
+  return fired;
+}
+
+}  // namespace nimcast::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace nimcast::sim {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+struct EventId {
+  std::uint64_t seq = 0;
+  [[nodiscard]] friend bool operator==(EventId, EventId) = default;
+};
+
+/// A time-ordered queue of callbacks.
+///
+/// Ties in time are broken by insertion sequence number, so two events
+/// scheduled for the same instant fire in the order they were scheduled.
+/// This FIFO tie-break is load-bearing for determinism: NI coprocessors
+/// schedule sends at identical times and the paper's disciplines (FCFS,
+/// FPFS) are defined by service *order*.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `when`.
+  EventId schedule(Time when, Callback cb);
+
+  /// Cancels a pending event. Returns false when the event already fired
+  /// or was cancelled before. Cancellation is lazy: the heap entry stays
+  /// queued and is skipped at pop time, keeping schedule/cancel O(log n).
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+
+  /// Time of the earliest pending event. Queue must be non-empty.
+  [[nodiscard]] Time next_time() const;
+
+  /// Removes and returns the earliest pending event. Queue must be
+  /// non-empty.
+  struct Fired {
+    Time time;
+    Callback cb;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops heap entries whose callback was cancelled.
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace nimcast::sim

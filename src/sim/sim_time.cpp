@@ -1,0 +1,13 @@
+#include "sim/sim_time.hpp"
+
+#include <cstdio>
+
+namespace nimcast::sim {
+
+std::string Time::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3fus", as_us());
+  return buf;
+}
+
+}  // namespace nimcast::sim

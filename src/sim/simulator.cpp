@@ -1,0 +1,55 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace nimcast::sim {
+
+EventId Simulator::schedule_at(Time when, EventQueue::Callback cb) {
+  if (when < now_) {
+    throw std::logic_error("Simulator::schedule_at: time " + when.to_string() +
+                           " is in the past (now=" + now_.to_string() + ")");
+  }
+  return queue_.schedule(when, std::move(cb));
+}
+
+std::uint64_t Simulator::run(std::uint64_t event_limit) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty()) {
+    auto [time, cb] = queue_.pop();
+    now_ = time;
+    ++fired;
+    ++dispatched_;
+    if (fired > event_limit) {
+      throw std::runtime_error("Simulator::run: event limit exceeded");
+    }
+    cb();
+  }
+  return fired;
+}
+
+std::uint64_t Simulator::run_until(Time until, std::uint64_t event_limit) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto [time, cb] = queue_.pop();
+    now_ = time;
+    ++fired;
+    ++dispatched_;
+    if (fired > event_limit) {
+      throw std::runtime_error("Simulator::run_until: event limit exceeded");
+    }
+    cb();
+  }
+  if (until > now_) now_ = until;
+  return fired;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [time, cb] = queue_.pop();
+  now_ = time;
+  ++dispatched_;
+  cb();
+  return true;
+}
+
+}  // namespace nimcast::sim

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/sim_time.hpp"
+
+namespace nimcast::sim {
+
+/// Sequential discrete-event simulator.
+///
+/// Entities (switches, network interfaces, hosts) schedule callbacks on the
+/// shared simulator; `run()` dispatches them in time order until the event
+/// queue drains. The simulator owns the clock: entities must never keep
+/// their own notion of "now".
+///
+/// Typical use:
+///
+///     Simulator simctx;
+///     simctx.schedule_in(Time::us(3.0), [] { /* NI send done */ });
+///     simctx.run();
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing across callbacks.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when`; `when >= now()` required.
+  EventId schedule_at(Time when, EventQueue::Callback cb);
+
+  /// Schedules `cb` `delay` after the current time; `delay >= 0` required.
+  EventId schedule_in(Time delay, EventQueue::Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event; returns false if it already ran.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Dispatches events until the queue drains. Returns the number of events
+  /// dispatched. Throws std::runtime_error if more than `event_limit`
+  /// events fire, which catches accidental infinite event loops (e.g. a
+  /// retry that re-schedules itself at zero delay forever).
+  std::uint64_t run(std::uint64_t event_limit = kDefaultEventLimit);
+
+  /// Dispatches events with time <= `until`. Events scheduled past `until`
+  /// stay pending and the clock is advanced to exactly `until`.
+  std::uint64_t run_until(Time until,
+                          std::uint64_t event_limit = kDefaultEventLimit);
+
+  /// Runs at most one event. Returns false when the queue was empty.
+  bool step();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+
+  static constexpr std::uint64_t kDefaultEventLimit = 500'000'000;
+
+ private:
+  EventQueue queue_;
+  Time now_ = Time::zero();
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace nimcast::sim

@@ -1,0 +1,114 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nimcast::sim {
+
+void Summary::add(double x) {
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double d = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += d * nb / nt;
+  m2_ += other.m2_ + d * d * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::mean() const {
+  if (n_ == 0) throw std::logic_error("Summary::mean: no samples");
+  return mean_;
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const {
+  if (n_ == 0) throw std::logic_error("Summary::min: no samples");
+  return min_;
+}
+
+double Summary::max() const {
+  if (n_ == 0) throw std::logic_error("Summary::max: no samples");
+  return max_;
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) throw std::logic_error("Samples::mean: no samples");
+  double s = 0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Samples::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0;
+  for (double x : xs_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs_.size() - 1));
+}
+
+double Samples::percentile(double p) const {
+  if (xs_.empty()) throw std::logic_error("Samples::percentile: no samples");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile out of [0,100]");
+  }
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void Occupancy::change(double t_us, double delta) {
+  if (any_ && t_us < last_t_) {
+    throw std::logic_error("Occupancy::change: time went backwards");
+  }
+  if (!any_) {
+    first_t_ = t_us;
+    any_ = true;
+  } else {
+    integral_ += level_ * (t_us - last_t_);
+  }
+  last_t_ = t_us;
+  level_ += delta;
+  peak_ = std::max(peak_, level_);
+}
+
+double Occupancy::integral(double t_end_us) const {
+  if (!any_) return 0.0;
+  if (t_end_us < last_t_) {
+    throw std::logic_error("Occupancy::integral: end before last change");
+  }
+  return integral_ + level_ * (t_end_us - last_t_);
+}
+
+double Occupancy::time_average(double t_end_us) const {
+  if (!any_ || t_end_us <= first_t_) return 0.0;
+  return integral(t_end_us) / (t_end_us - first_t_);
+}
+
+}  // namespace nimcast::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace nimcast::sim {
+
+/// Streaming summary statistics (Welford's online algorithm for variance).
+/// Used by the experiment harness to average multicast latency over the
+/// paper's 30 destination sets x 10 topologies without storing every sample.
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples; supports exact percentiles. Use when the sample
+/// count is small (per-figure data points), not for per-event data.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// Percentile by linear interpolation; `p` in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Time-weighted occupancy integral: tracks a level (e.g. bytes buffered at
+/// an NI) over simulated time and reports the peak and the time average.
+/// This is how the Section 3.3.2 FCFS-vs-FPFS buffer comparison is measured.
+class Occupancy {
+ public:
+  /// Records that the level changed by `delta` at time `t_us`. Times must
+  /// be non-decreasing.
+  void change(double t_us, double delta);
+
+  [[nodiscard]] double level() const { return level_; }
+  [[nodiscard]] double peak() const { return peak_; }
+  /// Time-averaged level over [first_change, t_end_us].
+  [[nodiscard]] double time_average(double t_end_us) const;
+  /// Integral of level dt (microsecond * units).
+  [[nodiscard]] double integral(double t_end_us) const;
+
+ private:
+  double level_ = 0.0;
+  double peak_ = 0.0;
+  double integral_ = 0.0;
+  double last_t_ = 0.0;
+  double first_t_ = 0.0;
+  bool any_ = false;
+};
+
+}  // namespace nimcast::sim

@@ -1,0 +1,43 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace nimcast::sim {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kHost: return "host";
+    case TraceCategory::kNi: return "ni";
+    case TraceCategory::kChannel: return "chan";
+    case TraceCategory::kPacket: return "pkt";
+    case TraceCategory::kMulticast: return "mcast";
+  }
+  return "?";
+}
+
+void Trace::record(Time t, TraceCategory cat, std::int32_t entity,
+                   std::string message) {
+  if (!enabled_) return;
+  records_.push_back(Record{t, cat, entity, std::move(message)});
+}
+
+std::vector<Trace::Record> Trace::filter(TraceCategory cat) const {
+  std::vector<Record> out;
+  for (const auto& r : records_) {
+    if (r.category == cat) out.push_back(r);
+  }
+  return out;
+}
+
+std::string Trace::to_text() const {
+  std::ostringstream os;
+  for (const auto& r : records_) {
+    os << r.time.to_string() << " [" << to_string(r.category) << "]";
+    if (r.entity >= 0) os << " #" << r.entity;
+    os << " " << r.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nimcast::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace nimcast::sim {
+
+/// Trace event categories, used for filtering.
+enum class TraceCategory : std::uint8_t {
+  kHost,      ///< host processor activity (software start-up, receive)
+  kNi,        ///< network interface coprocessor activity
+  kChannel,   ///< wormhole channel acquire/release
+  kPacket,    ///< packet lifecycle (injected, delivered, forwarded)
+  kMulticast  ///< multicast-operation milestones
+};
+
+[[nodiscard]] const char* to_string(TraceCategory c);
+
+/// In-memory event trace.
+///
+/// Collection is off by default so the hot path costs one branch. Tests and
+/// the debugging examples enable it to assert on *sequences* of behaviour
+/// (e.g. "FPFS forwarded packet 2 to every child before packet 3 to any"),
+/// which end-state assertions cannot see.
+class Trace {
+ public:
+  struct Record {
+    Time time;
+    TraceCategory category;
+    std::int32_t entity;  ///< node / channel id, -1 when not applicable
+    std::string message;
+  };
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Time t, TraceCategory cat, std::int32_t entity,
+              std::string message);
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// All records in a category, in time order (trace order == fire order).
+  [[nodiscard]] std::vector<Record> filter(TraceCategory cat) const;
+
+  /// Renders the trace as one line per record, for debugging and examples.
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Record> records_;
+};
+
+}  // namespace nimcast::sim

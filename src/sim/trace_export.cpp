@@ -1,0 +1,52 @@
+#include "sim/trace_export.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nimcast::sim {
+namespace {
+
+/// Minimal JSON string escaping; trace messages are ASCII but may carry
+/// quotes in the future.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const Trace& trace) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& r : trace.records()) {
+    if (!first) os << ",";
+    first = false;
+    // ts is in microseconds per the trace-event spec.
+    os << "\n{\"name\":\"" << escape(r.message) << "\",\"cat\":\""
+       << to_string(r.category) << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+       << r.time.as_us() << ",\"pid\":0,\"tid\":" << r.entity << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+void write_chrome_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out{path};
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  }
+  out << to_chrome_trace_json(trace);
+}
+
+}  // namespace nimcast::sim

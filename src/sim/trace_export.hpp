@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace nimcast::sim {
+
+/// Renders a Trace as Chrome Trace Event Format JSON (the `chrome://
+/// tracing` / Perfetto "JSON array" flavour): one instant event per
+/// record, with the entity id mapped to the thread lane and the category
+/// preserved. Load the output in ui.perfetto.dev to scrub through a
+/// multicast visually.
+[[nodiscard]] std::string to_chrome_trace_json(const Trace& trace);
+
+/// Writes the JSON next to the given path. Throws on I/O failure.
+void write_chrome_trace(const Trace& trace, const std::string& path);
+
+}  // namespace nimcast::sim

@@ -1,0 +1,48 @@
+#include "topology/fat_tree.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace nimcast::topo {
+
+Topology make_fat_tree(const FatTreeConfig& cfg) {
+  if (cfg.edge_switches < 1 || cfg.spine_switches < 1 ||
+      cfg.hosts_per_edge < 1 || cfg.trunk < 1) {
+    throw std::invalid_argument("make_fat_tree: non-positive sizes");
+  }
+  const std::int32_t switches = cfg.edge_switches + cfg.spine_switches;
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(cfg.edge_switches) *
+                static_cast<std::size_t>(cfg.spine_switches) *
+                static_cast<std::size_t>(cfg.trunk));
+  for (SwitchId leaf = 0; leaf < cfg.edge_switches; ++leaf) {
+    for (SwitchId spine = 0; spine < cfg.spine_switches; ++spine) {
+      for (std::int32_t t = 0; t < cfg.trunk; ++t) {
+        edges.push_back(Graph::Edge{leaf, cfg.edge_switches + spine});
+      }
+    }
+  }
+  std::vector<SwitchId> host_switch;
+  host_switch.reserve(static_cast<std::size_t>(cfg.edge_switches) *
+                      static_cast<std::size_t>(cfg.hosts_per_edge));
+  for (SwitchId leaf = 0; leaf < cfg.edge_switches; ++leaf) {
+    for (std::int32_t h = 0; h < cfg.hosts_per_edge; ++h) {
+      host_switch.push_back(leaf);
+    }
+  }
+  return Topology{Graph{switches, std::move(edges)}, std::move(host_switch),
+                  "fat-tree(" + std::to_string(cfg.edge_switches) + "x" +
+                      std::to_string(cfg.spine_switches) + ", " +
+                      std::to_string(cfg.hosts_per_edge) + "h/leaf)"};
+}
+
+std::vector<std::int32_t> fat_tree_levels(const FatTreeConfig& cfg) {
+  std::vector<std::int32_t> levels(
+      static_cast<std::size_t>(cfg.edge_switches + cfg.spine_switches), 1);
+  for (std::int32_t s = 0; s < cfg.spine_switches; ++s) {
+    levels[static_cast<std::size_t>(cfg.edge_switches + s)] = 0;
+  }
+  return levels;
+}
+
+}  // namespace nimcast::topo

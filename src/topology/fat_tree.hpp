@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "topology/topology.hpp"
+
+namespace nimcast::topo {
+
+/// Two-level folded-Clos ("fat-tree") cluster fabric: `edge_switches`
+/// leaf switches each hosting `hosts_per_edge` processors, fully
+/// connected upward to `spine_switches` spines with `trunk` parallel
+/// links per (edge, spine) pair.
+///
+/// This is the structured successor of the paper's random irregular NOW
+/// fabrics; up*/down* routing rooted at a spine degenerates to the
+/// natural up-to-spine/down-to-leaf routing, and the CCO ordering groups
+/// each leaf's hosts — giving the REG-style experiments a third network
+/// family with abundant path diversity.
+struct FatTreeConfig {
+  std::int32_t edge_switches = 8;
+  std::int32_t spine_switches = 4;
+  std::int32_t hosts_per_edge = 8;
+  std::int32_t trunk = 1;  ///< parallel links per edge-spine pair
+};
+
+/// Switch ids: [0, edge_switches) are leaves, the rest are spines.
+[[nodiscard]] Topology make_fat_tree(const FatTreeConfig& cfg);
+
+/// The natural level function for up*/down* orientation on this fabric:
+/// spines level 0, leaves level 1. Hand this to UpDownRouter /
+/// MultipathUpDownRouter to make every spine an "up" target (BFS from a
+/// single root would bury the other spines below the leaves and leave
+/// exactly one legal shortest path per leaf pair).
+[[nodiscard]] std::vector<std::int32_t> fat_tree_levels(
+    const FatTreeConfig& cfg);
+
+}  // namespace nimcast::topo

@@ -1,0 +1,72 @@
+#include "topology/graph.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace nimcast::topo {
+
+Graph::Graph(std::int32_t num_vertices, std::vector<Edge> edges)
+    : num_vertices_{num_vertices}, edges_{std::move(edges)} {
+  if (num_vertices < 0) throw std::invalid_argument("Graph: negative size");
+  for (const Edge& e : edges_) {
+    if (e.a < 0 || e.a >= num_vertices || e.b < 0 || e.b >= num_vertices) {
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    }
+    if (e.a == e.b) throw std::invalid_argument("Graph: self-loop");
+  }
+  // Build CSR incidence.
+  offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[static_cast<std::size_t>(e.a) + 1];
+    ++offsets_[static_cast<std::size_t>(e.b) + 1];
+  }
+  for (std::size_t v = 1; v < offsets_.size(); ++v) offsets_[v] += offsets_[v - 1];
+  incidence_.resize(static_cast<std::size_t>(offsets_.back()));
+  std::vector<std::int32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    incidence_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.a)]++)] =
+        static_cast<LinkId>(i);
+    incidence_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.b)]++)] =
+        static_cast<LinkId>(i);
+  }
+}
+
+std::span<const LinkId> Graph::incident(SwitchId v) const {
+  const auto lo = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+  const auto hi =
+      static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+  return {incidence_.data() + lo, hi - lo};
+}
+
+std::vector<std::int32_t> Graph::bfs_levels(SwitchId root) const {
+  std::vector<std::int32_t> level(static_cast<std::size_t>(num_vertices_), -1);
+  if (num_vertices_ == 0) return level;
+  std::queue<SwitchId> q;
+  level[static_cast<std::size_t>(root)] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const SwitchId v = q.front();
+    q.pop();
+    for (LinkId e : incident(v)) {
+      const SwitchId w = edge(e).other(v);
+      auto& lw = level[static_cast<std::size_t>(w)];
+      if (lw < 0) {
+        lw = level[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return level;
+}
+
+bool Graph::connected() const {
+  if (num_vertices_ <= 1) return true;
+  const auto levels = bfs_levels(0);
+  for (std::int32_t lv : levels) {
+    if (lv < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace nimcast::topo

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "topology/ids.hpp"
+
+namespace nimcast::topo {
+
+/// Undirected multigraph over switches.
+///
+/// Parallel links between the same pair of switches are allowed (the
+/// irregular generator avoids them by default, but cluster interconnects do
+/// trunk links, and routing treats each as an independent channel), and the
+/// structure is immutable after construction so adjacency spans stay valid.
+class Graph {
+ public:
+  struct Edge {
+    SwitchId a = kInvalidId;
+    SwitchId b = kInvalidId;
+    [[nodiscard]] SwitchId other(SwitchId s) const { return s == a ? b : a; }
+  };
+
+  Graph(std::int32_t num_vertices, std::vector<Edge> edges);
+
+  [[nodiscard]] std::int32_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] std::int32_t num_edges() const {
+    return static_cast<std::int32_t>(edges_.size());
+  }
+  [[nodiscard]] const Edge& edge(LinkId e) const {
+    return edges_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Link ids incident to `v`.
+  [[nodiscard]] std::span<const LinkId> incident(SwitchId v) const;
+
+  /// Vertex degree (counting parallel links individually).
+  [[nodiscard]] std::int32_t degree(SwitchId v) const {
+    return static_cast<std::int32_t>(incident(v).size());
+  }
+
+  [[nodiscard]] bool connected() const;
+
+  /// BFS levels from `root`; unreachable vertices get -1.
+  [[nodiscard]] std::vector<std::int32_t> bfs_levels(SwitchId root) const;
+
+ private:
+  std::int32_t num_vertices_;
+  std::vector<Edge> edges_;
+  // CSR adjacency: incidence_[offsets_[v] .. offsets_[v+1]) are link ids.
+  std::vector<std::int32_t> offsets_;
+  std::vector<LinkId> incidence_;
+};
+
+}  // namespace nimcast::topo

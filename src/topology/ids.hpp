@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+namespace nimcast::topo {
+
+/// Identifier vocabulary used across the stack.
+///
+/// Hosts (the paper's "processors"/"nodes") and switches are numbered
+/// independently from 0. Links are undirected switch-switch cables; the
+/// network layer derives two directed channels per link plus an
+/// injection/ejection channel pair per host.
+using HostId = std::int32_t;
+using SwitchId = std::int32_t;
+using LinkId = std::int32_t;
+using PortId = std::int32_t;
+
+inline constexpr std::int32_t kInvalidId = -1;
+
+}  // namespace nimcast::topo

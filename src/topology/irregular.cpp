@@ -1,0 +1,89 @@
+#include "topology/irregular.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nimcast::topo {
+namespace {
+
+std::vector<SwitchId> round_robin_hosts(const IrregularConfig& cfg) {
+  std::vector<SwitchId> host_switch(static_cast<std::size_t>(cfg.num_hosts));
+  for (std::int32_t h = 0; h < cfg.num_hosts; ++h) {
+    host_switch[static_cast<std::size_t>(h)] = h % cfg.num_switches;
+  }
+  return host_switch;
+}
+
+/// One attempt at a configuration-model pairing of the spare ports.
+/// Returns std::nullopt-equivalent via empty optional pattern: a non-simple
+/// or disconnected draw yields no value and the caller retries.
+bool try_draw(const IrregularConfig& cfg, const std::vector<std::int32_t>& spare,
+              sim::Rng& rng, std::vector<Graph::Edge>& out) {
+  std::vector<SwitchId> stubs;
+  for (SwitchId s = 0; s < cfg.num_switches; ++s) {
+    for (std::int32_t p = 0; p < spare[static_cast<std::size_t>(s)]; ++p) {
+      stubs.push_back(s);
+    }
+  }
+  if (stubs.size() % 2 != 0) stubs.pop_back();
+
+  rng.shuffle(stubs);
+  out.clear();
+  std::set<std::pair<SwitchId, SwitchId>> seen;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    SwitchId a = stubs[i];
+    SwitchId b = stubs[i + 1];
+    if (a == b) return false;  // self-loop; reject the whole draw
+    if (a > b) std::swap(a, b);
+    if (!cfg.allow_parallel_links && !seen.emplace(a, b).second) return false;
+    out.push_back(Graph::Edge{a, b});
+  }
+  return true;
+}
+
+}  // namespace
+
+Topology make_irregular(const IrregularConfig& cfg, sim::Rng& rng) {
+  if (cfg.num_switches < 1 || cfg.num_hosts < 1 || cfg.ports_per_switch < 1) {
+    throw std::invalid_argument("make_irregular: non-positive sizes");
+  }
+  auto host_switch = round_robin_hosts(cfg);
+
+  std::vector<std::int32_t> spare(static_cast<std::size_t>(cfg.num_switches),
+                                  cfg.ports_per_switch);
+  for (SwitchId s : host_switch) {
+    if (--spare[static_cast<std::size_t>(s)] < 0) {
+      throw std::invalid_argument(
+          "make_irregular: switch out of ports for hosts");
+    }
+  }
+  if (cfg.num_switches > 1) {
+    for (std::int32_t sp : spare) {
+      if (sp < cfg.min_switch_links) {
+        throw std::invalid_argument(
+            "make_irregular: a switch has fewer spare ports (" +
+            std::to_string(sp) + ") than min_switch_links");
+      }
+    }
+  }
+
+  constexpr int kMaxAttempts = 100'000;
+  std::vector<Graph::Edge> edges;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (!try_draw(cfg, spare, rng, edges)) continue;
+    Graph g{cfg.num_switches, edges};
+    if (!g.connected()) continue;
+    return Topology{std::move(g), std::move(host_switch),
+                    "irregular(" + std::to_string(cfg.num_switches) + "sw," +
+                        std::to_string(cfg.num_hosts) + "h," +
+                        std::to_string(cfg.ports_per_switch) + "p)"};
+  }
+  throw std::runtime_error(
+      "make_irregular: no simple connected wiring found; "
+      "config likely infeasible");
+}
+
+}  // namespace nimcast::topo

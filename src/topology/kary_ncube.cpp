@@ -1,0 +1,73 @@
+#include "topology/kary_ncube.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace nimcast::topo {
+namespace {
+
+std::int32_t checked_total(const KAryNCubeConfig& cfg) {
+  if (cfg.radix < 2 || cfg.dimensions < 1) {
+    throw std::invalid_argument("make_kary_ncube: radix>=2, dimensions>=1");
+  }
+  std::int64_t total = 1;
+  for (std::int32_t d = 0; d < cfg.dimensions; ++d) {
+    total *= cfg.radix;
+    if (total > 1'000'000) {
+      throw std::invalid_argument("make_kary_ncube: too many nodes");
+    }
+  }
+  return static_cast<std::int32_t>(total);
+}
+
+}  // namespace
+
+std::vector<std::int32_t> to_coords(std::int32_t node,
+                                    const KAryNCubeConfig& cfg) {
+  std::vector<std::int32_t> coords(static_cast<std::size_t>(cfg.dimensions));
+  for (std::int32_t d = 0; d < cfg.dimensions; ++d) {
+    coords[static_cast<std::size_t>(d)] = node % cfg.radix;
+    node /= cfg.radix;
+  }
+  return coords;
+}
+
+std::int32_t from_coords(const std::vector<std::int32_t>& coords,
+                         const KAryNCubeConfig& cfg) {
+  std::int32_t node = 0;
+  for (std::int32_t d = cfg.dimensions - 1; d >= 0; --d) {
+    node = node * cfg.radix + coords[static_cast<std::size_t>(d)];
+  }
+  return node;
+}
+
+Topology make_kary_ncube(const KAryNCubeConfig& cfg) {
+  const std::int32_t total = checked_total(cfg);
+  std::vector<Graph::Edge> edges;
+  for (std::int32_t v = 0; v < total; ++v) {
+    auto coords = to_coords(v, cfg);
+    for (std::int32_t d = 0; d < cfg.dimensions; ++d) {
+      const std::int32_t c = coords[static_cast<std::size_t>(d)];
+      // Emit each undirected link once: from the lower-coordinate side.
+      if (c + 1 < cfg.radix) {
+        coords[static_cast<std::size_t>(d)] = c + 1;
+        edges.push_back(Graph::Edge{v, from_coords(coords, cfg)});
+        coords[static_cast<std::size_t>(d)] = c;
+      } else if (cfg.wraparound && cfg.radix > 2 && c == cfg.radix - 1) {
+        coords[static_cast<std::size_t>(d)] = 0;
+        edges.push_back(Graph::Edge{v, from_coords(coords, cfg)});
+        coords[static_cast<std::size_t>(d)] = c;
+      }
+    }
+  }
+  std::vector<SwitchId> host_switch(static_cast<std::size_t>(total));
+  std::iota(host_switch.begin(), host_switch.end(), 0);
+  return Topology{Graph{total, std::move(edges)}, std::move(host_switch),
+                  std::to_string(cfg.radix) + "-ary " +
+                      std::to_string(cfg.dimensions) + "-cube" +
+                      (cfg.wraparound ? " (torus)" : " (mesh)")};
+}
+
+}  // namespace nimcast::topo

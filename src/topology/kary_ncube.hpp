@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace nimcast::topo {
+
+/// k-ary n-cube (mesh or torus) of routers with one host per router.
+///
+/// This is the regular-network substrate the paper's Section 4.3.2 refers
+/// to ("for k-ary n-cubes, the dimension-ordered chain can be used"), and
+/// powers the REG extension experiments: 2D/3D meshes, tori and binary
+/// hypercubes (k=2). Router r sits at coordinates digit-decomposed in base
+/// `radix`; host h attaches to router h.
+struct KAryNCubeConfig {
+  std::int32_t radix = 4;       ///< k: nodes per dimension
+  std::int32_t dimensions = 2;  ///< n
+  bool wraparound = false;      ///< true = torus, false = mesh
+};
+
+[[nodiscard]] Topology make_kary_ncube(const KAryNCubeConfig& cfg);
+
+/// Coordinate helpers shared with dimension-ordered routing.
+[[nodiscard]] std::vector<std::int32_t> to_coords(std::int32_t node,
+                                                  const KAryNCubeConfig& cfg);
+[[nodiscard]] std::int32_t from_coords(const std::vector<std::int32_t>& coords,
+                                       const KAryNCubeConfig& cfg);
+
+}  // namespace nimcast::topo

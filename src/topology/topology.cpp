@@ -1,0 +1,36 @@
+#include "topology/topology.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nimcast::topo {
+
+Topology::Topology(Graph switches, std::vector<SwitchId> host_switch,
+                   std::string name)
+    : switches_{std::move(switches)},
+      host_switch_{std::move(host_switch)},
+      name_{std::move(name)} {
+  for (SwitchId s : host_switch_) {
+    if (s < 0 || s >= switches_.num_vertices()) {
+      throw std::invalid_argument("Topology: host attached to missing switch");
+    }
+  }
+}
+
+std::vector<HostId> Topology::hosts_of(SwitchId s) const {
+  std::vector<HostId> out;
+  for (std::size_t h = 0; h < host_switch_.size(); ++h) {
+    if (host_switch_[h] == s) out.push_back(static_cast<HostId>(h));
+  }
+  return out;
+}
+
+std::int32_t Topology::ports_used(SwitchId s) const {
+  std::int32_t used = switches_.degree(s);
+  for (SwitchId hs : host_switch_) {
+    if (hs == s) ++used;
+  }
+  return used;
+}
+
+}  // namespace nimcast::topo

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "topology/ids.hpp"
+
+namespace nimcast::topo {
+
+/// A complete system interconnect: a switch graph plus host attachments.
+///
+/// This is the substrate every experiment runs on. The paper's evaluation
+/// system — 64 processors on 16 eight-port switches — is one instance
+/// (see `irregular.hpp`); k-ary n-cubes with integrated routers are another
+/// (`kary_ncube.hpp`).
+class Topology {
+ public:
+  /// `host_switch[h]` is the switch host `h` attaches to.
+  Topology(Graph switches, std::vector<SwitchId> host_switch,
+           std::string name);
+
+  [[nodiscard]] const Graph& switches() const { return switches_; }
+  [[nodiscard]] std::int32_t num_switches() const {
+    return switches_.num_vertices();
+  }
+  [[nodiscard]] std::int32_t num_hosts() const {
+    return static_cast<std::int32_t>(host_switch_.size());
+  }
+  [[nodiscard]] SwitchId switch_of(HostId h) const {
+    return host_switch_[static_cast<std::size_t>(h)];
+  }
+  [[nodiscard]] const std::vector<SwitchId>& host_switches() const {
+    return host_switch_;
+  }
+  /// Hosts attached to switch `s`, ascending.
+  [[nodiscard]] std::vector<HostId> hosts_of(SwitchId s) const;
+
+  /// Ports in use at switch `s`: attached hosts + incident links.
+  [[nodiscard]] std::int32_t ports_used(SwitchId s) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  Graph switches_;
+  std::vector<SwitchId> host_switch_;
+  std::string name_;
+};
+
+}  // namespace nimcast::topo

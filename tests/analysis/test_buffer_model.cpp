@@ -1,0 +1,56 @@
+#include "analysis/buffer_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nimcast::analysis {
+namespace {
+
+const sim::Time kTnd = sim::Time::us(3.0);
+
+TEST(BufferModel, FpfsHoldingIsChildrenTimesTnd) {
+  EXPECT_EQ(fpfs_holding_time(1, kTnd), kTnd);
+  EXPECT_EQ(fpfs_holding_time(4, kTnd), kTnd * 4);
+}
+
+TEST(BufferModel, FcfsHoldingFormula) {
+  // T_f = ((c-1)m + 1) t_nd.
+  EXPECT_EQ(fcfs_holding_time(3, 4, kTnd), kTnd * 9);
+  EXPECT_EQ(fcfs_holding_time(2, 10, kTnd), kTnd * 11);
+}
+
+TEST(BufferModel, EqualityOnlyAtSinglePacketOrSingleChild) {
+  EXPECT_EQ(fcfs_holding_time(5, 1, kTnd), fpfs_holding_time(5, kTnd));
+  EXPECT_EQ(fcfs_holding_time(1, 7, kTnd), fpfs_holding_time(1, kTnd));
+}
+
+TEST(BufferModel, FcfsAlwaysAtLeastFpfs) {
+  // The paper's Section 3.3.2 conclusion, swept broadly.
+  for (std::int32_t c = 1; c <= 8; ++c) {
+    for (std::int32_t m = 1; m <= 64; ++m) {
+      EXPECT_GE(fcfs_holding_time(c, m, kTnd), fpfs_holding_time(c, kTnd))
+          << "c=" << c << " m=" << m;
+    }
+  }
+}
+
+TEST(BufferModel, FcfsGapGrowsLinearlyInPackets) {
+  const auto gap = [&](std::int32_t m) {
+    return fcfs_holding_time(3, m, kTnd) - fpfs_holding_time(3, kTnd);
+  };
+  EXPECT_EQ(gap(2) - gap(1), kTnd * 2);  // slope (c-1) t_nd
+  EXPECT_EQ(gap(9) - gap(8), kTnd * 2);
+}
+
+TEST(BufferModel, IntegralsScaleWithMessageLength) {
+  EXPECT_DOUBLE_EQ(fpfs_buffer_integral_us(4, 8, kTnd), 8 * 4 * 3.0);
+  EXPECT_DOUBLE_EQ(fcfs_buffer_integral_us(4, 8, kTnd), 8 * 25 * 3.0);
+}
+
+TEST(BufferModel, RejectsBadArguments) {
+  EXPECT_THROW((void)fcfs_holding_time(0, 1, kTnd), std::invalid_argument);
+  EXPECT_THROW((void)fcfs_holding_time(1, 0, kTnd), std::invalid_argument);
+  EXPECT_THROW((void)fpfs_holding_time(0, kTnd), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nimcast::analysis

@@ -1,0 +1,99 @@
+#include "analysis/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/kbinomial.hpp"
+#include "mcast/step_model.hpp"
+
+namespace nimcast::analysis {
+namespace {
+
+const netif::SystemParams kParams;  // paper defaults
+const sim::Time kStep = sim::Time::us(5.5);
+
+TEST(LatencyModel, SmartFormulaSection25) {
+  // Single packet over a binomial tree to 3 destinations (Fig. 4b):
+  // t_s + 2 * t_step + t_r.
+  const LatencyModel model{kParams, kStep};
+  EXPECT_EQ(model.smart_binomial(4, 1),
+            kParams.t_s + kStep * 2 + kParams.t_r);
+}
+
+TEST(LatencyModel, PipelinedFormulaTheorem2) {
+  const LatencyModel model{kParams, kStep};
+  // Fig. 5(a): binomial, n=4, m=3 -> 6 steps.
+  EXPECT_EQ(model.smart_binomial(4, 3),
+            kParams.t_s + kStep * 6 + kParams.t_r);
+  // Fig. 5(b): linear, n=4, m=3 -> 5 steps.
+  EXPECT_EQ(model.smart_linear(4, 3),
+            kParams.t_s + kStep * 5 + kParams.t_r);
+}
+
+TEST(LatencyModel, MatchesStepModelOnEveryKBinomialTree) {
+  const LatencyModel model{kParams, kStep};
+  for (std::int32_t n : {2, 4, 9, 16, 33, 64}) {
+    for (std::int32_t m : {1, 2, 4, 8}) {
+      const auto tree = core::make_binomial(n);
+      const auto sched =
+          mcast::step_schedule(tree, m, mcast::Discipline::kFpfs);
+      EXPECT_EQ(model.smart_binomial(n, m),
+                kParams.t_s + kStep * sched.total_steps + kParams.t_r)
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(LatencyModel, OptimalNeverWorseThanBinomialOrLinear) {
+  const LatencyModel model{kParams, kStep};
+  for (std::int32_t n = 2; n <= 64; ++n) {
+    for (std::int32_t m : {1, 2, 4, 8, 16, 32}) {
+      const auto opt = model.smart_optimal(n, m);
+      EXPECT_LE(opt, model.smart_binomial(n, m)) << "n=" << n << " m=" << m;
+      EXPECT_LE(opt, model.smart_linear(n, m)) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(LatencyModel, ConventionalPaysPerLevelSoftwareCost) {
+  const LatencyModel model{kParams, kStep};
+  // Fig. 4(a) vs 4(b): for n=4 (2 levels), conventional pays (t_s + t_r)
+  // twice over; smart pays it once.
+  const auto conv = model.conventional_binomial(4, 1);
+  const auto smart = model.smart_binomial(4, 1);
+  EXPECT_EQ(conv, (kParams.t_s + kStep + kParams.t_r) * 2);
+  EXPECT_GT(conv, smart);
+}
+
+TEST(LatencyModel, ConventionalGapGrowsWithSetSize) {
+  const LatencyModel model{kParams, kStep};
+  sim::Time prev_gap = sim::Time::zero();
+  for (std::int32_t n : {4, 8, 16, 32, 64}) {
+    const auto gap =
+        model.conventional_binomial(n, 1) - model.smart_binomial(n, 1);
+    EXPECT_GT(gap, prev_gap);
+    prev_gap = gap;
+  }
+}
+
+TEST(LatencyModel, FromNetworkComposesTStep) {
+  const net::NetworkConfig netcfg;  // t_hop 0.1us, 64B @ 160B/us
+  const auto model = LatencyModel::from_network(kParams, netcfg, 2);
+  // t_snd + (2+2)*0.1 + 0.4 + t_rcv = 3.0 + 0.8 + 2.0
+  EXPECT_EQ(model.t_step(), sim::Time::us(5.8));
+}
+
+TEST(LatencyModel, DegenerateSingleNode) {
+  const LatencyModel model{kParams, kStep};
+  EXPECT_EQ(model.smart_optimal(1, 4), kParams.t_s + kParams.t_r);
+}
+
+TEST(LatencyModel, RejectsBadArguments) {
+  const LatencyModel model{kParams, kStep};
+  EXPECT_THROW((void)model.smart(1, 1, 0), std::invalid_argument);
+  EXPECT_THROW((void)model.smart_binomial(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)model.conventional_binomial(4, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nimcast::analysis

@@ -1,0 +1,121 @@
+#include "core/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nimcast::core {
+namespace {
+
+TEST(Coverage, BinomialRegimeIsPowersOfTwo) {
+  CoverageTable cov;
+  for (std::int32_t k = 1; k <= 8; ++k) {
+    for (std::int32_t s = 0; s <= k; ++s) {
+      EXPECT_EQ(cov.coverage(s, k), UINT64_C(1) << s) << "s=" << s << " k=" << k;
+    }
+  }
+}
+
+TEST(Coverage, RecurrenceHolds) {
+  CoverageTable cov;
+  for (std::int32_t k = 1; k <= 6; ++k) {
+    for (std::int32_t s = k + 1; s <= 20; ++s) {
+      std::uint64_t expected = 1;
+      for (std::int32_t i = 1; i <= k; ++i) expected += cov.coverage(s - i, k);
+      EXPECT_EQ(cov.coverage(s, k), expected);
+    }
+  }
+}
+
+TEST(Coverage, KnownValuesForK2) {
+  CoverageTable cov;
+  // N(s,2): 1, 2, 4, 7, 12, 20, 33, 54 (Fibonacci-like).
+  const std::uint64_t expected[] = {1, 2, 4, 7, 12, 20, 33, 54};
+  for (std::int32_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(cov.coverage(s, 2), expected[s]);
+  }
+}
+
+TEST(Coverage, LinearTreeCoversSPlusOne) {
+  CoverageTable cov;
+  for (std::int32_t s = 0; s <= 40; ++s) {
+    EXPECT_EQ(cov.coverage(s, 1), static_cast<std::uint64_t>(s) + 1);
+  }
+}
+
+TEST(Coverage, MonotoneInBothArguments) {
+  CoverageTable cov;
+  for (std::int32_t k = 1; k <= 6; ++k) {
+    for (std::int32_t s = 0; s < 15; ++s) {
+      EXPECT_LE(cov.coverage(s, k), cov.coverage(s + 1, k));
+      if (k > 1) {
+        EXPECT_LE(cov.coverage(s, k - 1), cov.coverage(s, k));
+      }
+    }
+  }
+}
+
+TEST(Coverage, NeverExceedsBinomial) {
+  CoverageTable cov;
+  for (std::int32_t k = 1; k <= 8; ++k) {
+    for (std::int32_t s = 0; s <= 30; ++s) {
+      EXPECT_LE(cov.coverage(s, k), UINT64_C(1) << s);
+    }
+  }
+}
+
+TEST(Coverage, SaturatesInsteadOfOverflowing) {
+  CoverageTable cov;
+  EXPECT_EQ(cov.coverage(100, 8), kCoverageInfinity);
+  EXPECT_EQ(cov.coverage(63, 63), kCoverageInfinity);
+}
+
+TEST(Coverage, RejectsBadArguments) {
+  CoverageTable cov;
+  EXPECT_THROW((void)cov.coverage(-1, 2), std::invalid_argument);
+  EXPECT_THROW((void)cov.coverage(3, 0), std::invalid_argument);
+}
+
+TEST(MinSteps, MatchesDefinition) {
+  CoverageTable cov;
+  for (std::int32_t k = 1; k <= 6; ++k) {
+    for (std::uint64_t n = 1; n <= 200; ++n) {
+      const std::int32_t s = cov.min_steps(n, k);
+      EXPECT_GE(cov.coverage(s, k), n);
+      if (s > 0) {
+        EXPECT_LT(cov.coverage(s - 1, k), n);
+      }
+    }
+  }
+}
+
+TEST(MinSteps, BinomialFanoutGivesCeilLog2) {
+  CoverageTable cov;
+  for (std::uint64_t n = 2; n <= 1024; ++n) {
+    const std::int32_t k = ceil_log2(n);
+    EXPECT_EQ(cov.min_steps(n, k), k) << "n=" << n;
+  }
+}
+
+TEST(MinSteps, LinearIsNMinusOne) {
+  CoverageTable cov;
+  for (std::uint64_t n = 1; n <= 100; ++n) {
+    EXPECT_EQ(cov.min_steps(n, 1), static_cast<std::int32_t>(n) - 1);
+  }
+}
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(64), 6);
+  EXPECT_EQ(ceil_log2(65), 7);
+  EXPECT_EQ(ceil_log2(UINT64_C(1) << 40), 40);
+}
+
+TEST(CeilLog2, RejectsZero) {
+  EXPECT_THROW((void)ceil_log2(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nimcast::core

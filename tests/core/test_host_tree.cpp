@@ -1,0 +1,52 @@
+#include "core/host_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/kbinomial.hpp"
+
+namespace nimcast::core {
+namespace {
+
+TEST(HostTree, BindMapsRanksToHosts) {
+  const RankTree rt = make_binomial(4);  // 0 -> (2 -> (3), 1)
+  const Chain order{10, 20, 30, 40};
+  const HostTree ht = HostTree::bind(rt, order);
+  EXPECT_EQ(ht.root, 10);
+  EXPECT_EQ(ht.size(), 4);
+  EXPECT_EQ(ht.children.at(10), (std::vector<topo::HostId>{30, 20}));
+  EXPECT_EQ(ht.children.at(30), (std::vector<topo::HostId>{40}));
+  EXPECT_TRUE(ht.children.at(20).empty());
+  EXPECT_TRUE(ht.children.at(40).empty());
+  EXPECT_EQ(ht.root_children(), 2);
+}
+
+TEST(HostTree, NodesPreserveRankOrder) {
+  const RankTree rt = make_linear(3);
+  const HostTree ht = HostTree::bind(rt, {7, 5, 3});
+  EXPECT_EQ(ht.nodes, (std::vector<topo::HostId>{7, 5, 3}));
+}
+
+TEST(HostTree, EveryParticipantHasChildrenEntry) {
+  const RankTree rt = make_kbinomial(10, 2);
+  Chain order;
+  for (topo::HostId h = 0; h < 10; ++h) order.push_back(h * 3);
+  const HostTree ht = HostTree::bind(rt, order);
+  for (topo::HostId h : ht.nodes) {
+    EXPECT_TRUE(ht.children.contains(h));
+  }
+}
+
+TEST(HostTree, BindRejectsSizeMismatch) {
+  const RankTree rt = make_binomial(4);
+  EXPECT_THROW((void)HostTree::bind(rt, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(HostTree, SingletonTree) {
+  const RankTree rt = make_binomial(1);
+  const HostTree ht = HostTree::bind(rt, {42});
+  EXPECT_EQ(ht.root, 42);
+  EXPECT_EQ(ht.root_children(), 0);
+}
+
+}  // namespace
+}  // namespace nimcast::core

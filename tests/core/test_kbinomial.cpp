@@ -1,0 +1,134 @@
+#include "core/kbinomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace nimcast::core {
+namespace {
+
+TEST(KBinomial, SingleNodeTree) {
+  const RankTree t = make_kbinomial(1, 3);
+  t.validate();
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.root_children(), 0);
+  EXPECT_EQ(t.steps_to_complete(), 0);
+}
+
+TEST(KBinomial, TwoNodes) {
+  const RankTree t = make_kbinomial(2, 1);
+  t.validate();
+  EXPECT_EQ(t.children[0], (std::vector<std::int32_t>{1}));
+}
+
+TEST(KBinomial, LinearTreeIsChain) {
+  const RankTree t = make_linear(5);
+  t.validate();
+  for (std::int32_t r = 0; r + 1 < 5; ++r) {
+    EXPECT_EQ(t.children[static_cast<std::size_t>(r)],
+              (std::vector<std::int32_t>{r + 1}));
+  }
+  EXPECT_EQ(t.steps_to_complete(), 4);
+}
+
+TEST(KBinomial, BinomialRecursiveHalving) {
+  const RankTree t = make_binomial(8);
+  t.validate();
+  // Root's first child splits the chain in half, then quarters, ...
+  EXPECT_EQ(t.children[0], (std::vector<std::int32_t>{4, 2, 1}));
+  EXPECT_EQ(t.children[4], (std::vector<std::int32_t>{6, 5}));
+  EXPECT_EQ(t.children[6], (std::vector<std::int32_t>{7}));
+  EXPECT_EQ(t.steps_to_complete(), 3);
+}
+
+TEST(KBinomial, PaperFigure9Shapes) {
+  // Fig. 9: 3-binomial and 4-binomial trees on multicast set size 16.
+  const RankTree t3 = make_kbinomial(16, 3);
+  t3.validate();
+  EXPECT_EQ(t3.max_children(), 3);
+  EXPECT_EQ(t3.steps_to_complete(), 5);  // N(4,3)=15 < 16 <= N(5,3)=28
+
+  const RankTree t4 = make_kbinomial(16, 4);
+  t4.validate();
+  EXPECT_LE(t4.max_children(), 4);
+  EXPECT_EQ(t4.steps_to_complete(), 4);  // 4-binomial == binomial for n=16
+}
+
+TEST(KBinomial, FanoutBoundRespected) {
+  for (std::int32_t n = 1; n <= 150; ++n) {
+    for (std::int32_t k = 1; k <= 7; ++k) {
+      const RankTree t = make_kbinomial(n, k);
+      t.validate();
+      EXPECT_LE(t.max_children(), k) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(KBinomial, CompletesInExactlyMinSteps) {
+  CoverageTable cov;
+  for (std::int32_t n = 1; n <= 150; ++n) {
+    for (std::int32_t k = 1; k <= 7; ++k) {
+      const RankTree t = make_kbinomial(n, k);
+      EXPECT_EQ(t.steps_to_complete(),
+                cov.min_steps(static_cast<std::uint64_t>(n), k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(KBinomial, SubtreesOccupyContiguousChainSegmentsToTheRight) {
+  // The Fig. 11 construction property that makes contention-freeness
+  // work: each subtree covers a contiguous rank range starting at its
+  // root, entirely to the right of (greater than) its parent.
+  for (const auto& [n, k] : {std::pair{37, 2}, std::pair{64, 3},
+                             std::pair{100, 4}, std::pair{48, 6}}) {
+    const RankTree t = make_kbinomial(n, k);
+    // Compute subtree [min,max] and size per node; verify contiguity.
+    std::vector<std::int32_t> size(static_cast<std::size_t>(n), 1);
+    std::vector<std::int32_t> maxr(static_cast<std::size_t>(n));
+    for (std::int32_t r = n - 1; r >= 0; --r) {
+      maxr[static_cast<std::size_t>(r)] = r;
+      for (std::int32_t c : t.children[static_cast<std::size_t>(r)]) {
+        EXPECT_GT(c, r) << "child left of parent";
+        size[static_cast<std::size_t>(r)] += size[static_cast<std::size_t>(c)];
+        maxr[static_cast<std::size_t>(r)] =
+            std::max(maxr[static_cast<std::size_t>(r)],
+                     maxr[static_cast<std::size_t>(c)]);
+      }
+      EXPECT_EQ(maxr[static_cast<std::size_t>(r)] - r + 1,
+                size[static_cast<std::size_t>(r)])
+          << "subtree of rank " << r << " not contiguous (n=" << n
+          << ", k=" << k << ")";
+    }
+  }
+}
+
+TEST(KBinomial, FirstChildOwnsDeepestSubtree) {
+  // Send order: earlier children get more steps, hence larger segments.
+  const RankTree t = make_kbinomial(64, 3);
+  const auto& kids = t.children[0];
+  ASSERT_GE(kids.size(), 2u);
+  for (std::size_t i = 0; i + 1 < kids.size(); ++i) {
+    // Earlier child sits further right only if its segment is larger;
+    // with the rightmost-first construction children descend in rank.
+    EXPECT_GT(kids[i], kids[i + 1]);
+  }
+}
+
+TEST(KBinomial, LargeKEqualsBinomial) {
+  // k beyond ceil(log2 n) cannot help; the trees coincide.
+  for (std::int32_t n : {5, 16, 33, 100}) {
+    const RankTree a = make_kbinomial(n, ceil_log2(static_cast<std::uint64_t>(n)));
+    const RankTree b = make_binomial(n);
+    EXPECT_EQ(a.children, b.children);
+  }
+}
+
+TEST(KBinomial, RejectsBadArguments) {
+  EXPECT_THROW((void)make_kbinomial(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)make_kbinomial(4, 0), std::invalid_argument);
+  EXPECT_THROW((void)make_binomial(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nimcast::core

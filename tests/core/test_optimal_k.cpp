@@ -1,0 +1,121 @@
+#include "core/optimal_k.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nimcast::core {
+namespace {
+
+TEST(OptimalK, SinglePacketPrefersFullBinomial) {
+  // Paper Fig. 12(a): for m = 1 the optimal k is ceil(log2 n).
+  for (std::int32_t n : {4, 8, 15, 16, 31, 32, 48, 63, 64}) {
+    const OptimalChoice c = optimal_k(n, 1);
+    EXPECT_EQ(c.k, ceil_log2(static_cast<std::uint64_t>(n))) << "n=" << n;
+    EXPECT_EQ(c.t1, ceil_log2(static_cast<std::uint64_t>(n)));
+    EXPECT_EQ(c.total_steps, c.t1);
+  }
+}
+
+TEST(OptimalK, MatchesExhaustiveSearch) {
+  CoverageTable cov;
+  for (std::int32_t n = 2; n <= 64; ++n) {
+    for (std::int32_t m = 1; m <= 40; ++m) {
+      const OptimalChoice c = optimal_k(n, m, cov);
+      // Brute force over the full interval.
+      std::int64_t best = INT64_MAX;
+      for (std::int32_t k = 1;
+           k <= ceil_log2(static_cast<std::uint64_t>(n)); ++k) {
+        const std::int64_t total =
+            cov.min_steps(static_cast<std::uint64_t>(n), k) +
+            static_cast<std::int64_t>(m - 1) * k;
+        best = std::min(best, total);
+      }
+      EXPECT_EQ(c.total_steps, best) << "n=" << n << " m=" << m;
+      EXPECT_EQ(c.total_steps,
+                c.t1 + static_cast<std::int64_t>(m - 1) * c.k);
+      EXPECT_EQ(c.t1, cov.min_steps(static_cast<std::uint64_t>(n), c.k));
+    }
+  }
+}
+
+TEST(OptimalK, NonIncreasingInPacketCount) {
+  // Paper Fig. 12(a): as m grows, optimal k comes down.
+  CoverageTable cov;
+  for (std::int32_t n : {8, 16, 32, 48, 64}) {
+    std::int32_t prev = optimal_k(n, 1, cov).k;
+    for (std::int32_t m = 2; m <= 64; ++m) {
+      const std::int32_t k = optimal_k(n, m, cov).k;
+      EXPECT_LE(k, prev) << "n=" << n << " m=" << m;
+      prev = k;
+    }
+  }
+}
+
+TEST(OptimalK, ConvergesToLinearForManyPackets) {
+  // Paper Section 5.1: after a crossover, k = 1 (linear) is optimal, and
+  // the crossover comes earlier for smaller n.
+  CoverageTable cov;
+  std::int32_t prev_crossover = 0;
+  for (std::int32_t n : {8, 16, 32, 64}) {
+    std::int32_t crossover = -1;
+    for (std::int32_t m = 1; m <= 2000; ++m) {
+      if (optimal_k(n, m, cov).k == 1) {
+        crossover = m;
+        break;
+      }
+    }
+    ASSERT_GT(crossover, 0) << "n=" << n << ": never reached k=1";
+    EXPECT_GE(crossover, prev_crossover)
+        << "crossover should come later for larger n";
+    prev_crossover = crossover;
+  }
+}
+
+TEST(OptimalK, DegenerateCases) {
+  EXPECT_EQ(optimal_k(1, 5).k, 1);
+  EXPECT_EQ(optimal_k(1, 5).total_steps, 0);
+  EXPECT_EQ(optimal_k(2, 1).k, 1);
+  EXPECT_EQ(optimal_k(2, 1).t1, 1);
+}
+
+TEST(OptimalK, RejectsBadArguments) {
+  EXPECT_THROW((void)optimal_k(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)optimal_k(4, 0), std::invalid_argument);
+}
+
+TEST(OptimalKTable, AgreesWithDirectSolver) {
+  const OptimalKTable table{64, 32};
+  CoverageTable cov;
+  for (std::int32_t n = 2; n <= 64; ++n) {
+    for (std::int32_t m = 1; m <= 32; ++m) {
+      const auto direct = optimal_k(n, m, cov);
+      const auto looked = table.lookup(n, m);
+      EXPECT_EQ(looked.k, direct.k) << "n=" << n << " m=" << m;
+      EXPECT_EQ(looked.t1, direct.t1);
+      EXPECT_EQ(looked.total_steps, direct.total_steps);
+    }
+  }
+}
+
+TEST(OptimalKTable, CompressedStorageIsSmall) {
+  // The paper's feasibility argument (Section 4.3.1): optimal k is
+  // constant over ranges of m, so breakpoint storage is far below the
+  // dense n*m table.
+  const OptimalKTable table{64, 32};
+  EXPECT_LT(table.stored_entries(), 64u * 32u / 4u);
+}
+
+TEST(OptimalKTable, RejectsOutOfRangeLookups) {
+  const OptimalKTable table{64, 32};
+  EXPECT_THROW((void)table.lookup(1, 1), std::out_of_range);
+  EXPECT_THROW((void)table.lookup(65, 1), std::out_of_range);
+  EXPECT_THROW((void)table.lookup(10, 0), std::out_of_range);
+  EXPECT_THROW((void)table.lookup(10, 33), std::out_of_range);
+}
+
+TEST(OptimalKTable, RejectsBadConstruction) {
+  EXPECT_THROW((OptimalKTable{1, 4}), std::invalid_argument);
+  EXPECT_THROW((OptimalKTable{8, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nimcast::core

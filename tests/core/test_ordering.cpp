@@ -1,0 +1,136 @@
+#include "core/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/rng.hpp"
+#include "topology/irregular.hpp"
+
+namespace nimcast::core {
+namespace {
+
+struct Rig {
+  topo::Topology topology;
+  routing::UpDownRouter router;
+
+  explicit Rig(std::uint64_t seed)
+      : topology{[&] {
+          sim::Rng rng{seed};
+          return topo::make_irregular(topo::IrregularConfig{}, rng);
+        }()},
+        router{topology.switches()} {}
+};
+
+bool is_permutation_of_hosts(const Chain& c, std::int32_t n) {
+  if (c.size() != static_cast<std::size_t>(n)) return false;
+  std::set<topo::HostId> seen{c.begin(), c.end()};
+  return seen.size() == c.size() && *seen.begin() == 0 &&
+         *seen.rbegin() == n - 1;
+}
+
+TEST(Ordering, CcoIsAPermutation) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Rig rig{seed};
+    const Chain c = cco_ordering(rig.topology, rig.router);
+    EXPECT_TRUE(is_permutation_of_hosts(c, 64)) << "seed " << seed;
+  }
+}
+
+TEST(Ordering, CcoKeepsSwitchHostsConsecutive) {
+  const Rig rig{3};
+  const Chain c = cco_ordering(rig.topology, rig.router);
+  // Hosts of the same switch form one contiguous block.
+  std::set<topo::SwitchId> closed;
+  topo::SwitchId current = rig.topology.switch_of(c.front());
+  for (topo::HostId h : c) {
+    const topo::SwitchId s = rig.topology.switch_of(h);
+    if (s != current) {
+      EXPECT_FALSE(closed.contains(s)) << "switch " << s << " revisited";
+      closed.insert(current);
+      current = s;
+    }
+  }
+}
+
+TEST(Ordering, CcoStartsAtRootSwitch) {
+  const Rig rig{4};
+  const Chain c = cco_ordering(rig.topology, rig.router);
+  EXPECT_EQ(rig.topology.switch_of(c.front()), rig.router.root());
+}
+
+TEST(Ordering, CcoSubtreeHostsStayContiguous) {
+  // Hosts under any BFS subtree occupy one contiguous chain range —
+  // the property that makes disjoint segments use disjoint subtree links.
+  const Rig rig{5};
+  const Chain c = cco_ordering(rig.topology, rig.router);
+  // position of each host in the chain
+  std::vector<std::size_t> pos(64);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    pos[static_cast<std::size_t>(c[i])] = i;
+  }
+  // For each switch, all hosts on it must be adjacent in the chain.
+  for (topo::SwitchId s = 0; s < rig.topology.num_switches(); ++s) {
+    const auto hosts = rig.topology.hosts_of(s);
+    std::vector<std::size_t> ps;
+    for (auto h : hosts) ps.push_back(pos[static_cast<std::size_t>(h)]);
+    std::sort(ps.begin(), ps.end());
+    for (std::size_t i = 0; i + 1 < ps.size(); ++i) {
+      EXPECT_EQ(ps[i + 1], ps[i] + 1);
+    }
+  }
+}
+
+TEST(Ordering, DimensionChainIsIdentity) {
+  const topo::Topology cube =
+      topo::make_kary_ncube(topo::KAryNCubeConfig{4, 2, false});
+  const Chain c = dimension_chain(cube);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c[i], static_cast<topo::HostId>(i));
+  }
+}
+
+TEST(Ordering, RandomOrderingIsSeededPermutation) {
+  sim::Rng a{9};
+  sim::Rng b{9};
+  const Chain ca = random_ordering(64, a);
+  const Chain cb = random_ordering(64, b);
+  EXPECT_EQ(ca, cb);
+  EXPECT_TRUE(is_permutation_of_hosts(ca, 64));
+  sim::Rng c{10};
+  EXPECT_NE(random_ordering(64, c), ca);
+}
+
+TEST(ArrangeParticipants, SourceFirstRestInChainOrder) {
+  const Chain chain{5, 3, 8, 1, 9, 0};
+  const Chain got = arrange_participants(chain, 1, {9, 5, 8});
+  EXPECT_EQ(got, (Chain{1, 9, 5, 8}));  // rotate at 1, wrap to 5, 8
+}
+
+TEST(ArrangeParticipants, SourceAlreadyFirst) {
+  const Chain chain{0, 1, 2, 3};
+  EXPECT_EQ(arrange_participants(chain, 0, {2, 3}), (Chain{0, 2, 3}));
+}
+
+TEST(ArrangeParticipants, FullSet) {
+  const Chain chain{2, 0, 1};
+  EXPECT_EQ(arrange_participants(chain, 1, {0, 2}), (Chain{1, 2, 0}));
+}
+
+TEST(ArrangeParticipants, RejectsDuplicatesAndSourceInDests) {
+  const Chain chain{0, 1, 2, 3};
+  EXPECT_THROW((void)arrange_participants(chain, 0, {1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)arrange_participants(chain, 0, {0, 1}),
+               std::invalid_argument);
+}
+
+TEST(ArrangeParticipants, RejectsHostMissingFromChain) {
+  const Chain chain{0, 1, 2};
+  EXPECT_THROW((void)arrange_participants(chain, 0, {5}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nimcast::core

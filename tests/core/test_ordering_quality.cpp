@@ -1,0 +1,106 @@
+#include "core/ordering_quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/dimension_ordered.hpp"
+#include "routing/up_down.hpp"
+#include "topology/irregular.hpp"
+#include "topology/kary_ncube.hpp"
+
+namespace nimcast::core {
+namespace {
+
+TEST(OrderingQuality, DimensionChainOnMeshIsContentionFree) {
+  // The classical result the paper builds on: the dimension-ordered
+  // chain with e-cube routing is contention-free (McKinley et al.).
+  const topo::KAryNCubeConfig cfg{4, 2, false};
+  const topo::Topology mesh = topo::make_kary_ncube(cfg);
+  const routing::DimensionOrderedRouter router{mesh.switches(), cfg};
+  const routing::RouteTable routes{mesh, router};
+  const auto q =
+      assess_ordering_exhaustive(mesh, routes, dimension_chain(mesh));
+  EXPECT_TRUE(q.contention_free()) << q.violations << "/" << q.checked;
+  EXPECT_GT(q.checked, 0);
+}
+
+TEST(OrderingQuality, ShuffledChainOnMeshIsNot) {
+  const topo::KAryNCubeConfig cfg{4, 2, false};
+  const topo::Topology mesh = topo::make_kary_ncube(cfg);
+  const routing::DimensionOrderedRouter router{mesh.switches(), cfg};
+  const routing::RouteTable routes{mesh, router};
+  sim::Rng rng{5};
+  const auto q = assess_ordering_exhaustive(
+      mesh, routes, random_ordering(mesh.num_hosts(), rng));
+  EXPECT_FALSE(q.contention_free());
+  EXPECT_GT(q.violation_rate(), 0.01);
+}
+
+TEST(OrderingQuality, CcoBeatsRandomOnIrregularNetworks) {
+  // The paper: no contention-free ordering exists for up*/down* on
+  // irregular networks, but CCO-style orderings minimize violations.
+  double cco_total = 0;
+  double random_total = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    sim::Rng rng{seed};
+    const auto topology = topo::make_irregular(topo::IrregularConfig{}, rng);
+    const routing::UpDownRouter router{topology.switches()};
+    const routing::RouteTable routes{topology, router};
+    sim::Rng sampler{seed + 100};
+    const auto cco = assess_ordering_sampled(
+        topology, routes, cco_ordering(topology, router), 20'000, sampler);
+    sim::Rng sampler2{seed + 100};
+    const auto rnd = assess_ordering_sampled(
+        topology, routes, random_ordering(64, rng), 20'000, sampler2);
+    cco_total += cco.violation_rate();
+    random_total += rnd.violation_rate();
+  }
+  EXPECT_LT(cco_total, random_total);
+}
+
+TEST(OrderingQuality, SampledAgreesWithExhaustiveOnSmallSystem) {
+  const topo::KAryNCubeConfig cfg{3, 2, false};  // 9 hosts
+  const topo::Topology mesh = topo::make_kary_ncube(cfg);
+  const routing::DimensionOrderedRouter router{mesh.switches(), cfg};
+  const routing::RouteTable routes{mesh, router};
+  sim::Rng rng{7};
+  const Chain shuffled = random_ordering(9, rng);
+  const auto exact = assess_ordering_exhaustive(mesh, routes, shuffled);
+  sim::Rng sampler{11};
+  const auto approx =
+      assess_ordering_sampled(mesh, routes, shuffled, 50'000, sampler);
+  EXPECT_NEAR(approx.violation_rate(), exact.violation_rate(), 0.05);
+}
+
+TEST(OrderingQuality, ExhaustiveGuardsAgainstHugeSystems) {
+  sim::Rng rng{1};
+  const auto topology = topo::make_irregular(topo::IrregularConfig{}, rng);
+  const routing::UpDownRouter router{topology.switches()};
+  const routing::RouteTable routes{topology, router};
+  EXPECT_THROW((void)assess_ordering_exhaustive(
+                   topology, routes, cco_ordering(topology, router)),
+               std::invalid_argument);
+}
+
+TEST(OrderingQuality, SampledRejectsTinyChains) {
+  const topo::KAryNCubeConfig cfg{2, 1, false};
+  const topo::Topology pair = topo::make_kary_ncube(cfg);
+  const routing::DimensionOrderedRouter router{pair.switches(), cfg};
+  const routing::RouteTable routes{pair, router};
+  sim::Rng rng{1};
+  EXPECT_THROW((void)assess_ordering_sampled(pair, routes,
+                                             dimension_chain(pair), 10, rng),
+               std::invalid_argument);
+}
+
+TEST(OrderingQuality, RateArithmetics) {
+  OrderingQuality q;
+  EXPECT_DOUBLE_EQ(q.violation_rate(), 0.0);
+  EXPECT_TRUE(q.contention_free());
+  q.checked = 10;
+  q.violations = 3;
+  EXPECT_DOUBLE_EQ(q.violation_rate(), 0.3);
+  EXPECT_FALSE(q.contention_free());
+}
+
+}  // namespace
+}  // namespace nimcast::core

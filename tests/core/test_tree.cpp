@@ -1,0 +1,86 @@
+#include "core/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/kbinomial.hpp"
+
+namespace nimcast::core {
+namespace {
+
+RankTree manual_tree() {
+  // 0 -> (2 -> (3), 1)
+  RankTree t;
+  t.parent = {-1, 0, 0, 2};
+  t.children = {{2, 1}, {}, {3}, {}};
+  return t;
+}
+
+TEST(RankTree, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(manual_tree().validate());
+}
+
+TEST(RankTree, ValidateRejectsParentMismatch) {
+  RankTree t = manual_tree();
+  t.parent[3] = 0;
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(RankTree, ValidateRejectsUnreachable) {
+  RankTree t = manual_tree();
+  t.children[2].clear();
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(RankTree, ValidateRejectsDoubleReach) {
+  RankTree t = manual_tree();
+  t.children[1].push_back(3);
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(RankTree, ValidateRejectsRootWithParent) {
+  RankTree t = manual_tree();
+  t.parent[0] = 2;
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(RankTree, ValidateRejectsChildOutOfRange) {
+  RankTree t = manual_tree();
+  t.children[1].push_back(17);
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(RankTree, SinglePacketStepsFollowSendOrder) {
+  const RankTree t = manual_tree();
+  const auto steps = t.single_packet_steps();
+  EXPECT_EQ(steps[0], 0);
+  EXPECT_EQ(steps[2], 1);  // first child of root
+  EXPECT_EQ(steps[1], 2);  // second child of root
+  EXPECT_EQ(steps[3], 2);  // first child of rank 2, sent at step 1+1
+  EXPECT_EQ(t.steps_to_complete(), 2);
+}
+
+TEST(RankTree, MaxChildren) {
+  EXPECT_EQ(manual_tree().max_children(), 2);
+  EXPECT_EQ(make_binomial(32).max_children(), 5);
+  EXPECT_EQ(make_linear(9).max_children(), 1);
+}
+
+TEST(RankTree, RootChildren) {
+  EXPECT_EQ(manual_tree().root_children(), 2);
+  EXPECT_EQ(make_binomial(32).root_children(), 5);
+}
+
+TEST(RankTree, ToStringRendersNesting) {
+  EXPECT_EQ(manual_tree().to_string(), "0 -> (2 -> (3), 1)");
+}
+
+TEST(RankTree, StepsMatchBinomialDepth) {
+  for (std::int32_t n : {2, 3, 4, 7, 8, 9, 16, 33, 64}) {
+    EXPECT_EQ(make_binomial(n).steps_to_complete(),
+              ceil_log2(static_cast<std::uint64_t>(n)))
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace nimcast::core

@@ -1,0 +1,77 @@
+#include "harness/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nimcast::harness {
+namespace {
+
+Cli make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Cli{static_cast<int>(args.size()), args.data()};
+}
+
+TEST(Cli, SpaceAndEqualsSyntax) {
+  Cli cli = make({"--op", "multicast", "--bytes=1024"});
+  EXPECT_EQ(cli.get_string("op", "x"), "multicast");
+  EXPECT_EQ(cli.get_int("bytes", 0), 1024);
+  EXPECT_TRUE(cli.finish());
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  Cli cli = make({});
+  EXPECT_EQ(cli.get_string("op", "multicast"), "multicast");
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(cli.get_flag("verbose"));
+  EXPECT_TRUE(cli.finish());
+}
+
+TEST(Cli, Flags) {
+  Cli a = make({"--verbose"});
+  EXPECT_TRUE(a.get_flag("verbose"));
+  Cli b = make({"--verbose", "false"});
+  EXPECT_FALSE(b.get_flag("verbose"));
+  Cli c = make({"--verbose=true"});
+  EXPECT_TRUE(c.get_flag("verbose"));
+}
+
+TEST(Cli, UnknownOptionRejectedAtFinish) {
+  Cli cli = make({"--op", "x", "--oops", "1"});
+  (void)cli.get_string("op", "");
+  EXPECT_THROW((void)cli.finish(), std::invalid_argument);
+}
+
+TEST(Cli, HelpShortCircuits) {
+  Cli cli = make({"--help"});
+  EXPECT_FALSE(cli.finish());
+  Cli dash = make({"-h"});
+  EXPECT_FALSE(dash.finish());
+}
+
+TEST(Cli, BadNumbersThrow) {
+  Cli cli = make({"--n", "12x", "--d", "1.5y"});
+  EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_double("d", 0), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgumentsRejected) {
+  EXPECT_THROW(make({"stray"}), std::invalid_argument);
+}
+
+TEST(Cli, NegativeNumbersAsValues) {
+  // "--n -5": the next token starts with '-' but not '--', so it is a
+  // value.
+  Cli cli = make({"--n", "-5"});
+  EXPECT_EQ(cli.get_int("n", 0), -5);
+}
+
+TEST(Cli, UsageListsDescribedOptions) {
+  Cli cli = make({});
+  cli.describe("op", "what to run").describe("bytes", "message size");
+  const auto u = cli.usage();
+  EXPECT_NE(u.find("--op"), std::string::npos);
+  EXPECT_NE(u.find("message size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nimcast::harness

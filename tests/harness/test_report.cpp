@@ -1,0 +1,70 @@
+#include "harness/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace nimcast::harness {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t{{"n", "latency"}};
+  t.add_row({"8", "42.0"});
+  t.add_row({"64", "199.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n   latency"), std::string::npos);
+  EXPECT_NE(out.find("64  199.5"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::num(std::int64_t{42}), "42");
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  EXPECT_THROW((Table{{}}), std::invalid_argument);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t{{"x", "y"}};
+  t.add_row({"1", "2.5"});
+  t.add_row({"3", "4.5"});
+  const std::string path = "/tmp/nimcast_test_table.csv";
+  t.write_csv(path);
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4.5");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvRejectsCommasInCells) {
+  Table t{{"a"}};
+  t.add_row({"1,2"});
+  EXPECT_THROW(t.write_csv("/tmp/nimcast_bad.csv"), std::invalid_argument);
+}
+
+TEST(Table, RowsCounted) {
+  Table t{{"a"}};
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"}).add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace nimcast::harness

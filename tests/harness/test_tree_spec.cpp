@@ -1,0 +1,54 @@
+#include "harness/tree_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nimcast::harness {
+namespace {
+
+TEST(TreeSpec, BinomialResolvesToCeilLog2) {
+  EXPECT_EQ(TreeSpec::binomial().resolve_k(16, 1), 4);
+  EXPECT_EQ(TreeSpec::binomial().resolve_k(17, 9), 5);
+}
+
+TEST(TreeSpec, LinearAlwaysOne) {
+  EXPECT_EQ(TreeSpec::linear().resolve_k(64, 1), 1);
+  EXPECT_EQ(TreeSpec::linear().resolve_k(2, 32), 1);
+}
+
+TEST(TreeSpec, FixedKPassesThrough) {
+  EXPECT_EQ(TreeSpec::kbinomial(3).resolve_k(64, 8), 3);
+}
+
+TEST(TreeSpec, OptimalTracksTheorem3) {
+  for (std::int32_t n : {8, 16, 48, 64}) {
+    for (std::int32_t m : {1, 2, 8, 32}) {
+      EXPECT_EQ(TreeSpec::optimal().resolve_k(n, m),
+                core::optimal_k(n, m).k);
+    }
+  }
+}
+
+TEST(TreeSpec, BuildProducesValidTreeOfRightSizeAndFanout) {
+  for (const TreeSpec spec : {TreeSpec::binomial(), TreeSpec::linear(),
+                              TreeSpec::kbinomial(2), TreeSpec::optimal()}) {
+    const auto tree = spec.build(23, 4);
+    tree.validate();
+    EXPECT_EQ(tree.size(), 23);
+    EXPECT_LE(tree.max_children(), spec.resolve_k(23, 4));
+  }
+}
+
+TEST(TreeSpec, Names) {
+  EXPECT_EQ(TreeSpec::binomial().name(), "binomial");
+  EXPECT_EQ(TreeSpec::linear().name(), "linear");
+  EXPECT_EQ(TreeSpec::kbinomial(4).name(), "4-binomial");
+  EXPECT_EQ(TreeSpec::optimal().name(), "opt-k-binomial");
+}
+
+TEST(TreeSpec, RejectsBadFixedK) {
+  EXPECT_THROW((void)TreeSpec::kbinomial(0).resolve_k(8, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nimcast::harness

@@ -1,0 +1,168 @@
+// Cross-validation of the full-system simulator against the analytic
+// models on contention-free configurations, plus exact hand-derived
+// timings for pipeline behaviour. The simulator is finer-grained than the
+// paper's step model (NI send/receive occupancies overlap with wire
+// time), so the step model is an *upper bound*; chains, where nothing
+// overlaps, match exactly.
+
+#include <gtest/gtest.h>
+
+#include "analysis/latency_model.hpp"
+#include "core/host_tree.hpp"
+#include "core/kbinomial.hpp"
+#include "harness/tree_spec.hpp"
+#include "mcast/multicast_engine.hpp"
+#include "mcast/step_model.hpp"
+#include "routing/up_down.hpp"
+
+namespace nimcast {
+namespace {
+
+/// Single 16-port switch with 10 hosts: every host pair is 0 link hops
+/// apart, so the network term of t_step is constant and contention only
+/// arises at injection/ejection channels.
+struct StarRig {
+  topo::Topology topology{topo::Graph{1, {}},
+                          std::vector<topo::SwitchId>(10, 0), "star"};
+  routing::UpDownRouter router{topology.switches()};
+  routing::RouteTable routes{topology, router};
+  netif::SystemParams params;
+  net::NetworkConfig netcfg;
+
+  mcast::MulticastResult run(const core::RankTree& tree, std::int32_t m,
+                             mcast::NiStyle style) const {
+    core::Chain order;
+    for (std::int32_t r = 0; r < tree.size(); ++r) order.push_back(r);
+    const auto host_tree = core::HostTree::bind(tree, order);
+    mcast::MulticastEngine engine{
+        topology, routes,
+        mcast::MulticastEngine::Config{params, netcfg, style}};
+    return engine.run(host_tree, m);
+  }
+
+  [[nodiscard]] sim::Time net_time() const {
+    return netcfg.t_hop * 2 + netcfg.serialization_time();  // 0.6 us
+  }
+  [[nodiscard]] sim::Time t_step() const {
+    return params.t_snd + net_time() + params.t_rcv;
+  }
+};
+
+TEST(CrossValidation, LinearChainMatchesExactPipelineFormula) {
+  const StarRig rig;
+  for (std::int32_t n : {2, 3, 5, 8}) {
+    for (std::int32_t m : {1, 2, 4, 7}) {
+      const auto result =
+          rig.run(core::make_linear(n), m, mcast::NiStyle::kSmartFpfs);
+      // Derivation: the first packet walks the chain in (n-1) full steps;
+      // each later packet lags by the slowest per-node cycle — an
+      // intermediate costs t_rcv + t_snd per packet, while a chain with
+      // no intermediate (n = 2) is paced by the source's t_snd alone
+      // (t_snd > t_rcv with the paper's constants).
+      const sim::Time cycle = n >= 3 ? rig.params.t_snd + rig.params.t_rcv
+                                     : rig.params.t_snd;
+      const sim::Time expected = rig.params.t_s + rig.t_step() * (n - 1) +
+                                 cycle * (m - 1) + rig.params.t_r;
+      EXPECT_EQ(result.latency, expected) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(CrossValidation, StepModelUpperBoundsSimulatorOnContentionFreeStar) {
+  const StarRig rig;
+  const analysis::LatencyModel model{rig.params, rig.t_step()};
+  for (std::int32_t n : {2, 4, 8}) {
+    for (std::int32_t m : {1, 3, 6}) {
+      const auto sim_bin =
+          rig.run(core::make_binomial(n), m, mcast::NiStyle::kSmartFpfs);
+      EXPECT_LE(sim_bin.latency, model.smart_binomial(n, m))
+          << "n=" << n << " m=" << m;
+      const auto sim_lin =
+          rig.run(core::make_linear(n), m, mcast::NiStyle::kSmartFpfs);
+      EXPECT_LE(sim_lin.latency, model.smart_linear(n, m));
+    }
+  }
+}
+
+TEST(CrossValidation, SimulatorPreservesStepModelTreeRanking) {
+  // Whenever the step model says tree A beats tree B by at least one
+  // full pipeline interval, the simulator must agree on the winner.
+  const StarRig rig;
+  const std::int32_t n = 8;
+  for (std::int32_t m : {4, 8}) {
+    struct Entry {
+      std::int32_t steps;
+      sim::Time simulated;
+    };
+    std::vector<Entry> entries;
+    for (std::int32_t k = 1; k <= 3; ++k) {
+      const auto tree = core::make_kbinomial(n, k);
+      entries.push_back(
+          {mcast::step_schedule(tree, m, mcast::Discipline::kFpfs)
+               .total_steps,
+           rig.run(tree, m, mcast::NiStyle::kSmartFpfs).latency});
+    }
+    for (const auto& a : entries) {
+      for (const auto& b : entries) {
+        if (a.steps + 2 < b.steps) {
+          EXPECT_LT(a.simulated, b.simulated)
+              << "m=" << m << ": step model says " << a.steps << " < "
+              << b.steps << " but simulation disagrees";
+        }
+      }
+    }
+  }
+}
+
+TEST(CrossValidation, Theorem1GapObservableInSimulatedArrivals) {
+  // Gap between successive packet completions at the farthest leaf of a
+  // chain equals the per-node cycle — the simulator-level analogue of
+  // Theorem 1's constant inter-packet interval.
+  const StarRig rig;
+  const auto result =
+      rig.run(core::make_linear(4), 5, mcast::NiStyle::kSmartFpfs);
+  EXPECT_EQ(result.latency - rig.params.t_r - rig.params.t_s -
+                rig.t_step() * 3,
+            (rig.params.t_snd + rig.params.t_rcv) * 4);
+}
+
+TEST(CrossValidation, BufferHoldingRatioTracksAnalyticModel) {
+  // Star tree: source 0 -> intermediate 1 -> 4 leaves; the intermediate
+  // NI's buffer integral under FCFS vs FPFS should approach the
+  // analytic ((c-1)m + 1) / c ratio for large m.
+  core::RankTree t;
+  t.parent = {-1, 0, 1, 1, 1, 1};
+  t.children = {{1}, {2, 3, 4, 5}, {}, {}, {}, {}};
+  t.validate();
+  const StarRig rig;
+  const std::int32_t m = 16;
+  const auto fp = rig.run(t, m, mcast::NiStyle::kSmartFpfs);
+  const auto fc = rig.run(t, m, mcast::NiStyle::kSmartFcfs);
+  double fp_int = 0;
+  double fc_int = 0;
+  for (const auto& b : fp.buffers) {
+    if (b.host == 1) fp_int = b.packet_us_integral;
+  }
+  for (const auto& b : fc.buffers) {
+    if (b.host == 1) fc_int = b.packet_us_integral;
+  }
+  const double measured_ratio = fc_int / fp_int;
+  const double analytic_ratio =
+      static_cast<double>((4 - 1) * m + 1) / 4.0;
+  EXPECT_GT(measured_ratio, 0.5 * analytic_ratio);
+  EXPECT_GT(measured_ratio, 2.0);
+}
+
+TEST(CrossValidation, ConventionalMatchesPerLevelFormulaOnChain) {
+  // Conventional NI on a 2-deep chain 0 -> 1 -> 2, single packet:
+  // level cost = t_s + (t_snd + net + t_rcv) + t_r, paid twice, serially.
+  const StarRig rig;
+  const auto result =
+      rig.run(core::make_linear(3), 1, mcast::NiStyle::kConventional);
+  const sim::Time per_level =
+      rig.params.t_s + rig.t_step() + rig.params.t_r;
+  EXPECT_EQ(result.latency, per_level * 2);
+}
+
+}  // namespace
+}  // namespace nimcast

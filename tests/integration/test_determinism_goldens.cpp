@@ -1,0 +1,70 @@
+// Golden determinism tests: exact latencies for fixed seeds.
+//
+// Purpose: any change in event ordering, RNG consumption, tie-breaking
+// or model arithmetic shifts these values, and such changes must be
+// *deliberate*. If you change the model on purpose, update the goldens
+// and say so in the commit; if you didn't, you have introduced
+// nondeterminism or an accidental semantic change.
+//
+// (The values were produced by this implementation; they pin behaviour,
+// not external truth.)
+
+#include <gtest/gtest.h>
+
+#include "api/communicator.hpp"
+#include "core/host_tree.hpp"
+#include "core/kbinomial.hpp"
+#include "harness/testbed.hpp"
+#include "mcast/multicast_engine.hpp"
+#include "routing/up_down.hpp"
+#include "sim/rng.hpp"
+#include "topology/irregular.hpp"
+
+namespace nimcast {
+namespace {
+
+TEST(Goldens, RngStream) {
+  sim::Rng rng{1997};
+  EXPECT_EQ(rng.next_u64(), UINT64_C(0x62dec0605b915f34));
+}
+
+TEST(Goldens, SingleMulticastOnSeededCluster) {
+  sim::Rng rng{1997};
+  const auto topology = topo::make_irregular(topo::IrregularConfig{}, rng);
+  const routing::UpDownRouter router{topology.switches()};
+  const routing::RouteTable routes{topology, router};
+  const auto chain = core::cco_ordering(topology, router);
+  const auto members = core::arrange_participants(
+      chain, chain[0],
+      {chain[5], chain[9], chain[20], chain[33], chain[47], chain[60],
+       chain[63]});
+  const auto tree = core::HostTree::bind(core::make_kbinomial(8, 2), members);
+  const mcast::MulticastEngine engine{
+      topology, routes,
+      mcast::MulticastEngine::Config{netif::SystemParams{},
+                                     net::NetworkConfig{},
+                                     mcast::NiStyle::kSmartFpfs}};
+  const auto result = engine.run(tree, 8);
+  EXPECT_EQ(result.latency.count_ns(), 101'300);
+  EXPECT_EQ(result.total_channel_block_time.count_ns(), 0);
+}
+
+TEST(Goldens, TestbedPoint) {
+  harness::IrregularTestbed::Config cfg;
+  cfg.num_topologies = 2;
+  cfg.sets_per_topology = 5;
+  cfg.seed = 77;
+  const harness::IrregularTestbed bed{cfg};
+  const auto p = bed.measure(16, 8, harness::TreeSpec::optimal(),
+                             mcast::NiStyle::kSmartFpfs);
+  EXPECT_NEAR(p.latency_us.mean(), 107.14, 1e-9);
+}
+
+TEST(Goldens, CommunicatorBroadcast) {
+  const auto comm = api::Communicator::irregular();
+  const auto r = comm.broadcast(0, 1024);
+  EXPECT_EQ(r.latency.count_ns(), 188'300);
+}
+
+}  // namespace
+}  // namespace nimcast

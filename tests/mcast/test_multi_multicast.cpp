@@ -1,0 +1,143 @@
+// Concurrent (multiple) multicast: several operations share NIs, hosts
+// and wires in one simulation — the workload of the authors' companion
+// "multiple multicast" line of work and a stress test of the message-id
+// demultiplexing in the NI firmware model.
+
+#include <gtest/gtest.h>
+
+#include "core/host_tree.hpp"
+#include "core/kbinomial.hpp"
+#include "mcast/multicast_engine.hpp"
+#include "routing/up_down.hpp"
+#include "sim/rng.hpp"
+#include "topology/irregular.hpp"
+
+namespace nimcast::mcast {
+namespace {
+
+struct StarRig {
+  topo::Topology topology{topo::Graph{1, {}},
+                          std::vector<topo::SwitchId>(8, 0), "star"};
+  routing::UpDownRouter router{topology.switches()};
+  routing::RouteTable routes{topology, router};
+  MulticastEngine engine{
+      topology, routes,
+      MulticastEngine::Config{netif::SystemParams{}, net::NetworkConfig{},
+                              NiStyle::kSmartFpfs}};
+};
+
+core::HostTree tree_over(std::vector<topo::HostId> hosts) {
+  const auto shape =
+      core::make_binomial(static_cast<std::int32_t>(hosts.size()));
+  return core::HostTree::bind(shape, hosts);
+}
+
+TEST(MultiMulticast, SingleOpMatchesRunExactly) {
+  StarRig rig;
+  const auto tree = tree_over({0, 1, 2, 3});
+  const auto single = rig.engine.run(tree, 4);
+  const auto batch = rig.engine.run_many({MulticastSpec{tree, 4}});
+  EXPECT_EQ(single.latency, batch.operations[0].latency);
+  EXPECT_EQ(single.ni_latency, batch.operations[0].ni_latency);
+  EXPECT_EQ(batch.makespan, single.latency);
+}
+
+TEST(MultiMulticast, DisjointOperationsDoNotInteract) {
+  StarRig rig;
+  const auto a = tree_over({0, 1, 2});
+  const auto b = tree_over({4, 5, 6});
+  const auto solo_a = rig.engine.run(a, 3);
+  const auto solo_b = rig.engine.run(b, 3);
+  const auto batch = rig.engine.run_many(
+      {MulticastSpec{a, 3}, MulticastSpec{b, 3}});
+  EXPECT_EQ(batch.operations[0].latency, solo_a.latency);
+  EXPECT_EQ(batch.operations[1].latency, solo_b.latency);
+}
+
+TEST(MultiMulticast, SharedSourceSerializesOnHostAndNi) {
+  StarRig rig;
+  const auto a = tree_over({0, 1, 2});
+  const auto b = tree_over({0, 3, 4});
+  const auto solo = rig.engine.run(a, 2);
+  const auto batch =
+      rig.engine.run_many({MulticastSpec{a, 2}, MulticastSpec{b, 2}});
+  // First op unaffected; second queues behind the first's t_s on host 0.
+  EXPECT_EQ(batch.operations[0].latency, solo.latency);
+  EXPECT_GT(batch.operations[1].latency, solo.latency);
+}
+
+TEST(MultiMulticast, SharedDestinationDemultiplexesByMessage) {
+  StarRig rig;
+  // Both ops target hosts 1 and 2 from different sources.
+  const auto a = tree_over({0, 1, 2});
+  const auto b = tree_over({3, 2, 1});
+  const auto batch =
+      rig.engine.run_many({MulticastSpec{a, 5}, MulticastSpec{b, 5}});
+  for (const auto& op : batch.operations) {
+    EXPECT_EQ(op.completions.size(), 2u);
+    EXPECT_EQ(op.packets_delivered, 10);
+  }
+}
+
+TEST(MultiMulticast, StaggeredStartMeasuredFromOwnStart) {
+  StarRig rig;
+  const auto a = tree_over({0, 1, 2});
+  const auto delayed = MulticastSpec{tree_over({4, 5, 6}), 3,
+                                     sim::Time::us(500.0)};
+  const auto batch =
+      rig.engine.run_many({MulticastSpec{a, 3}, delayed});
+  const auto solo = rig.engine.run(delayed.tree, 3);
+  EXPECT_EQ(batch.operations[1].latency, solo.latency);
+  EXPECT_EQ(batch.makespan, sim::Time::us(500.0) + solo.latency);
+}
+
+TEST(MultiMulticast, ManyConcurrentOpsOnIrregularNetworkAllComplete) {
+  sim::Rng rng{11};
+  const auto topology = topo::make_irregular(topo::IrregularConfig{}, rng);
+  const routing::UpDownRouter router{topology.switches()};
+  const routing::RouteTable routes{topology, router};
+  MulticastEngine engine{
+      topology, routes,
+      MulticastEngine::Config{netif::SystemParams{}, net::NetworkConfig{},
+                              NiStyle::kSmartFpfs}};
+  std::vector<MulticastSpec> specs;
+  for (int op = 0; op < 8; ++op) {
+    const auto draw = rng.sample_without_replacement(64, 9);
+    std::vector<topo::HostId> hosts;
+    for (auto h : draw) hosts.push_back(static_cast<topo::HostId>(h));
+    specs.push_back(MulticastSpec{tree_over(hosts), 4});
+  }
+  const auto batch = engine.run_many(specs);
+  ASSERT_EQ(batch.operations.size(), 8u);
+  for (const auto& op : batch.operations) {
+    EXPECT_EQ(op.completions.size(), 8u);
+    EXPECT_GT(op.latency, sim::Time::zero());
+  }
+  EXPECT_GE(batch.total_channel_block_time, sim::Time::zero());
+}
+
+TEST(MultiMulticast, ContentionSlowsOverlappingOperations) {
+  // Two ops over the SAME participants launched together must each take
+  // at least as long as alone.
+  StarRig rig;
+  const auto tree = tree_over({0, 1, 2, 3, 4});
+  const auto solo = rig.engine.run(tree, 4);
+  const auto other = tree_over({4, 3, 2, 1, 0});
+  const auto batch = rig.engine.run_many(
+      {MulticastSpec{tree, 4}, MulticastSpec{other, 4}});
+  EXPECT_GE(batch.operations[0].latency, solo.latency);
+  EXPECT_GE(batch.operations[1].latency, solo.latency);
+  EXPECT_GT(batch.operations[0].latency + batch.operations[1].latency,
+            solo.latency * 2);
+}
+
+TEST(MultiMulticast, RejectsEmptyBatchAndBadSpecs) {
+  StarRig rig;
+  EXPECT_THROW((void)rig.engine.run_many({}), std::invalid_argument);
+  EXPECT_THROW(
+      (void)rig.engine.run_many({MulticastSpec{tree_over({0, 1}), 0}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nimcast::mcast

@@ -1,0 +1,122 @@
+#include "mcast/step_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/kbinomial.hpp"
+
+namespace nimcast::mcast {
+namespace {
+
+TEST(StepModel, PaperFigure5BinomialTakesSixSteps) {
+  // 3-packet message, 3 destinations, binomial tree: 6 steps (Fig. 5a).
+  const auto sched =
+      step_schedule(core::make_binomial(4), 3, Discipline::kFpfs);
+  EXPECT_EQ(sched.total_steps, 6);
+}
+
+TEST(StepModel, PaperFigure5LinearTakesFiveSteps) {
+  // Same multicast over the linear tree: 5 steps (Fig. 5b) — the paper's
+  // proof that binomial is not optimal under packetization.
+  const auto sched =
+      step_schedule(core::make_linear(4), 3, Discipline::kFpfs);
+  EXPECT_EQ(sched.total_steps, 5);
+}
+
+TEST(StepModel, PaperFigure8BinomialSevenDestsThreePackets) {
+  // Fig. 8: 3-packet multicast to 7 destinations over the binomial tree
+  // completes in 9 steps = t_1 + (m-1) * c_R = 3 + 2*3.
+  const auto sched =
+      step_schedule(core::make_binomial(8), 3, Discipline::kFpfs);
+  EXPECT_EQ(sched.total_steps, 9);
+  EXPECT_EQ(sched.completion[0], 3);
+  EXPECT_EQ(sched.completion[1], 6);
+  EXPECT_EQ(sched.completion[2], 9);
+}
+
+TEST(StepModel, SinglePacketMatchesTreeDepthFormula) {
+  for (std::int32_t n : {2, 5, 8, 16, 33}) {
+    for (std::int32_t k = 1; k <= 5; ++k) {
+      const auto tree = core::make_kbinomial(n, k);
+      const auto sched = step_schedule(tree, 1, Discipline::kFpfs);
+      EXPECT_EQ(sched.total_steps, tree.steps_to_complete());
+      // Per-rank arrival equals the tree's single-packet step labels.
+      const auto labels = tree.single_packet_steps();
+      for (std::int32_t r = 0; r < n; ++r) {
+        EXPECT_EQ(sched.arrival[static_cast<std::size_t>(r)][0],
+                  labels[static_cast<std::size_t>(r)]);
+      }
+    }
+  }
+}
+
+TEST(StepModel, SourceHoldsAllPacketsAtStepZero) {
+  const auto sched =
+      step_schedule(core::make_binomial(8), 4, Discipline::kFpfs);
+  for (std::int32_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(sched.arrival[0][static_cast<std::size_t>(j)], 0);
+  }
+}
+
+TEST(StepModel, PacketsArriveInOrderEverywhere) {
+  for (const Discipline d : {Discipline::kFpfs, Discipline::kFcfs}) {
+    const auto sched = step_schedule(core::make_kbinomial(16, 2), 5, d);
+    for (std::int32_t r = 1; r < 16; ++r) {
+      for (std::int32_t j = 0; j + 1 < 5; ++j) {
+        EXPECT_LT(sched.arrival[static_cast<std::size_t>(r)]
+                               [static_cast<std::size_t>(j)],
+                  sched.arrival[static_cast<std::size_t>(r)]
+                               [static_cast<std::size_t>(j + 1)]);
+      }
+    }
+  }
+}
+
+TEST(StepModel, FcfsDelaysLaterChildrenUntilMessageComplete) {
+  // Tree: 0 -> 1 -> {2, 3}. Under FCFS, child 3 of node 1 cannot see
+  // packet 0 before node 1 has received the whole message.
+  core::RankTree t;
+  t.parent = {-1, 0, 1, 1};
+  t.children = {{1}, {2, 3}, {}, {}};
+  const std::int32_t m = 4;
+  const auto sched = step_schedule(t, m, Discipline::kFcfs);
+  const std::int32_t last_arrival_at_1 =
+      sched.arrival[1][static_cast<std::size_t>(m - 1)];
+  EXPECT_GT(sched.arrival[3][0], last_arrival_at_1);
+  // Whereas under FPFS child 3 gets packet 0 long before that.
+  const auto fpfs = step_schedule(t, m, Discipline::kFpfs);
+  EXPECT_LT(fpfs.arrival[3][0], last_arrival_at_1);
+}
+
+TEST(StepModel, FpfsNeverSlowerThanFcfsOnKBinomialTrees) {
+  for (std::int32_t n : {4, 8, 16, 31}) {
+    for (std::int32_t k = 1; k <= 4; ++k) {
+      for (std::int32_t m : {1, 2, 4, 8}) {
+        const auto tree = core::make_kbinomial(n, k);
+        const auto fp = step_schedule(tree, m, Discipline::kFpfs);
+        const auto fc = step_schedule(tree, m, Discipline::kFcfs);
+        EXPECT_LE(fp.total_steps, fc.total_steps)
+            << "n=" << n << " k=" << k << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(StepModel, TrivialTreeNoDestinations) {
+  const auto sched =
+      step_schedule(core::make_binomial(1), 3, Discipline::kFpfs);
+  EXPECT_EQ(sched.total_steps, 0);
+}
+
+TEST(StepModel, RejectsZeroPackets) {
+  EXPECT_THROW((void)step_schedule(core::make_binomial(4), 0,
+                                   Discipline::kFpfs),
+               std::invalid_argument);
+}
+
+TEST(StepModel, DisciplineNames) {
+  EXPECT_STREQ(to_string(Discipline::kFpfs), "FPFS");
+  EXPECT_STREQ(to_string(Discipline::kFcfs), "FCFS");
+}
+
+}  // namespace
+}  // namespace nimcast::mcast

@@ -1,0 +1,157 @@
+// The reliable FPFS layer: ACK/retransmit multicast over a lossy fabric.
+
+#include <gtest/gtest.h>
+
+#include "core/host_tree.hpp"
+#include "core/kbinomial.hpp"
+#include "mcast/multicast_engine.hpp"
+#include "routing/up_down.hpp"
+
+namespace nimcast::netif {
+namespace {
+
+struct Rig {
+  topo::Topology topology{topo::Graph{1, {}},
+                          std::vector<topo::SwitchId>(10, 0), "star"};
+  routing::UpDownRouter router{topology.switches()};
+  routing::RouteTable routes{topology, router};
+
+  mcast::MulticastResult run(std::int32_t n, std::int32_t m,
+                             double loss_rate, mcast::NiStyle style,
+                             std::uint64_t loss_seed = 0x1055) const {
+    net::NetworkConfig netcfg;
+    netcfg.loss_rate = loss_rate;
+    netcfg.loss_seed = loss_seed;
+    core::Chain order;
+    for (std::int32_t i = 0; i < n; ++i) order.push_back(i);
+    const auto tree = core::HostTree::bind(core::make_kbinomial(n, 2), order);
+    const mcast::MulticastEngine engine{
+        topology, routes,
+        mcast::MulticastEngine::Config{SystemParams{}, netcfg, style}};
+    return engine.run(tree, m);
+  }
+};
+
+TEST(ReliableNi, LosslessBehavesLikeFpfsPlusAckTraffic) {
+  Rig rig;
+  const auto fpfs = rig.run(8, 4, 0.0, mcast::NiStyle::kSmartFpfs);
+  const auto reliable = rig.run(8, 4, 0.0, mcast::NiStyle::kReliableFpfs);
+  EXPECT_EQ(reliable.completions.size(), 7u);
+  // Data path identical; ACK processing may add small coprocessor delays
+  // but never retransmissions.
+  EXPECT_GE(reliable.latency, fpfs.latency);
+  EXPECT_LT(reliable.latency, fpfs.latency + sim::Time::us(30.0));
+}
+
+TEST(ReliableNi, DeliversDespiteHeavyLoss) {
+  Rig rig;
+  for (const double loss : {0.05, 0.2, 0.4}) {
+    const auto result = rig.run(8, 6, loss, mcast::NiStyle::kReliableFpfs);
+    EXPECT_EQ(result.completions.size(), 7u) << "loss=" << loss;
+  }
+}
+
+TEST(ReliableNi, UnreliableFpfsHangsUnderLossButReliableDoesNot) {
+  Rig rig;
+  // Plain FPFS on a lossy fabric loses packets forever: the engine
+  // detects the incomplete multicast.
+  EXPECT_THROW((void)rig.run(8, 6, 0.3, mcast::NiStyle::kSmartFpfs),
+               std::runtime_error);
+  EXPECT_NO_THROW((void)rig.run(8, 6, 0.3, mcast::NiStyle::kReliableFpfs));
+}
+
+TEST(ReliableNi, LatencyDegradesGracefullyWithLoss) {
+  Rig rig;
+  sim::Time prev;
+  for (const double loss : {0.0, 0.1, 0.3}) {
+    sim::Time total;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      total += rig.run(8, 6, loss, mcast::NiStyle::kReliableFpfs, seed)
+                   .latency;
+    }
+    EXPECT_GE(total, prev) << "loss=" << loss;
+    prev = total;
+  }
+}
+
+TEST(ReliableNi, DeterministicGivenLossSeed) {
+  Rig rig;
+  const auto a = rig.run(6, 4, 0.25, mcast::NiStyle::kReliableFpfs, 9);
+  const auto b = rig.run(6, 4, 0.25, mcast::NiStyle::kReliableFpfs, 9);
+  EXPECT_EQ(a.latency, b.latency);
+  const auto c = rig.run(6, 4, 0.25, mcast::NiStyle::kReliableFpfs, 10);
+  // Different loss pattern virtually always shifts timing.
+  EXPECT_NE(a.latency, c.latency);
+}
+
+TEST(ReliableNi, GivesUpAfterMaxRetransmissions) {
+  Rig rig;
+  net::NetworkConfig netcfg;
+  netcfg.loss_rate = 0.95;
+  core::Chain order{0, 1};
+  const auto tree = core::HostTree::bind(core::make_kbinomial(2, 1), order);
+  ReliabilityParams rel;
+  rel.max_retransmissions = 3;
+  const mcast::MulticastEngine engine{
+      rig.topology, rig.routes,
+      mcast::MulticastEngine::Config{SystemParams{}, netcfg,
+                                     mcast::NiStyle::kReliableFpfs, rel}};
+  EXPECT_THROW((void)engine.run(tree, 2), std::runtime_error);
+}
+
+TEST(ReliableNi, BuffersHeldUntilAcked) {
+  // With reliability the source cannot release a packet at injection; it
+  // must wait for ACKs, so its buffer integral strictly exceeds plain
+  // FPFS's even with zero loss.
+  Rig rig;
+  const auto fpfs = rig.run(6, 6, 0.0, mcast::NiStyle::kSmartFpfs);
+  const auto reliable = rig.run(6, 6, 0.0, mcast::NiStyle::kReliableFpfs);
+  double fp_src = 0;
+  double rel_src = 0;
+  for (const auto& b : fpfs.buffers) {
+    if (b.host == 0) fp_src = b.packet_us_integral;
+  }
+  for (const auto& b : reliable.buffers) {
+    if (b.host == 0) rel_src = b.packet_us_integral;
+  }
+  EXPECT_GT(rel_src, fp_src);
+}
+
+TEST(ReliableNi, LossyNetworkCountsDrops) {
+  Rig rig;
+  sim::Simulator simctx;
+  net::NetworkConfig netcfg;
+  netcfg.loss_rate = 0.5;
+  netcfg.loss_seed = 3;
+  net::WormholeNetwork network{simctx, rig.topology, rig.routes, netcfg};
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    net::Packet p;
+    p.message = 1;
+    p.packet_index = i;
+    p.sender = 0;
+    p.dest = 1;
+    network.send(p, [&](const net::Packet&) { ++delivered; });
+  }
+  simctx.run();
+  EXPECT_EQ(network.packets_delivered() + network.packets_dropped(), 200);
+  EXPECT_NEAR(static_cast<double>(network.packets_dropped()), 100.0, 30.0);
+  EXPECT_EQ(delivered, network.packets_delivered());
+}
+
+TEST(ReliableNi, RejectsInvalidLossRate) {
+  Rig rig;
+  sim::Simulator simctx;
+  net::NetworkConfig netcfg;
+  netcfg.loss_rate = 1.0;
+  EXPECT_THROW((net::WormholeNetwork{simctx, rig.topology, rig.routes,
+                                     netcfg}),
+               std::invalid_argument);
+  netcfg.loss_rate = -0.1;
+  EXPECT_THROW((net::WormholeNetwork{simctx, rig.topology, rig.routes,
+                                     netcfg}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nimcast::netif

@@ -1,0 +1,172 @@
+#include "netif/serial_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace nimcast::netif {
+namespace {
+
+TEST(SerialServer, ExecutesTasksFifoBackToBack) {
+  sim::Simulator simctx;
+  SerialServer server{simctx};
+  std::vector<std::pair<int, sim::Time>> done;
+  for (int i = 0; i < 3; ++i) {
+    server.enqueue(sim::Time::us(2.0),
+                   [&, i] { done.emplace_back(i, simctx.now()); });
+  }
+  simctx.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], (std::pair{0, sim::Time::us(2.0)}));
+  EXPECT_EQ(done[1], (std::pair{1, sim::Time::us(4.0)}));
+  EXPECT_EQ(done[2], (std::pair{2, sim::Time::us(6.0)}));
+}
+
+TEST(SerialServer, IdleServerStartsImmediately) {
+  sim::Simulator simctx;
+  SerialServer server{simctx};
+  sim::Time done_at;
+  simctx.schedule_at(sim::Time::us(5.0), [&] {
+    server.enqueue(sim::Time::us(1.0), [&] { done_at = simctx.now(); });
+  });
+  simctx.run();
+  EXPECT_EQ(done_at, sim::Time::us(6.0));
+}
+
+TEST(SerialServer, CompletionActionMayEnqueueMoreWork) {
+  sim::Simulator simctx;
+  SerialServer server{simctx};
+  sim::Time second_done;
+  server.enqueue(sim::Time::us(1.0), [&] {
+    server.enqueue(sim::Time::us(3.0), [&] { second_done = simctx.now(); });
+  });
+  simctx.run();
+  EXPECT_EQ(second_done, sim::Time::us(4.0));
+}
+
+TEST(SerialServer, WorkEnqueuedByActionGoesBehindQueuedWork) {
+  sim::Simulator simctx;
+  SerialServer server{simctx};
+  std::vector<int> order;
+  server.enqueue(sim::Time::us(1.0), [&] {
+    order.push_back(0);
+    server.enqueue(sim::Time::us(1.0), [&] { order.push_back(2); });
+  });
+  server.enqueue(sim::Time::us(1.0), [&] { order.push_back(1); });
+  simctx.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SerialServer, EnqueueFrontJumpsQueue) {
+  sim::Simulator simctx;
+  SerialServer server{simctx};
+  std::vector<int> order;
+  server.enqueue(sim::Time::us(1.0), [&] {
+    order.push_back(0);
+    server.enqueue_front(sim::Time::us(1.0), [&] { order.push_back(1); });
+  });
+  server.enqueue(sim::Time::us(1.0), [&] { order.push_back(2); });
+  simctx.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SerialServer, BusyAndQueuedObservable) {
+  sim::Simulator simctx;
+  SerialServer server{simctx};
+  server.enqueue(sim::Time::us(1.0), [] {});
+  server.enqueue(sim::Time::us(1.0), [] {});
+  EXPECT_TRUE(server.busy());
+  EXPECT_EQ(server.queued(), 1u);
+  simctx.run();
+  EXPECT_FALSE(server.busy());
+  EXPECT_EQ(server.queued(), 0u);
+}
+
+TEST(SerialServer, BusyTimeAccumulates) {
+  sim::Simulator simctx;
+  SerialServer server{simctx};
+  server.enqueue(sim::Time::us(1.5), [] {});
+  server.enqueue(sim::Time::us(2.5), [] {});
+  simctx.run();
+  EXPECT_EQ(server.busy_time(), sim::Time::us(4.0));
+}
+
+TEST(SerialServer, ZeroDurationTaskCompletesAtEnqueueTime) {
+  sim::Simulator simctx;
+  SerialServer server{simctx};
+  sim::Time done_at = sim::Time::us(99.0);
+  server.enqueue(sim::Time::zero(), [&] { done_at = simctx.now(); });
+  simctx.run();
+  EXPECT_EQ(done_at, sim::Time::zero());
+}
+
+
+// --- multi-worker (multi-engine NI) behaviour -----------------------------
+
+TEST(SerialServerMultiWorker, TasksOverlapUpToWorkerCount) {
+  sim::Simulator simctx;
+  SerialServer server{simctx, 2};
+  std::vector<std::pair<int, sim::Time>> done;
+  for (int i = 0; i < 4; ++i) {
+    server.enqueue(sim::Time::us(2.0),
+                   [&, i] { done.emplace_back(i, simctx.now()); });
+  }
+  simctx.run();
+  ASSERT_EQ(done.size(), 4u);
+  // Pairs complete together: {0,1} at 2us, {2,3} at 4us.
+  EXPECT_EQ(done[0].second, sim::Time::us(2.0));
+  EXPECT_EQ(done[1].second, sim::Time::us(2.0));
+  EXPECT_EQ(done[2].second, sim::Time::us(4.0));
+  EXPECT_EQ(done[3].second, sim::Time::us(4.0));
+}
+
+TEST(SerialServerMultiWorker, FifoStartOrderPreserved) {
+  sim::Simulator simctx;
+  SerialServer server{simctx, 3};
+  std::vector<int> order;
+  // Different durations: starts remain FIFO even though completions
+  // reorder.
+  server.enqueue(sim::Time::us(5.0), [&] { order.push_back(0); });
+  server.enqueue(sim::Time::us(1.0), [&] { order.push_back(1); });
+  server.enqueue(sim::Time::us(3.0), [&] { order.push_back(2); });
+  simctx.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(SerialServerMultiWorker, BusyTimeSumsAllWorkers) {
+  sim::Simulator simctx;
+  SerialServer server{simctx, 4};
+  for (int i = 0; i < 4; ++i) server.enqueue(sim::Time::us(1.0), [] {});
+  simctx.run();
+  EXPECT_EQ(server.busy_time(), sim::Time::us(4.0));
+}
+
+TEST(SerialServerMultiWorker, SingleWorkerDefaultUnchanged) {
+  sim::Simulator simctx;
+  SerialServer server{simctx};
+  EXPECT_EQ(server.workers(), 1);
+}
+
+TEST(SerialServerMultiWorker, RejectsZeroWorkers) {
+  sim::Simulator simctx;
+  EXPECT_THROW((SerialServer{simctx, 0}), std::invalid_argument);
+}
+
+TEST(SerialServerMultiWorker, LowPriorityStillYieldsToNormalLane) {
+  sim::Simulator simctx;
+  SerialServer server{simctx, 2};
+  std::vector<int> order;
+  // Saturate both workers, then queue one low and one normal task: the
+  // normal one must start first when a worker frees.
+  server.enqueue(sim::Time::us(1.0), [&] { order.push_back(0); });
+  server.enqueue(sim::Time::us(1.0), [&] { order.push_back(1); });
+  server.enqueue_low(sim::Time::us(1.0), [&] { order.push_back(3); });
+  server.enqueue(sim::Time::us(0.5), [&] { order.push_back(2); });
+  simctx.run();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_LT(std::find(order.begin(), order.end(), 2) - order.begin(),
+            std::find(order.begin(), order.end(), 3) - order.begin());
+}
+
+}  // namespace
+}  // namespace nimcast::netif

@@ -1,0 +1,177 @@
+#include "network/wormhole_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/up_down.hpp"
+
+namespace nimcast::net {
+namespace {
+
+/// Line of three switches 0-1-2 with one host on each (host i on switch
+/// i) plus a second host (3) on switch 0. Routing is up*/down* rooted at
+/// the max-degree switch (1).
+struct Rig {
+  topo::Topology topology{topo::Graph{3, {{0, 1}, {1, 2}}},
+                          {0, 1, 2, 0},
+                          "line"};
+  routing::UpDownRouter router{topology.switches()};
+  routing::RouteTable routes{topology, router};
+  sim::Simulator simctx;
+  NetworkConfig cfg;  // defaults: t_hop = 0.1us, 64B @ 160B/us => 0.4us
+  WormholeNetwork net{simctx, topology, routes, cfg};
+
+  Packet packet(topo::HostId from, topo::HostId to, std::int32_t idx = 0) {
+    Packet p;
+    p.message = 1;
+    p.packet_index = idx;
+    p.packet_count = 8;
+    p.sender = from;
+    p.dest = to;
+    return p;
+  }
+};
+
+TEST(Wormhole, UncontendedLatencyFormula) {
+  Rig rig;
+  EXPECT_EQ(rig.net.uncontended_latency(0), sim::Time::us(0.6));
+  EXPECT_EQ(rig.net.uncontended_latency(2), sim::Time::us(0.8));
+}
+
+TEST(Wormhole, SingleDeliveryMatchesUncontendedLatency) {
+  Rig rig;
+  sim::Time delivered_at;
+  rig.net.send(rig.packet(0, 2),
+               [&](const Packet&) { delivered_at = rig.simctx.now(); });
+  rig.simctx.run();
+  EXPECT_EQ(delivered_at, rig.net.uncontended_latency(2));
+  EXPECT_EQ(rig.net.packets_delivered(), 1);
+  EXPECT_EQ(rig.net.in_flight(), 0);
+}
+
+TEST(Wormhole, SameSwitchDeliveryUsesInjectionAndEjectionOnly) {
+  Rig rig;
+  sim::Time delivered_at;
+  rig.net.send(rig.packet(0, 3),
+               [&](const Packet&) { delivered_at = rig.simctx.now(); });
+  rig.simctx.run();
+  EXPECT_EQ(delivered_at, rig.net.uncontended_latency(0));
+}
+
+TEST(Wormhole, DeliveryCallbackCarriesPacketHeader) {
+  Rig rig;
+  Packet got;
+  rig.net.send(rig.packet(0, 2, 5), [&](const Packet& p) { got = p; });
+  rig.simctx.run();
+  EXPECT_EQ(got.message, 1);
+  EXPECT_EQ(got.packet_index, 5);
+  EXPECT_EQ(got.packet_count, 8);
+  EXPECT_EQ(got.sender, 0);
+  EXPECT_EQ(got.dest, 2);
+}
+
+TEST(Wormhole, InjectionChannelSerializesSendsFromOneHost) {
+  Rig rig;
+  std::vector<sim::Time> deliveries;
+  for (int i = 0; i < 2; ++i) {
+    rig.net.send(rig.packet(0, 2, i), [&](const Packet&) {
+      deliveries.push_back(rig.simctx.now());
+    });
+  }
+  rig.simctx.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], sim::Time::us(0.8));
+  // Second worm waits on the injection channel until the first drains
+  // (0.8), then needs the full path again.
+  EXPECT_EQ(deliveries[1], sim::Time::us(1.6));
+  EXPECT_EQ(rig.net.total_block_time(), sim::Time::us(0.8));
+}
+
+TEST(Wormhole, ContendedChannelIsFifo) {
+  Rig rig;
+  std::vector<std::int32_t> order;
+  for (int i = 0; i < 4; ++i) {
+    rig.net.send(rig.packet(0, 2, i), [&](const Packet& p) {
+      order.push_back(p.packet_index);
+    });
+  }
+  rig.simctx.run();
+  EXPECT_EQ(order, (std::vector<std::int32_t>{0, 1, 2, 3}));
+}
+
+TEST(Wormhole, BlockedWormHoldsAcquiredChannels) {
+  Rig rig;
+  std::vector<std::pair<topo::HostId, sim::Time>> log;
+  const auto recorder = [&](const Packet& p) {
+    log.emplace_back(p.dest, rig.simctx.now());
+  };
+  // X: 1 -> 2 occupies link L1 (switch1-switch2) until 0.7.
+  rig.net.send(rig.packet(1, 2, 0), recorder);
+  // Y: 0 -> 2 grabs L0 then blocks on L1 at 0.2, holding L0 the whole
+  // time (wormhole!). It completes at 1.3.
+  rig.net.send(rig.packet(0, 2, 1), recorder);
+  // Z: 3 -> 1 (injected at 0.5) needs L0 and must wait for Y's tail even
+  // though X and Y are "someone else's" traffic.
+  rig.simctx.schedule_at(sim::Time::us(0.5), [&] {
+    rig.net.send(rig.packet(3, 1, 2), recorder);
+  });
+  rig.simctx.run();
+
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, 2);
+  EXPECT_EQ(log[0].second, sim::Time::us(0.7));  // X: 1 hop
+  EXPECT_EQ(log[1].first, 2);
+  EXPECT_EQ(log[1].second, sim::Time::us(1.3));  // Y: handoff at 0.7
+  EXPECT_EQ(log[2].first, 1);
+  EXPECT_EQ(log[2].second, sim::Time::us(1.9));  // Z: waited for Y's L0
+}
+
+TEST(Wormhole, BlockTimeAccumulatesAcrossWorms) {
+  Rig rig;
+  rig.net.send(rig.packet(1, 2, 0), [](const Packet&) {});
+  rig.net.send(rig.packet(0, 2, 1), [](const Packet&) {});
+  rig.simctx.run();
+  // Y blocked on L1 from 0.2 until 0.7.
+  EXPECT_EQ(rig.net.total_block_time(), sim::Time::us(0.5));
+}
+
+TEST(Wormhole, RejectsSelfSendAndBadHosts) {
+  Rig rig;
+  EXPECT_THROW(rig.net.send(rig.packet(0, 0), [](const Packet&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(rig.net.send(rig.packet(0, 99), [](const Packet&) {}),
+               std::invalid_argument);
+}
+
+TEST(Wormhole, BandwidthScalesSerialization) {
+  Rig rig;
+  rig.cfg.bandwidth_bytes_per_us = 64.0;  // 1.0us per packet
+  WormholeNetwork slow{rig.simctx, rig.topology, rig.routes, rig.cfg};
+  sim::Time delivered_at;
+  slow.send(rig.packet(0, 2),
+            [&](const Packet&) { delivered_at = rig.simctx.now(); });
+  rig.simctx.run();
+  EXPECT_EQ(delivered_at, sim::Time::us(0.4 + 1.0));
+}
+
+TEST(Wormhole, InvalidBandwidthRejected) {
+  NetworkConfig cfg;
+  cfg.bandwidth_bytes_per_us = 0.0;
+  EXPECT_THROW((void)cfg.serialization_time(), std::invalid_argument);
+}
+
+TEST(Wormhole, ManyParallelDisjointSendsDontInteract) {
+  Rig rig;
+  // 0->3 stays on switch 0; 1->2 uses L1 only: fully disjoint.
+  std::vector<sim::Time> times;
+  rig.net.send(rig.packet(0, 3, 0),
+               [&](const Packet&) { times.push_back(rig.simctx.now()); });
+  rig.net.send(rig.packet(1, 2, 1),
+               [&](const Packet&) { times.push_back(rig.simctx.now()); });
+  rig.simctx.run();
+  EXPECT_EQ(times[0], rig.net.uncontended_latency(0));
+  EXPECT_EQ(times[1], rig.net.uncontended_latency(1));
+  EXPECT_EQ(rig.net.total_block_time(), sim::Time::zero());
+}
+
+}  // namespace
+}  // namespace nimcast::net

@@ -1,0 +1,100 @@
+#include "routing/dimension_ordered.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace nimcast::routing {
+namespace {
+
+struct Rig {
+  topo::KAryNCubeConfig cfg;
+  topo::Topology topology;
+  explicit Rig(topo::KAryNCubeConfig c)
+      : cfg{c}, topology{topo::make_kary_ncube(c)} {}
+};
+
+TEST(DimensionOrdered, MeshRouteLengthIsManhattan) {
+  const Rig rig{{4, 2, false}};
+  const DimensionOrderedRouter router{rig.topology.switches(), rig.cfg};
+  for (topo::SwitchId s = 0; s < 16; ++s) {
+    for (topo::SwitchId d = 0; d < 16; ++d) {
+      const auto cs = topo::to_coords(s, rig.cfg);
+      const auto cd = topo::to_coords(d, rig.cfg);
+      std::size_t manhattan = 0;
+      for (std::size_t i = 0; i < cs.size(); ++i) {
+        manhattan += static_cast<std::size_t>(std::abs(cs[i] - cd[i]));
+      }
+      EXPECT_EQ(router.route(s, d).hops(), manhattan);
+    }
+  }
+}
+
+TEST(DimensionOrdered, LowestDimensionCorrectedFirst) {
+  const Rig rig{{4, 2, false}};
+  const DimensionOrderedRouter router{rig.topology.switches(), rig.cfg};
+  // From (0,0)=0 to (3,2)=11: all X moves precede all Y moves.
+  const auto r = router.route(0, 11);
+  bool seen_y = false;
+  for (std::size_t i = 0; i + 1 < r.switches.size(); ++i) {
+    const auto a = topo::to_coords(r.switches[i], rig.cfg);
+    const auto b = topo::to_coords(r.switches[i + 1], rig.cfg);
+    if (a[1] != b[1]) {
+      seen_y = true;
+    } else {
+      EXPECT_FALSE(seen_y) << "X move after Y move";
+    }
+  }
+  EXPECT_TRUE(seen_y);
+}
+
+TEST(DimensionOrdered, MeshRoutesAreDeadlockFree) {
+  const Rig rig{{3, 3, false}};
+  const DimensionOrderedRouter router{rig.topology.switches(), rig.cfg};
+  EXPECT_TRUE(deadlock_free(rig.topology.switches(), router));
+}
+
+TEST(DimensionOrdered, HypercubeRoutesAreDeadlockFree) {
+  const Rig rig{{2, 4, false}};
+  const DimensionOrderedRouter router{rig.topology.switches(), rig.cfg};
+  EXPECT_TRUE(deadlock_free(rig.topology.switches(), router));
+}
+
+TEST(DimensionOrdered, TorusTakesShorterWrap) {
+  const Rig rig{{5, 1, true}};  // ring of 5
+  const DimensionOrderedRouter router{rig.topology.switches(), rig.cfg};
+  EXPECT_EQ(router.route(0, 4).hops(), 1u);  // wrap: 0 -> 4 directly
+  EXPECT_EQ(router.route(0, 2).hops(), 2u);  // forward is shorter
+  // Equidistant tie (distance 2 or 3 around): forward preferred.
+  const auto r = router.route(0, 2);
+  EXPECT_EQ(r.switches[1], 1);
+}
+
+TEST(DimensionOrdered, SelfRouteEmpty) {
+  const Rig rig{{4, 2, false}};
+  const DimensionOrderedRouter router{rig.topology.switches(), rig.cfg};
+  const auto r = router.route(5, 5);
+  EXPECT_EQ(r.hops(), 0u);
+  EXPECT_EQ(r.switches, (std::vector<topo::SwitchId>{5}));
+}
+
+TEST(DimensionOrdered, RouteShapeConsistent) {
+  const Rig rig{{3, 2, true}};
+  const DimensionOrderedRouter router{rig.topology.switches(), rig.cfg};
+  for (topo::SwitchId s = 0; s < 9; ++s) {
+    for (topo::SwitchId d = 0; d < 9; ++d) {
+      const auto r = router.route(s, d);
+      ASSERT_TRUE(r.valid_shape());
+      EXPECT_EQ(r.switches.front(), s);
+      EXPECT_EQ(r.switches.back(), d);
+      for (std::size_t i = 0; i < r.links.size(); ++i) {
+        const auto& e = rig.topology.switches().edge(r.links[i]);
+        EXPECT_TRUE(e.a == r.switches[i] || e.b == r.switches[i]);
+        EXPECT_EQ(e.other(r.switches[i]), r.switches[i + 1]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nimcast::routing

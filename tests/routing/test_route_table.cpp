@@ -1,0 +1,90 @@
+#include "routing/route_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/up_down.hpp"
+#include "sim/rng.hpp"
+#include "topology/irregular.hpp"
+
+namespace nimcast::routing {
+namespace {
+
+struct Rig {
+  topo::Topology topology;
+  UpDownRouter router;
+  RouteTable routes;
+
+  explicit Rig(std::uint64_t seed)
+      : topology{[&] {
+          sim::Rng rng{seed};
+          return topo::make_irregular(topo::IrregularConfig{}, rng);
+        }()},
+        router{topology.switches()},
+        routes{topology, router} {}
+};
+
+TEST(RouteTable, CoversAllHostPairs) {
+  const Rig rig{1};
+  EXPECT_EQ(rig.routes.num_hosts(), 64);
+  for (topo::HostId s = 0; s < 64; s += 7) {
+    for (topo::HostId d = 0; d < 64; d += 5) {
+      const auto& p = rig.routes.path(s, d);
+      EXPECT_TRUE(p.valid_shape());
+      EXPECT_EQ(p.switches.front(), rig.topology.switch_of(s));
+      EXPECT_EQ(p.switches.back(), rig.topology.switch_of(d));
+    }
+  }
+}
+
+TEST(RouteTable, SameSwitchHostsHaveZeroHops) {
+  const Rig rig{2};
+  // Hosts 0 and 16 share switch 0 under round-robin attachment.
+  EXPECT_EQ(rig.routes.hops(0, 16), 0u);
+}
+
+TEST(RouteTable, MatchesRouterOutput) {
+  const Rig rig{3};
+  for (topo::HostId s = 0; s < 64; s += 13) {
+    for (topo::HostId d = 0; d < 64; d += 11) {
+      const auto direct = rig.router.route(rig.topology.switch_of(s),
+                                           rig.topology.switch_of(d));
+      EXPECT_EQ(rig.routes.path(s, d).switches, direct.switches);
+    }
+  }
+}
+
+TEST(RouteTable, DisjointnessDetectsSharedChannel) {
+  const Rig rig{4};
+  // A route is never disjoint from itself unless it has no links.
+  for (topo::HostId s = 0; s < 8; ++s) {
+    for (topo::HostId d = 0; d < 8; ++d) {
+      if (rig.routes.hops(s, d) == 0) continue;
+      EXPECT_FALSE(
+          rig.routes.disjoint(rig.topology.switches(), s, d, s, d));
+    }
+  }
+}
+
+TEST(RouteTable, OppositeDirectionsAreDisjointChannels) {
+  const Rig rig{5};
+  // a->b and b->a use opposite directed channels of the same links under
+  // a deterministic shortest-path router, so they never conflict.
+  for (topo::HostId a = 0; a < 16; ++a) {
+    for (topo::HostId b = 0; b < 16; ++b) {
+      if (a == b) continue;
+      const auto& fwd = rig.routes.path(a, b);
+      const auto& rev = rig.routes.path(b, a);
+      // Only check when the router picked symmetric paths.
+      if (fwd.links.size() != rev.links.size()) continue;
+      auto sorted_f = fwd.links;
+      auto sorted_r = rev.links;
+      std::sort(sorted_f.begin(), sorted_f.end());
+      std::sort(sorted_r.begin(), sorted_r.end());
+      if (sorted_f != sorted_r) continue;
+      EXPECT_TRUE(rig.routes.disjoint(rig.topology.switches(), a, b, b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nimcast::routing

@@ -1,0 +1,76 @@
+#include "routing/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nimcast::routing {
+namespace {
+
+TEST(RoutingUtil, DirectedChannelNumbering) {
+  const topo::Graph g{3, {{0, 1}, {1, 2}}};
+  EXPECT_EQ(directed_channel(g, 0, 0), 0);  // a->b of link 0
+  EXPECT_EQ(directed_channel(g, 0, 1), 1);  // b->a of link 0
+  EXPECT_EQ(directed_channel(g, 1, 1), 2);
+  EXPECT_EQ(directed_channel(g, 1, 2), 3);
+}
+
+TEST(RoutingUtil, DirectedChannelRejectsForeignSwitch) {
+  const topo::Graph g{3, {{0, 1}, {1, 2}}};
+  EXPECT_THROW((void)directed_channel(g, 0, 2), std::invalid_argument);
+}
+
+TEST(RoutingUtil, RouteChannelsFollowRoute) {
+  const topo::Graph g{3, {{0, 1}, {1, 2}}};
+  const SwitchRoute r{{0, 1, 2}, {0, 1}, {}};
+  EXPECT_EQ(route_channels(g, r), (std::vector<std::int32_t>{0, 2}));
+  const SwitchRoute rev{{2, 1, 0}, {1, 0}, {}};
+  EXPECT_EQ(route_channels(g, rev), (std::vector<std::int32_t>{3, 1}));
+}
+
+/// A deliberately cyclic "router" on a triangle: every message goes the
+/// long way round (two hops clockwise), producing the classic circular
+/// channel dependency that wormhole routing deadlocks on.
+class ClockwiseRouter final : public Router {
+ public:
+  explicit ClockwiseRouter(const topo::Graph& g) : g_{g} {}
+  [[nodiscard]] SwitchRoute route(topo::SwitchId src,
+                                  topo::SwitchId dst) const override {
+    if (src == dst) return SwitchRoute{{src}, {}, {}};
+    SwitchRoute r;
+    r.switches.push_back(src);
+    topo::SwitchId cur = src;
+    while (cur != dst) {
+      const topo::SwitchId next = (cur + 1) % 3;
+      for (topo::LinkId e = 0; e < g_.num_edges(); ++e) {
+        const auto& edge = g_.edge(e);
+        if ((edge.a == cur && edge.b == next) ||
+            (edge.b == cur && edge.a == next)) {
+          r.links.push_back(e);
+          break;
+        }
+      }
+      r.switches.push_back(next);
+      cur = next;
+    }
+    return r;
+  }
+  [[nodiscard]] const char* name() const override { return "clockwise"; }
+
+ private:
+  const topo::Graph& g_;
+};
+
+TEST(RoutingUtil, DeadlockCheckerCatchesCyclicDependencies) {
+  const topo::Graph g{3, {{0, 1}, {1, 2}, {2, 0}}};
+  const ClockwiseRouter router{g};
+  EXPECT_FALSE(deadlock_free(g, router));
+}
+
+TEST(RoutingUtil, SwitchRouteShapeValidation) {
+  EXPECT_FALSE((SwitchRoute{{}, {}, {}}).valid_shape());
+  EXPECT_TRUE((SwitchRoute{{3}, {}, {}}).valid_shape());
+  EXPECT_TRUE((SwitchRoute{{0, 1}, {0}, {}}).valid_shape());
+  EXPECT_FALSE((SwitchRoute{{0, 1}, {}, {}}).valid_shape());
+}
+
+}  // namespace
+}  // namespace nimcast::routing

@@ -1,0 +1,156 @@
+#include "routing/up_down.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "topology/irregular.hpp"
+
+namespace nimcast::routing {
+namespace {
+
+/// Checks a route's structural sanity against its graph: consecutive
+/// switches joined by the named links, no repeated switch.
+void check_route_shape(const topo::Graph& g, const SwitchRoute& r) {
+  ASSERT_TRUE(r.valid_shape());
+  for (std::size_t i = 0; i < r.links.size(); ++i) {
+    const auto& e = g.edge(r.links[i]);
+    const auto from = r.switches[i];
+    const auto to = r.switches[i + 1];
+    EXPECT_TRUE((e.a == from && e.b == to) || (e.b == from && e.a == to));
+  }
+  std::set<topo::SwitchId> seen{r.switches.begin(), r.switches.end()};
+  EXPECT_EQ(seen.size(), r.switches.size()) << "route visits a switch twice";
+}
+
+/// A route is up*/down*-legal if no up move follows a down move.
+void check_updown_legal(const UpDownRouter& router, const SwitchRoute& r) {
+  bool went_down = false;
+  for (std::size_t i = 0; i < r.links.size(); ++i) {
+    const bool up = router.is_up(r.links[i], r.switches[i]);
+    if (up) {
+      EXPECT_FALSE(went_down) << "illegal down->up turn";
+    } else {
+      went_down = true;
+    }
+  }
+}
+
+TEST(UpDown, TrivialSelfRoute) {
+  const topo::Graph g{2, {{0, 1}}};
+  const UpDownRouter router{g};
+  const auto r = router.route(1, 1);
+  EXPECT_EQ(r.switches, (std::vector<topo::SwitchId>{1}));
+  EXPECT_TRUE(r.links.empty());
+}
+
+TEST(UpDown, DirectNeighborIsOneHop) {
+  const topo::Graph g{2, {{0, 1}}};
+  const UpDownRouter router{g};
+  const auto r = router.route(0, 1);
+  EXPECT_EQ(r.hops(), 1u);
+}
+
+TEST(UpDown, DefaultRootIsHighestDegree) {
+  // Star centered at 2.
+  const topo::Graph g{4, {{2, 0}, {2, 1}, {2, 3}}};
+  const UpDownRouter router{g};
+  EXPECT_EQ(router.root(), 2);
+}
+
+TEST(UpDown, ExplicitRootHonored) {
+  const topo::Graph g{3, {{0, 1}, {1, 2}}};
+  const UpDownRouter router{g, 2};
+  EXPECT_EQ(router.root(), 2);
+  EXPECT_EQ(router.levels()[2], 0);
+  EXPECT_EQ(router.levels()[0], 2);
+}
+
+TEST(UpDown, UpEndTieBreaksToLowerId) {
+  // Square: 0-1, 1-3, 0-2, 2-3. Root 0; switches 1 and 2 are level 1 and
+  // 3 is level 2; the 1-3 and 2-3 links point up toward 1 and 2; the 0-1
+  // and 0-2 links point up toward 0.
+  const topo::Graph g{4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}}};
+  const UpDownRouter router{g, 0};
+  EXPECT_EQ(router.up_end(0), 0);
+  EXPECT_EQ(router.up_end(1), 1);
+  EXPECT_EQ(router.up_end(2), 0);
+  EXPECT_EQ(router.up_end(3), 2);
+}
+
+TEST(UpDown, SameLevelLinkUpEndIsLowerId) {
+  // Triangle rooted at 0: link 1-2 connects equal levels.
+  const topo::Graph g{3, {{0, 1}, {0, 2}, {1, 2}}};
+  const UpDownRouter router{g, 0};
+  EXPECT_EQ(router.up_end(2), 1);
+}
+
+TEST(UpDown, RouteIsDeterministic) {
+  sim::Rng rng{5};
+  const auto t = topo::make_irregular(topo::IrregularConfig{}, rng);
+  const UpDownRouter router{t.switches()};
+  for (topo::SwitchId s = 0; s < t.num_switches(); ++s) {
+    for (topo::SwitchId d = 0; d < t.num_switches(); ++d) {
+      const auto r1 = router.route(s, d);
+      const auto r2 = router.route(s, d);
+      EXPECT_EQ(r1.switches, r2.switches);
+      EXPECT_EQ(r1.links, r2.links);
+    }
+  }
+}
+
+TEST(UpDown, AllRoutesLegalOnRandomIrregularNetworks) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    sim::Rng rng{seed};
+    const auto t = topo::make_irregular(topo::IrregularConfig{}, rng);
+    const UpDownRouter router{t.switches()};
+    for (topo::SwitchId s = 0; s < t.num_switches(); ++s) {
+      for (topo::SwitchId d = 0; d < t.num_switches(); ++d) {
+        if (s == d) continue;
+        const auto r = router.route(s, d);
+        EXPECT_EQ(r.switches.front(), s);
+        EXPECT_EQ(r.switches.back(), d);
+        check_route_shape(t.switches(), r);
+        check_updown_legal(router, r);
+      }
+    }
+  }
+}
+
+TEST(UpDown, RoutesAreDeadlockFree) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    sim::Rng rng{100 + seed};
+    const auto t = topo::make_irregular(topo::IrregularConfig{}, rng);
+    const UpDownRouter router{t.switches()};
+    EXPECT_TRUE(deadlock_free(t.switches(), router)) << "seed " << seed;
+  }
+}
+
+TEST(UpDown, RouteNoLongerThanTwiceDiameterBound) {
+  // up*/down* routes are at most (depth up) + (depth down).
+  sim::Rng rng{7};
+  const auto t = topo::make_irregular(topo::IrregularConfig{}, rng);
+  const UpDownRouter router{t.switches()};
+  std::int32_t max_level = 0;
+  for (auto lv : router.levels()) max_level = std::max(max_level, lv);
+  for (topo::SwitchId s = 0; s < t.num_switches(); ++s) {
+    for (topo::SwitchId d = 0; d < t.num_switches(); ++d) {
+      EXPECT_LE(router.route(s, d).hops(),
+                static_cast<std::size_t>(2 * max_level));
+    }
+  }
+}
+
+TEST(UpDown, RequiresConnectedGraph) {
+  const topo::Graph g{3, {{0, 1}}};
+  EXPECT_THROW((UpDownRouter{g}), std::invalid_argument);
+}
+
+TEST(UpDown, RouteRejectsOutOfRange) {
+  const topo::Graph g{2, {{0, 1}}};
+  const UpDownRouter router{g};
+  EXPECT_THROW((void)router.route(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)router.route(-1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nimcast::routing

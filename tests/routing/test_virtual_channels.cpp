@@ -1,0 +1,152 @@
+// Virtual channels and the dateline torus scheme.
+
+#include <gtest/gtest.h>
+
+#include "core/host_tree.hpp"
+#include "core/kbinomial.hpp"
+#include "mcast/multicast_engine.hpp"
+#include "routing/dimension_ordered.hpp"
+#include "topology/kary_ncube.hpp"
+
+namespace nimcast::routing {
+namespace {
+
+struct Rig {
+  topo::KAryNCubeConfig cfg;
+  topo::Topology topology;
+  DimensionOrderedRouter router;
+
+  explicit Rig(topo::KAryNCubeConfig c)
+      : cfg{c}, topology{topo::make_kary_ncube(c)},
+        router{topology.switches(), c} {}
+};
+
+TEST(VirtualChannels, MeshUsesOneVc) {
+  const Rig rig{{4, 2, false}};
+  EXPECT_EQ(rig.router.virtual_channels(), 1);
+  EXPECT_TRUE(rig.router.route(0, 15).vcs.empty());
+}
+
+TEST(VirtualChannels, TorusDeclaresTwoVcs) {
+  const Rig rig{{4, 2, true}};
+  EXPECT_EQ(rig.router.virtual_channels(), 2);
+}
+
+TEST(VirtualChannels, TorusRoutesAssignVcPerHop) {
+  const Rig rig{{5, 1, true}};  // ring of 5
+  // 1 -> 4 backward (1 -> 0 -> 4): the 0 -> 4 hop is the wrap.
+  const auto r = rig.router.route(1, 4);
+  ASSERT_EQ(r.hops(), 2u);
+  ASSERT_EQ(r.vcs.size(), 2u);
+  EXPECT_EQ(r.vcs[0], 0);  // 1 -> 0, no dateline yet
+  EXPECT_EQ(r.vcs[1], 1);  // 0 -> 4 wraps: dateline crossed
+}
+
+TEST(VirtualChannels, NonWrappingTorusRouteStaysOnVcZero) {
+  const Rig rig{{5, 1, true}};
+  const auto r = rig.router.route(0, 2);  // forward, no wrap
+  ASSERT_EQ(r.vcs.size(), 2u);
+  EXPECT_EQ(r.vcs[0], 0);
+  EXPECT_EQ(r.vcs[1], 0);
+}
+
+TEST(VirtualChannels, DatelinePersistsWithinDimension) {
+  const Rig rig{{8, 1, true}};  // ring of 8
+  // 6 -> 2 forward: 6 -> 7 (vc0), 7 -> 0 (wrap, vc1), 0 -> 1, 1 -> 2 (vc1).
+  const auto r = rig.router.route(6, 2);
+  ASSERT_EQ(r.vcs.size(), 4u);
+  EXPECT_EQ(r.vcs[0], 0);
+  EXPECT_EQ(r.vcs[1], 1);
+  EXPECT_EQ(r.vcs[2], 1);
+  EXPECT_EQ(r.vcs[3], 1);
+}
+
+TEST(VirtualChannels, VcResetsPerDimension) {
+  const Rig rig{{4, 2, true}};
+  // (3,3) -> (0,0): wraps in X then wraps in Y; the first Y hop must be
+  // back on VC 0.
+  const topo::SwitchId src = topo::from_coords({3, 3}, rig.cfg);
+  const topo::SwitchId dst = topo::from_coords({0, 0}, rig.cfg);
+  const auto r = rig.router.route(src, dst);
+  ASSERT_EQ(r.hops(), 2u);
+  EXPECT_EQ(r.vcs[0], 1);  // X wrap 3->0
+  EXPECT_EQ(r.vcs[1], 1);  // Y wrap 3->0 — wrap immediately, vc1
+  // And a non-wrapping Y leg: (3,2) -> (0,1): X wrap (vc1), then the
+  // single backward Y hop 2 -> 1 stays on vc0 — the dateline flag did
+  // not leak across dimensions.
+  const auto r2 = rig.router.route(topo::from_coords({3, 2}, rig.cfg),
+                                   topo::from_coords({0, 1}, rig.cfg));
+  ASSERT_EQ(r2.hops(), 2u);
+  EXPECT_EQ(r2.vcs[0], 1);
+  EXPECT_EQ(r2.vcs[1], 0);
+}
+
+TEST(VirtualChannels, TorusIsDeadlockFreeWithDateline) {
+  for (const auto cfg :
+       {topo::KAryNCubeConfig{4, 2, true}, topo::KAryNCubeConfig{5, 2, true},
+        topo::KAryNCubeConfig{3, 3, true}, topo::KAryNCubeConfig{8, 1, true}}) {
+    const Rig rig{cfg};
+    EXPECT_TRUE(deadlock_free(rig.topology.switches(), rig.router))
+        << cfg.radix << "-ary " << cfg.dimensions << "-torus";
+  }
+}
+
+/// Single-VC torus router (dateline disabled) for contrast: the checker
+/// must flag the classic ring cycle.
+class NoVcTorusRouter final : public Router {
+ public:
+  explicit NoVcTorusRouter(const Rig& rig) : rig_{rig} {}
+  [[nodiscard]] SwitchRoute route(topo::SwitchId s,
+                                  topo::SwitchId d) const override {
+    SwitchRoute r = rig_.router.route(s, d);
+    r.vcs.clear();  // strip the dateline assignment
+    return r;
+  }
+  [[nodiscard]] const char* name() const override { return "novc-torus"; }
+
+ private:
+  const Rig& rig_;
+};
+
+TEST(VirtualChannels, TorusWithoutDatelineDeadlocks) {
+  const Rig rig{{5, 1, true}};
+  const NoVcTorusRouter bad{rig};
+  EXPECT_FALSE(deadlock_free(rig.topology.switches(), bad));
+}
+
+TEST(VirtualChannels, RouteChannelsExpandVcMultiplicity) {
+  const Rig rig{{5, 1, true}};
+  const auto r = rig.router.route(1, 4);  // vcs {0, 1}
+  const auto chans = route_channels(rig.topology.switches(), r, 2);
+  ASSERT_EQ(chans.size(), 2u);
+  // VC1 channel id is odd (base*2 + 1), VC0 even.
+  EXPECT_EQ(chans[0] % 2, 0);
+  EXPECT_EQ(chans[1] % 2, 1);
+}
+
+TEST(VirtualChannels, RouteChannelsRejectsOutOfRangeVc) {
+  const Rig rig{{5, 1, true}};
+  const auto r = rig.router.route(1, 4);
+  EXPECT_THROW((void)route_channels(rig.topology.switches(), r, 1),
+               std::invalid_argument);
+}
+
+TEST(VirtualChannels, MulticastRunsOnTorusEndToEnd) {
+  const Rig rig{{4, 2, true}};
+  const RouteTable routes{rig.topology, rig.router};
+  EXPECT_EQ(routes.virtual_channels(), 2);
+  mcast::MulticastEngine engine{
+      rig.topology, routes,
+      mcast::MulticastEngine::Config{netif::SystemParams{},
+                                     net::NetworkConfig{},
+                                     mcast::NiStyle::kSmartFpfs}};
+  core::Chain order;
+  for (topo::HostId h = 0; h < 16; ++h) order.push_back(h);
+  const auto tree = core::HostTree::bind(core::make_kbinomial(16, 2), order);
+  const auto result = engine.run(tree, 8);
+  EXPECT_EQ(result.completions.size(), 15u);
+  EXPECT_GT(result.latency, sim::Time::zero());
+}
+
+}  // namespace
+}  // namespace nimcast::routing

@@ -1,0 +1,92 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nimcast::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(Time::us(3.0), [&] { fired.push_back(3); });
+  q.schedule(Time::us(1.0), [&] { fired.push_back(1); });
+  q.schedule(Time::us(2.0), [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFiresInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(Time::us(5.0), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.schedule(Time::us(7.0), [] {});
+  q.schedule(Time::us(4.0), [] {});
+  EXPECT_EQ(q.next_time(), Time::us(4.0));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(Time::us(1.0), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(Time::us(1.0), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelledEventSkippedByNextTime) {
+  EventQueue q;
+  const EventId early = q.schedule(Time::us(1.0), [] {});
+  q.schedule(Time::us(2.0), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), Time::us(2.0));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PopReturnsTimeAndCallback) {
+  EventQueue q;
+  int hits = 0;
+  q.schedule(Time::us(9.0), [&] { ++hits; });
+  auto fired = q.pop();
+  EXPECT_EQ(fired.time, Time::us(9.0));
+  fired.cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventQueue, ManyInterleavedScheduleCancel) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(
+        q.schedule(Time::us(static_cast<double>(i)), [&] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 50);
+}
+
+}  // namespace
+}  // namespace nimcast::sim

@@ -1,0 +1,152 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace nimcast::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r{7};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng r{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng r{99};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r{3};
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NextInRejectsInvertedRange) {
+  Rng r{3};
+  EXPECT_THROW(r.next_in(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r{11};
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng r{5};
+  double sum = 0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng r{13};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolProbabilityRoughlyHonored) {
+  Rng r{17};
+  int hits = 0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) hits += r.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a{21};
+  Rng child = a.fork();
+  // The child must not replay the parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng r{31};
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto shuffled = v;
+  r.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng r{41};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = r.sample_without_replacement(64, 16);
+    EXPECT_EQ(s.size(), 16u);
+    std::set<std::size_t> uniq{s.begin(), s.end()};
+    EXPECT_EQ(uniq.size(), 16u);
+    for (auto x : s) EXPECT_LT(x, 64u);
+  }
+}
+
+TEST(Rng, SampleFullRangeIsPermutation) {
+  Rng r{43};
+  const auto s = r.sample_without_replacement(10, 10);
+  std::set<std::size_t> uniq{s.begin(), s.end()};
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, SampleRejectsOverdraw) {
+  Rng r{47};
+  EXPECT_THROW(r.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a{5};
+  const auto first = a.next_u64();
+  a.reseed(5);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace nimcast::sim

@@ -1,0 +1,59 @@
+#include "sim/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nimcast::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(Time{}.count_ns(), 0);
+  EXPECT_EQ(Time{}, Time::zero());
+}
+
+TEST(SimTime, MicrosecondConstructionIsExactForPaperConstants) {
+  EXPECT_EQ(Time::us(12.5).count_ns(), 12'500);
+  EXPECT_EQ(Time::us(3.0).count_ns(), 3'000);
+  EXPECT_EQ(Time::us(2.0).count_ns(), 2'000);
+}
+
+TEST(SimTime, UsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Time::us(0.0004).count_ns(), 0);
+  EXPECT_EQ(Time::us(0.0006).count_ns(), 1);
+}
+
+TEST(SimTime, ArithmeticAndOrdering) {
+  const Time a = Time::us(3.0);
+  const Time b = Time::us(2.0);
+  EXPECT_EQ((a + b).count_ns(), 5'000);
+  EXPECT_EQ((a - b).count_ns(), 1'000);
+  EXPECT_EQ((a * 4).count_ns(), 12'000);
+  EXPECT_EQ((4 * a).count_ns(), 12'000);
+  EXPECT_LT(b, a);
+  EXPECT_GT(a, b);
+  EXPECT_LE(a, a);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  Time t = Time::us(1.0);
+  t += Time::us(2.0);
+  EXPECT_EQ(t, Time::us(3.0));
+  t -= Time::us(0.5);
+  EXPECT_EQ(t, Time::us(2.5));
+}
+
+TEST(SimTime, ConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(Time::us(12.5).as_us(), 12.5);
+  EXPECT_DOUBLE_EQ(Time::ms(1.5).as_ms(), 1.5);
+  EXPECT_EQ(Time::ms(1.0), Time::us(1000.0));
+}
+
+TEST(SimTime, ToStringShowsMicroseconds) {
+  EXPECT_EQ(Time::us(12.5).to_string(), "12.500us");
+}
+
+TEST(SimTime, MaxIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(Time::max(), Time::ms(1e12));
+}
+
+}  // namespace
+}  // namespace nimcast::sim

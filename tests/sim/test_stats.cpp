@@ -1,0 +1,124 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nimcast::sim {
+namespace {
+
+TEST(Summary, EmptyThrowsOnMean) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.max(), std::logic_error);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic data set: 32 / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeMatchesCombinedStream) {
+  Summary a;
+  Summary b;
+  Summary whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    (i % 2 == 0 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmptyIsNoop) {
+  Summary a;
+  a.add(1.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Samples, PercentilesInterpolate) {
+  Samples s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 25.0);
+}
+
+TEST(Samples, PercentileRejectsOutOfRange) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(101.0), std::invalid_argument);
+}
+
+TEST(Samples, MeanAndStddev) {
+  Samples s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 1.0);
+}
+
+TEST(Occupancy, TracksLevelPeakAndIntegral) {
+  Occupancy o;
+  o.change(0.0, +2.0);   // level 2 over [0, 4]
+  o.change(4.0, +3.0);   // level 5 over [4, 6]
+  o.change(6.0, -4.0);   // level 1 over [6, 10]
+  EXPECT_DOUBLE_EQ(o.level(), 1.0);
+  EXPECT_DOUBLE_EQ(o.peak(), 5.0);
+  EXPECT_DOUBLE_EQ(o.integral(10.0), 2 * 4 + 5 * 2 + 1 * 4);
+  EXPECT_DOUBLE_EQ(o.time_average(10.0), 22.0 / 10.0);
+}
+
+TEST(Occupancy, RejectsTimeTravel) {
+  Occupancy o;
+  o.change(5.0, 1.0);
+  EXPECT_THROW(o.change(4.0, 1.0), std::logic_error);
+  EXPECT_THROW((void)o.integral(4.0), std::logic_error);
+}
+
+TEST(Occupancy, EmptyOccupancyIsZero) {
+  Occupancy o;
+  EXPECT_DOUBLE_EQ(o.integral(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(o.time_average(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(o.peak(), 0.0);
+}
+
+TEST(Occupancy, NonZeroStartTimeUsesFirstChangeAsOrigin) {
+  Occupancy o;
+  o.change(10.0, 1.0);  // level 1 over [10, 20]
+  EXPECT_DOUBLE_EQ(o.integral(20.0), 10.0);
+  EXPECT_DOUBLE_EQ(o.time_average(20.0), 1.0);
+}
+
+}  // namespace
+}  // namespace nimcast::sim

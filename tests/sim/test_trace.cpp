@@ -1,0 +1,64 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nimcast::sim {
+namespace {
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  Trace t;
+  t.record(Time::us(1.0), TraceCategory::kNi, 3, "hello");
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, EnabledRecordsInOrder) {
+  Trace t;
+  t.enable();
+  t.record(Time::us(1.0), TraceCategory::kNi, 3, "a");
+  t.record(Time::us(2.0), TraceCategory::kPacket, 4, "b");
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.records()[0].message, "a");
+  EXPECT_EQ(t.records()[1].entity, 4);
+}
+
+TEST(Trace, FilterByCategory) {
+  Trace t;
+  t.enable();
+  t.record(Time::us(1.0), TraceCategory::kNi, 0, "ni1");
+  t.record(Time::us(2.0), TraceCategory::kChannel, 1, "ch");
+  t.record(Time::us(3.0), TraceCategory::kNi, 2, "ni2");
+  const auto ni = t.filter(TraceCategory::kNi);
+  ASSERT_EQ(ni.size(), 2u);
+  EXPECT_EQ(ni[0].message, "ni1");
+  EXPECT_EQ(ni[1].message, "ni2");
+}
+
+TEST(Trace, ToTextContainsCategoryTags) {
+  Trace t;
+  t.enable();
+  t.record(Time::us(1.5), TraceCategory::kMulticast, -1, "start");
+  const auto text = t.to_text();
+  EXPECT_NE(text.find("[mcast]"), std::string::npos);
+  EXPECT_NE(text.find("start"), std::string::npos);
+  // entity -1 omits the node tag
+  EXPECT_EQ(text.find('#'), std::string::npos);
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t;
+  t.enable();
+  t.record(Time::zero(), TraceCategory::kHost, 0, "x");
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, CategoryNames) {
+  EXPECT_STREQ(to_string(TraceCategory::kHost), "host");
+  EXPECT_STREQ(to_string(TraceCategory::kNi), "ni");
+  EXPECT_STREQ(to_string(TraceCategory::kChannel), "chan");
+  EXPECT_STREQ(to_string(TraceCategory::kPacket), "pkt");
+  EXPECT_STREQ(to_string(TraceCategory::kMulticast), "mcast");
+}
+
+}  // namespace
+}  // namespace nimcast::sim

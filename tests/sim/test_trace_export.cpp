@@ -1,0 +1,60 @@
+#include "sim/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace nimcast::sim {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.enable();
+  t.record(Time::us(1.5), TraceCategory::kNi, 3, "sent pkt=0");
+  t.record(Time::us(2.0), TraceCategory::kPacket, 7, "deliver");
+  return t;
+}
+
+TEST(TraceExport, ProducesJsonArrayWithEvents) {
+  const auto json = to_chrome_trace_json(sample_trace());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"sent pkt=0\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"ni\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(TraceExport, EmptyTraceIsValidEmptyArray) {
+  Trace t;
+  const auto json = to_chrome_trace_json(t);
+  EXPECT_EQ(json, "[\n]\n");
+}
+
+TEST(TraceExport, EscapesSpecialCharacters) {
+  Trace t;
+  t.enable();
+  t.record(Time::zero(), TraceCategory::kHost, 0, "say \"hi\"\\path\nend");
+  const auto json = to_chrome_trace_json(t);
+  EXPECT_NE(json.find("say \\\"hi\\\"\\\\path\\nend"), std::string::npos);
+}
+
+TEST(TraceExport, WritesFile) {
+  const std::string path = "/tmp/nimcast_trace_test.json";
+  write_chrome_trace(sample_trace(), path);
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::string all{std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>()};
+  EXPECT_NE(all.find("deliver"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, WriteToBadPathThrows) {
+  EXPECT_THROW(write_chrome_trace(sample_trace(), "/nonexistent/dir/x.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nimcast::sim

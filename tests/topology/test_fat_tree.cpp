@@ -1,0 +1,97 @@
+#include "topology/fat_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/host_tree.hpp"
+#include "core/kbinomial.hpp"
+#include "core/ordering.hpp"
+#include "mcast/multicast_engine.hpp"
+#include "routing/up_down.hpp"
+
+namespace nimcast::topo {
+namespace {
+
+TEST(FatTree, DefaultStructure) {
+  const Topology t = make_fat_tree(FatTreeConfig{});
+  EXPECT_EQ(t.num_switches(), 12);
+  EXPECT_EQ(t.num_hosts(), 64);
+  EXPECT_EQ(t.switches().num_edges(), 8 * 4);
+  EXPECT_TRUE(t.switches().connected());
+  // Leaves host 8 each, spines none.
+  for (SwitchId s = 0; s < 8; ++s) EXPECT_EQ(t.hosts_of(s).size(), 8u);
+  for (SwitchId s = 8; s < 12; ++s) EXPECT_TRUE(t.hosts_of(s).empty());
+}
+
+TEST(FatTree, TrunkingMultipliesLinks) {
+  FatTreeConfig cfg;
+  cfg.trunk = 2;
+  const Topology t = make_fat_tree(cfg);
+  EXPECT_EQ(t.switches().num_edges(), 8 * 4 * 2);
+}
+
+TEST(FatTree, SpinesConnectToEveryLeaf) {
+  const Topology t = make_fat_tree(FatTreeConfig{});
+  for (SwitchId spine = 8; spine < 12; ++spine) {
+    EXPECT_EQ(t.switches().degree(spine), 8);
+  }
+  for (SwitchId leaf = 0; leaf < 8; ++leaf) {
+    EXPECT_EQ(t.switches().degree(leaf), 4);
+  }
+}
+
+TEST(FatTree, UpDownRoutesAreTwoHopsAndDeadlockFree) {
+  const Topology t = make_fat_tree(FatTreeConfig{});
+  const routing::UpDownRouter router{t.switches()};
+  EXPECT_TRUE(routing::deadlock_free(t.switches(), router));
+  for (SwitchId a = 0; a < 8; ++a) {
+    for (SwitchId b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      // Leaf-to-leaf always goes through exactly one spine.
+      EXPECT_EQ(router.route(a, b).hops(), 2u);
+    }
+  }
+}
+
+TEST(FatTree, MulticastRunsEndToEnd) {
+  const Topology t = make_fat_tree(FatTreeConfig{});
+  const routing::UpDownRouter router{t.switches()};
+  const routing::RouteTable routes{t, router};
+  const auto chain = core::cco_ordering(t, router);
+  const auto members = core::arrange_participants(
+      chain, chain[0], {chain[7], chain[15], chain[30], chain[45],
+                        chain[60], chain[63], chain[33]});
+  const auto tree = core::HostTree::bind(core::make_kbinomial(8, 2), members);
+  const mcast::MulticastEngine engine{
+      t, routes,
+      mcast::MulticastEngine::Config{netif::SystemParams{},
+                                     net::NetworkConfig{},
+                                     mcast::NiStyle::kSmartFpfs}};
+  const auto result = engine.run(tree, 8);
+  EXPECT_EQ(result.completions.size(), 7u);
+}
+
+TEST(FatTree, CcoGroupsLeavesContiguously) {
+  const Topology t = make_fat_tree(FatTreeConfig{});
+  const routing::UpDownRouter router{t.switches()};
+  const auto chain = core::cco_ordering(t, router);
+  ASSERT_EQ(chain.size(), 64u);
+  // Each run of 8 consecutive chain entries shares one leaf switch.
+  for (std::size_t block = 0; block < 8; ++block) {
+    const SwitchId leaf = t.switch_of(chain[block * 8]);
+    for (std::size_t i = 1; i < 8; ++i) {
+      EXPECT_EQ(t.switch_of(chain[block * 8 + i]), leaf);
+    }
+  }
+}
+
+TEST(FatTree, RejectsBadConfig) {
+  FatTreeConfig cfg;
+  cfg.edge_switches = 0;
+  EXPECT_THROW((void)make_fat_tree(cfg), std::invalid_argument);
+  cfg = FatTreeConfig{};
+  cfg.trunk = 0;
+  EXPECT_THROW((void)make_fat_tree(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nimcast::topo

@@ -1,0 +1,78 @@
+#include "topology/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace nimcast::topo {
+namespace {
+
+Graph triangle() { return Graph{3, {{0, 1}, {1, 2}, {0, 2}}}; }
+
+TEST(Graph, SizesAndEdgeAccess) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.edge(0).a, 0);
+  EXPECT_EQ(g.edge(0).b, 1);
+}
+
+TEST(Graph, EdgeOtherEndpoint) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.edge(0).other(0), 1);
+  EXPECT_EQ(g.edge(0).other(1), 0);
+}
+
+TEST(Graph, IncidenceAndDegree) {
+  const Graph g = triangle();
+  for (SwitchId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2);
+  auto inc = g.incident(1);
+  std::vector<LinkId> links{inc.begin(), inc.end()};
+  std::sort(links.begin(), links.end());
+  EXPECT_EQ(links, (std::vector<LinkId>{0, 1}));
+}
+
+TEST(Graph, ParallelLinksCountSeparately) {
+  const Graph g{2, {{0, 1}, {0, 1}}};
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW((Graph{2, {{1, 1}}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW((Graph{2, {{0, 2}}}), std::invalid_argument);
+  EXPECT_THROW((Graph{2, {{-1, 0}}}), std::invalid_argument);
+}
+
+TEST(Graph, BfsLevels) {
+  // Path 0-1-2-3 plus chord 0-2.
+  const Graph g{4, {{0, 1}, {1, 2}, {2, 3}, {0, 2}}};
+  const auto levels = g.bfs_levels(0);
+  EXPECT_EQ(levels, (std::vector<std::int32_t>{0, 1, 1, 2}));
+}
+
+TEST(Graph, BfsLevelsUnreachableIsMinusOne) {
+  const Graph g{3, {{0, 1}}};
+  const auto levels = g.bfs_levels(0);
+  EXPECT_EQ(levels[2], -1);
+}
+
+TEST(Graph, ConnectedDetection) {
+  EXPECT_TRUE(triangle().connected());
+  EXPECT_FALSE((Graph{3, {{0, 1}}}).connected());
+  EXPECT_TRUE((Graph{1, {}}).connected());
+  EXPECT_TRUE((Graph{0, {}}).connected());
+}
+
+TEST(Graph, IsolatedVertexGraph) {
+  const Graph g{2, {}};
+  EXPECT_EQ(g.degree(0), 0);
+  EXPECT_TRUE(g.incident(0).empty());
+  EXPECT_FALSE(g.connected());
+}
+
+}  // namespace
+}  // namespace nimcast::topo

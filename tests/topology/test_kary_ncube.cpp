@@ -1,0 +1,103 @@
+#include "topology/kary_ncube.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nimcast::topo {
+namespace {
+
+TEST(KAryNCube, MeshSizesAndEdges) {
+  const KAryNCubeConfig cfg{4, 2, false};  // 4x4 mesh
+  const Topology t = make_kary_ncube(cfg);
+  EXPECT_EQ(t.num_switches(), 16);
+  EXPECT_EQ(t.num_hosts(), 16);
+  // 2 dims * 4 rows * 3 links = 24 links.
+  EXPECT_EQ(t.switches().num_edges(), 24);
+  EXPECT_TRUE(t.switches().connected());
+}
+
+TEST(KAryNCube, TorusAddsWraparound) {
+  const KAryNCubeConfig cfg{4, 2, true};
+  const Topology t = make_kary_ncube(cfg);
+  // Each row/column gains one wrap link: 2 * 4 * 4 = 32 links.
+  EXPECT_EQ(t.switches().num_edges(), 32);
+}
+
+TEST(KAryNCube, Radix2TorusDoesNotDoubleLinks) {
+  // With radix 2 the wrap link would duplicate the mesh link.
+  const KAryNCubeConfig cfg{2, 3, true};
+  const Topology t = make_kary_ncube(cfg);
+  EXPECT_EQ(t.switches().num_edges(), 12);  // binary 3-cube
+}
+
+TEST(KAryNCube, HypercubeStructure) {
+  const KAryNCubeConfig cfg{2, 4, false};  // binary 4-cube
+  const Topology t = make_kary_ncube(cfg);
+  EXPECT_EQ(t.num_switches(), 16);
+  EXPECT_EQ(t.switches().num_edges(), 32);  // n * 2^(n-1)
+  for (SwitchId s = 0; s < 16; ++s) {
+    EXPECT_EQ(t.switches().degree(s), 4);
+  }
+}
+
+TEST(KAryNCube, OneHostPerRouter) {
+  const Topology t = make_kary_ncube(KAryNCubeConfig{3, 2, false});
+  for (HostId h = 0; h < t.num_hosts(); ++h) {
+    EXPECT_EQ(t.switch_of(h), h);
+  }
+}
+
+TEST(KAryNCube, CoordinateRoundTrip) {
+  const KAryNCubeConfig cfg{5, 3, false};
+  for (std::int32_t v = 0; v < 125; ++v) {
+    const auto c = to_coords(v, cfg);
+    EXPECT_EQ(from_coords(c, cfg), v);
+    for (auto x : c) {
+      EXPECT_GE(x, 0);
+      EXPECT_LT(x, 5);
+    }
+  }
+}
+
+TEST(KAryNCube, CoordsAreLittleEndianInDimension) {
+  const KAryNCubeConfig cfg{4, 2, false};
+  const auto c = to_coords(7, cfg);  // 7 = 3 + 1*4
+  EXPECT_EQ(c[0], 3);
+  EXPECT_EQ(c[1], 1);
+}
+
+TEST(KAryNCube, MeshNeighborsDifferInOneCoordinate) {
+  const KAryNCubeConfig cfg{3, 3, false};
+  const Topology t = make_kary_ncube(cfg);
+  const auto& g = t.switches();
+  for (LinkId e = 0; e < g.num_edges(); ++e) {
+    const auto ca = to_coords(g.edge(e).a, cfg);
+    const auto cb = to_coords(g.edge(e).b, cfg);
+    int diffs = 0;
+    for (std::size_t d = 0; d < ca.size(); ++d) {
+      if (ca[d] != cb[d]) {
+        ++diffs;
+        EXPECT_EQ(std::abs(ca[d] - cb[d]), 1);
+      }
+    }
+    EXPECT_EQ(diffs, 1);
+  }
+}
+
+TEST(KAryNCube, RejectsBadConfig) {
+  EXPECT_THROW((void)make_kary_ncube(KAryNCubeConfig{1, 2, false}),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_kary_ncube(KAryNCubeConfig{4, 0, false}),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_kary_ncube(KAryNCubeConfig{100, 4, false}),
+               std::invalid_argument);
+}
+
+TEST(KAryNCube, NameDescribesShape) {
+  EXPECT_NE(make_kary_ncube(KAryNCubeConfig{4, 2, true}).name().find("torus"),
+            std::string::npos);
+  EXPECT_NE(make_kary_ncube(KAryNCubeConfig{4, 2, false}).name().find("mesh"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nimcast::topo

@@ -1,0 +1,45 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nimcast::topo {
+namespace {
+
+Topology two_switch() {
+  return Topology{Graph{2, {{0, 1}}}, {0, 0, 1, 1}, "test"};
+}
+
+TEST(Topology, BasicAccessors) {
+  const Topology t = two_switch();
+  EXPECT_EQ(t.num_switches(), 2);
+  EXPECT_EQ(t.num_hosts(), 4);
+  EXPECT_EQ(t.switch_of(0), 0);
+  EXPECT_EQ(t.switch_of(3), 1);
+  EXPECT_EQ(t.name(), "test");
+}
+
+TEST(Topology, HostsOfSwitchAscending) {
+  const Topology t = two_switch();
+  EXPECT_EQ(t.hosts_of(0), (std::vector<HostId>{0, 1}));
+  EXPECT_EQ(t.hosts_of(1), (std::vector<HostId>{2, 3}));
+}
+
+TEST(Topology, PortsUsedCountsHostsAndLinks) {
+  const Topology t = two_switch();
+  EXPECT_EQ(t.ports_used(0), 3);  // 2 hosts + 1 link
+  EXPECT_EQ(t.ports_used(1), 3);
+}
+
+TEST(Topology, RejectsHostOnMissingSwitch) {
+  EXPECT_THROW((Topology{Graph{2, {{0, 1}}}, {0, 5}, "bad"}),
+               std::invalid_argument);
+}
+
+TEST(Topology, SwitchWithNoHosts) {
+  const Topology t{Graph{3, {{0, 1}, {1, 2}}}, {0, 2}, "sparse"};
+  EXPECT_TRUE(t.hosts_of(1).empty());
+  EXPECT_EQ(t.ports_used(1), 2);
+}
+
+}  // namespace
+}  // namespace nimcast::topo
