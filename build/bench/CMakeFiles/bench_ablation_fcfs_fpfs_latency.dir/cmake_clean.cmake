@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fcfs_fpfs_latency.dir/bench_ablation_fcfs_fpfs_latency.cpp.o"
+  "CMakeFiles/bench_ablation_fcfs_fpfs_latency.dir/bench_ablation_fcfs_fpfs_latency.cpp.o.d"
+  "bench_ablation_fcfs_fpfs_latency"
+  "bench_ablation_fcfs_fpfs_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fcfs_fpfs_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

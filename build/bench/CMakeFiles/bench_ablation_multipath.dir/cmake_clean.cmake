@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multipath.dir/bench_ablation_multipath.cpp.o"
+  "CMakeFiles/bench_ablation_multipath.dir/bench_ablation_multipath.cpp.o.d"
+  "bench_ablation_multipath"
+  "bench_ablation_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

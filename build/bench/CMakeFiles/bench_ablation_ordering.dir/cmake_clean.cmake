@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ordering.dir/bench_ablation_ordering.cpp.o"
+  "CMakeFiles/bench_ablation_ordering.dir/bench_ablation_ordering.cpp.o.d"
+  "bench_ablation_ordering"
+  "bench_ablation_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

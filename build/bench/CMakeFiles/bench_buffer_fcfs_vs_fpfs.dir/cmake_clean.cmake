@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffer_fcfs_vs_fpfs.dir/bench_buffer_fcfs_vs_fpfs.cpp.o"
+  "CMakeFiles/bench_buffer_fcfs_vs_fpfs.dir/bench_buffer_fcfs_vs_fpfs.cpp.o.d"
+  "bench_buffer_fcfs_vs_fpfs"
+  "bench_buffer_fcfs_vs_fpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffer_fcfs_vs_fpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_buffer_fcfs_vs_fpfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_kbinomial_vs_binomial.dir/bench_fig14_kbinomial_vs_binomial.cpp.o"
+  "CMakeFiles/bench_fig14_kbinomial_vs_binomial.dir/bench_fig14_kbinomial_vs_binomial.cpp.o.d"
+  "bench_fig14_kbinomial_vs_binomial"
+  "bench_fig14_kbinomial_vs_binomial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_kbinomial_vs_binomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_smart_vs_conventional.cpp" "bench/CMakeFiles/bench_fig4_smart_vs_conventional.dir/bench_fig4_smart_vs_conventional.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_smart_vs_conventional.dir/bench_fig4_smart_vs_conventional.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/nimcast_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/nimcast_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/nimcast_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nimcast_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcast/CMakeFiles/nimcast_mcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nimcast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netif/CMakeFiles/nimcast_netif.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/nimcast_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/nimcast_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nimcast_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nimcast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_binomial_not_optimal.dir/bench_fig5_binomial_not_optimal.cpp.o"
+  "CMakeFiles/bench_fig5_binomial_not_optimal.dir/bench_fig5_binomial_not_optimal.cpp.o.d"
+  "bench_fig5_binomial_not_optimal"
+  "bench_fig5_binomial_not_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_binomial_not_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

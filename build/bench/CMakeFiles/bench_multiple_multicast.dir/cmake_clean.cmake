@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiple_multicast.dir/bench_multiple_multicast.cpp.o"
+  "CMakeFiles/bench_multiple_multicast.dir/bench_multiple_multicast.cpp.o.d"
+  "bench_multiple_multicast"
+  "bench_multiple_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiple_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

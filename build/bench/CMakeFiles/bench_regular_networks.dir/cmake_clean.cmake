@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regular_networks.dir/bench_regular_networks.cpp.o"
+  "CMakeFiles/bench_regular_networks.dir/bench_regular_networks.cpp.o.d"
+  "bench_regular_networks"
+  "bench_regular_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regular_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reliability.dir/bench_reliability.cpp.o"
+  "CMakeFiles/bench_reliability.dir/bench_reliability.cpp.o.d"
+  "bench_reliability"
+  "bench_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

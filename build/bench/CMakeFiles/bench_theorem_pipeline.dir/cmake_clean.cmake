@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem_pipeline.dir/bench_theorem_pipeline.cpp.o"
+  "CMakeFiles/bench_theorem_pipeline.dir/bench_theorem_pipeline.cpp.o.d"
+  "bench_theorem_pipeline"
+  "bench_theorem_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_tour.dir/api_tour.cpp.o"
+  "CMakeFiles/api_tour.dir/api_tour.cpp.o.d"
+  "api_tour"
+  "api_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_cluster.dir/irregular_cluster.cpp.o"
+  "CMakeFiles/irregular_cluster.dir/irregular_cluster.cpp.o.d"
+  "irregular_cluster"
+  "irregular_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpp_mesh.dir/mpp_mesh.cpp.o"
+  "CMakeFiles/mpp_mesh.dir/mpp_mesh.cpp.o.d"
+  "mpp_mesh"
+  "mpp_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpp_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ni_design_study.dir/ni_design_study.cpp.o"
+  "CMakeFiles/ni_design_study.dir/ni_design_study.cpp.o.d"
+  "ni_design_study"
+  "ni_design_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ni_design_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

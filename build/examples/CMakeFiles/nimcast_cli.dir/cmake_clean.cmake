@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimcast_cli.dir/nimcast_cli.cpp.o"
+  "CMakeFiles/nimcast_cli.dir/nimcast_cli.cpp.o.d"
+  "nimcast_cli"
+  "nimcast_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimcast_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_now.dir/reliable_now.cpp.o"
+  "CMakeFiles/reliable_now.dir/reliable_now.cpp.o.d"
+  "reliable_now"
+  "reliable_now.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_now.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for reliable_now.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimcast_analysis.dir/buffer_model.cpp.o"
+  "CMakeFiles/nimcast_analysis.dir/buffer_model.cpp.o.d"
+  "CMakeFiles/nimcast_analysis.dir/latency_model.cpp.o"
+  "CMakeFiles/nimcast_analysis.dir/latency_model.cpp.o.d"
+  "libnimcast_analysis.a"
+  "libnimcast_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimcast_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimcast_api.dir/communicator.cpp.o"
+  "CMakeFiles/nimcast_api.dir/communicator.cpp.o.d"
+  "libnimcast_api.a"
+  "libnimcast_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimcast_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimcast_collectives.dir/collective_engine.cpp.o"
+  "CMakeFiles/nimcast_collectives.dir/collective_engine.cpp.o.d"
+  "libnimcast_collectives.a"
+  "libnimcast_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimcast_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

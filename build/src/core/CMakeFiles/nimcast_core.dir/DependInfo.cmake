@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/nimcast_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/nimcast_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/dot_export.cpp" "src/core/CMakeFiles/nimcast_core.dir/dot_export.cpp.o" "gcc" "src/core/CMakeFiles/nimcast_core.dir/dot_export.cpp.o.d"
+  "/root/repo/src/core/host_tree.cpp" "src/core/CMakeFiles/nimcast_core.dir/host_tree.cpp.o" "gcc" "src/core/CMakeFiles/nimcast_core.dir/host_tree.cpp.o.d"
+  "/root/repo/src/core/kbinomial.cpp" "src/core/CMakeFiles/nimcast_core.dir/kbinomial.cpp.o" "gcc" "src/core/CMakeFiles/nimcast_core.dir/kbinomial.cpp.o.d"
+  "/root/repo/src/core/optimal_k.cpp" "src/core/CMakeFiles/nimcast_core.dir/optimal_k.cpp.o" "gcc" "src/core/CMakeFiles/nimcast_core.dir/optimal_k.cpp.o.d"
+  "/root/repo/src/core/ordering.cpp" "src/core/CMakeFiles/nimcast_core.dir/ordering.cpp.o" "gcc" "src/core/CMakeFiles/nimcast_core.dir/ordering.cpp.o.d"
+  "/root/repo/src/core/ordering_quality.cpp" "src/core/CMakeFiles/nimcast_core.dir/ordering_quality.cpp.o" "gcc" "src/core/CMakeFiles/nimcast_core.dir/ordering_quality.cpp.o.d"
+  "/root/repo/src/core/tree.cpp" "src/core/CMakeFiles/nimcast_core.dir/tree.cpp.o" "gcc" "src/core/CMakeFiles/nimcast_core.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/nimcast_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nimcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nimcast_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

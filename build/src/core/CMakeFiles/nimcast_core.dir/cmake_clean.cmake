@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimcast_core.dir/coverage.cpp.o"
+  "CMakeFiles/nimcast_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/nimcast_core.dir/dot_export.cpp.o"
+  "CMakeFiles/nimcast_core.dir/dot_export.cpp.o.d"
+  "CMakeFiles/nimcast_core.dir/host_tree.cpp.o"
+  "CMakeFiles/nimcast_core.dir/host_tree.cpp.o.d"
+  "CMakeFiles/nimcast_core.dir/kbinomial.cpp.o"
+  "CMakeFiles/nimcast_core.dir/kbinomial.cpp.o.d"
+  "CMakeFiles/nimcast_core.dir/optimal_k.cpp.o"
+  "CMakeFiles/nimcast_core.dir/optimal_k.cpp.o.d"
+  "CMakeFiles/nimcast_core.dir/ordering.cpp.o"
+  "CMakeFiles/nimcast_core.dir/ordering.cpp.o.d"
+  "CMakeFiles/nimcast_core.dir/ordering_quality.cpp.o"
+  "CMakeFiles/nimcast_core.dir/ordering_quality.cpp.o.d"
+  "CMakeFiles/nimcast_core.dir/tree.cpp.o"
+  "CMakeFiles/nimcast_core.dir/tree.cpp.o.d"
+  "libnimcast_core.a"
+  "libnimcast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimcast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

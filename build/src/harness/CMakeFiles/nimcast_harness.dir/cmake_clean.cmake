@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimcast_harness.dir/cli.cpp.o"
+  "CMakeFiles/nimcast_harness.dir/cli.cpp.o.d"
+  "CMakeFiles/nimcast_harness.dir/report.cpp.o"
+  "CMakeFiles/nimcast_harness.dir/report.cpp.o.d"
+  "CMakeFiles/nimcast_harness.dir/testbed.cpp.o"
+  "CMakeFiles/nimcast_harness.dir/testbed.cpp.o.d"
+  "CMakeFiles/nimcast_harness.dir/tree_spec.cpp.o"
+  "CMakeFiles/nimcast_harness.dir/tree_spec.cpp.o.d"
+  "libnimcast_harness.a"
+  "libnimcast_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimcast_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

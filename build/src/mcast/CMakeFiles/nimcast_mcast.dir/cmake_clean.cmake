@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimcast_mcast.dir/multicast_engine.cpp.o"
+  "CMakeFiles/nimcast_mcast.dir/multicast_engine.cpp.o.d"
+  "CMakeFiles/nimcast_mcast.dir/step_model.cpp.o"
+  "CMakeFiles/nimcast_mcast.dir/step_model.cpp.o.d"
+  "libnimcast_mcast.a"
+  "libnimcast_mcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimcast_mcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netif/conventional_ni.cpp" "src/netif/CMakeFiles/nimcast_netif.dir/conventional_ni.cpp.o" "gcc" "src/netif/CMakeFiles/nimcast_netif.dir/conventional_ni.cpp.o.d"
+  "/root/repo/src/netif/ni_base.cpp" "src/netif/CMakeFiles/nimcast_netif.dir/ni_base.cpp.o" "gcc" "src/netif/CMakeFiles/nimcast_netif.dir/ni_base.cpp.o.d"
+  "/root/repo/src/netif/reliable_ni.cpp" "src/netif/CMakeFiles/nimcast_netif.dir/reliable_ni.cpp.o" "gcc" "src/netif/CMakeFiles/nimcast_netif.dir/reliable_ni.cpp.o.d"
+  "/root/repo/src/netif/serial_server.cpp" "src/netif/CMakeFiles/nimcast_netif.dir/serial_server.cpp.o" "gcc" "src/netif/CMakeFiles/nimcast_netif.dir/serial_server.cpp.o.d"
+  "/root/repo/src/netif/smart_ni.cpp" "src/netif/CMakeFiles/nimcast_netif.dir/smart_ni.cpp.o" "gcc" "src/netif/CMakeFiles/nimcast_netif.dir/smart_ni.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/network/CMakeFiles/nimcast_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nimcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/nimcast_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nimcast_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

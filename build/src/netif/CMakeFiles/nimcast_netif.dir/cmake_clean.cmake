@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimcast_netif.dir/conventional_ni.cpp.o"
+  "CMakeFiles/nimcast_netif.dir/conventional_ni.cpp.o.d"
+  "CMakeFiles/nimcast_netif.dir/ni_base.cpp.o"
+  "CMakeFiles/nimcast_netif.dir/ni_base.cpp.o.d"
+  "CMakeFiles/nimcast_netif.dir/reliable_ni.cpp.o"
+  "CMakeFiles/nimcast_netif.dir/reliable_ni.cpp.o.d"
+  "CMakeFiles/nimcast_netif.dir/serial_server.cpp.o"
+  "CMakeFiles/nimcast_netif.dir/serial_server.cpp.o.d"
+  "CMakeFiles/nimcast_netif.dir/smart_ni.cpp.o"
+  "CMakeFiles/nimcast_netif.dir/smart_ni.cpp.o.d"
+  "libnimcast_netif.a"
+  "libnimcast_netif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimcast_netif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nimcast_netif.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimcast_network.dir/wormhole_network.cpp.o"
+  "CMakeFiles/nimcast_network.dir/wormhole_network.cpp.o.d"
+  "libnimcast_network.a"
+  "libnimcast_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimcast_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/dimension_ordered.cpp" "src/routing/CMakeFiles/nimcast_routing.dir/dimension_ordered.cpp.o" "gcc" "src/routing/CMakeFiles/nimcast_routing.dir/dimension_ordered.cpp.o.d"
+  "/root/repo/src/routing/multipath_up_down.cpp" "src/routing/CMakeFiles/nimcast_routing.dir/multipath_up_down.cpp.o" "gcc" "src/routing/CMakeFiles/nimcast_routing.dir/multipath_up_down.cpp.o.d"
+  "/root/repo/src/routing/route_table.cpp" "src/routing/CMakeFiles/nimcast_routing.dir/route_table.cpp.o" "gcc" "src/routing/CMakeFiles/nimcast_routing.dir/route_table.cpp.o.d"
+  "/root/repo/src/routing/routing.cpp" "src/routing/CMakeFiles/nimcast_routing.dir/routing.cpp.o" "gcc" "src/routing/CMakeFiles/nimcast_routing.dir/routing.cpp.o.d"
+  "/root/repo/src/routing/up_down.cpp" "src/routing/CMakeFiles/nimcast_routing.dir/up_down.cpp.o" "gcc" "src/routing/CMakeFiles/nimcast_routing.dir/up_down.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/nimcast_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nimcast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

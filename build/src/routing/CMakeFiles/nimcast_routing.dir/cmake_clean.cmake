@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimcast_routing.dir/dimension_ordered.cpp.o"
+  "CMakeFiles/nimcast_routing.dir/dimension_ordered.cpp.o.d"
+  "CMakeFiles/nimcast_routing.dir/multipath_up_down.cpp.o"
+  "CMakeFiles/nimcast_routing.dir/multipath_up_down.cpp.o.d"
+  "CMakeFiles/nimcast_routing.dir/route_table.cpp.o"
+  "CMakeFiles/nimcast_routing.dir/route_table.cpp.o.d"
+  "CMakeFiles/nimcast_routing.dir/routing.cpp.o"
+  "CMakeFiles/nimcast_routing.dir/routing.cpp.o.d"
+  "CMakeFiles/nimcast_routing.dir/up_down.cpp.o"
+  "CMakeFiles/nimcast_routing.dir/up_down.cpp.o.d"
+  "libnimcast_routing.a"
+  "libnimcast_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimcast_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nimcast_routing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimcast_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/nimcast_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/nimcast_sim.dir/rng.cpp.o"
+  "CMakeFiles/nimcast_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/nimcast_sim.dir/sim_time.cpp.o"
+  "CMakeFiles/nimcast_sim.dir/sim_time.cpp.o.d"
+  "CMakeFiles/nimcast_sim.dir/simulator.cpp.o"
+  "CMakeFiles/nimcast_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/nimcast_sim.dir/stats.cpp.o"
+  "CMakeFiles/nimcast_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/nimcast_sim.dir/trace.cpp.o"
+  "CMakeFiles/nimcast_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/nimcast_sim.dir/trace_export.cpp.o"
+  "CMakeFiles/nimcast_sim.dir/trace_export.cpp.o.d"
+  "libnimcast_sim.a"
+  "libnimcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/fat_tree.cpp" "src/topology/CMakeFiles/nimcast_topology.dir/fat_tree.cpp.o" "gcc" "src/topology/CMakeFiles/nimcast_topology.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/topology/CMakeFiles/nimcast_topology.dir/graph.cpp.o" "gcc" "src/topology/CMakeFiles/nimcast_topology.dir/graph.cpp.o.d"
+  "/root/repo/src/topology/irregular.cpp" "src/topology/CMakeFiles/nimcast_topology.dir/irregular.cpp.o" "gcc" "src/topology/CMakeFiles/nimcast_topology.dir/irregular.cpp.o.d"
+  "/root/repo/src/topology/kary_ncube.cpp" "src/topology/CMakeFiles/nimcast_topology.dir/kary_ncube.cpp.o" "gcc" "src/topology/CMakeFiles/nimcast_topology.dir/kary_ncube.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/topology/CMakeFiles/nimcast_topology.dir/topology.cpp.o" "gcc" "src/topology/CMakeFiles/nimcast_topology.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nimcast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

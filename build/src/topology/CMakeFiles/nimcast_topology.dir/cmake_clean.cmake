@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimcast_topology.dir/fat_tree.cpp.o"
+  "CMakeFiles/nimcast_topology.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/nimcast_topology.dir/graph.cpp.o"
+  "CMakeFiles/nimcast_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/nimcast_topology.dir/irregular.cpp.o"
+  "CMakeFiles/nimcast_topology.dir/irregular.cpp.o.d"
+  "CMakeFiles/nimcast_topology.dir/kary_ncube.cpp.o"
+  "CMakeFiles/nimcast_topology.dir/kary_ncube.cpp.o.d"
+  "CMakeFiles/nimcast_topology.dir/topology.cpp.o"
+  "CMakeFiles/nimcast_topology.dir/topology.cpp.o.d"
+  "libnimcast_topology.a"
+  "libnimcast_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimcast_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

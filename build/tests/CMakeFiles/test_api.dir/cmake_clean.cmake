@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api.dir/api/test_communicator.cpp.o"
+  "CMakeFiles/test_api.dir/api/test_communicator.cpp.o.d"
+  "test_api"
+  "test_api.pdb"
+  "test_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collectives.dir/collectives/test_collective_properties.cpp.o"
+  "CMakeFiles/test_collectives.dir/collectives/test_collective_properties.cpp.o.d"
+  "CMakeFiles/test_collectives.dir/collectives/test_collectives.cpp.o"
+  "CMakeFiles/test_collectives.dir/collectives/test_collectives.cpp.o.d"
+  "test_collectives"
+  "test_collectives.pdb"
+  "test_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_coverage.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_coverage.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dot_export.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dot_export.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_host_tree.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_host_tree.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_kbinomial.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_kbinomial.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_optimal_k.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_optimal_k.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ordering.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ordering.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ordering_quality.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ordering_quality.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_tree.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_tree.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness.dir/harness/test_cli.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_cli.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_report.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_report.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_testbed.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_testbed.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_tree_spec.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_tree_spec.cpp.o.d"
+  "test_harness"
+  "test_harness.pdb"
+  "test_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_cross_validation.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_cross_validation.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_determinism_goldens.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_determinism_goldens.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_engine_properties.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_engine_properties.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_failure_injection.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_feature_combinations.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_feature_combinations.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_fuzz.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_fuzz.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcast.dir/mcast/test_multi_multicast.cpp.o"
+  "CMakeFiles/test_mcast.dir/mcast/test_multi_multicast.cpp.o.d"
+  "CMakeFiles/test_mcast.dir/mcast/test_step_model.cpp.o"
+  "CMakeFiles/test_mcast.dir/mcast/test_step_model.cpp.o.d"
+  "CMakeFiles/test_mcast.dir/mcast/test_theorems.cpp.o"
+  "CMakeFiles/test_mcast.dir/mcast/test_theorems.cpp.o.d"
+  "test_mcast"
+  "test_mcast.pdb"
+  "test_mcast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

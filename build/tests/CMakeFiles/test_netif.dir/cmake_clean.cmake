@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netif.dir/netif/test_disciplines.cpp.o"
+  "CMakeFiles/test_netif.dir/netif/test_disciplines.cpp.o.d"
+  "CMakeFiles/test_netif.dir/netif/test_reliable_ni.cpp.o"
+  "CMakeFiles/test_netif.dir/netif/test_reliable_ni.cpp.o.d"
+  "CMakeFiles/test_netif.dir/netif/test_serial_server.cpp.o"
+  "CMakeFiles/test_netif.dir/netif/test_serial_server.cpp.o.d"
+  "test_netif"
+  "test_netif.pdb"
+  "test_netif[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

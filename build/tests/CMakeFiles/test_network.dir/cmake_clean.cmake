@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network.dir/network/test_release_model.cpp.o"
+  "CMakeFiles/test_network.dir/network/test_release_model.cpp.o.d"
+  "CMakeFiles/test_network.dir/network/test_wormhole.cpp.o"
+  "CMakeFiles/test_network.dir/network/test_wormhole.cpp.o.d"
+  "test_network"
+  "test_network.pdb"
+  "test_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

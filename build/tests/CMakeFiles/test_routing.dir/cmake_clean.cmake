@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing.dir/routing/test_dimension_ordered.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_dimension_ordered.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_multipath.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_multipath.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_route_table.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_route_table.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_routing_util.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_routing_util.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_up_down.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_up_down.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_virtual_channels.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_virtual_channels.cpp.o.d"
+  "test_routing"
+  "test_routing.pdb"
+  "test_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

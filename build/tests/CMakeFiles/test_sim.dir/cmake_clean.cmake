@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_rng.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_rng.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sim_time.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_sim_time.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace_export.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace_export.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

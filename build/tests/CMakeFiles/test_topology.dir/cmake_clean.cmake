@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology.dir/topology/test_fat_tree.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_fat_tree.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_graph.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_graph.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_irregular.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_irregular.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_kary_ncube.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_kary_ncube.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_topology.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_topology.cpp.o.d"
+  "test_topology"
+  "test_topology.pdb"
+  "test_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_netif[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_mcast[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_api[1]_include.cmake")
+add_test(cli_multicast "/root/repo/build/examples/nimcast_cli" "--op" "multicast" "--dests" "10" "--bytes" "256")
+set_tests_properties(cli_multicast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;85;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_reliable_lossy "/root/repo/build/examples/nimcast_cli" "--op" "multicast" "--dests" "6" "--bytes" "256" "--style" "reliable" "--loss" "0.2")
+set_tests_properties(cli_reliable_lossy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;87;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_mesh_reduce "/root/repo/build/examples/nimcast_cli" "--system" "mesh" "--radix" "4" "--op" "reduce" "--bytes" "128")
+set_tests_properties(cli_mesh_reduce PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;89;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_assess_ordering "/root/repo/build/examples/nimcast_cli" "--op" "assess-ordering")
+set_tests_properties(cli_assess_ordering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;91;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build/examples/nimcast_cli" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;93;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_flag "/root/repo/build/examples/nimcast_cli" "--definitely-not-a-flag")
+set_tests_properties(cli_rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;95;add_test;/root/repo/tests/CMakeLists.txt;0;")
