@@ -77,7 +77,10 @@ Load run_concurrent(const Rig& rig, std::int32_t ops, std::int32_t n,
 
 int main() {
   std::printf("=== Extension: multiple simultaneous multicasts ===\n\n");
-  const int seeds = std::getenv("NIMCAST_QUICK") != nullptr ? 2 : 5;
+  // Quick mode still needs 3 seeds: the CCO-vs-random blocking
+  // comparison is qualitative and 2 rigs are not enough to average out
+  // one unlucky topology draw (it flaked in CI's quick smoke).
+  const int seeds = std::getenv("NIMCAST_QUICK") != nullptr ? 3 : 5;
   const std::int32_t n = 16;
   const std::int32_t m = 8;
 

@@ -1,0 +1,295 @@
+// Tracks the throughput of the simulation core, the hot path under every
+// figure/ablation bench: (a) raw EventQueue events/sec against an inline
+// reimplementation of the seed queue (std::priority_queue +
+// std::unordered_map<seq, std::function> with lazy cancellation), and
+// (b) end-to-end wall time of the paper's Section 5.2 testbed sweep,
+// serial vs. the NIMCAST_THREADS worker pool, with a bit-identity check
+// between the two. Emits BENCH_sim_core.json (see docs/perf.md) so the
+// perf trajectory is recorded run over run.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "bench/common.hpp"
+#include "harness/parallel.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace nimcast;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// The seed's event queue, kept verbatim as the events/sec baseline.
+
+class LegacyEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  std::uint64_t schedule(sim::Time when, Callback cb) {
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{when, seq});
+    callbacks_.emplace(seq, std::move(cb));
+    return seq;
+  }
+
+  bool cancel(std::uint64_t seq) { return callbacks_.erase(seq) > 0; }
+
+  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+
+  std::pair<sim::Time, Callback> pop() {
+    while (!callbacks_.contains(heap_.top().seq)) heap_.pop();
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.seq);
+    std::pair<sim::Time, Callback> fired{top.time, std::move(it->second)};
+    callbacks_.erase(it);
+    return fired;
+  }
+
+ private:
+  struct Entry {
+    sim::Time time;
+    std::uint64_t seq;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_seq_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Event-core microbench: a simulator-shaped churn loop. Keeps `depth`
+// events pending; each fired event reschedules itself ahead, and every
+// fourth event also schedules-then-cancels a retry timer (the
+// reliable_ni pattern that exercises cancellation).
+
+struct ChurnResult {
+  double events_per_sec = 0.0;
+  std::uint64_t checksum = 0;  // defeats dead-code elimination
+};
+
+template <typename Queue, typename Schedule, typename Cancel, typename Pop>
+ChurnResult churn(Queue& q, std::uint64_t total_events, int depth,
+                  Schedule schedule, Cancel cancel, Pop pop) {
+  std::uint64_t checksum = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t t = 0;
+  for (int i = 0; i < depth; ++i) {
+    const std::uint64_t offset = 17 * (static_cast<std::uint64_t>(i) + 1);
+    schedule(q, sim::Time::ns(static_cast<sim::Time::rep>(t + offset)),
+             [&checksum, i] { checksum += static_cast<std::uint64_t>(i); });
+  }
+  const auto start = Clock::now();
+  while (fired < total_events) {
+    auto [when, cb] = pop(q);
+    cb();
+    ++fired;
+    t = static_cast<std::uint64_t>(when.count_ns());
+    // Reschedule ahead; the delta pattern produces frequent time ties so
+    // the FIFO tie-break path is exercised too.
+    const std::uint64_t delta = 13 + (fired * 7) % 64;
+    schedule(q, sim::Time::ns(static_cast<sim::Time::rep>(t + delta)),
+             [&checksum, fired] { checksum += fired; });
+    if (fired % 4 == 0) {
+      auto id = schedule(
+          q, sim::Time::ns(static_cast<sim::Time::rep>(t + 100000)),
+          [&checksum] { checksum += 1; });
+      cancel(q, id);
+    }
+  }
+  const double elapsed_ms = ms_since(start);
+  return ChurnResult{static_cast<double>(fired) / (elapsed_ms / 1000.0),
+                     checksum};
+}
+
+ChurnResult churn_new(std::uint64_t total_events, int depth) {
+  sim::EventQueue q;
+  q.reserve(static_cast<std::size_t>(depth) + 2);
+  return churn(
+      q, total_events, depth,
+      [](sim::EventQueue& qq, sim::Time when, auto cb) {
+        return qq.schedule(when, std::move(cb));
+      },
+      [](sim::EventQueue& qq, sim::EventId id) { return qq.cancel(id); },
+      [](sim::EventQueue& qq) {
+        auto fired = qq.pop();
+        return std::pair<sim::Time, sim::EventCallback>{
+            fired.time, std::move(fired.cb)};
+      });
+}
+
+ChurnResult churn_legacy(std::uint64_t total_events, int depth) {
+  LegacyEventQueue q;
+  return churn(
+      q, total_events, depth,
+      [](LegacyEventQueue& qq, sim::Time when, auto cb) {
+        return qq.schedule(when, std::move(cb));
+      },
+      [](LegacyEventQueue& qq, std::uint64_t id) { return qq.cancel(id); },
+      [](LegacyEventQueue& qq) { return qq.pop(); });
+}
+
+// ---------------------------------------------------------------------------
+// Sweep wall-time: the paper rig replayed at several (n, m) points, the
+// workload every figure bench replays.
+
+struct SweepResult {
+  double wall_ms = 0.0;
+  std::vector<harness::MeasurePoint> points;
+};
+
+SweepResult run_sweep(const harness::IrregularTestbed& bed, int threads) {
+  SweepResult result;
+  const auto start = Clock::now();
+  for (const std::int32_t n : {16, 32, 64}) {
+    for (const std::int32_t m : {1, 4}) {
+      result.points.push_back(bed.measure(n, m, harness::TreeSpec::optimal(),
+                                          mcast::NiStyle::kSmartFpfs,
+                                          harness::OrderingKind::kCco,
+                                          threads));
+    }
+  }
+  result.wall_ms = ms_since(start);
+  return result;
+}
+
+bool identical(const sim::Summary& a, const sim::Summary& b) {
+  return a.count() == b.count() && a.mean() == b.mean() &&
+         a.variance() == b.variance() && a.min() == b.min() &&
+         a.max() == b.max();
+}
+
+bool identical(const harness::MeasurePoint& a,
+               const harness::MeasurePoint& b) {
+  return identical(a.latency_us, b.latency_us) &&
+         identical(a.block_us, b.block_us) &&
+         identical(a.peak_buffer, b.peak_buffer) &&
+         identical(a.buffer_integral, b.buffer_integral);
+}
+
+std::string git_rev() {
+  std::string rev = "unknown";
+  if (FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (fgets(buf, sizeof(buf), pipe) != nullptr) {
+      rev = buf;
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+        rev.pop_back();
+      }
+    }
+    pclose(pipe);
+    if (rev.empty()) rev = "unknown";
+  }
+  return rev;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== simulation-core throughput ===\n\n");
+  const bool quick = std::getenv("NIMCAST_QUICK") != nullptr;
+  const std::uint64_t churn_events = quick ? 200'000 : 2'000'000;
+  const int churn_depth = 512;
+
+  // Warm-up + measured run for each queue.
+  (void)churn_new(churn_events / 10, churn_depth);
+  (void)churn_legacy(churn_events / 10, churn_depth);
+  const ChurnResult fast = churn_new(churn_events, churn_depth);
+  const ChurnResult slow = churn_legacy(churn_events, churn_depth);
+  bench::expect_shape(fast.checksum == slow.checksum,
+                      "churn workloads diverged (checksum mismatch)");
+  const double core_speedup = fast.events_per_sec / slow.events_per_sec;
+  std::printf("event core     : %.3g events/sec (slab 4-ary heap)\n",
+              fast.events_per_sec);
+  std::printf("seed baseline  : %.3g events/sec (priority_queue + "
+              "unordered_map)\n",
+              slow.events_per_sec);
+  std::printf("single-thread speedup: %.2fx\n\n", core_speedup);
+  bench::expect_shape(core_speedup >= 1.3,
+                      "event core >= 1.3x seed queue events/sec");
+
+  const int threads = harness::configured_threads();
+  const harness::IrregularTestbed bed{bench::paper_testbed_config()};
+
+  const SweepResult serial = run_sweep(bed, 1);
+  const SweepResult parallel = run_sweep(bed, threads);
+  bool all_identical = true;
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    all_identical =
+        all_identical && identical(serial.points[i], parallel.points[i]);
+  }
+  bench::expect_shape(all_identical,
+                      "parallel sweep bit-identical to serial sweep");
+  const double sweep_speedup = serial.wall_ms / parallel.wall_ms;
+  std::printf("paper-rig sweep: serial %.1f ms, %d threads %.1f ms "
+              "(%.2fx)\n",
+              serial.wall_ms, threads, parallel.wall_ms, sweep_speedup);
+  // The >= 3x gate only means something when the threads map onto real
+  // cores and the sweep is long enough to dominate timing noise; quick
+  // mode (~10 ms sweeps) and oversubscribed single-core boxes would
+  // false-fail on scheduler jitter, not on a perf regression.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (!quick && threads >= 4 && hw >= 4) {
+    bench::expect_shape(sweep_speedup >= 3.0,
+                        "parallel sweep >= 3x serial wall time with >= 4 "
+                        "threads");
+  } else {
+    std::printf("(speedup shape check skipped: threads=%d, hardware=%u, "
+                "quick=%d)\n",
+                threads, hw, quick ? 1 : 0);
+  }
+
+  const char* out_path = std::getenv("NIMCAST_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_sim_core.json";
+  if (FILE* out = std::fopen(out_path, "w")) {
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"bench\": \"sim_core_throughput\",\n"
+        "  \"config\": {\n"
+        "    \"quick\": %s,\n"
+        "    \"churn_events\": %" PRIu64 ",\n"
+        "    \"churn_depth\": %d,\n"
+        "    \"sweep\": \"irregular 64-host rig, n in {16,32,64}, m in "
+        "{1,4}, optimal tree, smart-fpfs\"\n"
+        "  },\n"
+        "  \"events_per_sec\": %.1f,\n"
+        "  \"events_per_sec_seed_baseline\": %.1f,\n"
+        "  \"event_core_speedup\": %.3f,\n"
+        "  \"wall_ms\": %.2f,\n"
+        "  \"wall_ms_serial\": %.2f,\n"
+        "  \"sweep_speedup\": %.3f,\n"
+        "  \"parallel_bit_identical\": %s,\n"
+        "  \"threads\": %d,\n"
+        "  \"git_rev\": \"%s\"\n"
+        "}\n",
+        quick ? "true" : "false", churn_events, churn_depth,
+        fast.events_per_sec, slow.events_per_sec, core_speedup,
+        parallel.wall_ms, serial.wall_ms, sweep_speedup,
+        all_identical ? "true" : "false", threads, git_rev().c_str());
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    bench::expect_shape(false, std::string("could not write ") + out_path);
+  }
+
+  return bench::finish("bench_sim_core_throughput");
+}

@@ -6,6 +6,7 @@
 // self-checks the qualitative *shape* the paper reports (who wins, how
 // trends move). A failed shape check exits non-zero so CI catches drift.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -28,25 +29,26 @@ inline harness::IrregularTestbed::Config paper_testbed_config() {
   return cfg;
 }
 
-inline int g_shape_failures = 0;
+/// Atomic so shape checks may run from testbed worker threads.
+inline std::atomic<int> g_shape_failures{0};
 
 /// Records a qualitative expectation from the paper's figure. Prints and
 /// counts failures instead of aborting so the full table still appears.
 inline void expect_shape(bool ok, const std::string& what) {
   if (!ok) {
-    ++g_shape_failures;
+    g_shape_failures.fetch_add(1, std::memory_order_relaxed);
     std::printf("SHAPE-CHECK FAILED: %s\n", what.c_str());
   }
 }
 
 /// Call at the end of main().
 inline int finish(const char* bench_name) {
-  if (g_shape_failures == 0) {
+  const int failures = g_shape_failures.load(std::memory_order_relaxed);
+  if (failures == 0) {
     std::printf("\n[%s] all shape checks passed\n", bench_name);
     return 0;
   }
-  std::printf("\n[%s] %d shape check(s) FAILED\n", bench_name,
-              g_shape_failures);
+  std::printf("\n[%s] %d shape check(s) FAILED\n", bench_name, failures);
   return 1;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/host_tree.hpp"
+#include "harness/parallel.hpp"
 #include "sim/rng.hpp"
 
 namespace nimcast::harness {
@@ -14,15 +15,18 @@ void MeasurePoint::merge(const MeasurePoint& other) {
   buffer_integral.merge(other.buffer_integral);
 }
 
-MeasurePoint measure_point(const topo::Topology& topology,
-                           const routing::RouteTable& routes,
-                           const core::Chain& base_chain,
-                           const netif::SystemParams& params,
-                           const net::NetworkConfig& network, std::int32_t n,
-                           std::int32_t m, const TreeSpec& spec,
-                           mcast::NiStyle style, OrderingKind ordering,
-                           std::int32_t repetitions, std::uint64_t seed) {
-  const std::int32_t num_hosts = topology.num_hosts();
+namespace {
+
+/// The four scalars one replication contributes to a MeasurePoint.
+struct RepSample {
+  double latency_us = 0.0;
+  double block_us = 0.0;
+  double peak_buffer = 0.0;
+  double buffer_integral = 0.0;
+};
+
+void validate_point(std::int32_t num_hosts, std::int32_t n, std::int32_t m,
+                    std::int32_t repetitions) {
   if (n < 2 || n > num_hosts) {
     throw std::invalid_argument("measure_point: n out of [2, hosts]");
   }
@@ -30,41 +34,82 @@ MeasurePoint measure_point(const topo::Topology& topology,
   if (repetitions < 1) {
     throw std::invalid_argument("measure_point: repetitions < 1");
   }
+}
+
+/// One (destination-set) replication: deterministic given (`seed`, `rep`)
+/// alone, so it can run on any worker thread. The engine is shared (its
+/// `run` builds a private Simulator per call); everything mutable is
+/// local.
+RepSample run_replication(const mcast::MulticastEngine& engine,
+                          const core::Chain& base_chain,
+                          std::int32_t num_hosts, std::int32_t n,
+                          const core::RankTree& rank_tree, std::int32_t m,
+                          OrderingKind ordering, std::int32_t rep,
+                          std::uint64_t seed) {
+  // One deterministic stream per repetition: every tree and NI variant
+  // sees identical participant draws.
+  sim::Rng rng{seed ^ (UINT64_C(0xbf58476d1ce4e5b9) *
+                       (static_cast<std::uint64_t>(rep) + 1))};
+  const auto draw = rng.sample_without_replacement(
+      static_cast<std::size_t>(num_hosts), static_cast<std::size_t>(n));
+  const auto source = static_cast<topo::HostId>(draw.front());
+  std::vector<topo::HostId> dests;
+  dests.reserve(draw.size() - 1);
+  for (std::size_t i = 1; i < draw.size(); ++i) {
+    dests.push_back(static_cast<topo::HostId>(draw[i]));
+  }
+
+  const core::Chain base = ordering == OrderingKind::kCco
+                               ? base_chain
+                               : core::random_ordering(num_hosts, rng);
+  const core::Chain members = core::arrange_participants(base, source, dests);
+  const core::HostTree tree = core::HostTree::bind(rank_tree, members);
+
+  const mcast::MulticastResult result = engine.run(tree, m);
+  return RepSample{result.latency.as_us(),
+                   result.total_channel_block_time.as_us(),
+                   result.peak_buffer(), result.max_buffer_integral()};
+}
+
+void fold(MeasurePoint& point, const RepSample& s) {
+  point.latency_us.add(s.latency_us);
+  point.block_us.add(s.block_us);
+  point.peak_buffer.add(s.peak_buffer);
+  point.buffer_integral.add(s.buffer_integral);
+}
+
+}  // namespace
+
+MeasurePoint measure_point(const topo::Topology& topology,
+                           const routing::RouteTable& routes,
+                           const core::Chain& base_chain,
+                           const netif::SystemParams& params,
+                           const net::NetworkConfig& network, std::int32_t n,
+                           std::int32_t m, const TreeSpec& spec,
+                           mcast::NiStyle style, OrderingKind ordering,
+                           std::int32_t repetitions, std::uint64_t seed,
+                           int threads) {
+  const std::int32_t num_hosts = topology.num_hosts();
+  validate_point(num_hosts, n, m, repetitions);
 
   const core::RankTree rank_tree = spec.build(n, m);
-  mcast::MulticastEngine engine{
+  const mcast::MulticastEngine engine{
       topology, routes,
       mcast::MulticastEngine::Config{params, network, style}};
 
+  std::vector<RepSample> samples(static_cast<std::size_t>(repetitions));
+  parallel_for_each(
+      samples.size(),
+      [&](std::size_t rep) {
+        samples[rep] =
+            run_replication(engine, base_chain, num_hosts, n, rank_tree, m,
+                            ordering, static_cast<std::int32_t>(rep), seed);
+      },
+      threads);
+
+  // Fold in repetition order: bit-identical to the serial loop.
   MeasurePoint point;
-  for (std::int32_t rep = 0; rep < repetitions; ++rep) {
-    // One deterministic stream per repetition: every tree and NI variant
-    // sees identical participant draws.
-    sim::Rng rng{seed ^
-                 (UINT64_C(0xbf58476d1ce4e5b9) *
-                  (static_cast<std::uint64_t>(rep) + 1))};
-    const auto draw = rng.sample_without_replacement(
-        static_cast<std::size_t>(num_hosts), static_cast<std::size_t>(n));
-    const auto source = static_cast<topo::HostId>(draw.front());
-    std::vector<topo::HostId> dests;
-    dests.reserve(draw.size() - 1);
-    for (std::size_t i = 1; i < draw.size(); ++i) {
-      dests.push_back(static_cast<topo::HostId>(draw[i]));
-    }
-
-    const core::Chain base = ordering == OrderingKind::kCco
-                                 ? base_chain
-                                 : core::random_ordering(num_hosts, rng);
-    const core::Chain members =
-        core::arrange_participants(base, source, dests);
-    const core::HostTree tree = core::HostTree::bind(rank_tree, members);
-
-    const mcast::MulticastResult result = engine.run(tree, m);
-    point.latency_us.add(result.latency.as_us());
-    point.block_us.add(result.total_channel_block_time.as_us());
-    point.peak_buffer.add(result.peak_buffer());
-    point.buffer_integral.add(result.max_buffer_integral());
-  }
+  for (const RepSample& s : samples) fold(point, s);
   return point;
 }
 
@@ -91,15 +136,45 @@ IrregularTestbed::Point IrregularTestbed::measure(std::int32_t n,
                                                   std::int32_t m,
                                                   const TreeSpec& spec,
                                                   mcast::NiStyle style,
-                                                  OrderingKind ordering) const {
+                                                  OrderingKind ordering,
+                                                  int threads) const {
+  const std::int32_t hosts = num_hosts();
+  validate_point(hosts, n, m, cfg_.sets_per_topology);
+
+  const core::RankTree rank_tree = spec.build(n, m);
+  std::vector<mcast::MulticastEngine> engines;
+  engines.reserve(instances_.size());
+  for (const Instance& inst : instances_) {
+    engines.emplace_back(
+        *inst.topology, *inst.routes,
+        mcast::MulticastEngine::Config{cfg_.params, cfg_.network, style});
+  }
+
+  // Every (topology, destination-set) pair is one independent job; the
+  // sample array keeps them in (topology-major, set-minor) order so the
+  // summary fold below matches the serial nesting exactly.
+  const auto sets = static_cast<std::size_t>(cfg_.sets_per_topology);
+  std::vector<RepSample> samples(instances_.size() * sets);
+  parallel_for_each(
+      samples.size(),
+      [&](std::size_t job) {
+        const std::size_t t = job / sets;
+        const std::size_t rep = job % sets;
+        const std::uint64_t seed =
+            cfg_.seed ^ (UINT64_C(0x9e3779b97f4a7c15) * (t + 1));
+        samples[job] = run_replication(engines[t], instances_[t].cco, hosts,
+                                       n, rank_tree, m, ordering,
+                                       static_cast<std::int32_t>(rep), seed);
+      },
+      threads);
+
   Point point;
   for (std::size_t t = 0; t < instances_.size(); ++t) {
-    const Instance& inst = instances_[t];
-    const std::uint64_t seed =
-        cfg_.seed ^ (UINT64_C(0x9e3779b97f4a7c15) * (t + 1));
-    point.merge(measure_point(*inst.topology, *inst.routes, inst.cco,
-                              cfg_.params, cfg_.network, n, m, spec, style,
-                              ordering, cfg_.sets_per_topology, seed));
+    MeasurePoint inst_point;
+    for (std::size_t rep = 0; rep < sets; ++rep) {
+      fold(inst_point, samples[t * sets + rep]);
+    }
+    point.merge(inst_point);
   }
   return point;
 }

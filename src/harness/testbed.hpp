@@ -38,12 +38,19 @@ struct MeasurePoint {
 /// so identical seeds give identical participant sets across specs and
 /// styles — measurements are paired. This is the generic engine behind
 /// IrregularTestbed and the regular-network benches.
+///
+/// Repetitions are independent (each builds its own Simulator) and run on
+/// a worker pool of `threads` threads (0 = NIMCAST_THREADS / hardware
+/// concurrency, 1 = strictly serial). Every repetition derives its seed
+/// from (`seed`, rep) exactly as the serial path does and samples are
+/// folded into the summaries in repetition order, so results are
+/// bit-identical for every thread count.
 [[nodiscard]] MeasurePoint measure_point(
     const topo::Topology& topology, const routing::RouteTable& routes,
     const core::Chain& base_chain, const netif::SystemParams& params,
     const net::NetworkConfig& network, std::int32_t n, std::int32_t m,
     const TreeSpec& spec, mcast::NiStyle style, OrderingKind ordering,
-    std::int32_t repetitions, std::uint64_t seed);
+    std::int32_t repetitions, std::uint64_t seed, int threads = 0);
 
 /// The paper's evaluation rig (Section 5.2): a set of random irregular
 /// 64-host topologies with up*/down* routing and CCO base orderings,
@@ -68,9 +75,15 @@ class IrregularTestbed {
   explicit IrregularTestbed(Config config);
 
   /// Multicast-set size `n` (source + n-1 destinations), `m` packets.
+  /// The (topology, destination-set) replications are independent and are
+  /// spread over `threads` workers (0 = NIMCAST_THREADS / hardware
+  /// concurrency, 1 = strictly serial); per-replication seeding and the
+  /// summary fold order match the serial path, so results are
+  /// bit-identical for every thread count.
   [[nodiscard]] Point measure(std::int32_t n, std::int32_t m,
                               const TreeSpec& spec, mcast::NiStyle style,
-                              OrderingKind ordering = OrderingKind::kCco) const;
+                              OrderingKind ordering = OrderingKind::kCco,
+                              int threads = 0) const;
 
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] std::int32_t num_hosts() const {

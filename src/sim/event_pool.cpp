@@ -1,0 +1,57 @@
+#include "sim/event_pool.hpp"
+
+#include <new>
+
+namespace nimcast::sim {
+
+EventPool::ChunkHeader* EventPool::carve(std::size_t chunk_bytes) {
+  if (bump_left_ < chunk_bytes) {
+    blocks_.push_back(std::make_unique<std::byte[]>(kBlockSize));
+    bump_ = blocks_.back().get();
+    bump_left_ = kBlockSize;
+    bytes_reserved_ += kBlockSize;
+  }
+  auto* header = reinterpret_cast<ChunkHeader*>(bump_);
+  bump_ += chunk_bytes;
+  bump_left_ -= chunk_bytes;
+  return header;
+}
+
+void* EventPool::allocate(std::size_t payload_size) {
+  std::size_t cls = 0;
+  while (cls < kNumClasses && class_payload(cls) < payload_size) ++cls;
+
+  ChunkHeader* header;
+  if (cls == kNumClasses) {
+    // Larger than the biggest size class; a dedicated allocation is the
+    // escape hatch (callbacks this large do not occur in the simulator).
+    header = static_cast<ChunkHeader*>(
+        ::operator new(kHeaderSize + payload_size, std::align_val_t{
+                           alignof(std::max_align_t)}));
+    header->size_class = kOversizeClass;
+  } else if (free_lists_[cls] != nullptr) {
+    header = free_lists_[cls];
+    free_lists_[cls] = header->next;
+    header->size_class = static_cast<std::uint32_t>(cls);
+  } else {
+    header = carve(kHeaderSize + class_payload(cls));
+    header->size_class = static_cast<std::uint32_t>(cls);
+  }
+  header->pool = this;
+  header->next = nullptr;
+  return reinterpret_cast<std::byte*>(header) + kHeaderSize;
+}
+
+void EventPool::release(void* payload) noexcept {
+  auto* header = reinterpret_cast<ChunkHeader*>(static_cast<std::byte*>(payload) -
+                                                kHeaderSize);
+  if (header->size_class == kOversizeClass) {
+    ::operator delete(header, std::align_val_t{alignof(std::max_align_t)});
+    return;
+  }
+  EventPool* pool = header->pool;
+  header->next = pool->free_lists_[header->size_class];
+  pool->free_lists_[header->size_class] = header;
+}
+
+}  // namespace nimcast::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace nimcast::sim {
+
+/// Size-classed free-list arena for event callback overflow storage.
+///
+/// Callbacks too large for EventQueue's inline small-buffer go here instead
+/// of the global heap: chunks are carved from large blocks, recycled through
+/// per-class free lists, and only returned to the OS when the pool dies. In
+/// the steady state of a simulation (schedule/fire/schedule/fire ...) every
+/// allocation is a pointer pop.
+///
+/// Chunks remember their owning pool in a hidden header, so `release` is
+/// static and callable from a callback object that was moved out of the
+/// queue (EventQueue::pop hands the callback to the caller by value). The
+/// pool must outlive every chunk it handed out; EventQueue guarantees this
+/// by holding the pool behind a stable unique_ptr and never destroying it
+/// while events are in flight. Not thread-safe: each simulator (and thus
+/// each worker thread) owns its own pool.
+class EventPool {
+ public:
+  EventPool() = default;
+  EventPool(const EventPool&) = delete;
+  EventPool& operator=(const EventPool&) = delete;
+
+  /// Returns max_align_t-aligned storage for `payload_size` bytes.
+  void* allocate(std::size_t payload_size);
+
+  /// Returns a chunk obtained from `allocate` to its owning pool.
+  static void release(void* payload) noexcept;
+
+  /// Bytes currently carved into blocks (diagnostics / tests).
+  [[nodiscard]] std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct ChunkHeader {
+    EventPool* pool;
+    ChunkHeader* next;
+    std::uint32_t size_class;
+  };
+  // Header is padded so payloads keep max_align_t alignment.
+  static constexpr std::size_t kHeaderSize =
+      (sizeof(ChunkHeader) + alignof(std::max_align_t) - 1) /
+      alignof(std::max_align_t) * alignof(std::max_align_t);
+  static constexpr std::size_t kMinPayload = 64;
+  static constexpr std::size_t kNumClasses = 8;  // 64 B .. 8 KiB
+  static constexpr std::uint32_t kOversizeClass = 0xffffffffu;
+  static constexpr std::size_t kBlockSize = 64 * 1024;
+
+  static std::size_t class_payload(std::size_t c) { return kMinPayload << c; }
+
+  ChunkHeader* carve(std::size_t chunk_bytes);
+
+  ChunkHeader* free_lists_[kNumClasses] = {};
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::byte* bump_ = nullptr;
+  std::size_t bump_left_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace nimcast::sim

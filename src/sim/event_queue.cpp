@@ -1,40 +1,115 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
 
 namespace nimcast::sim {
 
-EventId EventQueue::schedule(Time when, Callback cb) {
-  assert(cb && "scheduling an empty callback");
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq});
-  callbacks_.emplace(seq, std::move(cb));
-  return EventId{seq};
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
 }
 
-bool EventQueue::cancel(EventId id) { return callbacks_.erase(id.seq) > 0; }
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slab_[slot];
+  s.cb.reset();
+  s.heap_index = kNoHeapIndex;
+  ++s.generation;  // invalidates every outstanding EventId for this slot
+  free_slots_.push_back(slot);
+}
 
-void EventQueue::skip_cancelled() const {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().seq)) {
-    heap_.pop();
+void EventQueue::heap_push(Time time, std::uint64_t order,
+                           std::uint32_t slot) {
+  heap_.push_back(HeapEntry{time, order, slot});
+  slab_[slot].heap_index =
+      static_cast<std::uint32_t>(sift_up(heap_.size() - 1));
+}
+
+std::size_t EventQueue::sift_up(std::size_t index) {
+  const HeapEntry entry = heap_[index];
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 4;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[index] = heap_[parent];
+    slab_[heap_[index].slot].heap_index = static_cast<std::uint32_t>(index);
+    index = parent;
+  }
+  heap_[index] = entry;
+  slab_[entry.slot].heap_index = static_cast<std::uint32_t>(index);
+  return index;
+}
+
+void EventQueue::sift_down(std::size_t index) {
+  const std::size_t n = heap_.size();
+  const HeapEntry entry = heap_[index];
+  for (;;) {
+    const std::size_t first = 4 * index + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], entry)) break;
+    heap_[index] = heap_[best];
+    slab_[heap_[index].slot].heap_index = static_cast<std::uint32_t>(index);
+    index = best;
+  }
+  heap_[index] = entry;
+  slab_[entry.slot].heap_index = static_cast<std::uint32_t>(index);
+}
+
+void EventQueue::heap_remove(std::size_t index) {
+  const std::size_t last = heap_.size() - 1;
+  if (index != last) {
+    heap_[index] = heap_[last];
+    slab_[heap_[index].slot].heap_index = static_cast<std::uint32_t>(index);
+    heap_.pop_back();
+    // The displaced entry may belong above or below its new position.
+    if (sift_up(index) == index) sift_down(index);
+  } else {
+    heap_.pop_back();
   }
 }
 
-Time EventQueue::next_time() const {
-  skip_cancelled();
-  assert(!heap_.empty() && "next_time() on empty queue");
-  return heap_.top().time;
+bool EventQueue::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id.seq & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id.seq >> 32);
+  if (slot >= slab_.size()) return false;
+  Slot& s = slab_[slot];
+  if (s.heap_index == kNoHeapIndex || s.generation != generation) {
+    return false;
+  }
+  heap_remove(s.heap_index);
+  release_slot(slot);
+  return true;
+}
+
+void EventQueue::reserve(std::size_t n) {
+  slab_.reserve(n);
+  heap_.reserve(n);
+  free_slots_.reserve(n);
 }
 
 EventQueue::Fired EventQueue::pop() {
-  skip_cancelled();
   assert(!heap_.empty() && "pop() on empty queue");
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.seq);
-  Fired fired{top.time, std::move(it->second)};
-  callbacks_.erase(it);
+  const HeapEntry top = heap_.front();
+  Slot& s = slab_[top.slot];
+  Fired fired{top.time, std::move(s.cb)};
+  release_slot(top.slot);
+  const std::size_t last = heap_.size() - 1;
+  if (last > 0) {
+    heap_[0] = heap_[last];
+    slab_[heap_[0].slot].heap_index = 0;
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
   return fired;
 }
 

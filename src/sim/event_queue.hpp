@@ -1,19 +1,131 @@
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/event_pool.hpp"
 #include "sim/sim_time.hpp"
 
 namespace nimcast::sim {
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
+/// Encodes (slot, generation); a default-constructed id never matches.
 struct EventId {
   std::uint64_t seq = 0;
   [[nodiscard]] friend bool operator==(EventId, EventId) = default;
+};
+
+/// Move-only type-erased callback with small-buffer optimization.
+///
+/// Callables up to kInlineCapacity bytes live inline in the object (and
+/// therefore inline in EventQueue's slot slab — no allocation at all);
+/// larger ones are placed in the queue's EventPool, never on the global
+/// heap. This is what makes scheduling an event allocation-free on the
+/// hot path.
+class EventCallback {
+ public:
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventCallback() noexcept = default;
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+  ~EventCallback() { reset(); }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking an empty EventCallback");
+    ops_->call(obj_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(obj_);
+      if (obj_ != inline_storage()) EventPool::release(obj_);
+      ops_ = nullptr;
+      obj_ = nullptr;
+    }
+  }
+
+  /// Constructs `f` in place, using `pool` when it does not fit inline.
+  template <typename F>
+  void emplace(F&& f, EventPool& pool) {
+    using D = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, D&>,
+                  "event callback must be invocable as void()");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "over-aligned event callbacks are not supported");
+    reset();
+    if constexpr (sizeof(D) <= kInlineCapacity &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      obj_ = inline_storage();
+    } else {
+      obj_ = pool.allocate(sizeof(D));
+    }
+    ::new (obj_) D(std::forward<F>(f));
+    ops_ = ops_for<D>();
+  }
+
+ private:
+  struct Ops {
+    void (*call)(void*);
+    // Move-constructs into dst and destroys src; used when relocating an
+    // inline callback (slab growth, move of the owning EventCallback).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static const Ops* ops_for() {
+    static constexpr Ops ops{
+        [](void* obj) { (*static_cast<D*>(obj))(); },
+        [](void* dst, void* src) noexcept {
+          D* from = static_cast<D*>(src);
+          ::new (dst) D(std::move(*from));
+          from->~D();
+        },
+        [](void* obj) noexcept { static_cast<D*>(obj)->~D(); }};
+    return &ops;
+  }
+
+  void move_from(EventCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) {
+      obj_ = nullptr;
+      return;
+    }
+    if (other.obj_ == other.inline_storage()) {
+      obj_ = inline_storage();
+      ops_->relocate(obj_, other.obj_);
+    } else {
+      obj_ = other.obj_;  // pool chunk: steal the pointer
+    }
+    other.ops_ = nullptr;
+    other.obj_ = nullptr;
+  }
+
+  [[nodiscard]] void* inline_storage() noexcept { return inline_; }
+  [[nodiscard]] const void* inline_storage() const noexcept { return inline_; }
+
+  const Ops* ops_ = nullptr;
+  void* obj_ = nullptr;
+  alignas(std::max_align_t) std::byte inline_[kInlineCapacity];
 };
 
 /// A time-ordered queue of callbacks.
@@ -23,50 +135,105 @@ struct EventId {
 /// This FIFO tie-break is load-bearing for determinism: NI coprocessors
 /// schedule sends at identical times and the paper's disciplines (FCFS,
 /// FPFS) are defined by service *order*.
+///
+/// Implementation: an indexed 4-ary min-heap over a slab of pooled event
+/// slots. Scheduling allocates nothing on the hot path (slot reuse +
+/// inline callback storage), cancellation removes the heap entry and
+/// frees the slot immediately (O(log n), no tombstones), and stale
+/// EventIds are rejected by a per-slot generation counter. Not
+/// thread-safe; each worker thread owns its own queue.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
-  /// Schedules `cb` at absolute time `when`.
-  EventId schedule(Time when, Callback cb);
+  EventQueue() : pool_{std::make_unique<EventPool>()} {}
+  EventQueue(EventQueue&&) noexcept = default;
+  EventQueue& operator=(EventQueue&&) noexcept = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `f` at absolute time `when`.
+  template <typename F>
+  EventId schedule(Time when, F&& f) {
+    EventCallback cb;
+    cb.emplace(std::forward<F>(f), *pool_);
+    assert(cb && "scheduling an empty callback");
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slab_[slot];
+    s.time = when;
+    s.order = next_order_++;
+    s.cb = std::move(cb);
+    heap_push(when, s.order, slot);
+    return EventId{make_id(slot, s.generation)};
+  }
 
   /// Cancels a pending event. Returns false when the event already fired
-  /// or was cancelled before. Cancellation is lazy: the heap entry stays
-  /// queued and is skipped at pop time, keeping schedule/cancel O(log n).
+  /// or was cancelled before. The heap entry is removed and the slot is
+  /// freed immediately, so schedule/cancel churn (e.g. retry timers) does
+  /// not grow the queue.
   bool cancel(EventId id);
 
-  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
-  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Pre-sizes the slot slab and heap for `n` concurrent events.
+  void reserve(std::size_t n);
 
   /// Time of the earliest pending event. Queue must be non-empty.
-  [[nodiscard]] Time next_time() const;
+  [[nodiscard]] Time next_time() const {
+    assert(!heap_.empty() && "next_time() on empty queue");
+    return heap_.front().time;
+  }
 
   /// Removes and returns the earliest pending event. Queue must be
-  /// non-empty.
+  /// non-empty. The returned callback may own pool storage; it must be
+  /// destroyed before the queue (the simulator's dispatch loop does).
   struct Fired {
     Time time;
     Callback cb;
   };
   Fired pop();
 
+  /// Number of event slots allocated in the slab (live + free-listed).
+  /// Exposed for tests: schedule/cancel churn must not grow this beyond
+  /// the peak number of *concurrently pending* events.
+  [[nodiscard]] std::size_t slot_capacity() const { return slab_.size(); }
+
  private:
-  struct Entry {
+  struct Slot {
+    Time time{};
+    std::uint64_t order = 0;
+    std::uint32_t generation = 1;
+    std::uint32_t heap_index = kNoHeapIndex;
+    EventCallback cb;
+  };
+  struct HeapEntry {
     Time time;
-    std::uint64_t seq;
+    std::uint64_t order;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  static constexpr std::uint32_t kNoHeapIndex = 0xffffffffu;
 
-  /// Pops heap entries whose callback was cancelled.
-  void skip_cancelled() const;
+  static std::uint64_t make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<std::uint64_t>(generation) << 32) | slot;
+  }
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.order < b.order;
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::uint64_t next_seq_ = 1;
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void heap_push(Time time, std::uint64_t order, std::uint32_t slot);
+  void heap_remove(std::size_t index);
+  std::size_t sift_up(std::size_t index);
+  void sift_down(std::size_t index);
+
+  std::vector<Slot> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;
+  std::unique_ptr<EventPool> pool_;
+  std::uint64_t next_order_ = 1;
 };
 
 }  // namespace nimcast::sim

@@ -4,12 +4,9 @@
 
 namespace nimcast::sim {
 
-EventId Simulator::schedule_at(Time when, EventQueue::Callback cb) {
-  if (when < now_) {
-    throw std::logic_error("Simulator::schedule_at: time " + when.to_string() +
-                           " is in the past (now=" + now_.to_string() + ")");
-  }
-  return queue_.schedule(when, std::move(cb));
+void Simulator::throw_past_schedule(Time when) const {
+  throw std::logic_error("Simulator::schedule_at: time " + when.to_string() +
+                         " is in the past (now=" + now_.to_string() + ")");
 }
 
 std::uint64_t Simulator::run(std::uint64_t event_limit) {

@@ -32,11 +32,18 @@ class Simulator {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedules `cb` at absolute time `when`; `when >= now()` required.
-  EventId schedule_at(Time when, EventQueue::Callback cb);
+  /// Accepts any void() callable; it is constructed directly in the event
+  /// queue's slot slab (or its pool), never on the global heap.
+  template <typename F>
+  EventId schedule_at(Time when, F&& cb) {
+    if (when < now_) throw_past_schedule(when);
+    return queue_.schedule(when, std::forward<F>(cb));
+  }
 
   /// Schedules `cb` `delay` after the current time; `delay >= 0` required.
-  EventId schedule_in(Time delay, EventQueue::Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+  template <typename F>
+  EventId schedule_in(Time delay, F&& cb) {
+    return schedule_at(now_ + delay, std::forward<F>(cb));
   }
 
   /// Cancels a pending event; returns false if it already ran.
@@ -60,9 +67,14 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
 
+  /// Pre-sizes the event queue for `n` concurrent events.
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+
   static constexpr std::uint64_t kDefaultEventLimit = 500'000'000;
 
  private:
+  [[noreturn]] void throw_past_schedule(Time when) const;
+
   EventQueue queue_;
   Time now_ = Time::zero();
   std::uint64_t dispatched_ = 0;

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
+
+#include "sim/rng.hpp"
 
 namespace nimcast::sim {
 namespace {
@@ -86,6 +92,159 @@ TEST(EventQueue, ManyInterleavedScheduleCancel) {
   for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
   while (!q.empty()) q.pop().cb();
   EXPECT_EQ(fired, 50);
+}
+
+TEST(EventQueue, CancelFreesSlotImmediately) {
+  // Regression: the seed implementation kept cancelled heap entries
+  // queued until popped, so schedule/cancel churn (retry timers in
+  // reliable_ni) grew the queue unboundedly within a run. The slab must
+  // recycle the slot at cancel time.
+  EventQueue q;
+  for (int i = 0; i < 100'000; ++i) {
+    const EventId id = q.schedule(Time::us(1e6), [] {});
+    ASSERT_TRUE(q.cancel(id));
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  // One live event at a time -> one slot, ever.
+  EXPECT_EQ(q.slot_capacity(), 1u);
+}
+
+TEST(EventQueue, ChurnWithPendingFloorKeepsSlabBounded) {
+  EventQueue q;
+  std::vector<EventId> pending;
+  for (int i = 0; i < 64; ++i) {
+    pending.push_back(q.schedule(Time::us(static_cast<double>(i)), [] {}));
+  }
+  for (int round = 0; round < 10'000; ++round) {
+    const EventId id =
+        q.schedule(Time::us(1000.0 + static_cast<double>(round)), [] {});
+    ASSERT_TRUE(q.cancel(id));
+  }
+  EXPECT_EQ(q.size(), 64u);
+  EXPECT_LE(q.slot_capacity(), 65u);
+  for (const EventId id : pending) EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleIdFromRecycledSlotIsRejected) {
+  EventQueue q;
+  const EventId first = q.schedule(Time::us(1.0), [] {});
+  ASSERT_TRUE(q.cancel(first));
+  // The slot is recycled for the next event; the old id must stay dead.
+  const EventId second = q.schedule(Time::us(2.0), [] {});
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(second));
+  EXPECT_FALSE(q.cancel(second));
+}
+
+TEST(EventQueue, LargeCallbackRoundTrips) {
+  // Callables beyond the inline small-buffer go to the queue's pool;
+  // behaviour must be identical.
+  EventQueue q;
+  std::array<std::uint64_t, 32> payload{};
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i + 1;
+  static_assert(sizeof(payload) > EventCallback::kInlineCapacity);
+  std::uint64_t got = 0;
+  q.schedule(Time::us(1.0), [payload, &got] {
+    for (const std::uint64_t v : payload) got += v;
+  });
+  q.pop().cb();
+  EXPECT_EQ(got, 32u * 33u / 2u);
+
+  // Cancelled oversize callbacks release their pool chunk cleanly.
+  const EventId id = q.schedule(Time::us(1.0), [payload, &got] {
+    got += payload[0];
+  });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbPending) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(Time::us(static_cast<double>(8 - i)), [&fired, i] {
+      fired.push_back(i);
+    });
+  }
+  q.reserve(1024);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, (std::vector<int>{7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(EventQueue, FuzzAgainstMultimapModel) {
+  // Random schedule/cancel/pop interleavings checked against a
+  // std::multimap reference ordered by (time, insertion order) — the
+  // documented FIFO tie-break for same-time events.
+  using Key = std::pair<Time::rep, std::uint64_t>;
+  Rng rng{20260806};
+  EventQueue q;
+  std::multimap<Key, int> model;
+  struct Live {
+    EventId id;
+    Key key;
+  };
+  std::vector<Live> live;
+  int next_tag = 0;
+  std::vector<int> fired;
+  std::uint64_t order = 0;
+
+  for (int step = 0; step < 20'000; ++step) {
+    const std::uint64_t op = rng.next_below(10);
+    if (op < 5 || live.empty()) {
+      // Schedule. A small time range forces frequent same-time ties.
+      const auto t = static_cast<Time::rep>(rng.next_below(64));
+      const int tag = next_tag++;
+      const Key key{t, order++};
+      const EventId id =
+          q.schedule(Time::ns(t), [tag, &fired] { fired.push_back(tag); });
+      model.emplace(key, tag);
+      live.push_back(Live{id, key});
+    } else if (op < 7) {
+      // Cancel a random live event.
+      const std::size_t pick = rng.next_below(live.size());
+      ASSERT_TRUE(q.cancel(live[pick].id));
+      ASSERT_FALSE(q.cancel(live[pick].id)) << "double cancel succeeded";
+      auto [lo, hi] = model.equal_range(live[pick].key);
+      ASSERT_TRUE(lo != hi);
+      model.erase(lo);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      // Pop the earliest; must match the model's front exactly.
+      ASSERT_EQ(q.size(), model.size());
+      auto front = model.begin();
+      auto fired_event = q.pop();
+      ASSERT_EQ(fired_event.time, Time::ns(front->first.first));
+      const std::size_t before = fired.size();
+      fired_event.cb();
+      ASSERT_EQ(fired.size(), before + 1);
+      ASSERT_EQ(fired.back(), front->second);
+      const Key popped_key = front->first;
+      model.erase(front);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].key == popped_key) {
+          // Popped ids must be dead for cancellation.
+          EXPECT_FALSE(q.cancel(live[i].id));
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+  }
+
+  // Drain what's left; order must match the model exactly.
+  while (!model.empty()) {
+    ASSERT_EQ(q.size(), model.size());
+    auto front = model.begin();
+    auto fired_event = q.pop();
+    ASSERT_EQ(fired_event.time, Time::ns(front->first.first));
+    fired_event.cb();
+    ASSERT_EQ(fired.back(), front->second);
+    model.erase(front);
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace
