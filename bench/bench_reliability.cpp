@@ -90,8 +90,12 @@ int main() {
     bench::expect_shape(curve[i] >= curve[i - 1] - 2.0,
                         "latency degrades monotonically with loss");
   }
-  bench::expect_shape(curve.back() < baseline * 9.0,
-                      "even 40% loss stays within ~9x of lossless");
+  // Retransmissions back off exponentially (1.5^attempt, capped), so the
+  // extreme-loss tail pays in waiting what it saves in retransmit storms;
+  // 40% loss lands around 11-13x lossless rather than the ~8x a fixed
+  // timeout would give.
+  bench::expect_shape(curve.back() < baseline * 16.0,
+                      "even 40% loss stays within ~16x of lossless");
   std::printf("\nACK tax at zero loss: %.2fx; 40%% loss costs %.2fx "
               "lossless plain FPFS\n",
               curve.front() / baseline, curve.back() / baseline);

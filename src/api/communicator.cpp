@@ -29,7 +29,8 @@ struct Communicator::Impl {
     mcast_engine = std::make_unique<mcast::MulticastEngine>(
         *topology, *routes,
         mcast::MulticastEngine::Config{options.params, options.network,
-                                       mcast::NiStyle::kSmartFpfs});
+                                       options.style, options.reliability,
+                                       options.repair});
     coll_engine = std::make_unique<collectives::CollectiveEngine>(
         *topology, *routes,
         collectives::CollectiveEngine::Config{options.params, options.network,
@@ -154,6 +155,13 @@ Communicator::OpReport Communicator::multicast(
       impl_->choose(static_cast<std::int32_t>(dests.size()) + 1, m).t1;
   report.packets_on_wire = r.packets_delivered;
   report.contention = r.total_channel_block_time;
+  report.outcome = r.outcome;
+  report.delivered = r.delivered_count();
+  for (const auto& d : r.destinations) {
+    if (!d.reachable) ++report.unreachable;
+  }
+  report.repairs = r.repairs;
+  report.retransmissions = r.retransmissions;
   return report;
 }
 

@@ -44,6 +44,13 @@ class Communicator {
     sim::Time t_comb = sim::Time::us(1.0);
     /// Seed for random topology generation (irregular systems).
     std::uint64_t seed = 1997;
+    /// NI architecture multicasts run on. Use kReliableFpfs on lossy or
+    /// faulty fabrics; collectives always run the smart FPFS engine.
+    mcast::NiStyle style = mcast::NiStyle::kSmartFpfs;
+    /// Reliability protocol knobs (kReliableFpfs only).
+    netif::ReliabilityParams reliability = {};
+    /// Retry-with-repair policy applied when network.faults is non-empty.
+    mcast::RepairPolicy repair = {};
   };
 
   /// A random irregular switch-based cluster (paper Section 5.2 system
@@ -76,6 +83,13 @@ class Communicator {
     std::int32_t tree_depth = 0;    ///< steps of the first packet
     std::int64_t packets_on_wire = 0;
     sim::Time contention;        ///< cumulative channel block time
+    /// Fault verdicts (multicast/broadcast only; collectives report
+    /// kComplete — they require a pristine fabric, see ROADMAP).
+    mcast::Outcome outcome = mcast::Outcome::kComplete;
+    std::int32_t delivered = 0;    ///< destinations that got the message
+    std::int32_t unreachable = 0;  ///< destinations lost to partitions
+    std::int32_t repairs = 0;      ///< tree-repair rounds consumed
+    std::int64_t retransmissions = 0;  ///< reliable-NI retransmits
   };
 
   /// One-to-many, same data: the paper's headline operation. The tree is

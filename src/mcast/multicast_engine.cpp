@@ -5,11 +5,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/kbinomial.hpp"
 #include "netif/conventional_ni.hpp"
 #include "netif/reliable_ni.hpp"
 #include "netif/host.hpp"
 #include "netif/smart_ni.hpp"
 #include "network/wormhole_network.hpp"
+#include "routing/repair.hpp"
 #include "sim/simulator.hpp"
 
 namespace nimcast::mcast {
@@ -22,6 +24,27 @@ const char* to_string(NiStyle s) {
     case NiStyle::kReliableFpfs: return "reliable-fpfs";
   }
   return "?";
+}
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kComplete: return "complete";
+    case Outcome::kPartial: return "partial";
+    case Outcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::int32_t MulticastResult::delivered_count() const {
+  std::int32_t n = 0;
+  for (const auto& d : destinations) n += d.delivered ? 1 : 0;
+  return n;
+}
+
+double MulticastResult::delivery_ratio() const {
+  if (destinations.empty()) return 1.0;
+  return static_cast<double>(delivered_count()) /
+         static_cast<double>(destinations.size());
 }
 
 double MulticastResult::peak_buffer() const {
@@ -48,6 +71,7 @@ MulticastResult MulticastEngine::run(const core::HostTree& tree,
   MulticastResult result = std::move(batch.operations.front());
   result.buffers = std::move(batch.buffers);
   result.total_channel_block_time = batch.total_channel_block_time;
+  result.retransmissions = batch.retransmissions;
   return result;
 }
 
@@ -72,9 +96,48 @@ MultiMulticastResult MulticastEngine::run_many(
     }
   }
 
+  const bool faulty = !config_.network.faults.empty();
+
   sim::Simulator simctx;
   net::WormholeNetwork network{simctx, topology_, routes_, config_.network,
                                trace_};
+
+  // Fault-time route repair: rebuild up*/down* on the surviving subgraph
+  // and rebind. Multi-VC tables (dateline tori) keep their original
+  // routes — the rebuilt router is single-VC and would change channel
+  // numbering — so they degrade without rerouting.
+  std::vector<std::unique_ptr<routing::RouteTable>> repaired_tables;
+  if (faulty && config_.repair.reroute && routes_.virtual_channels() == 1) {
+    network.on_fault = [&](const net::FaultEvent&) {
+      auto table = routing::rebuild_updown(
+          topology_, network.fault_state(),
+          static_cast<std::int32_t>(repaired_tables.size()) + 1);
+      network.rebind_routes(*table);
+      repaired_tables.push_back(std::move(table));
+    };
+  }
+
+  // A zero retx_timeout asks for the derived default: size it to the
+  // deepest tree edge and widest fan-out actually in this batch.
+  netif::ReliabilityParams reliability = config_.reliability;
+  if (config_.style == NiStyle::kReliableFpfs &&
+      reliability.retx_timeout == sim::Time::zero()) {
+    std::size_t max_hops = 1;
+    std::int32_t max_fanout = 1;
+    for (const auto& spec : specs) {
+      for (topo::HostId h : spec.tree.nodes) {
+        const auto& kids = spec.tree.children.at(h);
+        max_fanout =
+            std::max(max_fanout, static_cast<std::int32_t>(kids.size()));
+        for (topo::HostId c : kids) {
+          max_hops = std::max(max_hops, routes_.hops(h, c));
+        }
+      }
+    }
+    reliability.retx_timeout = netif::derived_retx_timeout(
+        config_.params, config_.network, max_hops, max_fanout,
+        reliability.t_ack);
+  }
 
   std::unordered_map<topo::HostId, std::unique_ptr<netif::NetworkInterface>>
       nis;
@@ -95,8 +158,8 @@ MultiMulticastResult MulticastEngine::run_many(
         break;
       case NiStyle::kReliableFpfs:
         nis.emplace(h, std::make_unique<netif::ReliableFpfsNi>(
-                           simctx, network, config_.params,
-                           config_.reliability, h, trace_));
+                           simctx, network, config_.params, reliability, h,
+                           trace_));
         break;
     }
     hosts.emplace(h, std::make_unique<netif::Host>(simctx, h, config_.params));
@@ -117,12 +180,23 @@ MultiMulticastResult MulticastEngine::run_many(
 
   MultiMulticastResult batch;
   batch.operations.resize(specs.size());
+
+  // Message id -> operation index. Repair rounds mint fresh message ids
+  // for the same operation, so the map grows past specs.size().
+  std::vector<std::size_t> msg_op(specs.size());
+  for (std::size_t op = 0; op < specs.size(); ++op) msg_op[op] = op;
+  // Destinations whose NI has completed the operation (under any of its
+  // message ids) — guards against a repair resend double-counting a host
+  // that made it through after all.
+  std::vector<std::unordered_set<topo::HostId>> arrived(specs.size());
+
   for (auto& [h, ni] : nis) {
     ni->deliver_to = [&nis](topo::HostId dest, const net::Packet& p) {
       nis.at(dest)->deliver(p);
     };
     ni->on_message_at_ni = [&, this](topo::HostId dest, net::MessageId msg) {
-      const auto op = static_cast<std::size_t>(msg - 1);
+      const auto op = msg_op[static_cast<std::size_t>(msg - 1)];
+      if (!arrived[op].insert(dest).second) return;
       auto& result = batch.operations[op];
       result.ni_latency =
           std::max(result.ni_latency, simctx.now() - specs[op].start);
@@ -148,27 +222,109 @@ MultiMulticastResult MulticastEngine::run_many(
         "MulticastEngine: network deadlock (worms still in flight)");
   }
 
+  // Tree repair: re-parent destinations orphaned by faults. Each round
+  // rebuilds a k-binomial tree over the still-missing, still-reachable
+  // destinations in their contention-free (nodes) order — failed hosts
+  // are simply excised — and resends under a fresh message id.
+  if (faulty && config_.repair.max_attempts > 0) {
+    auto next_message = static_cast<std::int32_t>(specs.size()) + 1;
+    for (std::int32_t round = 1; round <= config_.repair.max_attempts;
+         ++round) {
+      bool scheduled_any = false;
+      for (std::size_t op = 0; op < specs.size(); ++op) {
+        const auto& spec = specs[op];
+        const topo::HostId root = spec.tree.root;
+        if (!network.host_alive(root)) continue;
+        core::Chain chain;
+        chain.push_back(root);
+        for (topo::HostId h : spec.tree.nodes) {
+          if (h == root || arrived[op].contains(h)) continue;
+          if (!network.reachable(root, h)) continue;
+          chain.push_back(h);
+        }
+        if (chain.size() < 2) continue;
+        const auto n2 = static_cast<std::int32_t>(chain.size());
+        const std::int32_t k =
+            std::clamp(spec.tree.root_children(), 1, std::max(n2 - 1, 1));
+        const core::HostTree rtree =
+            core::HostTree::bind(core::make_kbinomial(n2, k), chain);
+        const auto message = static_cast<net::MessageId>(next_message++);
+        msg_op.push_back(op);
+        for (topo::HostId h : rtree.nodes) {
+          netif::ForwardingEntry entry;
+          entry.children = rtree.children.at(h);
+          entry.packet_count = spec.packet_count;
+          entry.is_destination = (h != root);
+          nis.at(h)->install(message, entry);
+        }
+        ++batch.operations[op].repairs;
+        const sim::Time wait =
+            config_.repair.backoff * (sim::Time::rep{1} << (round - 1));
+        simctx.schedule_at(simctx.now() + wait,
+                           [&nis, &hosts, root, message] {
+                             nis.at(root)->start_from_host(message,
+                                                           *hosts.at(root));
+                           });
+        scheduled_any = true;
+      }
+      if (!scheduled_any) break;
+      simctx.run();
+      if (network.in_flight() != 0) {
+        throw std::runtime_error(
+            "MulticastEngine: network deadlock (worms still in flight)");
+      }
+    }
+  }
+
   for (std::size_t op = 0; op < specs.size(); ++op) {
     auto& result = batch.operations[op];
-    if (result.completions.size() !=
-        static_cast<std::size_t>(specs[op].tree.size() - 1)) {
+    const auto& spec = specs[op];
+    const auto expected = static_cast<std::size_t>(spec.tree.size() - 1);
+    if (!faulty && result.completions.size() != expected) {
       throw std::runtime_error(
           "MulticastEngine: not every destination completed (op " +
           std::to_string(op) + ")");
     }
+    std::unordered_map<topo::HostId, sim::Time> done;
+    for (const auto& [h, t] : result.completions) done.emplace(h, t);
+    for (topo::HostId h : spec.tree.nodes) {
+      if (h == spec.tree.root) continue;
+      DestinationStatus st;
+      st.host = h;
+      st.reachable = network.reachable(spec.tree.root, h);
+      if (auto it = done.find(h); it != done.end()) {
+        st.delivered = true;
+        st.completed_at = it->second;
+      }
+      result.destinations.push_back(st);
+    }
+    const auto delivered = static_cast<std::size_t>(result.delivered_count());
+    result.outcome = (expected == 0 || delivered == expected)
+                         ? Outcome::kComplete
+                         : (delivered == 0 ? Outcome::kFailed
+                                           : Outcome::kPartial);
     for (const auto& [h, t] : result.completions) {
-      result.latency = std::max(result.latency, t - specs[op].start);
+      result.latency = std::max(result.latency, t - spec.start);
       batch.makespan = std::max(batch.makespan, t);
     }
     result.packets_delivered =
-        static_cast<std::int64_t>(specs[op].tree.size() - 1) *
-        specs[op].packet_count;
+        static_cast<std::int64_t>(result.completions.size()) *
+        spec.packet_count;
   }
   for (topo::HostId h : participants) {
     const auto& buf = nis.at(h)->buffer();
     batch.buffers.push_back(BufferStat{h, buf.peak(), buf.integral()});
   }
   batch.total_channel_block_time = network.total_block_time();
+  batch.packets_killed = network.packets_killed();
+  batch.faults_applied = network.faults_applied();
+  if (config_.style == NiStyle::kReliableFpfs) {
+    for (const auto& [h, ni] : nis) {
+      const auto* rni = static_cast<const netif::ReliableFpfsNi*>(ni.get());
+      batch.retransmissions += rni->retransmissions();
+      batch.deliveries_failed += rni->deliveries_failed();
+    }
+  }
   return batch;
 }
 

@@ -33,6 +33,42 @@ struct BufferStat {
   double packet_us_integral = 0.0;
 };
 
+/// How an operation ended under faults. Fault-free runs are always
+/// kComplete (anything else throws, preserving the strict pre-fault
+/// contract).
+enum class Outcome : std::uint8_t {
+  kComplete,  ///< every destination delivered
+  kPartial,   ///< some destinations delivered, some lost to faults
+  kFailed,    ///< no destination delivered
+};
+
+[[nodiscard]] const char* to_string(Outcome o);
+
+/// Per-destination delivery verdict for one operation.
+struct DestinationStatus {
+  topo::HostId host = topo::kInvalidId;
+  bool delivered = false;
+  /// Whether the destination was still reachable from the root at the
+  /// end of the run (false: excised by a switch death or partition).
+  bool reachable = true;
+  sim::Time completed_at;  ///< only meaningful when delivered
+};
+
+/// What the engine does about destinations orphaned by a fault.
+struct RepairPolicy {
+  /// Tree-repair rounds after the initial attempt drains (0 disables
+  /// repair entirely). Each round re-parents the still-missing,
+  /// still-reachable destinations into a fresh k-binomial tree in
+  /// contention-free order with failed hosts excised, and resends.
+  std::int32_t max_attempts = 2;
+  /// Delay before repair round r starts: backoff * 2^(r-1).
+  sim::Time backoff = sim::Time::us(30.0);
+  /// Rebuild up*/down* routes on the surviving subgraph after each fault
+  /// (single-VC route tables only; multi-VC tori keep their old routes
+  /// and simply lose the dead pairs).
+  bool reroute = true;
+};
+
 /// Outcome of one multicast operation.
 struct MulticastResult {
   /// Start to last destination *host* completion (includes the final t_r)
@@ -47,6 +83,19 @@ struct MulticastResult {
   sim::Time total_channel_block_time;
   std::int64_t packets_delivered = 0;
 
+  Outcome outcome = Outcome::kComplete;
+  /// One entry per destination (tree nodes minus root), in tree order.
+  /// Empty for single-host trees.
+  std::vector<DestinationStatus> destinations;
+  /// Tree-repair rounds this operation consumed.
+  std::int32_t repairs = 0;
+  /// Batch-wide retransmission count (reliable style only); populated by
+  /// run(), zero from run_many() (use MultiMulticastResult there).
+  std::int64_t retransmissions = 0;
+
+  [[nodiscard]] std::int32_t delivered_count() const;
+  /// delivered / destinations; 1.0 for single-host trees.
+  [[nodiscard]] double delivery_ratio() const;
   [[nodiscard]] double peak_buffer() const;
   [[nodiscard]] double max_buffer_integral() const;
 };
@@ -72,6 +121,13 @@ struct MultiMulticastResult {
   sim::Time total_channel_block_time;
   /// Buffer stats per NI across the whole batch.
   std::vector<BufferStat> buffers;
+  /// Reliable-style protocol counters summed over all NIs (zero for
+  /// other styles).
+  std::int64_t retransmissions = 0;
+  std::int64_t deliveries_failed = 0;
+  /// Worms truncated mid-flight by faults.
+  std::int64_t packets_killed = 0;
+  std::int32_t faults_applied = 0;
 };
 
 /// Runs complete multicast operations on the full simulated system:
@@ -84,8 +140,12 @@ class MulticastEngine {
     netif::SystemParams params;
     net::NetworkConfig network;
     NiStyle style = NiStyle::kSmartFpfs;
-    /// Only used by kReliableFpfs.
+    /// Only used by kReliableFpfs. A zero retx_timeout is resolved per
+    /// run from the actual tree depth and fan-out via
+    /// netif::derived_retx_timeout.
     netif::ReliabilityParams reliability = {};
+    /// Only consulted when `network.faults` is non-empty.
+    RepairPolicy repair = {};
   };
 
   MulticastEngine(const topo::Topology& topology,

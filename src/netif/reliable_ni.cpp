@@ -1,9 +1,28 @@
 #include "netif/reliable_ni.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
 namespace nimcast::netif {
+
+sim::Time derived_retx_timeout(const SystemParams& params,
+                               const net::NetworkConfig& config,
+                               std::size_t hops, std::int32_t fanout,
+                               sim::Time t_ack) {
+  const auto h = static_cast<sim::Time::rep>(std::max<std::size_t>(hops, 1));
+  // One direction: coprocessor send pass, header over injection + h
+  // switch links + ejection, payload drain, coprocessor receive pass.
+  const sim::Time t_step = params.t_snd + config.t_hop * (h + 2) +
+                           config.serialization_time() + params.t_rcv;
+  // Full ACK round trip, plus the ACK possibly queueing behind the
+  // coprocessor passes of `fanout` sibling copies at either end.
+  const sim::Time rtt =
+      t_step + t_step + params.t_snd + params.t_rcv +
+      t_ack * static_cast<sim::Time::rep>(std::max(fanout, 1));
+  return rtt * 2;
+}
 
 ReliableFpfsNi::ReliableFpfsNi(sim::Simulator& simctx,
                                net::WormholeNetwork& network,
@@ -11,7 +30,25 @@ ReliableFpfsNi::ReliableFpfsNi(sim::Simulator& simctx,
                                ReliabilityParams reliability,
                                topo::HostId self, sim::Trace* trace)
     : NetworkInterface{simctx, network, params, self, trace},
-      reliability_{reliability} {}
+      reliability_{reliability},
+      base_timeout_{reliability.retx_timeout == sim::Time::zero()
+                        ? derived_retx_timeout(params, network.config(),
+                                               /*hops=*/4, /*fanout=*/8,
+                                               reliability.t_ack)
+                        : reliability.retx_timeout},
+      backoff_rng_{reliability.jitter_seed ^
+                   (std::uint64_t{0x9E3779B97F4A7C15} *
+                    static_cast<std::uint64_t>(self + 1))} {}
+
+sim::Time ReliableFpfsNi::backoff_timeout(std::int32_t attempts) {
+  const auto exponent =
+      std::min(std::max(attempts, 0), reliability_.backoff_cap);
+  double scale = std::pow(reliability_.backoff_factor, exponent);
+  if (reliability_.backoff_jitter > 0.0 && attempts > 0) {
+    scale *= 1.0 + reliability_.backoff_jitter * backoff_rng_.next_double();
+  }
+  return sim::Time::us(base_timeout_.as_us() * scale);
+}
 
 void ReliableFpfsNi::start_from_host(net::MessageId message, Host& host) {
   host.software_send([this, message] {
@@ -49,10 +86,11 @@ void ReliableFpfsNi::reliable_send(net::MessageId message, std::int32_t index,
     network_.send(p, [this](const net::Packet& delivered) {
       deliver_to(delivered.dest, delivered);
     });
-    // Arm (or re-arm) the retransmission timer as of injection time.
+    // Arm (or re-arm) the retransmission timer as of injection time,
+    // exponentially backed off by the attempts already burned.
     auto& pending = pending_[edge_key(message, index, child)];
     pending.timer = sim_.schedule_in(
-        reliability_.retx_timeout,
+        backoff_timeout(pending.attempts),
         [this, message, index, packet_count, child] {
           on_timeout(message, index, packet_count, child);
         });
@@ -71,12 +109,29 @@ void ReliableFpfsNi::on_timeout(net::MessageId message, std::int32_t index,
   auto it = pending_.find(edge_key(message, index, child));
   if (it == pending_.end()) return;  // ACKed in the meantime
   auto& pending = it->second;
-  ++pending.attempts;
-  ++retx_count_;
-  if (pending.attempts > reliability_.max_retransmissions) {
-    throw std::runtime_error("ReliableFpfsNi " + std::to_string(self_) +
-                             ": gave up on packet " + std::to_string(index) +
-                             " to host " + std::to_string(child));
+  // A child cut off by a fault cannot ACK no matter how often we retry;
+  // abandon the edge immediately instead of burning the budget.
+  const bool unreachable = !network_.reachable(self_, child);
+  if (!unreachable) {
+    ++pending.attempts;
+    ++retx_count_;
+  }
+  if (unreachable || pending.attempts > reliability_.max_retransmissions) {
+    pending_.erase(it);
+    ++gave_up_;
+    // The edge's buffer obligation is met by abandonment: without this
+    // the slot would leak and the NI would report held buffers forever.
+    release_copy(message, index);
+    if (trace_) {
+      trace_->record(sim_.now(), sim::TraceCategory::kNi, self_,
+                     std::string("giveup") +
+                         (unreachable ? "-unreachable" : "-budget") +
+                         " msg=" + std::to_string(message) + " pkt=" +
+                         std::to_string(index) + " -> host " +
+                         std::to_string(child));
+    }
+    if (on_delivery_failure) on_delivery_failure(message, index, child);
+    return;
   }
   if (trace_) {
     trace_->record(sim_.now(), sim::TraceCategory::kNi, self_,

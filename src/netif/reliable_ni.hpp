@@ -1,26 +1,55 @@
 #pragma once
 
+#include <functional>
 #include <set>
 #include <unordered_map>
 
 #include "netif/ni_base.hpp"
+#include "network/network_config.hpp"
+#include "sim/rng.hpp"
 
 namespace nimcast::netif {
 
 /// Parameters of the hop-by-hop reliability protocol.
 struct ReliabilityParams {
-  /// Retransmission timeout, armed when a data packet is injected and
-  /// disarmed by the matching ACK. Should comfortably exceed one
+  /// Base retransmission timeout, armed when a data packet is injected
+  /// and disarmed by the matching ACK. Should comfortably exceed one
   /// round-trip (data + ACK traversal + both coprocessor passes).
-  sim::Time retx_timeout = sim::Time::us(60.0);
-  /// Give-up bound; exceeding it throws (the simulation equivalent of a
-  /// link-dead alarm). High enough that a loss rate < ~50% practically
-  /// never trips it.
+  /// `Time::zero()` (the default) derives it from the system parameters
+  /// via `derived_retx_timeout` instead of hardcoding a magic constant.
+  sim::Time retx_timeout = sim::Time::zero();
+  /// Give-up bound: after this many retransmissions of one copy the edge
+  /// is declared dead and the NI reports a per-destination delivery
+  /// failure (`on_delivery_failure`) instead of retrying forever. High
+  /// enough that a loss rate < ~50% practically never trips it.
   std::int32_t max_retransmissions = 64;
   /// Coprocessor occupancy to emit or absorb one ACK (ACKs are tiny
   /// control packets; they still traverse the network as worms).
   sim::Time t_ack = sim::Time::us(1.0);
+  /// Exponential backoff: retransmission i waits
+  /// retx_timeout * backoff_factor^min(i, backoff_cap), stretched by a
+  /// deterministic jitter in [1, 1 + backoff_jitter) to de-synchronize
+  /// retransmit storms across NIs. factor 1 disables backoff. The gentle
+  /// default (1.5^4 ~ 5x cap) suits random wire loss, where waiting
+  /// longer buys nothing; raise it when loss is congestion-driven.
+  double backoff_factor = 1.5;
+  std::int32_t backoff_cap = 4;
+  double backoff_jitter = 0.25;
+  /// Seed of the jitter stream; each NI folds its host id in, so the
+  /// whole protocol stays a pure function of seeds.
+  std::uint64_t jitter_seed = 0x5eedfa17;
 };
+
+/// Retransmission timeout implied by the system parameters: one
+/// ACK-inclusive round trip over `hops` switch-switch links — request
+/// t_step, response t_step, both coprocessor passes, plus worst-case ACK
+/// queueing behind `fanout` sibling ACKs — doubled as a safety margin
+/// against transient channel contention.
+[[nodiscard]] sim::Time derived_retx_timeout(const SystemParams& params,
+                                             const net::NetworkConfig& config,
+                                             std::size_t hops,
+                                             std::int32_t fanout,
+                                             sim::Time t_ack);
 
 /// Reliable FPFS smart NI: the paper's FPFS discipline layered with a
 /// hop-by-hop positive-acknowledgment protocol, the problem addressed by
@@ -55,6 +84,18 @@ class ReliableFpfsNi final : public NetworkInterface {
   [[nodiscard]] std::int64_t retransmissions() const { return retx_count_; }
   [[nodiscard]] std::int64_t duplicates_seen() const { return dup_count_; }
 
+  /// Tree edges abandoned: retransmission budget exhausted or the child
+  /// became unreachable. Each abandonment released its buffer obligation
+  /// and fired on_delivery_failure; the NI itself never throws for them.
+  [[nodiscard]] std::int64_t deliveries_failed() const { return gave_up_; }
+
+  /// Fired when a copy is abandoned (message, packet index, child).
+  std::function<void(net::MessageId, std::int32_t, topo::HostId)>
+      on_delivery_failure;
+
+  /// The resolved base timeout (explicit or derived).
+  [[nodiscard]] sim::Time base_timeout() const { return base_timeout_; }
+
  protected:
   void on_packet_received(const net::Packet& packet,
                           const ForwardingEntry& entry) override;
@@ -80,12 +121,18 @@ class ReliableFpfsNi final : public NetworkInterface {
                   std::int32_t packet_count, topo::HostId child);
   void handle_ack(const net::Packet& ack);
   void send_ack(const net::Packet& data);
+  /// Timeout for the (attempts+1)-th transmission, backoff and jitter
+  /// applied.
+  [[nodiscard]] sim::Time backoff_timeout(std::int32_t attempts);
 
   ReliabilityParams reliability_;
+  sim::Time base_timeout_;
+  sim::Rng backoff_rng_;
   std::unordered_map<std::uint64_t, PendingSend> pending_;
   std::set<std::pair<net::MessageId, std::int32_t>> seen_;
   std::int64_t retx_count_ = 0;
   std::int64_t dup_count_ = 0;
+  std::int64_t gave_up_ = 0;
 };
 
 }  // namespace nimcast::netif

@@ -1,0 +1,77 @@
+#include "network/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace nimcast::net {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kSwitchDown: return "switch-down";
+  }
+  return "?";
+}
+
+void FaultPlan::add(FaultEvent ev) {
+  if (ev.at < sim::Time::zero()) {
+    throw std::invalid_argument("FaultPlan: negative fault time");
+  }
+  if (ev.id < 0) {
+    throw std::invalid_argument("FaultPlan: negative link/switch id");
+  }
+  // Keep sorted by time with insertion order on ties, so events() is
+  // directly schedulable and plans built in any order are canonical.
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), ev.at,
+      [](sim::Time at, const FaultEvent& e) { return at < e.at; });
+  events_.insert(pos, ev);
+}
+
+FaultPlan& FaultPlan::link_down(sim::Time at, topo::LinkId link) {
+  add(FaultEvent{at, FaultKind::kLinkDown, link});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_up(sim::Time at, topo::LinkId link) {
+  add(FaultEvent{at, FaultKind::kLinkUp, link});
+  return *this;
+}
+
+FaultPlan& FaultPlan::switch_down(sim::Time at, topo::SwitchId sw) {
+  add(FaultEvent{at, FaultKind::kSwitchDown, sw});
+  return *this;
+}
+
+FaultPlan FaultPlan::random(const topo::Graph& g, const RandomConfig& cfg,
+                            sim::Rng& rng) {
+  if (cfg.window_end < cfg.window_start) {
+    throw std::invalid_argument("FaultPlan::random: inverted window");
+  }
+  FaultPlan plan;
+  const auto span = (cfg.window_end - cfg.window_start).count_ns();
+  auto draw_time = [&]() {
+    const auto offset =
+        static_cast<sim::Time::rep>(rng.next_double() *
+                                    static_cast<double>(span));
+    return cfg.window_start + sim::Time::ns(offset);
+  };
+  for (topo::LinkId e = 0; e < g.num_edges(); ++e) {
+    if (!rng.next_bool(cfg.link_fail_prob)) continue;
+    const sim::Time at = draw_time();
+    plan.link_down(at, e);
+    if (cfg.link_recover_after > sim::Time::zero()) {
+      plan.link_up(at + cfg.link_recover_after, e);
+    }
+  }
+  for (topo::SwitchId s = 0; s < g.num_vertices(); ++s) {
+    if (!rng.next_bool(cfg.switch_fail_prob)) continue;
+    plan.switch_down(draw_time(), s);
+  }
+  return plan;
+}
+
+}  // namespace nimcast::net

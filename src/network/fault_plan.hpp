@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+#include "topology/graph.hpp"
+#include "topology/ids.hpp"
+
+namespace nimcast::sim {
+class Rng;
+}
+
+namespace nimcast::net {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,    ///< one switch-switch link fails (both directions)
+  kLinkUp,      ///< a previously failed link recovers
+  kSwitchDown,  ///< a switch dies: all its links and attached hosts with it
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// One scheduled fabric fault. `id` is a LinkId for link events and a
+/// SwitchId for kSwitchDown.
+struct FaultEvent {
+  sim::Time at;
+  FaultKind kind = FaultKind::kLinkDown;
+  std::int32_t id = -1;
+};
+
+/// Deterministic schedule of fabric faults for one simulation run.
+///
+/// A default-constructed (empty) plan is the pristine fabric: the
+/// network schedules nothing and every code path is bit-identical to a
+/// build without the fault layer. Plans are either scripted through the
+/// builder calls or drawn from `random()`, whose only entropy source is
+/// the caller's sim::Rng — same seed, same schedule, byte for byte.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& link_down(sim::Time at, topo::LinkId link);
+  FaultPlan& link_up(sim::Time at, topo::LinkId link);
+  FaultPlan& switch_down(sim::Time at, topo::SwitchId sw);
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Sorted by time; simultaneous events keep insertion order.
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+
+  struct RandomConfig {
+    /// Independent failure probability per link / per switch.
+    double link_fail_prob = 0.0;
+    double switch_fail_prob = 0.0;
+    /// Failure instants are uniform in [window_start, window_end).
+    sim::Time window_start = sim::Time::zero();
+    sim::Time window_end = sim::Time::us(100.0);
+    /// When positive, every failed link recovers this long after it
+    /// failed (switches stay down).
+    sim::Time link_recover_after = sim::Time::zero();
+  };
+
+  /// Draws a plan over `g`'s links and switches. Consumes one Bernoulli
+  /// draw per link and per switch (plus one uniform per failure), in
+  /// ascending id order, so the schedule is a pure function of the rng
+  /// state.
+  [[nodiscard]] static FaultPlan random(const topo::Graph& g,
+                                        const RandomConfig& cfg,
+                                        sim::Rng& rng);
+
+ private:
+  void add(FaultEvent ev);
+
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace nimcast::net

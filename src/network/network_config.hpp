@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "network/fault_plan.hpp"
 #include "sim/sim_time.hpp"
 
 namespace nimcast::net {
@@ -51,6 +52,11 @@ struct NetworkConfig {
 
   /// Seed for the loss process (independent of workload seeds).
   std::uint64_t loss_seed = 0x10551055;
+
+  /// Scheduled link/switch faults applied during the run. Empty (the
+  /// default) keeps the fabric pristine and every simulation
+  /// bit-identical to a fault-free build.
+  FaultPlan faults;
 
   [[nodiscard]] sim::Time serialization_time() const {
     if (bandwidth_bytes_per_us <= 0.0) {

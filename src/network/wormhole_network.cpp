@@ -14,6 +14,19 @@ struct WormholeNetwork::Worm {
   std::vector<sim::Time> acquired_at;  ///< per-channel acquisition times
   std::size_t next = 0;            ///< next channel to acquire
   sim::Time block_start;           ///< set while parked on a busy channel
+
+  // --- fault-truncation bookkeeping (idle on a pristine fabric) ---
+  sim::EventId pending{};   ///< in-flight hop / drain-completion event
+  bool parked = false;      ///< sitting in some channel's waiter queue
+  bool draining = false;    ///< final channel acquired, payload draining
+  /// Channels [0, released_below) already freed by pipelined staggered
+  /// releases; they must not be freed again when the worm is killed.
+  std::size_t released_below = 0;
+  struct PendingRelease {
+    std::int32_t chan;
+    sim::EventId id;
+  };
+  std::vector<PendingRelease> pending_releases;
 };
 
 WormholeNetwork::~WormholeNetwork() = default;
@@ -24,11 +37,11 @@ WormholeNetwork::WormholeNetwork(sim::Simulator& simctx,
                                  NetworkConfig config, sim::Trace* trace)
     : sim_{simctx},
       topology_{topology},
-      routes_{routes},
-      config_{config},
+      routes_{&routes},
+      config_{std::move(config)},
       trace_{trace},
-      loss_rng_{config.loss_seed} {
-  if (config.loss_rate < 0.0 || config.loss_rate >= 1.0) {
+      loss_rng_{config_.loss_seed} {
+  if (config_.loss_rate < 0.0 || config_.loss_rate >= 1.0) {
     throw std::invalid_argument(
         "WormholeNetwork: loss_rate must be in [0, 1)");
   }
@@ -38,15 +51,41 @@ WormholeNetwork::WormholeNetwork(sim::Simulator& simctx,
       2 * topology.switches().num_edges() * routes.virtual_channels() +
       2 * topology.num_hosts();
   channels_.resize(static_cast<std::size_t>(num_channels));
+  for (const FaultEvent& ev : config_.faults.events()) {
+    const auto bound = ev.kind == FaultKind::kSwitchDown
+                           ? topology.num_switches()
+                           : topology.switches().num_edges();
+    if (ev.id < 0 || ev.id >= bound) {
+      throw std::invalid_argument("WormholeNetwork: fault id out of range");
+    }
+    sim_.schedule_at(ev.at, [this, ev] { apply_fault(ev); });
+  }
+}
+
+void WormholeNetwork::rebind_routes(const routing::RouteTable& routes) {
+  if (routes.num_hosts() != routes_->num_hosts() ||
+      routes.virtual_channels() != routes_->virtual_channels()) {
+    throw std::invalid_argument(
+        "WormholeNetwork::rebind_routes: table shape mismatch");
+  }
+  routes_ = &routes;
+}
+
+bool WormholeNetwork::host_alive(topo::HostId h) const {
+  return mask_.switch_alive(topology_.switch_of(h));
+}
+
+bool WormholeNetwork::reachable(topo::HostId src, topo::HostId dst) const {
+  return host_alive(src) && host_alive(dst) && routes_->reachable(src, dst);
 }
 
 std::int32_t WormholeNetwork::injection_channel(topo::HostId h) const {
-  return 2 * topology_.switches().num_edges() * routes_.virtual_channels() +
+  return 2 * topology_.switches().num_edges() * routes_->virtual_channels() +
          h;
 }
 
 std::int32_t WormholeNetwork::ejection_channel(topo::HostId h) const {
-  return 2 * topology_.switches().num_edges() * routes_.virtual_channels() +
+  return 2 * topology_.switches().num_edges() * routes_->virtual_channels() +
          topology_.num_hosts() + h;
 }
 
@@ -54,9 +93,9 @@ std::vector<std::int32_t> WormholeNetwork::full_path(topo::HostId src,
                                                      topo::HostId dst) const {
   std::vector<std::int32_t> path;
   path.push_back(injection_channel(src));
-  const auto& route = routes_.path(src, dst);
+  const auto& route = routes_->path(src, dst);
   for (std::int32_t c : routing::route_channels(topology_.switches(), route,
-                                                routes_.virtual_channels())) {
+                                                routes_->virtual_channels())) {
     path.push_back(c);
   }
   path.push_back(ejection_channel(dst));
@@ -78,6 +117,19 @@ void WormholeNetwork::send(const Packet& packet, DeliveryCallback on_delivered) 
   if (packet.sender == packet.dest) {
     throw std::invalid_argument("WormholeNetwork::send: self-send");
   }
+  if (!reachable(packet.sender, packet.dest)) {
+    // The fabric segment between the endpoints is dead: a CRC-style
+    // silent drop at injection. Reliable NIs see it as loss and retry or
+    // give up against their reachability check.
+    ++dropped_;
+    if (trace_) {
+      trace_->record(sim_.now(), sim::TraceCategory::kPacket, packet.sender,
+                     "DROP-unreachable msg=" + std::to_string(packet.message) +
+                         " pkt=" + std::to_string(packet.packet_index) +
+                         " -> host " + std::to_string(packet.dest));
+    }
+    return;
+  }
   auto worm = std::make_unique<Worm>();
   worm->packet = packet;
   worm->cb = std::move(on_delivered);
@@ -97,9 +149,15 @@ void WormholeNetwork::send(const Packet& packet, DeliveryCallback on_delivered) 
 void WormholeNetwork::progress(Worm* worm) {
   assert(worm->next < worm->path.size());
   const std::int32_t chan = worm->path[worm->next];
+  if (channel_dead(chan)) {
+    // The header ran into a link/switch that died after injection.
+    kill_worm(worm);
+    return;
+  }
   auto& channel = channels_[static_cast<std::size_t>(chan)];
   if (channel.busy) {
     worm->block_start = sim_.now();
+    worm->parked = true;
     channel.waiters.push_back(worm);
     if (trace_) {
       trace_->record(sim_.now(), sim::TraceCategory::kChannel, chan,
@@ -115,12 +173,13 @@ void WormholeNetwork::progress(Worm* worm) {
   if (worm->next == worm->path.size()) {
     schedule_drain(worm);
   } else {
-    sim_.schedule_at(sim_.now() + config_.t_hop,
-                     [this, worm] { progress(worm); });
+    worm->pending = sim_.schedule_at(sim_.now() + config_.t_hop,
+                                     [this, worm] { progress(worm); });
   }
 }
 
 void WormholeNetwork::schedule_drain(Worm* worm) {
+  worm->draining = true;
   // Header crosses the final (ejection) channel, then the payload drains
   // into the destination NI.
   const sim::Time delivery =
@@ -129,23 +188,35 @@ void WormholeNetwork::schedule_drain(Worm* worm) {
   if (config_.release_model == ReleaseModel::kPipelined) {
     // The tail flit trails the header by one hop per remaining channel;
     // upstream channels free as it passes (never before the head of the
-    // packet has fully left them, and never after delivery).
+    // packet has fully left them, and never after delivery). Release
+    // times are non-decreasing in i and scheduled in index order, so the
+    // FIFO tie-break makes released_below advance monotonically.
     for (std::size_t i = 0; i + 1 < len; ++i) {
       const sim::Time earliest = worm->acquired_at[i] + config_.t_hop +
                                  config_.serialization_time();
       const sim::Time tail_passes =
           delivery - config_.t_hop * static_cast<sim::Time::rep>(len - 1 - i);
       const std::int32_t chan = worm->path[i];
-      sim_.schedule_at(std::max(earliest, tail_passes),
-                       [this, chan] { release_channel(chan); });
+      const auto id = sim_.schedule_at(
+          std::max(earliest, tail_passes), [this, worm, i, chan] {
+            worm->released_below = i + 1;
+            release_channel(chan);
+          });
+      worm->pending_releases.push_back(Worm::PendingRelease{chan, id});
     }
   }
-  sim_.schedule_at(delivery, [this, worm] { complete(worm); });
+  worm->pending = sim_.schedule_at(delivery, [this, worm] { complete(worm); });
 }
 
 void WormholeNetwork::release_channel(std::int32_t chan) {
   auto& channel = channels_[static_cast<std::size_t>(chan)];
   assert(channel.busy);
+  if (channel_dead(chan)) {
+    // A condemned channel never hands off; any worm still waiting on it
+    // is truncated by the same fault sweep that condemned it.
+    channel.busy = false;
+    return;
+  }
   if (channel.waiters.empty()) {
     channel.busy = false;
     return;
@@ -154,6 +225,7 @@ void WormholeNetwork::release_channel(std::int32_t chan) {
   // owns it as of now. Keeps arbitration strictly first-come-first-served.
   Worm* next = channel.waiters.front();
   channel.waiters.pop_front();
+  next->parked = false;
   total_block_ += sim_.now() - next->block_start;
   assert(next->path[next->next] == chan);
   next->acquired_at.push_back(sim_.now());
@@ -161,8 +233,8 @@ void WormholeNetwork::release_channel(std::int32_t chan) {
   if (next->next == next->path.size()) {
     schedule_drain(next);
   } else {
-    sim_.schedule_at(sim_.now() + config_.t_hop,
-                     [this, next] { progress(next); });
+    next->pending = sim_.schedule_at(sim_.now() + config_.t_hop,
+                                     [this, next] { progress(next); });
   }
 }
 
@@ -195,6 +267,122 @@ void WormholeNetwork::complete(Worm* worm) {
   assert(it != live_worms_.end());
   live_worms_.erase(it);
   if (cb) cb(packet);
+}
+
+void WormholeNetwork::apply_fault(const FaultEvent& ev) {
+  ++faults_applied_;
+  if (mask_.dead_link.empty()) {
+    mask_.dead_link.assign(
+        static_cast<std::size_t>(topology_.switches().num_edges()), false);
+    mask_.dead_switch.assign(static_cast<std::size_t>(topology_.num_switches()),
+                             false);
+  }
+  const auto id = static_cast<std::size_t>(ev.id);
+  switch (ev.kind) {
+    case FaultKind::kLinkDown: mask_.dead_link[id] = true; break;
+    case FaultKind::kLinkUp: mask_.dead_link[id] = false; break;
+    case FaultKind::kSwitchDown: mask_.dead_switch[id] = true; break;
+  }
+  refresh_dead_channels();
+  if (trace_) {
+    trace_->record(sim_.now(), sim::TraceCategory::kChannel, ev.id,
+                   std::string("FAULT ") + to_string(ev.kind) + " id=" +
+                       std::to_string(ev.id));
+  }
+  if (ev.kind != FaultKind::kLinkUp) {
+    // Collect the victims first: kill_worm mutates live_worms_ and may
+    // hand surviving channels to other worms, so the sweep reads current
+    // state one victim at a time.
+    std::vector<Worm*> victims;
+    for (const auto& owned : live_worms_) {
+      Worm* w = owned.get();
+      // Channels the worm currently pins: everything acquired but not yet
+      // released, plus (for a parked worm) the dead channel it waits on —
+      // that wait can never be satisfied once the channel is condemned.
+      const std::size_t held_end =
+          w->draining ? w->path.size() : w->next + (w->parked ? 1u : 0u);
+      for (std::size_t i = w->released_below; i < held_end; ++i) {
+        if (channel_dead(w->path[i])) {
+          victims.push_back(w);
+          break;
+        }
+      }
+    }
+    for (Worm* w : victims) kill_worm(w);
+  }
+  if (on_fault) on_fault(ev);
+}
+
+void WormholeNetwork::refresh_dead_channels() {
+  channel_dead_.assign(channels_.size(), false);
+  const auto& g = topology_.switches();
+  const auto vcs = routes_->virtual_channels();
+  for (topo::LinkId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    const bool dead = !mask_.link_alive(e) || !mask_.switch_alive(edge.a) ||
+                      !mask_.switch_alive(edge.b);
+    if (!dead) continue;
+    for (std::int32_t dir = 0; dir < 2; ++dir) {
+      const std::int32_t base = (2 * e + dir) * vcs;
+      for (std::int32_t v = 0; v < vcs; ++v) {
+        channel_dead_[static_cast<std::size_t>(base + v)] = true;
+      }
+    }
+  }
+  for (topo::HostId h = 0; h < topology_.num_hosts(); ++h) {
+    if (mask_.switch_alive(topology_.switch_of(h))) continue;
+    channel_dead_[static_cast<std::size_t>(injection_channel(h))] = true;
+    channel_dead_[static_cast<std::size_t>(ejection_channel(h))] = true;
+  }
+}
+
+void WormholeNetwork::kill_worm(Worm* worm) {
+  if (worm->parked) {
+    // Un-park: the worm leaves the waiter queue it sits in.
+    auto& waiters =
+        channels_[static_cast<std::size_t>(worm->path[worm->next])].waiters;
+    auto w = std::find(waiters.begin(), waiters.end(), worm);
+    assert(w != waiters.end());
+    waiters.erase(w);
+  } else {
+    // Cancel the in-flight hop / drain-completion event. cancel() is a
+    // no-op (false) if it already fired, in which case the worm's state
+    // was advanced by the callback and reflects reality.
+    sim_.cancel(worm->pending);
+  }
+  // Staggered pipelined releases that have not fired yet still hold their
+  // channel: cancel each and release it here. Fired ones already advanced
+  // released_below.
+  for (const auto& pr : worm->pending_releases) {
+    if (sim_.cancel(pr.id)) release_channel(pr.chan);
+  }
+  worm->pending_releases.clear();
+  if (worm->draining) {
+    if (config_.release_model == ReleaseModel::kAtDelivery) {
+      for (std::int32_t chan : worm->path) release_channel(chan);
+    } else {
+      // Pipelined: upstream channels were handled above (fired or
+      // canceled); only the final (ejection) channel remains held.
+      release_channel(worm->path.back());
+    }
+  } else {
+    for (std::size_t i = worm->released_below; i < worm->next; ++i) {
+      release_channel(worm->path[i]);
+    }
+  }
+  --in_flight_;
+  ++dropped_;
+  ++killed_;
+  if (trace_) {
+    trace_->record(sim_.now(), sim::TraceCategory::kPacket, worm->packet.dest,
+                   "KILL msg=" + std::to_string(worm->packet.message) +
+                       " pkt=" + std::to_string(worm->packet.packet_index) +
+                       " from=" + std::to_string(worm->packet.sender));
+  }
+  auto it = std::find_if(live_worms_.begin(), live_worms_.end(),
+                         [worm](const auto& p) { return p.get() == worm; });
+  assert(it != live_worms_.end());
+  live_worms_.erase(it);
 }
 
 }  // namespace nimcast::net

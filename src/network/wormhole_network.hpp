@@ -56,7 +56,34 @@ class WormholeNetwork {
   /// Injects one packet from `packet.sender`'s NI toward `packet.dest`'s
   /// NI at the current simulated time. The injection channel may itself be
   /// busy, in which case the worm queues like at any other channel.
+  /// Packets whose sender or destination sits on a dead switch, or whose
+  /// pair is unreachable in the bound route table, are dropped at
+  /// injection (counted in packets_dropped()).
   void send(const Packet& packet, DeliveryCallback on_delivered);
+
+  /// Fired after a `config.faults` event has been applied: the liveness
+  /// mask is updated and every worm caught on a dying channel has been
+  /// truncated. The multicast engine hooks this to rebuild routes on the
+  /// surviving subgraph.
+  std::function<void(const FaultEvent&)> on_fault;
+
+  /// Swaps the route table consulted for future injections — the
+  /// fault-repair path after a rebuild on the surviving subgraph. Host
+  /// count and virtual-channel multiplicity must match the original
+  /// table (channel numbering depends on both). Worms already in flight
+  /// keep their old paths.
+  void rebind_routes(const routing::RouteTable& routes);
+
+  [[nodiscard]] const routing::RouteTable& routes() const { return *routes_; }
+
+  /// Current fault state; empty vectors mean the pristine fabric.
+  [[nodiscard]] const topo::SubgraphMask& fault_state() const { return mask_; }
+
+  /// False when the host's switch has died.
+  [[nodiscard]] bool host_alive(topo::HostId h) const;
+
+  /// Both endpoints alive and connected under the bound route table.
+  [[nodiscard]] bool reachable(topo::HostId src, topo::HostId dst) const;
 
   /// Worms currently traversing the network (or blocked inside it). A
   /// simulator that goes idle while this is non-zero has hit a routing
@@ -66,9 +93,19 @@ class WormholeNetwork {
 
   [[nodiscard]] std::int64_t packets_delivered() const { return delivered_; }
 
-  /// Packets dropped by the loss process (loss_rate > 0). Dropped packets
-  /// consumed wire time but never reached their delivery callback.
+  /// Packets dropped by the loss process (loss_rate > 0) or by faults
+  /// (truncated worms, injections into a dead fabric segment). Dropped
+  /// packets consumed wire time but never reached their delivery
+  /// callback.
   [[nodiscard]] std::int64_t packets_dropped() const { return dropped_; }
+
+  /// Worms truncated mid-flight by a fault: their acquired channels were
+  /// freed, the tail was killed, and the receiver saw a CRC-style drop.
+  /// A subset of packets_dropped().
+  [[nodiscard]] std::int64_t packets_killed() const { return killed_; }
+
+  /// Fault events applied so far.
+  [[nodiscard]] std::int32_t faults_applied() const { return faults_applied_; }
 
   /// Cumulative time worms spent blocked on busy channels; the
   /// contention metric reported by the ordering ablation.
@@ -105,9 +142,21 @@ class WormholeNetwork {
   void complete(Worm* worm);
   void release_channel(std::int32_t chan);
 
+  /// Applies one fault event: updates the liveness mask, condemns the
+  /// affected channels and truncates every worm caught on one.
+  void apply_fault(const FaultEvent& ev);
+  void refresh_dead_channels();
+  /// Truncates a worm: unparks or cancels its pending events, frees every
+  /// channel it still holds, counts the packet as dropped+killed.
+  void kill_worm(Worm* worm);
+  [[nodiscard]] bool channel_dead(std::int32_t chan) const {
+    return !channel_dead_.empty() &&
+           channel_dead_[static_cast<std::size_t>(chan)];
+  }
+
   sim::Simulator& sim_;
   const topo::Topology& topology_;
-  const routing::RouteTable& routes_;
+  const routing::RouteTable* routes_;  ///< pointer: rebindable after faults
   NetworkConfig config_;
   sim::Trace* trace_;
 
@@ -116,8 +165,14 @@ class WormholeNetwork {
   std::int32_t in_flight_ = 0;
   std::int64_t delivered_ = 0;
   std::int64_t dropped_ = 0;
+  std::int64_t killed_ = 0;
+  std::int32_t faults_applied_ = 0;
   sim::Rng loss_rng_;
   sim::Time total_block_ = sim::Time::zero();
+  topo::SubgraphMask mask_;
+  /// Parallel to channels_; sized lazily at the first fault so the
+  /// zero-fault path touches nothing.
+  std::vector<bool> channel_dead_;
 };
 
 }  // namespace nimcast::net

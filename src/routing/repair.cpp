@@ -1,0 +1,15 @@
+#include "routing/repair.hpp"
+
+#include "routing/up_down.hpp"
+
+namespace nimcast::routing {
+
+std::unique_ptr<RouteTable> rebuild_updown(const topo::Topology& topology,
+                                           const topo::SubgraphMask& mask,
+                                           std::int32_t epoch,
+                                           topo::SwitchId preferred_root) {
+  const UpDownRouter router{topology.switches(), mask, preferred_root};
+  return std::make_unique<RouteTable>(topology, router, epoch);
+}
+
+}  // namespace nimcast::routing

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <memory>
+
+#include "routing/route_table.hpp"
+#include "topology/topology.hpp"
+
+namespace nimcast::routing {
+
+/// Rebuilds an up*/down* route table on the surviving subgraph after
+/// fault injection. The mask's dead links/switches are excised, each
+/// surviving component gets its own BFS orientation, and host pairs that
+/// ended up in different components (or on a dead switch) come back as
+/// unreachable rather than throwing. `epoch` stamps the generation;
+/// `preferred_root` keeps the pre-fault root when it survived, which
+/// minimizes route churn for unaffected pairs.
+///
+/// Single-VC routers only — callers running multi-VC fabrics (dateline
+/// tori) must supply their own rebuild or skip rerouting.
+[[nodiscard]] std::unique_ptr<RouteTable> rebuild_updown(
+    const topo::Topology& topology, const topo::SubgraphMask& mask,
+    std::int32_t epoch, topo::SwitchId preferred_root = -1);
+
+}  // namespace nimcast::routing

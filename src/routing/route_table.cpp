@@ -4,15 +4,24 @@
 
 namespace nimcast::routing {
 
-RouteTable::RouteTable(const topo::Topology& topology, const Router& router)
+RouteTable::RouteTable(const topo::Topology& topology, const Router& router,
+                       std::int32_t epoch)
     : num_hosts_{topology.num_hosts()},
-      num_vcs_{router.virtual_channels()} {
-  routes_.resize(static_cast<std::size_t>(num_hosts_) *
-                 static_cast<std::size_t>(num_hosts_));
+      num_vcs_{router.virtual_channels()},
+      epoch_{epoch} {
+  const auto pairs = static_cast<std::size_t>(num_hosts_) *
+                     static_cast<std::size_t>(num_hosts_);
+  routes_.resize(pairs);
+  reachable_.assign(pairs, 0);
   for (topo::HostId s = 0; s < num_hosts_; ++s) {
     for (topo::HostId d = 0; d < num_hosts_; ++d) {
-      routes_[index(s, d)] =
-          router.route(topology.switch_of(s), topology.switch_of(d));
+      auto r = router.try_route(topology.switch_of(s), topology.switch_of(d));
+      if (r) {
+        routes_[index(s, d)] = *std::move(r);
+        reachable_[index(s, d)] = 1;
+      } else {
+        ++unreachable_pairs_;
+      }
     }
   }
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "routing/routing.hpp"
@@ -12,14 +13,39 @@ namespace nimcast::routing {
 /// Host routes are switch routes between the attached switches; hosts on
 /// the same switch route through that single switch (zero link hops, but
 /// still one injection and one ejection channel in the network model).
+///
+/// Pairs the router cannot connect (a partitioned surviving subgraph
+/// after faults) are recorded as unreachable rather than throwing: check
+/// `reachable()` before `path()`. Tables rebuilt after a fault carry an
+/// `epoch` so consumers can tell which generation of routes produced a
+/// result.
 class RouteTable {
  public:
-  RouteTable(const topo::Topology& topology, const Router& router);
+  RouteTable(const topo::Topology& topology, const Router& router,
+             std::int32_t epoch = 0);
 
+  /// Only meaningful when `reachable(src, dst)`; unreachable pairs hold
+  /// an empty placeholder route.
   [[nodiscard]] const SwitchRoute& path(topo::HostId src,
                                         topo::HostId dst) const {
     return routes_[index(src, dst)];
   }
+
+  [[nodiscard]] bool reachable(topo::HostId src, topo::HostId dst) const {
+    return reachable_[index(src, dst)] != 0;
+  }
+
+  /// True when every host pair has a legal route (always the case before
+  /// any fault partitions the fabric).
+  [[nodiscard]] bool fully_connected() const { return unreachable_pairs_ == 0; }
+
+  [[nodiscard]] std::int64_t unreachable_pairs() const {
+    return unreachable_pairs_;
+  }
+
+  /// Route generation: 0 for the pristine fabric, bumped by each
+  /// fault-time rebuild.
+  [[nodiscard]] std::int32_t epoch() const { return epoch_; }
 
   [[nodiscard]] std::int32_t num_hosts() const { return num_hosts_; }
 
@@ -47,7 +73,10 @@ class RouteTable {
 
   std::int32_t num_hosts_;
   std::int32_t num_vcs_;
+  std::int32_t epoch_;
+  std::int64_t unreachable_pairs_ = 0;
   std::vector<SwitchRoute> routes_;
+  std::vector<std::uint8_t> reachable_;
 };
 
 }  // namespace nimcast::routing

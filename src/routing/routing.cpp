@@ -4,6 +4,15 @@
 
 namespace nimcast::routing {
 
+std::optional<SwitchRoute> Router::try_route(topo::SwitchId src,
+                                             topo::SwitchId dst) const {
+  try {
+    return route(src, dst);
+  } catch (const NoLegalRoute&) {
+    return std::nullopt;
+  }
+}
+
 std::int32_t directed_channel(const topo::Graph& g, topo::LinkId link,
                               topo::SwitchId from) {
   const auto& e = g.edge(link);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -54,6 +55,12 @@ class Router {
   virtual ~Router() = default;
   [[nodiscard]] virtual SwitchRoute route(topo::SwitchId src,
                                           topo::SwitchId dst) const = 0;
+  /// Non-throwing variant: nullopt where route() would throw NoLegalRoute
+  /// — the queryable "unreachable" verdict fault repair builds on.
+  /// Routers with a cheap feasibility check override this; the default
+  /// wraps route().
+  [[nodiscard]] virtual std::optional<SwitchRoute> try_route(
+      topo::SwitchId src, topo::SwitchId dst) const;
   [[nodiscard]] virtual const char* name() const = 0;
   /// Virtual channels this router's routes may reference (>= 1). The
   /// network must provision this many per directed physical channel.

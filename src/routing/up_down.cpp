@@ -17,6 +17,60 @@ topo::SwitchId default_root(const topo::Graph& g) {
   return best;
 }
 
+std::int32_t alive_degree(const topo::Graph& g, const topo::SubgraphMask& mask,
+                          topo::SwitchId s) {
+  std::int32_t d = 0;
+  for (topo::LinkId e : g.incident(s)) {
+    if (mask.link_alive(e) && mask.switch_alive(g.edge(e).other(s))) ++d;
+  }
+  return d;
+}
+
+/// Per-component BFS levels over the surviving subgraph: every alive
+/// switch gets a level relative to its own component root (dead switches
+/// stay -1). Levels only ever compare across one link, whose endpoints
+/// share a component, so independent per-component numberings are fine.
+std::vector<std::int32_t> masked_levels(const topo::Graph& g,
+                                        const topo::SubgraphMask& mask,
+                                        topo::SwitchId preferred_root,
+                                        topo::SwitchId& primary_root) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<std::int32_t> level(n, -1);
+  primary_root = topo::kInvalidId;
+  auto pick_root = [&]() -> topo::SwitchId {
+    topo::SwitchId best = topo::kInvalidId;
+    std::int32_t best_deg = -1;
+    for (topo::SwitchId s = 0; s < g.num_vertices(); ++s) {
+      if (!mask.switch_alive(s) || level[static_cast<std::size_t>(s)] >= 0) {
+        continue;
+      }
+      const auto d = alive_degree(g, mask, s);
+      if (d > best_deg) {
+        best = s;
+        best_deg = d;
+      }
+    }
+    return best;
+  };
+  bool first = true;
+  for (;;) {
+    topo::SwitchId root = topo::kInvalidId;
+    if (first && preferred_root >= 0 && mask.switch_alive(preferred_root)) {
+      root = preferred_root;
+    } else {
+      root = pick_root();
+    }
+    if (root < 0) break;
+    if (first) primary_root = root;
+    first = false;
+    const auto component = g.bfs_levels(root, mask);
+    for (std::size_t s = 0; s < n; ++s) {
+      if (component[s] >= 0 && level[s] < 0) level[s] = component[s];
+    }
+  }
+  return level;
+}
+
 }  // namespace
 
 namespace {
@@ -68,15 +122,42 @@ UpDownRouter::UpDownRouter(const topo::Graph& g,
   up_end_ = orient_links(g, level_);
 }
 
+UpDownRouter::UpDownRouter(const topo::Graph& g, topo::SubgraphMask mask,
+                           topo::SwitchId preferred_root)
+    : graph_{g}, mask_{std::move(mask)} {
+  if (!mask_.dead_link.empty() &&
+      mask_.dead_link.size() != static_cast<std::size_t>(g.num_edges())) {
+    throw std::invalid_argument("UpDownRouter: dead_link size mismatch");
+  }
+  if (!mask_.dead_switch.empty() &&
+      mask_.dead_switch.size() != static_cast<std::size_t>(g.num_vertices())) {
+    throw std::invalid_argument("UpDownRouter: dead_switch size mismatch");
+  }
+  level_ = masked_levels(g, mask_, preferred_root, root_);
+  up_end_ = orient_links(g, level_);
+}
+
 bool UpDownRouter::is_up(topo::LinkId link, topo::SwitchId from) const {
   // Moving out of `from` is "up" when the *other* end is the up end.
   return graph_.edge(link).other(from) == up_end(link);
 }
 
 SwitchRoute UpDownRouter::route(topo::SwitchId src, topo::SwitchId dst) const {
+  auto r = try_route(src, dst);
+  if (!r) {
+    throw NoLegalRoute("UpDownRouter::route: no legal up*/down* route");
+  }
+  return *std::move(r);
+}
+
+std::optional<SwitchRoute> UpDownRouter::try_route(topo::SwitchId src,
+                                                   topo::SwitchId dst) const {
   if (src < 0 || src >= graph_.num_vertices() || dst < 0 ||
       dst >= graph_.num_vertices()) {
     throw std::invalid_argument("UpDownRouter::route: switch out of range");
+  }
+  if (!mask_.switch_alive(src) || !mask_.switch_alive(dst)) {
+    return std::nullopt;
   }
   if (src == dst) return SwitchRoute{{src}, {}, {}};
 
@@ -120,7 +201,9 @@ SwitchRoute UpDownRouter::route(topo::SwitchId src, topo::SwitchId dst) const {
               });
 
     for (topo::LinkId e : links) {
+      if (!mask_.link_alive(e)) continue;
       const topo::SwitchId w = graph_.edge(e).other(v);
+      if (!mask_.switch_alive(w)) continue;
       const bool up_move = is_up(e, v);
       if (up_move && phase != 0) continue;  // down->up turn is illegal
       const std::int8_t next_phase = up_move ? std::int8_t{0} : std::int8_t{1};
@@ -137,7 +220,7 @@ SwitchRoute UpDownRouter::route(topo::SwitchId src, topo::SwitchId dst) const {
   const auto d0 = dist[0][static_cast<std::size_t>(dst)];
   const auto d1 = dist[1][static_cast<std::size_t>(dst)];
   if (d0 == kUnvisited && d1 == kUnvisited) {
-    throw NoLegalRoute("UpDownRouter::route: no legal up*/down* route");
+    return std::nullopt;
   }
   // Prefer the shorter; ties go to the pure-up arrival (phase 0), which is
   // the deterministic first-found in our BFS order as well.

@@ -33,8 +33,19 @@ class UpDownRouter final : public Router {
   /// any consistent orientation forbidding down->up turns is.
   UpDownRouter(const topo::Graph& g, std::vector<std::int32_t> levels);
 
+  /// Orientation over the surviving subgraph after fault injection. The
+  /// graph may be disconnected: each surviving component is oriented by
+  /// its own BFS (roots picked by highest alive degree, lowest id on
+  /// ties; `preferred_root` wins for its component when alive). Pairs in
+  /// different components are unreachable — try_route() reports nullopt
+  /// and route() throws NoLegalRoute for them.
+  UpDownRouter(const topo::Graph& g, topo::SubgraphMask mask,
+               topo::SwitchId preferred_root = -1);
+
   [[nodiscard]] SwitchRoute route(topo::SwitchId src,
                                   topo::SwitchId dst) const override;
+  [[nodiscard]] std::optional<SwitchRoute> try_route(
+      topo::SwitchId src, topo::SwitchId dst) const override;
   [[nodiscard]] const char* name() const override { return "up*/down*"; }
 
   [[nodiscard]] topo::SwitchId root() const { return root_; }
@@ -48,9 +59,12 @@ class UpDownRouter final : public Router {
   /// True when traversing `link` out of `from` moves in the up direction.
   [[nodiscard]] bool is_up(topo::LinkId link, topo::SwitchId from) const;
 
+  [[nodiscard]] const topo::SubgraphMask& mask() const { return mask_; }
+
  private:
   const topo::Graph& graph_;
   topo::SwitchId root_;
+  topo::SubgraphMask mask_;  ///< empty (all alive) for the full-graph ctors
   std::vector<std::int32_t> level_;
   std::vector<topo::SwitchId> up_end_;
 };

@@ -5,6 +5,16 @@
 
 namespace nimcast::topo {
 
+bool SubgraphMask::any_dead() const {
+  for (const bool d : dead_link) {
+    if (d) return true;
+  }
+  for (const bool d : dead_switch) {
+    if (d) return true;
+  }
+  return false;
+}
+
 Graph::Graph(std::int32_t num_vertices, std::vector<Edge> edges)
     : num_vertices_{num_vertices}, edges_{std::move(edges)} {
   if (num_vertices < 0) throw std::invalid_argument("Graph: negative size");
@@ -50,6 +60,30 @@ std::vector<std::int32_t> Graph::bfs_levels(SwitchId root) const {
     q.pop();
     for (LinkId e : incident(v)) {
       const SwitchId w = edge(e).other(v);
+      auto& lw = level[static_cast<std::size_t>(w)];
+      if (lw < 0) {
+        lw = level[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<std::int32_t> Graph::bfs_levels(SwitchId root,
+                                            const SubgraphMask& mask) const {
+  std::vector<std::int32_t> level(static_cast<std::size_t>(num_vertices_), -1);
+  if (num_vertices_ == 0 || !mask.switch_alive(root)) return level;
+  std::queue<SwitchId> q;
+  level[static_cast<std::size_t>(root)] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const SwitchId v = q.front();
+    q.pop();
+    for (LinkId e : incident(v)) {
+      if (!mask.link_alive(e)) continue;
+      const SwitchId w = edge(e).other(v);
+      if (!mask.switch_alive(w)) continue;
       auto& lw = level[static_cast<std::size_t>(w)];
       if (lw < 0) {
         lw = level[static_cast<std::size_t>(v)] + 1;

@@ -8,6 +8,23 @@
 
 namespace nimcast::topo {
 
+/// Liveness mask over a graph's switches and links: the surviving
+/// subgraph after fault injection. Empty vectors mean "everything alive",
+/// so the default-constructed mask is free to consult — the zero-fault
+/// fast path never allocates or branches on per-element state.
+struct SubgraphMask {
+  std::vector<bool> dead_link;    ///< indexed by LinkId when non-empty
+  std::vector<bool> dead_switch;  ///< indexed by SwitchId when non-empty
+
+  [[nodiscard]] bool link_alive(LinkId e) const {
+    return dead_link.empty() || !dead_link[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] bool switch_alive(SwitchId s) const {
+    return dead_switch.empty() || !dead_switch[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] bool any_dead() const;
+};
+
 /// Undirected multigraph over switches.
 ///
 /// Parallel links between the same pair of switches are allowed (the
@@ -45,6 +62,11 @@ class Graph {
 
   /// BFS levels from `root`; unreachable vertices get -1.
   [[nodiscard]] std::vector<std::int32_t> bfs_levels(SwitchId root) const;
+
+  /// Mask-aware BFS levels: traverses only links whose link and both
+  /// endpoint switches survive `mask`. A dead root yields all -1.
+  [[nodiscard]] std::vector<std::int32_t> bfs_levels(
+      SwitchId root, const SubgraphMask& mask) const;
 
  private:
   std::int32_t num_vertices_;

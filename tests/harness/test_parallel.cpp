@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -61,6 +62,67 @@ TEST(WorkerPool, PropagatesExceptions) {
                                    }),
                std::runtime_error);
   // The pool must stay usable after a failed batch.
+  std::atomic<int> ran{0};
+  pool.for_each_index(8, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(WorkerPool, ThrowSurfacesOnCallingThreadAndPoolDrains) {
+  // A replication that throws inside a worker must surface as a normal
+  // catchable exception on the thread that called for_each_index, with
+  // the batch fully drained before control returns.
+  WorkerPool pool{4};
+  const auto caller = std::this_thread::get_id();
+  bool caught = false;
+  try {
+    pool.for_each_index(32, [](std::size_t i) {
+      if (i == 7) throw std::logic_error("replication 7 failed");
+    });
+  } catch (const std::logic_error& e) {
+    caught = true;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_STREQ(e.what(), "replication 7 failed");
+  }
+  EXPECT_TRUE(caught);
+  // Drained: the very next batch runs to completion on the same pool.
+  std::atomic<int> ran{0};
+  pool.for_each_index(16, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(WorkerPool, FirstErrorWinsOnTheInlinePath) {
+  // threads <= 1 runs inline in index order, so "first one wins" is
+  // deterministic: the earliest throwing index is the one reported.
+  WorkerPool pool{1};
+  try {
+    pool.for_each_index(64, [](std::size_t i) {
+      if (i == 5 || i == 13) {
+        throw std::runtime_error("job " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 5");
+  }
+}
+
+TEST(WorkerPool, ExactlyOneOfManyConcurrentErrorsSurvives) {
+  // Every job throws; exactly one of those exceptions must surface,
+  // intact, and the rest are swallowed without corrupting the pool.
+  WorkerPool pool{4};
+  try {
+    pool.for_each_index(64, [](std::size_t i) {
+      throw std::runtime_error("job " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string{e.what()}.rfind("job ", 0), 0u)
+        << "surviving error must be one of the thrown ones, unmangled";
+  }
   std::atomic<int> ran{0};
   pool.for_each_index(8, [&](std::size_t) {
     ran.fetch_add(1, std::memory_order_relaxed);

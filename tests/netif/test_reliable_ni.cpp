@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "core/host_tree.hpp"
 #include "core/kbinomial.hpp"
 #include "mcast/multicast_engine.hpp"
+#include "netif/host.hpp"
+#include "netif/reliable_ni.hpp"
 #include "routing/up_down.hpp"
 
 namespace nimcast::netif {
@@ -151,6 +157,178 @@ TEST(ReliableNi, RejectsInvalidLossRate) {
   EXPECT_THROW((net::WormholeNetwork{simctx, rig.topology, rig.routes,
                                      netcfg}),
                std::invalid_argument);
+}
+
+// --- Protocol corner cases, driven against bare NIs with a packet
+// interceptor in deliver_to (the knob the engine normally installs). ---
+
+/// Three hosts on one switch, wired directly: `drop` filters packets in
+/// flight (return true to lose one), everything else is logged and
+/// handed to the destination NI.
+struct DirectRig {
+  sim::Simulator simctx;
+  topo::Topology topology{topo::Graph{1, {}},
+                          std::vector<topo::SwitchId>(3, 0), "star3"};
+  routing::UpDownRouter router{topology.switches()};
+  routing::RouteTable routes{topology, router};
+  net::WormholeNetwork network{simctx, topology, routes, {}};
+  SystemParams params{};
+  std::vector<std::unique_ptr<ReliableFpfsNi>> nis;
+  std::function<bool(const net::Packet&)> drop;
+  std::vector<net::Packet> delivered_log;
+
+  explicit DirectRig(ReliabilityParams rel = {}) {
+    for (topo::HostId h = 0; h < 3; ++h) {
+      nis.push_back(std::make_unique<ReliableFpfsNi>(simctx, network, params,
+                                                     rel, h));
+    }
+    for (auto& ni : nis) {
+      ni->deliver_to = [this](topo::HostId dest, const net::Packet& p) {
+        if (drop && drop(p)) return;
+        delivered_log.push_back(p);
+        nis[static_cast<std::size_t>(dest)]->deliver(p);
+      };
+    }
+  }
+
+  [[nodiscard]] int count(std::function<bool(const net::Packet&)> pred) const {
+    int n = 0;
+    for (const auto& p : delivered_log) {
+      if (pred(p)) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] static bool is_ack(const net::Packet& p) {
+    return p.tag == ReliableFpfsNi::kAckTag;
+  }
+};
+
+TEST(ReliableNiCorners, LostAckDuplicateIsReAckedButNotReForwarded) {
+  // Chain 0 -> 1 -> 2. The first ACK 1 -> 0 is lost, so 0 retransmits;
+  // node 1 must re-ACK the duplicate without forwarding it to 2 again.
+  DirectRig rig;
+  rig.nis[0]->install(1, ForwardingEntry{{1}, 1, /*is_destination=*/false});
+  rig.nis[1]->install(1, ForwardingEntry{{2}, 1, true});
+  rig.nis[2]->install(1, ForwardingEntry{{}, 1, true});
+  int acks_dropped = 0;
+  rig.drop = [&](const net::Packet& p) {
+    if (DirectRig::is_ack(p) && p.sender == 1 && p.dest == 0 &&
+        acks_dropped == 0) {
+      ++acks_dropped;
+      return true;
+    }
+    return false;
+  };
+  std::vector<topo::HostId> completed;
+  for (auto& ni : rig.nis) {
+    ni->on_message_at_ni = [&](topo::HostId h, net::MessageId) {
+      completed.push_back(h);
+    };
+  }
+  Host source{rig.simctx, 0, rig.params};
+  rig.nis[0]->start_from_host(1, source);
+  rig.simctx.run();
+
+  EXPECT_EQ(acks_dropped, 1);
+  EXPECT_EQ(rig.nis[0]->retransmissions(), 1);
+  // The duplicate was detected exactly once and swallowed...
+  EXPECT_EQ(rig.nis[1]->duplicates_seen(), 1);
+  // ...not re-forwarded: host 2 saw exactly one data packet,
+  EXPECT_EQ(rig.count([](const net::Packet& p) {
+              return !DirectRig::is_ack(p) && p.dest == 2;
+            }),
+            1);
+  // and the re-ACK reached the parent so the protocol wound down.
+  EXPECT_EQ(rig.count([](const net::Packet& p) {
+              return DirectRig::is_ack(p) && p.sender == 1 && p.dest == 0;
+            }),
+            1);
+  EXPECT_EQ(completed, (std::vector<topo::HostId>{1, 2}))
+      << "each destination completes exactly once";
+  EXPECT_EQ(rig.nis[0]->deliveries_failed(), 0);
+  EXPECT_EQ(rig.nis[0]->buffer().current(), 0.0);
+  EXPECT_EQ(rig.nis[1]->buffer().current(), 0.0);
+}
+
+TEST(ReliableNiCorners, RepeatedAckLossCountsEachDuplicateOnce) {
+  DirectRig rig;
+  rig.nis[0]->install(1, ForwardingEntry{{1}, 1, /*is_destination=*/false});
+  rig.nis[1]->install(1, ForwardingEntry{{}, 1, true});
+  int acks_dropped = 0;
+  rig.drop = [&](const net::Packet& p) {
+    if (DirectRig::is_ack(p) && acks_dropped < 2) {
+      ++acks_dropped;
+      return true;
+    }
+    return false;
+  };
+  Host source{rig.simctx, 0, rig.params};
+  rig.nis[0]->start_from_host(1, source);
+  rig.simctx.run();
+  EXPECT_EQ(rig.nis[0]->retransmissions(), 2);
+  EXPECT_EQ(rig.nis[1]->duplicates_seen(), 2);
+  EXPECT_EQ(rig.nis[0]->buffer().current(), 0.0);
+}
+
+TEST(ReliableNiCorners, BufferSlotReleasedOnlyAfterLastChildAck) {
+  // 0 -> {1, 2}; child 2's first ACK is lost. After child 1's ACK the
+  // packet must still occupy its slot — only the last child ACK (via the
+  // retransmission to 2) releases it.
+  DirectRig rig;
+  rig.nis[0]->install(1, ForwardingEntry{{1, 2}, 1, /*is_destination=*/false});
+  rig.nis[1]->install(1, ForwardingEntry{{}, 1, true});
+  rig.nis[2]->install(1, ForwardingEntry{{}, 1, true});
+  int acks_dropped = 0;
+  double occupancy_after_first_ack = -1.0;
+  rig.drop = [&](const net::Packet& p) {
+    if (DirectRig::is_ack(p) && p.sender == 2 && acks_dropped == 0) {
+      ++acks_dropped;
+      return true;
+    }
+    if (DirectRig::is_ack(p) && p.sender == 1) {
+      // Probe well after this ACK is processed but long before the
+      // retransmission timeout (~2x RTT) can re-reach child 2.
+      rig.simctx.schedule_in(sim::Time::us(5.0), [&] {
+        occupancy_after_first_ack = rig.nis[0]->buffer().current();
+      });
+    }
+    return false;
+  };
+  Host source{rig.simctx, 0, rig.params};
+  rig.nis[0]->start_from_host(1, source);
+  rig.simctx.run();
+  EXPECT_EQ(acks_dropped, 1);
+  EXPECT_EQ(occupancy_after_first_ack, 1.0)
+      << "slot must stay held while one child ACK is outstanding";
+  EXPECT_EQ(rig.nis[0]->retransmissions(), 1);
+  EXPECT_EQ(rig.nis[0]->buffer().current(), 0.0)
+      << "last child ACK releases the slot";
+}
+
+TEST(ReliableNiCorners, BudgetExhaustionFiresCallbackInsteadOfThrowing) {
+  ReliabilityParams rel;
+  rel.max_retransmissions = 3;
+  DirectRig rig{rel};
+  rig.nis[0]->install(1, ForwardingEntry{{1}, 1, /*is_destination=*/false});
+  rig.nis[1]->install(1, ForwardingEntry{{}, 1, true});
+  // Lose every data packet: the edge can never be acknowledged.
+  rig.drop = [](const net::Packet& p) { return !DirectRig::is_ack(p); };
+  std::vector<topo::HostId> failed_children;
+  rig.nis[0]->on_delivery_failure = [&](net::MessageId m, std::int32_t index,
+                                        topo::HostId child) {
+    EXPECT_EQ(m, 1);
+    EXPECT_EQ(index, 0);
+    failed_children.push_back(child);
+  };
+  Host source{rig.simctx, 0, rig.params};
+  rig.nis[0]->start_from_host(1, source);
+  EXPECT_NO_THROW(rig.simctx.run());
+  EXPECT_EQ(rig.nis[0]->deliveries_failed(), 1);
+  EXPECT_EQ(failed_children, (std::vector<topo::HostId>{1}));
+  EXPECT_GE(rig.nis[0]->retransmissions(), rel.max_retransmissions);
+  EXPECT_EQ(rig.nis[0]->buffer().current(), 0.0)
+      << "giving up must release the buffer obligation";
 }
 
 }  // namespace

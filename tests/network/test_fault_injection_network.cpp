@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "network/fault_plan.hpp"
+#include "network/wormhole_network.hpp"
+#include "routing/repair.hpp"
+#include "routing/up_down.hpp"
+#include "sim/rng.hpp"
+
+namespace nimcast::net {
+namespace {
+
+/// Line of three switches 0-1-2 with one host on each (host i on switch
+/// i) plus a second host (3) on switch 0. Link 0 is sw0-sw1, link 1 is
+/// sw1-sw2.
+struct Rig {
+  topo::Topology topology{topo::Graph{3, {{0, 1}, {1, 2}}},
+                          {0, 1, 2, 0},
+                          "line"};
+  routing::UpDownRouter router{topology.switches()};
+  routing::RouteTable routes{topology, router};
+  sim::Simulator simctx;
+  WormholeNetwork net;
+
+  explicit Rig(NetworkConfig cfg = {})
+      : net{simctx, topology, routes, std::move(cfg)} {}
+
+  Packet packet(topo::HostId from, topo::HostId to, std::int32_t idx = 0) {
+    Packet p;
+    p.message = 1;
+    p.packet_index = idx;
+    p.packet_count = 8;
+    p.sender = from;
+    p.dest = to;
+    return p;
+  }
+};
+
+NetworkConfig with_faults(FaultPlan plan,
+                          ReleaseModel model = ReleaseModel::kAtDelivery) {
+  NetworkConfig cfg;
+  cfg.faults = std::move(plan);
+  cfg.release_model = model;
+  return cfg;
+}
+
+TEST(FaultPlan, SortsByTimeWithInsertionOrderOnTies) {
+  FaultPlan plan;
+  plan.link_down(sim::Time::us(5.0), 1)
+      .switch_down(sim::Time::us(1.0), 2)
+      .link_up(sim::Time::us(5.0), 0);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kSwitchDown);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kLinkUp);
+}
+
+TEST(FaultPlan, RejectsNegativeTimeAndId) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.link_down(sim::Time::us(-1.0), 0), std::invalid_argument);
+  EXPECT_THROW(plan.switch_down(sim::Time::us(1.0), -1),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, RandomIsAPureFunctionOfTheSeed) {
+  const topo::Graph g{4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}};
+  FaultPlan::RandomConfig cfg;
+  cfg.link_fail_prob = 0.5;
+  cfg.switch_fail_prob = 0.25;
+  cfg.link_recover_after = sim::Time::us(10.0);
+  sim::Rng a{42}, b{42}, c{43};
+  const FaultPlan pa = FaultPlan::random(g, cfg, a);
+  const FaultPlan pb = FaultPlan::random(g, cfg, b);
+  const FaultPlan pc = FaultPlan::random(g, cfg, c);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa.events()[i].at, pb.events()[i].at);
+    EXPECT_EQ(pa.events()[i].kind, pb.events()[i].kind);
+    EXPECT_EQ(pa.events()[i].id, pb.events()[i].id);
+  }
+  // A different seed draws a different plan (with these probabilities on
+  // this graph the chance of an identical schedule is negligible).
+  bool same = pa.size() == pc.size();
+  for (std::size_t i = 0; same && i < pa.size(); ++i) {
+    same = pa.events()[i].at == pc.events()[i].at &&
+           pa.events()[i].id == pc.events()[i].id;
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(FaultPlan, RandomEventsStayInsideTheWindow) {
+  const topo::Graph g{4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}};
+  FaultPlan::RandomConfig cfg;
+  cfg.link_fail_prob = 1.0;
+  cfg.window_start = sim::Time::us(10.0);
+  cfg.window_end = sim::Time::us(20.0);
+  sim::Rng rng{7};
+  const FaultPlan plan = FaultPlan::random(g, cfg, rng);
+  ASSERT_EQ(plan.size(), 4u);  // every link fails, none recover
+  for (const auto& ev : plan.events()) {
+    EXPECT_GE(ev.at, sim::Time::us(10.0));
+    EXPECT_LT(ev.at, sim::Time::us(20.0));
+  }
+}
+
+TEST(FaultInjection, NetworkRejectsOutOfRangeFaultIds) {
+  FaultPlan bad_link;
+  bad_link.link_down(sim::Time::us(1.0), 2);  // only links 0 and 1 exist
+  EXPECT_THROW(Rig{with_faults(bad_link)}, std::invalid_argument);
+  FaultPlan bad_switch;
+  bad_switch.switch_down(sim::Time::us(1.0), 3);
+  EXPECT_THROW(Rig{with_faults(bad_switch)}, std::invalid_argument);
+}
+
+TEST(FaultInjection, LinkDownMidFlightTruncatesTheWorm) {
+  // 0 -> 2 acquires injection at 0, link0 at 0.1, link1 at 0.2; killing
+  // link 1 at 0.25 catches the worm holding three channels.
+  FaultPlan plan;
+  plan.link_down(sim::Time::us(0.25), 1);
+  Rig rig{with_faults(plan)};
+  bool delivered = false;
+  rig.net.send(rig.packet(0, 2), [&](const Packet&) { delivered = true; });
+  rig.simctx.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(rig.net.in_flight(), 0);
+  EXPECT_EQ(rig.net.packets_killed(), 1);
+  EXPECT_EQ(rig.net.packets_dropped(), 1);
+  EXPECT_EQ(rig.net.packets_delivered(), 0);
+  EXPECT_EQ(rig.net.faults_applied(), 1);
+  EXPECT_TRUE(rig.net.fault_state().any_dead());
+
+  // Every channel the dead worm held must be free again: a send over the
+  // surviving segment (same injection channel, same link 0) delivers at
+  // the uncontended latency from now.
+  const sim::Time resend = rig.simctx.now();
+  sim::Time delivered_at;
+  rig.net.send(rig.packet(0, 1, 1),
+               [&](const Packet&) { delivered_at = rig.simctx.now(); });
+  rig.simctx.run();
+  EXPECT_EQ(delivered_at - resend, rig.net.uncontended_latency(1));
+  EXPECT_EQ(rig.net.in_flight(), 0);
+}
+
+TEST(FaultInjection, HeaderArrivingAtDeadChannelIsKilled) {
+  // The fault fires before the worm reaches link 1: the header walks into
+  // the dead channel and the worm truncates there (stale routes still
+  // point through it).
+  FaultPlan plan;
+  plan.link_down(sim::Time::us(0.05), 1);
+  Rig rig{with_faults(plan)};
+  bool delivered = false;
+  rig.net.send(rig.packet(0, 2), [&](const Packet&) { delivered = true; });
+  rig.simctx.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(rig.net.in_flight(), 0);
+  EXPECT_EQ(rig.net.packets_killed(), 1);
+}
+
+TEST(FaultInjection, RebindingRepairedRoutesDropsUnreachableAtInjection) {
+  FaultPlan plan;
+  plan.link_down(sim::Time::us(0.05), 1);
+  Rig rig{with_faults(plan)};
+  std::unique_ptr<routing::RouteTable> repaired;
+  rig.net.on_fault = [&](const FaultEvent&) {
+    repaired = routing::rebuild_updown(rig.topology, rig.net.fault_state(),
+                                       /*epoch=*/1);
+    rig.net.rebind_routes(*repaired);
+  };
+  rig.simctx.run();  // apply the fault; nothing else scheduled
+  ASSERT_NE(repaired, nullptr);
+  EXPECT_EQ(rig.net.routes().epoch(), 1);
+  EXPECT_FALSE(rig.net.reachable(0, 2));
+  EXPECT_TRUE(rig.net.reachable(0, 1));
+
+  // Now the injection-time check fires: the packet consumes no wire time
+  // and is not a kill (the worm never existed).
+  rig.net.send(rig.packet(0, 2), [](const Packet&) { FAIL(); });
+  rig.simctx.run();
+  EXPECT_EQ(rig.net.packets_dropped(), 1);
+  EXPECT_EQ(rig.net.packets_killed(), 0);
+  EXPECT_EQ(rig.net.in_flight(), 0);
+}
+
+TEST(FaultInjection, LinkRecoversAndCarriesTrafficAgain) {
+  FaultPlan plan;
+  plan.link_down(sim::Time::us(1.0), 1).link_up(sim::Time::us(2.0), 1);
+  Rig rig{with_faults(plan)};
+  bool delivered = false;
+  rig.simctx.schedule_at(sim::Time::us(3.0), [&] {
+    rig.net.send(rig.packet(0, 2), [&](const Packet&) { delivered = true; });
+  });
+  rig.simctx.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(rig.net.faults_applied(), 2);
+  EXPECT_FALSE(rig.net.fault_state().any_dead());
+  EXPECT_EQ(rig.net.packets_killed(), 0);
+}
+
+TEST(FaultInjection, SwitchDownKillsHolderAndStrandedWaiterAlike) {
+  // Worms 0->2 and 3->2 contend on link 0's forward channel; killing
+  // switch 2 condemns link 1 and both ejection channels. The holder dies
+  // walking into the dead channel; the parked waiter inherits link 0 on
+  // the kill hand-off and dies the same way. No occupancy leaks.
+  FaultPlan plan;
+  plan.switch_down(sim::Time::us(0.15), 2);
+  Rig rig{with_faults(plan)};
+  int delivered = 0;
+  rig.net.send(rig.packet(0, 2), [&](const Packet&) { ++delivered; });
+  rig.net.send(rig.packet(3, 2, 1), [&](const Packet&) { ++delivered; });
+  rig.simctx.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(rig.net.in_flight(), 0);
+  EXPECT_EQ(rig.net.packets_killed(), 2);
+  EXPECT_FALSE(rig.net.host_alive(2));
+  EXPECT_TRUE(rig.net.host_alive(0));
+
+  // Hosts 0, 1, 3 survive; 0 -> 1 still works over link 0.
+  const sim::Time resend = rig.simctx.now();
+  sim::Time at;
+  rig.net.send(rig.packet(0, 1, 2),
+               [&](const Packet&) { at = rig.simctx.now(); });
+  rig.simctx.run();
+  EXPECT_EQ(at - resend, rig.net.uncontended_latency(1));
+}
+
+TEST(FaultInjection, PipelinedDrainKillCancelsPendingReleases) {
+  // Kill link 0 at 0.55us: the 0 -> 2 worm is draining (final channel
+  // acquired at 0.3), its injection channel already released by the
+  // staggered schedule (at 0.5), link 0 and later still pending. The
+  // kill must free exactly the still-held channels — a double release
+  // would corrupt FIFO hand-off for the next worm.
+  FaultPlan plan;
+  plan.link_down(sim::Time::us(0.55), 0);
+  Rig rig{with_faults(plan, ReleaseModel::kPipelined)};
+  bool delivered = false;
+  rig.net.send(rig.packet(0, 2), [&](const Packet&) { delivered = true; });
+  rig.simctx.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(rig.net.in_flight(), 0);
+  EXPECT_EQ(rig.net.packets_killed(), 1);
+
+  // Host 3 shares switch 0; its path to host 0 uses only injection +
+  // ejection channels, both of which must be free.
+  const sim::Time resend = rig.simctx.now();
+  sim::Time at;
+  rig.net.send(rig.packet(3, 0, 1),
+               [&](const Packet&) { at = rig.simctx.now(); });
+  rig.simctx.run();
+  EXPECT_EQ(at - resend, rig.net.uncontended_latency(0));
+}
+
+TEST(FaultInjection, DrainingWormSurvivesFaultBehindIt) {
+  // By 0.55us the pipelined worm has released its injection channel; a
+  // fault on a channel it no longer holds must not kill it.
+  FaultPlan plan;
+  plan.switch_down(sim::Time::us(0.55), 0);
+  NetworkConfig cfg = with_faults(plan, ReleaseModel::kPipelined);
+  Rig rig{std::move(cfg)};
+  bool delivered = false;
+  rig.net.send(rig.packet(0, 2), [&](const Packet&) { delivered = true; });
+  rig.simctx.run();
+  // Switch 0's death condemns link 0 and host 0/3 channels. The worm
+  // still holds link 0's channel at 0.55 (release due 0.6), so it dies;
+  // re-run with the fault a touch later to see it survive.
+  EXPECT_FALSE(delivered);
+
+  FaultPlan late;
+  late.switch_down(sim::Time::us(0.75), 0);
+  Rig rig2{with_faults(late, ReleaseModel::kPipelined)};
+  bool delivered2 = false;
+  rig2.net.send(rig2.packet(0, 2), [&](const Packet&) { delivered2 = true; });
+  rig2.simctx.run();
+  // At 0.75 the worm holds only link 1 and the ejection channel, both
+  // alive: it drains normally at 0.8 despite its source switch dying.
+  EXPECT_TRUE(delivered2);
+  EXPECT_EQ(rig2.net.packets_killed(), 0);
+}
+
+TEST(FaultInjection, OnFaultFiresWithTheAppliedEvent) {
+  FaultPlan plan;
+  plan.link_down(sim::Time::us(2.0), 0).switch_down(sim::Time::us(4.0), 2);
+  Rig rig{with_faults(plan)};
+  std::vector<FaultEvent> seen;
+  rig.net.on_fault = [&](const FaultEvent& ev) { seen.push_back(ev); };
+  rig.simctx.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(seen[0].id, 0);
+  EXPECT_EQ(seen[0].at, sim::Time::us(2.0));
+  EXPECT_EQ(seen[1].kind, FaultKind::kSwitchDown);
+  EXPECT_EQ(seen[1].id, 2);
+}
+
+TEST(FaultInjection, ZeroFaultPlanLeavesTimingBitIdentical) {
+  Rig pristine;  // no fault layer state at all
+  FaultPlan empty;
+  Rig with_empty{with_faults(empty)};
+  sim::Time t1, t2;
+  pristine.net.send(pristine.packet(0, 2),
+                    [&](const Packet&) { t1 = pristine.simctx.now(); });
+  with_empty.net.send(with_empty.packet(0, 2),
+                      [&](const Packet&) { t2 = with_empty.simctx.now(); });
+  pristine.simctx.run();
+  with_empty.simctx.run();
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(with_empty.net.faults_applied(), 0);
+}
+
+}  // namespace
+}  // namespace nimcast::net
