@@ -1,0 +1,373 @@
+// Scale-out sweep: the testbed harness driven far past the paper's
+// 64-host rig. For fat-tree and irregular fabrics at n in {64, 256, 1024}
+// hosts x m in {1, 16} packets it measures broadcast latency over random
+// destination sets and reports simulator events/sec, peak RSS, and
+// route-table build time/footprint, then compares the compressed (lazy)
+// RouteTable against an eager all-pairs build of the same largest fabric.
+// Emits BENCH_scale.json (see docs/perf.md).
+//
+// Flags:
+//   --quick           smoke sizing (also triggered by NIMCAST_QUICK=1);
+//                     the eager-vs-compressed comparison drops to n=256
+//   --gate-baseline [path]
+//                     perf gate against a recorded BENCH_sim_core.json
+//                     (default results/BENCH_sim_core.json): re-runs that
+//                     bench's serial 64-host sweep and fails if wall time
+//                     exceeds 1.10x the recorded value after normalizing
+//                     by the churn microbench ratio (machine speed), i.e.
+//                     if 64-host throughput regressed > 10%.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "routing/route_table.hpp"
+#include "routing/up_down.hpp"
+#include "topology/fat_tree.hpp"
+
+using namespace nimcast;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// VmHWM (peak resident set) in kB from /proc/self/status; 0 when the
+/// proc interface is unavailable.
+std::size_t peak_rss_kb() {
+  std::size_t kb = 0;
+  if (FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+  }
+  return kb;
+}
+
+struct PointResult {
+  const char* fabric = "";
+  std::int32_t hosts = 0;
+  std::int32_t m = 0;
+  std::int32_t reps = 0;
+  double build_ms = 0.0;          ///< topology + routes + CCO construction
+  double wall_ms = 0.0;           ///< measure() wall time
+  double events_total = 0.0;      ///< simulator events across all reps
+  double events_per_sec = 0.0;    ///< events_total / measure wall time
+  double latency_us_mean = 0.0;
+  std::size_t route_bytes = 0;    ///< compressed footprint after the sweep
+  std::size_t rss_kb = 0;         ///< process VmHWM after the point
+};
+
+/// Replication counts shrink with scale so the full sweep stays in
+/// minutes on one core; quick mode is a smoke run.
+void size_spec(harness::TestbedSpec& spec, bool quick) {
+  const std::int32_t hosts = spec.num_hosts;
+  if (spec.fabric == harness::FabricKind::kIrregular) {
+    if (hosts <= 64) {
+      spec.num_topologies = quick ? 2 : 10;
+      spec.sets_per_topology = quick ? 3 : 30;
+    } else if (hosts <= 256) {
+      spec.num_topologies = quick ? 1 : 3;
+      spec.sets_per_topology = quick ? 2 : 10;
+    } else {
+      spec.num_topologies = 1;
+      spec.sets_per_topology = quick ? 1 : 3;
+    }
+  } else {
+    spec.num_topologies = 1;  // deterministic fabric
+    if (hosts <= 64) {
+      spec.sets_per_topology = quick ? 3 : 30;
+    } else if (hosts <= 256) {
+      spec.sets_per_topology = quick ? 2 : 10;
+    } else {
+      spec.sets_per_topology = quick ? 1 : 3;
+    }
+  }
+}
+
+PointResult run_point(harness::FabricKind fabric, std::int32_t hosts,
+                      std::int32_t m, bool quick) {
+  harness::TestbedSpec spec =
+      fabric == harness::FabricKind::kFatTree
+          ? harness::TestbedSpec::make_fat_tree(hosts)
+          : harness::TestbedSpec::make_irregular(hosts);
+  size_spec(spec, quick);
+
+  PointResult r;
+  r.fabric =
+      fabric == harness::FabricKind::kFatTree ? "fat_tree" : "irregular";
+  r.hosts = hosts;
+  r.m = m;
+  r.reps = spec.num_topologies * spec.sets_per_topology;
+
+  const harness::Testbed bed{spec};
+  r.build_ms = bed.build_ms();
+
+  const auto start = Clock::now();
+  // Full broadcast (n = hosts): the densest traffic the fabric carries,
+  // and the point where route-table coverage is widest.
+  const harness::MeasurePoint p =
+      bed.measure(hosts, m, harness::TreeSpec::optimal(),
+                  mcast::NiStyle::kSmartFpfs);
+  r.wall_ms = ms_since(start);
+
+  r.events_total = p.events.mean() * static_cast<double>(p.events.count());
+  r.events_per_sec = r.events_total / (r.wall_ms / 1000.0);
+  r.latency_us_mean = p.latency_us.mean();
+  r.route_bytes = bed.route_memory_bytes();
+  r.rss_kb = peak_rss_kb();
+
+  std::printf("%-9s n=%-5d m=%-3d reps=%-3d build %8.1f ms | sweep "
+              "%9.1f ms | %10.3g events/sec | routes %8.1f KiB | "
+              "RSS %7zu MB\n",
+              r.fabric, r.hosts, r.m, r.reps, r.build_ms, r.wall_ms,
+              r.events_per_sec,
+              static_cast<double>(r.route_bytes) / 1024.0, r.rss_kb / 1024);
+  bench::expect_shape(r.events_total > 0.0,
+                      std::string(r.fabric) + " sweep dispatched events");
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Eager-vs-compressed comparison on one fat-tree fabric: build both
+// tables on the identical topology/router, compare construction wall
+// time and heap footprint. The compressed side is measured *after*
+// materializing every switch pair the broadcast sweep can touch (all of
+// them, via path()), so the ratio is an upper bound on its footprint.
+
+struct StorageCompare {
+  std::int32_t hosts = 0;
+  double eager_build_ms = 0.0;
+  double compressed_build_ms = 0.0;
+  std::size_t eager_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  double memory_ratio = 0.0;
+};
+
+StorageCompare compare_storage(std::int32_t hosts) {
+  const harness::TestbedSpec spec = harness::TestbedSpec::make_fat_tree(hosts);
+  const topo::Topology topology = topo::make_fat_tree(spec.fat_tree);
+  const auto router = std::make_shared<const routing::UpDownRouter>(
+      topology.switches(), topo::fat_tree_levels(spec.fat_tree));
+
+  StorageCompare c;
+  c.hosts = hosts;
+
+  auto start = Clock::now();
+  {
+    const routing::RouteTable eager{topology, *router};
+    c.eager_build_ms = ms_since(start);
+    c.eager_bytes = eager.memory_bytes();
+  }
+
+  start = Clock::now();
+  const routing::RouteTable compressed{topology, router};
+  c.compressed_build_ms = ms_since(start);
+  // Touch every pair so the compressed footprint is its worst case (the
+  // sweeps above only materialize pairs traffic crosses).
+  for (std::int32_t s = 0; s < hosts; ++s) {
+    for (std::int32_t d = 0; d < hosts; ++d) {
+      if (s != d) (void)compressed.path(s, d);
+    }
+  }
+  c.compressed_bytes = compressed.memory_bytes();
+  c.memory_ratio = static_cast<double>(c.eager_bytes) /
+                   static_cast<double>(c.compressed_bytes);
+
+  std::printf("\nstorage @ n=%d fat-tree: eager %.1f ms / %.1f MiB vs "
+              "compressed %.3f ms / %.1f KiB fully materialized "
+              "(%.1fx smaller)\n",
+              c.hosts, c.eager_build_ms,
+              static_cast<double>(c.eager_bytes) / (1024.0 * 1024.0),
+              c.compressed_build_ms,
+              static_cast<double>(c.compressed_bytes) / 1024.0,
+              c.memory_ratio);
+  bench::expect_shape(c.memory_ratio >= 5.0,
+                      "compressed route table >= 5x smaller than eager "
+                      "all-pairs at scale");
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Perf gate: the recorded BENCH_sim_core.json holds the 64-host serial
+// sweep wall time and the churn events/sec of the machine that recorded
+// it. Re-running churn here measures *this* machine; scaling the
+// recorded wall by the churn ratio predicts what the recorded build
+// would score on this box, making the 10% regression gate portable
+// across hardware.
+
+double extract_json_number(const std::string& text, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+struct GateResult {
+  bool ran = false;
+  double machine_scale = 0.0;   ///< churn now / churn recorded
+  double recorded_wall_ms = 0.0;
+  double predicted_wall_ms = 0.0;
+  double actual_wall_ms = 0.0;
+  bool passed = true;
+};
+
+GateResult run_gate(const std::string& baseline_path) {
+  GateResult g;
+  std::string text;
+  if (FILE* f = std::fopen(baseline_path.c_str(), "r")) {
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, got);
+    }
+    std::fclose(f);
+  } else {
+    bench::expect_shape(false, "gate baseline not readable: " + baseline_path);
+    return g;
+  }
+  const double recorded_churn = extract_json_number(text, "events_per_sec");
+  g.recorded_wall_ms = extract_json_number(text, "wall_ms_serial");
+  if (recorded_churn <= 0.0 || g.recorded_wall_ms <= 0.0) {
+    bench::expect_shape(false, "gate baseline missing events_per_sec / "
+                               "wall_ms_serial: " + baseline_path);
+    return g;
+  }
+
+  // Full-size probe and sweep regardless of --quick: the recorded
+  // numbers are full-size, and both finish in ~1 s.
+  (void)bench::churn_new(200'000, 512);  // warm-up
+  const bench::ChurnResult probe = bench::churn_new(2'000'000, 512);
+  g.machine_scale = probe.events_per_sec / recorded_churn;
+
+  harness::IrregularTestbed::Config cfg;  // the paper rig, full size
+  const harness::IrregularTestbed bed{cfg};
+  const auto start = Clock::now();
+  for (const std::int32_t n : {16, 32, 64}) {
+    for (const std::int32_t m : {1, 4}) {
+      (void)bed.measure(n, m, harness::TreeSpec::optimal(),
+                        mcast::NiStyle::kSmartFpfs,
+                        harness::OrderingKind::kCco, 1);
+    }
+  }
+  g.actual_wall_ms = ms_since(start);
+  g.predicted_wall_ms = g.recorded_wall_ms / g.machine_scale;
+  g.passed = g.actual_wall_ms <= 1.10 * g.predicted_wall_ms;
+  g.ran = true;
+
+  std::printf("\nperf gate: recorded %.1f ms, machine-scale %.2fx -> "
+              "predicted %.1f ms; measured %.1f ms (%s)\n",
+              g.recorded_wall_ms, g.machine_scale, g.predicted_wall_ms,
+              g.actual_wall_ms, g.passed ? "PASS" : "FAIL");
+  bench::expect_shape(g.passed,
+                      "64-host serial sweep within 10% of recorded "
+                      "baseline (machine-normalized)");
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = std::getenv("NIMCAST_QUICK") != nullptr;
+  bool gate = false;
+  std::string baseline_path = "results/BENCH_sim_core.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--gate-baseline") == 0) {
+      gate = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::printf("=== scale-out sweep (%s) ===\n\n", quick ? "quick" : "full");
+
+  std::vector<PointResult> points;
+  for (const harness::FabricKind fabric :
+       {harness::FabricKind::kFatTree, harness::FabricKind::kIrregular}) {
+    for (const std::int32_t hosts : {64, 256, 1024}) {
+      for (const std::int32_t m : {1, 16}) {
+        points.push_back(run_point(fabric, hosts, m, quick));
+      }
+    }
+  }
+
+  // Quick mode keeps the eager build affordable for sanitizer smoke
+  // runs; the full run does the headline n=1024 comparison.
+  const StorageCompare storage = compare_storage(quick ? 256 : 1024);
+
+  GateResult gate_result;
+  if (gate) gate_result = run_gate(baseline_path);
+
+  const char* out_path = std::getenv("NIMCAST_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_scale.json";
+  if (FILE* out = std::fopen(out_path, "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"scale\",\n"
+                 "  \"config\": {\n"
+                 "    \"quick\": %s,\n"
+                 "    \"sweep\": \"fat_tree + irregular, n in "
+                 "{64,256,1024} hosts, m in {1,16}, full broadcast, "
+                 "optimal tree, smart-fpfs, compressed routes\"\n"
+                 "  },\n"
+                 "  \"points\": [\n",
+                 quick ? "true" : "false");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const PointResult& r = points[i];
+      std::fprintf(out,
+                   "    {\"fabric\": \"%s\", \"hosts\": %d, \"m\": %d, "
+                   "\"reps\": %d, \"build_ms\": %.2f, \"wall_ms\": %.2f, "
+                   "\"events_total\": %.0f, \"events_per_sec\": %.1f, "
+                   "\"latency_us_mean\": %.3f, \"route_bytes\": %zu, "
+                   "\"peak_rss_kb\": %zu}%s\n",
+                   r.fabric, r.hosts, r.m, r.reps, r.build_ms, r.wall_ms,
+                   r.events_total, r.events_per_sec, r.latency_us_mean,
+                   r.route_bytes, r.rss_kb,
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"storage_compare\": {\"hosts\": %d, "
+                 "\"eager_build_ms\": %.2f, \"compressed_build_ms\": %.3f, "
+                 "\"eager_bytes\": %zu, \"compressed_bytes\": %zu, "
+                 "\"memory_ratio\": %.2f},\n",
+                 storage.hosts, storage.eager_build_ms,
+                 storage.compressed_build_ms, storage.eager_bytes,
+                 storage.compressed_bytes, storage.memory_ratio);
+    if (gate_result.ran) {
+      std::fprintf(out,
+                   "  \"gate\": {\"machine_scale\": %.3f, "
+                   "\"recorded_wall_ms\": %.2f, \"predicted_wall_ms\": "
+                   "%.2f, \"actual_wall_ms\": %.2f, \"passed\": %s},\n",
+                   gate_result.machine_scale, gate_result.recorded_wall_ms,
+                   gate_result.predicted_wall_ms, gate_result.actual_wall_ms,
+                   gate_result.passed ? "true" : "false");
+    }
+    std::fprintf(out,
+                 "  \"peak_rss_kb\": %zu,\n"
+                 "  \"git_rev\": \"%s\"\n"
+                 "}\n",
+                 peak_rss_kb(), bench::git_rev().c_str());
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    bench::expect_shape(false, std::string("could not write ") + out_path);
+  }
+
+  return bench::finish("bench_scale");
+}

@@ -76,69 +76,15 @@ class LegacyEventQueue {
 };
 
 // ---------------------------------------------------------------------------
-// Event-core microbench: a simulator-shaped churn loop. Keeps `depth`
-// events pending; each fired event reschedules itself ahead, and every
-// fourth event also schedules-then-cancels a retry timer (the
-// reliable_ni pattern that exercises cancellation).
+// The churn microbench loop itself lives in bench/common.hpp (shared with
+// bench_scale's machine-speed probe); this binary supplies the legacy-queue
+// flavor for the speedup comparison.
 
-struct ChurnResult {
-  double events_per_sec = 0.0;
-  std::uint64_t checksum = 0;  // defeats dead-code elimination
-};
-
-template <typename Queue, typename Schedule, typename Cancel, typename Pop>
-ChurnResult churn(Queue& q, std::uint64_t total_events, int depth,
-                  Schedule schedule, Cancel cancel, Pop pop) {
-  std::uint64_t checksum = 0;
-  std::uint64_t fired = 0;
-  std::uint64_t t = 0;
-  for (int i = 0; i < depth; ++i) {
-    const std::uint64_t offset = 17 * (static_cast<std::uint64_t>(i) + 1);
-    schedule(q, sim::Time::ns(static_cast<sim::Time::rep>(t + offset)),
-             [&checksum, i] { checksum += static_cast<std::uint64_t>(i); });
-  }
-  const auto start = Clock::now();
-  while (fired < total_events) {
-    auto [when, cb] = pop(q);
-    cb();
-    ++fired;
-    t = static_cast<std::uint64_t>(when.count_ns());
-    // Reschedule ahead; the delta pattern produces frequent time ties so
-    // the FIFO tie-break path is exercised too.
-    const std::uint64_t delta = 13 + (fired * 7) % 64;
-    schedule(q, sim::Time::ns(static_cast<sim::Time::rep>(t + delta)),
-             [&checksum, fired] { checksum += fired; });
-    if (fired % 4 == 0) {
-      auto id = schedule(
-          q, sim::Time::ns(static_cast<sim::Time::rep>(t + 100000)),
-          [&checksum] { checksum += 1; });
-      cancel(q, id);
-    }
-  }
-  const double elapsed_ms = ms_since(start);
-  return ChurnResult{static_cast<double>(fired) / (elapsed_ms / 1000.0),
-                     checksum};
-}
-
-ChurnResult churn_new(std::uint64_t total_events, int depth) {
-  sim::EventQueue q;
-  q.reserve(static_cast<std::size_t>(depth) + 2);
-  return churn(
-      q, total_events, depth,
-      [](sim::EventQueue& qq, sim::Time when, auto cb) {
-        return qq.schedule(when, std::move(cb));
-      },
-      [](sim::EventQueue& qq, sim::EventId id) { return qq.cancel(id); },
-      [](sim::EventQueue& qq) {
-        auto fired = qq.pop();
-        return std::pair<sim::Time, sim::EventCallback>{
-            fired.time, std::move(fired.cb)};
-      });
-}
+using bench::ChurnResult;
 
 ChurnResult churn_legacy(std::uint64_t total_events, int depth) {
   LegacyEventQueue q;
-  return churn(
+  return bench::churn(
       q, total_events, depth,
       [](LegacyEventQueue& qq, sim::Time when, auto cb) {
         return qq.schedule(when, std::move(cb));
@@ -182,23 +128,8 @@ bool identical(const harness::MeasurePoint& a,
   return identical(a.latency_us, b.latency_us) &&
          identical(a.block_us, b.block_us) &&
          identical(a.peak_buffer, b.peak_buffer) &&
-         identical(a.buffer_integral, b.buffer_integral);
-}
-
-std::string git_rev() {
-  std::string rev = "unknown";
-  if (FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
-    char buf[64] = {};
-    if (fgets(buf, sizeof(buf), pipe) != nullptr) {
-      rev = buf;
-      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
-        rev.pop_back();
-      }
-    }
-    pclose(pipe);
-    if (rev.empty()) rev = "unknown";
-  }
-  return rev;
+         identical(a.buffer_integral, b.buffer_integral) &&
+         identical(a.events, b.events);
 }
 
 }  // namespace
@@ -210,9 +141,9 @@ int main() {
   const int churn_depth = 512;
 
   // Warm-up + measured run for each queue.
-  (void)churn_new(churn_events / 10, churn_depth);
+  (void)bench::churn_new(churn_events / 10, churn_depth);
   (void)churn_legacy(churn_events / 10, churn_depth);
-  const ChurnResult fast = churn_new(churn_events, churn_depth);
+  const ChurnResult fast = bench::churn_new(churn_events, churn_depth);
   const ChurnResult slow = churn_legacy(churn_events, churn_depth);
   bench::expect_shape(fast.checksum == slow.checksum,
                       "churn workloads diverged (checksum mismatch)");
@@ -284,7 +215,7 @@ int main() {
         quick ? "true" : "false", churn_events, churn_depth,
         fast.events_per_sec, slow.events_per_sec, core_speedup,
         parallel.wall_ms, serial.wall_ms, sweep_speedup,
-        all_identical ? "true" : "false", threads, git_rev().c_str());
+        all_identical ? "true" : "false", threads, bench::git_rev().c_str());
     std::fclose(out);
     std::printf("wrote %s\n", out_path);
   } else {

@@ -7,13 +7,17 @@
 // trends move). A failed shape check exits non-zero so CI catches drift.
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "harness/report.hpp"
 #include "harness/testbed.hpp"
+#include "sim/event_queue.hpp"
 
 namespace nimcast::bench {
 
@@ -50,6 +54,89 @@ inline int finish(const char* bench_name) {
   }
   std::printf("\n[%s] %d shape check(s) FAILED\n", bench_name, failures);
   return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Event-core churn microbench: a simulator-shaped loop keeping `depth`
+// events pending; each fired event reschedules itself ahead, and every
+// fourth event also schedules-then-cancels a retry timer (the reliable_ni
+// pattern that exercises cancellation). Shared by bench_sim_core_throughput
+// (events/sec vs the seed queue) and bench_scale (its result doubles as a
+// machine-speed probe that normalizes recorded baselines to the current
+// box before gating).
+
+struct ChurnResult {
+  double events_per_sec = 0.0;
+  std::uint64_t checksum = 0;  // defeats dead-code elimination
+};
+
+template <typename Queue, typename Schedule, typename Cancel, typename Pop>
+ChurnResult churn(Queue& q, std::uint64_t total_events, int depth,
+                  Schedule schedule, Cancel cancel, Pop pop) {
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t checksum = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t t = 0;
+  for (int i = 0; i < depth; ++i) {
+    const std::uint64_t offset = 17 * (static_cast<std::uint64_t>(i) + 1);
+    schedule(q, sim::Time::ns(static_cast<sim::Time::rep>(t + offset)),
+             [&checksum, i] { checksum += static_cast<std::uint64_t>(i); });
+  }
+  const auto start = Clock::now();
+  while (fired < total_events) {
+    auto [when, cb] = pop(q);
+    cb();
+    ++fired;
+    t = static_cast<std::uint64_t>(when.count_ns());
+    // Reschedule ahead; the delta pattern produces frequent time ties so
+    // the FIFO tie-break path is exercised too.
+    const std::uint64_t delta = 13 + (fired * 7) % 64;
+    schedule(q, sim::Time::ns(static_cast<sim::Time::rep>(t + delta)),
+             [&checksum, fired] { checksum += fired; });
+    if (fired % 4 == 0) {
+      auto id = schedule(
+          q, sim::Time::ns(static_cast<sim::Time::rep>(t + 100000)),
+          [&checksum] { checksum += 1; });
+      cancel(q, id);
+    }
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return ChurnResult{static_cast<double>(fired) / (elapsed_ms / 1000.0),
+                     checksum};
+}
+
+inline ChurnResult churn_new(std::uint64_t total_events, int depth) {
+  sim::EventQueue q;
+  q.reserve(static_cast<std::size_t>(depth) + 2);
+  return churn(
+      q, total_events, depth,
+      [](sim::EventQueue& qq, sim::Time when, auto cb) {
+        return qq.schedule(when, std::move(cb));
+      },
+      [](sim::EventQueue& qq, sim::EventId id) { return qq.cancel(id); },
+      [](sim::EventQueue& qq) {
+        auto fired = qq.pop();
+        return std::pair<sim::Time, sim::EventCallback>{
+            fired.time, std::move(fired.cb)};
+      });
+}
+
+/// Short git revision for bench JSON provenance ("unknown" off-repo).
+inline std::string git_rev() {
+  std::string rev = "unknown";
+  if (FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (fgets(buf, sizeof(buf), pipe) != nullptr) {
+      rev = buf;
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+        rev.pop_back();
+      }
+    }
+    pclose(pipe);
+    if (rev.empty()) rev = "unknown";
+  }
+  return rev;
 }
 
 }  // namespace nimcast::bench

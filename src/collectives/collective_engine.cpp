@@ -37,7 +37,7 @@ constexpr std::int32_t kDownPhase = -3;
 /// receive processing in the low-priority lane, t_snd per injected copy)
 /// but speaks the collective protocols instead of plain multicast
 /// forwarding.
-class CollectiveNi {
+class CollectiveNi : public net::DeliverySink {
  public:
   CollectiveNi(sim::Simulator& simctx, net::WormholeNetwork& network,
                const CollectiveEngine::Config& cfg, CollectiveKind kind,
@@ -54,10 +54,14 @@ class CollectiveNi {
         m_{m},
         trace_{trace},
         coproc_{simctx, cfg.params.ni_engines},
-        buffer_{simctx} {}
+        buffer_{simctx} {
+    network.bind_sink(self, this);
+  }
 
-  /// Installed by the engine: packet hand-off to the destination NI.
-  std::function<void(topo::HostId, const net::Packet&)> deliver_to;
+  void on_packet_delivered(const net::Packet& packet) override {
+    deliver(packet);
+  }
+
   /// Fired when this NI's role in the collective is fulfilled (before
   /// the host's t_r).
   std::function<void(topo::HostId)> on_complete;
@@ -125,9 +129,7 @@ class CollectiveNi {
       p.sender = self_;
       p.dest = to;
       p.tag = tag;
-      network_.send(p, [this](const net::Packet& delivered) {
-        deliver_to(delivered.dest, delivered);
-      });
+      network_.send(p);
       if (trace_) {
         trace_->record(sim_.now(), sim::TraceCategory::kNi, self_,
                        "coll send pkt=" + std::to_string(index) + " tag=" +
@@ -288,9 +290,6 @@ CollectiveResult CollectiveEngine::run(CollectiveKind kind,
     for (topo::HostId c : tree.children.at(h)) {
       for (topo::HostId d : subtree.at(c)) ni.next_hop.emplace(d, c);
     }
-    ni.deliver_to = [&nis](topo::HostId dest, const net::Packet& p) {
-      nis.at(dest)->deliver(p);
-    };
   }
 
   CollectiveResult result;

@@ -1,6 +1,9 @@
 #include "harness/testbed.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "core/host_tree.hpp"
 #include "harness/parallel.hpp"
@@ -13,16 +16,18 @@ void MeasurePoint::merge(const MeasurePoint& other) {
   block_us.merge(other.block_us);
   peak_buffer.merge(other.peak_buffer);
   buffer_integral.merge(other.buffer_integral);
+  events.merge(other.events);
 }
 
 namespace {
 
-/// The four scalars one replication contributes to a MeasurePoint.
+/// The scalars one replication contributes to a MeasurePoint.
 struct RepSample {
   double latency_us = 0.0;
   double block_us = 0.0;
   double peak_buffer = 0.0;
   double buffer_integral = 0.0;
+  double events = 0.0;
 };
 
 void validate_point(std::int32_t num_hosts, std::int32_t n, std::int32_t m,
@@ -68,7 +73,8 @@ RepSample run_replication(const mcast::MulticastEngine& engine,
   const mcast::MulticastResult result = engine.run(tree, m);
   return RepSample{result.latency.as_us(),
                    result.total_channel_block_time.as_us(),
-                   result.peak_buffer(), result.max_buffer_integral()};
+                   result.peak_buffer(), result.max_buffer_integral(),
+                   static_cast<double>(result.events_dispatched)};
 }
 
 void fold(MeasurePoint& point, const RepSample& s) {
@@ -76,6 +82,7 @@ void fold(MeasurePoint& point, const RepSample& s) {
   point.block_us.add(s.block_us);
   point.peak_buffer.add(s.peak_buffer);
   point.buffer_integral.add(s.buffer_integral);
+  point.events.add(s.events);
 }
 
 }  // namespace
@@ -113,33 +120,98 @@ MeasurePoint measure_point(const topo::Topology& topology,
   return point;
 }
 
-IrregularTestbed::IrregularTestbed(Config config) : cfg_{std::move(config)} {
-  if (cfg_.num_topologies < 1 || cfg_.sets_per_topology < 1) {
-    throw std::invalid_argument("IrregularTestbed: non-positive repetitions");
+TestbedSpec TestbedSpec::make_irregular(std::int32_t hosts) {
+  if (hosts < 4 || hosts % 4 != 0) {
+    throw std::invalid_argument(
+        "TestbedSpec::make_irregular: hosts must be a positive multiple of 4");
   }
-  sim::Rng topo_rng{cfg_.seed};
-  instances_.reserve(static_cast<std::size_t>(cfg_.num_topologies));
-  for (std::int32_t t = 0; t < cfg_.num_topologies; ++t) {
-    Instance inst;
-    inst.topology = std::make_unique<topo::Topology>(
-        topo::make_irregular(cfg_.topology, topo_rng));
-    inst.router =
-        std::make_unique<routing::UpDownRouter>(inst.topology->switches());
-    inst.routes =
-        std::make_unique<routing::RouteTable>(*inst.topology, *inst.router);
-    inst.cco = core::cco_ordering(*inst.topology, *inst.router);
-    instances_.push_back(std::move(inst));
-  }
+  TestbedSpec spec;
+  spec.fabric = FabricKind::kIrregular;
+  spec.num_hosts = hosts;
+  spec.irregular.num_hosts = hosts;
+  // Paper port budget: 8-port switches, 4 hosts + up to 4 switch links
+  // each — hosts=64 reproduces the 16-switch rig exactly.
+  spec.irregular.num_switches = hosts / 4;
+  return spec;
 }
 
-IrregularTestbed::Point IrregularTestbed::measure(std::int32_t n,
-                                                  std::int32_t m,
-                                                  const TreeSpec& spec,
-                                                  mcast::NiStyle style,
-                                                  OrderingKind ordering,
-                                                  int threads) const {
-  const std::int32_t hosts = num_hosts();
-  validate_point(hosts, n, m, cfg_.sets_per_topology);
+TestbedSpec TestbedSpec::make_fat_tree(std::int32_t hosts) {
+  if (hosts < 4) {
+    throw std::invalid_argument("TestbedSpec::make_fat_tree: hosts < 4");
+  }
+  auto edge = static_cast<std::int32_t>(std::sqrt(static_cast<double>(hosts)));
+  while (hosts % edge != 0) --edge;  // terminates: edge=1 divides anything
+  TestbedSpec spec;
+  spec.fabric = FabricKind::kFatTree;
+  spec.num_hosts = hosts;
+  spec.fat_tree.edge_switches = edge;
+  spec.fat_tree.hosts_per_edge = hosts / edge;
+  spec.fat_tree.spine_switches = edge / 2 > 2 ? edge / 2 : 2;
+  spec.num_topologies = 1;  // deterministic fabric
+  return spec;
+}
+
+Testbed::Testbed(TestbedSpec spec) : spec_{std::move(spec)} {
+  if (spec_.num_topologies < 1 || spec_.sets_per_topology < 1) {
+    throw std::invalid_argument("Testbed: non-positive repetitions");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  instances_.reserve(static_cast<std::size_t>(spec_.num_topologies));
+  if (spec_.fabric == FabricKind::kIrregular) {
+    topo::IrregularConfig cfg = spec_.irregular;
+    cfg.num_hosts = spec_.num_hosts;
+    // Single generator across topologies: instance t depends on the
+    // draws of 0..t-1, matching the original IrregularTestbed stream.
+    sim::Rng topo_rng{spec_.seed};
+    for (std::int32_t t = 0; t < spec_.num_topologies; ++t) {
+      Instance inst;
+      inst.topology = std::make_unique<topo::Topology>(
+          topo::make_irregular(cfg, topo_rng));
+      inst.router = std::make_shared<const routing::UpDownRouter>(
+          inst.topology->switches());
+      inst.routes = std::make_unique<routing::RouteTable>(*inst.topology,
+                                                          inst.router);
+      inst.cco = core::cco_ordering(*inst.topology, *inst.router);
+      instances_.push_back(std::move(inst));
+    }
+  } else {
+    const topo::FatTreeConfig& cfg = spec_.fat_tree;
+    const std::int64_t fabric_hosts =
+        static_cast<std::int64_t>(cfg.edge_switches) * cfg.hosts_per_edge;
+    if (fabric_hosts != spec_.num_hosts) {
+      throw std::invalid_argument(
+          "Testbed: fat_tree config disagrees with num_hosts");
+    }
+    for (std::int32_t t = 0; t < spec_.num_topologies; ++t) {
+      Instance inst;
+      inst.topology =
+          std::make_unique<topo::Topology>(topo::make_fat_tree(cfg));
+      inst.router = std::make_shared<const routing::UpDownRouter>(
+          inst.topology->switches(), topo::fat_tree_levels(cfg));
+      inst.routes = std::make_unique<routing::RouteTable>(*inst.topology,
+                                                          inst.router);
+      inst.cco = core::cco_ordering(*inst.topology, *inst.router);
+      instances_.push_back(std::move(inst));
+    }
+  }
+  build_ms_ = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+}
+
+std::size_t Testbed::route_memory_bytes() const {
+  std::size_t total = 0;
+  for (const Instance& inst : instances_) {
+    total += inst.routes->memory_bytes();
+  }
+  return total;
+}
+
+Testbed::Point Testbed::measure(std::int32_t n, std::int32_t m,
+                                const TreeSpec& spec, mcast::NiStyle style,
+                                OrderingKind ordering, int threads) const {
+  const std::int32_t hosts = spec_.num_hosts;
+  validate_point(hosts, n, m, spec_.sets_per_topology);
 
   const core::RankTree rank_tree = spec.build(n, m);
   std::vector<mcast::MulticastEngine> engines;
@@ -147,13 +219,13 @@ IrregularTestbed::Point IrregularTestbed::measure(std::int32_t n,
   for (const Instance& inst : instances_) {
     engines.emplace_back(
         *inst.topology, *inst.routes,
-        mcast::MulticastEngine::Config{cfg_.params, cfg_.network, style});
+        mcast::MulticastEngine::Config{spec_.params, spec_.network, style});
   }
 
   // Every (topology, destination-set) pair is one independent job; the
   // sample array keeps them in (topology-major, set-minor) order so the
   // summary fold below matches the serial nesting exactly.
-  const auto sets = static_cast<std::size_t>(cfg_.sets_per_topology);
+  const auto sets = static_cast<std::size_t>(spec_.sets_per_topology);
   std::vector<RepSample> samples(instances_.size() * sets);
   parallel_for_each(
       samples.size(),
@@ -161,7 +233,7 @@ IrregularTestbed::Point IrregularTestbed::measure(std::int32_t n,
         const std::size_t t = job / sets;
         const std::size_t rep = job % sets;
         const std::uint64_t seed =
-            cfg_.seed ^ (UINT64_C(0x9e3779b97f4a7c15) * (t + 1));
+            spec_.seed ^ (UINT64_C(0x9e3779b97f4a7c15) * (t + 1));
         samples[job] = run_replication(engines[t], instances_[t].cco, hosts,
                                        n, rank_tree, m, ordering,
                                        static_cast<std::int32_t>(rep), seed);
@@ -178,5 +250,25 @@ IrregularTestbed::Point IrregularTestbed::measure(std::int32_t n,
   }
   return point;
 }
+
+namespace {
+
+TestbedSpec to_spec(const IrregularTestbed::Config& cfg) {
+  TestbedSpec spec;
+  spec.fabric = FabricKind::kIrregular;
+  spec.num_hosts = cfg.topology.num_hosts;
+  spec.irregular = cfg.topology;
+  spec.params = cfg.params;
+  spec.network = cfg.network;
+  spec.num_topologies = cfg.num_topologies;
+  spec.sets_per_topology = cfg.sets_per_topology;
+  spec.seed = cfg.seed;
+  return spec;
+}
+
+}  // namespace
+
+IrregularTestbed::IrregularTestbed(Config config)
+    : cfg_{std::move(config)}, testbed_{to_spec(cfg_)} {}
 
 }  // namespace nimcast::harness

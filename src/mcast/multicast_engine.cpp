@@ -72,6 +72,7 @@ MulticastResult MulticastEngine::run(const core::HostTree& tree,
   result.buffers = std::move(batch.buffers);
   result.total_channel_block_time = batch.total_channel_block_time;
   result.retransmissions = batch.retransmissions;
+  result.events_dispatched = batch.events_dispatched;
   return result;
 }
 
@@ -103,7 +104,10 @@ MultiMulticastResult MulticastEngine::run_many(
                                trace_};
 
   // Fault-time route repair: rebuild up*/down* on the surviving subgraph
-  // and rebind. Multi-VC tables (dateline tori) keep their original
+  // and rebind. The hook fires on *every* fault event — failures AND
+  // kLinkUp recoveries — each with a fresh epoch, so a recovered link
+  // rejoins the routes immediately instead of staying excised until the
+  // next failure. Multi-VC tables (dateline tori) keep their original
   // routes — the rebuilt router is single-VC and would change channel
   // numbering — so they degrade without rerouting.
   std::vector<std::unique_ptr<routing::RouteTable>> repaired_tables;
@@ -191,9 +195,6 @@ MultiMulticastResult MulticastEngine::run_many(
   std::vector<std::unordered_set<topo::HostId>> arrived(specs.size());
 
   for (auto& [h, ni] : nis) {
-    ni->deliver_to = [&nis](topo::HostId dest, const net::Packet& p) {
-      nis.at(dest)->deliver(p);
-    };
     ni->on_message_at_ni = [&, this](topo::HostId dest, net::MessageId msg) {
       const auto op = msg_op[static_cast<std::size_t>(msg - 1)];
       if (!arrived[op].insert(dest).second) return;
@@ -318,6 +319,8 @@ MultiMulticastResult MulticastEngine::run_many(
   batch.total_channel_block_time = network.total_block_time();
   batch.packets_killed = network.packets_killed();
   batch.faults_applied = network.faults_applied();
+  batch.events_dispatched =
+      static_cast<std::int64_t>(simctx.events_dispatched());
   if (config_.style == NiStyle::kReliableFpfs) {
     for (const auto& [h, ni] : nis) {
       const auto* rni = static_cast<const netif::ReliableFpfsNi*>(ni.get());

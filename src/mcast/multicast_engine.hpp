@@ -92,6 +92,9 @@ struct MulticastResult {
   /// Batch-wide retransmission count (reliable style only); populated by
   /// run(), zero from run_many() (use MultiMulticastResult there).
   std::int64_t retransmissions = 0;
+  /// Simulator events the whole run consumed; populated by run(), zero
+  /// from run_many() (use MultiMulticastResult there).
+  std::int64_t events_dispatched = 0;
 
   [[nodiscard]] std::int32_t delivered_count() const;
   /// delivered / destinations; 1.0 for single-host trees.
@@ -128,6 +131,9 @@ struct MultiMulticastResult {
   /// Worms truncated mid-flight by faults.
   std::int64_t packets_killed = 0;
   std::int32_t faults_applied = 0;
+  /// Simulator events this batch consumed — the denominator-free side of
+  /// the events/sec throughput metric bench_scale reports.
+  std::int64_t events_dispatched = 0;
 };
 
 /// Runs complete multicast operations on the full simulated system:

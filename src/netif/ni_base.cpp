@@ -16,7 +16,9 @@ NetworkInterface::NetworkInterface(sim::Simulator& simctx,
       self_{self},
       trace_{trace},
       coproc_{simctx, params.ni_engines},
-      buffer_{simctx} {}
+      buffer_{simctx} {
+  network.bind_sink(self, this);
+}
 
 void NetworkInterface::install(net::MessageId message, ForwardingEntry entry) {
   if (entry.packet_count < 1) {
@@ -110,10 +112,7 @@ void NetworkInterface::inject_copy(net::MessageId message, std::int32_t index,
     p.packet_count = packet_count;
     p.sender = self_;
     p.dest = child;
-    network_.send(p, [this](const net::Packet& delivered) {
-      assert(deliver_to && "engine did not install deliver_to");
-      deliver_to(delivered.dest, delivered);
-    });
+    network_.send(p);
     if (trace_) {
       trace_->record(sim_.now(), sim::TraceCategory::kNi, self_,
                      "sent msg=" + std::to_string(message) + " pkt=" +
@@ -133,10 +132,7 @@ void NetworkInterface::send_copy(net::MessageId message, std::int32_t index,
     p.packet_count = packet_count;
     p.sender = self_;
     p.dest = child;
-    network_.send(p, [this](const net::Packet& delivered) {
-      assert(deliver_to && "engine did not install deliver_to");
-      deliver_to(delivered.dest, delivered);
-    });
+    network_.send(p);
     const auto key = packet_key(message, index);
     auto it = outstanding_.find(key);
     assert(it != outstanding_.end() && "send_copy without hold_packet");

@@ -27,12 +27,15 @@ namespace nimcast::netif {
 /// (and finished receive-processing of) every packet of a message for
 /// which it is a destination; host-level completion (the +t_r) is layered
 /// on top by the engine through the Host object.
-class NetworkInterface {
+class NetworkInterface : public net::DeliverySink {
  public:
+  /// Binds itself as `self`'s delivery sink on `network` — packets
+  /// addressed to `self` arrive through deliver() with no per-packet
+  /// closure or engine-installed dispatch in between.
   NetworkInterface(sim::Simulator& simctx, net::WormholeNetwork& network,
                    SystemParams params, topo::HostId self,
                    sim::Trace* trace = nullptr);
-  virtual ~NetworkInterface() = default;
+  ~NetworkInterface() override = default;
 
   NetworkInterface(const NetworkInterface&) = delete;
   NetworkInterface& operator=(const NetworkInterface&) = delete;
@@ -54,6 +57,13 @@ class NetworkInterface {
   /// arrivals (ACKs, duplicates) before the standard path.
   virtual void deliver(const net::Packet& packet);
 
+  /// DeliverySink: the network hands this NI its own fully-arrived
+  /// packets; routes through the virtual deliver() so protocol layers
+  /// keep their interposition point.
+  void on_packet_delivered(const net::Packet& packet) final {
+    deliver(packet);
+  }
+
   /// Called by the engine after the destination host finished its t_r for
   /// `message` (the message is now in application memory). Conventional
   /// NIs forward to children from here; smart NIs ignore it.
@@ -62,10 +72,6 @@ class NetworkInterface {
   /// Fired once per (destination NI, message): all packets received and
   /// receive-processed.
   std::function<void(topo::HostId, net::MessageId)> on_message_at_ni;
-
-  /// Dispatch used to hand a delivered packet to the receiving NI; the
-  /// engine installs a registry lookup here.
-  std::function<void(topo::HostId, const net::Packet&)> deliver_to;
 
   [[nodiscard]] topo::HostId id() const { return self_; }
   [[nodiscard]] const BufferTracker& buffer() const { return buffer_; }

@@ -83,9 +83,7 @@ void ReliableFpfsNi::reliable_send(net::MessageId message, std::int32_t index,
     p.packet_count = packet_count;
     p.sender = self_;
     p.dest = child;
-    network_.send(p, [this](const net::Packet& delivered) {
-      deliver_to(delivered.dest, delivered);
-    });
+    network_.send(p);
     // Arm (or re-arm) the retransmission timer as of injection time,
     // exponentially backed off by the attempts already burned.
     auto& pending = pending_[edge_key(message, index, child)];
@@ -151,9 +149,7 @@ void ReliableFpfsNi::send_ack(const net::Packet& data) {
     ack.sender = self_;
     ack.dest = data.sender;
     ack.tag = kAckTag;
-    network_.send(ack, [this](const net::Packet& delivered) {
-      deliver_to(delivered.dest, delivered);
-    });
+    network_.send(ack);
   });
 }
 

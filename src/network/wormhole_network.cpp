@@ -1,35 +1,11 @@
 #include "network/wormhole_network.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace nimcast::net {
-
-struct WormholeNetwork::Worm {
-  Packet packet;
-  DeliveryCallback cb;
-  std::vector<std::int32_t> path;  ///< channel ids, injection..ejection
-  std::vector<sim::Time> acquired_at;  ///< per-channel acquisition times
-  std::size_t next = 0;            ///< next channel to acquire
-  sim::Time block_start;           ///< set while parked on a busy channel
-
-  // --- fault-truncation bookkeeping (idle on a pristine fabric) ---
-  sim::EventId pending{};   ///< in-flight hop / drain-completion event
-  bool parked = false;      ///< sitting in some channel's waiter queue
-  bool draining = false;    ///< final channel acquired, payload draining
-  /// Channels [0, released_below) already freed by pipelined staggered
-  /// releases; they must not be freed again when the worm is killed.
-  std::size_t released_below = 0;
-  struct PendingRelease {
-    std::int32_t chan;
-    sim::EventId id;
-  };
-  std::vector<PendingRelease> pending_releases;
-};
-
-WormholeNetwork::~WormholeNetwork() = default;
 
 WormholeNetwork::WormholeNetwork(sim::Simulator& simctx,
                                  const topo::Topology& topology,
@@ -47,10 +23,13 @@ WormholeNetwork::WormholeNetwork(sim::Simulator& simctx,
   }
   // Switch channels come first (expanded by the routes' virtual-channel
   // multiplicity), then per-host injection and ejection channels.
-  const auto num_channels =
+  const auto num_channels = static_cast<std::size_t>(
       2 * topology.switches().num_edges() * routes.virtual_channels() +
-      2 * topology.num_hosts();
-  channels_.resize(static_cast<std::size_t>(num_channels));
+      2 * topology.num_hosts());
+  channel_busy_.assign(num_channels, 0);
+  wait_head_.assign(num_channels, kNoWorm);
+  wait_tail_.assign(num_channels, kNoWorm);
+  sinks_.assign(static_cast<std::size_t>(topology.num_hosts()), nullptr);
   for (const FaultEvent& ev : config_.faults.events()) {
     const auto bound = ev.kind == FaultKind::kSwitchDown
                            ? topology.num_switches()
@@ -60,6 +39,13 @@ WormholeNetwork::WormholeNetwork(sim::Simulator& simctx,
     }
     sim_.schedule_at(ev.at, [this, ev] { apply_fault(ev); });
   }
+}
+
+void WormholeNetwork::bind_sink(topo::HostId host, DeliverySink* sink) {
+  if (host < 0 || host >= topology_.num_hosts()) {
+    throw std::invalid_argument("WormholeNetwork::bind_sink: host out of range");
+  }
+  sinks_[static_cast<std::size_t>(host)] = sink;
 }
 
 void WormholeNetwork::rebind_routes(const routing::RouteTable& routes) {
@@ -89,17 +75,15 @@ std::int32_t WormholeNetwork::ejection_channel(topo::HostId h) const {
          topology_.num_hosts() + h;
 }
 
-std::vector<std::int32_t> WormholeNetwork::full_path(topo::HostId src,
-                                                     topo::HostId dst) const {
-  std::vector<std::int32_t> path;
-  path.push_back(injection_channel(src));
+void WormholeNetwork::build_path(topo::HostId src, topo::HostId dst,
+                                 std::vector<std::int32_t>& out) const {
+  out.push_back(injection_channel(src));
   const auto& route = routes_->path(src, dst);
   for (std::int32_t c : routing::route_channels(topology_.switches(), route,
                                                 routes_->virtual_channels())) {
-    path.push_back(c);
+    out.push_back(c);
   }
-  path.push_back(ejection_channel(dst));
-  return path;
+  out.push_back(ejection_channel(dst));
 }
 
 sim::Time WormholeNetwork::uncontended_latency(std::size_t hops) const {
@@ -109,13 +93,104 @@ sim::Time WormholeNetwork::uncontended_latency(std::size_t hops) const {
   return config_.t_hop * total_channels + config_.serialization_time();
 }
 
+WormholeNetwork::WormId WormholeNetwork::alloc_worm() {
+  WormId id;
+  if (free_head_ != kNoWorm) {
+    id = free_head_;
+    free_head_ = pool_[static_cast<std::size_t>(id)].next_waiter;
+    --pool_free_;
+  } else {
+    pool_.emplace_back();
+    id = static_cast<WormId>(pool_.size()) - 1;
+  }
+  Worm& w = pool_[static_cast<std::size_t>(id)];
+  // Recycled vectors keep their capacity — the steady state allocates
+  // nothing per packet.
+  w.path.clear();
+  w.acquired_at.clear();
+  w.pending_releases.clear();
+  w.next = 0;
+  w.pending = sim::EventId{};
+  w.next_waiter = kNoWorm;
+  w.released_below = 0;
+  w.parked = false;
+  w.draining = false;
+  w.use_sink = false;
+  w.in_use = true;
+  return id;
+}
+
+void WormholeNetwork::free_worm(WormId id) {
+  Worm& w = pool_[static_cast<std::size_t>(id)];
+  assert(w.in_use);
+  w.in_use = false;
+  w.cb = DeliveryCallback{};  // drop the closure, not just the flag
+  w.next_waiter = free_head_;
+  free_head_ = id;
+  ++pool_free_;
+}
+
+void WormholeNetwork::push_waiter(std::int32_t chan, WormId id) {
+  const auto c = static_cast<std::size_t>(chan);
+  pool_[static_cast<std::size_t>(id)].next_waiter = kNoWorm;
+  if (wait_tail_[c] == kNoWorm) {
+    wait_head_[c] = id;
+  } else {
+    pool_[static_cast<std::size_t>(wait_tail_[c])].next_waiter = id;
+  }
+  wait_tail_[c] = id;
+}
+
+WormholeNetwork::WormId WormholeNetwork::pop_waiter(std::int32_t chan) {
+  const auto c = static_cast<std::size_t>(chan);
+  const WormId id = wait_head_[c];
+  if (id == kNoWorm) return kNoWorm;
+  wait_head_[c] = pool_[static_cast<std::size_t>(id)].next_waiter;
+  if (wait_head_[c] == kNoWorm) wait_tail_[c] = kNoWorm;
+  pool_[static_cast<std::size_t>(id)].next_waiter = kNoWorm;
+  return id;
+}
+
+void WormholeNetwork::erase_waiter(std::int32_t chan, WormId id) {
+  // Mid-queue removal for the fault path only; the list walk is fine
+  // there — truncation is rare and queues are short.
+  const auto c = static_cast<std::size_t>(chan);
+  WormId prev = kNoWorm;
+  WormId cur = wait_head_[c];
+  while (cur != kNoWorm && cur != id) {
+    prev = cur;
+    cur = pool_[static_cast<std::size_t>(cur)].next_waiter;
+  }
+  assert(cur == id);
+  const WormId after = pool_[static_cast<std::size_t>(id)].next_waiter;
+  if (prev == kNoWorm) {
+    wait_head_[c] = after;
+  } else {
+    pool_[static_cast<std::size_t>(prev)].next_waiter = after;
+  }
+  if (wait_tail_[c] == id) wait_tail_[c] = prev;
+  pool_[static_cast<std::size_t>(id)].next_waiter = kNoWorm;
+}
+
+void WormholeNetwork::send(const Packet& packet) {
+  inject(packet, DeliveryCallback{}, /*use_sink=*/true);
+}
+
 void WormholeNetwork::send(const Packet& packet, DeliveryCallback on_delivered) {
+  inject(packet, std::move(on_delivered), /*use_sink=*/false);
+}
+
+void WormholeNetwork::inject(const Packet& packet, DeliveryCallback cb,
+                             bool use_sink) {
   if (packet.sender < 0 || packet.sender >= topology_.num_hosts() ||
       packet.dest < 0 || packet.dest >= topology_.num_hosts()) {
     throw std::invalid_argument("WormholeNetwork::send: host out of range");
   }
   if (packet.sender == packet.dest) {
     throw std::invalid_argument("WormholeNetwork::send: self-send");
+  }
+  if (use_sink && sinks_[static_cast<std::size_t>(packet.dest)] == nullptr) {
+    throw std::logic_error("WormholeNetwork::send: no sink bound for dest");
   }
   if (!reachable(packet.sender, packet.dest)) {
     // The fabric segment between the endpoints is dead: a CRC-style
@@ -130,61 +205,62 @@ void WormholeNetwork::send(const Packet& packet, DeliveryCallback on_delivered) 
     }
     return;
   }
-  auto worm = std::make_unique<Worm>();
-  worm->packet = packet;
-  worm->cb = std::move(on_delivered);
-  worm->path = full_path(packet.sender, packet.dest);
-  Worm* raw = worm.get();
-  live_worms_.push_back(std::move(worm));
+  const WormId id = alloc_worm();
+  Worm& w = pool_[static_cast<std::size_t>(id)];
+  w.packet = packet;
+  w.cb = std::move(cb);
+  w.use_sink = use_sink;
+  build_path(packet.sender, packet.dest, w.path);
   ++in_flight_;
+  if (in_flight_ > peak_in_flight_) peak_in_flight_ = in_flight_;
   if (trace_) {
     trace_->record(sim_.now(), sim::TraceCategory::kPacket, packet.sender,
                    "inject msg=" + std::to_string(packet.message) + " pkt=" +
                        std::to_string(packet.packet_index) + " -> host " +
                        std::to_string(packet.dest));
   }
-  progress(raw);
+  progress(id);
 }
 
-void WormholeNetwork::progress(Worm* worm) {
-  assert(worm->next < worm->path.size());
-  const std::int32_t chan = worm->path[worm->next];
+void WormholeNetwork::progress(WormId id) {
+  Worm& w = pool_[static_cast<std::size_t>(id)];
+  assert(w.in_use && w.next < w.path.size());
+  const std::int32_t chan = w.path[w.next];
   if (channel_dead(chan)) {
     // The header ran into a link/switch that died after injection.
-    kill_worm(worm);
+    kill_worm(id);
     return;
   }
-  auto& channel = channels_[static_cast<std::size_t>(chan)];
-  if (channel.busy) {
-    worm->block_start = sim_.now();
-    worm->parked = true;
-    channel.waiters.push_back(worm);
+  if (channel_busy_[static_cast<std::size_t>(chan)]) {
+    w.block_start = sim_.now();
+    w.parked = true;
+    push_waiter(chan, id);
     if (trace_) {
       trace_->record(sim_.now(), sim::TraceCategory::kChannel, chan,
-                     "block pkt=" +
-                         std::to_string(worm->packet.packet_index) +
-                         " dest=" + std::to_string(worm->packet.dest));
+                     "block pkt=" + std::to_string(w.packet.packet_index) +
+                         " dest=" + std::to_string(w.packet.dest));
     }
     return;
   }
-  channel.busy = true;
-  worm->acquired_at.push_back(sim_.now());
-  ++worm->next;
-  if (worm->next == worm->path.size()) {
-    schedule_drain(worm);
+  channel_busy_[static_cast<std::size_t>(chan)] = 1;
+  w.acquired_at.push_back(sim_.now());
+  ++w.next;
+  if (w.next == w.path.size()) {
+    schedule_drain(id);
   } else {
-    worm->pending = sim_.schedule_at(sim_.now() + config_.t_hop,
-                                     [this, worm] { progress(worm); });
+    w.pending = sim_.schedule_at(sim_.now() + config_.t_hop,
+                                 [this, id] { progress(id); });
   }
 }
 
-void WormholeNetwork::schedule_drain(Worm* worm) {
-  worm->draining = true;
+void WormholeNetwork::schedule_drain(WormId id) {
+  Worm& w = pool_[static_cast<std::size_t>(id)];
+  w.draining = true;
   // Header crosses the final (ejection) channel, then the payload drains
   // into the destination NI.
   const sim::Time delivery =
       sim_.now() + config_.t_hop + config_.serialization_time();
-  const std::size_t len = worm->path.size();
+  const std::size_t len = w.path.size();
   if (config_.release_model == ReleaseModel::kPipelined) {
     // The tail flit trails the header by one hop per remaining channel;
     // upstream channels free as it passes (never before the head of the
@@ -192,59 +268,60 @@ void WormholeNetwork::schedule_drain(Worm* worm) {
     // times are non-decreasing in i and scheduled in index order, so the
     // FIFO tie-break makes released_below advance monotonically.
     for (std::size_t i = 0; i + 1 < len; ++i) {
-      const sim::Time earliest = worm->acquired_at[i] + config_.t_hop +
+      const sim::Time earliest = w.acquired_at[i] + config_.t_hop +
                                  config_.serialization_time();
       const sim::Time tail_passes =
           delivery - config_.t_hop * static_cast<sim::Time::rep>(len - 1 - i);
-      const std::int32_t chan = worm->path[i];
-      const auto id = sim_.schedule_at(
-          std::max(earliest, tail_passes), [this, worm, i, chan] {
-            worm->released_below = i + 1;
+      const std::int32_t chan = w.path[i];
+      const auto eid = sim_.schedule_at(
+          std::max(earliest, tail_passes), [this, id, i, chan] {
+            pool_[static_cast<std::size_t>(id)].released_below = i + 1;
             release_channel(chan);
           });
-      worm->pending_releases.push_back(Worm::PendingRelease{chan, id});
+      w.pending_releases.push_back(PendingRelease{chan, eid});
     }
   }
-  worm->pending = sim_.schedule_at(delivery, [this, worm] { complete(worm); });
+  w.pending = sim_.schedule_at(delivery, [this, id] { complete(id); });
 }
 
 void WormholeNetwork::release_channel(std::int32_t chan) {
-  auto& channel = channels_[static_cast<std::size_t>(chan)];
-  assert(channel.busy);
+  const auto c = static_cast<std::size_t>(chan);
+  assert(channel_busy_[c]);
   if (channel_dead(chan)) {
     // A condemned channel never hands off; any worm still waiting on it
     // is truncated by the same fault sweep that condemned it.
-    channel.busy = false;
+    channel_busy_[c] = 0;
     return;
   }
-  if (channel.waiters.empty()) {
-    channel.busy = false;
+  const WormId id = pop_waiter(chan);
+  if (id == kNoWorm) {
+    channel_busy_[c] = 0;
     return;
   }
   // Immediate FIFO hand-off: the channel never goes idle, the head waiter
   // owns it as of now. Keeps arbitration strictly first-come-first-served.
-  Worm* next = channel.waiters.front();
-  channel.waiters.pop_front();
-  next->parked = false;
-  total_block_ += sim_.now() - next->block_start;
-  assert(next->path[next->next] == chan);
-  next->acquired_at.push_back(sim_.now());
-  ++next->next;
-  if (next->next == next->path.size()) {
-    schedule_drain(next);
+  Worm& next = pool_[static_cast<std::size_t>(id)];
+  next.parked = false;
+  total_block_ += sim_.now() - next.block_start;
+  assert(next.path[next.next] == chan);
+  next.acquired_at.push_back(sim_.now());
+  ++next.next;
+  if (next.next == next.path.size()) {
+    schedule_drain(id);
   } else {
-    next->pending = sim_.schedule_at(sim_.now() + config_.t_hop,
-                                     [this, next] { progress(next); });
+    next.pending = sim_.schedule_at(sim_.now() + config_.t_hop,
+                                    [this, id] { progress(id); });
   }
 }
 
-void WormholeNetwork::complete(Worm* worm) {
+void WormholeNetwork::complete(WormId id) {
+  Worm& w = pool_[static_cast<std::size_t>(id)];
   if (config_.release_model == ReleaseModel::kAtDelivery) {
-    for (std::int32_t chan : worm->path) release_channel(chan);
+    for (std::int32_t chan : w.path) release_channel(chan);
   } else {
     // Pipelined mode already released the upstream channels; only the
     // final (ejection) channel is still held.
-    release_channel(worm->path.back());
+    release_channel(w.path.back());
   }
   --in_flight_;
   const bool lost =
@@ -255,18 +332,23 @@ void WormholeNetwork::complete(Worm* worm) {
     ++delivered_;
   }
   if (trace_) {
-    trace_->record(sim_.now(), sim::TraceCategory::kPacket, worm->packet.dest,
+    trace_->record(sim_.now(), sim::TraceCategory::kPacket, w.packet.dest,
                    std::string(lost ? "DROP" : "deliver") + " msg=" +
-                       std::to_string(worm->packet.message) + " pkt=" +
-                       std::to_string(worm->packet.packet_index));
+                       std::to_string(w.packet.message) + " pkt=" +
+                       std::to_string(w.packet.packet_index));
   }
-  DeliveryCallback cb = lost ? DeliveryCallback{} : std::move(worm->cb);
-  const Packet packet = worm->packet;
-  auto it = std::find_if(live_worms_.begin(), live_worms_.end(),
-                         [worm](const auto& p) { return p.get() == worm; });
-  assert(it != live_worms_.end());
-  live_worms_.erase(it);
-  if (cb) cb(packet);
+  // Free the slot before invoking delivery: a reentrant send() from the
+  // receiver may recycle it (and may grow the slab, so `w` dies here).
+  const Packet packet = w.packet;
+  const bool use_sink = w.use_sink;
+  DeliveryCallback cb = lost ? DeliveryCallback{} : std::move(w.cb);
+  free_worm(id);
+  if (lost) return;
+  if (use_sink) {
+    sinks_[static_cast<std::size_t>(packet.dest)]->on_packet_delivered(packet);
+  } else if (cb) {
+    cb(packet);
+  }
 }
 
 void WormholeNetwork::apply_fault(const FaultEvent& ev) {
@@ -290,31 +372,31 @@ void WormholeNetwork::apply_fault(const FaultEvent& ev) {
                        std::to_string(ev.id));
   }
   if (ev.kind != FaultKind::kLinkUp) {
-    // Collect the victims first: kill_worm mutates live_worms_ and may
-    // hand surviving channels to other worms, so the sweep reads current
-    // state one victim at a time.
-    std::vector<Worm*> victims;
-    for (const auto& owned : live_worms_) {
-      Worm* w = owned.get();
+    // Collect the victims first: kill_worm may hand surviving channels to
+    // other worms, so the sweep reads current state one victim at a time.
+    std::vector<WormId> victims;
+    for (WormId i = 0; i < static_cast<WormId>(pool_.size()); ++i) {
+      const Worm& w = pool_[static_cast<std::size_t>(i)];
+      if (!w.in_use) continue;
       // Channels the worm currently pins: everything acquired but not yet
       // released, plus (for a parked worm) the dead channel it waits on —
       // that wait can never be satisfied once the channel is condemned.
       const std::size_t held_end =
-          w->draining ? w->path.size() : w->next + (w->parked ? 1u : 0u);
-      for (std::size_t i = w->released_below; i < held_end; ++i) {
-        if (channel_dead(w->path[i])) {
-          victims.push_back(w);
+          w.draining ? w.path.size() : w.next + (w.parked ? 1u : 0u);
+      for (std::size_t i2 = w.released_below; i2 < held_end; ++i2) {
+        if (channel_dead(w.path[i2])) {
+          victims.push_back(i);
           break;
         }
       }
     }
-    for (Worm* w : victims) kill_worm(w);
+    for (WormId w : victims) kill_worm(w);
   }
   if (on_fault) on_fault(ev);
 }
 
 void WormholeNetwork::refresh_dead_channels() {
-  channel_dead_.assign(channels_.size(), false);
+  channel_dead_.assign(channel_busy_.size(), false);
   const auto& g = topology_.switches();
   const auto vcs = routes_->virtual_channels();
   for (topo::LinkId e = 0; e < g.num_edges(); ++e) {
@@ -336,53 +418,48 @@ void WormholeNetwork::refresh_dead_channels() {
   }
 }
 
-void WormholeNetwork::kill_worm(Worm* worm) {
-  if (worm->parked) {
-    // Un-park: the worm leaves the waiter queue it sits in.
-    auto& waiters =
-        channels_[static_cast<std::size_t>(worm->path[worm->next])].waiters;
-    auto w = std::find(waiters.begin(), waiters.end(), worm);
-    assert(w != waiters.end());
-    waiters.erase(w);
+void WormholeNetwork::kill_worm(WormId id) {
+  Worm& w = pool_[static_cast<std::size_t>(id)];
+  if (w.parked) {
+    // Un-park: the worm leaves the waiter FIFO it sits in.
+    erase_waiter(w.path[w.next], id);
+    w.parked = false;
   } else {
     // Cancel the in-flight hop / drain-completion event. cancel() is a
     // no-op (false) if it already fired, in which case the worm's state
     // was advanced by the callback and reflects reality.
-    sim_.cancel(worm->pending);
+    sim_.cancel(w.pending);
   }
   // Staggered pipelined releases that have not fired yet still hold their
   // channel: cancel each and release it here. Fired ones already advanced
   // released_below.
-  for (const auto& pr : worm->pending_releases) {
+  for (const auto& pr : w.pending_releases) {
     if (sim_.cancel(pr.id)) release_channel(pr.chan);
   }
-  worm->pending_releases.clear();
-  if (worm->draining) {
+  w.pending_releases.clear();
+  if (w.draining) {
     if (config_.release_model == ReleaseModel::kAtDelivery) {
-      for (std::int32_t chan : worm->path) release_channel(chan);
+      for (std::int32_t chan : w.path) release_channel(chan);
     } else {
       // Pipelined: upstream channels were handled above (fired or
       // canceled); only the final (ejection) channel remains held.
-      release_channel(worm->path.back());
+      release_channel(w.path.back());
     }
   } else {
-    for (std::size_t i = worm->released_below; i < worm->next; ++i) {
-      release_channel(worm->path[i]);
+    for (std::size_t i = w.released_below; i < w.next; ++i) {
+      release_channel(w.path[i]);
     }
   }
   --in_flight_;
   ++dropped_;
   ++killed_;
   if (trace_) {
-    trace_->record(sim_.now(), sim::TraceCategory::kPacket, worm->packet.dest,
-                   "KILL msg=" + std::to_string(worm->packet.message) +
-                       " pkt=" + std::to_string(worm->packet.packet_index) +
-                       " from=" + std::to_string(worm->packet.sender));
+    trace_->record(sim_.now(), sim::TraceCategory::kPacket, w.packet.dest,
+                   "KILL msg=" + std::to_string(w.packet.message) +
+                       " pkt=" + std::to_string(w.packet.packet_index) +
+                       " from=" + std::to_string(w.packet.sender));
   }
-  auto it = std::find_if(live_worms_.begin(), live_worms_.end(),
-                         [worm](const auto& p) { return p.get() == worm; });
-  assert(it != live_worms_.end());
-  live_worms_.erase(it);
+  free_worm(id);
 }
 
 }  // namespace nimcast::net

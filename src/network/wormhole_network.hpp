@@ -1,9 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <memory>
 #include <vector>
 
 #include "network/network_config.hpp"
@@ -16,6 +14,17 @@
 #include "topology/topology.hpp"
 
 namespace nimcast::net {
+
+/// Receiver of fully-arrived packets, bound once per host. The hot send
+/// path dispatches through this instead of carrying a per-packet
+/// std::function — every NI delivered to itself anyway, so the closure
+/// was pure allocation overhead at scale.
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+  /// The packet has fully arrived (header + payload) at this host's NI.
+  virtual void on_packet_delivered(const Packet& packet) = 0;
+};
 
 /// Channel-level wormhole network simulator.
 ///
@@ -38,33 +47,51 @@ namespace nimcast::net {
 /// exactly; it idealizes bandwidth in the rare instants when two VCs of
 /// one physical link carry flits simultaneously (a standard lightweight
 /// simplification, noted in DESIGN.md).
+///
+/// Storage: worms live in a slab pool with an intrusive free list (the
+/// event-core recipe from sim::event_pool) and are addressed by index —
+/// slab growth only ever happens at injection, and a recycled slot keeps
+/// its vectors' capacity, so steady-state traffic allocates nothing.
+/// Channel state is three flat arrays indexed by channel id (busy flag,
+/// waiter-FIFO head/tail), with the FIFO linked through the worms
+/// themselves.
 class WormholeNetwork {
  public:
-  /// Called when the packet has fully arrived at the destination NI's
-  /// receive queue (header + payload).
+  /// Per-packet delivery closure for the legacy send() overload; tests
+  /// and one-off probes use it. Regular NI traffic goes through
+  /// DeliverySink.
   using DeliveryCallback = std::function<void(const Packet&)>;
 
   WormholeNetwork(sim::Simulator& simctx, const topo::Topology& topology,
                   const routing::RouteTable& routes, NetworkConfig config,
                   sim::Trace* trace = nullptr);
 
-  ~WormholeNetwork();  // out-of-line: Worm is incomplete here
-
   WormholeNetwork(const WormholeNetwork&) = delete;
   WormholeNetwork& operator=(const WormholeNetwork&) = delete;
 
+  /// Binds the packet receiver for `host`. Rebinding overwrites; sinks
+  /// must outlive the network (NIs own their network reference, so NI
+  /// construction order takes care of this).
+  void bind_sink(topo::HostId host, DeliverySink* sink);
+
   /// Injects one packet from `packet.sender`'s NI toward `packet.dest`'s
-  /// NI at the current simulated time. The injection channel may itself be
-  /// busy, in which case the worm queues like at any other channel.
-  /// Packets whose sender or destination sits on a dead switch, or whose
-  /// pair is unreachable in the bound route table, are dropped at
-  /// injection (counted in packets_dropped()).
+  /// NI at the current simulated time; on full arrival the destination
+  /// host's bound DeliverySink receives it. The injection channel may
+  /// itself be busy, in which case the worm queues like at any other
+  /// channel. Packets whose sender or destination sits on a dead switch,
+  /// or whose pair is unreachable in the bound route table, are dropped
+  /// at injection (counted in packets_dropped()).
+  void send(const Packet& packet);
+
+  /// Legacy overload: delivery invokes `on_delivered` instead of the
+  /// destination's sink.
   void send(const Packet& packet, DeliveryCallback on_delivered);
 
   /// Fired after a `config.faults` event has been applied: the liveness
   /// mask is updated and every worm caught on a dying channel has been
-  /// truncated. The multicast engine hooks this to rebuild routes on the
-  /// surviving subgraph.
+  /// truncated. Fires for recoveries (kLinkUp) too — the multicast engine
+  /// hooks this to rebuild routes on the *current* surviving subgraph,
+  /// whichever direction it just changed.
   std::function<void(const FaultEvent&)> on_fault;
 
   /// Swaps the route table consulted for future injections — the
@@ -118,28 +145,72 @@ class WormholeNetwork {
   /// t_step.
   [[nodiscard]] sim::Time uncontended_latency(std::size_t hops) const;
 
- private:
-  struct Worm;
+  /// Pool high-water mark: worm slots ever allocated. Equals the peak
+  /// number of simultaneously live worms — the pool leak/reuse invariant
+  /// the worm-pool tests pin.
+  [[nodiscard]] std::size_t worm_pool_slots() const { return pool_.size(); }
 
-  /// Channel ids: [0, 2E) switch channels, [2E, 2E+H) injection,
-  /// [2E+H, 2E+2H) ejection.
-  struct Channel {
-    bool busy = false;
-    std::deque<Worm*> waiters;
+  /// Slots currently on the free list (== worm_pool_slots() when the
+  /// network is idle and nothing leaked).
+  [[nodiscard]] std::size_t worm_pool_free() const { return pool_free_; }
+
+  /// Maximum in_flight() ever observed.
+  [[nodiscard]] std::int32_t peak_in_flight() const { return peak_in_flight_; }
+
+ private:
+  /// Worms are addressed by pool index: slab growth (vector
+  /// reallocation) would invalidate pointers, and indices survive it.
+  using WormId = std::int32_t;
+  static constexpr WormId kNoWorm = -1;
+
+  struct PendingRelease {
+    std::int32_t chan;
+    sim::EventId id;
   };
 
+  struct Worm {
+    Packet packet;
+    DeliveryCallback cb;  ///< legacy-overload deliveries only
+    std::vector<std::int32_t> path;      ///< channel ids, injection..ejection
+    std::vector<sim::Time> acquired_at;  ///< per-channel acquisition times
+    /// Staggered pipelined releases not yet fired (fault bookkeeping).
+    std::vector<PendingRelease> pending_releases;
+    std::size_t next = 0;        ///< next channel to acquire
+    sim::Time block_start{};     ///< set while parked on a busy channel
+    sim::EventId pending{};      ///< in-flight hop / drain-completion event
+    /// Waiter-FIFO link while parked; free-list link while the slot is
+    /// free.
+    WormId next_waiter = kNoWorm;
+    /// Channels [0, released_below) already freed by pipelined staggered
+    /// releases; they must not be freed again when the worm is killed.
+    std::size_t released_below = 0;
+    bool parked = false;    ///< sitting in some channel's waiter FIFO
+    bool draining = false;  ///< final channel acquired, payload draining
+    bool use_sink = false;  ///< deliver via sink (hot path) vs cb (legacy)
+    bool in_use = false;    ///< live worm vs free slot (fault sweep filter)
+  };
+
+  /// Channel ids: [0, 2E*V) switch channels, [2E*V, 2E*V+H) injection,
+  /// [2E*V+H, 2E*V+2H) ejection.
   [[nodiscard]] std::int32_t injection_channel(topo::HostId h) const;
   [[nodiscard]] std::int32_t ejection_channel(topo::HostId h) const;
-  [[nodiscard]] std::vector<std::int32_t> full_path(topo::HostId src,
-                                                    topo::HostId dst) const;
+  void build_path(topo::HostId src, topo::HostId dst,
+                  std::vector<std::int32_t>& out) const;
+
+  [[nodiscard]] WormId alloc_worm();
+  void free_worm(WormId id);
+  void inject(const Packet& packet, DeliveryCallback cb, bool use_sink);
+  void push_waiter(std::int32_t chan, WormId id);
+  [[nodiscard]] WormId pop_waiter(std::int32_t chan);
+  void erase_waiter(std::int32_t chan, WormId id);
 
   /// Advances the worm's header through free channels; parks it on the
   /// first busy one.
-  void progress(Worm* worm);
+  void progress(WormId id);
   /// Called once the final channel is acquired: schedules the tail drain
   /// (and, in pipelined mode, the staggered upstream releases).
-  void schedule_drain(Worm* worm);
-  void complete(Worm* worm);
+  void schedule_drain(WormId id);
+  void complete(WormId id);
   void release_channel(std::int32_t chan);
 
   /// Applies one fault event: updates the liveness mask, condemns the
@@ -148,7 +219,7 @@ class WormholeNetwork {
   void refresh_dead_channels();
   /// Truncates a worm: unparks or cancels its pending events, frees every
   /// channel it still holds, counts the packet as dropped+killed.
-  void kill_worm(Worm* worm);
+  void kill_worm(WormId id);
   [[nodiscard]] bool channel_dead(std::int32_t chan) const {
     return !channel_dead_.empty() &&
            channel_dead_[static_cast<std::size_t>(chan)];
@@ -160,9 +231,20 @@ class WormholeNetwork {
   NetworkConfig config_;
   sim::Trace* trace_;
 
-  std::vector<Channel> channels_;
-  std::vector<std::unique_ptr<Worm>> live_worms_;
+  // Flat per-channel state, indexed by channel id.
+  std::vector<std::uint8_t> channel_busy_;
+  std::vector<WormId> wait_head_;  ///< waiter-FIFO head, kNoWorm when empty
+  std::vector<WormId> wait_tail_;
+
+  // Worm slab + free list (threaded through Worm::next_waiter).
+  std::vector<Worm> pool_;
+  WormId free_head_ = kNoWorm;
+  std::size_t pool_free_ = 0;
+
+  std::vector<DeliverySink*> sinks_;  ///< per host, null until bound
+
   std::int32_t in_flight_ = 0;
+  std::int32_t peak_in_flight_ = 0;
   std::int64_t delivered_ = 0;
   std::int64_t dropped_ = 0;
   std::int64_t killed_ = 0;
@@ -170,7 +252,7 @@ class WormholeNetwork {
   sim::Rng loss_rng_;
   sim::Time total_block_ = sim::Time::zero();
   topo::SubgraphMask mask_;
-  /// Parallel to channels_; sized lazily at the first fault so the
+  /// Parallel to channel_busy_; sized lazily at the first fault so the
   /// zero-fault path touches nothing.
   std::vector<bool> channel_dead_;
 };

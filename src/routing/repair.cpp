@@ -8,8 +8,13 @@ std::unique_ptr<RouteTable> rebuild_updown(const topo::Topology& topology,
                                            const topo::SubgraphMask& mask,
                                            std::int32_t epoch,
                                            topo::SwitchId preferred_root) {
-  const UpDownRouter router{topology.switches(), mask, preferred_root};
-  return std::make_unique<RouteTable>(topology, router, epoch);
+  // Compressed: a fault-time rebuild must not pay the all-pairs cost —
+  // most pairs never exchange traffic during an outage window. The table
+  // owns the masked router so routes can keep materializing lazily.
+  auto router = std::make_shared<const UpDownRouter>(topology.switches(), mask,
+                                                     preferred_root);
+  return std::make_unique<RouteTable>(topology, std::move(router), epoch,
+                                      RouteStorage::kCompressed);
 }
 
 }  // namespace nimcast::routing

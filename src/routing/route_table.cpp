@@ -1,14 +1,41 @@
 #include "routing/route_table.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <utility>
 
 namespace nimcast::routing {
 
 RouteTable::RouteTable(const topo::Topology& topology, const Router& router,
-                       std::int32_t epoch)
-    : num_hosts_{topology.num_hosts()},
+                       std::int32_t epoch, RouteStorage storage)
+    : topology_{&topology},
+      num_hosts_{topology.num_hosts()},
       num_vcs_{router.virtual_channels()},
       epoch_{epoch} {
+  if (storage == RouteStorage::kEager) {
+    init_eager(topology, router);
+  } else {
+    init_lazy(topology, router, nullptr);
+  }
+}
+
+RouteTable::RouteTable(const topo::Topology& topology,
+                       std::shared_ptr<const Router> router, std::int32_t epoch,
+                       RouteStorage storage)
+    : topology_{&topology},
+      num_hosts_{topology.num_hosts()},
+      num_vcs_{router->virtual_channels()},
+      epoch_{epoch} {
+  if (storage == RouteStorage::kEager) {
+    init_eager(topology, *router);
+  } else {
+    const Router& ref = *router;
+    init_lazy(topology, ref, std::move(router));
+  }
+}
+
+void RouteTable::init_eager(const topo::Topology& topology,
+                            const Router& router) {
   const auto pairs = static_cast<std::size_t>(num_hosts_) *
                      static_cast<std::size_t>(num_hosts_);
   routes_.resize(pairs);
@@ -26,6 +53,63 @@ RouteTable::RouteTable(const topo::Topology& topology, const Router& router,
   }
 }
 
+void RouteTable::init_lazy(const topo::Topology& topology, const Router& router,
+                           std::shared_ptr<const Router> owned) {
+  lazy_ = std::make_unique<Lazy>();
+  lazy_->owned = std::move(owned);
+  lazy_->router = &router;
+  const auto num_switches =
+      static_cast<std::size_t>(topology.switches().num_vertices());
+  lazy_->slots = std::make_unique<CacheSlot[]>(num_switches * num_switches);
+  recompute_components();
+}
+
+void RouteTable::recompute_components() {
+  lazy_->component = lazy_->router->host_reach_components(
+      topology_->switches());
+  // unreachable_pairs = hosts² − Σ_component (hosts in component)², the
+  // same count the eager loop accumulates pair by pair. Hosts on a dead
+  // switch (component -1) reach nobody, themselves included, so they
+  // contribute no c² term and stay subtracted.
+  std::vector<std::int64_t> hosts_in_component(lazy_->component.size(), 0);
+  for (topo::HostId h = 0; h < num_hosts_; ++h) {
+    const auto c = component(topology_->switch_of(h));
+    if (c >= 0) ++hosts_in_component[static_cast<std::size_t>(c)];
+  }
+  const auto total = static_cast<std::int64_t>(num_hosts_);
+  unreachable_pairs_ = total * total;
+  for (const auto count : hosts_in_component) {
+    unreachable_pairs_ -= count * count;
+  }
+}
+
+const SwitchRoute& RouteTable::lazy_path(topo::HostId src,
+                                         topo::HostId dst) const {
+  const auto s = topology_->switch_of(src);
+  const auto d = topology_->switch_of(dst);
+  const auto num_switches =
+      static_cast<std::size_t>(topology_->switches().num_vertices());
+  auto& slot = lazy_->slots[static_cast<std::size_t>(s) * num_switches +
+                            static_cast<std::size_t>(d)];
+  const auto gen = lazy_->generation;
+  if (slot.ready_gen.load(std::memory_order_acquire) == gen) {
+    return slot.route;
+  }
+  std::lock_guard lock{lazy_->fill_mutex};
+  if (slot.ready_gen.load(std::memory_order_relaxed) == gen) {
+    return slot.route;
+  }
+  auto r = lazy_->router->try_route(s, d);
+  // Routability must agree with the component map, or reachable() and
+  // path() would contradict each other.
+  assert(r.has_value() ==
+         (component(s) >= 0 && component(s) == component(d)));
+  slot.route = r ? *std::move(r) : SwitchRoute{};
+  lazy_->materialized.fetch_add(1, std::memory_order_relaxed);
+  slot.ready_gen.store(gen, std::memory_order_release);
+  return slot.route;
+}
+
 bool RouteTable::disjoint(const topo::Graph& g, topo::HostId a, topo::HostId b,
                           topo::HostId c, topo::HostId d) const {
   const auto ch1 = route_channels(g, path(a, b), num_vcs_);
@@ -34,6 +118,51 @@ bool RouteTable::disjoint(const topo::Graph& g, topo::HostId a, topo::HostId b,
     if (std::find(ch2.begin(), ch2.end(), x) != ch2.end()) return false;
   }
   return true;
+}
+
+std::size_t RouteTable::routes_materialized() const {
+  if (!lazy_) return routes_.size();
+  return lazy_->materialized.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+std::size_t route_heap_bytes(const SwitchRoute& r) {
+  return r.switches.capacity() * sizeof(topo::SwitchId) +
+         r.links.capacity() * sizeof(topo::LinkId) +
+         r.vcs.capacity() * sizeof(std::uint8_t);
+}
+
+}  // namespace
+
+std::size_t RouteTable::memory_bytes() const {
+  std::size_t bytes = 0;
+  if (lazy_) {
+    const auto num_switches =
+        static_cast<std::size_t>(topology_->switches().num_vertices());
+    const auto slots = num_switches * num_switches;
+    bytes += slots * sizeof(CacheSlot);
+    bytes += lazy_->component.capacity() * sizeof(std::int32_t);
+    for (std::size_t i = 0; i < slots; ++i) {
+      bytes += route_heap_bytes(lazy_->slots[i].route);
+    }
+  } else {
+    bytes += routes_.capacity() * sizeof(SwitchRoute);
+    bytes += reachable_.capacity() * sizeof(std::uint8_t);
+    for (const auto& r : routes_) bytes += route_heap_bytes(r);
+  }
+  return bytes;
+}
+
+std::uint32_t RouteTable::cache_generation() const {
+  return lazy_ ? lazy_->generation : 0;
+}
+
+void RouteTable::invalidate_cache() {
+  if (!lazy_) return;
+  ++lazy_->generation;
+  lazy_->materialized.store(0, std::memory_order_relaxed);
+  recompute_components();
 }
 
 }  // namespace nimcast::routing

@@ -1,12 +1,30 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "routing/routing.hpp"
 #include "topology/topology.hpp"
 
 namespace nimcast::routing {
+
+/// How a RouteTable stores its routes.
+enum class RouteStorage : std::uint8_t {
+  /// All-pairs host routes materialized at construction: O(hosts²)
+  /// SwitchRoute objects. Simple, no router kept alive, but neither the
+  /// build time nor the memory survives a 1024-host fabric.
+  kEager,
+  /// Compressed: one slot per *switch pair* (hosts on the same switch
+  /// share it), each materialized lazily on first use behind a
+  /// generation-tagged flat cache. Reachability comes from the router's
+  /// per-switch component map, so the hot reachable() path never routes.
+  /// The generating router must outlive the table (the owning-router
+  /// constructor takes care of that).
+  kCompressed,
+};
 
 /// All-pairs host-level routes, precomputed once per (topology, router).
 ///
@@ -19,19 +37,41 @@ namespace nimcast::routing {
 /// `reachable()` before `path()`. Tables rebuilt after a fault carry an
 /// `epoch` so consumers can tell which generation of routes produced a
 /// result.
+///
+/// Both storage modes are bit-identical in every query — same routes,
+/// same reachability verdicts — because both ultimately ask the same
+/// deterministic router (enforced by tests/routing/test_route_table_lazy
+/// on every seed topology, pre- and post-fault). Compressed tables are
+/// safe to share across testbed worker threads: concurrent first-touch
+/// materialization is synchronized, and a published route is immutable.
 class RouteTable {
  public:
+  /// Non-owning constructor. In kEager mode the router is only used
+  /// during construction; in kCompressed mode the caller must keep it
+  /// alive for the table's lifetime.
   RouteTable(const topo::Topology& topology, const Router& router,
-             std::int32_t epoch = 0);
+             std::int32_t epoch = 0,
+             RouteStorage storage = RouteStorage::kEager);
+
+  /// Owning constructor for compressed tables whose router would
+  /// otherwise be a temporary (the fault-repair rebuild path).
+  RouteTable(const topo::Topology& topology,
+             std::shared_ptr<const Router> router, std::int32_t epoch = 0,
+             RouteStorage storage = RouteStorage::kCompressed);
 
   /// Only meaningful when `reachable(src, dst)`; unreachable pairs hold
   /// an empty placeholder route.
   [[nodiscard]] const SwitchRoute& path(topo::HostId src,
                                         topo::HostId dst) const {
+    if (lazy_) return lazy_path(src, dst);
     return routes_[index(src, dst)];
   }
 
   [[nodiscard]] bool reachable(topo::HostId src, topo::HostId dst) const {
+    if (lazy_) {
+      const auto a = component(topology_->switch_of(src));
+      return a >= 0 && a == component(topology_->switch_of(dst));
+    }
     return reachable_[index(src, dst)] != 0;
   }
 
@@ -65,18 +105,74 @@ class RouteTable {
                               topo::HostId b, topo::HostId c,
                               topo::HostId d) const;
 
+  [[nodiscard]] RouteStorage storage() const {
+    return lazy_ ? RouteStorage::kCompressed : RouteStorage::kEager;
+  }
+
+  /// Switch-pair routes currently materialized (compressed mode;
+  /// eager tables report every host pair). Diagnostics and scaling
+  /// benches only.
+  [[nodiscard]] std::size_t routes_materialized() const;
+
+  /// Approximate heap footprint of the route storage: slot arrays plus
+  /// the per-route vectors actually allocated. The quantity
+  /// `bench_scale` tracks for the compressed-vs-eager comparison.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Generation tag of the lazy cache (compressed mode; 0 for eager).
+  [[nodiscard]] std::uint32_t cache_generation() const;
+
+  /// Drops every materialized route in O(1) by bumping the cache
+  /// generation; subsequent path() calls re-materialize from the router.
+  /// For callers that mutate router state in place instead of building a
+  /// fresh table. No-op for eager tables. Not thread-safe against
+  /// concurrent queries.
+  void invalidate_cache();
+
  private:
+  /// One lazily filled switch-pair slot. `ready_gen` equal to the
+  /// table's current generation publishes `route` (release/acquire).
+  struct CacheSlot {
+    std::atomic<std::uint32_t> ready_gen{0};
+    SwitchRoute route;
+  };
+
+  /// State behind the compressed mode, boxed so RouteTable stays movable.
+  struct Lazy {
+    std::shared_ptr<const Router> owned;   ///< may be null (non-owning)
+    const Router* router = nullptr;
+    std::unique_ptr<CacheSlot[]> slots;    ///< num_switches² flat cache
+    std::vector<std::int32_t> component;   ///< per-switch, -1 = dead
+    std::uint32_t generation = 1;
+    mutable std::mutex fill_mutex;
+    mutable std::atomic<std::size_t> materialized{0};
+  };
+
   [[nodiscard]] std::size_t index(topo::HostId s, topo::HostId d) const {
     return static_cast<std::size_t>(s) * static_cast<std::size_t>(num_hosts_) +
            static_cast<std::size_t>(d);
   }
 
+  [[nodiscard]] std::int32_t component(topo::SwitchId s) const {
+    return lazy_->component[static_cast<std::size_t>(s)];
+  }
+
+  void init_lazy(const topo::Topology& topology, const Router& router,
+                 std::shared_ptr<const Router> owned);
+  void init_eager(const topo::Topology& topology, const Router& router);
+  void recompute_components();
+  [[nodiscard]] const SwitchRoute& lazy_path(topo::HostId src,
+                                             topo::HostId dst) const;
+
+  const topo::Topology* topology_;
   std::int32_t num_hosts_;
   std::int32_t num_vcs_;
   std::int32_t epoch_;
   std::int64_t unreachable_pairs_ = 0;
+  // Eager storage (empty in compressed mode).
   std::vector<SwitchRoute> routes_;
   std::vector<std::uint8_t> reachable_;
+  std::unique_ptr<Lazy> lazy_;  ///< non-null selects compressed mode
 };
 
 }  // namespace nimcast::routing

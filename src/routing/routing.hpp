@@ -65,6 +65,19 @@ class Router {
   /// Virtual channels this router's routes may reference (>= 1). The
   /// network must provision this many per directed physical channel.
   [[nodiscard]] virtual std::int32_t virtual_channels() const { return 1; }
+  /// Per-switch connectivity verdict for *host-attached* switches: two
+  /// hosts are mutually routable iff their switches carry the same
+  /// non-negative component id (-1 marks a dead switch). The compressed
+  /// RouteTable uses this to answer reachable() and count unreachable
+  /// pairs without materializing any route. The default — one component
+  /// spanning every switch — is correct for routers over a connected,
+  /// pristine fabric; mask-aware routers (post-fault up*/down*) override
+  /// it with the surviving components.
+  [[nodiscard]] virtual std::vector<std::int32_t> host_reach_components(
+      const topo::Graph& g) const {
+    return std::vector<std::int32_t>(
+        static_cast<std::size_t>(g.num_vertices()), 0);
+  }
 };
 
 /// Directed channel id for a link crossing: 2*link for the a->b direction,

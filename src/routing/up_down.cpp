@@ -137,6 +137,36 @@ UpDownRouter::UpDownRouter(const topo::Graph& g, topo::SubgraphMask mask,
   up_end_ = orient_links(g, level_);
 }
 
+std::vector<std::int32_t> UpDownRouter::host_reach_components(
+    const topo::Graph& g) const {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<std::int32_t> comp(n, -1);
+  std::int32_t next = 0;
+  std::queue<topo::SwitchId> q;
+  for (topo::SwitchId s = 0; s < g.num_vertices(); ++s) {
+    if (!mask_.switch_alive(s) || comp[static_cast<std::size_t>(s)] >= 0) {
+      continue;
+    }
+    comp[static_cast<std::size_t>(s)] = next;
+    q.push(s);
+    while (!q.empty()) {
+      const auto v = q.front();
+      q.pop();
+      for (topo::LinkId e : g.incident(v)) {
+        if (!mask_.link_alive(e)) continue;
+        const auto w = g.edge(e).other(v);
+        if (!mask_.switch_alive(w)) continue;
+        auto& cw = comp[static_cast<std::size_t>(w)];
+        if (cw >= 0) continue;
+        cw = next;
+        q.push(w);
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
 bool UpDownRouter::is_up(topo::LinkId link, topo::SwitchId from) const {
   // Moving out of `from` is "up" when the *other* end is the up end.
   return graph_.edge(link).other(from) == up_end(link);

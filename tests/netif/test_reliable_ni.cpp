@@ -160,7 +160,8 @@ TEST(ReliableNi, RejectsInvalidLossRate) {
 }
 
 // --- Protocol corner cases, driven against bare NIs with a packet
-// interceptor in deliver_to (the knob the engine normally installs). ---
+// interceptor bound as each host's DeliverySink (overriding the NI's
+// own self-binding). ---
 
 /// Three hosts on one switch, wired directly: `drop` filters packets in
 /// flight (return true to lose one), everything else is logged and
@@ -177,17 +178,29 @@ struct DirectRig {
   std::function<bool(const net::Packet&)> drop;
   std::vector<net::Packet> delivered_log;
 
+  /// Sink shim: filters in-flight packets, then hands survivors to the
+  /// real NI's deliver().
+  struct Tap final : net::DeliverySink {
+    DirectRig* rig;
+    ReliableFpfsNi* ni;
+    Tap(DirectRig* r, ReliableFpfsNi* n) : rig{r}, ni{n} {}
+    void on_packet_delivered(const net::Packet& p) override {
+      if (rig->drop && rig->drop(p)) return;
+      rig->delivered_log.push_back(p);
+      ni->deliver(p);
+    }
+  };
+  std::vector<std::unique_ptr<Tap>> taps;
+
   explicit DirectRig(ReliabilityParams rel = {}) {
     for (topo::HostId h = 0; h < 3; ++h) {
       nis.push_back(std::make_unique<ReliableFpfsNi>(simctx, network, params,
                                                      rel, h));
     }
-    for (auto& ni : nis) {
-      ni->deliver_to = [this](topo::HostId dest, const net::Packet& p) {
-        if (drop && drop(p)) return;
-        delivered_log.push_back(p);
-        nis[static_cast<std::size_t>(dest)]->deliver(p);
-      };
+    for (topo::HostId h = 0; h < 3; ++h) {
+      taps.push_back(
+          std::make_unique<Tap>(this, nis[static_cast<std::size_t>(h)].get()));
+      network.bind_sink(h, taps.back().get());
     }
   }
 
