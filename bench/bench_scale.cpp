@@ -23,9 +23,13 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "core/host_tree.hpp"
+#include "core/ordering.hpp"
+#include "mcast/multicast_engine.hpp"
 #include "routing/route_table.hpp"
 #include "routing/up_down.hpp"
 #include "topology/fat_tree.hpp"
@@ -200,6 +204,116 @@ StorageCompare compare_storage(std::int32_t hosts) {
 }
 
 // ---------------------------------------------------------------------------
+// Intra-run sharding: the identical n=1024 m=16 fat-tree broadcast run
+// twice through the same engine code — once serial, once split across 4
+// conservative-parallel shards — with a bit-identity check between the
+// two results. The speedup column is what the sharded engine buys a
+// *single* replication when replication-level parallelism cannot fill
+// the machine (see docs/perf.md); it only materializes when the box has
+// cores to spare, so the >= 2x shape check arms only on 8+ hardware
+// threads and the JSON records whatever this machine actually measured.
+
+struct IntraSpeedup {
+  std::int32_t hosts = 0;
+  std::int32_t m = 0;
+  std::int32_t shards = 0;
+  std::int32_t reps = 0;
+  unsigned hw_threads = 0;
+  double serial_wall_ms = 0.0;
+  double sharded_wall_ms = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+bool same_result(const mcast::MulticastResult& a,
+                 const mcast::MulticastResult& b) {
+  return a.latency == b.latency && a.ni_latency == b.ni_latency &&
+         a.completions == b.completions &&
+         a.total_channel_block_time == b.total_channel_block_time &&
+         a.packets_delivered == b.packets_delivered &&
+         a.events_dispatched == b.events_dispatched &&
+         a.peak_buffer() == b.peak_buffer() &&
+         a.max_buffer_integral() == b.max_buffer_integral();
+}
+
+IntraSpeedup measure_intra_speedup(bool quick) {
+  constexpr std::int32_t kHosts = 1024;
+  constexpr std::int32_t kPackets = 16;
+  constexpr std::int32_t kShards = 4;
+
+  const harness::TestbedSpec spec = harness::TestbedSpec::make_fat_tree(kHosts);
+  const topo::Topology topology = topo::make_fat_tree(spec.fat_tree);
+  const auto router = std::make_shared<const routing::UpDownRouter>(
+      topology.switches(), topo::fat_tree_levels(spec.fat_tree));
+  const routing::RouteTable routes{topology, router};
+  const core::Chain cco = core::cco_ordering(topology, *router);
+
+  // Full broadcast from host 0 in CCO order — the same traffic shape the
+  // n=1024 sweep above measured.
+  const core::RankTree rank_tree =
+      harness::TreeSpec::optimal().build(kHosts, kPackets);
+  std::vector<topo::HostId> dests;
+  dests.reserve(static_cast<std::size_t>(kHosts) - 1);
+  for (std::int32_t h = 1; h < kHosts; ++h) dests.push_back(h);
+  const core::Chain members = core::arrange_participants(cco, 0, dests);
+  const core::HostTree tree = core::HostTree::bind(rank_tree, members);
+
+  mcast::MulticastEngine::Config serial_cfg{spec.params, spec.network,
+                                            mcast::NiStyle::kSmartFpfs};
+  serial_cfg.shards = 1;
+  mcast::MulticastEngine::Config sharded_cfg = serial_cfg;
+  sharded_cfg.shards = kShards;
+  const mcast::MulticastEngine serial_engine{topology, routes, serial_cfg};
+  const mcast::MulticastEngine sharded_engine{topology, routes, sharded_cfg};
+
+  IntraSpeedup s;
+  s.hosts = kHosts;
+  s.m = kPackets;
+  s.shards = kShards;
+  s.reps = quick ? 1 : 3;
+  s.hw_threads = std::thread::hardware_concurrency();
+
+  // One untimed run per engine first: page in the arenas and routes so
+  // the timed loops compare steady-state dispatch, not first-touch cost.
+  mcast::MulticastResult serial_res = serial_engine.run(tree, kPackets);
+  mcast::MulticastResult sharded_res = sharded_engine.run(tree, kPackets);
+
+  auto start = Clock::now();
+  for (std::int32_t rep = 0; rep < s.reps; ++rep) {
+    serial_res = serial_engine.run(tree, kPackets);
+  }
+  s.serial_wall_ms = ms_since(start);
+
+  start = Clock::now();
+  for (std::int32_t rep = 0; rep < s.reps; ++rep) {
+    sharded_res = sharded_engine.run(tree, kPackets);
+  }
+  s.sharded_wall_ms = ms_since(start);
+
+  s.speedup = s.serial_wall_ms / s.sharded_wall_ms;
+  s.identical = same_result(serial_res, sharded_res);
+
+  std::printf("\nintra-run sharding @ n=%d m=%d fat-tree: serial %.1f ms vs "
+              "%d shards %.1f ms over %d rep(s) -> %.2fx (%u hw threads, "
+              "results %s)\n",
+              s.hosts, s.m, s.serial_wall_ms, s.shards, s.sharded_wall_ms,
+              s.reps, s.speedup, s.hw_threads,
+              s.identical ? "bit-identical" : "DIVERGED");
+  bench::expect_shape(s.identical,
+                      "sharded n=1024 broadcast bit-identical to serial");
+  if (s.hw_threads >= 8) {
+    bench::expect_shape(s.speedup >= 2.0,
+                        "4-shard n=1024 run >= 2x over serial on an "
+                        "8+-thread machine");
+  } else {
+    std::printf("  (only %u hardware thread(s): speedup recorded but not "
+                "gated)\n",
+                s.hw_threads);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
 // Perf gate: the recorded BENCH_sim_core.json holds the 64-host serial
 // sweep wall time and the churn events/sec of the machine that recorded
 // it. Re-running churn here measures *this* machine; scaling the
@@ -310,6 +424,8 @@ int main(int argc, char** argv) {
   // runs; the full run does the headline n=1024 comparison.
   const StorageCompare storage = compare_storage(quick ? 256 : 1024);
 
+  const IntraSpeedup intra = measure_intra_speedup(quick);
+
   GateResult gate_result;
   if (gate) gate_result = run_gate(baseline_path);
 
@@ -349,6 +465,16 @@ int main(int argc, char** argv) {
                  storage.hosts, storage.eager_build_ms,
                  storage.compressed_build_ms, storage.eager_bytes,
                  storage.compressed_bytes, storage.memory_ratio);
+    std::fprintf(out,
+                 "  \"intra_speedup\": {\"fabric\": \"fat_tree\", "
+                 "\"hosts\": %d, \"m\": %d, \"shards\": %d, \"reps\": %d, "
+                 "\"hw_threads\": %u, \"serial_wall_ms\": %.2f, "
+                 "\"sharded_wall_ms\": %.2f, \"speedup\": %.3f, "
+                 "\"bit_identical\": %s},\n",
+                 intra.hosts, intra.m, intra.shards, intra.reps,
+                 intra.hw_threads, intra.serial_wall_ms,
+                 intra.sharded_wall_ms, intra.speedup,
+                 intra.identical ? "true" : "false");
     if (gate_result.ran) {
       std::fprintf(out,
                    "  \"gate\": {\"machine_scale\": %.3f, "

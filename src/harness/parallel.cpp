@@ -1,24 +1,64 @@
 #include "harness/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <string>
 
 namespace nimcast::harness {
 
+namespace {
+
+/// Strict decimal parse for thread-count env vars: optional surrounding
+/// whitespace around a plain base-10 integer, nothing else. Returns
+/// nullopt for empty strings, trailing garbage ("4abc"), or overflow —
+/// std::stoi/atoi would silently truncate the first two.
+std::optional<long> parse_env_int(const char* s) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(s, &end, 10);
+  if (end == s || errno == ERANGE) return std::nullopt;
+  while (std::isspace(static_cast<unsigned char>(*end)) != 0) ++end;
+  if (*end != '\0') return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
 int configured_threads() {
   if (const char* env = std::getenv("NIMCAST_THREADS")) {
-    try {
-      const int n = std::stoi(env);
-      if (n >= 1) return n;
-    } catch (const std::exception&) {
-      // fall through to auto-detection on malformed values
+    if (const auto n = parse_env_int(env); n && *n >= 1) {
+      return static_cast<int>(std::min<long>(*n, kMaxThreads));
     }
+    // Malformed, zero or negative: behave as if unset.
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int configured_shards() {
+  if (const char* env = std::getenv("NIMCAST_SHARDS")) {
+    if (const auto n = parse_env_int(env); n && *n >= 1) {
+      return static_cast<int>(std::min<long>(*n, kMaxThreads));
+    }
+  }
+  return 0;  // auto
+}
+
+int pick_shards(int threads, std::int32_t hosts, std::size_t replications) {
+  if (const int forced = configured_shards(); forced > 0) return forced;
+  if (hosts < kAutoShardHosts) return 1;
+  if (replications >= static_cast<std::size_t>(threads)) return 1;
+  const std::size_t per_rep =
+      static_cast<std::size_t>(threads) / std::max<std::size_t>(replications, 1);
+  return static_cast<int>(std::min<std::size_t>(
+      std::max<std::size_t>(per_rep, 1),
+      static_cast<std::size_t>(kMaxAutoShards)));
 }
 
 /// Shared state of one for_each_index call: a job cursor, a completion

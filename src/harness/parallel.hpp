@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -11,10 +12,42 @@
 namespace nimcast::harness {
 
 /// Number of worker threads the harness should use: the NIMCAST_THREADS
-/// environment variable when set (>= 1), otherwise hardware concurrency.
+/// environment variable when set, otherwise hardware concurrency.
 /// NIMCAST_THREADS=1 selects the strictly serial path (no pool, no
 /// threads), which is the reference for determinism checks.
+///
+/// NIMCAST_THREADS is parsed strictly: the value must be a plain decimal
+/// integer (surrounding whitespace tolerated, nothing else — "4abc" and
+/// "" are rejected, not truncated). Rejected, zero and negative values
+/// fall back to hardware concurrency, exactly as if the variable were
+/// unset. Values above kMaxThreads are clamped to it — a fat-fingered
+/// "NIMCAST_THREADS=100000" must not try to spawn 100000 jthreads.
 [[nodiscard]] int configured_threads();
+
+/// Upper bound configured_threads() clamps to.
+inline constexpr int kMaxThreads = 512;
+
+/// Shards per simulation requested via NIMCAST_SHARDS (same strict
+/// parsing as NIMCAST_THREADS). 0 means "unset / auto" — let
+/// pick_shards() decide; 1 forces the serial engine; values above
+/// kMaxThreads clamp to it.
+[[nodiscard]] int configured_shards();
+
+/// Intra-run shard count for one testbed replication. NIMCAST_SHARDS
+/// wins when set. The auto policy shards only when it can pay off:
+/// fabrics of at least kAutoShardHosts hosts (smaller simulations drown
+/// in barrier overhead) whose replication count cannot fill the
+/// `threads` worker budget by itself — replication parallelism is
+/// perfectly efficient (embarrassingly parallel), so it always takes
+/// priority; sharding then soaks up the idle threads, threads/
+/// replications each, capped at kMaxAutoShards. Sharding never changes
+/// results (the sharded engine is bit-identical to the serial one), so
+/// this policy is purely a wall-clock decision.
+[[nodiscard]] int pick_shards(int threads, std::int32_t hosts,
+                              std::size_t replications);
+
+inline constexpr std::int32_t kAutoShardHosts = 512;
+inline constexpr int kMaxAutoShards = 8;
 
 /// A small fixed-size worker pool (std::jthread + work queue) for the
 /// replication sweeps in the testbed. Replications are independent — each

@@ -100,9 +100,17 @@ MeasurePoint measure_point(const topo::Topology& topology,
   validate_point(num_hosts, n, m, repetitions);
 
   const core::RankTree rank_tree = spec.build(n, m);
-  const mcast::MulticastEngine engine{
-      topology, routes,
-      mcast::MulticastEngine::Config{params, network, style}};
+  // Thread budget split: replication parallelism first (embarrassingly
+  // parallel); on big fabrics with too few replications to fill it, the
+  // spare threads go into intra-run sharding instead — and since the
+  // sharded engine is bit-identical to the serial one, the split never
+  // changes the measured numbers.
+  const int budget = threads >= 1 ? threads : configured_threads();
+  const int shards =
+      pick_shards(budget, num_hosts, static_cast<std::size_t>(repetitions));
+  mcast::MulticastEngine::Config ecfg{params, network, style};
+  ecfg.shards = shards;
+  const mcast::MulticastEngine engine{topology, routes, ecfg};
 
   std::vector<RepSample> samples(static_cast<std::size_t>(repetitions));
   parallel_for_each(
@@ -112,7 +120,7 @@ MeasurePoint measure_point(const topo::Topology& topology,
             run_replication(engine, base_chain, num_hosts, n, rank_tree, m,
                             ordering, static_cast<std::int32_t>(rep), seed);
       },
-      threads);
+      std::max(1, budget / shards));
 
   // Fold in repetition order: bit-identical to the serial loop.
   MeasurePoint point;
@@ -214,19 +222,26 @@ Testbed::Point Testbed::measure(std::int32_t n, std::int32_t m,
   validate_point(hosts, n, m, spec_.sets_per_topology);
 
   const core::RankTree rank_tree = spec.build(n, m);
+  // Same budget split as measure_point: replications fill the worker
+  // budget first; on big fabrics with too few replications the spare
+  // threads shard each simulation instead (identical results either
+  // way).
+  const auto sets = static_cast<std::size_t>(spec_.sets_per_topology);
+  const std::size_t replications = instances_.size() * sets;
+  const int budget = threads >= 1 ? threads : configured_threads();
+  const int shards = pick_shards(budget, hosts, replications);
   std::vector<mcast::MulticastEngine> engines;
   engines.reserve(instances_.size());
   for (const Instance& inst : instances_) {
-    engines.emplace_back(
-        *inst.topology, *inst.routes,
-        mcast::MulticastEngine::Config{spec_.params, spec_.network, style});
+    mcast::MulticastEngine::Config ecfg{spec_.params, spec_.network, style};
+    ecfg.shards = shards;
+    engines.emplace_back(*inst.topology, *inst.routes, ecfg);
   }
 
   // Every (topology, destination-set) pair is one independent job; the
   // sample array keeps them in (topology-major, set-minor) order so the
   // summary fold below matches the serial nesting exactly.
-  const auto sets = static_cast<std::size_t>(spec_.sets_per_topology);
-  std::vector<RepSample> samples(instances_.size() * sets);
+  std::vector<RepSample> samples(replications);
   parallel_for_each(
       samples.size(),
       [&](std::size_t job) {
@@ -238,7 +253,7 @@ Testbed::Point Testbed::measure(std::int32_t n, std::int32_t m,
                                        n, rank_tree, m, ordering,
                                        static_cast<std::int32_t>(rep), seed);
       },
-      threads);
+      std::max(1, budget / shards));
 
   Point point;
   for (std::size_t t = 0; t < instances_.size(); ++t) {

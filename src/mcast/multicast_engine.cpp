@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -12,7 +13,9 @@
 #include "netif/smart_ni.hpp"
 #include "network/wormhole_network.hpp"
 #include "routing/repair.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
+#include "topology/partition.hpp"
 
 namespace nimcast::mcast {
 
@@ -99,9 +102,54 @@ MultiMulticastResult MulticastEngine::run_many(
 
   const bool faulty = !config_.network.faults.empty();
 
-  sim::Simulator simctx;
-  net::WormholeNetwork network{simctx, topology_, routes_, config_.network,
-                               trace_};
+  // Engine selection. The sharded network refuses configurations whose
+  // serial semantics it cannot reproduce exactly; fall back to the
+  // serial engine for those instead of throwing — callers opt into
+  // speed, never into different results.
+  const bool sharded_mode =
+      config_.shards > 1 && trace_ == nullptr &&
+      config_.network.loss_rate == 0.0 &&
+      config_.network.release_model == net::ReleaseModel::kAtDelivery;
+  const std::int32_t num_shards =
+      sharded_mode ? std::min(config_.shards, topology_.num_switches()) : 1;
+
+  std::unique_ptr<sim::Simulator> serial_sim;
+  std::unique_ptr<sim::ShardedSimulator> shardsim;
+  std::unique_ptr<net::WormholeNetwork> network_owner;
+  if (sharded_mode) {
+    shardsim = std::make_unique<sim::ShardedSimulator>(num_shards,
+                                                       config_.network.t_hop);
+    network_owner = std::make_unique<net::WormholeNetwork>(
+        *shardsim, topology_, routes_, config_.network,
+        topo::partition_switches(topology_.switches(), num_shards));
+  } else {
+    serial_sim = std::make_unique<sim::Simulator>();
+    network_owner = std::make_unique<net::WormholeNetwork>(
+        *serial_sim, topology_, routes_, config_.network, trace_);
+  }
+  net::WormholeNetwork& network = *network_owner;
+  // Every per-host actor (NI, host, its timers and receive events) lives
+  // on the shard owning that host's switch; in serial mode everything
+  // shares the one simulator.
+  const auto sim_for_host = [&](topo::HostId h) -> sim::Simulator& {
+    return sharded_mode ? shardsim->shard(network.shard_of_host(h))
+                        : *serial_sim;
+  };
+  const auto run_sim = [&] {
+    if (sharded_mode) {
+      const int threads = config_.shard_threads > 0
+                              ? static_cast<int>(config_.shard_threads)
+                              : static_cast<int>(num_shards);
+      shardsim->run(threads);
+    } else {
+      serial_sim->run();
+    }
+  };
+  // Time of the last dispatched event — what the serial engine's now()
+  // reads once run() drains; the anchor for repair-round backoff.
+  const auto end_time = [&] {
+    return sharded_mode ? shardsim->last_event_time() : serial_sim->now();
+  };
 
   // Fault-time route repair: rebuild up*/down* on the surviving subgraph
   // and rebind. The hook fires on *every* fault event — failures AND
@@ -147,26 +195,27 @@ MultiMulticastResult MulticastEngine::run_many(
       nis;
   std::unordered_map<topo::HostId, std::unique_ptr<netif::Host>> hosts;
   for (topo::HostId h : participants) {
+    sim::Simulator& hsim = sim_for_host(h);
     switch (config_.style) {
       case NiStyle::kConventional:
         nis.emplace(h, std::make_unique<netif::ConventionalNi>(
-                           simctx, network, config_.params, h, trace_));
+                           hsim, network, config_.params, h, trace_));
         break;
       case NiStyle::kSmartFcfs:
         nis.emplace(h, std::make_unique<netif::FcfsNi>(
-                           simctx, network, config_.params, h, trace_));
+                           hsim, network, config_.params, h, trace_));
         break;
       case NiStyle::kSmartFpfs:
         nis.emplace(h, std::make_unique<netif::FpfsNi>(
-                           simctx, network, config_.params, h, trace_));
+                           hsim, network, config_.params, h, trace_));
         break;
       case NiStyle::kReliableFpfs:
         nis.emplace(h, std::make_unique<netif::ReliableFpfsNi>(
-                           simctx, network, config_.params, reliability, h,
+                           hsim, network, config_.params, reliability, h,
                            trace_));
         break;
     }
-    hosts.emplace(h, std::make_unique<netif::Host>(simctx, h, config_.params));
+    hosts.emplace(h, std::make_unique<netif::Host>(hsim, h, config_.params));
   }
 
   // Forwarding state: one message id per operation.
@@ -191,19 +240,42 @@ MultiMulticastResult MulticastEngine::run_many(
   for (std::size_t op = 0; op < specs.size(); ++op) msg_op[op] = op;
   // Destinations whose NI has completed the operation (under any of its
   // message ids) — guards against a repair resend double-counting a host
-  // that made it through after all.
-  std::vector<std::unordered_set<topo::HostId>> arrived(specs.size());
+  // that made it through after all. Flat per-host bytes, not a set: each
+  // slot is touched only by its owner shard's thread.
+  std::vector<std::vector<std::uint8_t>> arrived(
+      specs.size(),
+      std::vector<std::uint8_t>(static_cast<std::size_t>(topology_.num_hosts()),
+                                0));
+
+  // Completion records, buffered per shard during the run (each shard's
+  // worker appends only to its own log) and merged afterwards. Both
+  // engines assemble results from these, sorted by (time, host, op) —
+  // the one place the sharded engine has no dispatch order to inherit —
+  // so serial and sharded reports are bit-identical.
+  struct CompletionLog {
+    /// (op, dest, time) at NI completion (before the host receive t_r).
+    std::vector<std::tuple<std::size_t, topo::HostId, sim::Time>> ni_done;
+    /// (op, dest, time) at host-level completion.
+    std::vector<std::tuple<std::size_t, topo::HostId, sim::Time>> host_done;
+  };
+  std::vector<std::unique_ptr<CompletionLog>> logs;
+  for (std::int32_t s = 0; s < num_shards; ++s) {
+    logs.push_back(std::make_unique<CompletionLog>());
+  }
 
   for (auto& [h, ni] : nis) {
-    ni->on_message_at_ni = [&, this](topo::HostId dest, net::MessageId msg) {
+    ni->on_message_at_ni = [&](topo::HostId dest, net::MessageId msg) {
       const auto op = msg_op[static_cast<std::size_t>(msg - 1)];
-      if (!arrived[op].insert(dest).second) return;
-      auto& result = batch.operations[op];
-      result.ni_latency =
-          std::max(result.ni_latency, simctx.now() - specs[op].start);
+      auto& seen = arrived[op][static_cast<std::size_t>(dest)];
+      if (seen != 0) return;
+      seen = 1;
+      sim::Simulator& hsim = sim_for_host(dest);
+      CompletionLog& log = *logs[static_cast<std::size_t>(
+          sharded_mode ? network.shard_of_host(dest) : 0)];
+      log.ni_done.emplace_back(op, dest, hsim.now());
       auto& host = *hosts.at(dest);
-      host.software_receive([&, dest, msg, op] {
-        batch.operations[op].completions.emplace_back(dest, simctx.now());
+      host.software_receive([&, logp = &log, dest, msg, op] {
+        logp->host_done.emplace_back(op, dest, sim_for_host(dest).now());
         nis.at(dest)->after_host_receive(msg, *hosts.at(dest));
       });
     };
@@ -212,11 +284,13 @@ MultiMulticastResult MulticastEngine::run_many(
   for (std::size_t op = 0; op < specs.size(); ++op) {
     const auto message = static_cast<net::MessageId>(op + 1);
     const topo::HostId root = specs[op].tree.root;
-    simctx.schedule_at(specs[op].start, [&nis, &hosts, root, message] {
-      nis.at(root)->start_from_host(message, *hosts.at(root));
-    });
+    sim_for_host(root).schedule_at(specs[op].start,
+                                   [&nis, &hosts, root, message] {
+                                     nis.at(root)->start_from_host(
+                                         message, *hosts.at(root));
+                                   });
   }
-  simctx.run();
+  run_sim();
 
   if (network.in_flight() != 0) {
     throw std::runtime_error(
@@ -239,7 +313,9 @@ MultiMulticastResult MulticastEngine::run_many(
         core::Chain chain;
         chain.push_back(root);
         for (topo::HostId h : spec.tree.nodes) {
-          if (h == root || arrived[op].contains(h)) continue;
+          if (h == root || arrived[op][static_cast<std::size_t>(h)] != 0) {
+            continue;
+          }
           if (!network.reachable(root, h)) continue;
           chain.push_back(h);
         }
@@ -261,19 +337,46 @@ MultiMulticastResult MulticastEngine::run_many(
         ++batch.operations[op].repairs;
         const sim::Time wait =
             config_.repair.backoff * (sim::Time::rep{1} << (round - 1));
-        simctx.schedule_at(simctx.now() + wait,
-                           [&nis, &hosts, root, message] {
-                             nis.at(root)->start_from_host(message,
-                                                           *hosts.at(root));
-                           });
+        sim_for_host(root).schedule_at(end_time() + wait,
+                                       [&nis, &hosts, root, message] {
+                                         nis.at(root)->start_from_host(
+                                             message, *hosts.at(root));
+                                       });
         scheduled_any = true;
       }
       if (!scheduled_any) break;
-      simctx.run();
+      run_sim();
       if (network.in_flight() != 0) {
         throw std::runtime_error(
             "MulticastEngine: network deadlock (worms still in flight)");
       }
+    }
+  }
+
+  // Merge the per-shard completion logs. Sorted by (time, host, op) in
+  // both modes: the serial engine's historical order was dispatch order,
+  // which for distinct completion events is time order with rare
+  // same-instant ties — fixing the tie-break keeps the two engines (and
+  // any two thread counts) bit-identical.
+  {
+    std::vector<std::tuple<std::size_t, topo::HostId, sim::Time>> ni_all;
+    std::vector<std::tuple<std::size_t, topo::HostId, sim::Time>> host_all;
+    for (const auto& log : logs) {
+      ni_all.insert(ni_all.end(), log->ni_done.begin(), log->ni_done.end());
+      host_all.insert(host_all.end(), log->host_done.begin(),
+                      log->host_done.end());
+    }
+    const auto by_time_host_op = [](const auto& a, const auto& b) {
+      return std::make_tuple(std::get<2>(a), std::get<1>(a), std::get<0>(a)) <
+             std::make_tuple(std::get<2>(b), std::get<1>(b), std::get<0>(b));
+    };
+    std::sort(host_all.begin(), host_all.end(), by_time_host_op);
+    for (const auto& [op, h, t] : host_all) {
+      batch.operations[op].completions.emplace_back(h, t);
+    }
+    for (const auto& [op, h, t] : ni_all) {
+      batch.operations[op].ni_latency =
+          std::max(batch.operations[op].ni_latency, t - specs[op].start);
     }
   }
 
@@ -319,8 +422,9 @@ MultiMulticastResult MulticastEngine::run_many(
   batch.total_channel_block_time = network.total_block_time();
   batch.packets_killed = network.packets_killed();
   batch.faults_applied = network.faults_applied();
-  batch.events_dispatched =
-      static_cast<std::int64_t>(simctx.events_dispatched());
+  batch.events_dispatched = static_cast<std::int64_t>(
+      sharded_mode ? shardsim->events_dispatched()
+                   : serial_sim->events_dispatched());
   if (config_.style == NiStyle::kReliableFpfs) {
     for (const auto& [h, ni] : nis) {
       const auto* rni = static_cast<const netif::ReliableFpfsNi*>(ni.get());

@@ -152,6 +152,16 @@ class MulticastEngine {
     netif::ReliabilityParams reliability = {};
     /// Only consulted when `network.faults` is non-empty.
     RepairPolicy repair = {};
+    /// Intra-run parallelism: > 1 partitions the fabric's switches into
+    /// (up to) that many shards and runs the whole simulation — network,
+    /// NIs and hosts — on a conservative-parallel sharded engine whose
+    /// results are bit-identical to the serial one (see docs/perf.md,
+    /// "Sharded engine"). Configurations the sharded network cannot
+    /// honor exactly (loss_rate > 0, pipelined release, an attached
+    /// trace) silently fall back to the serial engine.
+    std::int32_t shards = 1;
+    /// OS threads driving the sharded engine; 0 means one per shard.
+    std::int32_t shard_threads = 0;
   };
 
   MulticastEngine(const topo::Topology& topology,

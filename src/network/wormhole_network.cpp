@@ -7,16 +7,90 @@
 
 namespace nimcast::net {
 
+namespace {
+/// Global-event tie-break class for hop replays: after fault events
+/// (which use hi = 0) at the same instant.
+constexpr std::uint64_t kReplayHi = 1;
+}  // namespace
+
 WormholeNetwork::WormholeNetwork(sim::Simulator& simctx,
                                  const topo::Topology& topology,
                                  const routing::RouteTable& routes,
                                  NetworkConfig config, sim::Trace* trace)
-    : sim_{simctx},
+    : serial_sim_{&simctx},
       topology_{topology},
       routes_{&routes},
       config_{std::move(config)},
       trace_{trace},
       loss_rng_{config_.loss_seed} {
+  init_channels_and_faults();
+}
+
+WormholeNetwork::WormholeNetwork(sim::ShardedSimulator& sharded,
+                                 const topo::Topology& topology,
+                                 const routing::RouteTable& routes,
+                                 NetworkConfig config,
+                                 std::vector<std::int32_t> switch_shard)
+    : sharded_{&sharded},
+      topology_{topology},
+      routes_{&routes},
+      config_{std::move(config)},
+      trace_{nullptr},
+      loss_rng_{config_.loss_seed} {
+  if (switch_shard.size() !=
+      static_cast<std::size_t>(topology.num_switches())) {
+    throw std::invalid_argument(
+        "WormholeNetwork: switch_shard size != num_switches");
+  }
+  for (std::int32_t s : switch_shard) {
+    if (s < 0 || s >= sharded.num_shards()) {
+      throw std::invalid_argument(
+          "WormholeNetwork: switch_shard entry out of range");
+    }
+  }
+  if (sharded.lookahead() > config_.t_hop) {
+    throw std::invalid_argument(
+        "WormholeNetwork: driver lookahead exceeds t_hop — cross-shard "
+        "hops would violate the conservative window");
+  }
+  if (config_.loss_rate != 0.0) {
+    throw std::invalid_argument(
+        "WormholeNetwork: loss_rate > 0 cannot be sharded (the loss RNG "
+        "draw order is a global sequence)");
+  }
+  if (config_.release_model != ReleaseModel::kAtDelivery) {
+    throw std::invalid_argument(
+        "WormholeNetwork: pipelined release cannot be sharded (staggered "
+        "releases fire closer than one lookahead)");
+  }
+  init_channels_and_faults();
+  // Channel ownership: a directed switch channel belongs to the shard of
+  // its upstream (sending) switch, so consecutive channels of a route
+  // change owner exactly where the route crosses the partition — every
+  // cut link is one cross-shard mailbox hop.
+  chan_shard_.assign(channel_busy_.size(), 0);
+  const auto& g = topology_.switches();
+  const std::int32_t vcs = routes_->virtual_channels();
+  for (topo::LinkId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    for (std::int32_t dir = 0; dir < 2; ++dir) {
+      const topo::SwitchId from = dir == 0 ? edge.a : edge.b;
+      const std::int32_t base = (2 * e + dir) * vcs;
+      for (std::int32_t v = 0; v < vcs; ++v) {
+        chan_shard_[static_cast<std::size_t>(base + v)] =
+            switch_shard[static_cast<std::size_t>(from)];
+      }
+    }
+  }
+  for (topo::HostId h = 0; h < topology_.num_hosts(); ++h) {
+    const std::int32_t s =
+        switch_shard[static_cast<std::size_t>(topology_.switch_of(h))];
+    chan_shard_[static_cast<std::size_t>(injection_channel(h))] = s;
+    chan_shard_[static_cast<std::size_t>(ejection_channel(h))] = s;
+  }
+}
+
+void WormholeNetwork::init_channels_and_faults() {
   if (config_.loss_rate < 0.0 || config_.loss_rate >= 1.0) {
     throw std::invalid_argument(
         "WormholeNetwork: loss_rate must be in [0, 1)");
@@ -24,20 +98,33 @@ WormholeNetwork::WormholeNetwork(sim::Simulator& simctx,
   // Switch channels come first (expanded by the routes' virtual-channel
   // multiplicity), then per-host injection and ejection channels.
   const auto num_channels = static_cast<std::size_t>(
-      2 * topology.switches().num_edges() * routes.virtual_channels() +
-      2 * topology.num_hosts());
+      2 * topology_.switches().num_edges() * routes_->virtual_channels() +
+      2 * topology_.num_hosts());
   channel_busy_.assign(num_channels, 0);
-  wait_head_.assign(num_channels, kNoWorm);
-  wait_tail_.assign(num_channels, kNoWorm);
-  sinks_.assign(static_cast<std::size_t>(topology.num_hosts()), nullptr);
+  wait_head_.assign(num_channels, nullptr);
+  wait_tail_.assign(num_channels, nullptr);
+  sinks_.assign(static_cast<std::size_t>(topology_.num_hosts()), nullptr);
+  const int shards = is_sharded() ? sharded_->num_shards() : 1;
+  shard_state_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shard_state_.push_back(std::make_unique<ShardState>());
+  }
   for (const FaultEvent& ev : config_.faults.events()) {
     const auto bound = ev.kind == FaultKind::kSwitchDown
-                           ? topology.num_switches()
-                           : topology.switches().num_edges();
+                           ? topology_.num_switches()
+                           : topology_.switches().num_edges();
     if (ev.id < 0 || ev.id >= bound) {
       throw std::invalid_argument("WormholeNetwork: fault id out of range");
     }
-    sim_.schedule_at(ev.at, [this, ev] { apply_fault(ev); });
+    if (is_sharded()) {
+      // Fault application mutates channel state across every shard, so
+      // it runs in the single-threaded barrier phase with all clocks
+      // advanced to exactly ev.at — the instant the serial engine runs
+      // it (fault events carry the lowest insertion order there too).
+      sharded_->schedule_global(ev.at, [this, ev] { apply_fault(ev); });
+    } else {
+      serial_sim_->schedule_at(ev.at, [this, ev] { apply_fault(ev); });
+    }
   }
 }
 
@@ -63,6 +150,14 @@ bool WormholeNetwork::host_alive(topo::HostId h) const {
 
 bool WormholeNetwork::reachable(topo::HostId src, topo::HostId dst) const {
   return host_alive(src) && host_alive(dst) && routes_->reachable(src, dst);
+}
+
+std::int32_t WormholeNetwork::shard_of_host(topo::HostId h) const {
+  if (h < 0 || h >= topology_.num_hosts()) {
+    throw std::invalid_argument(
+        "WormholeNetwork::shard_of_host: host out of range");
+  }
+  return chan_shard(injection_channel(h));
 }
 
 std::int32_t WormholeNetwork::injection_channel(topo::HostId h) const {
@@ -93,83 +188,137 @@ sim::Time WormholeNetwork::uncontended_latency(std::size_t hops) const {
   return config_.t_hop * total_channels + config_.serialization_time();
 }
 
-WormholeNetwork::WormId WormholeNetwork::alloc_worm() {
-  WormId id;
-  if (free_head_ != kNoWorm) {
-    id = free_head_;
-    free_head_ = pool_[static_cast<std::size_t>(id)].next_waiter;
-    --pool_free_;
+std::int32_t WormholeNetwork::in_flight() const {
+  std::int32_t total = 0;
+  for (const auto& st : shard_state_) total += st->in_flight;
+  return total;
+}
+
+std::int64_t WormholeNetwork::packets_delivered() const {
+  std::int64_t total = 0;
+  for (const auto& st : shard_state_) total += st->delivered;
+  return total;
+}
+
+std::int64_t WormholeNetwork::packets_dropped() const {
+  std::int64_t total = 0;
+  for (const auto& st : shard_state_) total += st->dropped;
+  return total;
+}
+
+std::int64_t WormholeNetwork::packets_killed() const {
+  std::int64_t total = 0;
+  for (const auto& st : shard_state_) total += st->killed;
+  return total;
+}
+
+sim::Time WormholeNetwork::total_block_time() const {
+  sim::Time total = sim::Time::zero();
+  for (const auto& st : shard_state_) total += st->total_block;
+  return total;
+}
+
+std::size_t WormholeNetwork::worm_pool_slots() const {
+  std::size_t total = 0;
+  for (const auto& st : shard_state_) total += st->arena.size();
+  return total;
+}
+
+std::size_t WormholeNetwork::worm_pool_free() const {
+  std::size_t total = 0;
+  for (const auto& st : shard_state_) total += st->free_count;
+  return total;
+}
+
+std::int32_t WormholeNetwork::peak_in_flight() const {
+  std::int32_t total = 0;
+  for (const auto& st : shard_state_) total += st->peak_in_flight;
+  return total;
+}
+
+WormholeNetwork::Worm* WormholeNetwork::alloc_worm(std::int32_t shard) {
+  ShardState& st = state_of(shard);
+  Worm* w;
+  if (st.free_head != nullptr) {
+    w = st.free_head;
+    st.free_head = w->next_waiter;
+    --st.free_count;
   } else {
-    pool_.emplace_back();
-    id = static_cast<WormId>(pool_.size()) - 1;
+    st.arena.emplace_back();
+    w = &st.arena.back();
+    w->replay_key = (static_cast<std::uint64_t>(shard) << 32) |
+                    static_cast<std::uint64_t>(st.arena.size() - 1);
   }
-  Worm& w = pool_[static_cast<std::size_t>(id)];
   // Recycled vectors keep their capacity — the steady state allocates
   // nothing per packet.
-  w.path.clear();
-  w.acquired_at.clear();
-  w.pending_releases.clear();
-  w.next = 0;
-  w.pending = sim::EventId{};
-  w.next_waiter = kNoWorm;
-  w.released_below = 0;
-  w.parked = false;
-  w.draining = false;
-  w.use_sink = false;
-  w.in_use = true;
-  return id;
+  w->path.clear();
+  w->acquired_at.clear();
+  w->pending_releases.clear();
+  w->next = 0;
+  w->pending = sim::EventId{};
+  w->pending_shard = 0;
+  w->next_waiter = nullptr;
+  w->shard = shard;
+  w->released_below = 0;
+  w->parked = false;
+  w->draining = false;
+  w->use_sink = false;
+  w->in_use = true;
+  w->doomed = false;
+  return w;
 }
 
-void WormholeNetwork::free_worm(WormId id) {
-  Worm& w = pool_[static_cast<std::size_t>(id)];
-  assert(w.in_use);
-  w.in_use = false;
-  w.cb = DeliveryCallback{};  // drop the closure, not just the flag
-  w.next_waiter = free_head_;
-  free_head_ = id;
-  ++pool_free_;
+void WormholeNetwork::free_worm(Worm* w, std::int32_t shard) {
+  ShardState& st = state_of(shard);
+  assert(w->in_use);
+  w->in_use = false;
+  ++w->doom_epoch;  // invalidate any replay global still pointing here
+  w->cb = DeliveryCallback{};  // drop the closure, not just the flag
+  w->next_waiter = st.free_head;
+  st.free_head = w;
+  ++st.free_count;
 }
 
-void WormholeNetwork::push_waiter(std::int32_t chan, WormId id) {
+void WormholeNetwork::push_waiter(std::int32_t chan, Worm* w) {
   const auto c = static_cast<std::size_t>(chan);
-  pool_[static_cast<std::size_t>(id)].next_waiter = kNoWorm;
-  if (wait_tail_[c] == kNoWorm) {
-    wait_head_[c] = id;
+  w->next_waiter = nullptr;
+  if (wait_tail_[c] == nullptr) {
+    wait_head_[c] = w;
   } else {
-    pool_[static_cast<std::size_t>(wait_tail_[c])].next_waiter = id;
+    wait_tail_[c]->next_waiter = w;
   }
-  wait_tail_[c] = id;
+  wait_tail_[c] = w;
 }
 
-WormholeNetwork::WormId WormholeNetwork::pop_waiter(std::int32_t chan) {
+WormholeNetwork::Worm* WormholeNetwork::pop_waiter(std::int32_t chan) {
   const auto c = static_cast<std::size_t>(chan);
-  const WormId id = wait_head_[c];
-  if (id == kNoWorm) return kNoWorm;
-  wait_head_[c] = pool_[static_cast<std::size_t>(id)].next_waiter;
-  if (wait_head_[c] == kNoWorm) wait_tail_[c] = kNoWorm;
-  pool_[static_cast<std::size_t>(id)].next_waiter = kNoWorm;
-  return id;
+  Worm* w = wait_head_[c];
+  if (w == nullptr) return nullptr;
+  wait_head_[c] = w->next_waiter;
+  if (wait_head_[c] == nullptr) wait_tail_[c] = nullptr;
+  w->next_waiter = nullptr;
+  return w;
 }
 
-void WormholeNetwork::erase_waiter(std::int32_t chan, WormId id) {
+void WormholeNetwork::erase_waiter(std::int32_t chan, Worm* w) {
   // Mid-queue removal for the fault path only; the list walk is fine
   // there — truncation is rare and queues are short.
   const auto c = static_cast<std::size_t>(chan);
-  WormId prev = kNoWorm;
-  WormId cur = wait_head_[c];
-  while (cur != kNoWorm && cur != id) {
+  Worm* prev = nullptr;
+  Worm* cur = wait_head_[c];
+  while (cur != nullptr && cur != w) {
     prev = cur;
-    cur = pool_[static_cast<std::size_t>(cur)].next_waiter;
+    cur = cur->next_waiter;
   }
-  assert(cur == id);
-  const WormId after = pool_[static_cast<std::size_t>(id)].next_waiter;
-  if (prev == kNoWorm) {
+  assert(cur == w);
+  Worm* after = w->next_waiter;
+  if (prev == nullptr) {
     wait_head_[c] = after;
   } else {
-    pool_[static_cast<std::size_t>(prev)].next_waiter = after;
+    prev->next_waiter = after;
   }
-  if (wait_tail_[c] == id) wait_tail_[c] = prev;
-  pool_[static_cast<std::size_t>(id)].next_waiter = kNoWorm;
+  if (wait_tail_[c] == w) wait_tail_[c] = prev;
+  w->next_waiter = nullptr;
 }
 
 void WormholeNetwork::send(const Packet& packet) {
@@ -192,75 +341,122 @@ void WormholeNetwork::inject(const Packet& packet, DeliveryCallback cb,
   if (use_sink && sinks_[static_cast<std::size_t>(packet.dest)] == nullptr) {
     throw std::logic_error("WormholeNetwork::send: no sink bound for dest");
   }
+  const std::int32_t s = chan_shard(injection_channel(packet.sender));
   if (!reachable(packet.sender, packet.dest)) {
     // The fabric segment between the endpoints is dead: a CRC-style
     // silent drop at injection. Reliable NIs see it as loss and retry or
     // give up against their reachability check.
-    ++dropped_;
+    ++state_of(s).dropped;
     if (trace_) {
-      trace_->record(sim_.now(), sim::TraceCategory::kPacket, packet.sender,
+      trace_->record(serial_sim_->now(), sim::TraceCategory::kPacket,
+                     packet.sender,
                      "DROP-unreachable msg=" + std::to_string(packet.message) +
                          " pkt=" + std::to_string(packet.packet_index) +
                          " -> host " + std::to_string(packet.dest));
     }
     return;
   }
-  const WormId id = alloc_worm();
-  Worm& w = pool_[static_cast<std::size_t>(id)];
-  w.packet = packet;
-  w.cb = std::move(cb);
-  w.use_sink = use_sink;
-  build_path(packet.sender, packet.dest, w.path);
-  ++in_flight_;
-  if (in_flight_ > peak_in_flight_) peak_in_flight_ = in_flight_;
+  Worm* w = alloc_worm(s);
+  w->packet = packet;
+  w->cb = std::move(cb);
+  w->use_sink = use_sink;
+  build_path(packet.sender, packet.dest, w->path);
+  ShardState& st = state_of(s);
+  ++st.in_flight;
+  if (st.in_flight > st.peak_in_flight) st.peak_in_flight = st.in_flight;
   if (trace_) {
-    trace_->record(sim_.now(), sim::TraceCategory::kPacket, packet.sender,
+    trace_->record(serial_sim_->now(), sim::TraceCategory::kPacket,
+                   packet.sender,
                    "inject msg=" + std::to_string(packet.message) + " pkt=" +
                        std::to_string(packet.packet_index) + " -> host " +
                        std::to_string(packet.dest));
   }
-  progress(id);
+  progress(w);
 }
 
-void WormholeNetwork::progress(WormId id) {
-  Worm& w = pool_[static_cast<std::size_t>(id)];
-  assert(w.in_use && w.next < w.path.size());
-  const std::int32_t chan = w.path[w.next];
+void WormholeNetwork::progress(Worm* w) {
+  assert(w->in_use && w->next < w->path.size());
+  // A replay global that reached progress() is resolved either way — the
+  // worm acquires/parks (channel recovered) or dies right here.
+  w->doomed = false;
+  const std::int32_t chan = w->path[w->next];
+  const std::int32_t s = chan_shard(chan);
+  sim::Simulator& shard_sim = sim_of(s);
   if (channel_dead(chan)) {
-    // The header ran into a link/switch that died after injection.
-    kill_worm(id);
+    // The header ran into a link/switch that died after injection. In
+    // sharded mode this only happens inside the barrier phase (the
+    // replay path), where the cross-shard teardown is safe.
+    kill_worm(w);
     return;
   }
   if (channel_busy_[static_cast<std::size_t>(chan)]) {
-    w.block_start = sim_.now();
-    w.parked = true;
-    push_waiter(chan, id);
+    w->block_start = shard_sim.now();
+    w->parked = true;
+    push_waiter(chan, w);
     if (trace_) {
-      trace_->record(sim_.now(), sim::TraceCategory::kChannel, chan,
-                     "block pkt=" + std::to_string(w.packet.packet_index) +
-                         " dest=" + std::to_string(w.packet.dest));
+      trace_->record(shard_sim.now(), sim::TraceCategory::kChannel, chan,
+                     "block pkt=" + std::to_string(w->packet.packet_index) +
+                         " dest=" + std::to_string(w->packet.dest));
     }
     return;
   }
   channel_busy_[static_cast<std::size_t>(chan)] = 1;
-  w.acquired_at.push_back(sim_.now());
-  ++w.next;
-  if (w.next == w.path.size()) {
-    schedule_drain(id);
+  w->acquired_at.push_back(shard_sim.now());
+  ++w->next;
+  if (w->next == w->path.size()) {
+    schedule_drain(w);
   } else {
-    w.pending = sim_.schedule_at(sim_.now() + config_.t_hop,
-                                 [this, id] { progress(id); });
+    schedule_hop(w, s);
   }
 }
 
-void WormholeNetwork::schedule_drain(WormId id) {
-  Worm& w = pool_[static_cast<std::size_t>(id)];
-  w.draining = true;
+void WormholeNetwork::schedule_hop(Worm* w, std::int32_t from) {
+  sim::Simulator& shard_sim = sim_of(from);
+  const sim::Time at = shard_sim.now() + config_.t_hop;
+  const std::int32_t target = w->path[w->next];
+  const std::int32_t to = chan_shard(target);
+  w->hop_at = at;
+  if (is_sharded() && channel_dead(target)) {
+    // The arrival would tear the worm down mid-window with channel
+    // releases on several shards; route it through the barrier phase at
+    // the exact arrival instant instead (and let it re-check liveness —
+    // the channel may have recovered by then, as in the serial engine).
+    doom(w, at);
+    return;
+  }
+  w->pending_shard = to;
+  if (to == from) {
+    w->pending = shard_sim.schedule_at(at, [this, w] { progress(w); });
+  } else {
+    sharded_->post(from, to, at, [this, w] { progress(w); }, &w->pending);
+  }
+}
+
+void WormholeNetwork::doom(Worm* w, sim::Time at) {
+  w->doomed = true;
+  w->pending = sim::EventId{};
+  const std::uint64_t ep = w->doom_epoch;
+  sharded_->schedule_global_keyed(at, kReplayHi, w->replay_key,
+                                  [this, w, ep] {
+                                    // The worm may have been killed (and
+                                    // even recycled) by a fault sweep in
+                                    // the meantime.
+                                    if (!w->in_use || w->doom_epoch != ep) {
+                                      return;
+                                    }
+                                    progress(w);
+                                  });
+}
+
+void WormholeNetwork::schedule_drain(Worm* w) {
+  const std::int32_t ds = chan_shard(w->path.back());
+  sim::Simulator& shard_sim = sim_of(ds);
+  w->draining = true;
   // Header crosses the final (ejection) channel, then the payload drains
   // into the destination NI.
   const sim::Time delivery =
-      sim_.now() + config_.t_hop + config_.serialization_time();
-  const std::size_t len = w.path.size();
+      shard_sim.now() + config_.t_hop + config_.serialization_time();
+  const std::size_t len = w->path.size();
   if (config_.release_model == ReleaseModel::kPipelined) {
     // The tail flit trails the header by one hop per remaining channel;
     // upstream channels free as it passes (never before the head of the
@@ -268,20 +464,43 @@ void WormholeNetwork::schedule_drain(WormId id) {
     // times are non-decreasing in i and scheduled in index order, so the
     // FIFO tie-break makes released_below advance monotonically.
     for (std::size_t i = 0; i + 1 < len; ++i) {
-      const sim::Time earliest = w.acquired_at[i] + config_.t_hop +
+      const sim::Time earliest = w->acquired_at[i] + config_.t_hop +
                                  config_.serialization_time();
       const sim::Time tail_passes =
           delivery - config_.t_hop * static_cast<sim::Time::rep>(len - 1 - i);
-      const std::int32_t chan = w.path[i];
-      const auto eid = sim_.schedule_at(
-          std::max(earliest, tail_passes), [this, id, i, chan] {
-            pool_[static_cast<std::size_t>(id)].released_below = i + 1;
+      const std::int32_t chan = w->path[i];
+      const auto eid = shard_sim.schedule_at(
+          std::max(earliest, tail_passes), [this, w, i, chan] {
+            w->released_below = i + 1;
             release_channel(chan);
           });
-      w.pending_releases.push_back(PendingRelease{chan, eid});
+      w->pending_releases.push_back(PendingRelease{chan, eid});
+    }
+  } else if (is_sharded()) {
+    // At-delivery releases of channels owned by other shards cannot run
+    // inside complete() (that would mutate foreign channel state
+    // mid-window); mail each one to its owner, timed at the delivery
+    // instant — which is at least one lookahead away, since delivery is
+    // t_hop + serialization past now. They are synthetic: the serial
+    // engine performs them inline, so they must not count as logical
+    // events. reserve() up front: post() keeps a pointer into the
+    // vector until the next barrier flush binds the EventId.
+    w->pending_releases.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::int32_t chan = w->path[i];
+      const std::int32_t owner = chan_shard(chan);
+      if (owner == ds) continue;
+      w->pending_releases.push_back(PendingRelease{chan, sim::EventId{}});
+      sharded_->post(ds, owner, delivery,
+                     [this, chan, owner] {
+                       sharded_->note_synthetic(owner);
+                       release_channel(chan);
+                     },
+                     &w->pending_releases.back().id);
     }
   }
-  w.pending = sim_.schedule_at(delivery, [this, id] { complete(id); });
+  w->pending_shard = ds;
+  w->pending = shard_sim.schedule_at(delivery, [this, w] { complete(w); });
 }
 
 void WormholeNetwork::release_channel(std::int32_t chan) {
@@ -293,56 +512,68 @@ void WormholeNetwork::release_channel(std::int32_t chan) {
     channel_busy_[c] = 0;
     return;
   }
-  const WormId id = pop_waiter(chan);
-  if (id == kNoWorm) {
+  Worm* next = pop_waiter(chan);
+  if (next == nullptr) {
     channel_busy_[c] = 0;
     return;
   }
   // Immediate FIFO hand-off: the channel never goes idle, the head waiter
   // owns it as of now. Keeps arbitration strictly first-come-first-served.
-  Worm& next = pool_[static_cast<std::size_t>(id)];
-  next.parked = false;
-  total_block_ += sim_.now() - next.block_start;
-  assert(next.path[next.next] == chan);
-  next.acquired_at.push_back(sim_.now());
-  ++next.next;
-  if (next.next == next.path.size()) {
-    schedule_drain(id);
+  const std::int32_t s = chan_shard(chan);
+  sim::Simulator& shard_sim = sim_of(s);
+  next->parked = false;
+  state_of(s).total_block += shard_sim.now() - next->block_start;
+  assert(next->path[next->next] == chan);
+  next->acquired_at.push_back(shard_sim.now());
+  ++next->next;
+  if (next->next == next->path.size()) {
+    schedule_drain(next);
   } else {
-    next.pending = sim_.schedule_at(sim_.now() + config_.t_hop,
-                                    [this, id] { progress(id); });
+    schedule_hop(next, s);
   }
 }
 
-void WormholeNetwork::complete(WormId id) {
-  Worm& w = pool_[static_cast<std::size_t>(id)];
+void WormholeNetwork::complete(Worm* w) {
+  const std::int32_t ds = chan_shard(w->path.back());
   if (config_.release_model == ReleaseModel::kAtDelivery) {
-    for (std::int32_t chan : w.path) release_channel(chan);
+    if (is_sharded()) {
+      // Locally-owned channels release here; the rest were mailed to
+      // their owner shards at drain-scheduling time and fire at this
+      // same instant over there.
+      for (std::int32_t chan : w->path) {
+        if (chan_shard(chan) == ds) release_channel(chan);
+      }
+    } else {
+      for (std::int32_t chan : w->path) release_channel(chan);
+    }
   } else {
     // Pipelined mode already released the upstream channels; only the
     // final (ejection) channel is still held.
-    release_channel(w.path.back());
+    release_channel(w->path.back());
   }
-  --in_flight_;
+  w->pending_releases.clear();
+  ShardState& st = state_of(ds);
+  --st.in_flight;
   const bool lost =
       config_.loss_rate > 0.0 && loss_rng_.next_bool(config_.loss_rate);
   if (lost) {
-    ++dropped_;
+    ++st.dropped;
   } else {
-    ++delivered_;
+    ++st.delivered;
   }
   if (trace_) {
-    trace_->record(sim_.now(), sim::TraceCategory::kPacket, w.packet.dest,
+    trace_->record(serial_sim_->now(), sim::TraceCategory::kPacket,
+                   w->packet.dest,
                    std::string(lost ? "DROP" : "deliver") + " msg=" +
-                       std::to_string(w.packet.message) + " pkt=" +
-                       std::to_string(w.packet.packet_index));
+                       std::to_string(w->packet.message) + " pkt=" +
+                       std::to_string(w->packet.packet_index));
   }
   // Free the slot before invoking delivery: a reentrant send() from the
-  // receiver may recycle it (and may grow the slab, so `w` dies here).
-  const Packet packet = w.packet;
-  const bool use_sink = w.use_sink;
-  DeliveryCallback cb = lost ? DeliveryCallback{} : std::move(w.cb);
-  free_worm(id);
+  // receiver may recycle it.
+  const Packet packet = w->packet;
+  const bool use_sink = w->use_sink;
+  DeliveryCallback cb = lost ? DeliveryCallback{} : std::move(w->cb);
+  free_worm(w, ds);
   if (lost) return;
   if (use_sink) {
     sinks_[static_cast<std::size_t>(packet.dest)]->on_packet_delivered(packet);
@@ -367,30 +598,50 @@ void WormholeNetwork::apply_fault(const FaultEvent& ev) {
   }
   refresh_dead_channels();
   if (trace_) {
-    trace_->record(sim_.now(), sim::TraceCategory::kChannel, ev.id,
+    trace_->record(serial_sim_->now(), sim::TraceCategory::kChannel, ev.id,
                    std::string("FAULT ") + to_string(ev.kind) + " id=" +
                        std::to_string(ev.id));
   }
   if (ev.kind != FaultKind::kLinkUp) {
     // Collect the victims first: kill_worm may hand surviving channels to
     // other worms, so the sweep reads current state one victim at a time.
-    std::vector<WormId> victims;
-    for (WormId i = 0; i < static_cast<WormId>(pool_.size()); ++i) {
-      const Worm& w = pool_[static_cast<std::size_t>(i)];
-      if (!w.in_use) continue;
-      // Channels the worm currently pins: everything acquired but not yet
-      // released, plus (for a parked worm) the dead channel it waits on —
-      // that wait can never be satisfied once the channel is condemned.
-      const std::size_t held_end =
-          w.draining ? w.path.size() : w.next + (w.parked ? 1u : 0u);
-      for (std::size_t i2 = w.released_below; i2 < held_end; ++i2) {
-        if (channel_dead(w.path[i2])) {
-          victims.push_back(i);
-          break;
+    std::vector<Worm*> victims;
+    for (auto& stp : shard_state_) {
+      for (Worm& w : stp->arena) {
+        if (!w.in_use) continue;
+        // Channels the worm currently pins: everything acquired but not
+        // yet released, plus (for a parked worm) the dead channel it
+        // waits on — that wait can never be satisfied once the channel
+        // is condemned.
+        const std::size_t held_end =
+            w.draining ? w.path.size() : w.next + (w.parked ? 1u : 0u);
+        for (std::size_t i = w.released_below; i < held_end; ++i) {
+          if (channel_dead(w.path[i])) {
+            victims.push_back(&w);
+            break;
+          }
         }
       }
     }
-    for (WormId w : victims) kill_worm(w);
+    for (Worm* w : victims) kill_worm(w);
+    if (is_sharded()) {
+      // Survivors whose *pending hop* targets a channel this fault just
+      // condemned: the serial engine lets the hop fire and the worm die
+      // on arrival. Here that teardown would release channels on several
+      // shards mid-window, so convert each such hop into a barrier-phase
+      // replay at the same arrival instant (which double-checks
+      // liveness, preserving the recovered-in-time case).
+      for (auto& stp : shard_state_) {
+        for (Worm& w : stp->arena) {
+          if (!w.in_use || w.parked || w.draining || w.doomed) continue;
+          if (!channel_dead(w.path[w.next])) continue;
+          const bool canceled = sim_of(w.pending_shard).cancel(w.pending);
+          assert(canceled);
+          static_cast<void>(canceled);
+          doom(&w, w.hop_at);
+        }
+      }
+    }
   }
   if (on_fault) on_fault(ev);
 }
@@ -418,48 +669,60 @@ void WormholeNetwork::refresh_dead_channels() {
   }
 }
 
-void WormholeNetwork::kill_worm(WormId id) {
-  Worm& w = pool_[static_cast<std::size_t>(id)];
-  if (w.parked) {
+void WormholeNetwork::kill_worm(Worm* w) {
+  if (w->parked) {
     // Un-park: the worm leaves the waiter FIFO it sits in.
-    erase_waiter(w.path[w.next], id);
-    w.parked = false;
-  } else {
+    erase_waiter(w->path[w->next], w);
+    w->parked = false;
+  } else if (!w->doomed) {
     // Cancel the in-flight hop / drain-completion event. cancel() is a
     // no-op (false) if it already fired, in which case the worm's state
-    // was advanced by the callback and reflects reality.
-    sim_.cancel(w.pending);
+    // was advanced by the callback and reflects reality. A doomed worm
+    // has no live event — its replay global no-ops via the epoch guard.
+    sim_of(w->pending_shard).cancel(w->pending);
   }
-  // Staggered pipelined releases that have not fired yet still hold their
-  // channel: cancel each and release it here. Fired ones already advanced
-  // released_below.
-  for (const auto& pr : w.pending_releases) {
-    if (sim_.cancel(pr.id)) release_channel(pr.chan);
+  // Releases that have not fired yet (pipelined staggered releases, or
+  // sharded remote at-delivery releases) still hold their channel:
+  // cancel each and release it here. Fired pipelined ones already
+  // advanced released_below.
+  for (const auto& pr : w->pending_releases) {
+    if (sim_of(chan_shard(pr.chan)).cancel(pr.id)) release_channel(pr.chan);
   }
-  w.pending_releases.clear();
-  if (w.draining) {
+  w->pending_releases.clear();
+  if (w->draining) {
     if (config_.release_model == ReleaseModel::kAtDelivery) {
-      for (std::int32_t chan : w.path) release_channel(chan);
+      if (is_sharded()) {
+        // The remote at-delivery releases were canceled-and-released
+        // just above; only the destination shard's channels remain.
+        const std::int32_t ds = chan_shard(w->path.back());
+        for (std::int32_t chan : w->path) {
+          if (chan_shard(chan) == ds) release_channel(chan);
+        }
+      } else {
+        for (std::int32_t chan : w->path) release_channel(chan);
+      }
     } else {
       // Pipelined: upstream channels were handled above (fired or
       // canceled); only the final (ejection) channel remains held.
-      release_channel(w.path.back());
+      release_channel(w->path.back());
     }
   } else {
-    for (std::size_t i = w.released_below; i < w.next; ++i) {
-      release_channel(w.path[i]);
+    for (std::size_t i = w->released_below; i < w->next; ++i) {
+      release_channel(w->path[i]);
     }
   }
-  --in_flight_;
-  ++dropped_;
-  ++killed_;
+  ShardState& st = state_of(w->shard);
+  --st.in_flight;
+  ++st.dropped;
+  ++st.killed;
   if (trace_) {
-    trace_->record(sim_.now(), sim::TraceCategory::kPacket, w.packet.dest,
-                   "KILL msg=" + std::to_string(w.packet.message) +
-                       " pkt=" + std::to_string(w.packet.packet_index) +
-                       " from=" + std::to_string(w.packet.sender));
+    trace_->record(serial_sim_->now(), sim::TraceCategory::kPacket,
+                   w->packet.dest,
+                   "KILL msg=" + std::to_string(w->packet.message) +
+                       " pkt=" + std::to_string(w->packet.packet_index) +
+                       " from=" + std::to_string(w->packet.sender));
   }
-  free_worm(id);
+  free_worm(w, w->shard);
 }
 
 }  // namespace nimcast::net

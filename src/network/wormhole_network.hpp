@@ -1,13 +1,16 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "network/network_config.hpp"
 #include "network/packet.hpp"
 #include "routing/route_table.hpp"
 #include "sim/rng.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -48,13 +51,35 @@ class DeliverySink {
 /// one physical link carry flits simultaneously (a standard lightweight
 /// simplification, noted in DESIGN.md).
 ///
-/// Storage: worms live in a slab pool with an intrusive free list (the
-/// event-core recipe from sim::event_pool) and are addressed by index —
-/// slab growth only ever happens at injection, and a recycled slot keeps
-/// its vectors' capacity, so steady-state traffic allocates nothing.
-/// Channel state is three flat arrays indexed by channel id (busy flag,
-/// waiter-FIFO head/tail), with the FIFO linked through the worms
-/// themselves.
+/// Storage: worms live in per-shard deque arenas (stable addresses, so
+/// `Worm*` survives growth) with intrusive free lists; a recycled slot
+/// keeps its vectors' capacity, so steady-state traffic allocates
+/// nothing. Channel state is three flat arrays indexed by channel id
+/// (busy flag, waiter-FIFO head/tail), with the FIFO linked through the
+/// worms themselves.
+///
+/// ## Sharded execution
+///
+/// The second constructor binds the network to a sim::ShardedSimulator
+/// and a switch partition: every channel is owned by the shard of its
+/// upstream switch (injection/ejection channels by the host's switch),
+/// and all events touching a channel run on its owner shard. A hop that
+/// crosses the partition travels as cross-shard mail timed `t_hop` ahead
+/// — which is why the driver's lookahead must not exceed `t_hop`. Channel
+/// releases that the serial engine performs inline at delivery are mailed
+/// to the owning shards as synthetic events at the same simulated
+/// instant. Fault application, and the teardown of any worm whose header
+/// would run into a fault-condemned channel, execute in the
+/// single-threaded barrier phase at the exact instant the serial engine
+/// would have executed them (via keyed global events), because a teardown
+/// releases channels on several shards at once. The dispatched event
+/// sequence is a pure function of the workload — independent of thread
+/// count — and matches the serial engine event for event; see
+/// docs/perf.md ("Sharded engine") for the exact contract.
+///
+/// Sharded mode requires `ReleaseModel::kAtDelivery` (pipelined staggered
+/// releases can fire closer than one lookahead), zero `loss_rate` (the
+/// loss RNG's draw order is a global sequence), and no trace sink.
 class WormholeNetwork {
  public:
   /// Per-packet delivery closure for the legacy send() overload; tests
@@ -65,6 +90,16 @@ class WormholeNetwork {
   WormholeNetwork(sim::Simulator& simctx, const topo::Topology& topology,
                   const routing::RouteTable& routes, NetworkConfig config,
                   sim::Trace* trace = nullptr);
+
+  /// Sharded-mode constructor: `switch_shard[s]` names the owning shard
+  /// of switch `s` (one entry per switch, values in
+  /// [0, sharded.num_shards())). Throws std::invalid_argument when the
+  /// partition is malformed or the configuration cannot be sharded (see
+  /// class comment).
+  WormholeNetwork(sim::ShardedSimulator& sharded,
+                  const topo::Topology& topology,
+                  const routing::RouteTable& routes, NetworkConfig config,
+                  std::vector<std::int32_t> switch_shard);
 
   WormholeNetwork(const WormholeNetwork&) = delete;
   WormholeNetwork& operator=(const WormholeNetwork&) = delete;
@@ -80,18 +115,24 @@ class WormholeNetwork {
   /// itself be busy, in which case the worm queues like at any other
   /// channel. Packets whose sender or destination sits on a dead switch,
   /// or whose pair is unreachable in the bound route table, are dropped
-  /// at injection (counted in packets_dropped()).
+  /// at injection (counted in packets_dropped()). In sharded mode this
+  /// must be called from the sender's owner-shard context (an NI event)
+  /// or outside run().
   void send(const Packet& packet);
 
   /// Legacy overload: delivery invokes `on_delivered` instead of the
-  /// destination's sink.
-  void send(const Packet& packet, DeliveryCallback on_delivered);
+  /// destination's sink. New code should bind a DeliverySink and use
+  /// send(packet); per-packet callbacks cannot be pooled and are
+  /// invisible to the sharded engine's completion accounting.
+  [[deprecated("bind a DeliverySink and use send(const Packet&)")]] void send(
+      const Packet& packet, DeliveryCallback on_delivered);
 
   /// Fired after a `config.faults` event has been applied: the liveness
   /// mask is updated and every worm caught on a dying channel has been
   /// truncated. Fires for recoveries (kLinkUp) too — the multicast engine
   /// hooks this to rebuild routes on the *current* surviving subgraph,
-  /// whichever direction it just changed.
+  /// whichever direction it just changed. In sharded mode the hook runs
+  /// in the single-threaded barrier phase.
   std::function<void(const FaultEvent&)> on_fault;
 
   /// Swaps the route table consulted for future injections — the
@@ -112,31 +153,35 @@ class WormholeNetwork {
   /// Both endpoints alive and connected under the bound route table.
   [[nodiscard]] bool reachable(topo::HostId src, topo::HostId dst) const;
 
+  /// Shard owning `h`'s injection/ejection channels (0 in serial mode).
+  [[nodiscard]] std::int32_t shard_of_host(topo::HostId h) const;
+
   /// Worms currently traversing the network (or blocked inside it). A
   /// simulator that goes idle while this is non-zero has hit a routing
   /// deadlock — possible with torus dimension-ordered routes, impossible
-  /// with up*/down*.
-  [[nodiscard]] std::int32_t in_flight() const { return in_flight_; }
+  /// with up*/down*. Sharded mode: only meaningful between runs or at a
+  /// barrier (summed over shards).
+  [[nodiscard]] std::int32_t in_flight() const;
 
-  [[nodiscard]] std::int64_t packets_delivered() const { return delivered_; }
+  [[nodiscard]] std::int64_t packets_delivered() const;
 
   /// Packets dropped by the loss process (loss_rate > 0) or by faults
   /// (truncated worms, injections into a dead fabric segment). Dropped
   /// packets consumed wire time but never reached their delivery
   /// callback.
-  [[nodiscard]] std::int64_t packets_dropped() const { return dropped_; }
+  [[nodiscard]] std::int64_t packets_dropped() const;
 
   /// Worms truncated mid-flight by a fault: their acquired channels were
   /// freed, the tail was killed, and the receiver saw a CRC-style drop.
   /// A subset of packets_dropped().
-  [[nodiscard]] std::int64_t packets_killed() const { return killed_; }
+  [[nodiscard]] std::int64_t packets_killed() const;
 
   /// Fault events applied so far.
   [[nodiscard]] std::int32_t faults_applied() const { return faults_applied_; }
 
   /// Cumulative time worms spent blocked on busy channels; the
   /// contention metric reported by the ordering ablation.
-  [[nodiscard]] sim::Time total_block_time() const { return total_block_; }
+  [[nodiscard]] sim::Time total_block_time() const;
 
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
@@ -145,24 +190,21 @@ class WormholeNetwork {
   /// t_step.
   [[nodiscard]] sim::Time uncontended_latency(std::size_t hops) const;
 
-  /// Pool high-water mark: worm slots ever allocated. Equals the peak
-  /// number of simultaneously live worms — the pool leak/reuse invariant
-  /// the worm-pool tests pin.
-  [[nodiscard]] std::size_t worm_pool_slots() const { return pool_.size(); }
+  /// Pool high-water mark: worm slots ever allocated (summed over shard
+  /// arenas). Equals the peak number of simultaneously live worms in
+  /// serial mode — the pool leak/reuse invariant the worm-pool tests pin.
+  [[nodiscard]] std::size_t worm_pool_slots() const;
 
-  /// Slots currently on the free list (== worm_pool_slots() when the
+  /// Slots currently on the free lists (== worm_pool_slots() when the
   /// network is idle and nothing leaked).
-  [[nodiscard]] std::size_t worm_pool_free() const { return pool_free_; }
+  [[nodiscard]] std::size_t worm_pool_free() const;
 
-  /// Maximum in_flight() ever observed.
-  [[nodiscard]] std::int32_t peak_in_flight() const { return peak_in_flight_; }
+  /// Maximum in_flight() ever observed. Exact in serial mode; in sharded
+  /// mode an upper bound (the sum of per-shard peaks — shards don't
+  /// share a cycle-exact global counter mid-window).
+  [[nodiscard]] std::int32_t peak_in_flight() const;
 
  private:
-  /// Worms are addressed by pool index: slab growth (vector
-  /// reallocation) would invalidate pointers, and indices survive it.
-  using WormId = std::int32_t;
-  static constexpr WormId kNoWorm = -1;
-
   struct PendingRelease {
     std::int32_t chan;
     sim::EventId id;
@@ -173,14 +215,25 @@ class WormholeNetwork {
     DeliveryCallback cb;  ///< legacy-overload deliveries only
     std::vector<std::int32_t> path;      ///< channel ids, injection..ejection
     std::vector<sim::Time> acquired_at;  ///< per-channel acquisition times
-    /// Staggered pipelined releases not yet fired (fault bookkeeping).
+    /// Pipelined mode: staggered releases not yet fired. Sharded mode:
+    /// the remote (cross-shard) at-delivery releases mailed by
+    /// schedule_drain. Either way: cancel-and-release on kill.
     std::vector<PendingRelease> pending_releases;
     std::size_t next = 0;        ///< next channel to acquire
     sim::Time block_start{};     ///< set while parked on a busy channel
+    sim::Time hop_at{};          ///< arrival time of the pending hop
     sim::EventId pending{};      ///< in-flight hop / drain-completion event
+    std::int32_t pending_shard = 0;  ///< shard whose queue holds `pending`
     /// Waiter-FIFO link while parked; free-list link while the slot is
     /// free.
-    WormId next_waiter = kNoWorm;
+    Worm* next_waiter = nullptr;
+    std::int32_t shard = 0;  ///< shard that allocated this incarnation
+    /// Bumped on every free; replay globals capture it to detect that
+    /// the worm they were scheduled for died (or was recycled) first.
+    std::uint64_t doom_epoch = 0;
+    /// Deterministic identity for replay-global tie-breaks:
+    /// (birth arena << 32) | slot index within it. Never changes.
+    std::uint64_t replay_key = 0;
     /// Channels [0, released_below) already freed by pipelined staggered
     /// releases; they must not be freed again when the worm is killed.
     std::size_t released_below = 0;
@@ -188,6 +241,25 @@ class WormholeNetwork {
     bool draining = false;  ///< final channel acquired, payload draining
     bool use_sink = false;  ///< deliver via sink (hot path) vs cb (legacy)
     bool in_use = false;    ///< live worm vs free slot (fault sweep filter)
+    /// Sharded: the pending hop was replaced by a barrier-phase replay
+    /// global (its target channel is currently condemned); `pending` is
+    /// not a live event.
+    bool doomed = false;
+  };
+
+  /// Per-shard mutable state: worm arena + free list + statistics. One
+  /// instance in serial mode. Heap-allocated so shard-hot state never
+  /// false-shares across worker threads.
+  struct ShardState {
+    std::deque<Worm> arena;  ///< stable addresses; grows at injection
+    Worm* free_head = nullptr;
+    std::size_t free_count = 0;
+    std::int32_t in_flight = 0;
+    std::int32_t peak_in_flight = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+    std::int64_t killed = 0;
+    sim::Time total_block = sim::Time::zero();
   };
 
   /// Channel ids: [0, 2E*V) switch channels, [2E*V, 2E*V+H) injection,
@@ -197,20 +269,39 @@ class WormholeNetwork {
   void build_path(topo::HostId src, topo::HostId dst,
                   std::vector<std::int32_t>& out) const;
 
-  [[nodiscard]] WormId alloc_worm();
-  void free_worm(WormId id);
+  [[nodiscard]] bool is_sharded() const { return sharded_ != nullptr; }
+  [[nodiscard]] std::int32_t chan_shard(std::int32_t chan) const {
+    return is_sharded() ? chan_shard_[static_cast<std::size_t>(chan)] : 0;
+  }
+  [[nodiscard]] sim::Simulator& sim_of(std::int32_t shard) const {
+    return is_sharded() ? sharded_->shard(shard) : *serial_sim_;
+  }
+  [[nodiscard]] ShardState& state_of(std::int32_t shard) {
+    return *shard_state_[static_cast<std::size_t>(shard)];
+  }
+
+  [[nodiscard]] Worm* alloc_worm(std::int32_t shard);
+  void free_worm(Worm* w, std::int32_t shard);
   void inject(const Packet& packet, DeliveryCallback cb, bool use_sink);
-  void push_waiter(std::int32_t chan, WormId id);
-  [[nodiscard]] WormId pop_waiter(std::int32_t chan);
-  void erase_waiter(std::int32_t chan, WormId id);
+  void push_waiter(std::int32_t chan, Worm* w);
+  [[nodiscard]] Worm* pop_waiter(std::int32_t chan);
+  void erase_waiter(std::int32_t chan, Worm* w);
 
   /// Advances the worm's header through free channels; parks it on the
-  /// first busy one.
-  void progress(WormId id);
+  /// first busy one. Runs on the owner shard of path[next] (or in the
+  /// barrier phase).
+  void progress(Worm* w);
+  /// Schedules the header's arrival at path[next], `t_hop` from now on
+  /// shard `from`: locally, as cross-shard mail, or — when the target
+  /// channel is currently condemned — as a barrier-phase replay global
+  /// (the ensuing teardown touches many shards).
+  void schedule_hop(Worm* w, std::int32_t from);
+  void doom(Worm* w, sim::Time at);
   /// Called once the final channel is acquired: schedules the tail drain
-  /// (and, in pipelined mode, the staggered upstream releases).
-  void schedule_drain(WormId id);
-  void complete(WormId id);
+  /// (and the upstream releases: staggered in pipelined mode, mailed to
+  /// their owner shards in sharded mode).
+  void schedule_drain(Worm* w);
+  void complete(Worm* w);
   void release_channel(std::int32_t chan);
 
   /// Applies one fault event: updates the liveness mask, condemns the
@@ -219,38 +310,36 @@ class WormholeNetwork {
   void refresh_dead_channels();
   /// Truncates a worm: unparks or cancels its pending events, frees every
   /// channel it still holds, counts the packet as dropped+killed.
-  void kill_worm(WormId id);
+  void kill_worm(Worm* w);
   [[nodiscard]] bool channel_dead(std::int32_t chan) const {
     return !channel_dead_.empty() &&
            channel_dead_[static_cast<std::size_t>(chan)];
   }
 
-  sim::Simulator& sim_;
+  void init_channels_and_faults();
+
+  sim::Simulator* serial_sim_ = nullptr;    ///< serial mode
+  sim::ShardedSimulator* sharded_ = nullptr;  ///< sharded mode
   const topo::Topology& topology_;
   const routing::RouteTable* routes_;  ///< pointer: rebindable after faults
   NetworkConfig config_;
   sim::Trace* trace_;
 
-  // Flat per-channel state, indexed by channel id.
+  // Flat per-channel state, indexed by channel id. In sharded mode each
+  // index is touched only by its owner shard mid-window (barriers order
+  // everything else).
   std::vector<std::uint8_t> channel_busy_;
-  std::vector<WormId> wait_head_;  ///< waiter-FIFO head, kNoWorm when empty
-  std::vector<WormId> wait_tail_;
+  std::vector<Worm*> wait_head_;  ///< waiter-FIFO head, null when empty
+  std::vector<Worm*> wait_tail_;
+  /// Owner shard per channel id; empty in serial mode.
+  std::vector<std::int32_t> chan_shard_;
 
-  // Worm slab + free list (threaded through Worm::next_waiter).
-  std::vector<Worm> pool_;
-  WormId free_head_ = kNoWorm;
-  std::size_t pool_free_ = 0;
+  std::vector<std::unique_ptr<ShardState>> shard_state_;
 
   std::vector<DeliverySink*> sinks_;  ///< per host, null until bound
 
-  std::int32_t in_flight_ = 0;
-  std::int32_t peak_in_flight_ = 0;
-  std::int64_t delivered_ = 0;
-  std::int64_t dropped_ = 0;
-  std::int64_t killed_ = 0;
   std::int32_t faults_applied_ = 0;
   sim::Rng loss_rng_;
-  sim::Time total_block_ = sim::Time::zero();
   topo::SubgraphMask mask_;
   /// Parallel to channel_busy_; sized lazily at the first fault so the
   /// zero-fault path touches nothing.

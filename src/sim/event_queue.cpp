@@ -22,9 +22,9 @@ void EventQueue::release_slot(std::uint32_t slot) {
   free_slots_.push_back(slot);
 }
 
-void EventQueue::heap_push(Time time, std::uint64_t order,
+void EventQueue::heap_push(Time time, std::uint64_t hi, std::uint64_t lo,
                            std::uint32_t slot) {
-  heap_.push_back(HeapEntry{time, order, slot});
+  heap_.push_back(HeapEntry{time, hi, lo, slot});
   slab_[slot].heap_index =
       static_cast<std::uint32_t>(sift_up(heap_.size() - 1));
 }
@@ -99,7 +99,7 @@ EventQueue::Fired EventQueue::pop() {
   assert(!heap_.empty() && "pop() on empty queue");
   const HeapEntry top = heap_.front();
   Slot& s = slab_[top.slot];
-  Fired fired{top.time, std::move(s.cb)};
+  Fired fired{top.time, top.hi, top.lo, std::move(s.cb)};
   release_slot(top.slot);
   const std::size_t last = heap_.size() - 1;
   if (last > 0) {

@@ -142,6 +142,16 @@ class EventCallback {
 /// frees the slot immediately (O(log n), no tombstones), and stale
 /// EventIds are rejected by a per-slot generation counter. Not
 /// thread-safe; each worker thread owns its own queue.
+///
+/// The tie-break key is a 128-bit (hi, lo) pair. The plain schedule()
+/// path uses (0, insertion counter) — pure FIFO, the historical
+/// behaviour. schedule_keyed() lets a caller supply the key explicitly;
+/// the sharded simulator passes (schedule-time, lineage key) so that
+/// events merged across shard queues keep the order a serial execution
+/// would have given them (a serial run's insertion counter is monotone
+/// in schedule time, so the two keyings agree whenever schedule times
+/// differ; rekey_lo() lets the sharded driver finalize lineage keys at
+/// window barriers once global dispatch ordinals are known).
 class EventQueue {
  public:
   using Callback = EventCallback;
@@ -155,15 +165,25 @@ class EventQueue {
   /// Schedules `f` at absolute time `when`.
   template <typename F>
   EventId schedule(Time when, F&& f) {
+    return schedule_keyed(when, 0, next_order_++, std::forward<F>(f));
+  }
+
+  /// Schedules `f` at `when` with an explicit (hi, lo) tie-break key:
+  /// events at the same time fire in ascending (hi, lo) order. Mixing
+  /// schedule() and schedule_keyed() on one queue is allowed but the
+  /// keys then come from different spaces; callers that need a total
+  /// order must pick one keying per queue.
+  template <typename F>
+  EventId schedule_keyed(Time when, std::uint64_t hi, std::uint64_t lo,
+                         F&& f) {
     EventCallback cb;
     cb.emplace(std::forward<F>(f), *pool_);
     assert(cb && "scheduling an empty callback");
     const std::uint32_t slot = acquire_slot();
     Slot& s = slab_[slot];
     s.time = when;
-    s.order = next_order_++;
     s.cb = std::move(cb);
-    heap_push(when, s.order, slot);
+    heap_push(when, hi, lo, slot);
     return EventId{make_id(slot, s.generation)};
   }
 
@@ -188,11 +208,34 @@ class EventQueue {
   /// Removes and returns the earliest pending event. Queue must be
   /// non-empty. The returned callback may own pool storage; it must be
   /// destroyed before the queue (the simulator's dispatch loop does).
+  /// (hi, lo) is the tie-break key the event was scheduled with — the
+  /// sharded driver records it to reconstruct global dispatch order.
   struct Fired {
     Time time;
+    std::uint64_t hi;
+    std::uint64_t lo;
     Callback cb;
   };
   Fired pop();
+
+  /// Applies `fn` to every pending entry's `lo` key and restores the
+  /// heap invariant in one pass. The sharded driver uses this at window
+  /// barriers to replace provisional lineage keys with final ones;
+  /// `fn` must be order-preserving over the entries it changes relative
+  /// to the ones it leaves alone (the barrier's ordinal assignment is).
+  template <typename Fn>
+  void rekey_lo(Fn&& fn) {
+    bool changed = false;
+    for (HeapEntry& e : heap_) {
+      const std::uint64_t lo = fn(e.lo);
+      if (lo != e.lo) {
+        e.lo = lo;
+        changed = true;
+      }
+    }
+    if (!changed || heap_.size() < 2) return;
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
 
   /// Number of event slots allocated in the slab (live + free-listed).
   /// Exposed for tests: schedule/cancel churn must not grow this beyond
@@ -202,14 +245,14 @@ class EventQueue {
  private:
   struct Slot {
     Time time{};
-    std::uint64_t order = 0;
     std::uint32_t generation = 1;
     std::uint32_t heap_index = kNoHeapIndex;
     EventCallback cb;
   };
   struct HeapEntry {
     Time time;
-    std::uint64_t order;
+    std::uint64_t hi;
+    std::uint64_t lo;
     std::uint32_t slot;
   };
   static constexpr std::uint32_t kNoHeapIndex = 0xffffffffu;
@@ -219,12 +262,14 @@ class EventQueue {
   }
   static bool earlier(const HeapEntry& a, const HeapEntry& b) {
     if (a.time != b.time) return a.time < b.time;
-    return a.order < b.order;
+    if (a.hi != b.hi) return a.hi < b.hi;
+    return a.lo < b.lo;
   }
 
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot);
-  void heap_push(Time time, std::uint64_t order, std::uint32_t slot);
+  void heap_push(Time time, std::uint64_t hi, std::uint64_t lo,
+                 std::uint32_t slot);
   void heap_remove(std::size_t index);
   std::size_t sift_up(std::size_t index);
   void sift_down(std::size_t index);

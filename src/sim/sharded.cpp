@@ -1,0 +1,296 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace nimcast::sim {
+
+ShardedSimulator::ShardedSimulator(int num_shards, Time lookahead)
+    : lookahead_{lookahead} {
+  if (num_shards < 1) {
+    throw std::invalid_argument("ShardedSimulator: num_shards < 1");
+  }
+  if (lookahead <= Time::zero()) {
+    throw std::invalid_argument("ShardedSimulator: lookahead must be > 0");
+  }
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    auto cell = std::make_unique<Cell>();
+    cell->sim.enable_shard_order();
+    cell->sim.set_schedule_context(&ctx_);
+    shards_.push_back(std::move(cell));
+  }
+  win_records_.resize(static_cast<std::size_t>(num_shards));
+  win_ordinals_.resize(static_cast<std::size_t>(num_shards));
+}
+
+std::size_t ShardedSimulator::checked(int s) const {
+  if (s < 0 || s >= num_shards()) {
+    throw std::out_of_range("ShardedSimulator: shard index out of range");
+  }
+  return static_cast<std::size_t>(s);
+}
+
+void ShardedSimulator::post(int from, int to, Time when,
+                            std::function<void()> fn, EventId* bind_slot) {
+  static_cast<void>(checked(to));
+  Cell& cell = *shards_[checked(from)];
+  const Simulator::PostKey key = cell.sim.alloc_post_key();
+  cell.outbox.push_back(
+      Mail{to, when, key.hi, key.lo, key.provisional, std::move(fn),
+           bind_slot});
+}
+
+void ShardedSimulator::schedule_global(Time at, std::function<void()> fn) {
+  // hi = 0 sorts registration-keyed globals (faults) ahead of any
+  // hop-replay global at the same instant — matching the serial engine,
+  // where fault events were scheduled at construction with the lowest
+  // insertion order.
+  schedule_global_keyed(at, 0, global_seq_++, std::move(fn));
+}
+
+void ShardedSimulator::schedule_global_keyed(Time at, std::uint64_t hi,
+                                             std::uint64_t lo,
+                                             std::function<void()> fn) {
+  const std::lock_guard lock{globals_mutex_};
+  globals_.push_back(GlobalEvent{at, hi, lo, std::move(fn)});
+}
+
+void ShardedSimulator::flush_outboxes() {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Cell& cell = *shards_[s];
+    for (Mail& m : cell.outbox) {
+      // The conservative contract: mail must land strictly after the
+      // last window any shard has executed, or the receiver may already
+      // have dispatched past it.
+      if (m.when <= ran_through_) {
+        throw std::logic_error(
+            "ShardedSimulator: cross-shard post violates lookahead");
+      }
+      // Mail posted during the just-closed window carries a provisional
+      // lineage key; the sender's ordinal table (finalize_window) is
+      // live until the next barrier.
+      const std::uint64_t lo = m.provisional ? resolve_lo(s, m.lo) : m.lo;
+      const EventId id = shards_[static_cast<std::size_t>(m.to)]
+                             ->sim.schedule_at_keyed(m.when, m.hi, lo,
+                                                     std::move(m.fn));
+      if (m.bind_slot != nullptr) *m.bind_slot = id;
+    }
+    cell.outbox.clear();
+  }
+}
+
+std::uint64_t ShardedSimulator::resolve_lo(std::size_t s,
+                                           std::uint64_t lo) const {
+  if ((lo & Simulator::kProvisionalBit) == 0) return lo;
+  const std::uint64_t parent =
+      (lo & ~Simulator::kProvisionalBit) >> Simulator::kCallIdxBits;
+  return (win_ordinals_[s][parent] << Simulator::kCallIdxBits) |
+         (lo & Simulator::kCallIdxMask);
+}
+
+void ShardedSimulator::finalize_window() {
+  const std::size_t S = shards_.size();
+  bool any = false;
+  for (std::size_t s = 0; s < S; ++s) {
+    shards_[s]->sim.drain_window_records(win_records_[s]);
+    win_ordinals_[s].assign(win_records_[s].size(), 0);
+    any = any || !win_records_[s].empty();
+  }
+  if (!any) return;
+  // K-way merge of the per-shard dispatch streams by firing key. Each
+  // stream is already internally ordered (it *is* that shard's dispatch
+  // order), and a record's final lineage key is computable the moment it
+  // reaches the head of its stream: a provisional key's parent is an
+  // earlier dispatch of the same shard and window, so its ordinal is
+  // already assigned. The merged position is the event's global dispatch
+  // ordinal — the serial engine's dispatch sequence number.
+  std::vector<std::size_t> cur(S, 0);
+  for (;;) {
+    std::size_t best = S;
+    Time bt{};
+    std::uint64_t bhi = 0;
+    std::uint64_t blo = 0;
+    for (std::size_t s = 0; s < S; ++s) {
+      if (cur[s] >= win_records_[s].size()) continue;
+      const Simulator::DispatchRecord& r = win_records_[s][cur[s]];
+      const std::uint64_t lo = resolve_lo(s, r.lo);
+      if (best == S || r.time < bt ||
+          (r.time == bt && (r.hi < bhi || (r.hi == bhi && lo < blo)))) {
+        best = s;
+        bt = r.time;
+        bhi = r.hi;
+        blo = lo;
+      }
+    }
+    if (best == S) break;
+    win_ordinals_[best][cur[best]++] = ctx_.next_ordinal++;
+  }
+  // Every event scheduled during the window that is still pending (or
+  // parked in an outbox — flush_outboxes handles those) now gets its
+  // final key; the serial tie-break is fully reconstructed before any
+  // shard runs again.
+  for (std::size_t s = 0; s < S; ++s) {
+    shards_[s]->sim.rekey_provisional(
+        [this, s](std::uint64_t lo) { return resolve_lo(s, lo); });
+  }
+}
+
+std::uint64_t ShardedSimulator::total_dispatched() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : shards_) total += cell->sim.events_dispatched();
+  return total;
+}
+
+void ShardedSimulator::sort_pending_globals() {
+  // Orders the not-yet-fired globals. Runs single-threaded (barrier
+  // completion), but appends from the just-finished window still need
+  // the fence the mutex provides. Re-run after every global fires: a
+  // barrier-phase callback may register further keyed globals.
+  const std::lock_guard lock{globals_mutex_};
+  std::sort(globals_.begin() + static_cast<std::ptrdiff_t>(next_global_),
+            globals_.end(), [](const GlobalEvent& a, const GlobalEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.hi != b.hi) return a.hi < b.hi;
+              return a.lo < b.lo;
+            });
+}
+
+bool ShardedSimulator::plan_window(Time& window_end) {
+  finalize_window();
+  flush_outboxes();
+  for (;;) {
+    sort_pending_globals();
+    Time next = Time::max();
+    for (const auto& cell : shards_) {
+      if (!cell->sim.idle()) {
+        next = std::min(next, cell->sim.next_event_time());
+      }
+    }
+    const Time global_at = next_global_ < globals_.size()
+                               ? globals_[next_global_].at
+                               : Time::max();
+    if (global_at <= next && global_at != Time::max()) {
+      // Serial equivalence: fault events were scheduled at construction
+      // (lowest insertion order), so they fire before any runtime event
+      // at the same instant — here, before the window that would run
+      // those events.
+      for (auto& cell : shards_) cell->sim.advance_to(global_at);
+      // The global is a dispatch in its own right: give it the next
+      // ordinal and pin the shared context so its schedule calls get
+      // final lineage keys (parent = this global, in call order).
+      ctx_.per_call = false;
+      ctx_.pinned_ordinal = ctx_.next_ordinal++;
+      ctx_.idx = 0;
+      globals_[next_global_].fn();
+      ctx_.per_call = true;
+      ++next_global_;
+      ++globals_fired_;
+      last_global_ = std::max(last_global_, global_at);
+      flush_outboxes();
+      continue;
+    }
+    if (next == Time::max()) return false;  // quiescent, no globals left
+    // Window [next, next + lookahead): run_until is inclusive, so end one
+    // tick short; clamp at the next global event the same way.
+    Time end = next + lookahead_;
+    if (global_at < end) end = global_at;
+    window_end = end - Time::ns(1);
+    ran_through_ = window_end;
+    return true;
+  }
+}
+
+std::uint64_t ShardedSimulator::run(int threads, std::uint64_t event_limit) {
+  const int S = num_shards();
+  threads = std::clamp(threads, 1, S);
+  const std::uint64_t start_dispatched = total_dispatched();
+
+  struct Control {
+    Time window_end{};
+    bool done = false;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  } ctl;
+
+  auto note_error = [&ctl]() noexcept {
+    std::lock_guard lock{ctl.error_mutex};
+    if (!ctl.error) ctl.error = std::current_exception();
+  };
+
+  // Barrier completion: the single-threaded inter-window step. Must not
+  // throw (std::barrier would terminate); errors park in ctl and stop
+  // the loop.
+  auto on_barrier = [&]() noexcept {
+    if (ctl.done) return;
+    try {
+      if (ctl.error != nullptr ||
+          total_dispatched() - start_dispatched > event_limit) {
+        if (ctl.error == nullptr) {
+          throw std::runtime_error(
+              "ShardedSimulator::run: event limit exceeded");
+        }
+        ctl.done = true;
+        return;
+      }
+      ctl.done = !plan_window(ctl.window_end);
+    } catch (...) {
+      note_error();
+      ctl.done = true;
+    }
+  };
+  std::barrier bar{threads, on_barrier};
+
+  // Thread i executes the contiguous shard block [lo, hi): with threads
+  // == num_shards that is exactly one shard per thread.
+  auto worker = [&](int i) {
+    const int lo = i * S / threads;
+    const int hi = (i + 1) * S / threads;
+    for (;;) {
+      bar.arrive_and_wait();  // completion plans the next window
+      if (ctl.done) return;
+      try {
+        for (int s = lo; s < hi; ++s) {
+          shards_[static_cast<std::size_t>(s)]->sim.run_until(
+              ctl.window_end, event_limit);
+        }
+      } catch (...) {
+        note_error();
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(threads - 1));
+    for (int i = 1; i < threads; ++i) pool.emplace_back(worker, i);
+    worker(0);
+  }  // jthreads join here
+
+  if (ctl.error) std::rethrow_exception(ctl.error);
+  return total_dispatched() - start_dispatched;
+}
+
+std::uint64_t ShardedSimulator::events_dispatched() const {
+  std::uint64_t total = globals_fired_;
+  for (const auto& cell : shards_) {
+    total += cell->sim.events_dispatched();
+    total -= cell->synthetic;
+  }
+  return total;
+}
+
+Time ShardedSimulator::last_event_time() const {
+  Time latest = last_global_;
+  for (const auto& cell : shards_) {
+    latest = std::max(latest, cell->sim.last_event_time());
+  }
+  return latest;
+}
+
+}  // namespace nimcast::sim

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/sim_time.hpp"
+
+namespace nimcast::sim {
+
+/// Conservative time-window parallel driver over N `Simulator` shards.
+///
+/// Each shard owns its own event queue and is executed by at most one OS
+/// thread at a time; shards synchronize at window barriers. The window
+/// width is the `lookahead` — the minimum simulated latency of any
+/// cross-shard interaction (for the wormhole network: one channel hop,
+/// `t_hop`) — so events dispatched inside a window can only create
+/// cross-shard events that fire in a *later* window, and intra-window
+/// execution is lock-free.
+///
+/// Cross-shard interactions travel through per-shard outboxes (`post`)
+/// that the barrier flushes into the target shards' queues, carrying the
+/// *sender's* deterministic tie-break key — the same (schedule-time,
+/// lineage) key every shard-order `Simulator` stamps on its local
+/// events. At each barrier the driver reconstructs the serial engine's
+/// insertion-counter order exactly: the closed window's per-shard
+/// dispatch records are merged into one global sequence (a k-way merge
+/// by firing key — final by construction, since cross-shard influence
+/// needs at least one lookahead), each dispatch is assigned its global
+/// ordinal, and every still-pending event scheduled during the window
+/// has its provisional lineage key rewritten to
+/// `(parent ordinal, schedule-call index)` — which is precisely how two
+/// serial insertion counters compare. Dispatch order is therefore
+/// bit-identical to the serial `Simulator`'s and independent of thread
+/// count and OS scheduling. See docs/perf.md ("Sharded engine").
+///
+/// Globally-ordered actions that must see all shards at one instant
+/// (fault injection) register via `schedule_global`; they run
+/// single-threaded at a barrier with every shard clock advanced to
+/// exactly the event time and every outbox flushed.
+class ShardedSimulator {
+ public:
+  /// `lookahead` must be positive; every post() must target a time at
+  /// least `lookahead` after the sender's current time.
+  ShardedSimulator(int num_shards, Time lookahead);
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] int num_shards() const {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] Simulator& shard(int s) { return shards_[checked(s)]->sim; }
+  [[nodiscard]] const Simulator& shard(int s) const {
+    return shards_[checked(s)]->sim;
+  }
+  [[nodiscard]] Time lookahead() const { return lookahead_; }
+
+  /// Mails `fn` from shard `from` to shard `to`, to fire at `when`. The
+  /// sender's tie-break key is captured here, at post() time, so the
+  /// mailed event interleaves with the sender's local schedule calls in
+  /// call order; a provisional key is finalized when the flush runs,
+  /// after the barrier's ordinal assignment. Safe to call from `from`'s
+  /// worker thread during a window, or from the driver thread outside
+  /// run(). `when` must be at least lookahead() past shard `from`'s
+  /// current time (checked at flush). If `bind_slot` is non-null the
+  /// EventId the flush creates is stored through it — the receiver-side
+  /// cancellation handle; the slot must stay valid until the next
+  /// barrier.
+  void post(int from, int to, Time when, std::function<void()> fn,
+            EventId* bind_slot = nullptr);
+
+  /// Registers a single-threaded barrier-phase event (fault injection).
+  /// At time `at`, every shard's clock is advanced to exactly `at`, all
+  /// outboxes are flushed, and `fn` runs alone with mutable access to
+  /// every shard. Events at equal times run in registration order, before
+  /// any shard-local event at the same instant.
+  void schedule_global(Time at, std::function<void()> fn);
+
+  /// Keyed variant, safe to call from worker threads mid-window: equal
+  /// times order by (hi, lo) — registration-keyed globals (hi = 0) first.
+  /// The wormhole network uses this to replay a hop that would land on a
+  /// fault-condemned channel: the resulting worm teardown touches channel
+  /// state on several shards, so it must run in the single-threaded
+  /// barrier phase, at the exact simulated instant the serial engine
+  /// would have run it. `at` must be at least lookahead() past the
+  /// calling shard's current time.
+  void schedule_global_keyed(Time at, std::uint64_t hi, std::uint64_t lo,
+                             std::function<void()> fn);
+
+  /// Counts one dispatched event on `shard` as synthetic: it exists only
+  /// because of the sharding (a mailed channel release that the serial
+  /// engine performs inline) and is excluded from events_dispatched().
+  void note_synthetic(int shard) { ++shards_[checked(shard)]->synthetic; }
+
+  /// Runs every shard to global quiescence — queues and outboxes empty,
+  /// all global events fired — using `threads` OS threads (clamped to
+  /// [1, num_shards]; the calling thread participates). Thread count
+  /// never changes the dispatched event sequence, only the wall clock.
+  /// Returns the number of (non-global) events dispatched by this call.
+  std::uint64_t run(int threads,
+                    std::uint64_t event_limit = Simulator::kDefaultEventLimit);
+
+  /// Serial-equivalent logical event count: shard dispatches plus fired
+  /// global events minus synthetic events.
+  [[nodiscard]] std::uint64_t events_dispatched() const;
+
+  /// Max over shards of the last dispatched event time, including fired
+  /// global events (the serial engine dispatches those as ordinary
+  /// events) — what the serial engine's now() reads after run() drains.
+  [[nodiscard]] Time last_event_time() const;
+
+ private:
+  struct Mail {
+    int to;
+    Time when;
+    std::uint64_t hi;
+    std::uint64_t lo;
+    bool provisional;  ///< lo still needs the barrier's ordinal rewrite
+    std::function<void()> fn;
+    EventId* bind_slot;
+  };
+  /// Per-shard cell, heap-allocated so hot per-thread state (the
+  /// simulator, the outbox) never false-shares across workers.
+  struct Cell {
+    Simulator sim;
+    std::vector<Mail> outbox;
+    std::uint64_t synthetic = 0;
+  };
+  struct GlobalEvent {
+    Time at;
+    std::uint64_t hi;
+    std::uint64_t lo;
+    std::function<void()> fn;
+  };
+
+  [[nodiscard]] std::size_t checked(int s) const;
+  void flush_outboxes();
+  void sort_pending_globals();
+  /// Single-threaded between windows: finalizes the closed window's
+  /// event order, flushes mail, fires due global events, picks the next
+  /// window. Returns false at global quiescence.
+  bool plan_window(Time& window_end);
+  /// Drains the closed window's dispatch records, assigns each dispatch
+  /// its global ordinal (k-way merge by firing key), and rewrites every
+  /// pending provisional lineage key to its final form.
+  void finalize_window();
+  /// Provisional lineage key -> final, via shard `s`'s closed-window
+  /// ordinal table. Identity for keys that are already final.
+  [[nodiscard]] std::uint64_t resolve_lo(std::size_t s,
+                                         std::uint64_t lo) const;
+  [[nodiscard]] std::uint64_t total_dispatched() const;
+
+  std::vector<std::unique_ptr<Cell>> shards_;
+  /// Shared final-lineage-key counters; installed into every shard's
+  /// simulator, touched only in single-threaded phases.
+  Simulator::ScheduleContext ctx_;
+  /// Per-shard scratch for the closed window: dispatch records and the
+  /// global ordinal assigned to each (parallel vectors).
+  std::vector<std::vector<Simulator::DispatchRecord>> win_records_;
+  std::vector<std::vector<std::uint64_t>> win_ordinals_;
+  /// Consumed prefix [0, next_global_) is frozen; the live suffix is
+  /// re-sorted by (at, hi, lo) each time the barrier looks at it, because
+  /// workers may append keyed globals mid-window (guarded by
+  /// globals_mutex_; the sort itself runs single-threaded).
+  std::vector<GlobalEvent> globals_;
+  std::mutex globals_mutex_;
+  std::uint64_t global_seq_ = 0;  ///< registration order for unkeyed globals
+  std::size_t next_global_ = 0;
+  std::uint64_t globals_fired_ = 0;
+  Time last_global_ = Time::zero();  ///< latest fired global event time
+  Time lookahead_;
+  /// Latest window end any shard has dispatched through; mail landing at
+  /// or before it arrives too late (lookahead violation).
+  Time ran_through_ = Time::ns(-1);
+};
+
+}  // namespace nimcast::sim

@@ -12,14 +12,13 @@ void Simulator::throw_past_schedule(Time when) const {
 std::uint64_t Simulator::run(std::uint64_t event_limit) {
   std::uint64_t fired = 0;
   while (!queue_.empty()) {
-    auto [time, cb] = queue_.pop();
-    now_ = time;
-    ++fired;
-    ++dispatched_;
-    if (fired > event_limit) {
+    auto ev = queue_.pop();
+    begin_dispatch(ev);
+    if (++fired > event_limit) {
       throw std::runtime_error("Simulator::run: event limit exceeded");
     }
-    cb();
+    ev.cb();
+    end_dispatch();
   }
   return fired;
 }
@@ -27,14 +26,13 @@ std::uint64_t Simulator::run(std::uint64_t event_limit) {
 std::uint64_t Simulator::run_until(Time until, std::uint64_t event_limit) {
   std::uint64_t fired = 0;
   while (!queue_.empty() && queue_.next_time() <= until) {
-    auto [time, cb] = queue_.pop();
-    now_ = time;
-    ++fired;
-    ++dispatched_;
-    if (fired > event_limit) {
+    auto ev = queue_.pop();
+    begin_dispatch(ev);
+    if (++fired > event_limit) {
       throw std::runtime_error("Simulator::run_until: event limit exceeded");
     }
-    cb();
+    ev.cb();
+    end_dispatch();
   }
   if (until > now_) now_ = until;
   return fired;
@@ -42,10 +40,10 @@ std::uint64_t Simulator::run_until(Time until, std::uint64_t event_limit) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  auto [time, cb] = queue_.pop();
-  now_ = time;
-  ++dispatched_;
-  cb();
+  auto ev = queue_.pop();
+  begin_dispatch(ev);
+  ev.cb();
+  end_dispatch();
   return true;
 }
 

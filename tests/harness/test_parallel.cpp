@@ -218,6 +218,95 @@ TEST(ParallelMeasurePoint, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+class ConfiguredThreadsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("NIMCAST_THREADS"); }
+
+  static int with_env(const char* value) {
+    setenv("NIMCAST_THREADS", value, 1);
+    return configured_threads();
+  }
+
+  static int fallback() {
+    unsetenv("NIMCAST_THREADS");
+    return configured_threads();
+  }
+};
+
+TEST_F(ConfiguredThreadsTest, ValidValuesAreUsedVerbatim) {
+  EXPECT_EQ(with_env("1"), 1);
+  EXPECT_EQ(with_env("7"), 7);
+  EXPECT_EQ(with_env(" 12 "), 12);  // surrounding whitespace tolerated
+}
+
+TEST_F(ConfiguredThreadsTest, ZeroAndNegativeFallBackToAuto) {
+  const int expected = fallback();
+  EXPECT_GE(expected, 1);
+  EXPECT_EQ(with_env("0"), expected);
+  EXPECT_EQ(with_env("-3"), expected);
+}
+
+TEST_F(ConfiguredThreadsTest, NonNumericFallsBackToAuto) {
+  const int expected = fallback();
+  EXPECT_EQ(with_env(""), expected);
+  EXPECT_EQ(with_env("lots"), expected);
+  EXPECT_EQ(with_env("4abc"), expected);  // no silent stoi truncation
+  EXPECT_EQ(with_env("3.5"), expected);
+  EXPECT_EQ(with_env("0x10"), expected);
+}
+
+TEST_F(ConfiguredThreadsTest, AbsurdValuesAreClamped) {
+  EXPECT_EQ(with_env("100000"), kMaxThreads);
+  EXPECT_EQ(with_env("99999999999999999999"), fallback());  // overflow
+  EXPECT_EQ(with_env("512"), kMaxThreads);
+}
+
+class ConfiguredShardsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("NIMCAST_SHARDS"); }
+
+  static int with_env(const char* value) {
+    setenv("NIMCAST_SHARDS", value, 1);
+    return configured_shards();
+  }
+};
+
+TEST_F(ConfiguredShardsTest, UnsetMeansAuto) {
+  unsetenv("NIMCAST_SHARDS");
+  EXPECT_EQ(configured_shards(), 0);
+}
+
+TEST_F(ConfiguredShardsTest, ParsesStrictlyAndClamps) {
+  EXPECT_EQ(with_env("1"), 1);
+  EXPECT_EQ(with_env("4"), 4);
+  EXPECT_EQ(with_env(" 8 "), 8);
+  EXPECT_EQ(with_env("0"), 0);       // auto
+  EXPECT_EQ(with_env("-2"), 0);      // auto
+  EXPECT_EQ(with_env("4abc"), 0);    // no silent truncation
+  EXPECT_EQ(with_env("100000"), kMaxThreads);
+}
+
+TEST_F(ConfiguredShardsTest, EnvOverridesThePolicy) {
+  setenv("NIMCAST_SHARDS", "3", 1);
+  EXPECT_EQ(pick_shards(16, 64, 100), 3);
+  EXPECT_EQ(pick_shards(1, 2048, 1), 3);
+}
+
+TEST_F(ConfiguredShardsTest, AutoPolicyShardOnlyBigUnderfilledSweeps) {
+  unsetenv("NIMCAST_SHARDS");
+  // Small fabrics never shard: barrier overhead would dominate.
+  EXPECT_EQ(pick_shards(16, 64, 1), 1);
+  EXPECT_EQ(pick_shards(16, kAutoShardHosts - 4, 1), 1);
+  // Enough replications to fill the worker budget: replication
+  // parallelism wins outright.
+  EXPECT_EQ(pick_shards(8, 1024, 8), 1);
+  EXPECT_EQ(pick_shards(8, 1024, 100), 1);
+  // Big fabric, under-filled budget: spare threads become shards.
+  EXPECT_EQ(pick_shards(8, 1024, 1), 8);
+  EXPECT_EQ(pick_shards(8, 1024, 4), 2);
+  EXPECT_EQ(pick_shards(64, 1024, 1), kMaxAutoShards);  // capped
+}
+
 TEST(ParallelTestbed, EnvVariableSelectsThreadCount) {
   // threads=0 defers to NIMCAST_THREADS; both must match the explicit
   // serial result.

@@ -9,6 +9,7 @@
 #include "netif/smart_ni.hpp"
 #include "network/wormhole_network.hpp"
 #include "routing/up_down.hpp"
+#include "support/callback_sink.hpp"
 
 namespace nimcast {
 namespace {
@@ -59,12 +60,15 @@ TEST(FailureInjection, CircularWaitDeadlocksAndIsObservable) {
   net::WormholeNetwork network{simctx, topology, routes,
                                net::NetworkConfig{}};
   int delivered = 0;
+  net::test_support::CallbackSink sink{
+      [&](const net::Packet&) { ++delivered; }};
+  net::test_support::bind_all_hosts(network, 3, &sink);
   for (topo::HostId h = 0; h < 3; ++h) {
     net::Packet p;
     p.message = 1;
     p.sender = h;
     p.dest = (h + 2) % 3;  // two clockwise hops away
-    network.send(p, [&](const net::Packet&) { ++delivered; });
+    network.send(p);
   }
   simctx.run();
   EXPECT_EQ(delivered, 0);
@@ -81,12 +85,15 @@ TEST(FailureInjection, UpDownNeverDeadlocksOnTheSameWorkload) {
   net::WormholeNetwork network{simctx, topology, routes,
                                net::NetworkConfig{}};
   int delivered = 0;
+  net::test_support::CallbackSink sink{
+      [&](const net::Packet&) { ++delivered; }};
+  net::test_support::bind_all_hosts(network, 3, &sink);
   for (topo::HostId h = 0; h < 3; ++h) {
     net::Packet p;
     p.message = 1;
     p.sender = h;
     p.dest = (h + 2) % 3;
-    network.send(p, [&](const net::Packet&) { ++delivered; });
+    network.send(p);
   }
   simctx.run();
   EXPECT_EQ(delivered, 3);

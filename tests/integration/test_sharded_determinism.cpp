@@ -1,0 +1,208 @@
+// The sharded engine's contract: running a multicast batch on N shards
+// with any thread count produces *bit-identical* results to the serial
+// engine — completions, latencies, contention, event counts, fault
+// outcomes, everything. These tests stress that equality across
+// topologies (irregular, fat-tree), NI styles, fault plans (none,
+// scripted, randomized) and shard counts (1, 2, 4, 8).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/host_tree.hpp"
+#include "core/kbinomial.hpp"
+#include "core/optimal_k.hpp"
+#include "core/ordering.hpp"
+#include "mcast/multicast_engine.hpp"
+#include "network/fault_plan.hpp"
+#include "routing/up_down.hpp"
+#include "sim/rng.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/irregular.hpp"
+
+namespace nimcast {
+namespace {
+
+struct Rig {
+  topo::Topology topology;
+  routing::UpDownRouter router;
+  routing::RouteTable routes;
+  core::Chain cco;
+
+  explicit Rig(topo::Topology t)
+      : topology{std::move(t)},
+        router{topology.switches()},
+        routes{topology, router},
+        cco{core::cco_ordering(topology, router)} {}
+
+  [[nodiscard]] core::HostTree tree(std::int32_t n, std::int32_t m,
+                                    std::int32_t offset = 0) const {
+    const core::Chain members{cco.begin() + offset,
+                              cco.begin() + offset + n};
+    return core::HostTree::bind(
+        core::make_kbinomial(n, core::optimal_k(n, m).k), members);
+  }
+};
+
+Rig irregular_rig(std::uint64_t seed = 3) {
+  sim::Rng rng{seed};
+  return Rig{topo::make_irregular(topo::IrregularConfig{}, rng)};
+}
+
+Rig fat_tree_rig() { return Rig{topo::make_fat_tree(topo::FatTreeConfig{})}; }
+
+/// Three overlapping staggered operations — shared NIs demultiplex, the
+/// wires contend.
+std::vector<mcast::MulticastSpec> batch(const Rig& rig) {
+  return {
+      mcast::MulticastSpec{rig.tree(16, 4), 4, sim::Time::zero()},
+      mcast::MulticastSpec{rig.tree(12, 4, 2), 4, sim::Time::us(2.0)},
+      mcast::MulticastSpec{rig.tree(8, 4, 8), 4, sim::Time::us(5.0)},
+  };
+}
+
+void expect_identical(const mcast::MultiMulticastResult& serial,
+                      const mcast::MultiMulticastResult& sharded,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(serial.makespan, sharded.makespan);
+  EXPECT_EQ(serial.total_channel_block_time,
+            sharded.total_channel_block_time);
+  EXPECT_EQ(serial.retransmissions, sharded.retransmissions);
+  EXPECT_EQ(serial.deliveries_failed, sharded.deliveries_failed);
+  EXPECT_EQ(serial.packets_killed, sharded.packets_killed);
+  EXPECT_EQ(serial.faults_applied, sharded.faults_applied);
+  EXPECT_EQ(serial.events_dispatched, sharded.events_dispatched);
+  auto buffers = [](const mcast::MultiMulticastResult& r) {
+    auto b = r.buffers;
+    std::sort(b.begin(), b.end(),
+              [](const auto& x, const auto& y) { return x.host < y.host; });
+    return b;
+  };
+  const auto sb = buffers(serial);
+  const auto hb = buffers(sharded);
+  ASSERT_EQ(sb.size(), hb.size());
+  for (std::size_t i = 0; i < sb.size(); ++i) {
+    EXPECT_EQ(sb[i].host, hb[i].host);
+    EXPECT_EQ(sb[i].peak_packets, hb[i].peak_packets);
+    EXPECT_EQ(sb[i].packet_us_integral, hb[i].packet_us_integral);
+  }
+  ASSERT_EQ(serial.operations.size(), sharded.operations.size());
+  for (std::size_t op = 0; op < serial.operations.size(); ++op) {
+    SCOPED_TRACE("op " + std::to_string(op));
+    const auto& a = serial.operations[op];
+    const auto& b = sharded.operations[op];
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_EQ(a.ni_latency, b.ni_latency);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.repairs, b.repairs);
+    EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+    EXPECT_EQ(a.completions, b.completions);
+    ASSERT_EQ(a.destinations.size(), b.destinations.size());
+    for (std::size_t d = 0; d < a.destinations.size(); ++d) {
+      EXPECT_EQ(a.destinations[d].host, b.destinations[d].host);
+      EXPECT_EQ(a.destinations[d].delivered, b.destinations[d].delivered);
+      EXPECT_EQ(a.destinations[d].reachable, b.destinations[d].reachable);
+      if (a.destinations[d].delivered) {
+        EXPECT_EQ(a.destinations[d].completed_at,
+                  b.destinations[d].completed_at);
+      }
+    }
+  }
+}
+
+void expect_shard_counts_match_serial(const Rig& rig,
+                                      mcast::MulticastEngine::Config cfg,
+                                      const std::string& label) {
+  const auto specs = batch(rig);
+  cfg.shards = 1;
+  const mcast::MulticastEngine serial{rig.topology, rig.routes, cfg};
+  const auto baseline = serial.run_many(specs);
+  for (std::int32_t shards : {2, 4, 8}) {
+    cfg.shards = shards;
+    const mcast::MulticastEngine engine{rig.topology, rig.routes, cfg};
+    expect_identical(baseline, engine.run_many(specs),
+                     label + ", shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardedDeterminism, FaultFreeIrregularMatchesSerial) {
+  const Rig rig = irregular_rig();
+  mcast::MulticastEngine::Config cfg;
+  cfg.style = mcast::NiStyle::kSmartFpfs;
+  expect_shard_counts_match_serial(rig, cfg, "irregular fpfs");
+}
+
+TEST(ShardedDeterminism, FaultFreeFatTreeMatchesSerial) {
+  const Rig rig = fat_tree_rig();
+  mcast::MulticastEngine::Config cfg;
+  cfg.style = mcast::NiStyle::kSmartFcfs;
+  expect_shard_counts_match_serial(rig, cfg, "fat-tree fcfs");
+}
+
+TEST(ShardedDeterminism, ScriptedFaultsWithRepairMatchSerial) {
+  const Rig rig = irregular_rig(7);
+  const auto num_links = rig.topology.switches().num_edges();
+  net::FaultPlan plan;
+  plan.link_down(sim::Time::us(1.5), num_links / 3)
+      .switch_down(sim::Time::us(3.0),
+                   rig.topology.switch_of(rig.cco[5]))
+      .link_up(sim::Time::us(40.0), num_links / 3);
+  mcast::MulticastEngine::Config cfg;
+  cfg.style = mcast::NiStyle::kReliableFpfs;
+  cfg.network.faults = std::move(plan);
+  expect_shard_counts_match_serial(rig, cfg, "irregular reliable+faults");
+}
+
+TEST(ShardedDeterminism, RandomFaultPlansMatchSerialAcrossSeeds) {
+  const Rig rig = irregular_rig();
+  for (const std::uint64_t seed : {11u, 12u}) {
+    net::FaultPlan::RandomConfig fcfg;
+    fcfg.link_fail_prob = 0.08;
+    fcfg.switch_fail_prob = 0.03;
+    fcfg.link_recover_after = sim::Time::us(60.0);
+    sim::Rng rng{seed};
+    mcast::MulticastEngine::Config cfg;
+    cfg.style = mcast::NiStyle::kSmartFpfs;
+    cfg.network.faults =
+        net::FaultPlan::random(rig.topology.switches(), fcfg, rng);
+    expect_shard_counts_match_serial(
+        rig, cfg, "random faults seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ShardedDeterminism, ThreadCountNeverChangesResults) {
+  const Rig rig = irregular_rig();
+  const auto specs = batch(rig);
+  mcast::MulticastEngine::Config cfg;
+  cfg.shards = 4;
+  cfg.shard_threads = 1;
+  const mcast::MulticastEngine one{rig.topology, rig.routes, cfg};
+  const auto baseline = one.run_many(specs);
+  for (std::int32_t threads : {2, 4}) {
+    cfg.shard_threads = threads;
+    const mcast::MulticastEngine engine{rig.topology, rig.routes, cfg};
+    expect_identical(baseline, engine.run_many(specs),
+                     "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ShardedDeterminism, UnshardableConfigsFallBackToSerial) {
+  // loss_rate > 0 cannot be sharded (global RNG draw order); asking for
+  // shards must silently produce the serial engine's exact results.
+  const Rig rig = irregular_rig();
+  const auto specs = batch(rig);
+  mcast::MulticastEngine::Config cfg;
+  cfg.style = mcast::NiStyle::kReliableFpfs;
+  cfg.network.loss_rate = 0.05;
+  cfg.network.loss_seed = 99;
+  const mcast::MulticastEngine serial{rig.topology, rig.routes, cfg};
+  const auto baseline = serial.run_many(specs);
+  cfg.shards = 4;
+  const mcast::MulticastEngine engine{rig.topology, rig.routes, cfg};
+  expect_identical(baseline, engine.run_many(specs), "lossy fallback");
+}
+
+}  // namespace
+}  // namespace nimcast

@@ -12,6 +12,7 @@
 #include "netif/host.hpp"
 #include "netif/reliable_ni.hpp"
 #include "routing/up_down.hpp"
+#include "support/callback_sink.hpp"
 
 namespace nimcast::netif {
 namespace {
@@ -131,13 +132,17 @@ TEST(ReliableNi, LossyNetworkCountsDrops) {
   netcfg.loss_seed = 3;
   net::WormholeNetwork network{simctx, rig.topology, rig.routes, netcfg};
   int delivered = 0;
+  net::test_support::CallbackSink sink{
+      [&](const net::Packet&) { ++delivered; }};
+  net::test_support::bind_all_hosts(network, rig.topology.num_hosts(),
+                                    &sink);
   for (int i = 0; i < 200; ++i) {
     net::Packet p;
     p.message = 1;
     p.packet_index = i;
     p.sender = 0;
     p.dest = 1;
-    network.send(p, [&](const net::Packet&) { ++delivered; });
+    network.send(p);
   }
   simctx.run();
   EXPECT_EQ(network.packets_delivered() + network.packets_dropped(), 200);

@@ -5,9 +5,13 @@
 #include "routing/repair.hpp"
 #include "routing/up_down.hpp"
 #include "sim/rng.hpp"
+#include "support/callback_sink.hpp"
 
 namespace nimcast::net {
 namespace {
+
+using test_support::CallbackSink;
+using test_support::bind_all_hosts;
 
 /// Line of three switches 0-1-2 with one host on each (host i on switch
 /// i) plus a second host (3) on switch 0. Link 0 is sw0-sw1, link 1 is
@@ -118,7 +122,9 @@ TEST(FaultInjection, LinkDownMidFlightTruncatesTheWorm) {
   plan.link_down(sim::Time::us(0.25), 1);
   Rig rig{with_faults(plan)};
   bool delivered = false;
-  rig.net.send(rig.packet(0, 2), [&](const Packet&) { delivered = true; });
+  CallbackSink sink{[&](const Packet&) { delivered = true; }};
+  bind_all_hosts(rig.net, 4, &sink);
+  rig.net.send(rig.packet(0, 2));
   rig.simctx.run();
   EXPECT_FALSE(delivered);
   EXPECT_EQ(rig.net.in_flight(), 0);
@@ -133,8 +139,10 @@ TEST(FaultInjection, LinkDownMidFlightTruncatesTheWorm) {
   // the uncontended latency from now.
   const sim::Time resend = rig.simctx.now();
   sim::Time delivered_at;
-  rig.net.send(rig.packet(0, 1, 1),
-               [&](const Packet&) { delivered_at = rig.simctx.now(); });
+  CallbackSink resend_sink{
+      [&](const Packet&) { delivered_at = rig.simctx.now(); }};
+  bind_all_hosts(rig.net, 4, &resend_sink);
+  rig.net.send(rig.packet(0, 1, 1));
   rig.simctx.run();
   EXPECT_EQ(delivered_at - resend, rig.net.uncontended_latency(1));
   EXPECT_EQ(rig.net.in_flight(), 0);
@@ -148,7 +156,9 @@ TEST(FaultInjection, HeaderArrivingAtDeadChannelIsKilled) {
   plan.link_down(sim::Time::us(0.05), 1);
   Rig rig{with_faults(plan)};
   bool delivered = false;
-  rig.net.send(rig.packet(0, 2), [&](const Packet&) { delivered = true; });
+  CallbackSink sink{[&](const Packet&) { delivered = true; }};
+  bind_all_hosts(rig.net, 4, &sink);
+  rig.net.send(rig.packet(0, 2));
   rig.simctx.run();
   EXPECT_FALSE(delivered);
   EXPECT_EQ(rig.net.in_flight(), 0);
@@ -173,7 +183,9 @@ TEST(FaultInjection, RebindingRepairedRoutesDropsUnreachableAtInjection) {
 
   // Now the injection-time check fires: the packet consumes no wire time
   // and is not a kill (the worm never existed).
-  rig.net.send(rig.packet(0, 2), [](const Packet&) { FAIL(); });
+  CallbackSink sink{[](const Packet&) { FAIL(); }};
+  bind_all_hosts(rig.net, 4, &sink);
+  rig.net.send(rig.packet(0, 2));
   rig.simctx.run();
   EXPECT_EQ(rig.net.packets_dropped(), 1);
   EXPECT_EQ(rig.net.packets_killed(), 0);
@@ -185,8 +197,10 @@ TEST(FaultInjection, LinkRecoversAndCarriesTrafficAgain) {
   plan.link_down(sim::Time::us(1.0), 1).link_up(sim::Time::us(2.0), 1);
   Rig rig{with_faults(plan)};
   bool delivered = false;
+  CallbackSink sink{[&](const Packet&) { delivered = true; }};
+  bind_all_hosts(rig.net, 4, &sink);
   rig.simctx.schedule_at(sim::Time::us(3.0), [&] {
-    rig.net.send(rig.packet(0, 2), [&](const Packet&) { delivered = true; });
+    rig.net.send(rig.packet(0, 2));
   });
   rig.simctx.run();
   EXPECT_TRUE(delivered);
@@ -204,8 +218,10 @@ TEST(FaultInjection, SwitchDownKillsHolderAndStrandedWaiterAlike) {
   plan.switch_down(sim::Time::us(0.15), 2);
   Rig rig{with_faults(plan)};
   int delivered = 0;
-  rig.net.send(rig.packet(0, 2), [&](const Packet&) { ++delivered; });
-  rig.net.send(rig.packet(3, 2, 1), [&](const Packet&) { ++delivered; });
+  CallbackSink sink{[&](const Packet&) { ++delivered; }};
+  bind_all_hosts(rig.net, 4, &sink);
+  rig.net.send(rig.packet(0, 2));
+  rig.net.send(rig.packet(3, 2, 1));
   rig.simctx.run();
   EXPECT_EQ(delivered, 0);
   EXPECT_EQ(rig.net.in_flight(), 0);
@@ -216,8 +232,9 @@ TEST(FaultInjection, SwitchDownKillsHolderAndStrandedWaiterAlike) {
   // Hosts 0, 1, 3 survive; 0 -> 1 still works over link 0.
   const sim::Time resend = rig.simctx.now();
   sim::Time at;
-  rig.net.send(rig.packet(0, 1, 2),
-               [&](const Packet&) { at = rig.simctx.now(); });
+  CallbackSink resend_sink{[&](const Packet&) { at = rig.simctx.now(); }};
+  bind_all_hosts(rig.net, 4, &resend_sink);
+  rig.net.send(rig.packet(0, 1, 2));
   rig.simctx.run();
   EXPECT_EQ(at - resend, rig.net.uncontended_latency(1));
 }
@@ -232,7 +249,9 @@ TEST(FaultInjection, PipelinedDrainKillCancelsPendingReleases) {
   plan.link_down(sim::Time::us(0.55), 0);
   Rig rig{with_faults(plan, ReleaseModel::kPipelined)};
   bool delivered = false;
-  rig.net.send(rig.packet(0, 2), [&](const Packet&) { delivered = true; });
+  CallbackSink sink{[&](const Packet&) { delivered = true; }};
+  bind_all_hosts(rig.net, 4, &sink);
+  rig.net.send(rig.packet(0, 2));
   rig.simctx.run();
   EXPECT_FALSE(delivered);
   EXPECT_EQ(rig.net.in_flight(), 0);
@@ -242,8 +261,9 @@ TEST(FaultInjection, PipelinedDrainKillCancelsPendingReleases) {
   // ejection channels, both of which must be free.
   const sim::Time resend = rig.simctx.now();
   sim::Time at;
-  rig.net.send(rig.packet(3, 0, 1),
-               [&](const Packet&) { at = rig.simctx.now(); });
+  CallbackSink resend_sink{[&](const Packet&) { at = rig.simctx.now(); }};
+  bind_all_hosts(rig.net, 4, &resend_sink);
+  rig.net.send(rig.packet(3, 0, 1));
   rig.simctx.run();
   EXPECT_EQ(at - resend, rig.net.uncontended_latency(0));
 }
@@ -256,7 +276,9 @@ TEST(FaultInjection, DrainingWormSurvivesFaultBehindIt) {
   NetworkConfig cfg = with_faults(plan, ReleaseModel::kPipelined);
   Rig rig{std::move(cfg)};
   bool delivered = false;
-  rig.net.send(rig.packet(0, 2), [&](const Packet&) { delivered = true; });
+  CallbackSink sink{[&](const Packet&) { delivered = true; }};
+  bind_all_hosts(rig.net, 4, &sink);
+  rig.net.send(rig.packet(0, 2));
   rig.simctx.run();
   // Switch 0's death condemns link 0 and host 0/3 channels. The worm
   // still holds link 0's channel at 0.55 (release due 0.6), so it dies;
@@ -267,7 +289,9 @@ TEST(FaultInjection, DrainingWormSurvivesFaultBehindIt) {
   late.switch_down(sim::Time::us(0.75), 0);
   Rig rig2{with_faults(late, ReleaseModel::kPipelined)};
   bool delivered2 = false;
-  rig2.net.send(rig2.packet(0, 2), [&](const Packet&) { delivered2 = true; });
+  CallbackSink sink2{[&](const Packet&) { delivered2 = true; }};
+  bind_all_hosts(rig2.net, 4, &sink2);
+  rig2.net.send(rig2.packet(0, 2));
   rig2.simctx.run();
   // At 0.75 the worm holds only link 1 and the ejection channel, both
   // alive: it drains normally at 0.8 despite its source switch dying.
@@ -295,10 +319,12 @@ TEST(FaultInjection, ZeroFaultPlanLeavesTimingBitIdentical) {
   FaultPlan empty;
   Rig with_empty{with_faults(empty)};
   sim::Time t1, t2;
-  pristine.net.send(pristine.packet(0, 2),
-                    [&](const Packet&) { t1 = pristine.simctx.now(); });
-  with_empty.net.send(with_empty.packet(0, 2),
-                      [&](const Packet&) { t2 = with_empty.simctx.now(); });
+  CallbackSink s1{[&](const Packet&) { t1 = pristine.simctx.now(); }};
+  CallbackSink s2{[&](const Packet&) { t2 = with_empty.simctx.now(); }};
+  bind_all_hosts(pristine.net, 4, &s1);
+  bind_all_hosts(with_empty.net, 4, &s2);
+  pristine.net.send(pristine.packet(0, 2));
+  with_empty.net.send(with_empty.packet(0, 2));
   pristine.simctx.run();
   with_empty.simctx.run();
   EXPECT_EQ(t1, t2);

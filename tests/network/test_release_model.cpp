@@ -5,9 +5,13 @@
 
 #include "network/wormhole_network.hpp"
 #include "routing/up_down.hpp"
+#include "support/callback_sink.hpp"
 
 namespace nimcast::net {
 namespace {
+
+using test_support::CallbackSink;
+using test_support::bind_all_hosts;
 
 /// Line of four switches, one host each: long enough paths for the
 /// release timing to differ between models.
@@ -37,8 +41,9 @@ TEST(ReleaseModel, DeliveryTimeIdenticalAcrossModelsWhenUncontended) {
     rig.cfg.release_model = model;
     WormholeNetwork net{rig.simctx, rig.topology, rig.routes, rig.cfg};
     sim::Time delivered;
-    net.send(rig.packet(0, 3),
-             [&](const Packet&) { delivered = rig.simctx.now(); });
+    CallbackSink sink{[&](const Packet&) { delivered = rig.simctx.now(); }};
+    bind_all_hosts(net, 4, &sink);
+    net.send(rig.packet(0, 3));
     rig.simctx.run();
     EXPECT_EQ(delivered, net.uncontended_latency(3));
   }
@@ -55,9 +60,12 @@ TEST(ReleaseModel, PipelinedFreesUpstreamChannelEarlier) {
     rig.cfg.bandwidth_bytes_per_us = 32.0;  // 2.0us per packet
     WormholeNetwork net{rig.simctx, rig.topology, rig.routes, rig.cfg};
     sim::Time b_done;
-    net.send(rig.packet(0, 3, 0), [](const Packet&) {});
-    net.send(rig.packet(0, 1, 1),
-             [&](const Packet&) { b_done = rig.simctx.now(); });
+    CallbackSink sink{[&](const Packet& p) {
+      if (p.dest == 1) b_done = rig.simctx.now();
+    }};
+    bind_all_hosts(net, 4, &sink);
+    net.send(rig.packet(0, 3, 0));
+    net.send(rig.packet(0, 1, 1));
     rig.simctx.run();
     return b_done;
   };
@@ -74,10 +82,12 @@ TEST(ReleaseModel, PipelinedNeverReleasesBeforePacketLeftChannel) {
   rig.cfg.release_model = ReleaseModel::kPipelined;
   WormholeNetwork net{rig.simctx, rig.topology, rig.routes, rig.cfg};
   std::vector<sim::Time> done(2);
-  net.send(rig.packet(0, 3, 0),
-           [&](const Packet&) { done[0] = rig.simctx.now(); });
-  net.send(rig.packet(0, 3, 1),
-           [&](const Packet&) { done[1] = rig.simctx.now(); });
+  CallbackSink sink{[&](const Packet& p) {
+    done[static_cast<std::size_t>(p.packet_index)] = rig.simctx.now();
+  }};
+  bind_all_hosts(net, 4, &sink);
+  net.send(rig.packet(0, 3, 0));
+  net.send(rig.packet(0, 3, 1));
   rig.simctx.run();
   // Second worm cannot finish less than a serialization time after the
   // first (they share every channel).
@@ -91,9 +101,11 @@ TEST(ReleaseModel, AllWormsDrainUnderHeavyContention) {
     rig.cfg.release_model = model;
     WormholeNetwork net{rig.simctx, rig.topology, rig.routes, rig.cfg};
     int delivered = 0;
+    CallbackSink sink{[&](const Packet&) { ++delivered; }};
+    bind_all_hosts(net, 4, &sink);
     for (int i = 0; i < 8; ++i) {
       for (topo::HostId d = 1; d < 4; ++d) {
-        net.send(rig.packet(0, d, i), [&](const Packet&) { ++delivered; });
+        net.send(rig.packet(0, d, i));
       }
     }
     rig.simctx.run();
@@ -107,9 +119,11 @@ TEST(ReleaseModel, PipelinedBlockTimeNeverWorse) {
     Rig rig;
     rig.cfg.release_model = model;
     WormholeNetwork net{rig.simctx, rig.topology, rig.routes, rig.cfg};
+    CallbackSink sink;
+    bind_all_hosts(net, 4, &sink);
     for (int i = 0; i < 6; ++i) {
-      net.send(rig.packet(0, 3, i), [](const Packet&) {});
-      net.send(rig.packet(1, 3, i + 100), [](const Packet&) {});
+      net.send(rig.packet(0, 3, i));
+      net.send(rig.packet(1, 3, i + 100));
     }
     rig.simctx.run();
     return net.total_block_time();

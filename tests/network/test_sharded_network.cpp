@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "network/fault_plan.hpp"
+#include "network/wormhole_network.hpp"
+#include "routing/up_down.hpp"
+#include "sim/sharded.hpp"
+#include "support/callback_sink.hpp"
+
+namespace nimcast::net {
+namespace {
+
+using test_support::CallbackSink;
+using test_support::bind_all_hosts;
+
+/// Line of four switches 0-1-2-3, one host per switch. Link i connects
+/// switch i and i+1. The canonical 2-shard partition {0,0,1,1} puts the
+/// cut on link 1: traffic between the halves crosses shards, and the
+/// forward channel of link 1 is owned by shard 0 (upstream switch 1)
+/// while the worm's drain completes on shard 1 — exercising cross-shard
+/// hops, remote releases and cross-cut FIFO hand-off.
+struct Fabric {
+  topo::Topology topology{topo::Graph{4, {{0, 1}, {1, 2}, {2, 3}}},
+                          {0, 1, 2, 3},
+                          "line4"};
+  routing::UpDownRouter router{topology.switches()};
+  routing::RouteTable routes{topology, router};
+};
+
+Packet packet(topo::HostId from, topo::HostId to, std::int32_t idx) {
+  Packet p;
+  p.message = 1;
+  p.packet_index = idx;
+  p.packet_count = 8;
+  p.sender = from;
+  p.dest = to;
+  return p;
+}
+
+struct Send {
+  sim::Time at;
+  topo::HostId from;
+  topo::HostId to;
+  std::int32_t idx;
+};
+
+struct RunResult {
+  /// Per destination host, in delivery order: (packet_index, time).
+  std::vector<std::vector<std::pair<std::int32_t, sim::Time>>> deliveries;
+  std::int64_t delivered = 0;
+  std::int64_t dropped = 0;
+  std::int64_t killed = 0;
+  sim::Time block = sim::Time::zero();
+  std::uint64_t events = 0;
+  sim::Time last = sim::Time::zero();
+};
+
+RunResult run_serial(const Fabric& f, NetworkConfig cfg,
+                     const std::vector<Send>& script) {
+  sim::Simulator simctx;
+  WormholeNetwork net{simctx, f.topology, f.routes, std::move(cfg)};
+  RunResult r;
+  r.deliveries.resize(static_cast<std::size_t>(f.topology.num_hosts()));
+  CallbackSink sink{[&](const Packet& p) {
+    r.deliveries[static_cast<std::size_t>(p.dest)].emplace_back(
+        p.packet_index, simctx.now());
+  }};
+  bind_all_hosts(net, f.topology.num_hosts(), &sink);
+  for (const Send& s : script) {
+    const Packet p = packet(s.from, s.to, s.idx);
+    if (s.at == sim::Time::zero()) {
+      net.send(p);
+    } else {
+      simctx.schedule_at(s.at, [&net, p] { net.send(p); });
+    }
+  }
+  simctx.run();
+  r.delivered = net.packets_delivered();
+  r.dropped = net.packets_dropped();
+  r.killed = net.packets_killed();
+  r.block = net.total_block_time();
+  r.events = simctx.events_dispatched();
+  r.last = simctx.last_event_time();
+  return r;
+}
+
+RunResult run_sharded(const Fabric& f, NetworkConfig cfg,
+                      const std::vector<Send>& script,
+                      std::vector<std::int32_t> part, int shards,
+                      int threads) {
+  sim::ShardedSimulator sharded{shards, cfg.t_hop};
+  WormholeNetwork net{sharded, f.topology, f.routes, std::move(cfg),
+                      std::move(part)};
+  RunResult r;
+  // Each destination's deliveries are written only by its owner shard;
+  // the outer vector never reallocates, so multi-threaded runs are
+  // race-free.
+  r.deliveries.resize(static_cast<std::size_t>(f.topology.num_hosts()));
+  // The sink fires on the destination's owner shard, so it reads that
+  // shard's clock.
+  CallbackSink sink{[&](const Packet& d) {
+    r.deliveries[static_cast<std::size_t>(d.dest)].emplace_back(
+        d.packet_index, sharded.shard(net.shard_of_host(d.dest)).now());
+  }};
+  bind_all_hosts(net, f.topology.num_hosts(), &sink);
+  for (const Send& s : script) {
+    const Packet p = packet(s.from, s.to, s.idx);
+    sim::Simulator& home = sharded.shard(net.shard_of_host(s.from));
+    if (s.at == sim::Time::zero()) {
+      net.send(p);
+    } else {
+      home.schedule_at(s.at, [&net, p] { net.send(p); });
+    }
+  }
+  sharded.run(threads);
+  r.delivered = net.packets_delivered();
+  r.dropped = net.packets_dropped();
+  r.killed = net.packets_killed();
+  r.block = net.total_block_time();
+  r.events = sharded.events_dispatched();
+  r.last = sharded.last_event_time();
+  return r;
+}
+
+void expect_same(const RunResult& serial, const RunResult& sharded) {
+  EXPECT_EQ(serial.delivered, sharded.delivered);
+  EXPECT_EQ(serial.dropped, sharded.dropped);
+  EXPECT_EQ(serial.killed, sharded.killed);
+  EXPECT_EQ(serial.block, sharded.block);
+  EXPECT_EQ(serial.events, sharded.events);
+  EXPECT_EQ(serial.last, sharded.last);
+  ASSERT_EQ(serial.deliveries.size(), sharded.deliveries.size());
+  for (std::size_t d = 0; d < serial.deliveries.size(); ++d) {
+    EXPECT_EQ(serial.deliveries[d], sharded.deliveries[d]) << "dest " << d;
+  }
+}
+
+const std::vector<std::int32_t> kHalves{0, 0, 1, 1};
+
+TEST(ShardedNet, CtorRejectsMalformedPartitions) {
+  Fabric f;
+  sim::ShardedSimulator sharded{2, sim::Time::us(0.1)};
+  EXPECT_THROW(
+      (WormholeNetwork{sharded, f.topology, f.routes, NetworkConfig{},
+                       std::vector<std::int32_t>{0, 0, 1}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (WormholeNetwork{sharded, f.topology, f.routes, NetworkConfig{},
+                       std::vector<std::int32_t>{0, 0, 1, 2}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (WormholeNetwork{sharded, f.topology, f.routes, NetworkConfig{},
+                       std::vector<std::int32_t>{0, 0, -1, 1}}),
+      std::invalid_argument);
+}
+
+TEST(ShardedNet, CtorRejectsUnshardableConfigurations) {
+  Fabric f;
+  {
+    // Driver lookahead wider than one hop would let cross-shard hops
+    // land inside an already-executed window.
+    sim::ShardedSimulator wide{2, sim::Time::us(0.2)};
+    EXPECT_THROW((WormholeNetwork{wide, f.topology, f.routes, NetworkConfig{},
+                                  kHalves}),
+                 std::invalid_argument);
+  }
+  sim::ShardedSimulator sharded{2, sim::Time::us(0.1)};
+  {
+    NetworkConfig cfg;
+    cfg.loss_rate = 0.1;
+    EXPECT_THROW(
+        (WormholeNetwork{sharded, f.topology, f.routes, cfg, kHalves}),
+        std::invalid_argument);
+  }
+  {
+    NetworkConfig cfg;
+    cfg.release_model = ReleaseModel::kPipelined;
+    EXPECT_THROW(
+        (WormholeNetwork{sharded, f.topology, f.routes, cfg, kHalves}),
+        std::invalid_argument);
+  }
+}
+
+TEST(ShardedNet, CrossShardDeliveryMatchesSerial) {
+  Fabric f;
+  const std::vector<Send> script{{sim::Time::zero(), 0, 3, 0}};
+  const RunResult serial = run_serial(f, NetworkConfig{}, script);
+  // Uncontended 0->3: 5 channels * t_hop + serialization = 0.9us.
+  ASSERT_EQ(serial.deliveries[3],
+            (std::vector<std::pair<std::int32_t, sim::Time>>{
+                {0, sim::Time::us(0.9)}}));
+  for (int threads : {1, 2}) {
+    expect_same(serial,
+                run_sharded(f, NetworkConfig{}, script, kHalves, 2, threads));
+  }
+}
+
+TEST(ShardedNet, RemoteReleaseHandsOffAcrossTheCutAtTheSerialInstant) {
+  Fabric f;
+  // B (1->3) wins the forward channel of link 1 at 0.1 and holds it until
+  // its delivery at 0.8 (at-delivery release, mailed from shard 1 back to
+  // shard 0). A (0->3) parks on that channel at 0.2 and must acquire it
+  // via FIFO hand-off at exactly 0.8, delivering at 1.5.
+  const std::vector<Send> script{{sim::Time::zero(), 1, 3, 0},
+                                 {sim::Time::zero(), 0, 3, 1}};
+  const RunResult serial = run_serial(f, NetworkConfig{}, script);
+  ASSERT_EQ(serial.deliveries[3],
+            (std::vector<std::pair<std::int32_t, sim::Time>>{
+                {0, sim::Time::us(0.8)}, {1, sim::Time::us(1.5)}}));
+  EXPECT_EQ(serial.block, sim::Time::us(0.6));
+  for (int threads : {1, 2}) {
+    expect_same(serial,
+                run_sharded(f, NetworkConfig{}, script, kHalves, 2, threads));
+  }
+}
+
+TEST(ShardedNet, ContendedTrafficInBothDirectionsMatchesSerial) {
+  Fabric f;
+  std::vector<Send> script;
+  std::int32_t idx = 0;
+  // Staggered bursts from every host to the far corner in both
+  // directions: injection contention, cut contention, and hand-off
+  // chains in each half.
+  for (const auto& [from, to] : std::vector<std::pair<int, int>>{
+           {0, 3}, {1, 2}, {3, 0}, {2, 1}, {0, 2}, {3, 1}}) {
+    script.push_back({sim::Time::zero(), from, to, idx++});
+    script.push_back({sim::Time::us(0.15), from, to, idx++});
+  }
+  const RunResult serial = run_serial(f, NetworkConfig{}, script);
+  EXPECT_EQ(serial.delivered, 12);
+  for (int threads : {1, 2}) {
+    expect_same(serial,
+                run_sharded(f, NetworkConfig{}, script, kHalves, 2, threads));
+  }
+}
+
+NetworkConfig with_faults(FaultPlan plan) {
+  NetworkConfig cfg;
+  cfg.faults = std::move(plan);
+  return cfg;
+}
+
+TEST(ShardedNet, FaultSweepKillMatchesSerial) {
+  Fabric f;
+  // The worm 0->3 acquires link 1's forward channel at 0.2; link 1 dies
+  // at 0.25 while the worm holds it -> truncated by the fault sweep in
+  // both engines, at the same instant.
+  FaultPlan plan;
+  plan.link_down(sim::Time::us(0.25), 1);
+  const std::vector<Send> script{{sim::Time::zero(), 0, 3, 0}};
+  const RunResult serial = run_serial(f, with_faults(plan), script);
+  EXPECT_EQ(serial.killed, 1);
+  EXPECT_EQ(serial.dropped, 1);
+  EXPECT_EQ(serial.delivered, 0);
+  for (int threads : {1, 2}) {
+    expect_same(serial,
+                run_sharded(f, with_faults(plan), script, kHalves, 2, threads));
+  }
+}
+
+TEST(ShardedNet, HopIntoCondemnedChannelReplaysAtTheSerialArrivalInstant) {
+  Fabric f;
+  // The worm 0->3 is mid-hop toward link 2's forward channel (scheduled
+  // at 0.2, arriving 0.3) when link 2 dies at 0.25. The serial engine
+  // lets the hop fire and kills the worm on arrival at 0.3; the sharded
+  // engine must convert the hop into a barrier-phase replay at 0.3.
+  FaultPlan plan;
+  plan.link_down(sim::Time::us(0.25), 2);
+  const std::vector<Send> script{{sim::Time::zero(), 0, 3, 0}};
+  const RunResult serial = run_serial(f, with_faults(plan), script);
+  EXPECT_EQ(serial.killed, 1);
+  EXPECT_EQ(serial.last, sim::Time::us(0.3));
+  for (int threads : {1, 2}) {
+    expect_same(serial,
+                run_sharded(f, with_faults(plan), script, kHalves, 2, threads));
+  }
+}
+
+TEST(ShardedNet, ChannelRecoveringBeforeArrivalSparesTheWorm) {
+  Fabric f;
+  // Same hop, but link 2 recovers at 0.28 -- before the 0.3 arrival. The
+  // serial engine's hop lands on a live channel and the worm survives;
+  // the sharded replay must re-check liveness and do the same.
+  FaultPlan plan;
+  plan.link_down(sim::Time::us(0.25), 2).link_up(sim::Time::us(0.28), 2);
+  const std::vector<Send> script{{sim::Time::zero(), 0, 3, 0}};
+  const RunResult serial = run_serial(f, with_faults(plan), script);
+  EXPECT_EQ(serial.killed, 0);
+  ASSERT_EQ(serial.deliveries[3],
+            (std::vector<std::pair<std::int32_t, sim::Time>>{
+                {0, sim::Time::us(0.9)}}));
+  for (int threads : {1, 2}) {
+    expect_same(serial,
+                run_sharded(f, with_faults(plan), script, kHalves, 2, threads));
+  }
+}
+
+TEST(ShardedNet, SinkDeliveryAndInjectionDropWorkSharded) {
+  Fabric f;
+  struct CountingSink : DeliverySink {
+    int count = 0;
+    void on_packet_delivered(const Packet&) override { ++count; }
+  };
+  FaultPlan plan;
+  plan.switch_down(sim::Time::us(0.0), 3);
+  sim::ShardedSimulator sharded{2, sim::Time::us(0.1)};
+  WormholeNetwork net{sharded, f.topology, f.routes, with_faults(plan),
+                      kHalves};
+  CountingSink sink;
+  CountingSink sink3;
+  net.bind_sink(2, &sink);
+  net.bind_sink(3, &sink3);
+  net.send(packet(0, 2, 0));
+  // Host 3's switch is down from t=0: the send at 0.5 is dropped at
+  // injection (unreachable), on the sender's shard.
+  sharded.shard(net.shard_of_host(0)).schedule_at(
+      sim::Time::us(0.5), [&] { net.send(packet(0, 3, 1)); });
+  sharded.run(2);
+  EXPECT_EQ(sink.count, 1);
+  EXPECT_EQ(sink3.count, 0);
+  EXPECT_EQ(net.packets_delivered(), 1);
+  EXPECT_EQ(net.packets_dropped(), 1);
+  EXPECT_EQ(net.packets_killed(), 0);
+  EXPECT_EQ(net.in_flight(), 0);
+  EXPECT_EQ(net.worm_pool_free(), net.worm_pool_slots());
+}
+
+}  // namespace
+}  // namespace nimcast::net

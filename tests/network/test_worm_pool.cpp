@@ -9,9 +9,13 @@
 #include "network/fault_plan.hpp"
 #include "network/wormhole_network.hpp"
 #include "routing/up_down.hpp"
+#include "support/callback_sink.hpp"
 
 namespace nimcast::net {
 namespace {
+
+using test_support::CallbackSink;
+using test_support::bind_all_hosts;
 
 /// Line of three switches 0-1-2 with one host on each (host i on switch
 /// i) plus a second host (3) on switch 0. Link 0 is sw0-sw1, link 1 is
@@ -42,8 +46,10 @@ struct Rig {
 TEST(WormPool, SequentialTrafficReusesOneSlot) {
   Rig rig;
   int delivered = 0;
+  CallbackSink sink{[&](const Packet&) { ++delivered; }};
+  bind_all_hosts(rig.net, 4, &sink);
   for (std::int32_t i = 0; i < 8; ++i) {
-    rig.net.send(rig.packet(0, 2, i), [&](const Packet&) { ++delivered; });
+    rig.net.send(rig.packet(0, 2, i));
     rig.simctx.run();
     EXPECT_EQ(rig.net.worm_pool_slots(), 1u);
     EXPECT_EQ(rig.net.worm_pool_free(), 1u);
@@ -56,11 +62,13 @@ TEST(WormPool, HighWaterEqualsPeakInFlight) {
   Rig rig;
   // Burst from every host: worms overlap on the wire (and park on busy
   // injection channels), so several slots go live at once.
+  CallbackSink sink;
+  bind_all_hosts(rig.net, 4, &sink);
   for (std::int32_t i = 0; i < 2; ++i) {
-    rig.net.send(rig.packet(0, 2, i), [](const Packet&) {});
-    rig.net.send(rig.packet(1, 0, i), [](const Packet&) {});
-    rig.net.send(rig.packet(2, 3, i), [](const Packet&) {});
-    rig.net.send(rig.packet(3, 1, i), [](const Packet&) {});
+    rig.net.send(rig.packet(0, 2, i));
+    rig.net.send(rig.packet(1, 0, i));
+    rig.net.send(rig.packet(2, 3, i));
+    rig.net.send(rig.packet(3, 1, i));
   }
   rig.simctx.run();
   EXPECT_EQ(rig.net.in_flight(), 0);
@@ -80,8 +88,10 @@ TEST(WormPool, FaultTruncationLeaksNothing) {
   cfg.faults = std::move(plan);
   Rig rig{cfg};
   int delivered = 0;
-  rig.net.send(rig.packet(0, 2, 0), [&](const Packet&) { ++delivered; });
-  rig.net.send(rig.packet(1, 2, 1), [&](const Packet&) { ++delivered; });
+  CallbackSink sink{[&](const Packet&) { ++delivered; }};
+  bind_all_hosts(rig.net, 4, &sink);
+  rig.net.send(rig.packet(0, 2, 0));
+  rig.net.send(rig.packet(1, 2, 1));
   rig.simctx.run();
 
   EXPECT_EQ(delivered, 0);
@@ -103,7 +113,9 @@ TEST(WormPool, FaultTruncationLeaksNothingPipelined) {
   cfg.faults = std::move(plan);
   cfg.release_model = ReleaseModel::kPipelined;
   Rig rig{cfg};
-  rig.net.send(rig.packet(0, 2, 0), [](const Packet&) {});
+  CallbackSink sink;
+  bind_all_hosts(rig.net, 4, &sink);
+  rig.net.send(rig.packet(0, 2, 0));
   rig.simctx.run();
   EXPECT_EQ(rig.net.packets_killed(), 1);
   EXPECT_EQ(rig.net.in_flight(), 0);

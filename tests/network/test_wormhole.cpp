@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "routing/up_down.hpp"
+#include "support/callback_sink.hpp"
 
 namespace nimcast::net {
 namespace {
+
+using test_support::CallbackSink;
+using test_support::bind_all_hosts;
 
 /// Line of three switches 0-1-2 with one host on each (host i on switch
 /// i) plus a second host (3) on switch 0. Routing is up*/down* rooted at
@@ -29,6 +33,10 @@ struct Rig {
     p.dest = to;
     return p;
   }
+
+  /// Binds `fn` as every host's delivery handler; the sink must outlive
+  /// the sends, so tests keep the returned object alive on their stack.
+  void bind(DeliverySink* sink) { bind_all_hosts(net, 4, sink); }
 };
 
 TEST(Wormhole, UncontendedLatencyFormula) {
@@ -40,8 +48,9 @@ TEST(Wormhole, UncontendedLatencyFormula) {
 TEST(Wormhole, SingleDeliveryMatchesUncontendedLatency) {
   Rig rig;
   sim::Time delivered_at;
-  rig.net.send(rig.packet(0, 2),
-               [&](const Packet&) { delivered_at = rig.simctx.now(); });
+  CallbackSink sink{[&](const Packet&) { delivered_at = rig.simctx.now(); }};
+  rig.bind(&sink);
+  rig.net.send(rig.packet(0, 2));
   rig.simctx.run();
   EXPECT_EQ(delivered_at, rig.net.uncontended_latency(2));
   EXPECT_EQ(rig.net.packets_delivered(), 1);
@@ -51,16 +60,19 @@ TEST(Wormhole, SingleDeliveryMatchesUncontendedLatency) {
 TEST(Wormhole, SameSwitchDeliveryUsesInjectionAndEjectionOnly) {
   Rig rig;
   sim::Time delivered_at;
-  rig.net.send(rig.packet(0, 3),
-               [&](const Packet&) { delivered_at = rig.simctx.now(); });
+  CallbackSink sink{[&](const Packet&) { delivered_at = rig.simctx.now(); }};
+  rig.bind(&sink);
+  rig.net.send(rig.packet(0, 3));
   rig.simctx.run();
   EXPECT_EQ(delivered_at, rig.net.uncontended_latency(0));
 }
 
-TEST(Wormhole, DeliveryCallbackCarriesPacketHeader) {
+TEST(Wormhole, DeliveredPacketCarriesHeader) {
   Rig rig;
   Packet got;
-  rig.net.send(rig.packet(0, 2, 5), [&](const Packet& p) { got = p; });
+  CallbackSink sink{[&](const Packet& p) { got = p; }};
+  rig.bind(&sink);
+  rig.net.send(rig.packet(0, 2, 5));
   rig.simctx.run();
   EXPECT_EQ(got.message, 1);
   EXPECT_EQ(got.packet_index, 5);
@@ -72,11 +84,10 @@ TEST(Wormhole, DeliveryCallbackCarriesPacketHeader) {
 TEST(Wormhole, InjectionChannelSerializesSendsFromOneHost) {
   Rig rig;
   std::vector<sim::Time> deliveries;
-  for (int i = 0; i < 2; ++i) {
-    rig.net.send(rig.packet(0, 2, i), [&](const Packet&) {
-      deliveries.push_back(rig.simctx.now());
-    });
-  }
+  CallbackSink sink{
+      [&](const Packet&) { deliveries.push_back(rig.simctx.now()); }};
+  rig.bind(&sink);
+  for (int i = 0; i < 2; ++i) rig.net.send(rig.packet(0, 2, i));
   rig.simctx.run();
   ASSERT_EQ(deliveries.size(), 2u);
   EXPECT_EQ(deliveries[0], sim::Time::us(0.8));
@@ -89,11 +100,10 @@ TEST(Wormhole, InjectionChannelSerializesSendsFromOneHost) {
 TEST(Wormhole, ContendedChannelIsFifo) {
   Rig rig;
   std::vector<std::int32_t> order;
-  for (int i = 0; i < 4; ++i) {
-    rig.net.send(rig.packet(0, 2, i), [&](const Packet& p) {
-      order.push_back(p.packet_index);
-    });
-  }
+  CallbackSink sink{
+      [&](const Packet& p) { order.push_back(p.packet_index); }};
+  rig.bind(&sink);
+  for (int i = 0; i < 4; ++i) rig.net.send(rig.packet(0, 2, i));
   rig.simctx.run();
   EXPECT_EQ(order, (std::vector<std::int32_t>{0, 1, 2, 3}));
 }
@@ -101,18 +111,19 @@ TEST(Wormhole, ContendedChannelIsFifo) {
 TEST(Wormhole, BlockedWormHoldsAcquiredChannels) {
   Rig rig;
   std::vector<std::pair<topo::HostId, sim::Time>> log;
-  const auto recorder = [&](const Packet& p) {
+  CallbackSink recorder{[&](const Packet& p) {
     log.emplace_back(p.dest, rig.simctx.now());
-  };
+  }};
+  rig.bind(&recorder);
   // X: 1 -> 2 occupies link L1 (switch1-switch2) until 0.7.
-  rig.net.send(rig.packet(1, 2, 0), recorder);
+  rig.net.send(rig.packet(1, 2, 0));
   // Y: 0 -> 2 grabs L0 then blocks on L1 at 0.2, holding L0 the whole
   // time (wormhole!). It completes at 1.3.
-  rig.net.send(rig.packet(0, 2, 1), recorder);
+  rig.net.send(rig.packet(0, 2, 1));
   // Z: 3 -> 1 (injected at 0.5) needs L0 and must wait for Y's tail even
   // though X and Y are "someone else's" traffic.
   rig.simctx.schedule_at(sim::Time::us(0.5), [&] {
-    rig.net.send(rig.packet(3, 1, 2), recorder);
+    rig.net.send(rig.packet(3, 1, 2));
   });
   rig.simctx.run();
 
@@ -127,8 +138,10 @@ TEST(Wormhole, BlockedWormHoldsAcquiredChannels) {
 
 TEST(Wormhole, BlockTimeAccumulatesAcrossWorms) {
   Rig rig;
-  rig.net.send(rig.packet(1, 2, 0), [](const Packet&) {});
-  rig.net.send(rig.packet(0, 2, 1), [](const Packet&) {});
+  CallbackSink sink;
+  rig.bind(&sink);
+  rig.net.send(rig.packet(1, 2, 0));
+  rig.net.send(rig.packet(0, 2, 1));
   rig.simctx.run();
   // Y blocked on L1 from 0.2 until 0.7.
   EXPECT_EQ(rig.net.total_block_time(), sim::Time::us(0.5));
@@ -136,10 +149,10 @@ TEST(Wormhole, BlockTimeAccumulatesAcrossWorms) {
 
 TEST(Wormhole, RejectsSelfSendAndBadHosts) {
   Rig rig;
-  EXPECT_THROW(rig.net.send(rig.packet(0, 0), [](const Packet&) {}),
-               std::invalid_argument);
-  EXPECT_THROW(rig.net.send(rig.packet(0, 99), [](const Packet&) {}),
-               std::invalid_argument);
+  CallbackSink sink;
+  rig.bind(&sink);
+  EXPECT_THROW(rig.net.send(rig.packet(0, 0)), std::invalid_argument);
+  EXPECT_THROW(rig.net.send(rig.packet(0, 99)), std::invalid_argument);
 }
 
 TEST(Wormhole, BandwidthScalesSerialization) {
@@ -147,8 +160,9 @@ TEST(Wormhole, BandwidthScalesSerialization) {
   rig.cfg.bandwidth_bytes_per_us = 64.0;  // 1.0us per packet
   WormholeNetwork slow{rig.simctx, rig.topology, rig.routes, rig.cfg};
   sim::Time delivered_at;
-  slow.send(rig.packet(0, 2),
-            [&](const Packet&) { delivered_at = rig.simctx.now(); });
+  CallbackSink sink{[&](const Packet&) { delivered_at = rig.simctx.now(); }};
+  bind_all_hosts(slow, 4, &sink);
+  slow.send(rig.packet(0, 2));
   rig.simctx.run();
   EXPECT_EQ(delivered_at, sim::Time::us(0.4 + 1.0));
 }
@@ -163,10 +177,10 @@ TEST(Wormhole, ManyParallelDisjointSendsDontInteract) {
   Rig rig;
   // 0->3 stays on switch 0; 1->2 uses L1 only: fully disjoint.
   std::vector<sim::Time> times;
-  rig.net.send(rig.packet(0, 3, 0),
-               [&](const Packet&) { times.push_back(rig.simctx.now()); });
-  rig.net.send(rig.packet(1, 2, 1),
-               [&](const Packet&) { times.push_back(rig.simctx.now()); });
+  CallbackSink sink{[&](const Packet&) { times.push_back(rig.simctx.now()); }};
+  rig.bind(&sink);
+  rig.net.send(rig.packet(0, 3, 0));
+  rig.net.send(rig.packet(1, 2, 1));
   rig.simctx.run();
   EXPECT_EQ(times[0], rig.net.uncontended_latency(0));
   EXPECT_EQ(times[1], rig.net.uncontended_latency(1));

@@ -1,0 +1,196 @@
+#include "sim/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace nimcast::sim {
+namespace {
+
+TEST(ShardedSimulator, RejectsBadConstruction) {
+  EXPECT_THROW(ShardedSimulator(0, Time::us(0.1)), std::invalid_argument);
+  EXPECT_THROW(ShardedSimulator(2, Time::zero()), std::invalid_argument);
+}
+
+TEST(ShardedSimulator, DrainsIndependentShards) {
+  ShardedSimulator sharded{2, Time::us(0.1)};
+  int a = 0;
+  int b = 0;
+  sharded.shard(0).schedule_at(Time::us(1.0), [&] { ++a; });
+  sharded.shard(1).schedule_at(Time::us(2.0), [&] { ++b; });
+  const auto fired = sharded.run(/*threads=*/2);
+  EXPECT_EQ(fired, 2u);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(sharded.events_dispatched(), 2u);
+  EXPECT_EQ(sharded.last_event_time(), Time::us(2.0));
+}
+
+TEST(ShardedSimulator, CrossShardMailFiresAtTheMailedTime) {
+  ShardedSimulator sharded{2, Time::us(0.1)};
+  Time fired_at = Time::zero();
+  sharded.shard(0).schedule_at(Time::us(1.0), [&] {
+    sharded.post(0, 1, sharded.shard(0).now() + Time::us(0.1),
+                 [&] { fired_at = sharded.shard(1).now(); });
+  });
+  sharded.run(2);
+  EXPECT_EQ(fired_at, Time::us(1.1));
+}
+
+// The determinism pillar: each shard's dispatch sequence is a pure
+// function of the simulation, not of the thread count. A ping-pong chain
+// between two shards, interleaved with local chatter at coinciding
+// instants, must dispatch identically per shard at 1 and 2 threads.
+TEST(ShardedSimulator, ThreadCountNeverChangesEventOrder) {
+  using Log = std::vector<std::pair<int, Time>>;
+  const auto trace = [](int threads) {
+    ShardedSimulator sharded{2, Time::us(0.1)};
+    // Per-shard logs: only the owning shard's thread appends to each.
+    std::vector<Log> seen(2);
+    // Ping-pong: each hop re-mails the other shard 100ns ahead.
+    struct Pong {
+      ShardedSimulator& sharded;
+      std::vector<Log>& seen;
+      void bounce(int from, int hops_left) {
+        auto& sim = sharded.shard(from);
+        seen[static_cast<std::size_t>(from)].emplace_back(-1, sim.now());
+        if (hops_left == 0) return;
+        const int to = 1 - from;
+        sharded.post(from, to, sim.now() + Time::us(0.1),
+                     [this, to, hops_left] { bounce(to, hops_left - 1); });
+      }
+    };
+    Pong pong{sharded, seen};
+    sharded.shard(0).schedule_at(Time::zero(),
+                                 [&] { pong.bounce(0, 20); });
+    // Local chatter on both shards between and at the hop instants.
+    for (int s = 0; s < 2; ++s) {
+      for (int i = 0; i < 20; ++i) {
+        sharded.shard(s).schedule_at(
+            Time::ns(100 * i + 50),
+            [&seen, s, i] { seen[static_cast<std::size_t>(s)].emplace_back(
+                i, Time::ns(100 * i + 50)); });
+      }
+    }
+    sharded.run(threads);
+    return seen;
+  };
+  const auto serial = trace(1);
+  EXPECT_EQ(serial[0].size() + serial[1].size(), 61u);
+  EXPECT_EQ(trace(2), serial);
+}
+
+TEST(ShardedSimulator, GlobalEventsSeeAllShardsAtTheExactInstant) {
+  ShardedSimulator sharded{2, Time::us(0.1)};
+  std::vector<int> order;
+  sharded.shard(0).schedule_at(Time::us(1.0), [&] { order.push_back(0); });
+  sharded.shard(1).schedule_at(Time::us(5.0), [&] { order.push_back(2); });
+  sharded.schedule_global(Time::us(3.0), [&] {
+    EXPECT_EQ(sharded.shard(0).now(), Time::us(3.0));
+    EXPECT_EQ(sharded.shard(1).now(), Time::us(3.0));
+    order.push_back(1);
+  });
+  sharded.run(2);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  // Globals count toward the serial-equivalent event count.
+  EXPECT_EQ(sharded.events_dispatched(), 3u);
+}
+
+TEST(ShardedSimulator, GlobalEventFiresBeforeShardEventsAtTheSameInstant) {
+  ShardedSimulator sharded{2, Time::us(0.1)};
+  std::vector<int> order;
+  sharded.shard(1).schedule_at(Time::us(3.0), [&] { order.push_back(2); });
+  sharded.schedule_global(Time::us(3.0), [&] { order.push_back(1); });
+  sharded.run(1);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ShardedSimulator, KeyedGlobalsOrderByKeyAfterRegistrationKeyedOnes) {
+  // Keyed globals can be registered from worker threads mid-window (the
+  // network's hop-replay path); at equal times they fire in (hi, lo)
+  // order, after every unkeyed (hi = 0) global at that instant — and a
+  // mid-window registration targeting the exact next barrier must still
+  // be honored.
+  ShardedSimulator sharded{2, Time::us(0.1)};
+  std::vector<int> order;
+  sharded.schedule_global(Time::us(2.0), [&] { order.push_back(0); });
+  sharded.shard(1).schedule_at(Time::us(1.0), [&] {
+    sharded.schedule_global_keyed(Time::us(2.0), 1, 7,
+                                  [&] { order.push_back(2); });
+    sharded.schedule_global_keyed(Time::us(2.0), 1, 3,
+                                  [&] { order.push_back(1); });
+  });
+  sharded.run(2);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sharded.events_dispatched(), 4u);
+  EXPECT_EQ(sharded.last_event_time(), Time::us(2.0));
+}
+
+TEST(ShardedSimulator, TrailingGlobalEventsStillFire) {
+  // Serial engines drain scheduled fault events even after traffic ends;
+  // the sharded run must too, including when no shard event ever fires.
+  ShardedSimulator sharded{2, Time::us(0.1)};
+  int fired = 0;
+  sharded.schedule_global(Time::us(7.0), [&] { ++fired; });
+  sharded.run(2);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sharded.events_dispatched(), 1u);
+}
+
+TEST(ShardedSimulator, SyntheticEventsAreExcludedFromTheLogicalCount) {
+  ShardedSimulator sharded{2, Time::us(0.1)};
+  sharded.shard(0).schedule_at(Time::us(1.0), [&] {
+    sharded.post(0, 1, sharded.shard(0).now() + Time::us(0.2),
+                 [&] { sharded.note_synthetic(1); });
+  });
+  sharded.run(2);
+  // Two physical dispatches, one marked synthetic.
+  EXPECT_EQ(sharded.events_dispatched(), 1u);
+}
+
+TEST(ShardedSimulator, LookaheadViolationThrows) {
+  ShardedSimulator sharded{2, Time::us(0.1)};
+  sharded.shard(0).schedule_at(Time::us(1.0), [&] {
+    // Mail targeted *inside* the current window: the receiver may have
+    // dispatched past it already — the flush must reject it.
+    sharded.post(0, 1, sharded.shard(0).now(), [] {});
+  });
+  EXPECT_THROW(sharded.run(2), std::logic_error);
+}
+
+TEST(ShardedSimulator, EventLimitStopsRunawayLoops) {
+  ShardedSimulator sharded{2, Time::us(0.1)};
+  std::function<void()> loop = [&] {
+    sharded.shard(0).schedule_in(Time::zero(), loop);
+  };
+  sharded.shard(0).schedule_at(Time::zero(), loop);
+  EXPECT_THROW(sharded.run(2, /*event_limit=*/1000), std::runtime_error);
+}
+
+TEST(ShardedSimulator, ExceptionsInShardEventsPropagate) {
+  ShardedSimulator sharded{2, Time::us(0.1)};
+  sharded.shard(1).schedule_at(Time::us(1.0), [] {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(sharded.run(2), std::runtime_error);
+}
+
+TEST(ShardedSimulator, RunCanBeCalledAgainAfterDraining) {
+  ShardedSimulator sharded{2, Time::us(0.1)};
+  int fired = 0;
+  sharded.shard(0).schedule_at(Time::us(1.0), [&] { ++fired; });
+  sharded.run(2);
+  // Driver schedules follow-up work between runs (the engine's repair
+  // rounds do exactly this).
+  sharded.shard(1).schedule_at(sharded.last_event_time() + Time::us(30.0),
+                               [&] { ++fired; });
+  sharded.run(2);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sharded.events_dispatched(), 2u);
+}
+
+}  // namespace
+}  // namespace nimcast::sim

@@ -78,6 +78,111 @@ TEST(Simulator, RunUntilIncludesEventsAtBoundary) {
   EXPECT_EQ(fired, 1);
 }
 
+// run_until is *inclusive*: an event re-entrantly scheduled at exactly
+// the boundary (zero delay from a boundary event) must still fire in the
+// same call. Window barriers in the sharded engine rely on this — a
+// window [T, W] must drain every event chain that stays <= W.
+TEST(Simulator, RunUntilRunsReentrantEventsAtBoundary) {
+  Simulator s;
+  std::vector<int> seen;
+  s.schedule_at(Time::us(5.0), [&] {
+    seen.push_back(1);
+    s.schedule_in(Time::zero(), [&] {
+      seen.push_back(2);
+      s.schedule_in(Time::zero(), [&] { seen.push_back(3); });
+    });
+  });
+  const auto fired = s.run_until(Time::us(5.0));
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.now(), Time::us(5.0));
+}
+
+// ...but an event the boundary event schedules *past* the boundary stays
+// pending, and the clock still lands exactly on `until`.
+TEST(Simulator, RunUntilLeavesPostBoundaryFollowUpsPending) {
+  Simulator s;
+  int late = 0;
+  s.schedule_at(Time::us(5.0), [&] {
+    s.schedule_in(Time::ns(1), [&] { ++late; });
+  });
+  const auto fired = s.run_until(Time::us(5.0));
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(late, 0);
+  EXPECT_EQ(s.pending_events(), 1u);
+  EXPECT_EQ(s.now(), Time::us(5.0));
+  s.run();
+  EXPECT_EQ(late, 1);
+}
+
+// Multiple events pinned at the boundary instant all fire, in schedule
+// (FIFO) order — the same tie-break contract as run().
+TEST(Simulator, RunUntilFiresAllBoundaryEventsInScheduleOrder) {
+  Simulator s;
+  std::vector<int> seen;
+  s.schedule_at(Time::us(5.0), [&] { seen.push_back(1); });
+  s.schedule_at(Time::us(5.0), [&] { seen.push_back(2); });
+  s.schedule_at(Time::us(5.0), [&] { seen.push_back(3); });
+  const auto fired = s.run_until(Time::us(5.0));
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+// An empty window still advances the clock (and never moves it backward
+// when `until` is already in the past).
+TEST(Simulator, RunUntilOnEmptyQueueAdvancesClockMonotonically) {
+  Simulator s;
+  EXPECT_EQ(s.run_until(Time::us(3.0)), 0u);
+  EXPECT_EQ(s.now(), Time::us(3.0));
+  EXPECT_EQ(s.run_until(Time::us(1.0)), 0u);  // until < now: no-op
+  EXPECT_EQ(s.now(), Time::us(3.0));
+}
+
+TEST(Simulator, AdvanceToMovesClockWithoutDispatching) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(Time::us(2.0), [&] { ++fired; });
+  s.advance_to(Time::us(1.0));
+  EXPECT_EQ(s.now(), Time::us(1.0));
+  EXPECT_EQ(fired, 0);
+  EXPECT_THROW(s.advance_to(Time::us(0.5)), std::logic_error);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, LastEventTimeTracksDispatchNotClock) {
+  Simulator s;
+  EXPECT_EQ(s.last_event_time(), Time::zero());
+  s.schedule_at(Time::us(2.0), [] {});
+  s.run_until(Time::us(7.0));
+  EXPECT_EQ(s.now(), Time::us(7.0));
+  EXPECT_EQ(s.last_event_time(), Time::us(2.0));
+}
+
+// Shard-order keying must be order-identical to the default FIFO keying
+// within a single simulator (the serial-equivalence property the sharded
+// engine's determinism contract is built on).
+TEST(Simulator, ShardOrderKeyingMatchesFifoWithinOneSimulator) {
+  const auto trace = [](bool sharded) {
+    Simulator s;
+    if (sharded) s.enable_shard_order();
+    std::vector<int> seen;
+    s.schedule_at(Time::us(4.0), [&s, &seen] {
+      seen.push_back(10);
+      s.schedule_in(Time::zero(), [&seen] { seen.push_back(11); });
+    });
+    s.schedule_at(Time::us(4.0), [&seen] { seen.push_back(20); });
+    s.schedule_at(Time::us(2.0), [&s, &seen] {
+      seen.push_back(30);
+      s.schedule_in(Time::us(2.0), [&seen] { seen.push_back(31); });
+    });
+    s.run();
+    return seen;
+  };
+  EXPECT_EQ(trace(false), trace(true));
+}
+
 TEST(Simulator, StepRunsOneEvent) {
   Simulator s;
   int fired = 0;

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "network/wormhole_network.hpp"
+
+namespace nimcast::net::test_support {
+
+/// DeliverySink adapter for tests: forwards every delivered packet to a
+/// captured std::function. Production traffic binds real NIs; tests bind
+/// one of these per destination host and use the sink-based send()
+/// instead of the deprecated per-packet callback overload.
+class CallbackSink final : public DeliverySink {
+ public:
+  CallbackSink() : fn_{[](const Packet&) {}} {}
+  explicit CallbackSink(std::function<void(const Packet&)> fn)
+      : fn_{std::move(fn)} {}
+
+  void on_packet_delivered(const Packet& packet) override { fn_(packet); }
+
+ private:
+  std::function<void(const Packet&)> fn_;
+};
+
+/// Binds `sink` as the receiver for every host in `[0, num_hosts)`.
+inline void bind_all_hosts(WormholeNetwork& net, std::int32_t num_hosts,
+                           DeliverySink* sink) {
+  for (topo::HostId h = 0; h < num_hosts; ++h) net.bind_sink(h, sink);
+}
+
+}  // namespace nimcast::net::test_support

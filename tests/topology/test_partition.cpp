@@ -1,0 +1,108 @@
+#include "topology/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/irregular.hpp"
+
+namespace nimcast::topo {
+namespace {
+
+Graph ring(std::int32_t n) {
+  std::vector<Graph::Edge> edges;
+  for (std::int32_t i = 0; i < n; ++i) {
+    edges.push_back(Graph::Edge{i, (i + 1) % n});
+  }
+  return Graph{n, std::move(edges)};
+}
+
+std::vector<std::int32_t> sizes(const std::vector<std::int32_t>& part,
+                                std::int32_t parts) {
+  std::vector<std::int32_t> count(static_cast<std::size_t>(parts), 0);
+  for (std::int32_t p : part) ++count[static_cast<std::size_t>(p)];
+  return count;
+}
+
+TEST(Partition, RejectsNonPositiveParts) {
+  EXPECT_THROW(partition_switches(ring(4), 0), std::invalid_argument);
+}
+
+TEST(Partition, SinglePartAssignsEverythingToZero) {
+  const auto part = partition_switches(ring(6), 1);
+  EXPECT_EQ(part, (std::vector<std::int32_t>{0, 0, 0, 0, 0, 0}));
+  EXPECT_EQ(cut_links(ring(6), part), 0);
+}
+
+TEST(Partition, BalancedAndCompleteOnARing) {
+  const Graph g = ring(16);
+  for (std::int32_t parts : {2, 3, 4, 8}) {
+    const auto part = partition_switches(g, parts);
+    ASSERT_EQ(part.size(), 16u);
+    const auto count = sizes(part, parts);
+    const auto [lo, hi] = std::minmax_element(count.begin(), count.end());
+    EXPECT_LE(*hi - *lo, 1) << parts << " parts";
+    // A contiguous-arc partition of a ring cuts exactly `parts` links;
+    // the greedy growth must find it (the global optimum here).
+    EXPECT_EQ(cut_links(g, part), parts) << parts << " parts";
+  }
+}
+
+TEST(Partition, MorePartsThanSwitchesDegradesGracefully) {
+  const auto part = partition_switches(ring(3), 8);
+  ASSERT_EQ(part.size(), 3u);
+  // Three singleton parts, indices within [0, 3).
+  for (std::int32_t p : part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 3);
+  }
+  std::vector<std::int32_t> sorted = part;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(Partition, DeterministicOnGeneratedTopologies) {
+  const Topology fat = make_fat_tree(FatTreeConfig{});
+  const auto a = partition_switches(fat.switches(), 4);
+  const auto b = partition_switches(fat.switches(), 4);
+  EXPECT_EQ(a, b);
+
+  sim::Rng rng{1234};
+  const Topology irr = make_irregular(IrregularConfig{}, rng);
+  EXPECT_EQ(partition_switches(irr.switches(), 4),
+            partition_switches(irr.switches(), 4));
+}
+
+TEST(Partition, CutIsFarBelowWorstCaseOnIrregularFabrics) {
+  sim::Rng rng{99};
+  const Topology t = make_irregular(IrregularConfig{}, rng);
+  const Graph& g = t.switches();
+  const auto part = partition_switches(g, 4);
+  const auto count = sizes(part, 4);
+  const auto [lo, hi] = std::minmax_element(count.begin(), count.end());
+  EXPECT_LE(*hi - *lo, 1);
+  // A random balanced 4-way assignment cuts ~3/4 of the links in
+  // expectation; the greedy grower must do meaningfully better.
+  EXPECT_LT(cut_links(g, part), g.num_edges() * 3 / 4);
+}
+
+TEST(Partition, DisconnectedGraphsStillFullyAssigned) {
+  // Two disjoint triangles.
+  std::vector<Graph::Edge> edges{{0, 1}, {1, 2}, {2, 0},
+                                 {3, 4}, {4, 5}, {5, 3}};
+  const Graph g{6, std::move(edges)};
+  const auto part = partition_switches(g, 2);
+  ASSERT_EQ(part.size(), 6u);
+  const auto count = sizes(part, 2);
+  EXPECT_EQ(count[0], 3);
+  EXPECT_EQ(count[1], 3);
+  // The natural split is one triangle per part: zero cut links.
+  EXPECT_EQ(cut_links(g, part), 0);
+}
+
+}  // namespace
+}  // namespace nimcast::topo
