@@ -34,7 +34,8 @@ struct Communicator::Impl {
     coll_engine = std::make_unique<collectives::CollectiveEngine>(
         *topology, *routes,
         collectives::CollectiveEngine::Config{options.params, options.network,
-                                              options.t_comb});
+                                              options.t_comb, options.repair,
+                                              options.collective_mode});
   }
 
   [[nodiscard]] std::int32_t packetize(std::int64_t bytes) const {
@@ -175,7 +176,8 @@ namespace {
 
 Communicator::OpReport from_collective(const collectives::CollectiveResult& r,
                                        std::int32_t m, std::int32_t k,
-                                       std::int32_t t1) {
+                                       std::int32_t t1,
+                                       std::int32_t n_participants) {
   Communicator::OpReport report;
   report.latency = r.latency;
   report.packets = m;
@@ -183,13 +185,21 @@ Communicator::OpReport from_collective(const collectives::CollectiveResult& r,
   report.tree_depth = t1;
   report.packets_on_wire = r.packets_injected;
   report.contention = r.total_channel_block_time;
+  report.outcome = r.outcome;
+  // Fault-free runs skip per-participant bookkeeping: everyone delivered.
+  report.delivered =
+      r.participants.empty() ? n_participants : r.delivered_count();
+  for (const auto& p : r.participants) {
+    if (!p.reachable) ++report.unreachable;
+  }
+  report.repairs = r.repairs;
   return report;
 }
 
 }  // namespace
 
-Communicator::OpReport Communicator::scatter(topo::HostId source,
-                                             std::int64_t bytes_per_dest) const {
+Communicator::OpReport Communicator::scatter(
+    topo::HostId source, std::int64_t bytes_per_dest) const {
   const std::int32_t m = impl_->packetize(bytes_per_dest);
   const auto dests = impl_->everyone_but(source);
   const auto choice =
@@ -197,7 +207,7 @@ Communicator::OpReport Communicator::scatter(topo::HostId source,
   const auto tree = impl_->tree_for(source, dests, m);
   return from_collective(
       impl_->coll_engine->run(collectives::CollectiveKind::kScatter, tree, m),
-      m, choice.k, choice.t1);
+      m, choice.k, choice.t1, static_cast<std::int32_t>(dests.size()));
 }
 
 Communicator::OpReport Communicator::gather(topo::HostId root,
@@ -209,7 +219,7 @@ Communicator::OpReport Communicator::gather(topo::HostId root,
   const auto tree = impl_->tree_for(root, dests, m);
   return from_collective(
       impl_->coll_engine->run(collectives::CollectiveKind::kGather, tree, m),
-      m, choice.k, choice.t1);
+      m, choice.k, choice.t1, static_cast<std::int32_t>(dests.size()));
 }
 
 Communicator::OpReport Communicator::reduce(topo::HostId root,
@@ -221,7 +231,7 @@ Communicator::OpReport Communicator::reduce(topo::HostId root,
   const auto tree = impl_->tree_for(root, dests, m);
   return from_collective(
       impl_->coll_engine->run(collectives::CollectiveKind::kReduce, tree, m),
-      m, choice.k, choice.t1);
+      m, choice.k, choice.t1, static_cast<std::int32_t>(dests.size()));
 }
 
 Communicator::OpReport Communicator::allreduce(topo::HostId root,
@@ -234,7 +244,7 @@ Communicator::OpReport Communicator::allreduce(topo::HostId root,
   return from_collective(
       impl_->coll_engine->run(collectives::CollectiveKind::kAllReduce, tree,
                               m),
-      m, choice.k, choice.t1);
+      m, choice.k, choice.t1, static_cast<std::int32_t>(dests.size()));
 }
 
 }  // namespace nimcast::api

@@ -50,7 +50,12 @@ class Communicator {
     /// Reliability protocol knobs (kReliableFpfs only).
     netif::ReliabilityParams reliability = {};
     /// Retry-with-repair policy applied when network.faults is non-empty.
+    /// Shared by the multicast engine and the collective engine.
     mcast::RepairPolicy repair = {};
+    /// What collectives do when faults leave them incomplete: throw
+    /// (kFailFast) or repair the tree and report a per-host verdict.
+    collectives::RepairMode collective_mode =
+        collectives::RepairMode::kDegradeAndContinue;
   };
 
   /// A random irregular switch-based cluster (paper Section 5.2 system
@@ -83,8 +88,10 @@ class Communicator {
     std::int32_t tree_depth = 0;    ///< steps of the first packet
     std::int64_t packets_on_wire = 0;
     sim::Time contention;        ///< cumulative channel block time
-    /// Fault verdicts (multicast/broadcast only; collectives report
-    /// kComplete — they require a pristine fabric, see ROADMAP).
+    /// Fault verdict — filled for every operation. Collectives run
+    /// degrade-and-continue by default (Options::collective_mode);
+    /// `delivered` counts participants whose per-kind obligation was met
+    /// (message in, gathered at root, contribution folded, result held).
     mcast::Outcome outcome = mcast::Outcome::kComplete;
     std::int32_t delivered = 0;    ///< destinations that got the message
     std::int32_t unreachable = 0;  ///< destinations lost to partitions

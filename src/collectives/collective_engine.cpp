@@ -4,11 +4,14 @@
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "mcast/tree_repair.hpp"
 #include "netif/buffer_tracker.hpp"
 #include "netif/host.hpp"
 #include "netif/serial_server.hpp"
 #include "network/wormhole_network.hpp"
+#include "routing/repair.hpp"
 #include "sim/simulator.hpp"
 
 namespace nimcast::collectives {
@@ -24,6 +27,34 @@ const char* to_string(CollectiveKind k) {
   return "?";
 }
 
+const char* to_string(RepairMode m) {
+  switch (m) {
+    case RepairMode::kFailFast: return "fail-fast";
+    case RepairMode::kDegradeAndContinue: return "degrade-and-continue";
+  }
+  return "?";
+}
+
+std::int32_t CollectiveResult::delivered_count() const {
+  std::int32_t n = 0;
+  for (const auto& p : participants) n += p.delivered ? 1 : 0;
+  return n;
+}
+
+double CollectiveResult::delivery_ratio() const {
+  if (participants.empty()) return 1.0;
+  return static_cast<double>(delivered_count()) /
+         static_cast<double>(participants.size());
+}
+
+std::vector<topo::HostId> CollectiveResult::survivors() const {
+  std::vector<topo::HostId> out;
+  for (const auto& p : participants) {
+    if (p.reachable) out.push_back(p.host);
+  }
+  return out;
+}
+
 namespace {
 
 constexpr net::MessageId kMessage = 1;
@@ -32,11 +63,12 @@ constexpr net::MessageId kMessage = 1;
 constexpr std::int32_t kUpPhase = -2;
 constexpr std::int32_t kDownPhase = -3;
 
-/// Collective firmware model: one per participating host. Mirrors the
-/// structure of netif::NetworkInterface (coprocessor SerialServer, t_rcv
-/// receive processing in the low-priority lane, t_snd per injected copy)
-/// but speaks the collective protocols instead of plain multicast
-/// forwarding.
+/// Collective firmware model: one per participating host (and one per
+/// repair round the host takes part in — each round rebinds a fresh
+/// instance). Mirrors the structure of netif::NetworkInterface
+/// (coprocessor SerialServer, t_rcv receive processing in the
+/// low-priority lane, t_snd per injected copy) but speaks the collective
+/// protocols instead of plain multicast forwarding.
 class CollectiveNi : public net::DeliverySink {
  public:
   CollectiveNi(sim::Simulator& simctx, net::WormholeNetwork& network,
@@ -65,6 +97,10 @@ class CollectiveNi : public net::DeliverySink {
   /// Fired when this NI's role in the collective is fulfilled (before
   /// the host's t_r).
   std::function<void(topo::HostId)> on_complete;
+  /// Gather root only: fired when one source's full m-packet message has
+  /// arrived (fault accounting — the root may gather some sources and
+  /// lose others).
+  std::function<void(topo::HostId)> on_source_complete;
   /// Scatter: next tree hop per final destination.
   std::unordered_map<topo::HostId, topo::HostId> next_hop;
   /// Gather/reduce: number of direct children (reduce) or subtree
@@ -165,7 +201,13 @@ class CollectiveNi : public net::DeliverySink {
 
       case CollectiveKind::kGather:
         if (parent_ == topo::kInvalidId) {
-          // Root: done once every descendant's full message is in.
+          // Root: per-source accounting (a faulty fabric may gather some
+          // sources whole and lose others); done once every descendant's
+          // full message is in.
+          auto& got = source_received_[packet.tag];
+          if (++got == m_ && on_source_complete) {
+            on_source_complete(static_cast<topo::HostId>(packet.tag));
+          }
           if (++own_received_ == subtree_below * m_) complete();
         } else {
           send(parent_, packet.packet_index, packet.tag);
@@ -222,6 +264,7 @@ class CollectiveNi : public net::DeliverySink {
 
   std::int32_t own_received_ = 0;
   std::unordered_map<std::int32_t, std::int32_t> folded_;
+  std::unordered_map<std::int32_t, std::int32_t> source_received_;
   std::int32_t reduced_indexes_ = 0;
   bool done_ = false;
 };
@@ -246,113 +289,320 @@ CollectiveResult CollectiveEngine::run(CollectiveKind kind,
     }
   }
 
+  const bool faulty = !config_.network.faults.empty();
+  const topo::HostId root = tree.root;
+
   sim::Simulator simctx;
   net::WormholeNetwork network{simctx, topology_, routes_, config_.network,
                                trace_};
 
-  // Parents and subtree structure from the tree.
-  std::unordered_map<topo::HostId, topo::HostId> parent;
-  parent[tree.root] = topo::kInvalidId;
-  for (const auto& [v, kids] : tree.children) {
-    for (topo::HostId c : kids) parent[c] = v;
-  }
-
-  // Subtree membership for scatter next-hop and gather counting:
-  // post-order accumulation.
-  std::unordered_map<topo::HostId, std::vector<topo::HostId>> subtree;
-  {
-    // Children-first order via reverse BFS.
-    std::vector<topo::HostId> order{tree.root};
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      for (topo::HostId c : tree.children.at(order[i])) order.push_back(c);
-    }
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      auto& mine = subtree[*it];
-      mine.push_back(*it);
-      for (topo::HostId c : tree.children.at(*it)) {
-        const auto& sub = subtree[c];
-        mine.insert(mine.end(), sub.begin(), sub.end());
-      }
-    }
-  }
-
-  std::unordered_map<topo::HostId, std::unique_ptr<CollectiveNi>> nis;
-  std::unordered_map<topo::HostId, std::unique_ptr<netif::Host>> hosts;
-  for (topo::HostId h : tree.nodes) {
-    nis.emplace(h, std::make_unique<CollectiveNi>(
-                       simctx, network, config_, kind, h, parent.at(h),
-                       tree.children.at(h), m, trace_));
-    hosts.emplace(h, std::make_unique<netif::Host>(simctx, h, config_.params));
-  }
-  for (topo::HostId h : tree.nodes) {
-    auto& ni = *nis.at(h);
-    ni.subtree_below = static_cast<std::int32_t>(subtree.at(h).size()) - 1;
-    for (topo::HostId c : tree.children.at(h)) {
-      for (topo::HostId d : subtree.at(c)) ni.next_hop.emplace(d, c);
-    }
-  }
-
-  CollectiveResult result;
-  std::size_t expected_completions = 0;
-  switch (kind) {
-    case CollectiveKind::kBroadcast:
-    case CollectiveKind::kScatter:
-      expected_completions = static_cast<std::size_t>(tree.size()) - 1;
-      break;
-    case CollectiveKind::kGather:
-    case CollectiveKind::kReduce:
-      expected_completions = 1;
-      break;
-    case CollectiveKind::kAllReduce:
-      expected_completions = static_cast<std::size_t>(tree.size());
-      break;
-  }
-  for (topo::HostId h : tree.nodes) {
-    nis.at(h)->on_complete = [&, h](topo::HostId) {
-      hosts.at(h)->software_receive(
-          [&, h] { result.completions.emplace_back(h, simctx.now()); });
+  // Fault-time route repair, identical to the multicast engine's: rebuild
+  // up*/down* on the surviving subgraph and rebind on *every* fault event
+  // — kLinkUp recoveries included, each with a fresh epoch. Multi-VC
+  // tables (dateline tori) keep their original routes and degrade without
+  // rerouting.
+  std::vector<std::unique_ptr<routing::RouteTable>> repaired_tables;
+  if (faulty && config_.repair.reroute && routes_.virtual_channels() == 1) {
+    network.on_fault = [&](const net::FaultEvent&) {
+      auto table = routing::rebuild_updown(
+          topology_, network.fault_state(),
+          static_cast<std::int32_t>(repaired_tables.size()) + 1);
+      network.rebind_routes(*table);
+      repaired_tables.push_back(std::move(table));
     };
   }
 
-  // Start-up: who pays t_s before their NI acts.
-  const auto start_host = [&](topo::HostId h) {
-    hosts.at(h)->software_send([&nis, h] { nis.at(h)->start(); });
-  };
-  switch (kind) {
-    case CollectiveKind::kBroadcast:
-    case CollectiveKind::kScatter:
-      start_host(tree.root);
-      break;
-    case CollectiveKind::kGather:
-      for (topo::HostId h : tree.nodes) {
-        if (h != tree.root) start_host(h);
-      }
-      break;
-    case CollectiveKind::kReduce:
-    case CollectiveKind::kAllReduce:
-      // Everyone contributes data: every host pays the send start-up
-      // (the root's moves its own partial result to the NI).
-      for (topo::HostId h : tree.nodes) start_host(h);
-      break;
-  }
+  CollectiveResult result;
 
+  // Cross-round fault bookkeeping. `completed` is the per-host semantic
+  // marker (own message in / holds the result); `gathered` maps a gather
+  // source to the instant its full message reached the root; `root_done`
+  // means the root finished combining (reduce/allreduce up phase), and
+  // `contributors` snapshots the up-phase participant set of the round
+  // that achieved it — the reduce-correctness accounting.
+  std::vector<std::unique_ptr<CollectiveNi>> arena;
+  std::unordered_map<topo::HostId, std::unique_ptr<netif::Host>> hosts;
+  std::unordered_set<topo::HostId> completed;
+  std::unordered_map<topo::HostId, sim::Time> gathered;
+  bool root_done = false;
+  std::vector<topo::HostId> up_nodes;
+  std::vector<topo::HostId> contributors;
+
+  // Builds fresh per-round firmware over `t`, rebinding the network
+  // sinks of every participant, and schedules the round's start-up
+  // (immediately for the initial attempt, at `start` for repair rounds).
+  const auto launch = [&](const core::HostTree& t, CollectiveKind kind2,
+                          sim::Time start) {
+    // Parents and subtree structure from the round's tree.
+    std::unordered_map<topo::HostId, topo::HostId> parent;
+    parent[t.root] = topo::kInvalidId;
+    for (const auto& [v, kids] : t.children) {
+      for (topo::HostId c : kids) parent[c] = v;
+    }
+
+    // Subtree membership for scatter next-hop and gather counting:
+    // post-order accumulation via reverse BFS.
+    std::unordered_map<topo::HostId, std::vector<topo::HostId>> subtree;
+    {
+      std::vector<topo::HostId> order{t.root};
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        for (topo::HostId c : t.children.at(order[i])) order.push_back(c);
+      }
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        auto& mine = subtree[*it];
+        mine.push_back(*it);
+        for (topo::HostId c : t.children.at(*it)) {
+          const auto& sub = subtree[c];
+          mine.insert(mine.end(), sub.begin(), sub.end());
+        }
+      }
+    }
+
+    std::unordered_map<topo::HostId, CollectiveNi*> nis;
+    for (topo::HostId h : t.nodes) {
+      arena.push_back(std::make_unique<CollectiveNi>(
+          simctx, network, config_, kind2, h, parent.at(h), t.children.at(h),
+          m, trace_));
+      nis.emplace(h, arena.back().get());
+      if (hosts.find(h) == hosts.end()) {
+        hosts.emplace(h,
+                      std::make_unique<netif::Host>(simctx, h, config_.params));
+      }
+    }
+    for (topo::HostId h : t.nodes) {
+      auto& ni = *nis.at(h);
+      ni.subtree_below = static_cast<std::int32_t>(subtree.at(h).size()) - 1;
+      for (topo::HostId c : t.children.at(h)) {
+        for (topo::HostId d : subtree.at(c)) ni.next_hop.emplace(d, c);
+      }
+    }
+
+    const bool up_kind = kind2 == CollectiveKind::kReduce ||
+                         kind2 == CollectiveKind::kAllReduce;
+    if (up_kind) up_nodes = t.nodes;
+    for (topo::HostId h : t.nodes) {
+      auto& ni = *nis.at(h);
+      ni.on_complete = [&, h, up_kind](topo::HostId) {
+        if (up_kind && h == root && !root_done) {
+          root_done = true;
+          contributors = up_nodes;
+        }
+        // A host keeps one semantic completion across repair rounds.
+        if (!completed.insert(h).second) return;
+        hosts.at(h)->software_receive(
+            [&, h] { result.completions.emplace_back(h, simctx.now()); });
+      };
+      if (kind2 == CollectiveKind::kGather && h == root) {
+        ni.on_source_complete = [&](topo::HostId src) {
+          gathered.emplace(src, simctx.now());
+        };
+      }
+    }
+
+    // Start-up: who pays t_s before their NI acts.
+    const auto start_host = [&nis, &hosts](topo::HostId h) {
+      CollectiveNi* ni = nis.at(h);
+      hosts.at(h)->software_send([ni] { ni->start(); });
+    };
+    const auto start_all = [&] {
+      switch (kind2) {
+        case CollectiveKind::kBroadcast:
+        case CollectiveKind::kScatter:
+          start_host(t.root);
+          break;
+        case CollectiveKind::kGather:
+          for (topo::HostId h : t.nodes) {
+            if (h != t.root) start_host(h);
+          }
+          break;
+        case CollectiveKind::kReduce:
+        case CollectiveKind::kAllReduce:
+          // Everyone contributes data: every host pays the send start-up
+          // (the root's moves its own partial result to the NI).
+          for (topo::HostId h : t.nodes) start_host(h);
+          break;
+      }
+    };
+    if (start == sim::Time::zero()) {
+      start_all();
+    } else {
+      // Repair rounds start after the backoff; the starters capture the
+      // round's NI pointers, which outlive the run in `arena`.
+      std::vector<topo::HostId> starters;
+      switch (kind2) {
+        case CollectiveKind::kBroadcast:
+        case CollectiveKind::kScatter:
+          starters.push_back(t.root);
+          break;
+        case CollectiveKind::kGather:
+          for (topo::HostId h : t.nodes) {
+            if (h != t.root) starters.push_back(h);
+          }
+          break;
+        case CollectiveKind::kReduce:
+        case CollectiveKind::kAllReduce:
+          starters = t.nodes;
+          break;
+      }
+      for (topo::HostId h : starters) {
+        CollectiveNi* ni = nis.at(h);
+        netif::Host* host = hosts.at(h).get();
+        simctx.schedule_at(
+            start, [ni, host] { host->software_send([ni] { ni->start(); }); });
+      }
+    }
+  };
+
+  const auto check_drained = [&] {
+    if (network.in_flight() != 0) {
+      throw std::runtime_error("CollectiveEngine: network deadlock");
+    }
+  };
+
+  const auto n_participants = static_cast<std::size_t>(tree.size()) - 1;
+  const auto op_complete = [&]() -> bool {
+    switch (kind) {
+      case CollectiveKind::kBroadcast:
+      case CollectiveKind::kScatter:
+        return completed.size() == n_participants;
+      case CollectiveKind::kGather:
+        return gathered.size() == n_participants;
+      case CollectiveKind::kReduce:
+        return root_done;
+      case CollectiveKind::kAllReduce:
+        return root_done && completed.size() == n_participants + 1;
+    }
+    return false;
+  };
+
+  launch(tree, kind, sim::Time::zero());
   simctx.run();
-  if (network.in_flight() != 0) {
-    throw std::runtime_error("CollectiveEngine: network deadlock");
-  }
-  if (result.completions.size() != expected_completions) {
-    throw std::runtime_error("CollectiveEngine: " + std::string(to_string(kind)) +
+  check_drained();
+
+  if (!faulty && !op_complete()) {
+    throw std::runtime_error("CollectiveEngine: " +
+                             std::string(to_string(kind)) +
                              " did not complete everywhere");
   }
+  if (faulty && config_.mode == RepairMode::kFailFast && !op_complete()) {
+    throw std::runtime_error("CollectiveEngine: " +
+                             std::string(to_string(kind)) +
+                             " incomplete under faults (fail-fast)");
+  }
+
+  // Tree repair: re-parent the still-needy, still-reachable participants
+  // into a fresh k-binomial tree in contention-free order (the shared
+  // mcast::plan_repair_tree) and re-run. Broadcast/scatter/gather rounds
+  // resend only what is missing; a reduce whose root never finished
+  // combining restarts from scratch over the survivors (interior folds
+  // of a broken round are unattributable and discarded); an allreduce
+  // with a complete up phase but lost down-phase deliveries re-broadcasts
+  // the root's result to whoever missed it.
+  if (faulty && config_.mode == RepairMode::kDegradeAndContinue &&
+      config_.repair.max_attempts > 0) {
+    for (std::int32_t round = 1; round <= config_.repair.max_attempts;
+         ++round) {
+      if (op_complete() || !network.host_alive(root)) break;
+      CollectiveKind round_kind = kind;
+      std::function<bool(topo::HostId)> needs;
+      switch (kind) {
+        case CollectiveKind::kBroadcast:
+        case CollectiveKind::kScatter:
+          needs = [&](topo::HostId h) { return completed.count(h) == 0; };
+          break;
+        case CollectiveKind::kGather:
+          needs = [&](topo::HostId h) { return gathered.count(h) == 0; };
+          break;
+        case CollectiveKind::kReduce:
+          needs = [](topo::HostId) { return true; };
+          break;
+        case CollectiveKind::kAllReduce:
+          if (root_done) {
+            round_kind = CollectiveKind::kBroadcast;
+            needs = [&](topo::HostId h) { return completed.count(h) == 0; };
+          } else {
+            needs = [](topo::HostId) { return true; };
+          }
+          break;
+      }
+      const auto rtree = mcast::plan_repair_tree(
+          root, tree.nodes, needs,
+          [&](topo::HostId h) { return network.reachable(root, h); },
+          tree.root_children());
+      if (!rtree) break;
+      ++result.repairs;
+      const sim::Time wait =
+          config_.repair.backoff * (sim::Time::rep{1} << (round - 1));
+      launch(*rtree, round_kind, simctx.now() + wait);
+      simctx.run();
+      check_drained();
+    }
+  }
+
   for (const auto& [h, t] : result.completions) {
     result.latency = std::max(result.latency, t);
   }
-  for (topo::HostId h : tree.nodes) {
-    result.peak_ni_buffer =
-        std::max(result.peak_ni_buffer, nis.at(h)->buffer().peak());
+  for (const auto& ni : arena) {
+    result.peak_ni_buffer = std::max(result.peak_ni_buffer,
+                                     ni->buffer().peak());
   }
   result.packets_injected = network.packets_delivered();
   result.total_channel_block_time = network.total_block_time();
+
+  if (faulty) {
+    result.root_alive = network.host_alive(root);
+    result.faults_applied = network.faults_applied();
+    result.route_epoch = network.routes().epoch();
+    result.contributors = contributors;
+    sim::Time root_completed_at;
+    for (const auto& [h, t] : result.completions) {
+      if (h == root) root_completed_at = t;
+    }
+    const std::unordered_set<topo::HostId> contrib_set{contributors.begin(),
+                                                       contributors.end()};
+    for (topo::HostId h : tree.nodes) {
+      if (h == root) continue;
+      mcast::DestinationStatus st;
+      st.host = h;
+      st.reachable = network.reachable(root, h);
+      switch (kind) {
+        case CollectiveKind::kBroadcast:
+        case CollectiveKind::kScatter:
+        case CollectiveKind::kAllReduce:
+          st.delivered = completed.count(h) != 0;
+          break;
+        case CollectiveKind::kGather:
+          if (auto it = gathered.find(h); it != gathered.end()) {
+            st.delivered = true;
+            st.completed_at = it->second;
+          }
+          break;
+        case CollectiveKind::kReduce:
+          // Contribution folded into the root's final result; stamped
+          // with the root's completion since folds are unattributable.
+          st.delivered = root_done && contrib_set.count(h) != 0;
+          st.completed_at = root_completed_at;
+          break;
+      }
+      result.participants.push_back(st);
+    }
+    if (kind == CollectiveKind::kBroadcast ||
+        kind == CollectiveKind::kScatter ||
+        kind == CollectiveKind::kAllReduce) {
+      std::unordered_map<topo::HostId, sim::Time> done;
+      for (const auto& [h, t] : result.completions) done.emplace(h, t);
+      for (auto& st : result.participants) {
+        if (auto it = done.find(st.host); it != done.end()) {
+          st.completed_at = it->second;
+        }
+      }
+    }
+    const auto delivered = static_cast<std::size_t>(result.delivered_count());
+    result.outcome = delivered == n_participants
+                         ? mcast::Outcome::kComplete
+                         : (delivered == 0 ? mcast::Outcome::kFailed
+                                           : mcast::Outcome::kPartial);
+  }
   return result;
 }
 

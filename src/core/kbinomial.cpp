@@ -43,7 +43,8 @@ void build_segment(RankTree& tree, CoverageTable& cov, std::int32_t lo,
   // grants later children extra step budget, never less.
   std::int32_t right = hi;
   for (std::int32_t i = 1; i <= max_children; ++i) {
-    const auto take = static_cast<std::int32_t>(size[static_cast<std::size_t>(i)]);
+    const auto take =
+        static_cast<std::int32_t>(size[static_cast<std::size_t>(i)]);
     if (take == 0) continue;
     const std::int32_t child = right - take + 1;
     tree.children[static_cast<std::size_t>(lo)].push_back(child);

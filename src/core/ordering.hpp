@@ -41,8 +41,8 @@ using Chain = std::vector<topo::HostId>;
 /// first node in the ordering"). `dests` must not contain `source`;
 /// duplicates are rejected. The result lists source at index 0 followed
 /// by the destinations in (rotated) chain order.
-[[nodiscard]] Chain arrange_participants(const Chain& chain,
-                                         topo::HostId source,
-                                         const std::vector<topo::HostId>& dests);
+[[nodiscard]] Chain arrange_participants(
+    const Chain& chain, topo::HostId source,
+    const std::vector<topo::HostId>& dests);
 
 }  // namespace nimcast::core

@@ -54,8 +54,8 @@ int pick_shards(int threads, std::int32_t hosts, std::size_t replications) {
   if (const int forced = configured_shards(); forced > 0) return forced;
   if (hosts < kAutoShardHosts) return 1;
   if (replications >= static_cast<std::size_t>(threads)) return 1;
-  const std::size_t per_rep =
-      static_cast<std::size_t>(threads) / std::max<std::size_t>(replications, 1);
+  const std::size_t per_rep = static_cast<std::size_t>(threads) /
+                              std::max<std::size_t>(replications, 1);
   return static_cast<int>(std::min<std::size_t>(
       std::max<std::size_t>(per_rep, 1),
       static_cast<std::size_t>(kMaxAutoShards)));

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "core/kbinomial.hpp"
+#include "mcast/tree_repair.hpp"
 #include "netif/conventional_ni.hpp"
 #include "netif/reliable_ni.hpp"
 #include "netif/host.hpp"
@@ -310,26 +311,19 @@ MultiMulticastResult MulticastEngine::run_many(
         const auto& spec = specs[op];
         const topo::HostId root = spec.tree.root;
         if (!network.host_alive(root)) continue;
-        core::Chain chain;
-        chain.push_back(root);
-        for (topo::HostId h : spec.tree.nodes) {
-          if (h == root || arrived[op][static_cast<std::size_t>(h)] != 0) {
-            continue;
-          }
-          if (!network.reachable(root, h)) continue;
-          chain.push_back(h);
-        }
-        if (chain.size() < 2) continue;
-        const auto n2 = static_cast<std::int32_t>(chain.size());
-        const std::int32_t k =
-            std::clamp(spec.tree.root_children(), 1, std::max(n2 - 1, 1));
-        const core::HostTree rtree =
-            core::HostTree::bind(core::make_kbinomial(n2, k), chain);
+        const auto rtree = plan_repair_tree(
+            root, spec.tree.nodes,
+            [&](topo::HostId h) {
+              return arrived[op][static_cast<std::size_t>(h)] == 0;
+            },
+            [&](topo::HostId h) { return network.reachable(root, h); },
+            spec.tree.root_children());
+        if (!rtree) continue;
         const auto message = static_cast<net::MessageId>(next_message++);
         msg_op.push_back(op);
-        for (topo::HostId h : rtree.nodes) {
+        for (topo::HostId h : rtree->nodes) {
           netif::ForwardingEntry entry;
-          entry.children = rtree.children.at(h);
+          entry.children = rtree->children.at(h);
           entry.packet_count = spec.packet_count;
           entry.is_destination = (h != root);
           nis.at(h)->install(message, entry);

@@ -1,0 +1,27 @@
+#include "mcast/tree_repair.hpp"
+
+#include <algorithm>
+
+#include "core/kbinomial.hpp"
+
+namespace nimcast::mcast {
+
+std::optional<core::HostTree> plan_repair_tree(
+    topo::HostId root, const std::vector<topo::HostId>& order,
+    const std::function<bool(topo::HostId)>& needs,
+    const std::function<bool(topo::HostId)>& reachable,
+    std::int32_t fanout_hint) {
+  core::Chain chain;
+  chain.push_back(root);
+  for (topo::HostId h : order) {
+    if (h == root || !needs(h)) continue;
+    if (!reachable(h)) continue;
+    chain.push_back(h);
+  }
+  if (chain.size() < 2) return std::nullopt;
+  const auto n = static_cast<std::int32_t>(chain.size());
+  const std::int32_t k = std::clamp(fanout_hint, 1, std::max(n - 1, 1));
+  return core::HostTree::bind(core::make_kbinomial(n, k), chain);
+}
+
+}  // namespace nimcast::mcast

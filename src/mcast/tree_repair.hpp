@@ -1,0 +1,31 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/host_tree.hpp"
+#include "topology/ids.hpp"
+
+namespace nimcast::mcast {
+
+/// CCO-order orphan re-parenting, shared by MulticastEngine tree repair
+/// and the degraded-mode collectives.
+///
+/// Builds a fresh k-binomial repair tree over `root` plus every host of
+/// `order` (the original participants, already in contention-free order)
+/// for which both `needs(h)` and `reachable(h)` hold. Hosts that already
+/// got what they came for and hosts the surviving fabric cannot reach
+/// are excised; the survivors keep their relative contention-free order,
+/// so the repair tree inherits as much of the original link-disjointness
+/// as the fault left intact. `fanout_hint` (typically the original
+/// tree's root fan-out) is clamped to the repair population.
+///
+/// Returns nullopt when nobody needs re-parenting — the caller's signal
+/// to stop scheduling repair rounds.
+[[nodiscard]] std::optional<core::HostTree> plan_repair_tree(
+    topo::HostId root, const std::vector<topo::HostId>& order,
+    const std::function<bool(topo::HostId)>& needs,
+    const std::function<bool(topo::HostId)>& reachable,
+    std::int32_t fanout_hint);
+
+}  // namespace nimcast::mcast

@@ -130,7 +130,8 @@ void WormholeNetwork::init_channels_and_faults() {
 
 void WormholeNetwork::bind_sink(topo::HostId host, DeliverySink* sink) {
   if (host < 0 || host >= topology_.num_hosts()) {
-    throw std::invalid_argument("WormholeNetwork::bind_sink: host out of range");
+    throw std::invalid_argument(
+        "WormholeNetwork::bind_sink: host out of range");
   }
   sinks_[static_cast<std::size_t>(host)] = sink;
 }
@@ -325,7 +326,8 @@ void WormholeNetwork::send(const Packet& packet) {
   inject(packet, DeliveryCallback{}, /*use_sink=*/true);
 }
 
-void WormholeNetwork::send(const Packet& packet, DeliveryCallback on_delivered) {
+void WormholeNetwork::send(const Packet& packet,
+                           DeliveryCallback on_delivered) {
   inject(packet, std::move(on_delivered), /*use_sink=*/false);
 }
 

@@ -58,7 +58,8 @@ std::vector<SwitchRoute> MultipathUpDownRouter::all_shortest(
       const bool up_move = base_.is_up(e, v);
       if (up_move && phase != 0) continue;
       const std::int8_t np = up_move ? std::int8_t{0} : std::int8_t{1};
-      auto& dw = dist[static_cast<std::size_t>(np)][static_cast<std::size_t>(w)];
+      const auto wi = static_cast<std::size_t>(w);
+      auto& dw = dist[static_cast<std::size_t>(np)][wi];
       if (dw != kUnvisited) continue;
       dw = dv + 1;
       q.emplace(w, np);

@@ -237,12 +237,11 @@ std::optional<SwitchRoute> UpDownRouter::try_route(topo::SwitchId src,
       const bool up_move = is_up(e, v);
       if (up_move && phase != 0) continue;  // down->up turn is illegal
       const std::int8_t next_phase = up_move ? std::int8_t{0} : std::int8_t{1};
-      auto& dw = dist[static_cast<std::size_t>(next_phase)]
-                     [static_cast<std::size_t>(w)];
+      const auto wi = static_cast<std::size_t>(w);
+      auto& dw = dist[static_cast<std::size_t>(next_phase)][wi];
       if (dw != kUnvisited) continue;
       dw = dv + 1;
-      parent[static_cast<std::size_t>(next_phase)][static_cast<std::size_t>(w)] =
-          Parent{v, e, phase};
+      parent[static_cast<std::size_t>(next_phase)][wi] = Parent{v, e, phase};
       q.emplace(w, next_phase);
     }
   }
@@ -263,8 +262,8 @@ std::optional<SwitchRoute> UpDownRouter::try_route(topo::SwitchId src,
   topo::SwitchId cur = dst;
   std::int8_t cur_phase = phase;
   while (cur != src) {
-    const Parent& p =
-        parent[static_cast<std::size_t>(cur_phase)][static_cast<std::size_t>(cur)];
+    const auto ci = static_cast<std::size_t>(cur);
+    const Parent& p = parent[static_cast<std::size_t>(cur_phase)][ci];
     rev_links.push_back(p.link);
     rev_switches.push_back(p.sw);
     cur = p.sw;

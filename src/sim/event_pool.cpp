@@ -43,8 +43,8 @@ void* EventPool::allocate(std::size_t payload_size) {
 }
 
 void EventPool::release(void* payload) noexcept {
-  auto* header = reinterpret_cast<ChunkHeader*>(static_cast<std::byte*>(payload) -
-                                                kHeaderSize);
+  auto* header = reinterpret_cast<ChunkHeader*>(
+      static_cast<std::byte*>(payload) - kHeaderSize);
   if (header->size_class == kOversizeClass) {
     ::operator delete(header, std::align_val_t{alignof(std::max_align_t)});
     return;

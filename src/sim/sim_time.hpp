@@ -51,8 +51,12 @@ class Time {
     return *this;
   }
 
-  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
-  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  friend constexpr Time operator+(Time a, Time b) {
+    return Time{a.ns_ + b.ns_};
+  }
+  friend constexpr Time operator-(Time a, Time b) {
+    return Time{a.ns_ - b.ns_};
+  }
   friend constexpr Time operator*(Time a, rep k) { return Time{a.ns_ * k}; }
   friend constexpr Time operator*(rep k, Time a) { return Time{a.ns_ * k}; }
 

@@ -30,20 +30,22 @@ Graph::Graph(std::int32_t num_vertices, std::vector<Edge> edges)
     ++offsets_[static_cast<std::size_t>(e.a) + 1];
     ++offsets_[static_cast<std::size_t>(e.b) + 1];
   }
-  for (std::size_t v = 1; v < offsets_.size(); ++v) offsets_[v] += offsets_[v - 1];
+  for (std::size_t v = 1; v < offsets_.size(); ++v)
+    offsets_[v] += offsets_[v - 1];
   incidence_.resize(static_cast<std::size_t>(offsets_.back()));
   std::vector<std::int32_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (std::size_t i = 0; i < edges_.size(); ++i) {
     const Edge& e = edges_[i];
-    incidence_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.a)]++)] =
-        static_cast<LinkId>(i);
-    incidence_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.b)]++)] =
-        static_cast<LinkId>(i);
+    const auto ia = static_cast<std::size_t>(e.a);
+    const auto ib = static_cast<std::size_t>(e.b);
+    incidence_[static_cast<std::size_t>(cursor[ia]++)] = static_cast<LinkId>(i);
+    incidence_[static_cast<std::size_t>(cursor[ib]++)] = static_cast<LinkId>(i);
   }
 }
 
 std::span<const LinkId> Graph::incident(SwitchId v) const {
-  const auto lo = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+  const auto lo =
+      static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
   const auto hi =
       static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
   return {incidence_.data() + lo, hi - lo};

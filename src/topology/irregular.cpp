@@ -20,8 +20,9 @@ std::vector<SwitchId> round_robin_hosts(const IrregularConfig& cfg) {
 /// One attempt at a configuration-model pairing of the spare ports.
 /// Returns std::nullopt-equivalent via empty optional pattern: a non-simple
 /// or disconnected draw yields no value and the caller retries.
-bool try_draw(const IrregularConfig& cfg, const std::vector<std::int32_t>& spare,
-              sim::Rng& rng, std::vector<Graph::Edge>& out) {
+bool try_draw(const IrregularConfig& cfg,
+              const std::vector<std::int32_t>& spare, sim::Rng& rng,
+              std::vector<Graph::Edge>& out) {
   std::vector<SwitchId> stubs;
   for (SwitchId s = 0; s < cfg.num_switches; ++s) {
     for (std::int32_t p = 0; p < spare[static_cast<std::size_t>(s)]; ++p) {

@@ -9,7 +9,8 @@ TEST(Coverage, BinomialRegimeIsPowersOfTwo) {
   CoverageTable cov;
   for (std::int32_t k = 1; k <= 8; ++k) {
     for (std::int32_t s = 0; s <= k; ++s) {
-      EXPECT_EQ(cov.coverage(s, k), UINT64_C(1) << s) << "s=" << s << " k=" << k;
+      EXPECT_EQ(cov.coverage(s, k), UINT64_C(1) << s)
+          << "s=" << s << " k=" << k;
     }
   }
 }

@@ -118,7 +118,8 @@ TEST(KBinomial, FirstChildOwnsDeepestSubtree) {
 TEST(KBinomial, LargeKEqualsBinomial) {
   // k beyond ceil(log2 n) cannot help; the trees coincide.
   for (std::int32_t n : {5, 16, 33, 100}) {
-    const RankTree a = make_kbinomial(n, ceil_log2(static_cast<std::uint64_t>(n)));
+    const RankTree a =
+        make_kbinomial(n, ceil_log2(static_cast<std::uint64_t>(n)));
     const RankTree b = make_binomial(n);
     EXPECT_EQ(a.children, b.children);
   }
