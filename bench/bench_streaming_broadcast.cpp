@@ -1,0 +1,279 @@
+// Extension experiment: streaming broadcast at saturation. A sustained
+// stream of fixed-size packets leaves one source for every other host,
+// packet g dispatched down rotation tree g mod R — R channel-decorrelated
+// k-binomial trees planned over distinct up*/down* route alternatives
+// (core::plan_rotation). The paper's fixed tree (R = 1) pins the
+// per-packet NI forwarding cost t_rcv + k*t_snd on the same interior
+// hosts for every packet; rotating the tree amortizes that hot spot
+// across members, so sustained flits/sec rises with R until the fabric,
+// not any one NI, is the bottleneck.
+//
+// Member fan-out is the latency-SLO choice optimal_k(n, m_ref = 4).k —
+// one k across all R so the comparison is apples-to-apples (Theorem 3
+// over the whole stream would collapse to the chain: throughput-optimal
+// but O(n) per-packet depth).
+//
+// Shapes guarded: R > 1 sustains at least the R = 1 throughput at
+// saturation on every rig, and rotation pays >= 1.3x at R = 4 on at
+// least one rig. Output: results/BENCH_streaming.json (byte-identical
+// across runs; CI double-runs and cmps it).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/optimal_k.hpp"
+#include "core/ordering.hpp"
+#include "core/rotation.hpp"
+#include "routing/up_down.hpp"
+#include "sim/rng.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/irregular.hpp"
+
+using namespace nimcast;
+
+namespace {
+
+struct RigSpec {
+  std::string name;
+  harness::TestbedSpec spec;
+  std::vector<std::int32_t> stream_sizes;  ///< last entry = saturation
+};
+
+struct StreamPoint {
+  std::string rig;
+  std::int32_t hosts = 0;
+  std::int32_t rotation = 1;
+  std::int32_t stream_packets = 0;
+  std::int32_t k = 1;
+  double flits_per_us = 0.0;
+  double makespan_us = 0.0;
+  double p99_gap_us = 0.0;
+  double overlap_mean = 0.0;
+  double rotation_used = 0.0;
+};
+
+/// One representative rotation set per (rig, R) for the JSON overlap
+/// report: the plan over the rig's CCO chain rooted at its head. The
+/// measured sweep plans per-source; this fixed plan is what the
+/// overlap_json fractions in the output describe.
+struct PlanRig {
+  std::unique_ptr<topo::Topology> topology;
+  std::unique_ptr<routing::UpDownRouter> router;
+  std::unique_ptr<routing::RouteTable> routes;
+  core::Chain cco;
+};
+
+PlanRig make_plan_rig(const harness::TestbedSpec& spec) {
+  PlanRig rig;
+  if (spec.fabric == harness::FabricKind::kIrregular) {
+    topo::IrregularConfig cfg = spec.irregular;
+    cfg.num_hosts = spec.num_hosts;
+    sim::Rng rng{spec.seed};
+    rig.topology =
+        std::make_unique<topo::Topology>(topo::make_irregular(cfg, rng));
+    rig.router =
+        std::make_unique<routing::UpDownRouter>(rig.topology->switches());
+  } else {
+    rig.topology =
+        std::make_unique<topo::Topology>(topo::make_fat_tree(spec.fat_tree));
+    rig.router = std::make_unique<routing::UpDownRouter>(
+        rig.topology->switches(), topo::fat_tree_levels(spec.fat_tree));
+  }
+  rig.routes =
+      std::make_unique<routing::RouteTable>(*rig.topology, *rig.router);
+  rig.cco = core::cco_ordering(*rig.topology, *rig.router);
+  return rig;
+}
+
+core::RotationPlan plan_for(const PlanRig& rig, std::int32_t rotation,
+                            std::int32_t k) {
+  core::RotationConfig rc;
+  rc.rotation_trees = rotation;
+  rc.fanout_bound = k;
+  return core::plan_rotation(*rig.topology, *rig.routes, *rig.router, rig.cco,
+                             rc);
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("NIMCAST_QUICK") != nullptr;
+  std::printf("=== Extension: streaming broadcast over rotated "
+              "edge-decorrelated k-binomial trees ===\n\n");
+
+  const std::vector<std::int32_t> rotations = {1, 2, 4, 8};
+  std::vector<RigSpec> rigs;
+  {
+    // The largest S is the saturation point; it must be big enough that
+    // the per-packet steady-state period, not the pipeline-fill latency,
+    // dominates the makespan (startup is ~60 us, the fixed-tree period
+    // is 8 us/packet).
+    const std::vector<std::int32_t> sizes =
+        quick ? std::vector<std::int32_t>{16, 64}
+              : std::vector<std::int32_t>{16, 64, 256};
+
+    RigSpec irr{"irregular64", harness::TestbedSpec::make_irregular(64),
+                sizes};
+    irr.spec.num_topologies = quick ? 2 : 5;
+    irr.spec.sets_per_topology = quick ? 2 : 3;
+    rigs.push_back(std::move(irr));
+
+    RigSpec f64{"fat_tree64", harness::TestbedSpec::make_fat_tree(64), sizes};
+    f64.spec.sets_per_topology = quick ? 2 : 3;
+    rigs.push_back(std::move(f64));
+
+    if (!quick) {
+      RigSpec f256{"fat_tree256", harness::TestbedSpec::make_fat_tree(256),
+                   {16, 64, 256}};
+      f256.spec.sets_per_topology = 2;
+      rigs.push_back(std::move(f256));
+
+      RigSpec f1k{"fat_tree1024", harness::TestbedSpec::make_fat_tree(1024),
+                  {16, 64}};
+      f1k.spec.sets_per_topology = 2;
+      rigs.push_back(std::move(f1k));
+    }
+  }
+
+  harness::Table table{{"rig", "hosts", "R", "S", "k", "flits/us",
+                        "makespan (us)", "p99 gap (us)", "overlap"}};
+  std::vector<StreamPoint> points;
+  std::vector<std::string> rotation_sets;  // JSON objects, rig-major
+
+  for (const RigSpec& rig : rigs) {
+    const harness::Testbed testbed{rig.spec};
+    const std::int32_t n = rig.spec.num_hosts;
+    const std::int32_t k = core::optimal_k(n, 4).k;
+    const PlanRig plan_rig = make_plan_rig(rig.spec);
+    for (const std::int32_t rotation : rotations) {
+      rotation_sets.push_back(
+          "{\"rig\": \"" + rig.name + "\", \"overlap\": " +
+          bench::overlap_json(plan_for(plan_rig, rotation, k)) + "}");
+      for (const std::int32_t S : rig.stream_sizes) {
+        const harness::StreamingPoint p =
+            testbed.measure_streaming(S, rotation, k);
+        StreamPoint pt;
+        pt.rig = rig.name;
+        pt.hosts = n;
+        pt.rotation = rotation;
+        pt.stream_packets = S;
+        pt.k = k;
+        pt.flits_per_us = p.flits_per_us.mean();
+        pt.makespan_us = p.makespan_us.mean();
+        pt.p99_gap_us = p.p99_gap_us.mean();
+        pt.overlap_mean = p.overlap_mean.mean();
+        pt.rotation_used = p.rotation_used.mean();
+        table.add_row({pt.rig, harness::Table::num(std::int64_t{pt.hosts}),
+                       harness::Table::num(std::int64_t{pt.rotation}),
+                       harness::Table::num(std::int64_t{pt.stream_packets}),
+                       harness::Table::num(std::int64_t{pt.k}),
+                       harness::Table::num(pt.flits_per_us, 2),
+                       harness::Table::num(pt.makespan_us),
+                       harness::Table::num(pt.p99_gap_us, 2),
+                       harness::Table::num(pt.overlap_mean, 3)});
+        points.push_back(std::move(pt));
+      }
+    }
+  }
+  table.print(std::cout);
+
+  // Shape checks at each rig's saturation point (largest S).
+  const auto at = [&](const std::string& rig, std::int32_t rotation,
+                      std::int32_t S) -> const StreamPoint* {
+    for (const StreamPoint& p : points) {
+      if (p.rig == rig && p.rotation == rotation && p.stream_packets == S) {
+        return &p;
+      }
+    }
+    return nullptr;
+  };
+  double best_r4_gain = 0.0;
+  for (const RigSpec& rig : rigs) {
+    const std::int32_t sat = rig.stream_sizes.back();
+    const StreamPoint* base = at(rig.name, 1, sat);
+    for (const std::int32_t rotation : rotations) {
+      if (rotation == 1) continue;
+      const StreamPoint* p = at(rig.name, rotation, sat);
+      bench::expect_shape(
+          p != nullptr && base != nullptr &&
+              p->flits_per_us >= base->flits_per_us,
+          rig.name + ": R=" + std::to_string(rotation) +
+              " sustains at least the fixed-tree throughput at saturation");
+      if (rotation == 4 && p != nullptr && base != nullptr) {
+        best_r4_gain =
+            std::max(best_r4_gain, p->flits_per_us / base->flits_per_us);
+      }
+    }
+    // Rotation trades in-order smoothness for throughput: packets of a
+    // window complete down trees of different depth, so in-order
+    // completions arrive in bursts whose p99 gap is ~(depth spread +
+    // R * period) — a constant, not a backlog that grows with S. Guard
+    // both properties: bounded relative to the fixed tree's gap, and
+    // flat in stream length.
+    const StreamPoint* r4 = at(rig.name, 4, sat);
+    if (r4 != nullptr && base != nullptr && base->p99_gap_us > 0.0) {
+      bench::expect_shape(r4->p99_gap_us <= 8.0 * base->p99_gap_us,
+                          rig.name + ": rotation keeps the in-order p99 gap "
+                                     "within 8x of the fixed tree");
+    }
+    const StreamPoint* r4_short = at(rig.name, 4, rig.stream_sizes.front());
+    if (r4 != nullptr && r4_short != nullptr && r4_short->p99_gap_us > 0.0) {
+      bench::expect_shape(
+          r4->p99_gap_us <= 1.5 * r4_short->p99_gap_us,
+          rig.name + ": the rotation in-order p99 gap is flat in stream "
+                     "length (bounded jitter, not a growing backlog)");
+    }
+  }
+  bench::expect_shape(best_r4_gain >= 1.3,
+                      "rotation R=4 sustains >= 1.3x the fixed-tree "
+                      "throughput at saturation on at least one rig "
+                      "(best " + std::to_string(best_r4_gain) + ")");
+
+  const char* out_path = std::getenv("NIMCAST_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_streaming.json";
+  if (FILE* out = std::fopen(out_path, "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"streaming_broadcast\",\n"
+                 "  \"config\": {\n"
+                 "    \"quick\": %s,\n"
+                 "    \"k_rule\": \"optimal_k(n, m_ref=4)\",\n"
+                 "    \"flit_bytes\": 8,\n"
+                 "    \"rotations\": [1, 2, 4, 8]\n"
+                 "  },\n"
+                 "  \"rotation_sets\": [\n",
+                 quick ? "true" : "false");
+    for (std::size_t i = 0; i < rotation_sets.size(); ++i) {
+      std::fprintf(out, "    %s%s\n", rotation_sets[i].c_str(),
+                   i + 1 < rotation_sets.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"points\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const StreamPoint& p = points[i];
+      std::fprintf(
+          out,
+          "    {\"rig\": \"%s\", \"hosts\": %d, \"rotation\": %d, "
+          "\"stream_packets\": %d, \"k\": %d, \"flits_per_us\": %.6f, "
+          "\"makespan_us\": %.3f, \"p99_gap_us\": %.3f, "
+          "\"overlap_mean\": %.6f, \"rotation_used\": %.3f}%s\n",
+          p.rig.c_str(), p.hosts, p.rotation, p.stream_packets, p.k,
+          p.flits_per_us, p.makespan_us, p.p99_gap_us, p.overlap_mean,
+          p.rotation_used, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"git_rev\": \"%s\"\n"
+                 "}\n",
+                 bench::git_rev().c_str());
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    bench::expect_shape(false, std::string("could not write ") + out_path);
+  }
+
+  return bench::finish("bench_streaming_broadcast");
+}

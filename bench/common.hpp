@@ -15,6 +15,7 @@
 #include <string>
 #include <utility>
 
+#include "core/rotation.hpp"
 #include "harness/report.hpp"
 #include "harness/testbed.hpp"
 #include "sim/event_queue.hpp"
@@ -120,6 +121,19 @@ inline ChurnResult churn_new(std::uint64_t total_events, int depth) {
         return std::pair<sim::Time, sim::EventCallback>{
             fired.time, std::move(fired.cb)};
       });
+}
+
+/// JSON object describing a rotation set's measured channel overlap —
+/// how decorrelated the planner actually got the member trees. Fixed
+/// formatting so bench JSON stays byte-identical across runs.
+inline std::string overlap_json(const core::RotationPlan& plan) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"rotation_requested\": %d, \"rotation_planned\": %d, "
+                "\"overlap_mean\": %.6f, \"overlap_max\": %.6f}",
+                plan.requested, plan.size(), plan.overlap_mean(),
+                plan.overlap_max());
+  return std::string{buf};
 }
 
 /// Short git revision for bench JSON provenance ("unknown" off-repo).

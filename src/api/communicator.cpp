@@ -5,6 +5,7 @@
 
 #include "core/host_tree.hpp"
 #include "core/kbinomial.hpp"
+#include "core/rotation.hpp"
 #include "routing/dimension_ordered.hpp"
 #include "routing/up_down.hpp"
 
@@ -14,6 +15,9 @@ struct Communicator::Impl {
   Options options;
   std::unique_ptr<topo::Topology> topology;
   std::unique_ptr<routing::Router> router;
+  /// Non-null when `router` is an up*/down* router — the rotation
+  /// planner needs its level orientation to derive salted alternatives.
+  const routing::UpDownRouter* updown = nullptr;
   std::unique_ptr<routing::RouteTable> routes;
   core::Chain chain;
   std::unique_ptr<core::OptimalKTable> ktable;
@@ -26,11 +30,12 @@ struct Communicator::Impl {
     // fall back to the direct Theorem 3 solver in choose().
     ktable = std::make_unique<core::OptimalKTable>(
         std::max<std::int32_t>(2, topology->num_hosts()), 512);
-    mcast_engine = std::make_unique<mcast::MulticastEngine>(
-        *topology, *routes,
-        mcast::MulticastEngine::Config{options.params, options.network,
-                                       options.style, options.reliability,
-                                       options.repair});
+    mcast::MulticastEngine::Config mcfg{options.params, options.network,
+                                        options.style, options.reliability,
+                                        options.repair};
+    mcfg.rotation_trees = options.rotation_trees;
+    mcast_engine =
+        std::make_unique<mcast::MulticastEngine>(*topology, *routes, mcfg);
     coll_engine = std::make_unique<collectives::CollectiveEngine>(
         *topology, *routes,
         collectives::CollectiveEngine::Config{options.params, options.network,
@@ -90,6 +95,7 @@ Communicator Communicator::irregular(const topo::IrregularConfig& cfg,
   auto updown =
       std::make_unique<routing::UpDownRouter>(impl->topology->switches());
   impl->chain = core::cco_ordering(*impl->topology, *updown);
+  impl->updown = updown.get();
   impl->router = std::move(updown);
   impl->finish_setup();
   return Communicator{std::move(impl)};
@@ -170,6 +176,60 @@ Communicator::OpReport Communicator::broadcast(topo::HostId source,
                                                std::int64_t bytes) const {
   const auto dests = impl_->everyone_but(source);
   return multicast(source, dests, bytes);
+}
+
+Communicator::StreamReport Communicator::stream_broadcast(
+    topo::HostId source, std::int64_t bytes) const {
+  const auto dests = impl_->everyone_but(source);
+  if (dests.empty()) {
+    throw std::invalid_argument("stream_broadcast: single-host system");
+  }
+  const std::int32_t m = impl_->packetize(bytes);
+  const auto n = static_cast<std::int32_t>(dests.size()) + 1;
+  // Latency-SLO fan-out: pick k for a short reference message, not the
+  // whole stream — Theorem 3 over the stream length would collapse to
+  // the chain, which is throughput-optimal already but has O(n)
+  // per-packet depth.
+  const std::int32_t k = std::clamp(
+      impl_->choose(n, std::min<std::int32_t>(m, 4)).k, 1, n - 1);
+  const core::Chain members =
+      core::arrange_participants(impl_->chain, source, dests);
+  core::RotationPlan plan;
+  if (impl_->updown != nullptr) {
+    core::RotationConfig rc;
+    rc.rotation_trees = impl_->options.rotation_trees;
+    rc.fanout_bound = k;
+    plan = core::plan_rotation(*impl_->topology, *impl_->routes,
+                               *impl_->updown, members, rc);
+  } else {
+    if (impl_->options.rotation_trees > 1) {
+      throw std::invalid_argument(
+          "stream_broadcast: rotation_trees > 1 requires up*/down* routing");
+    }
+    plan.requested = 1;
+    plan.fanout_bound = k;
+    core::RotationMember member;
+    member.tree = core::HostTree::bind(core::make_kbinomial(n, k), members);
+    plan.members.push_back(std::move(member));
+  }
+  const mcast::StreamingResult r = impl_->mcast_engine->run_streaming(plan, m);
+  StreamReport report;
+  report.makespan = r.makespan;
+  report.flits_per_us = r.flits_per_us;
+  report.p99_gap = r.p99_gap;
+  report.packets = r.stream_packets;
+  report.fanout_bound = k;
+  report.rotation_requested = r.rotation_requested;
+  report.rotation_used = r.rotation_used;
+  report.overlap_mean = r.overlap_mean;
+  report.overlap_max = r.overlap_max;
+  report.contention = r.total_channel_block_time;
+  report.outcome = r.outcome;
+  for (const auto& d : r.destinations) {
+    if (d.delivered) ++report.delivered;
+  }
+  report.repairs = r.repairs;
+  return report;
 }
 
 namespace {

@@ -56,6 +56,11 @@ class Communicator {
     /// (kFailFast) or repair the tree and report a per-host verdict.
     collectives::RepairMode collective_mode =
         collectives::RepairMode::kDegradeAndContinue;
+    /// Rotation members (R) stream_broadcast plans: packet g of a stream
+    /// is dispatched down channel-decorrelated tree g mod R. 1 keeps the
+    /// paper's fixed tree; > 1 requires up*/down* routing (irregular
+    /// systems) and smart FPFS NIs.
+    std::int32_t rotation_trees = 1;
   };
 
   /// A random irregular switch-based cluster (paper Section 5.2 system
@@ -116,6 +121,34 @@ class Communicator {
   /// Multicast to every other host.
   [[nodiscard]] OpReport broadcast(topo::HostId source,
                                    std::int64_t bytes) const;
+
+  /// Result of one streaming broadcast (stream_broadcast).
+  struct StreamReport {
+    sim::Time makespan;        ///< start to last host completion
+    double flits_per_us = 0.0; ///< sustained delivered throughput
+    /// p99 gap between consecutive in-order packet completions at a
+    /// destination (pooled over destinations).
+    sim::Time p99_gap;
+    std::int32_t packets = 0;          ///< stream packets
+    std::int32_t fanout_bound = 0;     ///< k of every rotation member
+    std::int32_t rotation_requested = 1;
+    std::int32_t rotation_used = 1;    ///< classes that carried packets
+    double overlap_mean = 0.0;  ///< planner channel-overlap fractions
+    double overlap_max = 0.0;
+    sim::Time contention;       ///< cumulative channel block time
+    mcast::Outcome outcome = mcast::Outcome::kComplete;
+    std::int32_t delivered = 0; ///< destinations that got the full stream
+    std::int32_t repairs = 0;
+  };
+
+  /// Streams `bytes` from `source` to every other host, packetized and
+  /// dispatched round-robin over Options::rotation_trees channel-
+  /// decorrelated k-binomial trees (member fan-out picked for per-packet
+  /// latency, not whole-stream latency — a Theorem 3 choice over the
+  /// full stream would collapse to the chain). Requires smart FPFS NIs
+  /// (the default style). rotation_trees = 1 is the fixed-tree engine.
+  [[nodiscard]] StreamReport stream_broadcast(topo::HostId source,
+                                              std::int64_t bytes) const;
 
   /// Personalized one-to-all / all-to-one / combining collectives over
   /// the same optimally-shaped tree.

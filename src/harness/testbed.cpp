@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/host_tree.hpp"
+#include "core/rotation.hpp"
 #include "harness/parallel.hpp"
 #include "sim/rng.hpp"
 
@@ -17,6 +18,14 @@ void MeasurePoint::merge(const MeasurePoint& other) {
   peak_buffer.merge(other.peak_buffer);
   buffer_integral.merge(other.buffer_integral);
   events.merge(other.events);
+}
+
+void StreamingPoint::merge(const StreamingPoint& other) {
+  flits_per_us.merge(other.flits_per_us);
+  makespan_us.merge(other.makespan_us);
+  p99_gap_us.merge(other.p99_gap_us);
+  overlap_mean.merge(other.overlap_mean);
+  rotation_used.merge(other.rotation_used);
 }
 
 namespace {
@@ -260,6 +269,95 @@ Testbed::Point Testbed::measure(std::int32_t n, std::int32_t m,
     MeasurePoint inst_point;
     for (std::size_t rep = 0; rep < sets; ++rep) {
       fold(inst_point, samples[t * sets + rep]);
+    }
+    point.merge(inst_point);
+  }
+  return point;
+}
+
+StreamingPoint Testbed::measure_streaming(
+    std::int32_t stream_packets, std::int32_t rotation_trees,
+    std::int32_t fanout_bound, int threads) const {
+  const std::int32_t hosts = spec_.num_hosts;
+  if (hosts < 2) {
+    throw std::invalid_argument("measure_streaming: fewer than 2 hosts");
+  }
+  if (stream_packets < 1) {
+    throw std::invalid_argument("measure_streaming: stream_packets < 1");
+  }
+  if (rotation_trees < 1) {
+    throw std::invalid_argument("measure_streaming: rotation_trees < 1");
+  }
+
+  struct StreamSample {
+    double flits_per_us = 0.0;
+    double makespan_us = 0.0;
+    double p99_gap_us = 0.0;
+    double overlap_mean = 0.0;
+    double rotation_used = 0.0;
+  };
+
+  const auto sets = static_cast<std::size_t>(spec_.sets_per_topology);
+  const std::size_t replications = instances_.size() * sets;
+  const int budget = threads >= 1 ? threads : configured_threads();
+  const int shards = pick_shards(budget, hosts, replications);
+  std::vector<mcast::MulticastEngine> engines;
+  engines.reserve(instances_.size());
+  for (const Instance& inst : instances_) {
+    mcast::MulticastEngine::Config ecfg{spec_.params, spec_.network,
+                                        mcast::NiStyle::kSmartFpfs};
+    ecfg.shards = shards;
+    ecfg.rotation_trees = rotation_trees;
+    engines.emplace_back(*inst.topology, *inst.routes, ecfg);
+  }
+
+  std::vector<StreamSample> samples(replications);
+  parallel_for_each(
+      samples.size(),
+      [&](std::size_t job) {
+        const std::size_t t = job / sets;
+        const std::size_t rep = job % sets;
+        const Instance& inst = instances_[t];
+        const std::uint64_t seed =
+            spec_.seed ^ (UINT64_C(0x9e3779b97f4a7c15) * (t + 1));
+        // Same per-replication stream as run_replication, so streaming
+        // sweeps draw paired sources across (S, R) configurations.
+        sim::Rng rng{seed ^ (UINT64_C(0xbf58476d1ce4e5b9) *
+                             (static_cast<std::uint64_t>(rep) + 1))};
+        const auto draw = rng.sample_without_replacement(
+            static_cast<std::size_t>(hosts), 1);
+        const auto source = static_cast<topo::HostId>(draw.front());
+        std::vector<topo::HostId> dests;
+        dests.reserve(static_cast<std::size_t>(hosts) - 1);
+        for (topo::HostId h = 0; h < hosts; ++h) {
+          if (h != source) dests.push_back(h);
+        }
+        const core::Chain members =
+            core::arrange_participants(inst.cco, source, dests);
+        core::RotationConfig rc;
+        rc.rotation_trees = rotation_trees;
+        rc.fanout_bound = fanout_bound;
+        const core::RotationPlan plan = core::plan_rotation(
+            *inst.topology, *inst.routes, *inst.router, members, rc);
+        const mcast::StreamingResult r =
+            engines[t].run_streaming(plan, stream_packets);
+        samples[job] =
+            StreamSample{r.flits_per_us, r.makespan.as_us(),
+                         r.p99_gap.as_us(), r.overlap_mean,
+                         static_cast<double>(r.rotation_used)};
+      },
+      std::max(1, budget / shards));
+
+  StreamingPoint point;
+  for (std::size_t t = 0; t < instances_.size(); ++t) {
+    StreamingPoint inst_point;
+    for (std::size_t rep = 0; rep < sets; ++rep) {
+      const StreamSample& s = samples[t * sets + rep];
+      inst_point.flits_per_us.add(s.flits_per_us);
+      inst_point.makespan_us.add(s.makespan_us);
+      inst_point.p99_gap_us.add(s.p99_gap_us);
+      inst_point.overlap_mean.add(s.overlap_mean);
+      inst_point.rotation_used.add(s.rotation_used);
     }
     point.merge(inst_point);
   }

@@ -34,6 +34,19 @@ struct MeasurePoint {
   void merge(const MeasurePoint& other);
 };
 
+/// Measurement summaries of one streaming-broadcast sweep point
+/// (Testbed::measure_streaming). All summaries fold one sample per
+/// (topology, source) replication.
+struct StreamingPoint {
+  sim::Summary flits_per_us;   ///< sustained delivered throughput
+  sim::Summary makespan_us;    ///< full-stream completion
+  sim::Summary p99_gap_us;     ///< in-order completion tail gap
+  sim::Summary overlap_mean;   ///< planner channel-overlap fraction
+  sim::Summary rotation_used;  ///< rotation members that carried packets
+
+  void merge(const StreamingPoint& other);
+};
+
 /// Runs `repetitions` multicasts of an m-packet message to n-1 random
 /// destinations on one concrete system (topology + routes + base chain),
 /// binding `spec`'s tree via `ordering`. Draws derive from `seed` alone,
@@ -117,6 +130,18 @@ class Testbed {
                               const TreeSpec& spec, mcast::NiStyle style,
                               OrderingKind ordering = OrderingKind::kCco,
                               int threads = 0) const;
+
+  /// Streaming broadcast: `stream_packets` packets from one random
+  /// source per replication to every other host, dispatched round-robin
+  /// over `rotation_trees` channel-decorrelated k-binomial trees of
+  /// fan-out `fanout_bound` (core::plan_rotation). Replication seeding,
+  /// thread-budget split and fold order follow measure(), so results
+  /// are bit-identical for every thread count; rotation_trees = 1 is
+  /// the paper's fixed-tree configuration.
+  [[nodiscard]] StreamingPoint measure_streaming(std::int32_t stream_packets,
+                                                 std::int32_t rotation_trees,
+                                                 std::int32_t fanout_bound,
+                                                 int threads = 0) const;
 
   [[nodiscard]] const TestbedSpec& spec() const { return spec_; }
   [[nodiscard]] std::int32_t num_hosts() const { return spec_.num_hosts; }

@@ -14,11 +14,42 @@
 #include "netif/smart_ni.hpp"
 #include "network/wormhole_network.hpp"
 #include "routing/repair.hpp"
+#include "routing/route_alternatives.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "topology/partition.hpp"
 
 namespace nimcast::mcast {
+
+namespace {
+
+/// Directed switch-channel ids condemned by the current fault state, in
+/// the numbering routing::edge_channel_footprint uses — so a footprint
+/// intersection against this set tells whether a rotation member's
+/// static routes dodge every dead link and switch. Sorted by
+/// construction (link id ascending, then direction, then VC).
+std::vector<std::int32_t> dead_switch_channels(const topo::Topology& topology,
+                                               const topo::SubgraphMask& mask,
+                                               std::int32_t vcs) {
+  std::vector<std::int32_t> dead;
+  if (!mask.any_dead()) return dead;
+  const topo::Graph& g = topology.switches();
+  for (topo::LinkId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    if (mask.link_alive(e) && mask.switch_alive(edge.a) &&
+        mask.switch_alive(edge.b)) {
+      continue;
+    }
+    for (std::int32_t dir = 0; dir < 2; ++dir) {
+      for (std::int32_t v = 0; v < vcs; ++v) {
+        dead.push_back((2 * e + dir) * vcs + v);
+      }
+    }
+  }
+  return dead;
+}
+
+}  // namespace
 
 const char* to_string(NiStyle s) {
   switch (s) {
@@ -427,6 +458,380 @@ MultiMulticastResult MulticastEngine::run_many(
     }
   }
   return batch;
+}
+
+StreamingResult MulticastEngine::run_streaming(
+    const core::RotationPlan& plan, std::int32_t stream_packets) const {
+  if (config_.style != NiStyle::kSmartFpfs) {
+    throw std::invalid_argument(
+        "run_streaming: rotation streaming requires NiStyle::kSmartFpfs");
+  }
+  if (stream_packets < 1) {
+    throw std::invalid_argument("run_streaming: stream_packets < 1");
+  }
+  if (plan.members.empty()) {
+    throw std::invalid_argument("run_streaming: empty rotation plan");
+  }
+  const core::HostTree& base = plan.members.front().tree;
+  const topo::HostId root = base.root;
+  std::vector<topo::HostId> base_sorted = base.nodes;
+  std::sort(base_sorted.begin(), base_sorted.end());
+  for (topo::HostId h : base_sorted) {
+    if (h < 0 || h >= topology_.num_hosts()) {
+      throw std::invalid_argument("run_streaming: host out of range");
+    }
+  }
+  for (const auto& member : plan.members) {
+    if (member.tree.root != root) {
+      throw std::invalid_argument("run_streaming: members disagree on root");
+    }
+    std::vector<topo::HostId> nodes = member.tree.nodes;
+    std::sort(nodes.begin(), nodes.end());
+    if (nodes != base_sorted) {
+      throw std::invalid_argument(
+          "run_streaming: members disagree on participants");
+    }
+  }
+
+  const std::int32_t S = stream_packets;
+  // Classes that actually carry packets: packet g rides class g mod R.
+  const std::int32_t R = std::min(plan.size(), S);
+
+  const bool faulty = !config_.network.faults.empty();
+
+  // Engine selection — identical rules to run_many (see there).
+  const bool sharded_mode =
+      config_.shards > 1 && trace_ == nullptr &&
+      config_.network.loss_rate == 0.0 &&
+      config_.network.release_model == net::ReleaseModel::kAtDelivery;
+  const std::int32_t num_shards =
+      sharded_mode ? std::min(config_.shards, topology_.num_switches()) : 1;
+
+  std::unique_ptr<sim::Simulator> serial_sim;
+  std::unique_ptr<sim::ShardedSimulator> shardsim;
+  std::unique_ptr<net::WormholeNetwork> network_owner;
+  if (sharded_mode) {
+    shardsim = std::make_unique<sim::ShardedSimulator>(num_shards,
+                                                       config_.network.t_hop);
+    network_owner = std::make_unique<net::WormholeNetwork>(
+        *shardsim, topology_, routes_, config_.network,
+        topo::partition_switches(topology_.switches(), num_shards));
+  } else {
+    serial_sim = std::make_unique<sim::Simulator>();
+    network_owner = std::make_unique<net::WormholeNetwork>(
+        *serial_sim, topology_, routes_, config_.network, trace_);
+  }
+  net::WormholeNetwork& network = *network_owner;
+  const auto sim_for_host = [&](topo::HostId h) -> sim::Simulator& {
+    return sharded_mode ? shardsim->shard(network.shard_of_host(h))
+                        : *serial_sim;
+  };
+  const auto run_sim = [&] {
+    if (sharded_mode) {
+      const int threads = config_.shard_threads > 0
+                              ? static_cast<int>(config_.shard_threads)
+                              : static_cast<int>(num_shards);
+      shardsim->run(threads);
+    } else {
+      serial_sim->run();
+    }
+  };
+  const auto end_time = [&] {
+    return sharded_mode ? shardsim->last_event_time() : serial_sim->now();
+  };
+
+  // Rotation members ride their decorrelated routes via route classes;
+  // member 0 (and any member planned on the primary table) stays on
+  // class 0, so an R = 1 plan leaves the network untouched.
+  for (std::int32_t r = 1; r < R; ++r) {
+    const auto& member = plan.members[static_cast<std::size_t>(r)];
+    if (member.table) network.bind_route_class(r, *member.table);
+  }
+
+  // Fault-time primary-route repair, as in run_many. Class tables go
+  // stale on purpose: their worms die at dead channels and the
+  // surviving-member fallback below redelivers.
+  std::vector<std::unique_ptr<routing::RouteTable>> repaired_tables;
+  if (faulty && config_.repair.reroute && routes_.virtual_channels() == 1) {
+    network.on_fault = [&](const net::FaultEvent&) {
+      auto table = routing::rebuild_updown(
+          topology_, network.fault_state(),
+          static_cast<std::int32_t>(repaired_tables.size()) + 1);
+      network.rebind_routes(*table);
+      repaired_tables.push_back(std::move(table));
+    };
+  }
+
+  std::unordered_map<topo::HostId, std::unique_ptr<netif::NetworkInterface>>
+      nis;
+  std::unordered_map<topo::HostId, std::unique_ptr<netif::Host>> hosts;
+  for (topo::HostId h : base.nodes) {
+    sim::Simulator& hsim = sim_for_host(h);
+    nis.emplace(h, std::make_unique<netif::FpfsNi>(hsim, network,
+                                                   config_.params, h, trace_));
+    hosts.emplace(h, std::make_unique<netif::Host>(hsim, h, config_.params));
+  }
+
+  // One message per streaming class; member r's tree carries class r.
+  // Class r holds the stream packets congruent to r mod R.
+  for (std::int32_t r = 0; r < R; ++r) {
+    const auto message = static_cast<net::MessageId>(r + 1);
+    const auto& member = plan.members[static_cast<std::size_t>(r)];
+    const std::int32_t count = (S - r + R - 1) / R;
+    for (topo::HostId h : member.tree.nodes) {
+      netif::ForwardingEntry entry;
+      entry.children = member.tree.children.at(h);
+      entry.packet_count = count;
+      entry.is_destination = (h != root);
+      entry.route_class = r;
+      nis.at(h)->install(message, entry);
+    }
+  }
+
+  // Stream index of message m's packet j: j * mul + add. Streaming
+  // classes interleave (mul R, add r); repair messages resend
+  // whole-stream indices directly (mul 1, add 0).
+  std::vector<std::pair<std::int32_t, std::int32_t>> msg_stream;
+  for (std::int32_t r = 0; r < R; ++r) msg_stream.emplace_back(R, r);
+
+  // Per-destination reassembly state. Flat per-host arrays: each slot is
+  // touched only by its owner shard's thread.
+  std::vector<std::vector<std::uint8_t>> seen(
+      static_cast<std::size_t>(topology_.num_hosts()));
+  std::vector<std::int32_t> seen_count(
+      static_cast<std::size_t>(topology_.num_hosts()), 0);
+  for (topo::HostId h : base.nodes) {
+    if (h != root) seen[static_cast<std::size_t>(h)].assign(
+        static_cast<std::size_t>(S), 0);
+  }
+
+  // Per-shard append-only logs, merged and sorted afterwards — the same
+  // determinism contract as run_many's CompletionLog.
+  struct StreamLog {
+    /// (dest, stream index, time) at first receive-processing.
+    std::vector<std::tuple<topo::HostId, std::int32_t, sim::Time>> packets;
+    /// (dest, time) at host-level completion of the whole stream.
+    std::vector<std::pair<topo::HostId, sim::Time>> host_done;
+  };
+  std::vector<std::unique_ptr<StreamLog>> logs;
+  for (std::int32_t s = 0; s < num_shards; ++s) {
+    logs.push_back(std::make_unique<StreamLog>());
+  }
+
+  for (auto& [h, ni] : nis) {
+    ni->on_packet_at_ni = [&](topo::HostId dest, const net::Packet& p) {
+      if (dest == root) return;
+      const auto& [mul, add] =
+          msg_stream[static_cast<std::size_t>(p.message - 1)];
+      const std::int32_t g = p.packet_index * mul + add;
+      auto& bit =
+          seen[static_cast<std::size_t>(dest)][static_cast<std::size_t>(g)];
+      if (bit != 0) return;  // repair resend of a packet already seen
+      bit = 1;
+      StreamLog& log = *logs[static_cast<std::size_t>(
+          sharded_mode ? network.shard_of_host(dest) : 0)];
+      log.packets.emplace_back(dest, g, sim_for_host(dest).now());
+      if (++seen_count[static_cast<std::size_t>(dest)] == S) {
+        hosts.at(dest)->software_receive([&, logp = &log, dest] {
+          logp->host_done.emplace_back(dest, sim_for_host(dest).now());
+        });
+      }
+    };
+  }
+
+  std::vector<net::MessageId> stream_messages;
+  for (std::int32_t r = 0; r < R; ++r) {
+    stream_messages.push_back(static_cast<net::MessageId>(r + 1));
+  }
+  sim_for_host(root).schedule_at(
+      sim::Time::zero(), [&nis, &hosts, stream_messages, root] {
+        static_cast<netif::FpfsNi&>(*nis.at(root))
+            .start_streaming(stream_messages, *hosts.at(root));
+      });
+  run_sim();
+  if (network.in_flight() != 0) {
+    throw std::runtime_error(
+        "MulticastEngine: network deadlock (worms still in flight)");
+  }
+
+  StreamingResult result;
+  result.stream_packets = S;
+  result.rotation_requested = plan.requested;
+  result.rotation_used = R;
+  result.overlap_mean = plan.overlap_mean();
+  result.overlap_max = plan.overlap_max();
+
+  // Repair: resend the whole stream to destinations still missing any
+  // packet. Round 1 prefers a surviving rotation member — tree and
+  // routes still valid verbatim, no re-planning latency; later rounds
+  // (or no survivor) re-plan over member 0's order on the rebuilt
+  // primary routes.
+  if (faulty && config_.repair.max_attempts > 0) {
+    std::int32_t next_message = R + 1;
+    for (std::int32_t round = 1; round <= config_.repair.max_attempts;
+         ++round) {
+      if (!network.host_alive(root)) break;
+      std::int32_t pick = -1;
+      if (round == 1) {
+        const auto dead = dead_switch_channels(
+            topology_, network.fault_state(), routes_.virtual_channels());
+        for (std::int32_t r = 0; r < R; ++r) {
+          if (routing::footprint_intersection(
+                  plan.members[static_cast<std::size_t>(r)].footprint, dead) ==
+              0) {
+            pick = r;
+            break;
+          }
+        }
+      }
+      const std::int32_t cls = pick >= 0 ? pick : 0;
+      const auto& order =
+          plan.members[static_cast<std::size_t>(pick >= 0 ? pick : 0)].tree;
+      const auto rtree = plan_repair_tree(
+          root, order.nodes,
+          [&](topo::HostId h) {
+            return seen_count[static_cast<std::size_t>(h)] < S;
+          },
+          [&](topo::HostId h) { return network.reachable(root, h); },
+          std::max(plan.fanout_bound, 1));
+      if (!rtree) break;
+      const auto message = static_cast<net::MessageId>(next_message++);
+      msg_stream.emplace_back(1, 0);
+      for (topo::HostId h : rtree->nodes) {
+        netif::ForwardingEntry entry;
+        entry.children = rtree->children.at(h);
+        entry.packet_count = S;
+        entry.is_destination = (h != root);
+        entry.route_class = cls;
+        nis.at(h)->install(message, entry);
+      }
+      ++result.repairs;
+      const sim::Time wait =
+          config_.repair.backoff * (sim::Time::rep{1} << (round - 1));
+      sim_for_host(root).schedule_at(end_time() + wait,
+                                     [&nis, &hosts, root, message] {
+                                       nis.at(root)->start_from_host(
+                                           message, *hosts.at(root));
+                                     });
+      run_sim();
+      if (network.in_flight() != 0) {
+        throw std::runtime_error(
+            "MulticastEngine: network deadlock (worms still in flight)");
+      }
+    }
+  }
+
+  // Merge per-shard logs; (time, host, index) keys are unique, so the
+  // sort gives one total order regardless of shard or thread count.
+  std::vector<std::tuple<topo::HostId, std::int32_t, sim::Time>> packets_all;
+  std::vector<std::pair<topo::HostId, sim::Time>> host_all;
+  for (const auto& log : logs) {
+    packets_all.insert(packets_all.end(), log->packets.begin(),
+                       log->packets.end());
+    host_all.insert(host_all.end(), log->host_done.begin(),
+                    log->host_done.end());
+  }
+  std::sort(packets_all.begin(), packets_all.end(),
+            [](const auto& a, const auto& b) {
+              return std::make_tuple(std::get<2>(a), std::get<0>(a),
+                                     std::get<1>(a)) <
+                     std::make_tuple(std::get<2>(b), std::get<0>(b),
+                                     std::get<1>(b));
+            });
+  std::sort(host_all.begin(), host_all.end(),
+            [](const auto& a, const auto& b) {
+              return std::make_tuple(a.second, a.first) <
+                     std::make_tuple(b.second, b.first);
+            });
+
+  if (!packets_all.empty()) {
+    result.ni_makespan = std::get<2>(packets_all.back());
+  }
+  if (!host_all.empty()) result.makespan = host_all.back().second;
+  result.packets_delivered = static_cast<std::int64_t>(packets_all.size());
+
+  // Per-destination in-order completion: packet g completes once
+  // packets 0..g have all arrived, i.e. at the running max of their
+  // arrival times along the stream. The gaps between consecutive
+  // in-order completions are what an in-order consumer stalls on; p99
+  // is pooled over every destination's gap sequence.
+  {
+    std::unordered_map<topo::HostId, std::vector<sim::Time>> arrival;
+    for (topo::HostId h : base.nodes) {
+      if (h != root &&
+          seen_count[static_cast<std::size_t>(h)] == S) {
+        arrival.emplace(h, std::vector<sim::Time>(static_cast<std::size_t>(S)));
+      }
+    }
+    for (const auto& [h, g, t] : packets_all) {
+      if (auto it = arrival.find(h); it != arrival.end()) {
+        it->second[static_cast<std::size_t>(g)] = t;
+      }
+    }
+    std::vector<sim::Time> gaps;
+    for (topo::HostId h : base.nodes) {
+      const auto it = arrival.find(h);
+      if (it == arrival.end()) continue;
+      sim::Time inorder = it->second.front();
+      for (std::int32_t g = 1; g < S; ++g) {
+        const sim::Time next =
+            std::max(inorder, it->second[static_cast<std::size_t>(g)]);
+        gaps.push_back(next - inorder);
+        inorder = next;
+      }
+    }
+    if (!gaps.empty()) {
+      std::sort(gaps.begin(), gaps.end());
+      const auto n = gaps.size();
+      const std::size_t ix = std::min(n - 1, (n * 99 + 99) / 100 - 1);
+      result.p99_gap = gaps[ix];
+    }
+  }
+
+  std::unordered_map<topo::HostId, sim::Time> done;
+  for (const auto& [h, t] : host_all) done.emplace(h, t);
+  for (topo::HostId h : base.nodes) {
+    if (h == root) continue;
+    DestinationStatus st;
+    st.host = h;
+    st.reachable = network.reachable(root, h);
+    if (auto it = done.find(h); it != done.end()) {
+      st.delivered = true;
+      st.completed_at = it->second;
+    }
+    result.destinations.push_back(st);
+  }
+  const auto expected = result.destinations.size();
+  if (!faulty &&
+      static_cast<std::size_t>(
+          std::count_if(result.destinations.begin(),
+                        result.destinations.end(),
+                        [](const DestinationStatus& d) {
+                          return d.delivered;
+                        })) != expected) {
+    throw std::runtime_error(
+        "MulticastEngine: streaming broadcast did not complete");
+  }
+  {
+    std::size_t delivered = 0;
+    for (const auto& d : result.destinations) delivered += d.delivered ? 1 : 0;
+    result.outcome = (expected == 0 || delivered == expected)
+                         ? Outcome::kComplete
+                         : (delivered == 0 ? Outcome::kFailed
+                                           : Outcome::kPartial);
+  }
+
+  if (result.ni_makespan > sim::Time::zero()) {
+    const double flits =
+        static_cast<double>(result.packets_delivered) *
+        (static_cast<double>(config_.network.packet_bytes) / 8.0);
+    result.flits_per_us = flits / result.ni_makespan.as_us();
+  }
+  result.total_channel_block_time = network.total_block_time();
+  result.events_dispatched = static_cast<std::int64_t>(
+      sharded_mode ? shardsim->events_dispatched()
+                   : serial_sim->events_dispatched());
+  return result;
 }
 
 }  // namespace nimcast::mcast

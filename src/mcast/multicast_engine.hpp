@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/host_tree.hpp"
+#include "core/rotation.hpp"
 #include "netif/reliable_ni.hpp"
 #include "netif/system_params.hpp"
 #include "network/network_config.hpp"
@@ -136,6 +137,44 @@ struct MultiMulticastResult {
   std::int64_t events_dispatched = 0;
 };
 
+/// Result of one streaming broadcast (run_streaming): a sustained stream
+/// of fixed-size packets from one source to every other participant,
+/// packet g dispatched down rotation tree g mod R.
+struct StreamingResult {
+  /// Start to the last destination *host* completion of the full stream.
+  sim::Time makespan;
+  /// Start to the last receive-processed stream packet at any
+  /// destination NI — the denominator of the throughput metric.
+  sim::Time ni_makespan;
+  /// Sustained delivered throughput: distinct (destination, packet)
+  /// deliveries, in 8-byte flits, per microsecond of ni_makespan.
+  double flits_per_us = 0.0;
+  /// p99 gap between consecutive in-order packet completions at a
+  /// destination, pooled over all destinations. Packet g completes
+  /// in order once packets 0..g have all been receive-processed, so
+  /// this is the tail stall an in-order consumer of the stream sees.
+  sim::Time p99_gap;
+  std::int32_t stream_packets = 0;
+  /// R the caller asked the planner for.
+  std::int32_t rotation_requested = 1;
+  /// Classes that actually carried packets:
+  /// min(plan size, stream_packets).
+  std::int32_t rotation_used = 1;
+  /// Measured channel-overlap fractions of the plan (RotationPlan).
+  double overlap_mean = 0.0;
+  double overlap_max = 0.0;
+
+  Outcome outcome = Outcome::kComplete;
+  /// One entry per destination, in member-0 tree order; `delivered`
+  /// means the destination received the *entire* stream.
+  std::vector<DestinationStatus> destinations;
+  std::int32_t repairs = 0;
+  /// Distinct (destination, packet) deliveries — counts partial streams.
+  std::int64_t packets_delivered = 0;
+  sim::Time total_channel_block_time;
+  std::int64_t events_dispatched = 0;
+};
+
 /// Runs complete multicast operations on the full simulated system:
 /// wormhole network + NIs + hosts. Each `run`/`run_many` builds a fresh
 /// simulation over the shared (topology, routes), so results are
@@ -162,6 +201,11 @@ class MulticastEngine {
     std::int32_t shards = 1;
     /// OS threads driving the sharded engine; 0 means one per shard.
     std::int32_t shard_threads = 0;
+    /// Rotation members (R) a streaming broadcast plans. Consulted by
+    /// the layers that plan on the engine's behalf (api::Communicator,
+    /// harness::Testbed); run_streaming itself takes the plan
+    /// explicitly. 1 keeps the paper's fixed tree.
+    std::int32_t rotation_trees = 1;
   };
 
   MulticastEngine(const topo::Topology& topology,
@@ -179,6 +223,23 @@ class MulticastEngine {
   /// would.
   [[nodiscard]] MultiMulticastResult run_many(
       const std::vector<MulticastSpec>& specs) const;
+
+  /// Streams `stream_packets` fixed-size packets from the plan's root to
+  /// every other participant, packet g dispatched down rotation member
+  /// g mod R (R = min(plan size, stream_packets)) under that member's
+  /// route class. Requires NiStyle::kSmartFpfs: the source interleaves
+  /// the classes in one packet-major round-robin (FpfsNi::
+  /// start_streaming), so consecutive stream packets leave down
+  /// *different* trees and the per-packet NI forwarding load rotates
+  /// across hosts. A plan of size 1 is byte-identical to run() over the
+  /// fixed tree with the same packet count.
+  ///
+  /// Under faults, repair prefers a surviving rotation member — the
+  /// first whose channel footprint dodges every dead channel — and only
+  /// re-plans on the rebuilt primary routes when none survived.
+  [[nodiscard]] StreamingResult run_streaming(const core::RotationPlan& plan,
+                                              std::int32_t stream_packets)
+      const;
 
   [[nodiscard]] const Config& config() const { return config_; }
 

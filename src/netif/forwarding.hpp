@@ -18,6 +18,10 @@ struct ForwardingEntry {
   /// True for every participant except the multicast source (the source
   /// already has the message; it is not a destination).
   bool is_destination = true;
+  /// Network route class every copy of this message is injected under
+  /// (0 = primary table). Streaming rotation members carry their own
+  /// class so forwarded copies stay on the member's decorrelated routes.
+  std::int32_t route_class = 0;
 };
 
 }  // namespace nimcast::netif

@@ -59,6 +59,7 @@ void NetworkInterface::deliver(const net::Packet& packet) {
     }
     on_packet_received(packet, *entry);
     note_data_processed(packet, *entry);
+    if (on_packet_at_ni) on_packet_at_ni(self_, packet);
   });
 }
 
@@ -104,14 +105,17 @@ void NetworkInterface::release_if_done(std::uint64_t key) {
 
 void NetworkInterface::inject_copy(net::MessageId message, std::int32_t index,
                                    std::int32_t packet_count,
-                                   topo::HostId child) {
-  coproc_.enqueue(params_.t_snd, [this, message, index, packet_count, child] {
+                                   topo::HostId child,
+                                   std::int32_t route_class) {
+  coproc_.enqueue(params_.t_snd, [this, message, index, packet_count, child,
+                                  route_class] {
     net::Packet p;
     p.message = message;
     p.packet_index = index;
     p.packet_count = packet_count;
     p.sender = self_;
     p.dest = child;
+    p.route_class = route_class;
     network_.send(p);
     if (trace_) {
       trace_->record(sim_.now(), sim::TraceCategory::kNi, self_,
@@ -123,15 +127,17 @@ void NetworkInterface::inject_copy(net::MessageId message, std::int32_t index,
 }
 
 void NetworkInterface::send_copy(net::MessageId message, std::int32_t index,
-                                 std::int32_t packet_count,
-                                 topo::HostId child) {
-  coproc_.enqueue(params_.t_snd, [this, message, index, packet_count, child] {
+                                 std::int32_t packet_count, topo::HostId child,
+                                 std::int32_t route_class) {
+  coproc_.enqueue(params_.t_snd, [this, message, index, packet_count, child,
+                                  route_class] {
     net::Packet p;
     p.message = message;
     p.packet_index = index;
     p.packet_count = packet_count;
     p.sender = self_;
     p.dest = child;
+    p.route_class = route_class;
     network_.send(p);
     const auto key = packet_key(message, index);
     auto it = outstanding_.find(key);

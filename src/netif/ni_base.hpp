@@ -73,6 +73,12 @@ class NetworkInterface : public net::DeliverySink {
   /// receive-processed.
   std::function<void(topo::HostId, net::MessageId)> on_message_at_ni;
 
+  /// Fired once per receive-processed data packet, after the forwarding
+  /// discipline ran. Unset (the default) costs the hot path one branch;
+  /// the streaming engine binds it to drive per-packet in-order
+  /// reassembly accounting.
+  std::function<void(topo::HostId, const net::Packet&)> on_packet_at_ni;
+
   [[nodiscard]] topo::HostId id() const { return self_; }
   [[nodiscard]] const BufferTracker& buffer() const { return buffer_; }
   [[nodiscard]] const SerialServer& coprocessor() const { return coproc_; }
@@ -86,15 +92,18 @@ class NetworkInterface : public net::DeliverySink {
                                   const ForwardingEntry& entry) = 0;
 
   /// Queues one copy of packet `index` on the coprocessor (t_snd), then
-  /// injects it into the network. No buffer accounting.
+  /// injects it into the network under `route_class`. No buffer
+  /// accounting.
   void inject_copy(net::MessageId message, std::int32_t index,
-                   std::int32_t packet_count, topo::HostId child);
+                   std::int32_t packet_count, topo::HostId child,
+                   std::int32_t route_class = 0);
 
   /// Buffer-accounted variant: decrements the packet's outstanding-copy
   /// count when the injection completes, releasing the buffer slot at
   /// zero. The packet must be held (see hold_packet).
   void send_copy(net::MessageId message, std::int32_t index,
-                 std::int32_t packet_count, topo::HostId child);
+                 std::int32_t packet_count, topo::HostId child,
+                 std::int32_t route_class = 0);
 
   /// Declares that packet `index` is resident in NI memory and will be
   /// copied out `copies` times. Acquires a buffer slot (released

@@ -17,7 +17,48 @@ void FpfsNi::start_from_host(net::MessageId message, Host& host) {
     // Packet-major: pkt j to every child before pkt j+1 to any.
     for (std::int32_t j = 0; j < entry->packet_count; ++j) {
       for (topo::HostId child : entry->children) {
-        send_copy(message, j, entry->packet_count, child);
+        send_copy(message, j, entry->packet_count, child,
+                  entry->route_class);
+      }
+    }
+  });
+}
+
+void FpfsNi::start_streaming(const std::vector<net::MessageId>& messages,
+                             Host& host) {
+  if (messages.empty()) {
+    throw std::logic_error("FpfsNi: start_streaming with no messages");
+  }
+  host.software_send([this, messages] {
+    std::vector<const ForwardingEntry*> entries;
+    entries.reserve(messages.size());
+    for (net::MessageId m : messages) {
+      const ForwardingEntry* entry = find_entry(m);
+      if (entry == nullptr) {
+        throw std::logic_error("FpfsNi: no forwarding entry at source");
+      }
+      entries.push_back(entry);
+      const auto copies = static_cast<std::int32_t>(entry->children.size());
+      for (std::int32_t j = 0; j < entry->packet_count; ++j) {
+        hold_packet(m, j, copies);
+      }
+    }
+    // Round-robin over the classes, packet-major within each: stream
+    // packet g = copy g/R of class g mod R (exhausted classes are
+    // skipped, so an uneven split stays in global stream order).
+    std::vector<std::int32_t> cursor(messages.size(), 0);
+    bool more = true;
+    while (more) {
+      more = false;
+      for (std::size_t r = 0; r < messages.size(); ++r) {
+        const ForwardingEntry& entry = *entries[r];
+        if (cursor[r] >= entry.packet_count) continue;
+        const std::int32_t j = cursor[r]++;
+        more = true;
+        for (topo::HostId child : entry.children) {
+          send_copy(messages[r], j, entry.packet_count, child,
+                    entry.route_class);
+        }
       }
     }
   });
@@ -30,7 +71,7 @@ void FpfsNi::on_packet_received(const net::Packet& packet,
               static_cast<std::int32_t>(entry.children.size()));
   for (topo::HostId child : entry.children) {
     send_copy(packet.message, packet.packet_index, packet.packet_count,
-              child);
+              child, entry.route_class);
   }
 }
 

@@ -18,6 +18,18 @@ class FpfsNi final : public NetworkInterface {
   using NetworkInterface::NetworkInterface;
 
   void start_from_host(net::MessageId message, Host& host) override;
+
+  /// Streaming source entry point: one software start-up, then the
+  /// coprocessor interleaves the installed `messages` round-robin in
+  /// packet-major order — stream packet g is copy g/|messages| of
+  /// message g mod |messages|. This is what lets consecutive stream
+  /// packets leave down *different* rotation trees; starting the
+  /// messages via start_from_host would serialize them class by class
+  /// (each enqueues its whole message at once). With one message this
+  /// is exactly start_from_host.
+  void start_streaming(const std::vector<net::MessageId>& messages,
+                       Host& host);
+
   [[nodiscard]] const char* style() const override { return "smart-fpfs"; }
 
  protected:

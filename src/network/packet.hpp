@@ -24,6 +24,10 @@ struct Packet {
   /// collectives layer carries the scatter final-destination or the
   /// gather origin here.
   std::int32_t tag = -1;
+  /// Route table the network consults at injection: 0 is the primary
+  /// table, higher classes select a bound alternative (streaming
+  /// rotation members travel over decorrelated up*/down* alternatives).
+  std::int32_t route_class = 0;
 };
 
 }  // namespace nimcast::net

@@ -145,6 +145,32 @@ void WormholeNetwork::rebind_routes(const routing::RouteTable& routes) {
   routes_ = &routes;
 }
 
+void WormholeNetwork::bind_route_class(std::int32_t cls,
+                                       const routing::RouteTable& routes) {
+  if (cls < 1) {
+    throw std::invalid_argument(
+        "WormholeNetwork::bind_route_class: class must be >= 1");
+  }
+  if (routes.num_hosts() != routes_->num_hosts() ||
+      routes.virtual_channels() != routes_->virtual_channels()) {
+    throw std::invalid_argument(
+        "WormholeNetwork::bind_route_class: table shape mismatch");
+  }
+  const auto ix = static_cast<std::size_t>(cls - 1);
+  if (class_routes_.size() <= ix) class_routes_.resize(ix + 1, nullptr);
+  class_routes_[ix] = &routes;
+}
+
+const routing::RouteTable& WormholeNetwork::class_table(
+    std::int32_t cls) const {
+  if (cls < 1 || static_cast<std::size_t>(cls) > class_routes_.size()) {
+    return *routes_;
+  }
+  const routing::RouteTable* t =
+      class_routes_[static_cast<std::size_t>(cls - 1)];
+  return t != nullptr ? *t : *routes_;
+}
+
 bool WormholeNetwork::host_alive(topo::HostId h) const {
   return mask_.switch_alive(topology_.switch_of(h));
 }
@@ -172,9 +198,10 @@ std::int32_t WormholeNetwork::ejection_channel(topo::HostId h) const {
 }
 
 void WormholeNetwork::build_path(topo::HostId src, topo::HostId dst,
+                                 std::int32_t cls,
                                  std::vector<std::int32_t>& out) const {
   out.push_back(injection_channel(src));
-  const auto& route = routes_->path(src, dst);
+  const auto& route = class_table(cls).path(src, dst);
   for (std::int32_t c : routing::route_channels(topology_.switches(), route,
                                                 routes_->virtual_channels())) {
     out.push_back(c);
@@ -263,7 +290,6 @@ WormholeNetwork::Worm* WormholeNetwork::alloc_worm(std::int32_t shard) {
   w->released_below = 0;
   w->parked = false;
   w->draining = false;
-  w->use_sink = false;
   w->in_use = true;
   w->doomed = false;
   return w;
@@ -274,7 +300,6 @@ void WormholeNetwork::free_worm(Worm* w, std::int32_t shard) {
   assert(w->in_use);
   w->in_use = false;
   ++w->doom_epoch;  // invalidate any replay global still pointing here
-  w->cb = DeliveryCallback{};  // drop the closure, not just the flag
   w->next_waiter = st.free_head;
   st.free_head = w;
   ++st.free_count;
@@ -323,16 +348,6 @@ void WormholeNetwork::erase_waiter(std::int32_t chan, Worm* w) {
 }
 
 void WormholeNetwork::send(const Packet& packet) {
-  inject(packet, DeliveryCallback{}, /*use_sink=*/true);
-}
-
-void WormholeNetwork::send(const Packet& packet,
-                           DeliveryCallback on_delivered) {
-  inject(packet, std::move(on_delivered), /*use_sink=*/false);
-}
-
-void WormholeNetwork::inject(const Packet& packet, DeliveryCallback cb,
-                             bool use_sink) {
   if (packet.sender < 0 || packet.sender >= topology_.num_hosts() ||
       packet.dest < 0 || packet.dest >= topology_.num_hosts()) {
     throw std::invalid_argument("WormholeNetwork::send: host out of range");
@@ -340,11 +355,13 @@ void WormholeNetwork::inject(const Packet& packet, DeliveryCallback cb,
   if (packet.sender == packet.dest) {
     throw std::invalid_argument("WormholeNetwork::send: self-send");
   }
-  if (use_sink && sinks_[static_cast<std::size_t>(packet.dest)] == nullptr) {
+  if (sinks_[static_cast<std::size_t>(packet.dest)] == nullptr) {
     throw std::logic_error("WormholeNetwork::send: no sink bound for dest");
   }
   const std::int32_t s = chan_shard(injection_channel(packet.sender));
-  if (!reachable(packet.sender, packet.dest)) {
+  if (!host_alive(packet.sender) || !host_alive(packet.dest) ||
+      !class_table(packet.route_class)
+           .reachable(packet.sender, packet.dest)) {
     // The fabric segment between the endpoints is dead: a CRC-style
     // silent drop at injection. Reliable NIs see it as loss and retry or
     // give up against their reachability check.
@@ -360,9 +377,7 @@ void WormholeNetwork::inject(const Packet& packet, DeliveryCallback cb,
   }
   Worm* w = alloc_worm(s);
   w->packet = packet;
-  w->cb = std::move(cb);
-  w->use_sink = use_sink;
-  build_path(packet.sender, packet.dest, w->path);
+  build_path(packet.sender, packet.dest, packet.route_class, w->path);
   ShardState& st = state_of(s);
   ++st.in_flight;
   if (st.in_flight > st.peak_in_flight) st.peak_in_flight = st.in_flight;
@@ -573,15 +588,9 @@ void WormholeNetwork::complete(Worm* w) {
   // Free the slot before invoking delivery: a reentrant send() from the
   // receiver may recycle it.
   const Packet packet = w->packet;
-  const bool use_sink = w->use_sink;
-  DeliveryCallback cb = lost ? DeliveryCallback{} : std::move(w->cb);
   free_worm(w, ds);
   if (lost) return;
-  if (use_sink) {
-    sinks_[static_cast<std::size_t>(packet.dest)]->on_packet_delivered(packet);
-  } else if (cb) {
-    cb(packet);
-  }
+  sinks_[static_cast<std::size_t>(packet.dest)]->on_packet_delivered(packet);
 }
 
 void WormholeNetwork::apply_fault(const FaultEvent& ev) {

@@ -82,11 +82,6 @@ class DeliverySink {
 /// loss RNG's draw order is a global sequence), and no trace sink.
 class WormholeNetwork {
  public:
-  /// Per-packet delivery closure for the legacy send() overload; tests
-  /// and one-off probes use it. Regular NI traffic goes through
-  /// DeliverySink.
-  using DeliveryCallback = std::function<void(const Packet&)>;
-
   WormholeNetwork(sim::Simulator& simctx, const topo::Topology& topology,
                   const routing::RouteTable& routes, NetworkConfig config,
                   sim::Trace* trace = nullptr);
@@ -114,18 +109,22 @@ class WormholeNetwork {
   /// host's bound DeliverySink receives it. The injection channel may
   /// itself be busy, in which case the worm queues like at any other
   /// channel. Packets whose sender or destination sits on a dead switch,
-  /// or whose pair is unreachable in the bound route table, are dropped
-  /// at injection (counted in packets_dropped()). In sharded mode this
+  /// or whose pair is unreachable in the route table their route_class
+  /// selects (0 = primary, see bind_route_class), are dropped at
+  /// injection (counted in packets_dropped()). In sharded mode this
   /// must be called from the sender's owner-shard context (an NI event)
   /// or outside run().
   void send(const Packet& packet);
 
-  /// Legacy overload: delivery invokes `on_delivered` instead of the
-  /// destination's sink. New code should bind a DeliverySink and use
-  /// send(packet); per-packet callbacks cannot be pooled and are
-  /// invisible to the sharded engine's completion accounting.
-  [[deprecated("bind a DeliverySink and use send(const Packet&)")]] void send(
-      const Packet& packet, DeliveryCallback on_delivered);
+  /// Binds the route table packets of `route_class == cls` (cls >= 1)
+  /// build their paths from; class 0 is the primary table. The table
+  /// must match the primary's host count and virtual-channel
+  /// multiplicity (channel numbering depends on both) and must outlive
+  /// the network. Fault repair only rebuilds the primary table
+  /// (rebind_routes); bound class tables go stale and their worms die
+  /// at the first dead channel like any fault victim — the engine's
+  /// surviving-member fallback handles redelivery.
+  void bind_route_class(std::int32_t cls, const routing::RouteTable& routes);
 
   /// Fired after a `config.faults` event has been applied: the liveness
   /// mask is updated and every worm caught on a dying channel has been
@@ -212,7 +211,6 @@ class WormholeNetwork {
 
   struct Worm {
     Packet packet;
-    DeliveryCallback cb;  ///< legacy-overload deliveries only
     std::vector<std::int32_t> path;      ///< channel ids, injection..ejection
     std::vector<sim::Time> acquired_at;  ///< per-channel acquisition times
     /// Pipelined mode: staggered releases not yet fired. Sharded mode:
@@ -239,7 +237,6 @@ class WormholeNetwork {
     std::size_t released_below = 0;
     bool parked = false;    ///< sitting in some channel's waiter FIFO
     bool draining = false;  ///< final channel acquired, payload draining
-    bool use_sink = false;  ///< deliver via sink (hot path) vs cb (legacy)
     bool in_use = false;    ///< live worm vs free slot (fault sweep filter)
     /// Sharded: the pending hop was replaced by a barrier-phase replay
     /// global (its target channel is currently condemned); `pending` is
@@ -266,7 +263,10 @@ class WormholeNetwork {
   /// [2E*V+H, 2E*V+2H) ejection.
   [[nodiscard]] std::int32_t injection_channel(topo::HostId h) const;
   [[nodiscard]] std::int32_t ejection_channel(topo::HostId h) const;
-  void build_path(topo::HostId src, topo::HostId dst,
+  /// Table for a packet's route class: class 0, unbound or out-of-range
+  /// classes fall back to the primary table.
+  [[nodiscard]] const routing::RouteTable& class_table(std::int32_t cls) const;
+  void build_path(topo::HostId src, topo::HostId dst, std::int32_t cls,
                   std::vector<std::int32_t>& out) const;
 
   [[nodiscard]] bool is_sharded() const { return sharded_ != nullptr; }
@@ -282,7 +282,6 @@ class WormholeNetwork {
 
   [[nodiscard]] Worm* alloc_worm(std::int32_t shard);
   void free_worm(Worm* w, std::int32_t shard);
-  void inject(const Packet& packet, DeliveryCallback cb, bool use_sink);
   void push_waiter(std::int32_t chan, Worm* w);
   [[nodiscard]] Worm* pop_waiter(std::int32_t chan);
   void erase_waiter(std::int32_t chan, Worm* w);
@@ -322,6 +321,9 @@ class WormholeNetwork {
   sim::ShardedSimulator* sharded_ = nullptr;  ///< sharded mode
   const topo::Topology& topology_;
   const routing::RouteTable* routes_;  ///< pointer: rebindable after faults
+  /// Alternative tables by route class (index = class - 1); null slots
+  /// fall back to the primary table.
+  std::vector<const routing::RouteTable*> class_routes_;
   NetworkConfig config_;
   sim::Trace* trace_;
 

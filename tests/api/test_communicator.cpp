@@ -126,5 +126,46 @@ TEST(Communicator, MoveSemantics) {
   EXPECT_EQ(moved.num_hosts(), 64);
 }
 
+TEST(Communicator, StreamBroadcastRotationBeatsFixedTree) {
+  Communicator::Options fixed_opts;
+  const auto fixed =
+      Communicator::irregular(topo::IrregularConfig{}, fixed_opts);
+  Communicator::Options rot_opts;
+  rot_opts.rotation_trees = 4;
+  const auto rotated =
+      Communicator::irregular(topo::IrregularConfig{}, rot_opts);
+
+  const std::int64_t bytes = 256 * 64;  // 256 packets: saturation
+  const auto base = fixed.stream_broadcast(0, bytes);
+  const auto r = rotated.stream_broadcast(0, bytes);
+  EXPECT_EQ(base.rotation_used, 1);
+  EXPECT_EQ(r.rotation_requested, 4);
+  EXPECT_EQ(r.rotation_used, 4);
+  EXPECT_EQ(r.packets, 256);
+  EXPECT_EQ(r.outcome, mcast::Outcome::kComplete);
+  EXPECT_EQ(r.delivered, 63);
+  EXPECT_GT(r.overlap_mean, 0.0);
+  EXPECT_GE(r.flits_per_us, 1.2 * base.flits_per_us);
+  // Determinism across calls.
+  const auto again = rotated.stream_broadcast(0, bytes);
+  EXPECT_EQ(r.makespan, again.makespan);
+  EXPECT_EQ(r.flits_per_us, again.flits_per_us);
+}
+
+TEST(Communicator, StreamBroadcastRotationNeedsUpDownRoutes) {
+  Communicator::Options opts;
+  opts.rotation_trees = 2;
+  const auto comm = Communicator::mesh(topo::KAryNCubeConfig{4, 2, false},
+                                       opts);
+  EXPECT_THROW((void)comm.stream_broadcast(0, 1024), std::invalid_argument);
+  // The fixed-tree configuration still streams on any fabric.
+  Communicator::Options fixed_opts;
+  const auto fixed = Communicator::mesh(topo::KAryNCubeConfig{4, 2, false},
+                                        fixed_opts);
+  const auto r = fixed.stream_broadcast(0, 1024);
+  EXPECT_EQ(r.rotation_used, 1);
+  EXPECT_EQ(r.delivered, 15);
+}
+
 }  // namespace
 }  // namespace nimcast::api
