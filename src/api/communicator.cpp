@@ -168,6 +168,7 @@ Communicator::OpReport Communicator::multicast(
     if (!d.reachable) ++report.unreachable;
   }
   report.repairs = r.repairs;
+  report.root_handoffs = r.root_handoffs;
   report.retransmissions = r.retransmissions;
   return report;
 }
@@ -229,6 +230,9 @@ Communicator::StreamReport Communicator::stream_broadcast(
     if (d.delivered) ++report.delivered;
   }
   report.repairs = r.repairs;
+  report.replans = r.replans;
+  report.root_handoffs = r.root_handoffs;
+  report.packets_resent = r.packets_resent;
   return report;
 }
 
@@ -253,6 +257,7 @@ Communicator::OpReport from_collective(const collectives::CollectiveResult& r,
     if (!p.reachable) ++report.unreachable;
   }
   report.repairs = r.repairs;
+  report.root_handoffs = r.root_handoffs;
   return report;
 }
 

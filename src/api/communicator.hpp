@@ -101,6 +101,9 @@ class Communicator {
     std::int32_t delivered = 0;    ///< destinations that got the message
     std::int32_t unreachable = 0;  ///< destinations lost to partitions
     std::int32_t repairs = 0;      ///< tree-repair rounds consumed
+    /// 1 when the initiator died and an elected replacement finished the
+    /// operation (mcast::RepairPolicy::root_handoff), else 0.
+    std::int32_t root_handoffs = 0;
     std::int64_t retransmissions = 0;  ///< reliable-NI retransmits
   };
 
@@ -138,7 +141,15 @@ class Communicator {
     sim::Time contention;       ///< cumulative channel block time
     mcast::Outcome outcome = mcast::Outcome::kComplete;
     std::int32_t delivered = 0; ///< destinations that got the full stream
-    std::int32_t repairs = 0;
+    std::int32_t repairs = 0;   ///< repair messages launched by the root
+    /// Rotation members incrementally re-planned after a fault
+    /// (core::replan_rotation).
+    std::int32_t replans = 0;
+    /// Handoff messages launched by elected replacements after the
+    /// source died mid-stream.
+    std::int32_t root_handoffs = 0;
+    /// Stream indices re-injected by repair and handoff messages.
+    std::int64_t packets_resent = 0;
   };
 
   /// Streams `bytes` from `source` to every other host, packetized and

@@ -107,6 +107,22 @@ class CollectiveNi : public net::DeliverySink {
   /// descendants (gather) feeding this node.
   std::int32_t subtree_below = 0;
 
+  /// Reduce/allreduce: direct children whose every up-phase packet has
+  /// folded into this node's partial — their whole subtree's contribution
+  /// is in. The root queries this after an incomplete round to salvage
+  /// already-folded subtrees instead of restarting the reduce from
+  /// scratch.
+  [[nodiscard]] std::vector<topo::HostId> fully_folded_children() const {
+    std::vector<topo::HostId> out;
+    for (topo::HostId c : children_) {
+      if (auto it = child_folded_.find(c);
+          it != child_folded_.end() && it->second == m_) {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
   [[nodiscard]] const netif::BufferTracker& buffer() const { return buffer_; }
 
   /// Source-side start, called after the host's t_s.
@@ -217,7 +233,7 @@ class CollectiveNi : public net::DeliverySink {
       case CollectiveKind::kReduce:
       case CollectiveKind::kAllReduce:
         if (packet.tag == kUpPhase) {
-          handle_up(packet.packet_index);
+          handle_up(packet.sender, packet.packet_index);
         } else {
           // Down phase (allreduce only): plain broadcast forwarding.
           for (topo::HostId c : children_) {
@@ -232,8 +248,9 @@ class CollectiveNi : public net::DeliverySink {
   /// Reduce up-phase: fold one child packet into the local partial
   /// result (t_comb of coprocessor time); when every child's j-th packet
   /// is folded, index j is ready to move up (or, at the root, is final).
-  void handle_up(std::int32_t index) {
-    coproc_.enqueue(cfg_.t_comb, [this, index] {
+  void handle_up(topo::HostId from, std::int32_t index) {
+    coproc_.enqueue(cfg_.t_comb, [this, from, index] {
+      ++child_folded_[from];
       auto& folded = folded_[index];
       ++folded;
       if (folded < static_cast<std::int32_t>(children_.size())) return;
@@ -264,6 +281,7 @@ class CollectiveNi : public net::DeliverySink {
 
   std::int32_t own_received_ = 0;
   std::unordered_map<std::int32_t, std::int32_t> folded_;
+  std::unordered_map<topo::HostId, std::int32_t> child_folded_;
   std::unordered_map<std::int32_t, std::int32_t> source_received_;
   std::int32_t reduced_indexes_ = 0;
   bool done_ = false;
@@ -297,13 +315,21 @@ CollectiveResult CollectiveEngine::run(CollectiveKind kind,
                                trace_};
 
   // Fault-time route repair, identical to the multicast engine's: rebuild
-  // up*/down* on the surviving subgraph and rebind on *every* fault event
-  // — kLinkUp recoveries included, each with a fresh epoch. Multi-VC
-  // tables (dateline tori) keep their original routes and degrade without
-  // rerouting.
+  // up*/down* on the surviving subgraph and rebind on *every* switch-graph
+  // fault event — kLinkUp recoveries included, each with a fresh epoch.
+  // kHostDown leaves the switch graph intact, so no rebuild. Multi-VC
+  // tables (dateline tori) cannot be rebuilt — fail loudly rather than
+  // silently running stale.
   std::vector<std::unique_ptr<routing::RouteTable>> repaired_tables;
-  if (faulty && config_.repair.reroute && routes_.virtual_channels() == 1) {
-    network.on_fault = [&](const net::FaultEvent&) {
+  if (faulty && config_.repair.reroute) {
+    if (routes_.virtual_channels() != 1) {
+      throw std::invalid_argument(
+          "CollectiveEngine: fault-time reroute cannot rebuild a multi-VC "
+          "route table (dateline torus); set RepairPolicy::reroute = false "
+          "to run degraded on the original routes");
+    }
+    network.on_fault = [&](const net::FaultEvent& ev) {
+      if (ev.kind == net::FaultKind::kHostDown) return;
       auto table = routing::rebuild_updown(
           topology_, network.fault_state(),
           static_cast<std::int32_t>(repaired_tables.size()) + 1);
@@ -316,10 +342,17 @@ CollectiveResult CollectiveEngine::run(CollectiveKind kind,
 
   // Cross-round fault bookkeeping. `completed` is the per-host semantic
   // marker (own message in / holds the result); `gathered` maps a gather
-  // source to the instant its full message reached the root; `root_done`
-  // means the root finished combining (reduce/allreduce up phase), and
-  // `contributors` snapshots the up-phase participant set of the round
-  // that achieved it — the reduce-correctness accounting.
+  // source to the instant its full message reached the round root;
+  // `root_done` means a round root finished combining (reduce/allreduce
+  // up phase), and `contributors` is the union of the achieving round's
+  // up-phase participants and everything salvaged from earlier rounds —
+  // the reduce-correctness accounting. `eff_root` is the initiator in
+  // force: the tree's root until it dies and RepairPolicy::root_handoff
+  // elects a replacement. `salvaged` accumulates hosts whose reduce
+  // contribution already folded into the live root's partial (they are
+  // not re-run); `root_ni`/`root_subtrees` expose the latest up-phase
+  // round's root firmware and its per-child subtree membership, which is
+  // what the salvage computation reads.
   std::vector<std::unique_ptr<CollectiveNi>> arena;
   std::unordered_map<topo::HostId, std::unique_ptr<netif::Host>> hosts;
   std::unordered_set<topo::HostId> completed;
@@ -327,6 +360,10 @@ CollectiveResult CollectiveEngine::run(CollectiveKind kind,
   bool root_done = false;
   std::vector<topo::HostId> up_nodes;
   std::vector<topo::HostId> contributors;
+  topo::HostId eff_root = root;
+  std::unordered_set<topo::HostId> salvaged;
+  CollectiveNi* root_ni = nullptr;
+  std::unordered_map<topo::HostId, std::vector<topo::HostId>> root_subtrees;
 
   // Builds fresh per-round firmware over `t`, rebinding the network
   // sinks of every participant, and schedules the round's start-up
@@ -379,20 +416,36 @@ CollectiveResult CollectiveEngine::run(CollectiveKind kind,
 
     const bool up_kind = kind2 == CollectiveKind::kReduce ||
                          kind2 == CollectiveKind::kAllReduce;
-    if (up_kind) up_nodes = t.nodes;
+    const topo::HostId round_root = t.root;
+    if (up_kind) {
+      up_nodes = t.nodes;
+      root_ni = nis.at(round_root);
+      root_subtrees.clear();
+      for (topo::HostId c : t.children.at(round_root)) {
+        root_subtrees.emplace(c, subtree.at(c));
+      }
+    }
     for (topo::HostId h : t.nodes) {
       auto& ni = *nis.at(h);
-      ni.on_complete = [&, h, up_kind](topo::HostId) {
-        if (up_kind && h == root && !root_done) {
+      ni.on_complete = [&, h, up_kind, round_root](topo::HostId) {
+        if (up_kind && h == round_root && !root_done) {
           root_done = true;
-          contributors = up_nodes;
+          // The achieving round's participants plus everything salvaged
+          // from earlier rounds, in original tree order.
+          std::unordered_set<topo::HostId> cset{up_nodes.begin(),
+                                                up_nodes.end()};
+          cset.insert(salvaged.begin(), salvaged.end());
+          contributors.clear();
+          for (topo::HostId x : tree.nodes) {
+            if (cset.count(x) != 0) contributors.push_back(x);
+          }
         }
         // A host keeps one semantic completion across repair rounds.
         if (!completed.insert(h).second) return;
         hosts.at(h)->software_receive(
             [&, h] { result.completions.emplace_back(h, simctx.now()); });
       };
-      if (kind2 == CollectiveKind::kGather && h == root) {
+      if (kind2 == CollectiveKind::kGather && h == round_root) {
         ni.on_source_complete = [&](topo::HostId src) {
           gathered.emplace(src, simctx.now());
         };
@@ -493,16 +546,66 @@ CollectiveResult CollectiveEngine::run(CollectiveKind kind,
   // Tree repair: re-parent the still-needy, still-reachable participants
   // into a fresh k-binomial tree in contention-free order (the shared
   // mcast::plan_repair_tree) and re-run. Broadcast/scatter/gather rounds
-  // resend only what is missing; a reduce whose root never finished
-  // combining restarts from scratch over the survivors (interior folds
-  // of a broken round are unattributable and discarded); an allreduce
-  // with a complete up phase but lost down-phase deliveries re-broadcasts
-  // the root's result to whoever missed it.
+  // resend only what is missing; a reduce round re-folds only the missing
+  // contributors — subtrees whose up-phase packets all reached the live
+  // root are salvaged from its partial; an allreduce with a complete up
+  // phase but lost down-phase deliveries re-broadcasts the root's result
+  // to whoever missed it. When the initiator itself died,
+  // RepairPolicy::root_handoff elects the lowest-ranked (tree-order)
+  // alive participant that still holds what the round must send — any
+  // result holder for broadcast and post-up-phase allreduce, any
+  // survivor for gather/reduce (each holds its own contribution) — and
+  // re-roots the repair there. Scatter never hands off: the personalized
+  // payloads died with the root.
   if (faulty && config_.mode == RepairMode::kDegradeAndContinue &&
       config_.repair.max_attempts > 0) {
+    // Folds the root-side salvage state into `salvaged`: the live round
+    // root's own contribution plus every subtree whose up-phase packets
+    // all folded into its partial.
+    const auto salvage = [&] {
+      salvaged.insert(eff_root);
+      if (root_ni == nullptr) return;
+      for (topo::HostId c : root_ni->fully_folded_children()) {
+        for (topo::HostId d : root_subtrees.at(c)) salvaged.insert(d);
+      }
+    };
     for (std::int32_t round = 1; round <= config_.repair.max_attempts;
          ++round) {
-      if (op_complete() || !network.host_alive(root)) break;
+      if (op_complete()) break;
+      if (!network.host_alive(eff_root)) {
+        if (!config_.repair.root_handoff || kind == CollectiveKind::kScatter) {
+          break;
+        }
+        // Election is deterministic and happens at most once per run:
+        // every fault event fires during the first drain, so liveness is
+        // stable by the time repair begins.
+        const bool need_result_holder =
+            kind == CollectiveKind::kBroadcast ||
+            (kind == CollectiveKind::kAllReduce && root_done);
+        topo::HostId elected = topo::kInvalidId;
+        for (topo::HostId h : tree.nodes) {
+          if (h == eff_root || !network.host_alive(h)) continue;
+          if (need_result_holder && completed.count(h) == 0) continue;
+          elected = h;
+          break;
+        }
+        if (elected == topo::kInvalidId) break;  // payload died with the root
+        eff_root = elected;
+        ++result.root_handoffs;
+        if (kind == CollectiveKind::kGather) {
+          // The partially gathered data died with the old root; sources
+          // re-send everything to the replacement, whose own message is
+          // already local.
+          gathered.clear();
+          gathered.emplace(eff_root, simctx.now());
+        }
+        if (kind == CollectiveKind::kReduce ||
+            (kind == CollectiveKind::kAllReduce && !root_done)) {
+          // The old root's partial died with it: nothing is salvaged.
+          salvaged.clear();
+          root_ni = nullptr;
+        }
+      }
       CollectiveKind round_kind = kind;
       std::function<bool(topo::HostId)> needs;
       switch (kind) {
@@ -514,20 +617,22 @@ CollectiveResult CollectiveEngine::run(CollectiveKind kind,
           needs = [&](topo::HostId h) { return gathered.count(h) == 0; };
           break;
         case CollectiveKind::kReduce:
-          needs = [](topo::HostId) { return true; };
+          salvage();
+          needs = [&](topo::HostId h) { return salvaged.count(h) == 0; };
           break;
         case CollectiveKind::kAllReduce:
           if (root_done) {
             round_kind = CollectiveKind::kBroadcast;
             needs = [&](topo::HostId h) { return completed.count(h) == 0; };
           } else {
-            needs = [](topo::HostId) { return true; };
+            salvage();
+            needs = [&](topo::HostId h) { return salvaged.count(h) == 0; };
           }
           break;
       }
       const auto rtree = mcast::plan_repair_tree(
-          root, tree.nodes, needs,
-          [&](topo::HostId h) { return network.reachable(root, h); },
+          eff_root, tree.nodes, needs,
+          [&](topo::HostId h) { return network.reachable(eff_root, h); },
           tree.root_children());
       if (!rtree) break;
       ++result.repairs;
@@ -549,14 +654,15 @@ CollectiveResult CollectiveEngine::run(CollectiveKind kind,
   result.packets_injected = network.packets_delivered();
   result.total_channel_block_time = network.total_block_time();
 
+  result.effective_root = eff_root;
   if (faulty) {
-    result.root_alive = network.host_alive(root);
+    result.root_alive = network.host_alive(eff_root);
     result.faults_applied = network.faults_applied();
     result.route_epoch = network.routes().epoch();
     result.contributors = contributors;
     sim::Time root_completed_at;
     for (const auto& [h, t] : result.completions) {
-      if (h == root) root_completed_at = t;
+      if (h == eff_root) root_completed_at = t;
     }
     const std::unordered_set<topo::HostId> contrib_set{contributors.begin(),
                                                        contributors.end()};
@@ -564,7 +670,7 @@ CollectiveResult CollectiveEngine::run(CollectiveKind kind,
       if (h == root) continue;
       mcast::DestinationStatus st;
       st.host = h;
-      st.reachable = network.reachable(root, h);
+      st.reachable = network.reachable(eff_root, h);
       switch (kind) {
         case CollectiveKind::kBroadcast:
         case CollectiveKind::kScatter:

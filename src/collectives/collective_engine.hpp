@@ -69,21 +69,32 @@ struct CollectiveResult {
   /// scatter), its full message reached the root (gather), its
   /// contribution is folded into the root's result (reduce), it holds
   /// the final result (allreduce). `reachable` is the route table's
-  /// end-of-run verdict for (root -> host).
+  /// end-of-run verdict for (effective root -> host).
   std::vector<mcast::DestinationStatus> participants;
   /// Reduce-correctness accounting (reduce/allreduce only): every host —
-  /// root included — whose contribution is folded into the root's final
-  /// result. Empty when the root never finished combining (kFailed) or
-  /// for the other kinds.
+  /// root included — whose contribution is folded into the effective
+  /// root's final result, in original tree order. A repair round only
+  /// re-folds the *missing* contributors: subtrees whose every up-phase
+  /// packet already folded at the root are salvaged, not re-run. Empty
+  /// when the root never finished combining (kFailed) or for the other
+  /// kinds.
   std::vector<topo::HostId> contributors;
   /// Tree-repair rounds this operation consumed.
   std::int32_t repairs = 0;
+  /// 1 when the initiator died and a replacement finished the operation
+  /// (mcast::RepairPolicy::root_handoff), else 0. Scatter never hands
+  /// off: the personalized payloads die with the root.
+  std::int32_t root_handoffs = 0;
+  /// The initiator the final repair round ran under: the original root,
+  /// or the elected replacement after a handoff.
+  topo::HostId effective_root = topo::kInvalidId;
   /// Fault events the fabric applied during the run.
   std::int32_t faults_applied = 0;
   /// Route-table generation in force at the end of the run (0 = the
   /// pristine table, bumped per fault-time rebuild).
   std::int32_t route_epoch = 0;
-  /// False when the root's switch died — nothing can be re-initiated.
+  /// False when the *effective* root died — nothing could be
+  /// re-initiated (no handoff candidate held the payload).
   bool root_alive = true;
 
   [[nodiscard]] std::int32_t delivered_count() const;

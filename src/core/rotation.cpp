@@ -272,4 +272,97 @@ RotationPlan plan_rotation(const topo::Topology& topology,
   return plan;
 }
 
+ReplanResult replan_rotation(const topo::Topology& topology,
+                             const routing::RouteTable& primary,
+                             const RotationPlan& plan,
+                             const std::vector<std::int32_t>& dead_channels,
+                             const std::vector<topo::HostId>& dead_hosts) {
+  ReplanResult out;
+  out.plan.requested = plan.requested;
+  out.plan.fanout_bound = plan.fanout_bound;
+  const std::int32_t k = std::max(plan.fanout_bound, 1);
+  const auto host_dead = [&](topo::HostId h) {
+    return std::find(dead_hosts.begin(), dead_hosts.end(), h) !=
+           dead_hosts.end();
+  };
+
+  std::map<topo::HostId, std::int32_t> cum_work;
+  std::vector<std::int32_t> claimed;
+  std::vector<std::size_t> broken;
+  for (std::size_t r = 0; r < plan.members.size(); ++r) {
+    const RotationMember& m = plan.members[r];
+    const bool dead_node = std::any_of(m.tree.nodes.begin(),
+                                       m.tree.nodes.end(), host_dead);
+    if (dead_node ||
+        routing::footprint_intersection(m.footprint, dead_channels) > 0) {
+      broken.push_back(r);
+      continue;
+    }
+    RotationMember kept = m;
+    if (kept.table == nullptr) {
+      // The primary table is rebound after a fault rebuild; recompute the
+      // footprint on the routes the member's packets will actually take,
+      // and re-check it against the dead set (no rebuild => still stale).
+      kept.footprint = routing::edge_channel_footprint(topology, primary,
+                                                       tree_edges(kept.tree));
+      if (routing::footprint_intersection(kept.footprint, dead_channels) >
+          0) {
+        broken.push_back(r);
+        continue;
+      }
+    }
+    for (const auto& [h, w] : member_ni_work(kept.tree)) cum_work[h] += w;
+    claimed = routing::footprint_union(claimed, kept.footprint);
+    out.plan.members.push_back(std::move(kept));
+  }
+
+  for (const std::size_t r : broken) {
+    const RotationMember& m = plan.members[r];
+    if (host_dead(m.tree.root)) {
+      ++out.dropped;
+      continue;
+    }
+    Chain chain;
+    chain.reserve(m.tree.nodes.size());
+    for (topo::HostId h : m.tree.nodes) {
+      if (!host_dead(h)) chain.push_back(h);
+    }
+    if (chain.size() < 2) {
+      ++out.dropped;
+      continue;
+    }
+    RotationMember nb;
+    const auto n = static_cast<std::int32_t>(chain.size());
+    if (r == 0) {
+      nb.tree = HostTree::bind(make_kbinomial(n, k), chain);
+    } else {
+      const Chain dests_rot(chain.begin() + 1, chain.end());
+      nb.tree = make_virtual_root_tree(make_kbinomial(n - 1, k), dests_rot,
+                                       chain.front());
+    }
+    nb.footprint = routing::edge_channel_footprint(topology, primary,
+                                                   tree_edges(nb.tree));
+    if (routing::footprint_intersection(nb.footprint, dead_channels) > 0) {
+      // The primary was not rebuilt around this fault; a rebuilt member
+      // would just feed packets back into dead channels.
+      ++out.dropped;
+      continue;
+    }
+    nb.chain_offset = m.chain_offset;
+    nb.salt = 0;
+    nb.overlap_fraction =
+        nb.footprint.empty()
+            ? 0.0
+            : static_cast<double>(
+                  routing::footprint_intersection(nb.footprint, claimed)) /
+                  static_cast<double>(nb.footprint.size());
+    for (const auto& [h, w] : member_ni_work(nb.tree)) cum_work[h] += w;
+    claimed = routing::footprint_union(claimed, nb.footprint);
+    out.plan.members.push_back(std::move(nb));
+    ++out.rebuilt;
+  }
+  out.plan.ni_work_bound = ni_work_max(cum_work);
+  return out;
+}
+
 }  // namespace nimcast::core

@@ -110,4 +110,32 @@ struct RotationPlan {
                                          const Chain& participants,
                                          const RotationConfig& config);
 
+/// Outcome of replan_rotation: the patched plan plus repair telemetry.
+struct ReplanResult {
+  RotationPlan plan;
+  /// Members re-planned over their surviving chain.
+  std::int32_t rebuilt = 0;
+  /// Members excised entirely (dead root or < 2 surviving nodes, or no
+  /// footprint clear of the dead set).
+  std::int32_t dropped = 0;
+};
+
+/// Incremental post-fault patch of a rotation plan. Members untouched by
+/// the dead set are kept verbatim (primary-table members get their
+/// footprint recomputed on the post-rebuild `primary`, since fault
+/// repair rebinds the primary table); members whose tree contains a host
+/// from `dead_hosts` or whose channel footprint intersects
+/// `dead_channels` (sorted directed switch-channel ids) are re-planned
+/// over their surviving chain on `primary` — salted alternatives are
+/// stale after a fault — preserving the virtual-root shape for members
+/// r >= 1 and re-scoring the result with the same cumulative NI-work
+/// bound as plan_rotation. This is what keeps run_streaming at R-way
+/// rotation throughput through a fault instead of collapsing to one
+/// surviving tree. Fully deterministic; kept members come first in the
+/// patched plan (original order), then rebuilt members (original order).
+[[nodiscard]] ReplanResult replan_rotation(
+    const topo::Topology& topology, const routing::RouteTable& primary,
+    const RotationPlan& plan, const std::vector<std::int32_t>& dead_channels,
+    const std::vector<topo::HostId>& dead_hosts);
+
 }  // namespace nimcast::core

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nimcast::harness {
+
+/// Knobs of one chaos-soak run (ChaosSoak). Every campaign — fabric,
+/// operation, fault schedule, timings — is a pure function of
+/// (config, campaign index), so a soak is reproducible byte-for-byte
+/// from its seed.
+struct ChaosConfig {
+  /// Seeded campaigns to run. Each campaign draws its own fabric
+  /// (irregular / fat tree alternating), one operation from the mix
+  /// (multicast, streaming broadcast, and the collectives) and one
+  /// randomized fault schedule.
+  std::int32_t campaigns = 50;
+  std::uint64_t seed = 2026;
+  /// Hosts per campaign fabric (must be a positive multiple of 4).
+  std::int32_t num_hosts = 32;
+  /// Participants per operation (clamped to num_hosts).
+  std::int32_t participants = 12;
+  /// Packets per logical message (multicast / collectives).
+  std::int32_t message_packets = 4;
+  /// Stream length and rotation width of streaming campaigns.
+  std::int32_t stream_packets = 24;
+  std::int32_t rotation_trees = 3;
+
+  /// Background fault mix (net::FaultPlan::random, host-aware overload).
+  double link_fail_prob = 0.08;
+  double switch_fail_prob = 0.02;
+  double host_fail_prob = 0.04;
+  /// Probability a campaign *additionally* kills the operation's
+  /// initiator mid-run — the root fail-over path.
+  double root_kill_prob = 0.35;
+  /// Probability a campaign's failed links flap back up (kLinkUp
+  /// revival) instead of staying down.
+  double link_flap_prob = 0.5;
+
+  /// Intra-run sharding of the multicast-engine campaigns (collectives
+  /// always run serial). The soak separately cross-checks that a
+  /// sharded rerun is byte-identical (shard_check_every).
+  std::int32_t shards = 1;
+  std::int32_t shard_threads = 0;
+  /// Every how many campaigns the determinism check also reruns the
+  /// campaign on a 2-shard engine and compares digests (0 disables).
+  std::int32_t shard_check_every = 4;
+};
+
+/// Outcome of one campaign. `digest` folds every observable of the run
+/// (outcome, per-host completions in nanosecond ticks, delivery bits,
+/// repair/handoff telemetry), so two digests are equal iff the runs were
+/// byte-identical at the result level.
+struct CampaignResult {
+  std::int32_t index = 0;
+  std::string fabric;     ///< topology name
+  std::string operation;  ///< op kind the campaign ran
+  std::string outcome;    ///< kComplete/kPartial/kFailed as text
+  std::int32_t participants = 0;
+  std::int32_t delivered = 0;
+  std::int32_t unreachable = 0;
+  std::int32_t repairs = 0;
+  std::int32_t replans = 0;
+  std::int32_t root_handoffs = 0;
+  std::int32_t faults_applied = 0;
+  bool root_killed = false;  ///< campaign scheduled an initiator kill
+  std::uint64_t digest = 0;
+  /// Invariant violations this campaign tripped (empty on a clean run):
+  /// an engine throw, a reachable-but-undelivered participant on a
+  /// non-failed operation, a duplicate completion, or an outcome
+  /// inconsistent with the delivery count.
+  std::vector<std::string> violations;
+};
+
+/// Aggregate of one soak.
+struct ChaosReport {
+  std::int32_t campaigns = 0;
+  std::int32_t complete = 0;
+  std::int32_t partial = 0;
+  std::int32_t failed = 0;
+  std::int32_t root_kills = 0;
+  std::int32_t root_handoffs = 0;
+  std::int32_t repairs = 0;
+  std::int32_t replans = 0;
+  /// Total invariant violations (0 on a clean soak), including any
+  /// determinism mismatch between reruns of the same campaign.
+  std::int32_t violations = 0;
+  /// First few violation messages, for diagnostics.
+  std::vector<std::string> violation_messages;
+  /// Fold of every campaign digest — the soak's byte-determinism
+  /// fingerprint (equal across reruns, thread and shard counts).
+  std::uint64_t digest = 0;
+  std::vector<CampaignResult> results;
+};
+
+/// Deterministic chaos-soak driver: seeded randomized campaigns of
+/// (fabric x operation x fault schedule) asserting the robustness
+/// invariants end to end — no engine throw under degrade-and-continue,
+/// reachable participants always delivered unless the payload died with
+/// the root (outcome kFailed), no duplicate completions, outcome
+/// consistent with the delivery count, and byte-determinism of every
+/// campaign across reruns and engine shard counts. Worm-pool hygiene is
+/// enforced by the engines themselves (a leaked or stuck worm fails
+/// their drain check and surfaces here as a violation).
+class ChaosSoak {
+ public:
+  explicit ChaosSoak(ChaosConfig config);
+
+  /// Runs the full soak: every campaign twice (rerun digest check), plus
+  /// a 2-shard rerun every shard_check_every campaigns.
+  [[nodiscard]] ChaosReport run() const;
+
+  /// One campaign, pure in (config, index, shards, shard_threads) —
+  /// exposed so tests can cross-check determinism across shard and
+  /// thread counts directly.
+  [[nodiscard]] static CampaignResult campaign(const ChaosConfig& config,
+                                               std::int32_t index,
+                                               std::int32_t shards,
+                                               std::int32_t shard_threads);
+
+  [[nodiscard]] const ChaosConfig& config() const { return config_; }
+
+ private:
+  ChaosConfig config_;
+};
+
+}  // namespace nimcast::harness

@@ -187,12 +187,22 @@ MultiMulticastResult MulticastEngine::run_many(
   // and rebind. The hook fires on *every* fault event — failures AND
   // kLinkUp recoveries — each with a fresh epoch, so a recovered link
   // rejoins the routes immediately instead of staying excised until the
-  // next failure. Multi-VC tables (dateline tori) keep their original
-  // routes — the rebuilt router is single-VC and would change channel
-  // numbering — so they degrade without rerouting.
+  // next failure. Multi-VC tables (dateline tori) cannot be rebuilt —
+  // rebuild_updown emits a single-VC table, which would change channel
+  // numbering under the fabric's feet — so requesting reroute there is a
+  // loud error instead of a silently stale table.
   std::vector<std::unique_ptr<routing::RouteTable>> repaired_tables;
-  if (faulty && config_.repair.reroute && routes_.virtual_channels() == 1) {
-    network.on_fault = [&](const net::FaultEvent&) {
+  if (faulty && config_.repair.reroute) {
+    if (routes_.virtual_channels() != 1) {
+      throw std::invalid_argument(
+          "MulticastEngine: fault-time reroute cannot rebuild a multi-VC "
+          "route table (dateline torus); set RepairPolicy::reroute = false "
+          "to run degraded on the original routes");
+    }
+    network.on_fault = [&](const net::FaultEvent& ev) {
+      // A host death leaves the switch graph (and thus every route)
+      // unchanged — no rebuild needed.
+      if (ev.kind == net::FaultKind::kHostDown) return;
       auto table = routing::rebuild_updown(
           topology_, network.fault_state(),
           static_cast<std::int32_t>(repaired_tables.size()) + 1);
@@ -329,10 +339,21 @@ MultiMulticastResult MulticastEngine::run_many(
         "MulticastEngine: network deadlock (worms still in flight)");
   }
 
+  // The initiator each operation's repair rounds (and final reachability
+  // verdicts) run from: the original root until it dies, then the elected
+  // replacement. All fault events fire during the first drain (plans are
+  // scheduled up front), so an election happens at most once per op.
+  std::vector<topo::HostId> eff_root(specs.size());
+  for (std::size_t op = 0; op < specs.size(); ++op) {
+    eff_root[op] = specs[op].tree.root;
+  }
+
   // Tree repair: re-parent destinations orphaned by faults. Each round
   // rebuilds a k-binomial tree over the still-missing, still-reachable
   // destinations in their contention-free (nodes) order — failed hosts
-  // are simply excised — and resends under a fresh message id.
+  // are simply excised — and resends under a fresh message id. When the
+  // root itself died, elect the lowest-ranked surviving destination that
+  // already holds the full payload and hand the schedule to it.
   if (faulty && config_.repair.max_attempts > 0) {
     auto next_message = static_cast<std::int32_t>(specs.size()) + 1;
     for (std::int32_t round = 1; round <= config_.repair.max_attempts;
@@ -340,8 +361,35 @@ MultiMulticastResult MulticastEngine::run_many(
       bool scheduled_any = false;
       for (std::size_t op = 0; op < specs.size(); ++op) {
         const auto& spec = specs[op];
-        const topo::HostId root = spec.tree.root;
-        if (!network.host_alive(root)) continue;
+        topo::HostId root = eff_root[op];
+        if (!network.host_alive(root)) {
+          if (!config_.repair.root_handoff) continue;
+          // Nothing to hand off when every destination already holds the
+          // message: the root died after finishing its work.
+          bool missing = false;
+          for (topo::HostId h : spec.tree.nodes) {
+            if (h != spec.tree.root &&
+                arrived[op][static_cast<std::size_t>(h)] == 0) {
+              missing = true;
+              break;
+            }
+          }
+          if (!missing) continue;
+          topo::HostId elected = topo::kInvalidId;
+          for (topo::HostId h : spec.tree.nodes) {
+            if (h == spec.tree.root) continue;
+            if (arrived[op][static_cast<std::size_t>(h)] != 0 &&
+                network.host_alive(h)) {
+              elected = h;
+              break;
+            }
+          }
+          // Nobody holds the payload: it died with the root.
+          if (elected == topo::kInvalidId) continue;
+          root = elected;
+          eff_root[op] = elected;
+          ++batch.operations[op].root_handoffs;
+        }
         const auto rtree = plan_repair_tree(
             root, spec.tree.nodes,
             [&](topo::HostId h) {
@@ -414,13 +462,14 @@ MultiMulticastResult MulticastEngine::run_many(
           "MulticastEngine: not every destination completed (op " +
           std::to_string(op) + ")");
     }
+    result.effective_root = eff_root[op];
     std::unordered_map<topo::HostId, sim::Time> done;
     for (const auto& [h, t] : result.completions) done.emplace(h, t);
     for (topo::HostId h : spec.tree.nodes) {
       if (h == spec.tree.root) continue;
       DestinationStatus st;
       st.host = h;
-      st.reachable = network.reachable(spec.tree.root, h);
+      st.reachable = network.reachable(eff_root[op], h);
       if (auto it = done.find(h); it != done.end()) {
         st.delivered = true;
         st.completed_at = it->second;
@@ -548,12 +597,19 @@ StreamingResult MulticastEngine::run_streaming(
     if (member.table) network.bind_route_class(r, *member.table);
   }
 
-  // Fault-time primary-route repair, as in run_many. Class tables go
-  // stale on purpose: their worms die at dead channels and the
-  // surviving-member fallback below redelivers.
+  // Fault-time primary-route repair, as in run_many (including the loud
+  // multi-VC refusal). Class tables go stale on purpose: their worms die
+  // at dead channels and the incremental replan below redelivers.
   std::vector<std::unique_ptr<routing::RouteTable>> repaired_tables;
-  if (faulty && config_.repair.reroute && routes_.virtual_channels() == 1) {
-    network.on_fault = [&](const net::FaultEvent&) {
+  if (faulty && config_.repair.reroute) {
+    if (routes_.virtual_channels() != 1) {
+      throw std::invalid_argument(
+          "MulticastEngine: fault-time reroute cannot rebuild a multi-VC "
+          "route table (dateline torus); set RepairPolicy::reroute = false "
+          "to run degraded on the original routes");
+    }
+    network.on_fault = [&](const net::FaultEvent& ev) {
+      if (ev.kind == net::FaultKind::kHostDown) return;
       auto table = routing::rebuild_updown(
           topology_, network.fault_state(),
           static_cast<std::int32_t>(repaired_tables.size()) + 1);
@@ -588,11 +644,18 @@ StreamingResult MulticastEngine::run_streaming(
     }
   }
 
-  // Stream index of message m's packet j: j * mul + add. Streaming
-  // classes interleave (mul R, add r); repair messages resend
-  // whole-stream indices directly (mul 1, add 0).
-  std::vector<std::pair<std::int32_t, std::int32_t>> msg_stream;
-  for (std::int32_t r = 0; r < R; ++r) msg_stream.emplace_back(R, r);
+  // Stream index of message m's packet j. Streaming classes interleave
+  // affinely (mul R, add r); repair and handoff messages carry an
+  // explicit index list — an arbitrary subset of the stream.
+  struct MsgMap {
+    std::int32_t mul = 1;
+    std::int32_t add = 0;
+    std::vector<std::int32_t> indices;  ///< non-empty: j -> indices[j]
+  };
+  std::vector<MsgMap> msg_stream;
+  for (std::int32_t r = 0; r < R; ++r) {
+    msg_stream.push_back(MsgMap{R, r, {}});
+  }
 
   // Per-destination reassembly state. Flat per-host arrays: each slot is
   // touched only by its owner shard's thread.
@@ -621,9 +684,11 @@ StreamingResult MulticastEngine::run_streaming(
   for (auto& [h, ni] : nis) {
     ni->on_packet_at_ni = [&](topo::HostId dest, const net::Packet& p) {
       if (dest == root) return;
-      const auto& [mul, add] =
-          msg_stream[static_cast<std::size_t>(p.message - 1)];
-      const std::int32_t g = p.packet_index * mul + add;
+      const MsgMap& mm = msg_stream[static_cast<std::size_t>(p.message - 1)];
+      const std::int32_t g =
+          mm.indices.empty()
+              ? p.packet_index * mm.mul + mm.add
+              : mm.indices[static_cast<std::size_t>(p.packet_index)];
       auto& bit =
           seen[static_cast<std::size_t>(dest)][static_cast<std::size_t>(g)];
       if (bit != 0) return;  // repair resend of a packet already seen
@@ -661,58 +726,168 @@ StreamingResult MulticastEngine::run_streaming(
   result.overlap_mean = plan.overlap_mean();
   result.overlap_max = plan.overlap_max();
 
-  // Repair: resend the whole stream to destinations still missing any
-  // packet. Round 1 prefers a surviving rotation member — tree and
-  // routes still valid verbatim, no re-planning latency; later rounds
-  // (or no survivor) re-plan over member 0's order on the rebuilt
-  // primary routes.
+  // Repair. All fault events fire during the first drain (plans are
+  // scheduled up front), so the dead set below is final.
+  //
+  // Root alive: patch the rotation set incrementally (replan_rotation —
+  // members untouched by the dead set survive verbatim, broken members
+  // are re-planned over their surviving chain) and resend only the
+  // *missing* stream indices, round-robin across the patched members, so
+  // the repair phase keeps R-way rotation throughput instead of
+  // collapsing to one whole-stream resend down a single surviving tree.
+  //
+  // Root dead: per-packet initiator handoff — for every missing index
+  // the lowest-ranked surviving destination that holds it becomes that
+  // packet's initiator; indices group by initiator into handoff
+  // messages. Indices no survivor holds died with the root (honest
+  // partial). Repair and handoff messages ride route class 0: the
+  // primary table is the one rebuilt around the faults, and a repair
+  // tree's edges are not the edges a member's salted footprint cleared.
+  topo::HostId eff_root = root;
   if (faulty && config_.repair.max_attempts > 0) {
     std::int32_t next_message = R + 1;
+    const auto dead = dead_switch_channels(
+        topology_, network.fault_state(), routes_.virtual_channels());
+    std::vector<topo::HostId> dead_hosts;
+    for (topo::HostId h : base.nodes) {
+      if (!network.host_alive(h)) dead_hosts.push_back(h);
+    }
+    core::RotationPlan live;
+    if (network.host_alive(root)) {
+      auto patched = core::replan_rotation(topology_, network.routes(), plan,
+                                           dead, dead_hosts);
+      live = std::move(patched.plan);
+      result.replans = patched.rebuilt;
+    }
+    const std::int32_t fanout = std::max(plan.fanout_bound, 1);
+    const auto needs = [&](topo::HostId h) {
+      return h != root && seen_count[static_cast<std::size_t>(h)] < S;
+    };
     for (std::int32_t round = 1; round <= config_.repair.max_attempts;
          ++round) {
-      if (!network.host_alive(root)) break;
-      std::int32_t pick = -1;
-      if (round == 1) {
-        const auto dead = dead_switch_channels(
-            topology_, network.fault_state(), routes_.virtual_channels());
-        for (std::int32_t r = 0; r < R; ++r) {
-          if (routing::footprint_intersection(
-                  plan.members[static_cast<std::size_t>(r)].footprint, dead) ==
-              0) {
-            pick = r;
-            break;
+      const sim::Time wait =
+          config_.repair.backoff * (sim::Time::rep{1} << (round - 1));
+      const sim::Time start_at = end_time() + wait;
+      bool scheduled = false;
+      const auto launch = [&](topo::HostId initiator,
+                              const std::vector<topo::HostId>& order,
+                              std::vector<std::int32_t> share) {
+        const auto rtree = plan_repair_tree(
+            initiator, order, needs,
+            [&](topo::HostId h) { return network.reachable(initiator, h); },
+            fanout);
+        if (!rtree) return false;
+        const auto message = static_cast<net::MessageId>(next_message++);
+        const auto count = static_cast<std::int32_t>(share.size());
+        for (topo::HostId h : rtree->nodes) {
+          netif::ForwardingEntry entry;
+          entry.children = rtree->children.at(h);
+          entry.packet_count = count;
+          entry.is_destination = (h != initiator);
+          entry.route_class = 0;
+          nis.at(h)->install(message, entry);
+        }
+        result.packets_resent += count;
+        msg_stream.push_back(MsgMap{1, 0, std::move(share)});
+        sim_for_host(initiator)
+            .schedule_at(start_at, [&nis, &hosts, initiator, message] {
+              nis.at(initiator)->start_from_host(message,
+                                                 *hosts.at(initiator));
+            });
+        return true;
+      };
+      if (network.host_alive(root)) {
+        // Union of missing indices over still-needy reachable dests.
+        std::vector<std::uint8_t> miss(static_cast<std::size_t>(S), 0);
+        for (topo::HostId h : base.nodes) {
+          if (!needs(h) || !network.reachable(root, h)) continue;
+          const auto& bits = seen[static_cast<std::size_t>(h)];
+          for (std::int32_t g = 0; g < S; ++g) {
+            if (bits[static_cast<std::size_t>(g)] == 0) {
+              miss[static_cast<std::size_t>(g)] = 1;
+            }
+          }
+        }
+        std::vector<std::int32_t> missing;
+        for (std::int32_t g = 0; g < S; ++g) {
+          if (miss[static_cast<std::size_t>(g)] != 0) missing.push_back(g);
+        }
+        if (missing.empty()) break;
+        const std::int32_t M = std::max(live.size(), 1);
+        for (std::int32_t i = 0; i < M; ++i) {
+          std::vector<std::int32_t> share;
+          for (std::size_t j = static_cast<std::size_t>(i);
+               j < missing.size(); j += static_cast<std::size_t>(M)) {
+            share.push_back(missing[j]);
+          }
+          if (share.empty()) continue;
+          const std::vector<topo::HostId>& order =
+              live.members.empty()
+                  ? base.nodes
+                  : live.members[static_cast<std::size_t>(i)].tree.nodes;
+          if (launch(root, order, std::move(share))) {
+            ++result.repairs;
+            scheduled = true;
+          }
+        }
+      } else if (config_.repair.root_handoff) {
+        // The reachability reference after the root died: the
+        // lowest-ranked surviving destination holding any packet.
+        if (eff_root == root) {
+          for (topo::HostId h : base.nodes) {
+            if (h != root && network.host_alive(h) &&
+                seen_count[static_cast<std::size_t>(h)] > 0) {
+              eff_root = h;
+              break;
+            }
+          }
+          if (eff_root == root) break;  // the stream died with the root
+        }
+        // Per-packet election over surviving holders, grouped by
+        // initiator. base.nodes order makes the election deterministic.
+        std::vector<std::pair<topo::HostId, std::vector<std::int32_t>>>
+            groups;
+        std::vector<std::uint8_t> miss(static_cast<std::size_t>(S), 0);
+        for (topo::HostId h : base.nodes) {
+          if (!needs(h) || !network.host_alive(h)) continue;
+          const auto& bits = seen[static_cast<std::size_t>(h)];
+          for (std::int32_t g = 0; g < S; ++g) {
+            if (bits[static_cast<std::size_t>(g)] == 0) {
+              miss[static_cast<std::size_t>(g)] = 1;
+            }
+          }
+        }
+        for (std::int32_t g = 0; g < S; ++g) {
+          if (miss[static_cast<std::size_t>(g)] == 0) continue;
+          topo::HostId init = topo::kInvalidId;
+          for (topo::HostId h : base.nodes) {
+            if (h == root || !network.host_alive(h)) continue;
+            if (seen[static_cast<std::size_t>(h)]
+                    [static_cast<std::size_t>(g)] != 0) {
+              init = h;
+              break;
+            }
+          }
+          if (init == topo::kInvalidId) continue;  // died with the root
+          auto it = std::find_if(groups.begin(), groups.end(),
+                                 [init](const auto& grp) {
+                                   return grp.first == init;
+                                 });
+          if (it == groups.end()) {
+            groups.emplace_back(init, std::vector<std::int32_t>{});
+            it = groups.end() - 1;
+          }
+          it->second.push_back(g);
+        }
+        if (groups.empty()) break;
+        for (auto& [init, share] : groups) {
+          if (launch(init, base.nodes, std::move(share))) {
+            ++result.root_handoffs;
+            scheduled = true;
           }
         }
       }
-      const std::int32_t cls = pick >= 0 ? pick : 0;
-      const auto& order =
-          plan.members[static_cast<std::size_t>(pick >= 0 ? pick : 0)].tree;
-      const auto rtree = plan_repair_tree(
-          root, order.nodes,
-          [&](topo::HostId h) {
-            return seen_count[static_cast<std::size_t>(h)] < S;
-          },
-          [&](topo::HostId h) { return network.reachable(root, h); },
-          std::max(plan.fanout_bound, 1));
-      if (!rtree) break;
-      const auto message = static_cast<net::MessageId>(next_message++);
-      msg_stream.emplace_back(1, 0);
-      for (topo::HostId h : rtree->nodes) {
-        netif::ForwardingEntry entry;
-        entry.children = rtree->children.at(h);
-        entry.packet_count = S;
-        entry.is_destination = (h != root);
-        entry.route_class = cls;
-        nis.at(h)->install(message, entry);
-      }
-      ++result.repairs;
-      const sim::Time wait =
-          config_.repair.backoff * (sim::Time::rep{1} << (round - 1));
-      sim_for_host(root).schedule_at(end_time() + wait,
-                                     [&nis, &hosts, root, message] {
-                                       nis.at(root)->start_from_host(
-                                           message, *hosts.at(root));
-                                     });
+      if (!scheduled) break;
       run_sim();
       if (network.in_flight() != 0) {
         throw std::runtime_error(
@@ -720,6 +895,7 @@ StreamingResult MulticastEngine::run_streaming(
       }
     }
   }
+  result.effective_root = eff_root;
 
   // Merge per-shard logs; (time, host, index) keys are unique, so the
   // sort gives one total order regardless of shard or thread count.
@@ -794,7 +970,7 @@ StreamingResult MulticastEngine::run_streaming(
     if (h == root) continue;
     DestinationStatus st;
     st.host = h;
-    st.reachable = network.reachable(root, h);
+    st.reachable = network.reachable(eff_root, h);
     if (auto it = done.find(h); it != done.end()) {
       st.delivered = true;
       st.completed_at = it->second;

@@ -64,10 +64,16 @@ struct RepairPolicy {
   std::int32_t max_attempts = 2;
   /// Delay before repair round r starts: backoff * 2^(r-1).
   sim::Time backoff = sim::Time::us(30.0);
-  /// Rebuild up*/down* routes on the surviving subgraph after each fault
-  /// (single-VC route tables only; multi-VC tori keep their old routes
-  /// and simply lose the dead pairs).
+  /// Rebuild up*/down* routes on the surviving subgraph after each fault.
+  /// Only single-VC route tables can be rebuilt; requesting reroute on a
+  /// multi-VC table (dateline torus) with a non-empty fault plan throws
+  /// std::invalid_argument — set this false to run such rigs degraded.
   bool reroute = true;
+  /// When the initiator dies mid-operation, elect a deterministic
+  /// replacement (the lowest-ranked reachable destination already
+  /// holding the payload — per packet for streaming) and hand the
+  /// remaining send schedule to it, instead of reporting kFailed.
+  bool root_handoff = true;
 };
 
 /// Outcome of one multicast operation.
@@ -90,6 +96,12 @@ struct MulticastResult {
   std::vector<DestinationStatus> destinations;
   /// Tree-repair rounds this operation consumed.
   std::int32_t repairs = 0;
+  /// 1 when the root died and a replacement initiator finished the
+  /// operation (RepairPolicy::root_handoff), else 0.
+  std::int32_t root_handoffs = 0;
+  /// The initiator that drove the final repair round: the original root,
+  /// or the elected replacement after a handoff.
+  topo::HostId effective_root = topo::kInvalidId;
   /// Batch-wide retransmission count (reliable style only); populated by
   /// run(), zero from run_many() (use MultiMulticastResult there).
   std::int64_t retransmissions = 0;
@@ -168,7 +180,19 @@ struct StreamingResult {
   /// One entry per destination, in member-0 tree order; `delivered`
   /// means the destination received the *entire* stream.
   std::vector<DestinationStatus> destinations;
+  /// Repair messages launched by the (live) root.
   std::int32_t repairs = 0;
+  /// Rotation members incrementally re-planned after a fault
+  /// (core::replan_rotation) — 0 means every member survived verbatim.
+  std::int32_t replans = 0;
+  /// Handoff messages launched by elected replacement initiators after
+  /// the root died (one per per-packet initiator group per round).
+  std::int32_t root_handoffs = 0;
+  /// Stream indices re-injected by repair and handoff messages.
+  std::int64_t packets_resent = 0;
+  /// The reachability reference: the root, or (after the root died) the
+  /// lowest-ranked surviving destination holding any packet.
+  topo::HostId effective_root = topo::kInvalidId;
   /// Distinct (destination, packet) deliveries — counts partial streams.
   std::int64_t packets_delivered = 0;
   sim::Time total_channel_block_time;

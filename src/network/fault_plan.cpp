@@ -12,6 +12,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::kLinkDown: return "link-down";
     case FaultKind::kLinkUp: return "link-up";
     case FaultKind::kSwitchDown: return "switch-down";
+    case FaultKind::kHostDown: return "host-down";
   }
   return "?";
 }
@@ -46,8 +47,18 @@ FaultPlan& FaultPlan::switch_down(sim::Time at, topo::SwitchId sw) {
   return *this;
 }
 
+FaultPlan& FaultPlan::host_down(sim::Time at, topo::HostId host) {
+  add(FaultEvent{at, FaultKind::kHostDown, host});
+  return *this;
+}
+
 FaultPlan FaultPlan::random(const topo::Graph& g, const RandomConfig& cfg,
                             sim::Rng& rng) {
+  return random(g, 0, cfg, rng);
+}
+
+FaultPlan FaultPlan::random(const topo::Graph& g, std::int32_t num_hosts,
+                            const RandomConfig& cfg, sim::Rng& rng) {
   if (cfg.window_end < cfg.window_start) {
     throw std::invalid_argument("FaultPlan::random: inverted window");
   }
@@ -70,6 +81,14 @@ FaultPlan FaultPlan::random(const topo::Graph& g, const RandomConfig& cfg,
   for (topo::SwitchId s = 0; s < g.num_vertices(); ++s) {
     if (!rng.next_bool(cfg.switch_fail_prob)) continue;
     plan.switch_down(draw_time(), s);
+  }
+  // Host draws come last so plans drawn through the Graph overload (or
+  // with host_fail_prob == 0) consume exactly the pre-host rng sequence.
+  if (cfg.host_fail_prob > 0.0) {
+    for (topo::HostId h = 0; h < num_hosts; ++h) {
+      if (!rng.next_bool(cfg.host_fail_prob)) continue;
+      plan.host_down(draw_time(), h);
+    }
   }
   return plan;
 }

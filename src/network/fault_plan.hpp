@@ -17,12 +17,13 @@ enum class FaultKind : std::uint8_t {
   kLinkDown,    ///< one switch-switch link fails (both directions)
   kLinkUp,      ///< a previously failed link recovers
   kSwitchDown,  ///< a switch dies: all its links and attached hosts with it
+  kHostDown,    ///< one host/NI dies; its switch and the fabric stay up
 };
 
 [[nodiscard]] const char* to_string(FaultKind k);
 
-/// One scheduled fabric fault. `id` is a LinkId for link events and a
-/// SwitchId for kSwitchDown.
+/// One scheduled fabric fault. `id` is a LinkId for link events, a
+/// SwitchId for kSwitchDown and a HostId for kHostDown.
 struct FaultEvent {
   sim::Time at;
   FaultKind kind = FaultKind::kLinkDown;
@@ -43,6 +44,7 @@ class FaultPlan {
   FaultPlan& link_down(sim::Time at, topo::LinkId link);
   FaultPlan& link_up(sim::Time at, topo::LinkId link);
   FaultPlan& switch_down(sim::Time at, topo::SwitchId sw);
+  FaultPlan& host_down(sim::Time at, topo::HostId host);
 
   [[nodiscard]] bool empty() const { return events_.empty(); }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
@@ -53,9 +55,11 @@ class FaultPlan {
   }
 
   struct RandomConfig {
-    /// Independent failure probability per link / per switch.
+    /// Independent failure probability per link / per switch / per host.
+    /// Host draws only happen through the host-aware random() overload.
     double link_fail_prob = 0.0;
     double switch_fail_prob = 0.0;
+    double host_fail_prob = 0.0;
     /// Failure instants are uniform in [window_start, window_end).
     sim::Time window_start = sim::Time::zero();
     sim::Time window_end = sim::Time::us(100.0);
@@ -69,6 +73,15 @@ class FaultPlan {
   /// ascending id order, so the schedule is a pure function of the rng
   /// state.
   [[nodiscard]] static FaultPlan random(const topo::Graph& g,
+                                        const RandomConfig& cfg,
+                                        sim::Rng& rng);
+
+  /// Host-aware overload: identical draw sequence to the Graph overload
+  /// (links, then switches — so existing seeded schedules are preserved),
+  /// followed by one Bernoulli per host in ascending id order when
+  /// `cfg.host_fail_prob > 0`.
+  [[nodiscard]] static FaultPlan random(const topo::Graph& g,
+                                        std::int32_t num_hosts,
                                         const RandomConfig& cfg,
                                         sim::Rng& rng);
 

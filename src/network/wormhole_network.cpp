@@ -112,6 +112,8 @@ void WormholeNetwork::init_channels_and_faults() {
   for (const FaultEvent& ev : config_.faults.events()) {
     const auto bound = ev.kind == FaultKind::kSwitchDown
                            ? topology_.num_switches()
+                       : ev.kind == FaultKind::kHostDown
+                           ? topology_.num_hosts()
                            : topology_.switches().num_edges();
     if (ev.id < 0 || ev.id >= bound) {
       throw std::invalid_argument("WormholeNetwork: fault id out of range");
@@ -172,6 +174,9 @@ const routing::RouteTable& WormholeNetwork::class_table(
 }
 
 bool WormholeNetwork::host_alive(topo::HostId h) const {
+  if (!dead_host_.empty() && dead_host_[static_cast<std::size_t>(h)]) {
+    return false;
+  }
   return mask_.switch_alive(topology_.switch_of(h));
 }
 
@@ -606,6 +611,13 @@ void WormholeNetwork::apply_fault(const FaultEvent& ev) {
     case FaultKind::kLinkDown: mask_.dead_link[id] = true; break;
     case FaultKind::kLinkUp: mask_.dead_link[id] = false; break;
     case FaultKind::kSwitchDown: mask_.dead_switch[id] = true; break;
+    case FaultKind::kHostDown:
+      if (dead_host_.empty()) {
+        dead_host_.assign(static_cast<std::size_t>(topology_.num_hosts()),
+                          false);
+      }
+      dead_host_[id] = true;
+      break;
   }
   refresh_dead_channels();
   if (trace_) {
@@ -674,7 +686,9 @@ void WormholeNetwork::refresh_dead_channels() {
     }
   }
   for (topo::HostId h = 0; h < topology_.num_hosts(); ++h) {
-    if (mask_.switch_alive(topology_.switch_of(h))) continue;
+    const bool host_dead =
+        !dead_host_.empty() && dead_host_[static_cast<std::size_t>(h)];
+    if (!host_dead && mask_.switch_alive(topology_.switch_of(h))) continue;
     channel_dead_[static_cast<std::size_t>(injection_channel(h))] = true;
     channel_dead_[static_cast<std::size_t>(ejection_channel(h))] = true;
   }

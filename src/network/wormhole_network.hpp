@@ -146,7 +146,8 @@ class WormholeNetwork {
   /// Current fault state; empty vectors mean the pristine fabric.
   [[nodiscard]] const topo::SubgraphMask& fault_state() const { return mask_; }
 
-  /// False when the host's switch has died.
+  /// False when the host's switch has died or the host itself was killed
+  /// by a kHostDown fault.
   [[nodiscard]] bool host_alive(topo::HostId h) const;
 
   /// Both endpoints alive and connected under the bound route table.
@@ -343,6 +344,10 @@ class WormholeNetwork {
   std::int32_t faults_applied_ = 0;
   sim::Rng loss_rng_;
   topo::SubgraphMask mask_;
+  /// Hosts killed by kHostDown. Kept out of SubgraphMask on purpose:
+  /// host death does not change the switch graph, so route tables need
+  /// no rebuild. Sized lazily like the mask (empty == all alive).
+  std::vector<bool> dead_host_;
   /// Parallel to channel_busy_; sized lazily at the first fault so the
   /// zero-fault path touches nothing.
   std::vector<bool> channel_dead_;

@@ -1,0 +1,109 @@
+// Multi-VC fault footgun: fault-time route rebuilds only know how to
+// produce single-VC up*/down* tables, so requesting reroute-on-fault on
+// a dateline torus (2 VCs) used to silently install a stale table. Both
+// engines must now refuse loudly — and still run degraded (original
+// routes, repair only) when the caller opts out of the rebuild.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "collectives/collective_engine.hpp"
+#include "core/host_tree.hpp"
+#include "core/kbinomial.hpp"
+#include "core/ordering.hpp"
+#include "mcast/multicast_engine.hpp"
+#include "network/fault_plan.hpp"
+#include "routing/dimension_ordered.hpp"
+#include "topology/kary_ncube.hpp"
+
+namespace nimcast {
+namespace {
+
+struct TorusRig {
+  topo::KAryNCubeConfig cfg{4, 2, true};  // 4-ary 2-cube with wraparound
+  topo::Topology topology;
+  routing::DimensionOrderedRouter router;
+  routing::RouteTable routes;
+  core::Chain chain;
+
+  TorusRig()
+      : topology{topo::make_kary_ncube(cfg)},
+        router{topology.switches(), cfg},
+        routes{topology, router},
+        chain{core::dimension_chain(topology)} {}
+
+  [[nodiscard]] core::HostTree tree(std::int32_t n) const {
+    const core::Chain members{chain.begin(), chain.begin() + n};
+    return core::HostTree::bind(core::make_kbinomial(n, 2), members);
+  }
+};
+
+net::FaultPlan one_link_down() {
+  net::FaultPlan plan;
+  plan.link_down(sim::Time::us(1.0), 0);
+  return plan;
+}
+
+TEST(MultiVcRepair, MulticastRerouteOnTorusThrowsLoudly) {
+  const TorusRig rig;
+  ASSERT_GT(rig.routes.virtual_channels(), 1);
+  mcast::MulticastEngine::Config cfg;
+  cfg.network.faults = one_link_down();
+  ASSERT_TRUE(cfg.repair.reroute);  // the default must be the loud path
+  const mcast::MulticastEngine engine{rig.topology, rig.routes, cfg};
+  EXPECT_THROW(static_cast<void>(engine.run(rig.tree(8), 2)),
+               std::invalid_argument);
+}
+
+TEST(MultiVcRepair, MulticastRunsDegradedWhenRerouteIsOff) {
+  const TorusRig rig;
+  mcast::MulticastEngine::Config cfg;
+  cfg.network.faults = one_link_down();
+  cfg.repair.reroute = false;
+  const mcast::MulticastEngine engine{rig.topology, rig.routes, cfg};
+  mcast::MulticastResult r;
+  ASSERT_NO_THROW(r = engine.run(rig.tree(8), 2));
+  // Dimension-ordered routing has a single path per pair and the stale
+  // table is optimistic by design, so destinations behind the dead link
+  // stay undelivered — degraded means a queryable outcome, not a repair
+  // miracle.
+  EXPECT_NE(r.outcome, mcast::Outcome::kComplete);
+}
+
+TEST(MultiVcRepair, CollectiveRerouteOnTorusThrowsLoudly) {
+  const TorusRig rig;
+  collectives::CollectiveEngine::Config cfg;
+  cfg.network.faults = one_link_down();
+  ASSERT_TRUE(cfg.repair.reroute);
+  const collectives::CollectiveEngine engine{rig.topology, rig.routes, cfg};
+  EXPECT_THROW(static_cast<void>(engine.run(
+                   collectives::CollectiveKind::kBroadcast, rig.tree(8), 2)),
+               std::invalid_argument);
+}
+
+TEST(MultiVcRepair, CollectiveRunsDegradedWhenRerouteIsOff) {
+  const TorusRig rig;
+  collectives::CollectiveEngine::Config cfg;
+  cfg.network.faults = one_link_down();
+  cfg.repair.reroute = false;
+  const collectives::CollectiveEngine engine{rig.topology, rig.routes, cfg};
+  collectives::CollectiveResult r;
+  ASSERT_NO_THROW(r = engine.run(collectives::CollectiveKind::kBroadcast,
+                                 rig.tree(8), 2));
+  EXPECT_NE(r.outcome, mcast::Outcome::kComplete);
+}
+
+// A multi-VC rig with an *empty* fault plan keeps working untouched:
+// the loud check only fires when there are faults to reroute around.
+TEST(MultiVcRepair, FaultFreeTorusIsUnaffected) {
+  const TorusRig rig;
+  mcast::MulticastEngine::Config cfg;  // reroute defaults on, no faults
+  const mcast::MulticastEngine engine{rig.topology, rig.routes, cfg};
+  mcast::MulticastResult r;
+  ASSERT_NO_THROW(r = engine.run(rig.tree(8), 2));
+  EXPECT_EQ(r.outcome, mcast::Outcome::kComplete);
+}
+
+}  // namespace
+}  // namespace nimcast

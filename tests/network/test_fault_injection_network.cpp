@@ -314,6 +314,96 @@ TEST(FaultInjection, OnFaultFiresWithTheAppliedEvent) {
   EXPECT_EQ(seen[1].id, 2);
 }
 
+TEST(FaultInjection, HostDownDropsTrafficBothWaysButSparesTheSwitch) {
+  FaultPlan plan;
+  plan.host_down(sim::Time::us(1.0), 2);
+  Rig rig{with_faults(plan)};
+  int delivered = 0;
+  CallbackSink sink{[&](const Packet&) { ++delivered; }};
+  bind_all_hosts(rig.net, 4, &sink);
+  rig.simctx.run();  // apply the fault
+  EXPECT_EQ(rig.net.faults_applied(), 1);
+  EXPECT_FALSE(rig.net.host_alive(2));
+  EXPECT_TRUE(rig.net.host_alive(0));
+  // The switch graph is untouched: no dead switches or links.
+  EXPECT_FALSE(rig.net.fault_state().any_dead());
+  EXPECT_FALSE(rig.net.reachable(0, 2));
+  EXPECT_FALSE(rig.net.reachable(2, 0));
+  EXPECT_TRUE(rig.net.reachable(0, 1));
+
+  // Sends touching the dead host drop at injection (no worm, no kill);
+  // unrelated traffic is untouched.
+  rig.net.send(rig.packet(0, 2));
+  rig.net.send(rig.packet(2, 0, 1));
+  rig.net.send(rig.packet(0, 1, 2));
+  rig.simctx.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(rig.net.packets_dropped(), 2);
+  EXPECT_EQ(rig.net.packets_killed(), 0);
+  EXPECT_EQ(rig.net.in_flight(), 0);
+}
+
+TEST(FaultInjection, HostDownMidFlightTruncatesWormsOnItsChannels) {
+  // The 0 -> 2 worm still spans the path when host 2 dies at 0.25us: its
+  // ejection channel is condemned and the worm must truncate, freeing
+  // every switch channel it held.
+  FaultPlan plan;
+  plan.host_down(sim::Time::us(0.25), 2);
+  Rig rig{with_faults(plan)};
+  bool delivered = false;
+  CallbackSink sink{[&](const Packet&) { delivered = true; }};
+  bind_all_hosts(rig.net, 4, &sink);
+  rig.net.send(rig.packet(0, 2));
+  rig.simctx.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(rig.net.in_flight(), 0);
+  EXPECT_EQ(rig.net.packets_killed(), 1);
+
+  // The freed channels carry surviving traffic at uncontended latency.
+  const sim::Time resend = rig.simctx.now();
+  sim::Time at;
+  CallbackSink resend_sink{[&](const Packet&) { at = rig.simctx.now(); }};
+  bind_all_hosts(rig.net, 4, &resend_sink);
+  rig.net.send(rig.packet(0, 1, 1));
+  rig.simctx.run();
+  EXPECT_EQ(at - resend, rig.net.uncontended_latency(1));
+}
+
+TEST(FaultInjection, HostDownRejectsOutOfRangeId) {
+  FaultPlan plan;
+  plan.host_down(sim::Time::us(1.0), 4);  // hosts 0..3 exist
+  EXPECT_THROW(Rig{with_faults(plan)}, std::invalid_argument);
+}
+
+TEST(FaultPlan, HostAwareRandomPreservesTheLinkSwitchDrawStream) {
+  const topo::Graph g{4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}};
+  FaultPlan::RandomConfig cfg;
+  cfg.link_fail_prob = 0.5;
+  cfg.switch_fail_prob = 0.25;
+  // host_fail_prob == 0: the host-aware overload must be byte-identical
+  // to the graph-only one (no extra draws consumed).
+  sim::Rng a{42}, b{42};
+  const FaultPlan base = FaultPlan::random(g, cfg, a);
+  const FaultPlan aware = FaultPlan::random(g, 16, cfg, b);
+  ASSERT_EQ(base.size(), aware.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base.events()[i].at, aware.events()[i].at);
+    EXPECT_EQ(base.events()[i].kind, aware.events()[i].kind);
+    EXPECT_EQ(base.events()[i].id, aware.events()[i].id);
+  }
+  // With host_fail_prob > 0 the link/switch schedule is unchanged and
+  // host deaths are appended from draws consumed after it.
+  cfg.host_fail_prob = 1.0;
+  sim::Rng c{42};
+  const FaultPlan hosts = FaultPlan::random(g, 3, cfg, c);
+  ASSERT_EQ(hosts.size(), base.size() + 3);
+  std::size_t host_events = 0;
+  for (const auto& ev : hosts.events()) {
+    if (ev.kind == FaultKind::kHostDown) ++host_events;
+  }
+  EXPECT_EQ(host_events, 3u);
+}
+
 TEST(FaultInjection, ZeroFaultPlanLeavesTimingBitIdentical) {
   Rig pristine;  // no fault layer state at all
   FaultPlan empty;
