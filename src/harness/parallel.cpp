@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -50,15 +51,43 @@ int configured_shards() {
   return 0;  // auto
 }
 
+std::int64_t configured_window_ns() {
+  if (const char* env = std::getenv("NIMCAST_WINDOW")) {
+    if (const auto n = parse_env_int(env); n && *n >= 1) {
+      return std::min<std::int64_t>(*n, kMaxWindowNs);
+    }
+    // Malformed, zero or negative: behave as if unset.
+  }
+  return 0;  // auto
+}
+
 int pick_shards(int threads, std::int32_t hosts, std::size_t replications) {
   if (const int forced = configured_shards(); forced > 0) return forced;
-  if (hosts < kAutoShardHosts) return 1;
   if (replications >= static_cast<std::size_t>(threads)) return 1;
   const std::size_t per_rep = static_cast<std::size_t>(threads) /
                               std::max<std::size_t>(replications, 1);
-  return static_cast<int>(std::min<std::size_t>(
-      std::max<std::size_t>(per_rep, 1),
-      static_cast<std::size_t>(kMaxAutoShards)));
+  // Keep every shard at least kMinHostsPerShard hosts wide: thinner
+  // shards spend more wall clock at window barriers than they win back.
+  const auto by_hosts = static_cast<std::size_t>(
+      std::max<std::int32_t>(hosts / kMinHostsPerShard, 1));
+  return static_cast<int>(std::min(
+      {std::max<std::size_t>(per_rep, 1), by_hosts,
+       static_cast<std::size_t>(kMaxAutoShards)}));
+}
+
+void log_parallel_plan(int threads, int shards, std::int64_t window_ns) {
+  const char* env = std::getenv("NIMCAST_VERBOSE");
+  if (env == nullptr || *env == '\0' ||
+      (env[0] == '0' && env[1] == '\0')) {
+    return;
+  }
+  static std::once_flag logged;
+  std::call_once(logged, [&] {
+    std::fprintf(stderr,
+                 "nimcast: threads=%d shards=%d window=%s\n", threads, shards,
+                 window_ns > 0 ? (std::to_string(window_ns) + "ns").c_str()
+                               : "auto");
+  });
 }
 
 /// Shared state of one for_each_index call: a job cursor, a completion

@@ -33,21 +33,36 @@ inline constexpr int kMaxThreads = 512;
 /// kMaxThreads clamp to it.
 [[nodiscard]] int configured_shards();
 
+/// Conservative-window override (nanoseconds) requested via
+/// NIMCAST_WINDOW, with the same strict parsing as NIMCAST_THREADS:
+/// malformed, zero and negative values behave as if the variable were
+/// unset. 0 means "auto" — the engine adapts the window to the
+/// configuration; positive values are clamped to kMaxWindowNs and can
+/// only narrow the engine's safe bound, never widen it.
+[[nodiscard]] std::int64_t configured_window_ns();
+
+inline constexpr std::int64_t kMaxWindowNs = 1'000'000'000;
+
 /// Intra-run shard count for one testbed replication. NIMCAST_SHARDS
-/// wins when set. The auto policy shards only when it can pay off:
-/// fabrics of at least kAutoShardHosts hosts (smaller simulations drown
-/// in barrier overhead) whose replication count cannot fill the
-/// `threads` worker budget by itself — replication parallelism is
-/// perfectly efficient (embarrassingly parallel), so it always takes
-/// priority; sharding then soaks up the idle threads, threads/
-/// replications each, capped at kMaxAutoShards. Sharding never changes
-/// results (the sharded engine is bit-identical to the serial one), so
-/// this policy is purely a wall-clock decision.
+/// wins when set. The auto policy splits the `threads` worker budget:
+/// replication parallelism first (embarrassingly parallel, so it always
+/// takes priority — replications >= threads leaves nothing to shard);
+/// the spare threads go into sharding, threads / replications each,
+/// bounded so every shard keeps at least kMinHostsPerShard hosts
+/// (thinner shards drown in window-barrier overhead) and by
+/// kMaxAutoShards. Sharding never changes results (the sharded engine
+/// is bit-identical to the serial one), so this policy is purely a
+/// wall-clock decision.
 [[nodiscard]] int pick_shards(int threads, std::int32_t hosts,
                               std::size_t replications);
 
-inline constexpr std::int32_t kAutoShardHosts = 512;
+inline constexpr std::int32_t kMinHostsPerShard = 64;
 inline constexpr int kMaxAutoShards = 8;
+
+/// Under NIMCAST_VERBOSE (any non-empty value other than "0"), prints
+/// the chosen (threads, shards, window) triple to stderr — once per
+/// process, from whichever harness entry point runs first.
+void log_parallel_plan(int threads, int shards, std::int64_t window_ns);
 
 /// A small fixed-size worker pool (std::jthread + work queue) for the
 /// replication sweeps in the testbed. Replications are independent — each

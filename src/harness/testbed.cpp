@@ -117,8 +117,11 @@ MeasurePoint measure_point(const topo::Topology& topology,
   const int budget = threads >= 1 ? threads : configured_threads();
   const int shards =
       pick_shards(budget, num_hosts, static_cast<std::size_t>(repetitions));
+  const std::int64_t window_ns = configured_window_ns();
+  log_parallel_plan(budget, shards, window_ns);
   mcast::MulticastEngine::Config ecfg{params, network, style};
   ecfg.shards = shards;
+  ecfg.window = sim::Time::ns(window_ns);
   const mcast::MulticastEngine engine{topology, routes, ecfg};
 
   std::vector<RepSample> samples(static_cast<std::size_t>(repetitions));
@@ -239,11 +242,14 @@ Testbed::Point Testbed::measure(std::int32_t n, std::int32_t m,
   const std::size_t replications = instances_.size() * sets;
   const int budget = threads >= 1 ? threads : configured_threads();
   const int shards = pick_shards(budget, hosts, replications);
+  const std::int64_t window_ns = configured_window_ns();
+  log_parallel_plan(budget, shards, window_ns);
   std::vector<mcast::MulticastEngine> engines;
   engines.reserve(instances_.size());
   for (const Instance& inst : instances_) {
     mcast::MulticastEngine::Config ecfg{spec_.params, spec_.network, style};
     ecfg.shards = shards;
+    ecfg.window = sim::Time::ns(window_ns);
     engines.emplace_back(*inst.topology, *inst.routes, ecfg);
   }
 
@@ -301,12 +307,15 @@ StreamingPoint Testbed::measure_streaming(
   const std::size_t replications = instances_.size() * sets;
   const int budget = threads >= 1 ? threads : configured_threads();
   const int shards = pick_shards(budget, hosts, replications);
+  const std::int64_t window_ns = configured_window_ns();
+  log_parallel_plan(budget, shards, window_ns);
   std::vector<mcast::MulticastEngine> engines;
   engines.reserve(instances_.size());
   for (const Instance& inst : instances_) {
     mcast::MulticastEngine::Config ecfg{spec_.params, spec_.network,
                                         mcast::NiStyle::kSmartFpfs};
     ecfg.shards = shards;
+    ecfg.window = sim::Time::ns(window_ns);
     ecfg.rotation_trees = rotation_trees;
     engines.emplace_back(*inst.topology, *inst.routes, ecfg);
   }

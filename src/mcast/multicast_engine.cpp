@@ -99,6 +99,33 @@ MulticastEngine::MulticastEngine(const topo::Topology& topology,
                                  Config config, sim::Trace* trace)
     : topology_{topology}, routes_{routes}, config_{config}, trace_{trace} {}
 
+sim::Time MulticastEngine::pick_window(std::size_t max_hops) const {
+  sim::Time w = config_.network.t_hop;
+  if (config_.network.release_model == net::ReleaseModel::kPipelined) {
+    // The earliest staggered release of a worm whose path crosses
+    // max_hops switch links (max_hops + 2 channels with injection and
+    // ejection) fires serialization_time - max_hops * t_hop after its
+    // drain is scheduled; a cross-shard release must clear the window.
+    const sim::Time bound =
+        config_.network.serialization_time() -
+        config_.network.t_hop * static_cast<sim::Time::rep>(max_hops);
+    w = std::min(w, bound);
+  }
+  if (config_.window > sim::Time::zero()) w = std::min(w, config_.window);
+  return w > sim::Time::zero() ? w : sim::Time::zero();
+}
+
+std::vector<std::uint64_t> MulticastEngine::partition_weights() const {
+  std::lock_guard lock{load_cache_->mutex};
+  return load_cache_->load;
+}
+
+void MulticastEngine::record_switch_load(
+    const std::vector<std::uint64_t>& load) const {
+  std::lock_guard lock{load_cache_->mutex};
+  load_cache_->load = load;
+}
+
 MulticastResult MulticastEngine::run(const core::HostTree& tree,
                                      std::int32_t packet_count) const {
   MultiMulticastResult batch =
@@ -134,14 +161,35 @@ MultiMulticastResult MulticastEngine::run_many(
 
   const bool faulty = !config_.network.faults.empty();
 
-  // Engine selection. The sharded network refuses configurations whose
-  // serial semantics it cannot reproduce exactly; fall back to the
-  // serial engine for those instead of throwing — callers opt into
-  // speed, never into different results.
-  const bool sharded_mode =
-      config_.shards > 1 && trace_ == nullptr &&
-      config_.network.loss_rate == 0.0 &&
-      config_.network.release_model == net::ReleaseModel::kAtDelivery;
+  // Engine selection. The sharded engine reproduces the serial engine
+  // bit for bit, so callers opt into speed, never into different
+  // results; it only falls back to the serial path when no positive
+  // conservative window exists (pipelined release on paths too long for
+  // the serialization time — under a fault plan repair can route any
+  // pair, so the bound is the longest simple path) or when a trace is
+  // attached (trace records are a global order).
+  sim::Time window = sim::Time::zero();
+  if (config_.shards > 1 && trace_ == nullptr) {
+    std::size_t max_hops = 0;
+    if (config_.network.release_model == net::ReleaseModel::kPipelined) {
+      if (faulty) {
+        max_hops = static_cast<std::size_t>(
+            std::max(topology_.num_switches() - 1, 1));
+      } else {
+        for (const auto& spec : specs) {
+          for (topo::HostId h : spec.tree.nodes) {
+            for (topo::HostId c : spec.tree.children.at(h)) {
+              // Both directions: ACKs retrace the edge the other way.
+              max_hops = std::max({max_hops, routes_.hops(h, c),
+                                   routes_.hops(c, h)});
+            }
+          }
+        }
+      }
+    }
+    window = pick_window(max_hops);
+  }
+  const bool sharded_mode = window > sim::Time::zero();
   const std::int32_t num_shards =
       sharded_mode ? std::min(config_.shards, topology_.num_switches()) : 1;
 
@@ -149,11 +197,11 @@ MultiMulticastResult MulticastEngine::run_many(
   std::unique_ptr<sim::ShardedSimulator> shardsim;
   std::unique_ptr<net::WormholeNetwork> network_owner;
   if (sharded_mode) {
-    shardsim = std::make_unique<sim::ShardedSimulator>(num_shards,
-                                                       config_.network.t_hop);
+    shardsim = std::make_unique<sim::ShardedSimulator>(num_shards, window);
     network_owner = std::make_unique<net::WormholeNetwork>(
         *shardsim, topology_, routes_, config_.network,
-        topo::partition_switches(topology_.switches(), num_shards));
+        topo::partition_switches(topology_.switches(), num_shards,
+                                 partition_weights()));
   } else {
     serial_sim = std::make_unique<sim::Simulator>();
     network_owner = std::make_unique<net::WormholeNetwork>(
@@ -499,6 +547,14 @@ MultiMulticastResult MulticastEngine::run_many(
   batch.events_dispatched = static_cast<std::int64_t>(
       sharded_mode ? shardsim->events_dispatched()
                    : serial_sim->events_dispatched());
+  if (sharded_mode) {
+    batch.window_ns = window.count_ns();
+    batch.barrier_wall_ns =
+        static_cast<std::int64_t>(shardsim->barrier_wall_ns());
+    batch.windows_planned =
+        static_cast<std::int64_t>(shardsim->windows_planned());
+    record_switch_load(network.switch_load());
+  }
   if (config_.style == NiStyle::kReliableFpfs) {
     for (const auto& [h, ni] : nis) {
       const auto* rni = static_cast<const netif::ReliableFpfsNi*>(ni.get());
@@ -548,11 +604,33 @@ StreamingResult MulticastEngine::run_streaming(
 
   const bool faulty = !config_.network.faults.empty();
 
-  // Engine selection — identical rules to run_many (see there).
-  const bool sharded_mode =
-      config_.shards > 1 && trace_ == nullptr &&
-      config_.network.loss_rate == 0.0 &&
-      config_.network.release_model == net::ReleaseModel::kAtDelivery;
+  // Engine selection — identical rules to run_many (see there); the
+  // pipelined path bound additionally covers every rotation member's
+  // tree on its own route class table.
+  sim::Time window = sim::Time::zero();
+  if (config_.shards > 1 && trace_ == nullptr) {
+    std::size_t max_hops = 0;
+    if (config_.network.release_model == net::ReleaseModel::kPipelined) {
+      if (faulty) {
+        max_hops = static_cast<std::size_t>(
+            std::max(topology_.num_switches() - 1, 1));
+      } else {
+        for (std::int32_t r = 0; r < R; ++r) {
+          const auto& member = plan.members[static_cast<std::size_t>(r)];
+          const routing::RouteTable& table =
+              member.table ? *member.table : routes_;
+          for (topo::HostId h : member.tree.nodes) {
+            for (topo::HostId c : member.tree.children.at(h)) {
+              max_hops =
+                  std::max({max_hops, table.hops(h, c), table.hops(c, h)});
+            }
+          }
+        }
+      }
+    }
+    window = pick_window(max_hops);
+  }
+  const bool sharded_mode = window > sim::Time::zero();
   const std::int32_t num_shards =
       sharded_mode ? std::min(config_.shards, topology_.num_switches()) : 1;
 
@@ -560,11 +638,11 @@ StreamingResult MulticastEngine::run_streaming(
   std::unique_ptr<sim::ShardedSimulator> shardsim;
   std::unique_ptr<net::WormholeNetwork> network_owner;
   if (sharded_mode) {
-    shardsim = std::make_unique<sim::ShardedSimulator>(num_shards,
-                                                       config_.network.t_hop);
+    shardsim = std::make_unique<sim::ShardedSimulator>(num_shards, window);
     network_owner = std::make_unique<net::WormholeNetwork>(
         *shardsim, topology_, routes_, config_.network,
-        topo::partition_switches(topology_.switches(), num_shards));
+        topo::partition_switches(topology_.switches(), num_shards,
+                                 partition_weights()));
   } else {
     serial_sim = std::make_unique<sim::Simulator>();
     network_owner = std::make_unique<net::WormholeNetwork>(
@@ -1007,6 +1085,14 @@ StreamingResult MulticastEngine::run_streaming(
   result.events_dispatched = static_cast<std::int64_t>(
       sharded_mode ? shardsim->events_dispatched()
                    : serial_sim->events_dispatched());
+  if (sharded_mode) {
+    result.window_ns = window.count_ns();
+    result.barrier_wall_ns =
+        static_cast<std::int64_t>(shardsim->barrier_wall_ns());
+    result.windows_planned =
+        static_cast<std::int64_t>(shardsim->windows_planned());
+    record_switch_load(network.switch_load());
+  }
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/host_tree.hpp"
@@ -147,6 +148,14 @@ struct MultiMulticastResult {
   /// Simulator events this batch consumed — the denominator-free side of
   /// the events/sec throughput metric bench_scale reports.
   std::int64_t events_dispatched = 0;
+  /// Sharded-engine instrumentation, all zero in serial mode: the
+  /// conservative window width the engine picked, the wall-clock time
+  /// the single-threaded inter-window phase consumed, and the number of
+  /// windows planned. bench_scale reports these to quantify the barrier
+  /// cost (compare NIMCAST_EAGER_MERGE=1 against the overlapped merge).
+  std::int64_t window_ns = 0;
+  std::int64_t barrier_wall_ns = 0;
+  std::int64_t windows_planned = 0;
 };
 
 /// Result of one streaming broadcast (run_streaming): a sustained stream
@@ -197,6 +206,10 @@ struct StreamingResult {
   std::int64_t packets_delivered = 0;
   sim::Time total_channel_block_time;
   std::int64_t events_dispatched = 0;
+  /// Sharded-engine instrumentation; see MultiMulticastResult.
+  std::int64_t window_ns = 0;
+  std::int64_t barrier_wall_ns = 0;
+  std::int64_t windows_planned = 0;
 };
 
 /// Runs complete multicast operations on the full simulated system:
@@ -219,12 +232,22 @@ class MulticastEngine {
     /// (up to) that many shards and runs the whole simulation — network,
     /// NIs and hosts — on a conservative-parallel sharded engine whose
     /// results are bit-identical to the serial one (see docs/perf.md,
-    /// "Sharded engine"). Configurations the sharded network cannot
-    /// honor exactly (loss_rate > 0, pipelined release, an attached
-    /// trace) silently fall back to the serial engine.
+    /// "Sharded engine"). Lossy and pipelined-release configurations
+    /// shard too; the engine falls back to the serial path only when it
+    /// cannot pick a positive conservative window (pipelined release on
+    /// paths too long for the serialization time, or under a fault plan
+    /// whose repairs could create such paths) or when a trace is
+    /// attached.
     std::int32_t shards = 1;
     /// OS threads driving the sharded engine; 0 means one per shard.
     std::int32_t shard_threads = 0;
+    /// Conservative window (lookahead) override for the sharded engine;
+    /// zero means auto — the engine adapts the window to the
+    /// configuration (t_hop, tightened when pipelined release needs
+    /// headroom). Values wider than the safe bound are clamped down, so
+    /// the override can only narrow the window. The harness plumbs
+    /// NIMCAST_WINDOW (nanoseconds) into this field.
+    sim::Time window = sim::Time::zero();
     /// Rotation members (R) a streaming broadcast plans. Consulted by
     /// the layers that plan on the engine's behalf (api::Communicator,
     /// harness::Testbed); run_streaming itself takes the plan
@@ -268,10 +291,35 @@ class MulticastEngine {
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:
+  /// Conservative window for a run whose longest packet path crosses
+  /// `max_hops` switch links: t_hop, tightened for pipelined release
+  /// (the earliest staggered release of a (max_hops + 2)-channel worm
+  /// fires serialization_time - max_hops * t_hop after its drain is
+  /// scheduled, and the release mail must clear the window), further
+  /// narrowed by Config::window. Returns zero when no positive window
+  /// exists — the caller falls back to the serial engine.
+  [[nodiscard]] sim::Time pick_window(std::size_t max_hops) const;
+  /// Switch weights for load-aware partitioning: the previous sharded
+  /// run's per-switch channel-acquisition counts (empty before the
+  /// first run). Copied under load_mutex_ — replications may run
+  /// concurrently; since results are partition-independent (bit-identity
+  /// holds for every partition), racing replications merely read a
+  /// possibly-older load profile.
+  [[nodiscard]] std::vector<std::uint64_t> partition_weights() const;
+  void record_switch_load(const std::vector<std::uint64_t>& load) const;
+
+  /// Heap-allocated so the engine stays movable (Testbed keeps engines
+  /// in a vector) despite the mutex.
+  struct LoadCache {
+    std::mutex mutex;
+    std::vector<std::uint64_t> load;
+  };
+
   const topo::Topology& topology_;
   const routing::RouteTable& routes_;
   Config config_;
   sim::Trace* trace_;
+  std::unique_ptr<LoadCache> load_cache_ = std::make_unique<LoadCache>();
 };
 
 }  // namespace nimcast::mcast

@@ -77,16 +77,19 @@ void ReliableFpfsNi::reliable_send(net::MessageId message, std::int32_t index,
     // coprocessor queue; if so the pending entry is gone and sending a
     // copy now would only waste wire time (and double-release buffers).
     if (!pending_.contains(edge_key(message, index, child))) return;
+    auto& pending = pending_[edge_key(message, index, child)];
     net::Packet p;
     p.message = message;
     p.packet_index = index;
     p.packet_count = packet_count;
     p.sender = self_;
     p.dest = child;
+    // The attempt number is part of the packet's loss-hash identity:
+    // each retransmitted copy gets an independent drop draw.
+    p.attempt = pending.attempts;
     network_.send(p);
     // Arm (or re-arm) the retransmission timer as of injection time,
     // exponentially backed off by the attempts already burned.
-    auto& pending = pending_[edge_key(message, index, child)];
     pending.timer = sim_.schedule_in(
         backoff_timeout(pending.attempts),
         [this, message, index, packet_count, child] {
@@ -149,6 +152,9 @@ void ReliableFpfsNi::send_ack(const net::Packet& data) {
     ack.sender = self_;
     ack.dest = data.sender;
     ack.tag = kAckTag;
+    // Inherit the data copy's attempt number so the ACK for each
+    // (re)transmission is its own independent loss draw.
+    ack.attempt = data.attempt;
     network_.send(ack);
   });
 }

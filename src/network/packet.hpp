@@ -28,6 +28,12 @@ struct Packet {
   /// table, higher classes select a bound alternative (streaming
   /// rotation members travel over decorrelated up*/down* alternatives).
   std::int32_t route_class = 0;
+  /// Retransmission attempt number (0 = first transmission). The lossy
+  /// fabric draws a packet's fate as a pure hash of its identity — so
+  /// loss is lookahead-safe under sharding — and the attempt counter is
+  /// part of that identity: a retransmitted copy (and the ACK it
+  /// provokes) gets an independent draw instead of the original's.
+  std::int32_t attempt = 0;
 };
 
 }  // namespace nimcast::net

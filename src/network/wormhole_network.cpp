@@ -1,5 +1,6 @@
 #include "network/wormhole_network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -21,8 +22,7 @@ WormholeNetwork::WormholeNetwork(sim::Simulator& simctx,
       topology_{topology},
       routes_{&routes},
       config_{std::move(config)},
-      trace_{trace},
-      loss_rng_{config_.loss_seed} {
+      trace_{trace} {
   init_channels_and_faults();
 }
 
@@ -35,8 +35,7 @@ WormholeNetwork::WormholeNetwork(sim::ShardedSimulator& sharded,
       topology_{topology},
       routes_{&routes},
       config_{std::move(config)},
-      trace_{nullptr},
-      loss_rng_{config_.loss_seed} {
+      trace_{nullptr} {
   if (switch_shard.size() !=
       static_cast<std::size_t>(topology.num_switches())) {
     throw std::invalid_argument(
@@ -53,16 +52,12 @@ WormholeNetwork::WormholeNetwork(sim::ShardedSimulator& sharded,
         "WormholeNetwork: driver lookahead exceeds t_hop — cross-shard "
         "hops would violate the conservative window");
   }
-  if (config_.loss_rate != 0.0) {
-    throw std::invalid_argument(
-        "WormholeNetwork: loss_rate > 0 cannot be sharded (the loss RNG "
-        "draw order is a global sequence)");
-  }
-  if (config_.release_model != ReleaseModel::kAtDelivery) {
-    throw std::invalid_argument(
-        "WormholeNetwork: pipelined release cannot be sharded (staggered "
-        "releases fire closer than one lookahead)");
-  }
+  // Lossy configs shard freely: a packet's fate is a pure hash of its
+  // identity (see packet_lost()), not an ordered RNG draw. Pipelined
+  // release shards too, but its staggered remote releases fire
+  // serialization_time - (path_len-2)*t_hop after the drain is scheduled;
+  // schedule_drain() enforces per worm that this clears the driver
+  // lookahead and says which window width would work.
   init_channels_and_faults();
   // Channel ownership: a directed switch channel belongs to the shard of
   // its upstream (sending) switch, so consecutive channels of a route
@@ -104,6 +99,32 @@ void WormholeNetwork::init_channels_and_faults() {
   wait_head_.assign(num_channels, nullptr);
   wait_tail_.assign(num_channels, nullptr);
   sinks_.assign(static_cast<std::size_t>(topology_.num_hosts()), nullptr);
+  // Channel -> driving switch, and the per-switch acquisition counters
+  // behind switch_load(): the measured weights load-aware partitioning
+  // feeds back into topo::partition_switches. A switch's counter is only
+  // ever touched from the shard that owns its channels, so the counts
+  // are race-free and thread-count-independent.
+  chan_switch_.assign(num_channels, 0);
+  {
+    const auto& g = topology_.switches();
+    const std::int32_t vcs = routes_->virtual_channels();
+    for (topo::LinkId e = 0; e < g.num_edges(); ++e) {
+      const auto& edge = g.edge(e);
+      for (std::int32_t dir = 0; dir < 2; ++dir) {
+        const topo::SwitchId from = dir == 0 ? edge.a : edge.b;
+        const std::int32_t base = (2 * e + dir) * vcs;
+        for (std::int32_t v = 0; v < vcs; ++v) {
+          chan_switch_[static_cast<std::size_t>(base + v)] = from;
+        }
+      }
+    }
+    for (topo::HostId h = 0; h < topology_.num_hosts(); ++h) {
+      const topo::SwitchId sw = topology_.switch_of(h);
+      chan_switch_[static_cast<std::size_t>(injection_channel(h))] = sw;
+      chan_switch_[static_cast<std::size_t>(ejection_channel(h))] = sw;
+    }
+  }
+  switch_load_.assign(static_cast<std::size_t>(topology_.num_switches()), 0);
   const int shards = is_sharded() ? sharded_->num_shards() : 1;
   shard_state_.reserve(static_cast<std::size_t>(shards));
   for (int s = 0; s < shards; ++s) {
@@ -423,6 +444,8 @@ void WormholeNetwork::progress(Worm* w) {
     return;
   }
   channel_busy_[static_cast<std::size_t>(chan)] = 1;
+  ++switch_load_[static_cast<std::size_t>(
+      chan_switch_[static_cast<std::size_t>(chan)])];
   w->acquired_at.push_back(shard_sim.now());
   ++w->next;
   if (w->next == w->path.size()) {
@@ -483,20 +506,52 @@ void WormholeNetwork::schedule_drain(Worm* w) {
     // The tail flit trails the header by one hop per remaining channel;
     // upstream channels free as it passes (never before the head of the
     // packet has fully left them, and never after delivery). Release
-    // times are non-decreasing in i and scheduled in index order, so the
-    // FIFO tie-break makes released_below advance monotonically.
+    // times are non-decreasing in i (consecutive acquisitions and tail
+    // positions are both >= t_hop apart) and scheduled in index order,
+    // so the FIFO tie-break makes released_below advance monotonically —
+    // and under sharding, two releases of one worm never share a window,
+    // which makes the cross-shard released_below updates barrier-ordered.
+    w->pending_releases.reserve(len);
     for (std::size_t i = 0; i + 1 < len; ++i) {
       const sim::Time earliest = w->acquired_at[i] + config_.t_hop +
                                  config_.serialization_time();
       const sim::Time tail_passes =
           delivery - config_.t_hop * static_cast<sim::Time::rep>(len - 1 - i);
+      const sim::Time at = std::max(earliest, tail_passes);
       const std::int32_t chan = w->path[i];
-      const auto eid = shard_sim.schedule_at(
-          std::max(earliest, tail_passes), [this, w, i, chan] {
-            w->released_below = i + 1;
-            release_channel(chan);
-          });
-      w->pending_releases.push_back(PendingRelease{chan, eid});
+      const std::int32_t owner = chan_shard(chan);
+      if (!is_sharded() || owner == ds) {
+        const auto eid =
+            shard_sim.schedule_at(at, [this, w, i, chan] {
+              w->released_below = i + 1;
+              release_channel(chan);
+            });
+        w->pending_releases.push_back(PendingRelease{chan, eid});
+      } else {
+        // A remote release is an ordinary logical event (the serial
+        // engine schedules it too), mailed to the channel's owner. It
+        // must clear the conservative window; when it cannot, report the
+        // window width that would have worked instead of letting the
+        // flush die on a generic lookahead violation.
+        if (at < shard_sim.now() + sharded_->lookahead()) {
+          const sim::Time slack = at - shard_sim.now();
+          throw std::invalid_argument(
+              "WormholeNetwork: pipelined release needs a conservative "
+              "window of at most " +
+              std::to_string(std::max<sim::Time::rep>(slack.count_ns(), 0)) +
+              " ns on this path (driver lookahead is " +
+              std::to_string(sharded_->lookahead().count_ns()) +
+              " ns) — shrink NIMCAST_WINDOW, use fewer shards, or raise "
+              "packet_bytes");
+        }
+        w->pending_releases.push_back(PendingRelease{chan, sim::EventId{}});
+        sharded_->post(ds, owner, at,
+                       [this, w, i, chan] {
+                         w->released_below = i + 1;
+                         release_channel(chan);
+                       },
+                       &w->pending_releases.back().id);
+      }
     }
   } else if (is_sharded()) {
     // At-delivery releases of channels owned by other shards cannot run
@@ -546,6 +601,8 @@ void WormholeNetwork::release_channel(std::int32_t chan) {
   next->parked = false;
   state_of(s).total_block += shard_sim.now() - next->block_start;
   assert(next->path[next->next] == chan);
+  ++switch_load_[static_cast<std::size_t>(
+      chan_switch_[static_cast<std::size_t>(chan)])];
   next->acquired_at.push_back(shard_sim.now());
   ++next->next;
   if (next->next == next->path.size()) {
@@ -553,6 +610,27 @@ void WormholeNetwork::release_channel(std::int32_t chan) {
   } else {
     schedule_hop(next, s);
   }
+}
+
+bool WormholeNetwork::packet_lost(const Packet& p) const {
+  if (config_.loss_rate <= 0.0) return false;
+  // Chain the identity components through the SplitMix64 finalizer; the
+  // attempt counter makes each retransmission (and its ACK) an
+  // independent draw.
+  std::uint64_t h = sim::hash_mix(config_.loss_seed);
+  h = sim::hash_mix(h ^ static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(p.message)));
+  h = sim::hash_mix(
+      h ^ ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                p.packet_index))
+            << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.attempt))));
+  h = sim::hash_mix(
+      h ^
+      ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.sender))
+        << 32) |
+       static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.dest))));
+  return sim::hash_unit(h) < config_.loss_rate;
 }
 
 void WormholeNetwork::complete(Worm* w) {
@@ -576,8 +654,7 @@ void WormholeNetwork::complete(Worm* w) {
   w->pending_releases.clear();
   ShardState& st = state_of(ds);
   --st.in_flight;
-  const bool lost =
-      config_.loss_rate > 0.0 && loss_rng_.next_bool(config_.loss_rate);
+  const bool lost = packet_lost(w->packet);
   if (lost) {
     ++st.dropped;
   } else {

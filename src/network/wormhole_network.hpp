@@ -77,9 +77,15 @@ class DeliverySink {
 /// count — and matches the serial engine event for event; see
 /// docs/perf.md ("Sharded engine") for the exact contract.
 ///
-/// Sharded mode requires `ReleaseModel::kAtDelivery` (pipelined staggered
-/// releases can fire closer than one lookahead), zero `loss_rate` (the
-/// loss RNG's draw order is a global sequence), and no trace sink.
+/// Lossy configs shard freely: a packet's fate is a pure hash of its
+/// identity (loss_seed, message, packet index, attempt, sender, dest), so
+/// the draw is the same on every shard in every window — no RNG stream to
+/// serialize. Pipelined release also shards: each staggered release is an
+/// ordinary logical event mailed to the channel's owner when remote, and
+/// schedule_drain() enforces per worm that every release clears the
+/// driver's lookahead (the engine picks a window narrow enough, or falls
+/// back to serial when no positive window fits). Sharded mode still
+/// requires no trace sink (trace records are a global order).
 class WormholeNetwork {
  public:
   WormholeNetwork(sim::Simulator& simctx, const topo::Topology& topology,
@@ -204,6 +210,16 @@ class WormholeNetwork {
   /// share a cycle-exact global counter mid-window).
   [[nodiscard]] std::int32_t peak_in_flight() const;
 
+  /// Per-switch channel-acquisition counts (one entry per switch; a
+  /// host's injection/ejection traffic accrues to its switch). The
+  /// engine's load-aware repartitioning reads this after a warmup run to
+  /// weight topo::partition_switches. In sharded mode each counter is
+  /// written only by the owning shard, so read it between runs or at a
+  /// barrier.
+  [[nodiscard]] const std::vector<std::uint64_t>& switch_load() const {
+    return switch_load_;
+  }
+
  private:
   struct PendingRelease {
     std::int32_t chan;
@@ -318,6 +334,11 @@ class WormholeNetwork {
 
   void init_channels_and_faults();
 
+  /// Loss draw for a delivered packet: a pure hash of (loss_seed,
+  /// message, packet index, attempt, sender, dest) against loss_rate.
+  /// No state, no draw order — identical on every shard in any window.
+  [[nodiscard]] bool packet_lost(const Packet& p) const;
+
   sim::Simulator* serial_sim_ = nullptr;    ///< serial mode
   sim::ShardedSimulator* sharded_ = nullptr;  ///< sharded mode
   const topo::Topology& topology_;
@@ -336,13 +357,17 @@ class WormholeNetwork {
   std::vector<Worm*> wait_tail_;
   /// Owner shard per channel id; empty in serial mode.
   std::vector<std::int32_t> chan_shard_;
+  /// Driving switch per channel id (injection/ejection map to the
+  /// host's switch) — the accounting key for switch_load_.
+  std::vector<topo::SwitchId> chan_switch_;
+  /// Channel acquisitions per switch; see switch_load().
+  std::vector<std::uint64_t> switch_load_;
 
   std::vector<std::unique_ptr<ShardState>> shard_state_;
 
   std::vector<DeliverySink*> sinks_;  ///< per host, null until bound
 
   std::int32_t faults_applied_ = 0;
-  sim::Rng loss_rng_;
   topo::SubgraphMask mask_;
   /// Hosts killed by kHostDown. Kept out of SubgraphMask on purpose:
   /// host death does not change the switch graph, so route tables need

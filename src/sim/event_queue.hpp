@@ -218,16 +218,19 @@ class EventQueue {
   };
   Fired pop();
 
-  /// Applies `fn` to every pending entry's `lo` key and restores the
-  /// heap invariant in one pass. The sharded driver uses this at window
-  /// barriers to replace provisional lineage keys with final ones;
-  /// `fn` must be order-preserving over the entries it changes relative
-  /// to the ones it leaves alone (the barrier's ordinal assignment is).
+  /// Applies `fn(time, hi, lo) -> lo` to every pending entry and restores
+  /// the heap invariant in one pass (the heapify runs only when some key
+  /// actually changed). The sharded driver uses this to replace
+  /// provisional lineage keys with final ones — as an amortized
+  /// compaction pass and, filtered by (time, hi), when cross-shard mail
+  /// could tie a provisional key; `fn` must be order-preserving over the
+  /// entries it changes relative to the ones it leaves alone (the ordinal
+  /// assignment is).
   template <typename Fn>
   void rekey_lo(Fn&& fn) {
     bool changed = false;
     for (HeapEntry& e : heap_) {
-      const std::uint64_t lo = fn(e.lo);
+      const std::uint64_t lo = fn(e.time, e.hi, e.lo);
       if (lo != e.lo) {
         e.lo = lo;
         changed = true;

@@ -14,6 +14,26 @@ namespace nimcast::sim {
 /// not use std::mt19937/std::uniform_int_distribution because their output
 /// streams are not guaranteed identical across standard library
 /// implementations.
+/// Stateless 64-bit mixer (SplitMix64 finalizer). Feed it a running hash
+/// to fold independent key components into one well-distributed word:
+/// `hash_mix(h ^ component)`.
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Maps a hash word to a uniform double in [0, 1) — the stateless
+/// counterpart of Rng::next_double(). Decisions derived this way are pure
+/// functions of their key (no draw-order dependence), which is what lets
+/// the sharded engine evaluate them on any shard in any window.
+[[nodiscard]] constexpr double hash_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) { reseed(seed); }

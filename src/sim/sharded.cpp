@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <barrier>
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -9,6 +12,12 @@
 #include <utility>
 
 namespace nimcast::sim {
+
+namespace {
+/// Below this many merged dispatches the ordinal tables are not worth
+/// trimming; above it, trim once they dwarf the pending population.
+constexpr std::uint64_t kCompactMinEntries = 1u << 16;
+}  // namespace
 
 ShardedSimulator::ShardedSimulator(int num_shards, Time lookahead)
     : lookahead_{lookahead} {
@@ -25,9 +34,25 @@ ShardedSimulator::ShardedSimulator(int num_shards, Time lookahead)
     cell->sim.set_schedule_context(&ctx_);
     shards_.push_back(std::move(cell));
   }
-  win_records_.resize(static_cast<std::size_t>(num_shards));
-  win_ordinals_.resize(static_cast<std::size_t>(num_shards));
+  const auto S = static_cast<std::size_t>(num_shards);
+  ord_table_.resize(S);
+  ord_base_.assign(S, 0);
+  mail_keys_.resize(S);
+  // The double-buffered exchange: one batch fills at the barrier while
+  // the merge worker consumes the other.
+  for (int i = 0; i < 2; ++i) {
+    Batch b;
+    b.recs.resize(S);
+    free_batches_.push_back(std::move(b));
+  }
+  if (const char* eager = std::getenv("NIMCAST_EAGER_MERGE");
+      eager != nullptr && eager[0] != '\0' &&
+      !(eager[0] == '0' && eager[1] == '\0')) {
+    eager_merge_ = true;
+  }
 }
+
+ShardedSimulator::~ShardedSimulator() = default;
 
 std::size_t ShardedSimulator::checked(int s) const {
   if (s < 0 || s >= num_shards()) {
@@ -62,6 +87,8 @@ void ShardedSimulator::schedule_global_keyed(Time at, std::uint64_t hi,
 }
 
 void ShardedSimulator::flush_outboxes() {
+  for (auto& keys : mail_keys_) keys.clear();
+  bool any_provisional = false;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Cell& cell = *shards_[s];
     for (Mail& m : cell.outbox) {
@@ -73,15 +100,39 @@ void ShardedSimulator::flush_outboxes() {
             "ShardedSimulator: cross-shard post violates lookahead");
       }
       // Mail posted during the just-closed window carries a provisional
-      // lineage key; the sender's ordinal table (finalize_window) is
-      // live until the next barrier.
-      const std::uint64_t lo = m.provisional ? resolve_lo(s, m.lo) : m.lo;
+      // lineage key; the merge worker has assigned the window's ordinals
+      // by the time the flush runs (plan_window joins first).
+      std::uint64_t lo = m.lo;
+      if (m.provisional) {
+        lo = resolve_lo(s, m.lo);
+        mail_keys_[static_cast<std::size_t>(m.to)].emplace_back(m.when, m.hi);
+        any_provisional = true;
+      }
       const EventId id = shards_[static_cast<std::size_t>(m.to)]
                              ->sim.schedule_at_keyed(m.when, m.hi, lo,
                                                      std::move(m.fn));
       if (m.bind_slot != nullptr) *m.bind_slot = id;
     }
     cell.outbox.clear();
+  }
+  if (!any_provisional) return;
+  // A mailed event can tie a still-provisional local key at the same
+  // (time, hi): both schedule calls happened at the same instant, in the
+  // window just closed, so the local key's parent ordinal is known —
+  // finalize exactly the tying keys so the receiver's heap compares them
+  // against the mailed final key in true serial order. Everything else
+  // stays provisional (order-correct locally) until a compaction.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto& keys = mail_keys_[s];
+    if (keys.empty()) continue;
+    shards_[s]->sim.rekey_provisional_if(
+        [&keys](Time t, std::uint64_t hi) {
+          for (const auto& k : keys) {
+            if (k.first == t && k.second == hi) return true;
+          }
+          return false;
+        },
+        [this, s](std::uint64_t lo) { return resolve_lo(s, lo); });
   }
 }
 
@@ -90,55 +141,152 @@ std::uint64_t ShardedSimulator::resolve_lo(std::size_t s,
   if ((lo & Simulator::kProvisionalBit) == 0) return lo;
   const std::uint64_t parent =
       (lo & ~Simulator::kProvisionalBit) >> Simulator::kCallIdxBits;
-  return (win_ordinals_[s][parent] << Simulator::kCallIdxBits) |
+  assert(parent >= ord_base_[s] &&
+         parent - ord_base_[s] < ord_table_[s].size());
+  return (ord_table_[s][parent - ord_base_[s]] << Simulator::kCallIdxBits) |
          (lo & Simulator::kCallIdxMask);
 }
 
-void ShardedSimulator::finalize_window() {
-  const std::size_t S = shards_.size();
-  bool any = false;
-  for (std::size_t s = 0; s < S; ++s) {
-    shards_[s]->sim.drain_window_records(win_records_[s]);
-    win_ordinals_[s].assign(win_records_[s].size(), 0);
-    any = any || !win_records_[s].empty();
+void ShardedSimulator::publish_window() {
+  Batch b;
+  {
+    std::unique_lock lk{merge_mutex_};
+    // Double-buffer backpressure: wait for the worker to recycle a batch
+    // if both are in flight.
+    merge_done_cv_.wait(lk, [this] { return !free_batches_.empty(); });
+    b = std::move(free_batches_.back());
+    free_batches_.pop_back();
   }
-  if (!any) return;
+  bool any = false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->sim.drain_window_records(b.recs[s]);
+    any = any || !b.recs[s].empty();
+  }
+  if (!any) {
+    const std::lock_guard lk{merge_mutex_};
+    free_batches_.push_back(std::move(b));
+    return;
+  }
+  {
+    const std::lock_guard lk{merge_mutex_};
+    merge_queue_.push_back(std::move(b));
+  }
+  merge_cv_.notify_one();
+}
+
+void ShardedSimulator::join_merges() {
+  std::unique_lock lk{merge_mutex_};
+  merge_done_cv_.wait(
+      lk, [this] { return merge_queue_.empty() && !merge_busy_; });
+  if (merge_error_ != nullptr) {
+    const std::exception_ptr e = merge_error_;
+    merge_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ShardedSimulator::merge_batch(const Batch& b) {
   // K-way merge of the per-shard dispatch streams by firing key. Each
   // stream is already internally ordered (it *is* that shard's dispatch
   // order), and a record's final lineage key is computable the moment it
   // reaches the head of its stream: a provisional key's parent is an
-  // earlier dispatch of the same shard and window, so its ordinal is
-  // already assigned. The merged position is the event's global dispatch
-  // ordinal — the serial engine's dispatch sequence number.
-  std::vector<std::size_t> cur(S, 0);
+  // earlier dispatch of the same shard, so its ordinal is already in the
+  // table. The merged position is the event's global dispatch ordinal —
+  // the serial engine's dispatch sequence number.
+  const std::size_t S = shards_.size();
+  struct Head {
+    std::size_t cur = 0;
+    Time time{};
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    bool live = false;
+  };
+  std::vector<Head> heads(S);
+  auto load = [&](std::size_t s) {
+    Head& h = heads[s];
+    h.live = h.cur < b.recs[s].size();
+    if (!h.live) return;
+    const Simulator::DispatchRecord& r = b.recs[s][h.cur];
+    h.time = r.time;
+    h.hi = r.hi;
+    h.lo = resolve_lo(s, r.lo);
+  };
+  for (std::size_t s = 0; s < S; ++s) load(s);
   for (;;) {
     std::size_t best = S;
-    Time bt{};
-    std::uint64_t bhi = 0;
-    std::uint64_t blo = 0;
     for (std::size_t s = 0; s < S; ++s) {
-      if (cur[s] >= win_records_[s].size()) continue;
-      const Simulator::DispatchRecord& r = win_records_[s][cur[s]];
-      const std::uint64_t lo = resolve_lo(s, r.lo);
-      if (best == S || r.time < bt ||
-          (r.time == bt && (r.hi < bhi || (r.hi == bhi && lo < blo)))) {
+      const Head& h = heads[s];
+      if (!h.live) continue;
+      if (best == S || h.time < heads[best].time ||
+          (h.time == heads[best].time &&
+           (h.hi < heads[best].hi ||
+            (h.hi == heads[best].hi && h.lo < heads[best].lo)))) {
         best = s;
-        bt = r.time;
-        bhi = r.hi;
-        blo = lo;
       }
     }
     if (best == S) break;
-    win_ordinals_[best][cur[best]++] = ctx_.next_ordinal++;
+    ord_table_[best].push_back(ctx_.next_ordinal++);
+    ++heads[best].cur;
+    load(best);
   }
-  // Every event scheduled during the window that is still pending (or
-  // parked in an outbox — flush_outboxes handles those) now gets its
-  // final key; the serial tie-break is fully reconstructed before any
-  // shard runs again.
-  for (std::size_t s = 0; s < S; ++s) {
+}
+
+void ShardedSimulator::merge_worker() {
+  std::unique_lock lk{merge_mutex_};
+  for (;;) {
+    merge_cv_.wait(lk,
+                   [this] { return merge_stop_ || !merge_queue_.empty(); });
+    if (merge_queue_.empty()) return;  // stop requested and fully drained
+    Batch b = std::move(merge_queue_.front());
+    merge_queue_.pop_front();
+    merge_busy_ = true;
+    lk.unlock();
+    std::uint64_t produced = 0;
+    try {
+      for (const auto& r : b.recs) produced += r.size();
+      merge_batch(b);
+    } catch (...) {
+      lk.lock();
+      if (merge_error_ == nullptr) merge_error_ = std::current_exception();
+      lk.unlock();
+    }
+    for (auto& r : b.recs) r.clear();
+    lk.lock();
+    merged_entries_ += produced;
+    merge_busy_ = false;
+    free_batches_.push_back(std::move(b));
+    merge_done_cv_.notify_all();
+  }
+}
+
+void ShardedSimulator::compact_tables() {
+  // Requires: merges joined (tables complete, worker idle), outboxes
+  // empty. Afterwards every pending key is final, so the tables can be
+  // dropped and between-run schedule calls (which allocate final keys)
+  // compare correctly against everything still pending.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (ord_table_[s].empty()) continue;
     shards_[s]->sim.rekey_provisional(
         [this, s](std::uint64_t lo) { return resolve_lo(s, lo); });
+    ord_base_[s] += ord_table_[s].size();
+    ord_table_[s].clear();
   }
+}
+
+void ShardedSimulator::maybe_compact() {
+  std::uint64_t merged;
+  {
+    const std::lock_guard lk{merge_mutex_};
+    merged = merged_entries_;
+  }
+  if (merged < kCompactMinEntries) return;
+  std::uint64_t pending = 0;
+  for (const auto& cell : shards_) pending += cell->sim.pending_events();
+  if (merged < 8 * pending) return;
+  join_merges();
+  compact_tables();
+  const std::lock_guard lk{merge_mutex_};
+  merged_entries_ = 0;
 }
 
 std::uint64_t ShardedSimulator::total_dispatched() const {
@@ -162,8 +310,21 @@ void ShardedSimulator::sort_pending_globals() {
 }
 
 bool ShardedSimulator::plan_window(Time& window_end) {
-  finalize_window();
-  flush_outboxes();
+  publish_window();
+  if (eager_merge_) join_merges();
+  bool mail_pending = false;
+  for (const auto& cell : shards_) {
+    if (!cell->outbox.empty()) {
+      mail_pending = true;
+      break;
+    }
+  }
+  if (mail_pending) {
+    // Mail finalization consumes the closed window's ordinals; this is
+    // the only inter-window work that has to wait for the merge.
+    join_merges();
+    flush_outboxes();
+  }
   for (;;) {
     sort_pending_globals();
     Time next = Time::max();
@@ -179,11 +340,11 @@ bool ShardedSimulator::plan_window(Time& window_end) {
       // Serial equivalence: fault events were scheduled at construction
       // (lowest insertion order), so they fire before any runtime event
       // at the same instant — here, before the window that would run
-      // those events.
+      // those events. The global is a dispatch in its own right: its
+      // ordinal must follow every already-dispatched event's, so the
+      // merge backlog is joined first.
+      join_merges();
       for (auto& cell : shards_) cell->sim.advance_to(global_at);
-      // The global is a dispatch in its own right: give it the next
-      // ordinal and pin the shared context so its schedule calls get
-      // final lineage keys (parent = this global, in call order).
       ctx_.per_call = false;
       ctx_.pinned_ordinal = ctx_.next_ordinal++;
       ctx_.idx = 0;
@@ -202,6 +363,8 @@ bool ShardedSimulator::plan_window(Time& window_end) {
     if (global_at < end) end = global_at;
     window_end = end - Time::ns(1);
     ran_through_ = window_end;
+    ++windows_planned_;
+    maybe_compact();
     return true;
   }
 }
@@ -211,6 +374,12 @@ std::uint64_t ShardedSimulator::run(int threads, std::uint64_t event_limit) {
   threads = std::clamp(threads, 1, S);
   const std::uint64_t start_dispatched = total_dispatched();
 
+  {
+    const std::lock_guard lk{merge_mutex_};
+    merge_stop_ = false;
+  }
+  std::thread merger{[this] { merge_worker(); }};
+
   struct Control {
     Time window_end{};
     bool done = false;
@@ -219,15 +388,17 @@ std::uint64_t ShardedSimulator::run(int threads, std::uint64_t event_limit) {
   } ctl;
 
   auto note_error = [&ctl]() noexcept {
-    std::lock_guard lock{ctl.error_mutex};
+    const std::lock_guard lock{ctl.error_mutex};
     if (!ctl.error) ctl.error = std::current_exception();
   };
 
   // Barrier completion: the single-threaded inter-window step. Must not
   // throw (std::barrier would terminate); errors park in ctl and stop
-  // the loop.
+  // the loop. Its wall time is the window-barrier cost the bench
+  // reports — the quantity the overlapped merge shrinks.
   auto on_barrier = [&]() noexcept {
     if (ctl.done) return;
+    const auto t0 = std::chrono::steady_clock::now();
     try {
       if (ctl.error != nullptr ||
           total_dispatched() - start_dispatched > event_limit) {
@@ -236,13 +407,17 @@ std::uint64_t ShardedSimulator::run(int threads, std::uint64_t event_limit) {
               "ShardedSimulator::run: event limit exceeded");
         }
         ctl.done = true;
-        return;
+      } else {
+        ctl.done = !plan_window(ctl.window_end);
       }
-      ctl.done = !plan_window(ctl.window_end);
     } catch (...) {
       note_error();
       ctl.done = true;
     }
+    barrier_wall_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
   };
   std::barrier bar{threads, on_barrier};
 
@@ -272,7 +447,27 @@ std::uint64_t ShardedSimulator::run(int threads, std::uint64_t event_limit) {
     worker(0);
   }  // jthreads join here
 
+  // Drain and stop the merge worker, then finalize every pending key so
+  // schedule calls made between runs compare correctly.
+  {
+    const std::lock_guard lk{merge_mutex_};
+    merge_stop_ = true;
+  }
+  merge_cv_.notify_one();
+  merger.join();
+  {
+    const std::lock_guard lk{merge_mutex_};
+    if (merge_error_ != nullptr && ctl.error == nullptr) {
+      ctl.error = merge_error_;
+    }
+    merge_error_ = nullptr;
+  }
   if (ctl.error) std::rethrow_exception(ctl.error);
+  compact_tables();
+  {
+    const std::lock_guard lk{merge_mutex_};
+    merged_entries_ = 0;
+  }
   return total_dispatched() - start_dispatched;
 }
 

@@ -1,9 +1,13 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -17,25 +21,30 @@ namespace nimcast::sim {
 /// thread at a time; shards synchronize at window barriers. The window
 /// width is the `lookahead` — the minimum simulated latency of any
 /// cross-shard interaction (for the wormhole network: one channel hop,
-/// `t_hop`) — so events dispatched inside a window can only create
-/// cross-shard events that fire in a *later* window, and intra-window
-/// execution is lock-free.
+/// `t_hop`, or tighter when pipelined release needs it) — so events
+/// dispatched inside a window can only create cross-shard events that
+/// fire in a *later* window, and intra-window execution is lock-free.
 ///
 /// Cross-shard interactions travel through per-shard outboxes (`post`)
 /// that the barrier flushes into the target shards' queues, carrying the
 /// *sender's* deterministic tie-break key — the same (schedule-time,
 /// lineage) key every shard-order `Simulator` stamps on its local
-/// events. At each barrier the driver reconstructs the serial engine's
-/// insertion-counter order exactly: the closed window's per-shard
-/// dispatch records are merged into one global sequence (a k-way merge
-/// by firing key — final by construction, since cross-shard influence
-/// needs at least one lookahead), each dispatch is assigned its global
-/// ordinal, and every still-pending event scheduled during the window
-/// has its provisional lineage key rewritten to
-/// `(parent ordinal, schedule-call index)` — which is precisely how two
-/// serial insertion counters compare. Dispatch order is therefore
-/// bit-identical to the serial `Simulator`'s and independent of thread
-/// count and OS scheduling. See docs/perf.md ("Sharded engine").
+/// events. The driver reconstructs the serial engine's insertion-counter
+/// order exactly, but keeps the reconstruction off the critical path:
+/// each closed window's per-shard dispatch records are published into a
+/// double-buffered exchange consumed by a dedicated merge worker, which
+/// k-way-merges them by firing key into the global dispatch sequence and
+/// appends each shard's ordinals to an ever-growing per-shard ordinal
+/// table. Because per-shard dispatch indices are cumulative, a pending
+/// provisional key is already order-correct against every key it can tie
+/// locally, so no per-window heap rewrite is needed; keys are finalized
+/// lazily — at mail flush (tying keys only), at amortized table
+/// compactions, and once at run() exit. The single-threaded inter-window
+/// phase joins the merge worker only when something actually consumes
+/// ordinals: outgoing mail, a due global event, or a compaction.
+/// Dispatch order is therefore bit-identical to the serial `Simulator`'s
+/// and independent of thread count and OS scheduling. See docs/perf.md
+/// ("Sharded engine").
 ///
 /// Globally-ordered actions that must see all shards at one instant
 /// (fault injection) register via `schedule_global`; they run
@@ -46,6 +55,7 @@ class ShardedSimulator {
   /// `lookahead` must be positive; every post() must target a time at
   /// least `lookahead` after the sender's current time.
   ShardedSimulator(int num_shards, Time lookahead);
+  ~ShardedSimulator();
 
   ShardedSimulator(const ShardedSimulator&) = delete;
   ShardedSimulator& operator=(const ShardedSimulator&) = delete;
@@ -63,13 +73,13 @@ class ShardedSimulator {
   /// sender's tie-break key is captured here, at post() time, so the
   /// mailed event interleaves with the sender's local schedule calls in
   /// call order; a provisional key is finalized when the flush runs,
-  /// after the barrier's ordinal assignment. Safe to call from `from`'s
-  /// worker thread during a window, or from the driver thread outside
-  /// run(). `when` must be at least lookahead() past shard `from`'s
-  /// current time (checked at flush). If `bind_slot` is non-null the
-  /// EventId the flush creates is stored through it — the receiver-side
-  /// cancellation handle; the slot must stay valid until the next
-  /// barrier.
+  /// after the merge worker has assigned the closed window's ordinals.
+  /// Safe to call from `from`'s worker thread during a window, or from
+  /// the driver thread outside run(). `when` must be at least
+  /// lookahead() past shard `from`'s current time (checked at flush). If
+  /// `bind_slot` is non-null the EventId the flush creates is stored
+  /// through it — the receiver-side cancellation handle; the slot must
+  /// stay valid until the next barrier.
   void post(int from, int to, Time when, std::function<void()> fn,
             EventId* bind_slot = nullptr);
 
@@ -113,13 +123,33 @@ class ShardedSimulator {
   /// events) — what the serial engine's now() reads after run() drains.
   [[nodiscard]] Time last_event_time() const;
 
+  /// Bench/compat toggle: when true, the inter-window phase joins the
+  /// merge worker at every barrier — restoring the PR 4 structure where
+  /// the ordinal merge sits on the critical path — so the overlapped
+  /// design's barrier-time win can be measured on the same machine. Also
+  /// settable via the NIMCAST_EAGER_MERGE environment variable (any
+  /// non-empty value other than "0").
+  void set_eager_merge(bool on) { eager_merge_ = on; }
+  [[nodiscard]] bool eager_merge() const { return eager_merge_; }
+
+  /// Accumulated wall-clock nanoseconds the single-threaded inter-window
+  /// phase has spent across run() calls (barrier completions: publish,
+  /// joins, flushes, globals, window planning), and the number of
+  /// windows planned. The pair is the bench's window-barrier metric.
+  [[nodiscard]] std::uint64_t barrier_wall_ns() const {
+    return barrier_wall_ns_;
+  }
+  [[nodiscard]] std::uint64_t windows_planned() const {
+    return windows_planned_;
+  }
+
  private:
   struct Mail {
     int to;
     Time when;
     std::uint64_t hi;
     std::uint64_t lo;
-    bool provisional;  ///< lo still needs the barrier's ordinal rewrite
+    bool provisional;  ///< lo still needs the merge worker's ordinal
     std::function<void()> fn;
     EventId* bind_slot;
   };
@@ -136,32 +166,71 @@ class ShardedSimulator {
     std::uint64_t lo;
     std::function<void()> fn;
   };
+  /// One closed window's per-shard dispatch records, in flight between
+  /// the barrier (producer) and the merge worker (consumer). Two batches
+  /// rotate through the exchange: the barrier publishes into one while
+  /// the worker merges the other.
+  struct Batch {
+    std::vector<std::vector<Simulator::DispatchRecord>> recs;
+  };
 
   [[nodiscard]] std::size_t checked(int s) const;
   void flush_outboxes();
   void sort_pending_globals();
-  /// Single-threaded between windows: finalizes the closed window's
-  /// event order, flushes mail, fires due global events, picks the next
-  /// window. Returns false at global quiescence.
+  /// Single-threaded between windows: publishes the closed window's
+  /// dispatch records to the merge worker, flushes mail, fires due
+  /// global events, picks the next window. Returns false at global
+  /// quiescence.
   bool plan_window(Time& window_end);
-  /// Drains the closed window's dispatch records, assigns each dispatch
-  /// its global ordinal (k-way merge by firing key), and rewrites every
-  /// pending provisional lineage key to its final form.
-  void finalize_window();
-  /// Provisional lineage key -> final, via shard `s`'s closed-window
-  /// ordinal table. Identity for keys that are already final.
+  /// Drains the closed window's per-shard dispatch records into a free
+  /// batch and hands it to the merge worker (waits for a free batch if
+  /// both are in flight — the double-buffer backpressure).
+  void publish_window();
+  /// Blocks until the merge worker has consumed every published batch;
+  /// rethrows any merge-side error. After this, every published dispatch
+  /// has its global ordinal in the per-shard tables.
+  void join_merges();
+  /// Merge worker body: k-way merge of one batch by firing key,
+  /// appending global ordinals to the per-shard tables.
+  void merge_batch(const Batch& b);
+  void merge_worker();
+  /// Amortized table trim: once the ordinal tables dwarf the pending
+  /// event population, finalize every pending provisional key and drop
+  /// the tables (advancing the per-shard bases). Also runs at run()
+  /// exit so between-run schedule calls compare against final keys only.
+  void compact_tables();
+  void maybe_compact();
+  /// Provisional lineage key -> final, via shard `s`'s cumulative
+  /// ordinal table. Identity for keys that are already final. The
+  /// caller must hold the table complete for the key's parent (merge
+  /// joined past the parent's window).
   [[nodiscard]] std::uint64_t resolve_lo(std::size_t s,
                                          std::uint64_t lo) const;
   [[nodiscard]] std::uint64_t total_dispatched() const;
 
   std::vector<std::unique_ptr<Cell>> shards_;
   /// Shared final-lineage-key counters; installed into every shard's
-  /// simulator, touched only in single-threaded phases.
+  /// simulator. Touched by single-threaded phases and the merge worker,
+  /// never both at once (join_merges orders them).
   Simulator::ScheduleContext ctx_;
-  /// Per-shard scratch for the closed window: dispatch records and the
-  /// global ordinal assigned to each (parallel vectors).
-  std::vector<std::vector<Simulator::DispatchRecord>> win_records_;
-  std::vector<std::vector<std::uint64_t>> win_ordinals_;
+  /// Cumulative per-shard ordinal tables: entry j - base is the global
+  /// dispatch ordinal of shard s's (base + j)-th dispatch. Appended by
+  /// the merge worker, read by single-threaded phases after a join.
+  std::vector<std::vector<std::uint64_t>> ord_table_;
+  std::vector<std::uint64_t> ord_base_;
+  /// Merge exchange: published batches awaiting the worker, plus the
+  /// recycled free list (two batches total).
+  std::deque<Batch> merge_queue_;
+  std::vector<Batch> free_batches_;
+  /// Total ordinal-table entries since the last compaction (guarded by
+  /// merge_mutex_ — the worker appends while windows run).
+  std::uint64_t merged_entries_ = 0;
+  bool merge_busy_ = false;
+  bool merge_stop_ = false;
+  std::exception_ptr merge_error_;
+  std::mutex merge_mutex_;
+  std::condition_variable merge_cv_;       ///< wakes the worker
+  std::condition_variable merge_done_cv_;  ///< wakes join/publish waiters
   /// Consumed prefix [0, next_global_) is frozen; the live suffix is
   /// re-sorted by (at, hi, lo) each time the barrier looks at it, because
   /// workers may append keyed globals mid-window (guarded by
@@ -176,6 +245,12 @@ class ShardedSimulator {
   /// Latest window end any shard has dispatched through; mail landing at
   /// or before it arrives too late (lookahead violation).
   Time ran_through_ = Time::ns(-1);
+  bool eager_merge_ = false;
+  std::uint64_t barrier_wall_ns_ = 0;
+  std::uint64_t windows_planned_ = 0;
+  /// Scratch for flush_outboxes: per-shard (time, hi) keys of inserted
+  /// provisional mail, used to finalize tying local keys.
+  std::vector<std::vector<std::pair<Time, std::uint64_t>>> mail_keys_;
 };
 
 }  // namespace nimcast::sim

@@ -116,21 +116,38 @@ class Simulator {
   };
 
   /// Moves the closed window's dispatch records into `out` (its old
-  /// storage is recycled as the next window's buffer) and resets the
-  /// local dispatch index so the next window's provisional keys start
-  /// from zero. Single-threaded phases only.
+  /// storage is recycled as the next window's buffer). The local dispatch
+  /// index is *cumulative* — it never resets — so a provisional key's
+  /// parent index identifies one dispatch of this shard across the whole
+  /// run, and the sharded driver can defer the ordinal merge off the
+  /// critical path (an ever-growing per-shard ordinal table resolves
+  /// parents whenever a key actually needs finalizing). Single-threaded
+  /// phases only.
   void drain_window_records(std::vector<DispatchRecord>& out) {
     out.clear();
     out.swap(records_);
-    window_dispatches_ = 0;
   }
 
-  /// Rewrites pending provisional lineage keys with `fn` (provisional lo
-  /// -> final lo) in one heap pass. Single-threaded phases only.
+  /// Rewrites every pending provisional lineage key with `fn`
+  /// (provisional lo -> final lo) in one heap pass. The sharded driver
+  /// runs this as an *amortized compaction* (table-trim points and
+  /// run() exit), not per window. Single-threaded phases only.
   template <typename Fn>
   void rekey_provisional(Fn&& fn) {
-    queue_.rekey_lo([&fn](std::uint64_t lo) {
+    queue_.rekey_lo([&fn](Time, std::uint64_t, std::uint64_t lo) {
       return (lo & kProvisionalBit) != 0 ? fn(lo) : lo;
+    });
+  }
+
+  /// Targeted variant: rewrites only pending provisional keys whose
+  /// (firing time, hi) the predicate selects. The sharded driver uses it
+  /// when cross-shard mail lands: a freshly-inserted mailed event can tie
+  /// a still-provisional local key at the same (time, hi), and only those
+  /// tying keys need their final form early. Single-threaded phases only.
+  template <typename Pred, typename Fn>
+  void rekey_provisional_if(Pred&& pred, Fn&& fn) {
+    queue_.rekey_lo([&](Time t, std::uint64_t hi, std::uint64_t lo) {
+      return (lo & kProvisionalBit) != 0 && pred(t, hi) ? fn(lo) : lo;
     });
   }
 

@@ -7,6 +7,12 @@ namespace nimcast::topo {
 
 std::vector<std::int32_t> partition_switches(const Graph& g,
                                              std::int32_t parts) {
+  return partition_switches(g, parts, {});
+}
+
+std::vector<std::int32_t> partition_switches(
+    const Graph& g, std::int32_t parts,
+    const std::vector<std::uint64_t>& weights) {
   if (parts < 1) {
     throw std::invalid_argument("partition_switches: parts < 1");
   }
@@ -18,20 +24,36 @@ std::vector<std::int32_t> partition_switches(const Graph& g,
     return part;
   }
 
-  // Balanced quota: the first (n % parts) parts take one extra switch.
-  std::int32_t assigned = 0;
+  // Effective weights: zero counts as one (an idle switch still has to
+  // live somewhere), and a mis-sized vector falls back to unit weights —
+  // which makes this byte-identical to the unweighted overload.
+  const bool weighted = weights.size() == static_cast<std::size_t>(n);
+  const auto weight_of = [&](std::int32_t v) -> std::uint64_t {
+    return weighted ? std::max<std::uint64_t>(
+                          weights[static_cast<std::size_t>(v)], 1)
+                    : 1;
+  };
+  std::uint64_t total = 0;
+  for (std::int32_t v = 0; v < n; ++v) total += weight_of(v);
+
+  // Balanced quota by weight: the first (total % parts) parts take one
+  // extra unit. With unit weights this is the classic ceil(V / parts)
+  // switch-count quota.
   std::int32_t next_seed = 0;
   for (std::int32_t p = 0; p < parts; ++p) {
-    const std::int32_t quota =
-        n / parts + (p < n % parts ? 1 : 0);
+    const std::uint64_t quota =
+        total / static_cast<std::uint64_t>(parts) +
+        (static_cast<std::uint64_t>(p) < total % static_cast<std::uint64_t>(parts)
+             ? 1
+             : 0);
     // gain[v]: links from v into the growing part; -1 marks assigned.
     std::vector<std::int32_t> gain(static_cast<std::size_t>(n), 0);
-    std::int32_t size = 0;
+    std::uint64_t size = 0;
     while (size < quota) {
       // Absorb the unassigned switch with the highest gain; seed a fresh
       // region (gain 0 everywhere) when the frontier is exhausted. Ties
       // fall to the lowest id, so the result is a pure function of the
-      // graph.
+      // graph (and the weights).
       std::int32_t best = -1;
       for (std::int32_t v = 0; v < n; ++v) {
         if (part[static_cast<std::size_t>(v)] != -1) continue;
@@ -46,9 +68,14 @@ std::vector<std::int32_t> partition_switches(const Graph& g,
         while (part[static_cast<std::size_t>(next_seed)] != -1) ++next_seed;
         best = next_seed;
       }
+      // A heavy switch that would blow the quota of an already-started
+      // part is left for a later part (a just-seeded part takes it
+      // regardless — every part absorbs at least one switch). Never
+      // triggers with unit weights: size + 1 > quota implies the loop
+      // already exited.
+      if (size > 0 && size + weight_of(best) > quota) break;
       part[static_cast<std::size_t>(best)] = p;
-      ++size;
-      ++assigned;
+      size += weight_of(best);
       for (LinkId e : g.incident(best)) {
         const SwitchId w = g.edge(e).other(best);
         if (part[static_cast<std::size_t>(w)] == -1) {
@@ -57,15 +84,14 @@ std::vector<std::int32_t> partition_switches(const Graph& g,
       }
     }
   }
-  // Defensive: quota arithmetic covers all n, but keep the invariant
-  // explicit — every switch must belong to a part.
+  // Leftovers (quota arithmetic covers everything under unit weights,
+  // but the weighted early-stop can strand switches): every switch must
+  // belong to a part.
   for (std::int32_t v = 0; v < n; ++v) {
     if (part[static_cast<std::size_t>(v)] == -1) {
       part[static_cast<std::size_t>(v)] = parts - 1;
-      ++assigned;
     }
   }
-  static_cast<void>(assigned);
   return part;
 }
 

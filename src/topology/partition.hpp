@@ -24,6 +24,18 @@ namespace nimcast::topo {
 [[nodiscard]] std::vector<std::int32_t> partition_switches(const Graph& g,
                                                            std::int32_t parts);
 
+/// Load-aware variant: balances total switch *weight* per part instead
+/// of switch count, with the same greedy BFS growth and deterministic
+/// tie-breaks. The sharded engine feeds measured per-switch event counts
+/// from a previous replication back in here, so hot regions of the
+/// fabric get spread across shards. A weight of zero counts as one
+/// (every switch must land somewhere and stay mobile); an empty or
+/// mis-sized `weights` vector means unit weights — byte-identical to
+/// the unweighted overload.
+[[nodiscard]] std::vector<std::int32_t> partition_switches(
+    const Graph& g, std::int32_t parts,
+    const std::vector<std::uint64_t>& weights);
+
 /// Number of links whose endpoints land in different parts — the
 /// quantity the heuristic minimizes, exposed for tests and diagnostics.
 [[nodiscard]] std::int64_t cut_links(const Graph& g,

@@ -292,19 +292,74 @@ TEST_F(ConfiguredShardsTest, EnvOverridesThePolicy) {
   EXPECT_EQ(pick_shards(1, 2048, 1), 3);
 }
 
-TEST_F(ConfiguredShardsTest, AutoPolicyShardOnlyBigUnderfilledSweeps) {
+TEST_F(ConfiguredShardsTest, AutoPolicyFillsSpareThreadsWithShards) {
   unsetenv("NIMCAST_SHARDS");
-  // Small fabrics never shard: barrier overhead would dominate.
-  EXPECT_EQ(pick_shards(16, 64, 1), 1);
-  EXPECT_EQ(pick_shards(16, kAutoShardHosts - 4, 1), 1);
+  // Fabrics thinner than one shard's worth of hosts never shard:
+  // barrier overhead would dominate.
+  EXPECT_EQ(pick_shards(16, kMinHostsPerShard - 4, 1), 1);
+  EXPECT_EQ(pick_shards(16, 2 * kMinHostsPerShard - 1, 1), 1);
   // Enough replications to fill the worker budget: replication
   // parallelism wins outright.
   EXPECT_EQ(pick_shards(8, 1024, 8), 1);
   EXPECT_EQ(pick_shards(8, 1024, 100), 1);
-  // Big fabric, under-filled budget: spare threads become shards.
+  // Under-filled budget: spare threads become shards, bounded by the
+  // per-shard host floor — no ≥512-host cliff.
+  EXPECT_EQ(pick_shards(16, 128, 1), 2);
+  EXPECT_EQ(pick_shards(16, 256, 1), 4);
   EXPECT_EQ(pick_shards(8, 1024, 1), 8);
   EXPECT_EQ(pick_shards(8, 1024, 4), 2);
   EXPECT_EQ(pick_shards(64, 1024, 1), kMaxAutoShards);  // capped
+  // A single spare thread per replication stays serial.
+  EXPECT_EQ(pick_shards(9, 1024, 8), 1);
+}
+
+class ConfiguredWindowTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("NIMCAST_WINDOW"); }
+
+  static std::int64_t with_env(const char* value) {
+    setenv("NIMCAST_WINDOW", value, 1);
+    return configured_window_ns();
+  }
+};
+
+TEST_F(ConfiguredWindowTest, UnsetMeansAuto) {
+  unsetenv("NIMCAST_WINDOW");
+  EXPECT_EQ(configured_window_ns(), 0);
+}
+
+TEST_F(ConfiguredWindowTest, ParsesStrictlyAndClamps) {
+  EXPECT_EQ(with_env("1"), 1);
+  EXPECT_EQ(with_env("100"), 100);
+  EXPECT_EQ(with_env(" 50 "), 50);   // surrounding whitespace tolerated
+  EXPECT_EQ(with_env("0"), 0);       // auto
+  EXPECT_EQ(with_env("-7"), 0);      // auto
+  EXPECT_EQ(with_env(""), 0);        // auto
+  EXPECT_EQ(with_env("80ns"), 0);    // no silent truncation
+  EXPECT_EQ(with_env("2.5"), 0);
+  EXPECT_EQ(with_env("99999999999999999999"), 0);  // overflow
+  EXPECT_EQ(with_env("2000000000"), kMaxWindowNs);
+}
+
+TEST_F(ConfiguredWindowTest, NarrowWindowPreservesTestbedResults) {
+  // A narrower-than-auto window changes only how often the sharded
+  // engine barriers, never what it computes: results stay bit-identical
+  // to the serial reference.
+  IrregularTestbed::Config cfg = stress_config();
+  cfg.num_topologies = 1;
+  cfg.sets_per_topology = 2;
+  const IrregularTestbed bed{cfg};
+  const auto serial = bed.measure(12, 2, TreeSpec::optimal(),
+                                  mcast::NiStyle::kSmartFpfs,
+                                  OrderingKind::kCco, /*threads=*/1);
+  setenv("NIMCAST_SHARDS", "4", 1);
+  setenv("NIMCAST_WINDOW", "40", 1);  // narrower than the 100 ns t_hop
+  const auto narrow = bed.measure(12, 2, TreeSpec::optimal(),
+                                  mcast::NiStyle::kSmartFpfs,
+                                  OrderingKind::kCco, /*threads=*/4);
+  unsetenv("NIMCAST_SHARDS");
+  unsetenv("NIMCAST_WINDOW");
+  expect_identical(serial, narrow);
 }
 
 TEST(ParallelTestbed, EnvVariableSelectsThreadCount) {

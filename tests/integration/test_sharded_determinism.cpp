@@ -188,20 +188,81 @@ TEST(ShardedDeterminism, ThreadCountNeverChangesResults) {
   }
 }
 
-TEST(ShardedDeterminism, UnshardableConfigsFallBackToSerial) {
-  // loss_rate > 0 cannot be sharded (global RNG draw order); asking for
-  // shards must silently produce the serial engine's exact results.
+TEST(ShardedDeterminism, LossyPipelinedMatrixMatchesSerial) {
+  // The v2 engine shards lossy (pure-hash draws keyed by packet
+  // identity) and pipelined-release (window-safe remote releases)
+  // configs that previously forced the serial fallback. Exercise the
+  // full matrix: three loss seeds x two thread counts, all against the
+  // serial baseline, and prove the sharded path actually engaged.
+  const Rig rig = irregular_rig();
+  const auto specs = batch(rig);
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    mcast::MulticastEngine::Config cfg;
+    cfg.style = mcast::NiStyle::kReliableFpfs;
+    cfg.network.loss_rate = 0.15;
+    cfg.network.loss_seed = seed;
+    cfg.network.release_model = net::ReleaseModel::kPipelined;
+    cfg.network.packet_bytes = 1024;  // widen the pipelined window bound
+    const mcast::MulticastEngine serial{rig.topology, rig.routes, cfg};
+    const auto baseline = serial.run_many(specs);
+    EXPECT_GT(baseline.retransmissions, 0) << "seed " << seed;
+    cfg.shards = 4;
+    for (std::int32_t threads : {2, 4}) {
+      cfg.shard_threads = threads;
+      const mcast::MulticastEngine engine{rig.topology, rig.routes, cfg};
+      const auto sharded = engine.run_many(specs);
+      EXPECT_GT(sharded.window_ns, 0) << "fell back to serial";
+      expect_identical(baseline, sharded,
+                       "lossy+pipelined seed=" + std::to_string(seed) +
+                           " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ShardedDeterminism, HashLossRetransmissionCountsMatchSerial) {
+  // Loss draws are keyed by packet identity (message, packet index,
+  // attempt, edge), not by global draw order, so every shard sees
+  // exactly the losses the serial engine sees: retransmission counts
+  // must be equal, not merely plausible.
+  const Rig rig = fat_tree_rig();
+  const auto specs = batch(rig);
+  for (const std::uint64_t seed : {31u, 32u, 33u}) {
+    mcast::MulticastEngine::Config cfg;
+    cfg.style = mcast::NiStyle::kReliableFpfs;
+    cfg.network.loss_rate = 0.2;
+    cfg.network.loss_seed = seed;
+    const mcast::MulticastEngine serial{rig.topology, rig.routes, cfg};
+    const auto baseline = serial.run_many(specs);
+    ASSERT_GT(baseline.retransmissions, 0) << "seed " << seed;
+    cfg.shards = 4;
+    for (std::int32_t threads : {1, 4}) {
+      cfg.shard_threads = threads;
+      const mcast::MulticastEngine engine{rig.topology, rig.routes, cfg};
+      const auto sharded = engine.run_many(specs);
+      EXPECT_GT(sharded.window_ns, 0) << "fell back to serial";
+      EXPECT_EQ(baseline.retransmissions, sharded.retransmissions)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ShardedDeterminism, AttachedTraceFallsBackToSerial) {
+  // A trace wants one globally ordered record stream, which shards
+  // cannot produce; asking for shards with a trace attached must
+  // silently run the serial engine and report window_ns == 0.
   const Rig rig = irregular_rig();
   const auto specs = batch(rig);
   mcast::MulticastEngine::Config cfg;
-  cfg.style = mcast::NiStyle::kReliableFpfs;
-  cfg.network.loss_rate = 0.05;
-  cfg.network.loss_seed = 99;
+  cfg.style = mcast::NiStyle::kSmartFpfs;
   const mcast::MulticastEngine serial{rig.topology, rig.routes, cfg};
   const auto baseline = serial.run_many(specs);
   cfg.shards = 4;
-  const mcast::MulticastEngine engine{rig.topology, rig.routes, cfg};
-  expect_identical(baseline, engine.run_many(specs), "lossy fallback");
+  sim::Trace trace;
+  const mcast::MulticastEngine engine{rig.topology, rig.routes, cfg,
+                                      &trace};
+  const auto sharded = engine.run_many(specs);
+  EXPECT_EQ(sharded.window_ns, 0) << "expected serial fallback";
+  expect_identical(baseline, sharded, "trace fallback");
 }
 
 }  // namespace
