@@ -13,17 +13,28 @@
 // over the whole stream would collapse to the chain: throughput-optimal
 // but O(n) per-packet depth).
 //
+// A second section compares the static g mod R rotation against the
+// congestion-aware adaptive selector (Config::selection = kAdaptive) on
+// one fixed irregular64 plan under four fabrics: clean, contended
+// (background unicast flows burying two members' relays), lossy
+// (the same flows plus packet loss), and a mid-stream link fault on a
+// channel only one member crosses.
+//
 // Shapes guarded: R > 1 sustains at least the R = 1 throughput at
 // saturation on every rig, and rotation pays >= 1.3x at R = 4 on at
-// least one rig. Output: results/BENCH_streaming.json (byte-identical
-// across runs; CI double-runs and cmps it).
+// least one rig; adaptive selection is byte-identical to static on the
+// clean fabric and strictly faster on the three perturbed ones.
+// Output: results/BENCH_streaming.json (byte-identical across runs; CI
+// double-runs and cmps it).
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "core/optimal_k.hpp"
+#include "mcast/multicast_engine.hpp"
 #include "core/ordering.hpp"
 #include "core/rotation.hpp"
 #include "routing/up_down.hpp"
@@ -94,6 +105,78 @@ core::RotationPlan plan_for(const PlanRig& rig, std::int32_t rotation,
   rc.fanout_bound = k;
   return core::plan_rotation(*rig.topology, *rig.routes, *rig.router, rig.cco,
                              rc);
+}
+
+/// The first hop below `member`'s virtual root: the host all of this
+/// member's packets funnel through.
+topo::HostId relay_of(const core::RotationMember& member) {
+  return member.tree.children.at(member.tree.root).front();
+}
+
+/// Deepest first-child descent from the relay — a destination whose
+/// route shares the member's subtree wires.
+topo::HostId deep_leaf_of(const core::RotationMember& member) {
+  topo::HostId h = relay_of(member);
+  while (!member.tree.children.at(h).empty()) {
+    h = member.tree.children.at(h).front();
+  }
+  return h;
+}
+
+/// Background unicasts that bury the relays of members 1 and 2 under
+/// `packets` queued sends each — the interference the adaptive selector
+/// is supposed to detect and dodge.
+std::vector<mcast::MulticastEngine::Config::BackgroundFlow> relay_flows(
+    const core::RotationPlan& plan, std::int32_t packets) {
+  std::vector<mcast::MulticastEngine::Config::BackgroundFlow> flows;
+  for (const std::size_t m : {std::size_t{1}, std::size_t{2}}) {
+    mcast::MulticastEngine::Config::BackgroundFlow flow;
+    flow.src = relay_of(plan.members[m]);
+    flow.dst = deep_leaf_of(plan.members[m]);
+    flow.packets = packets;
+    flow.start = sim::Time::zero();
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
+/// A link that member 1's footprint crosses and no other member's does,
+/// so downing it breaks exactly one rotation member. kInvalidId when
+/// the plan's footprints are too entangled (never on the bench rig).
+topo::LinkId link_unique_to_member_1(const core::RotationPlan& plan,
+                                     std::int32_t vcs) {
+  for (const std::int32_t chan : plan.members[1].footprint) {
+    bool shared = false;
+    for (std::size_t m = 0; m < plan.members.size() && !shared; ++m) {
+      if (m == 1) continue;
+      const auto& other = plan.members[m].footprint;
+      shared = std::binary_search(other.begin(), other.end(), chan);
+    }
+    if (!shared) return chan / (2 * vcs);
+  }
+  return topo::kInvalidId;
+}
+
+struct ScenarioPoint {
+  std::string name;
+  double static_flits = 0.0;
+  double adaptive_flits = 0.0;
+  double static_imbalance = 1.0;
+  double adaptive_imbalance = 1.0;
+  std::int64_t snapshots = 0;
+};
+
+double member_imbalance(const std::vector<std::int64_t>& member_packets) {
+  std::int64_t total = 0;
+  std::int64_t peak = 0;
+  for (const std::int64_t n : member_packets) {
+    total += n;
+    peak = std::max(peak, n);
+  }
+  if (total <= 0) return 1.0;
+  return static_cast<double>(peak) *
+         static_cast<double>(member_packets.size()) /
+         static_cast<double>(total);
 }
 
 }  // namespace
@@ -231,6 +314,93 @@ int main() {
                       "throughput at saturation on at least one rig "
                       "(best " + std::to_string(best_r4_gain) + ")");
 
+  // --- Static vs adaptive member selection under interference. One
+  // fixed irregular64 plan (R = 4), engine driven directly so the
+  // scenarios control exactly what else is on the fabric.
+  std::printf("\n--- member selection: static g mod R vs congestion-aware "
+              "adaptive ---\n\n");
+  const harness::TestbedSpec sel_spec =
+      harness::TestbedSpec::make_irregular(64);
+  const PlanRig sel_rig = make_plan_rig(sel_spec);
+  const std::int32_t sel_k = core::optimal_k(64, 4).k;
+  const core::RotationPlan sel_plan = plan_for(sel_rig, 4, sel_k);
+  const std::int32_t sel_S = 64;
+  const std::int32_t flow_packets = 400;
+
+  struct Scenario {
+    std::string name;
+    std::vector<mcast::MulticastEngine::Config::BackgroundFlow> background;
+    double loss_rate = 0.0;
+    topo::LinkId faulted_link = topo::kInvalidId;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"clean", {}, 0.0, topo::kInvalidId});
+  scenarios.push_back(
+      {"contended", relay_flows(sel_plan, flow_packets), 0.0,
+       topo::kInvalidId});
+  scenarios.push_back(
+      {"lossy", relay_flows(sel_plan, flow_packets), 0.02, topo::kInvalidId});
+  const topo::LinkId unique_link =
+      link_unique_to_member_1(sel_plan, sel_rig.routes->virtual_channels());
+  bench::expect_shape(unique_link != topo::kInvalidId,
+                      "the R=4 plan keeps a link unique to member 1 "
+                      "(footprint decorrelation)");
+  scenarios.push_back({"link_fault", {}, 0.0, unique_link});
+
+  harness::Table sel_table{{"scenario", "static flits/us", "adaptive flits/us",
+                            "gain", "adaptive imbalance", "snapshots"}};
+  std::vector<ScenarioPoint> scenario_points;
+  for (const Scenario& sc : scenarios) {
+    ScenarioPoint pt;
+    pt.name = sc.name;
+    for (const mcast::Selection selection :
+         {mcast::Selection::kStatic, mcast::Selection::kAdaptive}) {
+      mcast::MulticastEngine::Config cfg;
+      cfg.style = mcast::NiStyle::kSmartFpfs;
+      cfg.selection = selection;
+      cfg.background = sc.background;
+      cfg.network.loss_rate = sc.loss_rate;
+      if (sc.faulted_link != topo::kInvalidId) {
+        cfg.network.faults.link_down(sim::Time::us(50.0), sc.faulted_link);
+      }
+      const mcast::MulticastEngine engine{*sel_rig.topology, *sel_rig.routes,
+                                          cfg};
+      const mcast::StreamingResult r = engine.run_streaming(sel_plan, sel_S);
+      if (selection == mcast::Selection::kStatic) {
+        pt.static_flits = r.flits_per_us;
+        pt.static_imbalance = member_imbalance(r.member_packets);
+      } else {
+        pt.adaptive_flits = r.flits_per_us;
+        pt.adaptive_imbalance = member_imbalance(r.member_packets);
+        pt.snapshots = r.telemetry_snapshots;
+      }
+    }
+    sel_table.add_row({pt.name, harness::Table::num(pt.static_flits, 2),
+                       harness::Table::num(pt.adaptive_flits, 2),
+                       harness::Table::num(pt.adaptive_flits /
+                                               std::max(pt.static_flits, 1e-9),
+                                           3),
+                       harness::Table::num(pt.adaptive_imbalance, 3),
+                       harness::Table::num(pt.snapshots)});
+    scenario_points.push_back(std::move(pt));
+  }
+  sel_table.print(std::cout);
+  for (const ScenarioPoint& pt : scenario_points) {
+    if (pt.name == "clean") {
+      // Idle fabric: the decisive-signal rule never fires, so adaptive
+      // is byte-identical to the static rotation — not merely close.
+      bench::expect_shape(pt.adaptive_flits == pt.static_flits,
+                          "adaptive selection is byte-identical to static "
+                          "on the clean fabric");
+    } else {
+      bench::expect_shape(
+          pt.adaptive_flits > pt.static_flits,
+          "adaptive selection beats static under " + pt.name + " (" +
+              std::to_string(pt.adaptive_flits) + " vs " +
+              std::to_string(pt.static_flits) + " flits/us)");
+    }
+  }
+
   const char* out_path = std::getenv("NIMCAST_BENCH_OUT");
   if (out_path == nullptr) out_path = "BENCH_streaming.json";
   if (FILE* out = std::fopen(out_path, "w")) {
@@ -263,6 +433,21 @@ int main() {
           p.rig.c_str(), p.hosts, p.rotation, p.stream_packets, p.k,
           p.flits_per_us, p.makespan_us, p.p99_gap_us, p.overlap_mean,
           p.rotation_used, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"selection_scenarios\": [\n");
+    for (std::size_t i = 0; i < scenario_points.size(); ++i) {
+      const ScenarioPoint& p = scenario_points[i];
+      std::fprintf(
+          out,
+          "    {\"scenario\": \"%s\", \"static_flits_per_us\": %.6f, "
+          "\"adaptive_flits_per_us\": %.6f, \"static_imbalance\": %.3f, "
+          "\"adaptive_imbalance\": %.3f, \"telemetry_snapshots\": %lld}%s\n",
+          p.name.c_str(), p.static_flits, p.adaptive_flits,
+          p.static_imbalance, p.adaptive_imbalance,
+          static_cast<long long>(p.snapshots),
+          i + 1 < scenario_points.size() ? "," : "");
     }
     std::fprintf(out,
                  "  ],\n"

@@ -34,6 +34,7 @@ struct Communicator::Impl {
                                         options.style, options.reliability,
                                         options.repair};
     mcfg.rotation_trees = options.rotation_trees;
+    mcfg.selection = options.selection;
     mcast_engine =
         std::make_unique<mcast::MulticastEngine>(*topology, *routes, mcfg);
     coll_engine = std::make_unique<collectives::CollectiveEngine>(
@@ -233,6 +234,10 @@ Communicator::StreamReport Communicator::stream_broadcast(
   report.replans = r.replans;
   report.root_handoffs = r.root_handoffs;
   report.packets_resent = r.packets_resent;
+  report.selection = r.selection;
+  report.member_packets = r.member_packets;
+  report.member_ni_work_us = r.member_ni_work_us;
+  report.telemetry_snapshots = r.telemetry_snapshots;
   return report;
 }
 

@@ -61,6 +61,12 @@ class Communicator {
     /// paper's fixed tree; > 1 requires up*/down* routing (irregular
     /// systems) and smart FPFS NIs.
     std::int32_t rotation_trees = 1;
+    /// Per-packet member policy for stream_broadcast: static keeps the
+    /// g mod R rotation; adaptive picks the member the congestion
+    /// telemetry scores cheapest (idle fabric: byte-identical to
+    /// static). NIMCAST_SELECTION=static|adaptive overrides this in the
+    /// harness layer, not here.
+    mcast::Selection selection = mcast::Selection::kStatic;
   };
 
   /// A random irregular switch-based cluster (paper Section 5.2 system
@@ -150,6 +156,16 @@ class Communicator {
     std::int32_t root_handoffs = 0;
     /// Stream indices re-injected by repair and handoff messages.
     std::int64_t packets_resent = 0;
+    /// Effective per-packet member policy (rotation_used == 1 degrades
+    /// adaptive to static).
+    mcast::Selection selection = mcast::Selection::kStatic;
+    /// Per-member balance: stream packets issued down each rotation
+    /// member and the bottleneck NI work (µs) that share cost — how far
+    /// adaptive selection diverged from round-robin. Index = member.
+    std::vector<std::int64_t> member_packets;
+    std::vector<double> member_ni_work_us;
+    /// Telemetry snapshots the adaptive selector scored (0 = static).
+    std::int64_t telemetry_snapshots = 0;
   };
 
   /// Streams `bytes` from `source` to every other host, packetized and

@@ -75,7 +75,28 @@ int pick_shards(int threads, std::int32_t hosts, std::size_t replications) {
        static_cast<std::size_t>(kMaxAutoShards)}));
 }
 
-void log_parallel_plan(int threads, int shards, std::int64_t window_ns) {
+SelectionOverride configured_selection() {
+  const char* env = std::getenv("NIMCAST_SELECTION");
+  if (env == nullptr) return SelectionOverride::kUnset;
+  const char* begin = env;
+  while (std::isspace(static_cast<unsigned char>(*begin)) != 0) ++begin;
+  const char* end = begin;
+  while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end)) == 0) {
+    ++end;
+  }
+  for (const char* tail = end; *tail != '\0'; ++tail) {
+    if (std::isspace(static_cast<unsigned char>(*tail)) == 0) {
+      return SelectionOverride::kUnset;  // two tokens: malformed
+    }
+  }
+  const std::string word{begin, end};
+  if (word == "static") return SelectionOverride::kStatic;
+  if (word == "adaptive") return SelectionOverride::kAdaptive;
+  return SelectionOverride::kUnset;
+}
+
+void log_parallel_plan(int threads, int shards, std::int64_t window_ns,
+                       const char* selection, std::int32_t rotation_trees) {
   const char* env = std::getenv("NIMCAST_VERBOSE");
   if (env == nullptr || *env == '\0' ||
       (env[0] == '0' && env[1] == '\0')) {
@@ -83,10 +104,16 @@ void log_parallel_plan(int threads, int shards, std::int64_t window_ns) {
   }
   static std::once_flag logged;
   std::call_once(logged, [&] {
-    std::fprintf(stderr,
-                 "nimcast: threads=%d shards=%d window=%s\n", threads, shards,
-                 window_ns > 0 ? (std::to_string(window_ns) + "ns").c_str()
-                               : "auto");
+    std::string line = "nimcast: threads=" + std::to_string(threads) +
+                       " shards=" + std::to_string(shards) + " window=" +
+                       (window_ns > 0 ? std::to_string(window_ns) + "ns"
+                                      : std::string{"auto"});
+    if (selection != nullptr) {
+      line += " selection=";
+      line += selection;
+      line += " rotation=" + std::to_string(rotation_trees);
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
   });
 }
 

@@ -59,10 +59,20 @@ inline constexpr std::int64_t kMaxWindowNs = 1'000'000'000;
 inline constexpr std::int32_t kMinHostsPerShard = 64;
 inline constexpr int kMaxAutoShards = 8;
 
+/// Streaming member-selection policy requested via NIMCAST_SELECTION
+/// ("static" or "adaptive", surrounding whitespace tolerated). kUnset
+/// for anything else — the caller keeps its configured policy.
+enum class SelectionOverride : std::uint8_t { kUnset, kStatic, kAdaptive };
+[[nodiscard]] SelectionOverride configured_selection();
+
 /// Under NIMCAST_VERBOSE (any non-empty value other than "0"), prints
 /// the chosen (threads, shards, window) triple to stderr — once per
-/// process, from whichever harness entry point runs first.
-void log_parallel_plan(int threads, int shards, std::int64_t window_ns);
+/// process, from whichever harness entry point runs first. Streaming
+/// entry points pass the member-selection mode and rotation-set size;
+/// the defaults omit the streaming fields from the line.
+void log_parallel_plan(int threads, int shards, std::int64_t window_ns,
+                       const char* selection = nullptr,
+                       std::int32_t rotation_trees = 0);
 
 /// A small fixed-size worker pool (std::jthread + work queue) for the
 /// replication sweeps in the testbed. Replications are independent — each

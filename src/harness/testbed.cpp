@@ -26,6 +26,8 @@ void StreamingPoint::merge(const StreamingPoint& other) {
   p99_gap_us.merge(other.p99_gap_us);
   overlap_mean.merge(other.overlap_mean);
   rotation_used.merge(other.rotation_used);
+  member_imbalance.merge(other.member_imbalance);
+  telemetry_snapshots.merge(other.telemetry_snapshots);
 }
 
 namespace {
@@ -283,7 +285,8 @@ Testbed::Point Testbed::measure(std::int32_t n, std::int32_t m,
 
 StreamingPoint Testbed::measure_streaming(
     std::int32_t stream_packets, std::int32_t rotation_trees,
-    std::int32_t fanout_bound, int threads) const {
+    std::int32_t fanout_bound, int threads,
+    mcast::Selection selection) const {
   const std::int32_t hosts = spec_.num_hosts;
   if (hosts < 2) {
     throw std::invalid_argument("measure_streaming: fewer than 2 hosts");
@@ -301,14 +304,27 @@ StreamingPoint Testbed::measure_streaming(
     double p99_gap_us = 0.0;
     double overlap_mean = 0.0;
     double rotation_used = 0.0;
+    double member_imbalance = 1.0;
+    double telemetry_snapshots = 0.0;
   };
 
+  switch (configured_selection()) {
+    case SelectionOverride::kStatic:
+      selection = mcast::Selection::kStatic;
+      break;
+    case SelectionOverride::kAdaptive:
+      selection = mcast::Selection::kAdaptive;
+      break;
+    case SelectionOverride::kUnset:
+      break;
+  }
   const auto sets = static_cast<std::size_t>(spec_.sets_per_topology);
   const std::size_t replications = instances_.size() * sets;
   const int budget = threads >= 1 ? threads : configured_threads();
   const int shards = pick_shards(budget, hosts, replications);
   const std::int64_t window_ns = configured_window_ns();
-  log_parallel_plan(budget, shards, window_ns);
+  log_parallel_plan(budget, shards, window_ns,
+                    mcast::to_string(selection), rotation_trees);
   std::vector<mcast::MulticastEngine> engines;
   engines.reserve(instances_.size());
   for (const Instance& inst : instances_) {
@@ -317,6 +333,7 @@ StreamingPoint Testbed::measure_streaming(
     ecfg.shards = shards;
     ecfg.window = sim::Time::ns(window_ns);
     ecfg.rotation_trees = rotation_trees;
+    ecfg.selection = selection;
     engines.emplace_back(*inst.topology, *inst.routes, ecfg);
   }
 
@@ -350,10 +367,25 @@ StreamingPoint Testbed::measure_streaming(
             *inst.topology, *inst.routes, *inst.router, members, rc);
         const mcast::StreamingResult r =
             engines[t].run_streaming(plan, stream_packets);
+        double imbalance = 1.0;
+        if (!r.member_packets.empty()) {
+          std::int64_t total = 0;
+          std::int64_t peak = 0;
+          for (std::int64_t n : r.member_packets) {
+            total += n;
+            peak = std::max(peak, n);
+          }
+          if (total > 0) {
+            imbalance = static_cast<double>(peak) *
+                        static_cast<double>(r.member_packets.size()) /
+                        static_cast<double>(total);
+          }
+        }
         samples[job] =
             StreamSample{r.flits_per_us, r.makespan.as_us(),
                          r.p99_gap.as_us(), r.overlap_mean,
-                         static_cast<double>(r.rotation_used)};
+                         static_cast<double>(r.rotation_used), imbalance,
+                         static_cast<double>(r.telemetry_snapshots)};
       },
       std::max(1, budget / shards));
 
@@ -367,6 +399,8 @@ StreamingPoint Testbed::measure_streaming(
       inst_point.p99_gap_us.add(s.p99_gap_us);
       inst_point.overlap_mean.add(s.overlap_mean);
       inst_point.rotation_used.add(s.rotation_used);
+      inst_point.member_imbalance.add(s.member_imbalance);
+      inst_point.telemetry_snapshots.add(s.telemetry_snapshots);
     }
     point.merge(inst_point);
   }

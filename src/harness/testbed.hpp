@@ -43,6 +43,12 @@ struct StreamingPoint {
   sim::Summary p99_gap_us;     ///< in-order completion tail gap
   sim::Summary overlap_mean;   ///< planner channel-overlap fraction
   sim::Summary rotation_used;  ///< rotation members that carried packets
+  /// Per-member balance: max / mean of member_packets within a
+  /// replication (1.0 = perfect round-robin; adaptive selection under
+  /// contention drives this up as it steers around hot members).
+  sim::Summary member_imbalance;
+  /// Telemetry snapshots the adaptive selector scored (0 when static).
+  sim::Summary telemetry_snapshots;
 
   void merge(const StreamingPoint& other);
 };
@@ -137,11 +143,12 @@ class Testbed {
   /// fan-out `fanout_bound` (core::plan_rotation). Replication seeding,
   /// thread-budget split and fold order follow measure(), so results
   /// are bit-identical for every thread count; rotation_trees = 1 is
-  /// the paper's fixed-tree configuration.
-  [[nodiscard]] StreamingPoint measure_streaming(std::int32_t stream_packets,
-                                                 std::int32_t rotation_trees,
-                                                 std::int32_t fanout_bound,
-                                                 int threads = 0) const;
+  /// the paper's fixed-tree configuration. `selection` picks the
+  /// per-packet member policy (NIMCAST_SELECTION overrides it).
+  [[nodiscard]] StreamingPoint measure_streaming(
+      std::int32_t stream_packets, std::int32_t rotation_trees,
+      std::int32_t fanout_bound, int threads = 0,
+      mcast::Selection selection = mcast::Selection::kStatic) const;
 
   [[nodiscard]] const TestbedSpec& spec() const { return spec_; }
   [[nodiscard]] std::int32_t num_hosts() const { return spec_.num_hosts; }

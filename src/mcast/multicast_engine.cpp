@@ -1,6 +1,7 @@
 #include "mcast/multicast_engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <tuple>
 #include <unordered_map>
@@ -57,6 +58,14 @@ const char* to_string(NiStyle s) {
     case NiStyle::kSmartFcfs: return "smart-fcfs";
     case NiStyle::kSmartFpfs: return "smart-fpfs";
     case NiStyle::kReliableFpfs: return "reliable-fpfs";
+  }
+  return "?";
+}
+
+const char* to_string(Selection s) {
+  switch (s) {
+    case Selection::kStatic: return "static";
+    case Selection::kAdaptive: return "adaptive";
   }
   return "?";
 }
@@ -602,7 +611,21 @@ StreamingResult MulticastEngine::run_streaming(
   // Classes that actually carry packets: packet g rides class g mod R.
   const std::int32_t R = std::min(plan.size(), S);
 
+  for (const auto& flow : config_.background) {
+    if (flow.src < 0 || flow.src >= topology_.num_hosts() || flow.dst < 0 ||
+        flow.dst >= topology_.num_hosts() || flow.src == flow.dst) {
+      throw std::invalid_argument("run_streaming: bad background flow");
+    }
+    if (flow.packets < 1) {
+      throw std::invalid_argument(
+          "run_streaming: background flow packets < 1");
+    }
+  }
+
   const bool faulty = !config_.network.faults.empty();
+  const bool lossy = config_.network.loss_rate > 0.0;
+  // An R = 1 plan degrades adaptive to static: nothing to choose.
+  const bool adaptive = config_.selection == Selection::kAdaptive && R > 1;
 
   // Engine selection — identical rules to run_many (see there); the
   // pipelined path bound additionally covers every rotation member's
@@ -625,6 +648,9 @@ StreamingResult MulticastEngine::run_streaming(
                   std::max({max_hops, table.hops(h, c), table.hops(c, h)});
             }
           }
+        }
+        for (const auto& flow : config_.background) {
+          max_hops = std::max(max_hops, routes_.hops(flow.src, flow.dst));
         }
       }
     }
@@ -705,13 +731,26 @@ StreamingResult MulticastEngine::run_streaming(
                                                    config_.params, h, trace_));
     hosts.emplace(h, std::make_unique<netif::Host>(hsim, h, config_.params));
   }
+  for (const auto& flow : config_.background) {
+    for (topo::HostId h : {flow.src, flow.dst}) {
+      if (nis.contains(h)) continue;
+      sim::Simulator& hsim = sim_for_host(h);
+      nis.emplace(h, std::make_unique<netif::FpfsNi>(
+                         hsim, network, config_.params, h, trace_));
+      hosts.emplace(h, std::make_unique<netif::Host>(hsim, h, config_.params));
+    }
+  }
 
   // One message per streaming class; member r's tree carries class r.
-  // Class r holds the stream packets congruent to r mod R.
+  // Static: class r holds the stream packets congruent to r mod R, with
+  // per-class packet indices. Adaptive: any packet may ride any class,
+  // so every class is installed with the full stream as packet_count and
+  // the *global* stream index as packet index — a class carries the
+  // sparse index subset the selector routes to it.
   for (std::int32_t r = 0; r < R; ++r) {
     const auto message = static_cast<net::MessageId>(r + 1);
     const auto& member = plan.members[static_cast<std::size_t>(r)];
-    const std::int32_t count = (S - r + R - 1) / R;
+    const std::int32_t count = adaptive ? S : (S - r + R - 1) / R;
     for (topo::HostId h : member.tree.nodes) {
       netif::ForwardingEntry entry;
       entry.children = member.tree.children.at(h);
@@ -729,10 +768,31 @@ StreamingResult MulticastEngine::run_streaming(
     std::int32_t mul = 1;
     std::int32_t add = 0;
     std::vector<std::int32_t> indices;  ///< non-empty: j -> indices[j]
+    bool background = false;  ///< not part of the stream; skip accounting
   };
   std::vector<MsgMap> msg_stream;
   for (std::int32_t r = 0; r < R; ++r) {
-    msg_stream.push_back(MsgMap{R, r, {}});
+    msg_stream.push_back(adaptive ? MsgMap{1, 0, {}, false}
+                                  : MsgMap{R, r, {}, false});
+  }
+
+  // Background unicast flows: one message per flow, a two-node chain on
+  // the primary table. Their packets contend for wires and coprocessors
+  // but never enter stream accounting.
+  const auto F = static_cast<std::int32_t>(config_.background.size());
+  for (std::int32_t f = 0; f < F; ++f) {
+    const auto& flow = config_.background[static_cast<std::size_t>(f)];
+    const auto message = static_cast<net::MessageId>(R + 1 + f);
+    netif::ForwardingEntry at_src;
+    at_src.children = {flow.dst};
+    at_src.packet_count = flow.packets;
+    at_src.is_destination = false;
+    nis.at(flow.src)->install(message, at_src);
+    netif::ForwardingEntry at_dst;
+    at_dst.packet_count = flow.packets;
+    at_dst.is_destination = false;
+    nis.at(flow.dst)->install(message, at_dst);
+    msg_stream.push_back(MsgMap{1, 0, {}, true});
   }
 
   // Per-destination reassembly state. Flat per-host arrays: each slot is
@@ -761,8 +821,8 @@ StreamingResult MulticastEngine::run_streaming(
 
   for (auto& [h, ni] : nis) {
     ni->on_packet_at_ni = [&](topo::HostId dest, const net::Packet& p) {
-      if (dest == root) return;
       const MsgMap& mm = msg_stream[static_cast<std::size_t>(p.message - 1)];
+      if (mm.background || dest == root) return;
       const std::int32_t g =
           mm.indices.empty()
               ? p.packet_index * mm.mul + mm.add
@@ -782,15 +842,237 @@ StreamingResult MulticastEngine::run_streaming(
     };
   }
 
+  // Adaptive selector state. All scores are integer nanoseconds; member
+  // r's snapshot score snap[r] is the block-time delta over its channel
+  // footprint since the previous snapshot, plus its forwarders' current
+  // injection-queue backlog, plus a penalty for members a fault broke.
+  // The stream's own wake shows up in these scores too — footprints
+  // overlap only partially and forwarders momentarily hold copies in
+  // their queues — so raw argmin over snap would drift off the static
+  // rotation even on an otherwise idle fabric. The selector therefore
+  // splits detection from choice: a member is *hot* only on a decisive
+  // signal (a fault broke it, or its forwarders' queued sends exceed
+  // kHotQueueFactor × participants — the stream itself can never queue
+  // more than about one copy per participant, while a backed-up
+  // coprocessor holds hundreds), and the full score only arbitrates
+  // *which* clean member covers for a hot one. A clean home member is
+  // always kept, which makes an idle fabric byte-identical to the
+  // static g mod R rotation.
+  struct Selector {
+    std::vector<std::vector<std::int32_t>> footprint;  ///< sorted chan ids
+    std::vector<std::vector<topo::HostId>> senders;    ///< forwarders
+    std::vector<std::int64_t> snap;
+    std::vector<std::int64_t> queue_ns;  ///< backlog term of snap
+    std::vector<std::int64_t> sent;
+    std::vector<std::uint8_t> dead_member;
+    std::vector<std::int64_t> prev_block;  ///< per channel, last snapshot
+    std::vector<std::int32_t> union_channels;
+    std::int64_t issued = 0;
+    std::int64_t snapshots = 0;
+    std::uint64_t digest = 14695981039346656037ull;  // FNV-1a offset basis
+    std::int32_t faults_seen = 0;
+  } sel;
+  const std::int64_t t_snd_ns = config_.params.t_snd.count_ns();
+  const std::int64_t w_pkt =
+      config_.params.t_rcv.count_ns() +
+      static_cast<std::int64_t>(std::max(plan.fanout_bound, 1)) * t_snd_ns;
+  if (adaptive) {
+    sel.footprint.resize(static_cast<std::size_t>(R));
+    sel.senders.resize(static_cast<std::size_t>(R));
+    sel.snap.assign(static_cast<std::size_t>(R), 0);
+    sel.queue_ns.assign(static_cast<std::size_t>(R), 0);
+    sel.sent.assign(static_cast<std::size_t>(R), 0);
+    sel.dead_member.assign(static_cast<std::size_t>(R), 0);
+    sel.prev_block.assign(static_cast<std::size_t>(network.num_channels()),
+                          0);
+    std::vector<std::uint8_t> in_union(
+        static_cast<std::size_t>(network.num_channels()), 0);
+    for (std::int32_t r = 0; r < R; ++r) {
+      const auto& member = plan.members[static_cast<std::size_t>(r)];
+      auto& foot = sel.footprint[static_cast<std::size_t>(r)];
+      foot = member.footprint;
+      // The member's congestion is felt on its switch footprint plus
+      // its forwarders' injection channels. The root's injection
+      // channel and every ejection channel are member-independent
+      // (same source, same destinations) and would only add common-mode
+      // noise to every score.
+      for (topo::HostId h : member.tree.nodes) {
+        if (h == root || member.tree.children.at(h).empty()) continue;
+        sel.senders[static_cast<std::size_t>(r)].push_back(h);
+        foot.push_back(network.injection_channel_id(h));
+      }
+      std::sort(foot.begin(), foot.end());
+      foot.erase(std::unique(foot.begin(), foot.end()), foot.end());
+      for (std::int32_t c : foot) {
+        if (in_union[static_cast<std::size_t>(c)] == 0) {
+          in_union[static_cast<std::size_t>(c)] = 1;
+          sel.union_channels.push_back(c);
+        }
+      }
+    }
+  }
+
+  // A member is dead once a fault killed one of its hosts or condemned
+  // a channel its static routes cross; the penalty steers every
+  // subsequent packet to surviving members (repair still redelivers
+  // what was lost before the fault landed). Re-derived only when the
+  // applied-fault count moves.
+  constexpr std::int64_t kDeadPenalty = std::int64_t{1} << 50;
+  const auto refresh_dead_members = [&] {
+    if (network.faults_applied() == sel.faults_seen) return;
+    sel.faults_seen = network.faults_applied();
+    const auto dead = dead_switch_channels(topology_, network.fault_state(),
+                                           routes_.virtual_channels());
+    for (std::int32_t r = 0; r < R; ++r) {
+      const auto& member = plan.members[static_cast<std::size_t>(r)];
+      bool broken = false;
+      for (topo::HostId h : member.tree.nodes) {
+        if (!network.host_alive(h)) {
+          broken = true;
+          break;
+        }
+      }
+      if (!broken) {
+        // Both lists are sorted: linear intersection test.
+        const auto& foot = sel.footprint[static_cast<std::size_t>(r)];
+        std::size_t i = 0;
+        std::size_t j = 0;
+        while (i < foot.size() && j < dead.size()) {
+          if (foot[i] == dead[j]) {
+            broken = true;
+            break;
+          }
+          foot[i] < dead[j] ? ++i : ++j;
+        }
+      }
+      sel.dead_member[static_cast<std::size_t>(r)] = broken ? 1 : 0;
+    }
+  };
+
+  const auto score_snapshot = [&] {
+    refresh_dead_members();
+    for (std::int32_t r = 0; r < R; ++r) {
+      std::int64_t s = 0;
+      for (std::int32_t c : sel.footprint[static_cast<std::size_t>(r)]) {
+        s += network.channel_block_ns(c) -
+             sel.prev_block[static_cast<std::size_t>(c)];
+      }
+      std::int64_t backlog = 0;
+      for (topo::HostId h : sel.senders[static_cast<std::size_t>(r)]) {
+        backlog += nis.at(h)->injection_queue_depth() * t_snd_ns;
+      }
+      sel.queue_ns[static_cast<std::size_t>(r)] = backlog;
+      s += backlog;
+      if (sel.dead_member[static_cast<std::size_t>(r)] != 0) {
+        s += kDeadPenalty;
+      }
+      sel.snap[static_cast<std::size_t>(r)] = s;
+      for (std::int32_t b = 0; b < 64; b += 8) {
+        sel.digest ^= static_cast<std::uint64_t>(s >> b) & 0xffu;
+        sel.digest *= 1099511628211ull;  // FNV-1a prime
+      }
+    }
+    for (std::int32_t c : sel.union_channels) {
+      sel.prev_block[static_cast<std::size_t>(c)] =
+          network.channel_block_ns(c);
+    }
+    ++sel.snapshots;
+  };
+
+  // Hotness threshold on the forwarder backlog: the stream's own copies
+  // never queue more than about one send per participant fabric-wide
+  // (each in-flight packet occupies one coprocessor at a time), so a
+  // member whose forwarders hold kHotQueueFactor × participants' worth
+  // of queued sends is buried under exogenous traffic, not its own.
+  constexpr std::int64_t kHotQueueFactor = 2;
+  const std::int64_t hot_queue_ns =
+      kHotQueueFactor * static_cast<std::int64_t>(base.size()) * t_snd_ns;
+  const auto member_hot = [&](std::size_t r) {
+    return sel.dead_member[r] != 0 || sel.queue_ns[r] > hot_queue_ns;
+  };
+  const auto select_member = [&](std::int32_t g) -> std::size_t {
+    const auto home = static_cast<std::size_t>(g % R);
+    std::size_t best = home;
+    if (member_hot(home)) {
+      // The static member is decisively congested or broken: cover with
+      // the cheapest clean member — score plus a sent-count balance
+      // term, strict-< argmin over the (g + i) mod R probe order so
+      // covering work round-robins when scores tie. If every member is
+      // hot there is nothing better to do than stay on the rotation.
+      std::int64_t best_score = std::numeric_limits<std::int64_t>::max();
+      for (std::int32_t i = 0; i < R; ++i) {
+        const auto r = static_cast<std::size_t>((g + i) % R);
+        if (member_hot(r)) continue;
+        const std::int64_t score = sel.snap[r] + sel.sent[r] * w_pkt;
+        if (score < best_score) {
+          best = r;
+          best_score = score;
+        }
+      }
+    }
+    ++sel.sent[best];
+    ++sel.issued;
+    return best;
+  };
+
+  // Telemetry snapshots: a self-rescheduling chain with one steady-state
+  // packet period between samples — long enough for fresh block-time
+  // deltas, short enough to react within a handful of packets. Serial
+  // and sharded engines see identical data at each instant: the sharded
+  // chain rides globals (all shards parked at the barrier, same-time
+  // shard events not yet fired), the serial chain replays one
+  // setup-reserved FIFO key (firing before any same-time runtime event)
+  // — both orderings put the sample before the instant's dispatches.
+  // The chain stops once the stream has fully issued or the root died;
+  // at most one trailing no-op snapshot fires, identically in both
+  // engines, so end_time() parity holds.
+  const sim::Time snap_period = sim::Time::ns(w_pkt);
+  std::function<void()> snapshot_tick;
+  sim::Time next_snap = snap_period;
+  std::uint64_t snap_key = 0;
+  if (adaptive && !sharded_mode) snap_key = serial_sim->reserve_order();
+  const auto schedule_snapshot = [&] {
+    if (sharded_mode) {
+      shardsim->schedule_global(next_snap, snapshot_tick);
+    } else {
+      serial_sim->schedule_at_keyed(next_snap, 0, snap_key, snapshot_tick);
+    }
+  };
+  snapshot_tick = [&] {
+    if (sel.issued >= S || !network.host_alive(root)) return;
+    score_snapshot();
+    next_snap = next_snap + snap_period;
+    schedule_snapshot();
+  };
+  if (adaptive) schedule_snapshot();
+
   std::vector<net::MessageId> stream_messages;
   for (std::int32_t r = 0; r < R; ++r) {
     stream_messages.push_back(static_cast<net::MessageId>(r + 1));
   }
-  sim_for_host(root).schedule_at(
-      sim::Time::zero(), [&nis, &hosts, stream_messages, root] {
-        static_cast<netif::FpfsNi&>(*nis.at(root))
-            .start_streaming(stream_messages, *hosts.at(root));
-      });
+  if (adaptive) {
+    sim_for_host(root).schedule_at(
+        sim::Time::zero(),
+        [&nis, &hosts, &select_member, stream_messages, root, S] {
+          static_cast<netif::FpfsNi&>(*nis.at(root))
+              .start_streaming_adaptive(stream_messages, S, *hosts.at(root),
+                                        select_member);
+        });
+  } else {
+    sim_for_host(root).schedule_at(
+        sim::Time::zero(), [&nis, &hosts, stream_messages, root] {
+          static_cast<netif::FpfsNi&>(*nis.at(root))
+              .start_streaming(stream_messages, *hosts.at(root));
+        });
+  }
+  for (std::int32_t f = 0; f < F; ++f) {
+    const auto& flow = config_.background[static_cast<std::size_t>(f)];
+    const auto message = static_cast<net::MessageId>(R + 1 + f);
+    sim_for_host(flow.src).schedule_at(
+        flow.start, [&nis, &hosts, src = flow.src, message] {
+          nis.at(src)->start_from_host(message, *hosts.at(src));
+        });
+  }
   run_sim();
   if (network.in_flight() != 0) {
     throw std::runtime_error(
@@ -822,8 +1104,8 @@ StreamingResult MulticastEngine::run_streaming(
   // primary table is the one rebuilt around the faults, and a repair
   // tree's edges are not the edges a member's salted footprint cleared.
   topo::HostId eff_root = root;
-  if (faulty && config_.repair.max_attempts > 0) {
-    std::int32_t next_message = R + 1;
+  if ((faulty || lossy) && config_.repair.max_attempts > 0) {
+    std::int32_t next_message = R + F + 1;
     const auto dead = dead_switch_channels(
         topology_, network.fault_state(), routes_.virtual_channels());
     std::vector<topo::HostId> dead_hosts;
@@ -892,6 +1174,24 @@ StreamingResult MulticastEngine::run_streaming(
         }
         if (missing.empty()) break;
         const std::int32_t M = std::max(live.size(), 1);
+        // Adaptive: rescore the patched members — rank them by the
+        // cumulative block time their footprints absorbed (stable by
+        // index), so the larger round-robin shares land on the members
+        // the fabric treated best. Static keeps plan order.
+        std::vector<std::size_t> rank(static_cast<std::size_t>(M));
+        for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
+        if (adaptive && !live.members.empty()) {
+          std::vector<std::int64_t> cost(live.members.size(), 0);
+          for (std::size_t i = 0; i < live.members.size(); ++i) {
+            for (std::int32_t c : live.members[i].footprint) {
+              cost[i] += network.channel_block_ns(c);
+            }
+          }
+          std::stable_sort(rank.begin(), rank.end(),
+                           [&cost](std::size_t a, std::size_t b) {
+                             return cost[a] < cost[b];
+                           });
+        }
         for (std::int32_t i = 0; i < M; ++i) {
           std::vector<std::int32_t> share;
           for (std::size_t j = static_cast<std::size_t>(i);
@@ -899,10 +1199,10 @@ StreamingResult MulticastEngine::run_streaming(
             share.push_back(missing[j]);
           }
           if (share.empty()) continue;
+          const std::size_t mi = rank[static_cast<std::size_t>(i)];
           const std::vector<topo::HostId>& order =
-              live.members.empty()
-                  ? base.nodes
-                  : live.members[static_cast<std::size_t>(i)].tree.nodes;
+              live.members.empty() ? base.nodes
+                                   : live.members[mi].tree.nodes;
           if (launch(root, order, std::move(share))) {
             ++result.repairs;
             scheduled = true;
@@ -1056,7 +1356,7 @@ StreamingResult MulticastEngine::run_streaming(
     result.destinations.push_back(st);
   }
   const auto expected = result.destinations.size();
-  if (!faulty &&
+  if (!faulty && !lossy &&
       static_cast<std::size_t>(
           std::count_if(result.destinations.begin(),
                         result.destinations.end(),
@@ -1081,6 +1381,28 @@ StreamingResult MulticastEngine::run_streaming(
         (static_cast<double>(config_.network.packet_bytes) / 8.0);
     result.flits_per_us = flits / result.ni_makespan.as_us();
   }
+  result.selection = adaptive ? Selection::kAdaptive : Selection::kStatic;
+  result.member_packets.assign(static_cast<std::size_t>(R), 0);
+  result.member_ni_work_us.assign(static_cast<std::size_t>(R), 0.0);
+  for (std::int32_t r = 0; r < R; ++r) {
+    const std::int64_t n =
+        adaptive ? sel.sent[static_cast<std::size_t>(r)]
+                 : static_cast<std::int64_t>((S - r + R - 1) / R);
+    result.member_packets[static_cast<std::size_t>(r)] = n;
+    const auto& member = plan.members[static_cast<std::size_t>(r)];
+    std::int64_t bottleneck_ns = 0;
+    for (topo::HostId h : member.tree.nodes) {
+      std::int64_t work =
+          static_cast<std::int64_t>(member.tree.children.at(h).size()) *
+          t_snd_ns;
+      if (h != root) work += config_.params.t_rcv.count_ns();
+      bottleneck_ns = std::max(bottleneck_ns, work);
+    }
+    result.member_ni_work_us[static_cast<std::size_t>(r)] =
+        static_cast<double>(n) * static_cast<double>(bottleneck_ns) / 1000.0;
+  }
+  result.telemetry_snapshots = adaptive ? sel.snapshots : 0;
+  result.telemetry_digest = adaptive ? sel.digest : 0;
   result.total_channel_block_time = network.total_block_time();
   result.events_dispatched = static_cast<std::int64_t>(
       sharded_mode ? shardsim->events_dispatched()

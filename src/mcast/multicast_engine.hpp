@@ -28,6 +28,21 @@ enum class NiStyle : std::uint8_t {
 
 [[nodiscard]] const char* to_string(NiStyle s);
 
+/// Per-packet rotation-member policy for run_streaming.
+enum class Selection : std::uint8_t {
+  /// Packet g rides member g mod R — the statically planned rotation.
+  kStatic,
+  /// Packet g rides the member with the lowest congestion score
+  /// (channel block-time snapshot + NI injection-queue depth over the
+  /// member's footprint, plus a per-packet balance term). Ties break
+  /// lexicographically from g mod R, so an idle fabric reproduces the
+  /// static stream byte-for-byte. See docs/perf.md, "Adaptive tree
+  /// selection".
+  kAdaptive,
+};
+
+[[nodiscard]] const char* to_string(Selection s);
+
 /// Per-participant NI buffer statistics from one run.
 struct BufferStat {
   topo::HostId host = topo::kInvalidId;
@@ -210,6 +225,28 @@ struct StreamingResult {
   std::int64_t window_ns = 0;
   std::int64_t barrier_wall_ns = 0;
   std::int64_t windows_planned = 0;
+
+  /// Effective per-packet policy this run (an R = 1 plan degrades
+  /// adaptive to static — there is nothing to choose between).
+  Selection selection = Selection::kStatic;
+  /// Stream packets issued down each rotation member, index = member.
+  /// Static: the g mod R ceil-split; adaptive: the measured choice.
+  /// Repair and handoff resends ride dedicated repair messages and are
+  /// not attributed to members (see packets_resent).
+  std::vector<std::int64_t> member_packets;
+  /// Bottleneck NI work each member's share cost, in µs: member_packets
+  /// × max over the member's hosts of (t_rcv for non-roots + children ×
+  /// t_snd). Per-packet total work is member-independent (every member
+  /// spans the same hosts), so the bottleneck host is what
+  /// differentiates members — this is the per-member slice of the
+  /// planner's ni_work_bound.
+  std::vector<double> member_ni_work_us;
+  /// Telemetry snapshots the adaptive selector scored (0 when static —
+  /// the static path schedules no snapshot events at all).
+  std::int64_t telemetry_snapshots = 0;
+  /// FNV-1a digest over every snapshot's member score vector — the
+  /// serial-vs-sharded snapshot-equality witness (0 when static).
+  std::uint64_t telemetry_digest = 0;
 };
 
 /// Runs complete multicast operations on the full simulated system:
@@ -253,6 +290,23 @@ class MulticastEngine {
     /// harness::Testbed); run_streaming itself takes the plan
     /// explicitly. 1 keeps the paper's fixed tree.
     std::int32_t rotation_trees = 1;
+    /// Per-packet member policy for run_streaming (run()/run_many()
+    /// ignore it). Static keeps the g mod R rotation; adaptive scores
+    /// members against barrier-consistent telemetry snapshots.
+    Selection selection = Selection::kStatic;
+    /// Background unicast flows run_streaming injects alongside the
+    /// stream (contended-fabric scenarios): `packets` fixed-size
+    /// packets from src's NI to dst on the primary routes, launched at
+    /// `start`. Endpoints need not be stream participants; the flows
+    /// contend for wires and coprocessors but stay out of every stream
+    /// metric. run()/run_many() ignore them.
+    struct BackgroundFlow {
+      topo::HostId src = topo::kInvalidId;
+      topo::HostId dst = topo::kInvalidId;
+      std::int32_t packets = 1;
+      sim::Time start = sim::Time::zero();
+    };
+    std::vector<BackgroundFlow> background{};
   };
 
   MulticastEngine(const topo::Topology& topology,
@@ -274,7 +328,9 @@ class MulticastEngine {
   /// Streams `stream_packets` fixed-size packets from the plan's root to
   /// every other participant, packet g dispatched down rotation member
   /// g mod R (R = min(plan size, stream_packets)) under that member's
-  /// route class. Requires NiStyle::kSmartFpfs: the source interleaves
+  /// route class — or, with Config::selection = kAdaptive, down the
+  /// member the telemetry-driven selector scores cheapest per packet.
+  /// Requires NiStyle::kSmartFpfs: the source interleaves
   /// the classes in one packet-major round-robin (FpfsNi::
   /// start_streaming), so consecutive stream packets leave down
   /// *different* trees and the per-packet NI forwarding load rotates

@@ -153,4 +153,35 @@ void NetworkInterface::send_copy(net::MessageId message, std::int32_t index,
   });
 }
 
+void NetworkInterface::send_copy_then(net::MessageId message,
+                                      std::int32_t index,
+                                      std::int32_t packet_count,
+                                      topo::HostId child,
+                                      std::int32_t route_class,
+                                      std::function<void()> then) {
+  coproc_.enqueue(params_.t_snd, [this, message, index, packet_count, child,
+                                  route_class, then = std::move(then)] {
+    net::Packet p;
+    p.message = message;
+    p.packet_index = index;
+    p.packet_count = packet_count;
+    p.sender = self_;
+    p.dest = child;
+    p.route_class = route_class;
+    network_.send(p);
+    const auto key = packet_key(message, index);
+    auto it = outstanding_.find(key);
+    assert(it != outstanding_.end() && "send_copy_then without hold_packet");
+    --it->second;
+    release_if_done(key);
+    then();
+    if (trace_) {
+      trace_->record(sim_.now(), sim::TraceCategory::kNi, self_,
+                     "sent msg=" + std::to_string(message) + " pkt=" +
+                         std::to_string(index) + " -> host " +
+                         std::to_string(child));
+    }
+  });
+}
+
 }  // namespace nimcast::netif

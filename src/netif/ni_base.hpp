@@ -82,6 +82,12 @@ class NetworkInterface : public net::DeliverySink {
   [[nodiscard]] topo::HostId id() const { return self_; }
   [[nodiscard]] const BufferTracker& buffer() const { return buffer_; }
   [[nodiscard]] const SerialServer& coprocessor() const { return coproc_; }
+  /// Coprocessor backlog: tasks queued plus tasks in service. The
+  /// adaptive streaming selector samples this at telemetry snapshots as
+  /// the NI-side congestion signal.
+  [[nodiscard]] std::int64_t injection_queue_depth() const {
+    return static_cast<std::int64_t>(coproc_.queued()) + coproc_.active();
+  }
   [[nodiscard]] const SystemParams& params() const { return params_; }
   [[nodiscard]] virtual const char* style() const = 0;
 
@@ -104,6 +110,16 @@ class NetworkInterface : public net::DeliverySink {
   void send_copy(net::MessageId message, std::int32_t index,
                  std::int32_t packet_count, topo::HostId child,
                  std::int32_t route_class = 0);
+
+  /// send_copy with a continuation: `then` runs inside the same
+  /// coprocessor completion action, after the injection and buffer
+  /// release. The adaptive streaming source hangs the *next* packet's
+  /// member selection off its last copy this way — the continuation
+  /// enqueues before the coprocessor picks its next task, so the issue
+  /// stream's timing is byte-identical to enqueueing everything upfront.
+  void send_copy_then(net::MessageId message, std::int32_t index,
+                      std::int32_t packet_count, topo::HostId child,
+                      std::int32_t route_class, std::function<void()> then);
 
   /// Declares that packet `index` is resident in NI memory and will be
   /// copied out `copies` times. Acquires a buffer slot (released

@@ -52,6 +52,8 @@ class SerialServer {
   void enqueue_low(sim::Time duration, Action on_done);
 
   [[nodiscard]] bool busy() const { return active_ > 0; }
+  /// Tasks currently occupying a worker (<= workers()).
+  [[nodiscard]] std::int32_t active() const { return active_; }
   [[nodiscard]] std::int32_t workers() const { return workers_; }
   [[nodiscard]] std::size_t queued() const {
     return queue_.size() + low_queue_.size();

@@ -64,6 +64,63 @@ void FpfsNi::start_streaming(const std::vector<net::MessageId>& messages,
   });
 }
 
+void FpfsNi::start_streaming_adaptive(
+    const std::vector<net::MessageId>& messages, std::int32_t stream_packets,
+    Host& host, std::function<std::size_t(std::int32_t)> select) {
+  if (messages.empty()) {
+    throw std::logic_error("FpfsNi: start_streaming_adaptive with no messages");
+  }
+  if (stream_packets < 1) {
+    throw std::logic_error("FpfsNi: start_streaming_adaptive needs packets");
+  }
+  host.software_send([this, messages, stream_packets,
+                      select = std::move(select)]() mutable {
+    auto stream = std::make_shared<AdaptiveStream>();
+    stream->messages = messages;
+    stream->stream_packets = stream_packets;
+    stream->select = std::move(select);
+    stream->entries.reserve(messages.size());
+    for (net::MessageId m : messages) {
+      const ForwardingEntry* entry = find_entry(m);
+      if (entry == nullptr) {
+        throw std::logic_error("FpfsNi: no forwarding entry at source");
+      }
+      if (entry->packet_count != stream_packets) {
+        throw std::logic_error(
+            "FpfsNi: adaptive classes must be installed with the full "
+            "stream as packet_count");
+      }
+      stream->entries.push_back(entry);
+    }
+    issue_adaptive(stream, 0);
+  });
+}
+
+void FpfsNi::issue_adaptive(const std::shared_ptr<AdaptiveStream>& stream,
+                            std::int32_t g) {
+  // Childless classes advance synchronously; the loop re-enters from the
+  // last copy's completion otherwise, so selection for packet g+1 sees
+  // the fabric as of the instant packet g finished injecting.
+  while (g < stream->stream_packets) {
+    const std::size_t r = stream->select(g);
+    const ForwardingEntry& entry = *stream->entries.at(r);
+    const auto copies = static_cast<std::int32_t>(entry.children.size());
+    hold_packet(stream->messages[r], g, copies);
+    if (copies == 0) {
+      ++g;
+      continue;
+    }
+    for (std::size_t i = 0; i + 1 < entry.children.size(); ++i) {
+      send_copy(stream->messages[r], g, entry.packet_count, entry.children[i],
+                entry.route_class);
+    }
+    send_copy_then(stream->messages[r], g, entry.packet_count,
+                   entry.children.back(), entry.route_class,
+                   [this, stream, g] { issue_adaptive(stream, g + 1); });
+    return;
+  }
+}
+
 void FpfsNi::on_packet_received(const net::Packet& packet,
                                 const ForwardingEntry& entry) {
   if (entry.children.empty()) return;  // leaf: DMA to host only

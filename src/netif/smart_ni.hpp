@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "netif/ni_base.hpp"
@@ -30,11 +31,35 @@ class FpfsNi final : public NetworkInterface {
   void start_streaming(const std::vector<net::MessageId>& messages,
                        Host& host);
 
+  /// Adaptive streaming source: stream packet g goes down class
+  /// `select(g)`, decided when the coprocessor is about to issue it (the
+  /// last copy of packet g-1 hangs packet g's selection off its own
+  /// completion via send_copy_then). Each class must be installed with
+  /// `packet_count == stream_packets` — the global stream index is the
+  /// packet index, so a class carries the sparse subset of indices the
+  /// selector routes to it. With one coprocessor engine the issue
+  /// timing is byte-identical to start_streaming whenever `select`
+  /// reproduces g mod |messages| (with >1 engines the deferred enqueue
+  /// would serialize what start_streaming overlaps).
+  void start_streaming_adaptive(
+      const std::vector<net::MessageId>& messages, std::int32_t stream_packets,
+      Host& host, std::function<std::size_t(std::int32_t)> select);
+
   [[nodiscard]] const char* style() const override { return "smart-fpfs"; }
 
  protected:
   void on_packet_received(const net::Packet& packet,
                           const ForwardingEntry& entry) override;
+
+ private:
+  struct AdaptiveStream {
+    std::vector<net::MessageId> messages;
+    std::vector<const ForwardingEntry*> entries;
+    std::int32_t stream_packets = 0;
+    std::function<std::size_t(std::int32_t)> select;
+  };
+  void issue_adaptive(const std::shared_ptr<AdaptiveStream>& stream,
+                      std::int32_t g);
 };
 
 /// First-Child-First-Served smart NI (paper Section 3.1, Figure 6).

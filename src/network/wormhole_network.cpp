@@ -125,6 +125,11 @@ void WormholeNetwork::init_channels_and_faults() {
     }
   }
   switch_load_.assign(static_cast<std::size_t>(topology_.num_switches()), 0);
+  // Per-channel congestion telemetry (block ns + acquisition counts):
+  // bumped at the two acquisition sites below, read by the adaptive
+  // streaming selector at barrier-consistent snapshots.
+  chan_block_ns_.assign(num_channels, 0);
+  chan_acq_.assign(num_channels, 0);
   const int shards = is_sharded() ? sharded_->num_shards() : 1;
   shard_state_.reserve(static_cast<std::size_t>(shards));
   for (int s = 0; s < shards; ++s) {
@@ -446,6 +451,7 @@ void WormholeNetwork::progress(Worm* w) {
   channel_busy_[static_cast<std::size_t>(chan)] = 1;
   ++switch_load_[static_cast<std::size_t>(
       chan_switch_[static_cast<std::size_t>(chan)])];
+  ++chan_acq_[static_cast<std::size_t>(chan)];
   w->acquired_at.push_back(shard_sim.now());
   ++w->next;
   if (w->next == w->path.size()) {
@@ -600,9 +606,11 @@ void WormholeNetwork::release_channel(std::int32_t chan) {
   sim::Simulator& shard_sim = sim_of(s);
   next->parked = false;
   state_of(s).total_block += shard_sim.now() - next->block_start;
+  chan_block_ns_[c] += (shard_sim.now() - next->block_start).count_ns();
   assert(next->path[next->next] == chan);
   ++switch_load_[static_cast<std::size_t>(
       chan_switch_[static_cast<std::size_t>(chan)])];
+  ++chan_acq_[c];
   next->acquired_at.push_back(shard_sim.now());
   ++next->next;
   if (next->next == next->path.size()) {

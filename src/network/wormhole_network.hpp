@@ -220,6 +220,34 @@ class WormholeNetwork {
     return switch_load_;
   }
 
+  /// Per-channel congestion telemetry, maintained on the existing
+  /// channel-acquisition/release path (two array increments — no
+  /// per-flit allocation, no extra events). Counters are cumulative and
+  /// monotone over the network's lifetime; like switch_load(), each
+  /// index is written only by its owner shard mid-window, so sample them
+  /// between runs, at a barrier, or from a single-threaded global.
+  /// Total channels (switch + injection + ejection); valid ids are
+  /// [0, num_channels()).
+  [[nodiscard]] std::int32_t num_channels() const {
+    return static_cast<std::int32_t>(channel_busy_.size());
+  }
+  /// Cumulative ns worms spent parked waiting for `chan`, accrued at
+  /// each FIFO hand-off. Sums to total_block_time() over all channels.
+  [[nodiscard]] std::int64_t channel_block_ns(std::int32_t chan) const {
+    return chan_block_ns_[static_cast<std::size_t>(chan)];
+  }
+  /// Times `chan` was acquired (first grab + every FIFO hand-off).
+  [[nodiscard]] std::uint64_t channel_acquisitions(std::int32_t chan) const {
+    return chan_acq_[static_cast<std::size_t>(chan)];
+  }
+  /// Public channel-id helper for telemetry consumers: the injection
+  /// (NI -> switch) channel of host `h`. A rotation member's switch
+  /// footprint plus its forwarders' injection channels is the channel
+  /// set whose congestion the member actually feels.
+  [[nodiscard]] std::int32_t injection_channel_id(topo::HostId h) const {
+    return injection_channel(h);
+  }
+
  private:
   struct PendingRelease {
     std::int32_t chan;
@@ -362,6 +390,10 @@ class WormholeNetwork {
   std::vector<topo::SwitchId> chan_switch_;
   /// Channel acquisitions per switch; see switch_load().
   std::vector<std::uint64_t> switch_load_;
+  /// Cumulative block ns per channel; see channel_block_ns().
+  std::vector<std::int64_t> chan_block_ns_;
+  /// Acquisition count per channel; see channel_acquisitions().
+  std::vector<std::uint64_t> chan_acq_;
 
   std::vector<std::unique_ptr<ShardState>> shard_state_;
 

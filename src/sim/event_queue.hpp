@@ -187,6 +187,14 @@ class EventQueue {
     return EventId{make_id(slot, s.generation)};
   }
 
+  /// Claims the next plain-FIFO insertion counter without scheduling
+  /// anything. The claimed value can be replayed via
+  /// schedule_keyed(when, 0, key) at several *distinct* times — a
+  /// self-rescheduling chain keeps one stable position in the FIFO
+  /// tie-break (after everything scheduled before the claim, before
+  /// everything scheduled after it).
+  [[nodiscard]] std::uint64_t reserve_order() { return next_order_++; }
+
   /// Cancels a pending event. Returns false when the event already fired
   /// or was cancelled before. The heap entry is removed and the slot is
   /// freed immediately, so schedule/cancel churn (e.g. retry timers) does

@@ -178,6 +178,16 @@ class Simulator {
     return queue_.schedule_keyed(when, hi, lo, std::forward<F>(cb));
   }
 
+  /// Claims a plain-FIFO tie-break counter (see EventQueue::
+  /// reserve_order); pair with schedule_at_keyed(when, 0, key) to hold a
+  /// fixed position in the default keying across a chain of events at
+  /// distinct times. Default-keyed (non-shard-order) simulators only —
+  /// shard-order mode draws keys from a different space.
+  [[nodiscard]] std::uint64_t reserve_order() {
+    assert(!shard_order_enabled());
+    return queue_.reserve_order();
+  }
+
   /// Advances the clock to `t` without dispatching anything; `t >= now()`
   /// required. Window barriers use this to line every shard up at an
   /// agreed instant (e.g. a fault time) before cross-shard work happens.

@@ -313,6 +313,36 @@ TEST_F(ConfiguredShardsTest, AutoPolicyFillsSpareThreadsWithShards) {
   EXPECT_EQ(pick_shards(9, 1024, 8), 1);
 }
 
+class ConfiguredSelectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("NIMCAST_SELECTION"); }
+
+  static SelectionOverride with_env(const char* value) {
+    setenv("NIMCAST_SELECTION", value, 1);
+    return configured_selection();
+  }
+};
+
+TEST_F(ConfiguredSelectionTest, UnsetKeepsTheConfiguredPolicy) {
+  unsetenv("NIMCAST_SELECTION");
+  EXPECT_EQ(configured_selection(), SelectionOverride::kUnset);
+}
+
+TEST_F(ConfiguredSelectionTest, ParsesTheTwoPolicies) {
+  EXPECT_EQ(with_env("static"), SelectionOverride::kStatic);
+  EXPECT_EQ(with_env("adaptive"), SelectionOverride::kAdaptive);
+  EXPECT_EQ(with_env(" adaptive "), SelectionOverride::kAdaptive);
+  EXPECT_EQ(with_env("\tstatic\n"), SelectionOverride::kStatic);
+}
+
+TEST_F(ConfiguredSelectionTest, RejectsMalformedValues) {
+  EXPECT_EQ(with_env(""), SelectionOverride::kUnset);
+  EXPECT_EQ(with_env("Adaptive"), SelectionOverride::kUnset);  // exact match
+  EXPECT_EQ(with_env("adaptive extra"), SelectionOverride::kUnset);
+  EXPECT_EQ(with_env("adaptivex"), SelectionOverride::kUnset);
+  EXPECT_EQ(with_env("1"), SelectionOverride::kUnset);
+}
+
 class ConfiguredWindowTest : public ::testing::Test {
  protected:
   void TearDown() override { unsetenv("NIMCAST_WINDOW"); }
