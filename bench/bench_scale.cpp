@@ -607,11 +607,16 @@ int main(int argc, char** argv) {
                    gate_result.predicted_wall_ms, gate_result.actual_wall_ms,
                    gate_result.passed ? "true" : "false");
     }
+    // Machine-speed probe recorded alongside the wall-time metrics so a
+    // downstream trend diff (scripts/bench_trend.py) can normalize two
+    // runs taken on different machines onto one scale.
     std::fprintf(out,
+                 "  \"machine_probe_events_per_sec\": %.1f,\n"
                  "  \"peak_rss_kb\": %zu,\n"
                  "  \"git_rev\": \"%s\"\n"
                  "}\n",
-                 peak_rss_kb(), bench::git_rev().c_str());
+                 churn_probe().events_per_sec, peak_rss_kb(),
+                 bench::git_rev().c_str());
     std::fclose(out);
     std::printf("wrote %s\n", out_path);
   } else {

@@ -8,6 +8,8 @@
 #include "core/rotation.hpp"
 #include "routing/dimension_ordered.hpp"
 #include "routing/up_down.hpp"
+#include "sim/stats.hpp"
+#include "traffic/traffic_engine.hpp"
 
 namespace nimcast::api {
 
@@ -238,6 +240,38 @@ Communicator::StreamReport Communicator::stream_broadcast(
   report.member_packets = r.member_packets;
   report.member_ni_work_us = r.member_ni_work_us;
   report.telemetry_snapshots = r.telemetry_snapshots;
+  return report;
+}
+
+Communicator::TrafficReport Communicator::run_traffic() const {
+  const Options& opt = impl_->options;
+  traffic::TrafficConfig tcfg;
+  tcfg.params = opt.params;
+  tcfg.network = opt.network;
+  tcfg.scheduler = opt.traffic_scheduler;
+  const traffic::TrafficEngine engine{*impl_->topology, *impl_->routes, tcfg};
+  const traffic::Workload mix = traffic::generate_workload(
+      impl_->topology->num_hosts(), impl_->chain, opt.traffic_workload);
+  const traffic::TrafficResult r = engine.run(mix);
+
+  TrafficReport report;
+  report.ops = static_cast<std::int32_t>(r.ops.size());
+  report.multicasts = mix.multicasts;
+  report.streams = mix.streams;
+  report.collectives = mix.collectives;
+  report.churns = mix.churns;
+  report.makespan = r.makespan;
+  report.ops_per_sec = r.ops_per_sec;
+  report.flits_per_us = r.flits_per_us;
+  report.packets_delivered = r.packets_delivered;
+  sim::Samples fct;
+  for (const traffic::OpRecord& rec : r.ops) fct.add(rec.fct().as_us());
+  report.fct_p50 = sim::Time::us(fct.percentile(50.0));
+  report.fct_p99 = sim::Time::us(fct.percentile(99.0));
+  report.deferral_ticks = r.deferral_ticks;
+  report.scheduler_ticks = r.ticks;
+  report.contention = r.total_channel_block_time;
+  report.digest = r.digest;
   return report;
 }
 

@@ -17,6 +17,8 @@
 #include "sim/rng.hpp"
 #include "topology/irregular.hpp"
 #include "topology/kary_ncube.hpp"
+#include "traffic/scheduler.hpp"
+#include "traffic/workload.hpp"
 
 namespace nimcast::api {
 
@@ -67,6 +69,13 @@ class Communicator {
     /// static). NIMCAST_SELECTION=static|adaptive overrides this in the
     /// harness layer, not here.
     mcast::Selection selection = mcast::Selection::kStatic;
+    /// Multi-tenant traffic mix run_traffic() generates: offered load
+    /// (ops_per_ms), group-size distribution, class fractions and
+    /// mid-stream churn probability. Seeded from its own `seed` field.
+    traffic::WorkloadConfig traffic_workload = {};
+    /// Contention-aware admission policy run_traffic() schedules the mix
+    /// under (Policy::kFifo = no-pacing baseline).
+    traffic::SchedulerConfig traffic_scheduler = {};
   };
 
   /// A random irregular switch-based cluster (paper Section 5.2 system
@@ -176,6 +185,33 @@ class Communicator {
   /// (the default style). rotation_trees = 1 is the fixed-tree engine.
   [[nodiscard]] StreamReport stream_broadcast(topo::HostId source,
                                               std::int64_t bytes) const;
+
+  /// Result of one multi-tenant traffic run (run_traffic).
+  struct TrafficReport {
+    std::int32_t ops = 0;          ///< operations in the mix
+    std::int32_t multicasts = 0;
+    std::int32_t streams = 0;
+    std::int32_t collectives = 0;
+    std::int32_t churns = 0;       ///< streams that churned mid-flight
+    sim::Time makespan;            ///< first arrival to last completion
+    double ops_per_sec = 0.0;      ///< sustained operation throughput
+    double flits_per_us = 0.0;     ///< delivered payload throughput
+    std::int64_t packets_delivered = 0;
+    sim::Time fct_p50;             ///< median flow-completion time
+    sim::Time fct_p99;             ///< tail flow-completion time
+    std::int64_t deferral_ticks = 0;  ///< paced-scheduler deferrals
+    std::int64_t scheduler_ticks = 0;
+    sim::Time contention;          ///< cumulative channel block time
+    /// Byte-determinism witness over the completion stream.
+    std::uint64_t digest = 0;
+  };
+
+  /// Runs Options::traffic_workload — N concurrent multicast / stream /
+  /// collective tenant groups over this one fabric — admitted by the
+  /// Options::traffic_scheduler policy. Requires a pristine fabric (no
+  /// faults, no loss) and smart FPFS NIs; deterministic given the
+  /// options.
+  [[nodiscard]] TrafficReport run_traffic() const;
 
   /// Personalized one-to-all / all-to-one / combining collectives over
   /// the same optimally-shaped tree.

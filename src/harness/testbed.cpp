@@ -9,6 +9,7 @@
 #include "core/rotation.hpp"
 #include "harness/parallel.hpp"
 #include "sim/rng.hpp"
+#include "traffic/traffic_engine.hpp"
 
 namespace nimcast::harness {
 
@@ -18,6 +19,21 @@ void MeasurePoint::merge(const MeasurePoint& other) {
   peak_buffer.merge(other.peak_buffer);
   buffer_integral.merge(other.buffer_integral);
   events.merge(other.events);
+}
+
+void TrafficPoint::merge(const TrafficPoint& other) {
+  ops_per_sec.merge(other.ops_per_sec);
+  flits_per_us.merge(other.flits_per_us);
+  makespan_us.merge(other.makespan_us);
+  deferral_ticks.merge(other.deferral_ticks);
+  for (double v : other.fct_us.values()) fct_us.add(v);
+  for (double v : other.fct_multicast_us.values()) fct_multicast_us.add(v);
+  for (double v : other.fct_stream_us.values()) fct_stream_us.add(v);
+  for (double v : other.fct_collective_us.values()) fct_collective_us.add(v);
+  for (std::int32_t b = 0; b < 64; b += 8) {
+    digest ^= (other.digest >> b) & 0xffu;
+    digest *= 1099511628211ull;  // FNV-1a prime
+  }
 }
 
 void StreamingPoint::merge(const StreamingPoint& other) {
@@ -401,6 +417,103 @@ StreamingPoint Testbed::measure_streaming(
       inst_point.rotation_used.add(s.rotation_used);
       inst_point.member_imbalance.add(s.member_imbalance);
       inst_point.telemetry_snapshots.add(s.telemetry_snapshots);
+    }
+    point.merge(inst_point);
+  }
+  return point;
+}
+
+TrafficPoint Testbed::measure_traffic(
+    const traffic::WorkloadConfig& workload,
+    const traffic::SchedulerConfig& scheduler, int threads) const {
+  const std::int32_t hosts = spec_.num_hosts;
+
+  struct TrafficSample {
+    double ops_per_sec = 0.0;
+    double flits_per_us = 0.0;
+    double makespan_us = 0.0;
+    double deferral_ticks = 0.0;
+    std::vector<std::pair<traffic::OpClass, double>> fct_us;
+    std::uint64_t digest = 0;
+  };
+
+  const auto sets = static_cast<std::size_t>(spec_.sets_per_topology);
+  const std::size_t replications = instances_.size() * sets;
+  const int budget = threads >= 1 ? threads : configured_threads();
+  // One pick for the whole call: every replication runs its entire mix
+  // on one shared fabric with this shard count (the traffic engine
+  // asserts its window choice is stable across the mix).
+  const int shards = pick_shards(budget, hosts, replications);
+  const std::int64_t window_ns = configured_window_ns();
+  log_parallel_plan(budget, shards, window_ns);
+  std::vector<traffic::TrafficEngine> engines;
+  engines.reserve(instances_.size());
+  for (const Instance& inst : instances_) {
+    traffic::TrafficConfig tcfg;
+    tcfg.params = spec_.params;
+    tcfg.network = spec_.network;
+    tcfg.scheduler = scheduler;
+    tcfg.shards = shards;
+    tcfg.window = sim::Time::ns(window_ns);
+    engines.emplace_back(*inst.topology, *inst.routes, tcfg);
+  }
+
+  std::vector<TrafficSample> samples(replications);
+  parallel_for_each(
+      samples.size(),
+      [&](std::size_t job) {
+        const std::size_t t = job / sets;
+        const std::size_t rep = job % sets;
+        // Same (topology, set) seed derivation as measure(), so traffic
+        // sweeps are paired across scheduler policies and load levels.
+        traffic::WorkloadConfig wcfg = workload;
+        wcfg.seed = workload.seed ^
+                    (UINT64_C(0x9e3779b97f4a7c15) * (t + 1)) ^
+                    (UINT64_C(0xbf58476d1ce4e5b9) * (rep + 1));
+        const traffic::Workload mix =
+            traffic::generate_workload(hosts, instances_[t].cco, wcfg);
+        const traffic::TrafficResult r = engines[t].run(mix);
+        TrafficSample s;
+        s.ops_per_sec = r.ops_per_sec;
+        s.flits_per_us = r.flits_per_us;
+        s.makespan_us = r.makespan.as_us();
+        s.deferral_ticks = static_cast<double>(r.deferral_ticks);
+        s.fct_us.reserve(r.ops.size());
+        for (const traffic::OpRecord& rec : r.ops) {
+          s.fct_us.emplace_back(rec.cls, rec.fct().as_us());
+        }
+        s.digest = r.digest;
+        samples[job] = std::move(s);
+      },
+      std::max(1, budget / shards));
+
+  TrafficPoint point;
+  for (std::size_t t = 0; t < instances_.size(); ++t) {
+    TrafficPoint inst_point;
+    for (std::size_t rep = 0; rep < sets; ++rep) {
+      const TrafficSample& s = samples[t * sets + rep];
+      inst_point.ops_per_sec.add(s.ops_per_sec);
+      inst_point.flits_per_us.add(s.flits_per_us);
+      inst_point.makespan_us.add(s.makespan_us);
+      inst_point.deferral_ticks.add(s.deferral_ticks);
+      for (const auto& [cls, fct] : s.fct_us) {
+        inst_point.fct_us.add(fct);
+        switch (cls) {
+          case traffic::OpClass::kMulticast:
+            inst_point.fct_multicast_us.add(fct);
+            break;
+          case traffic::OpClass::kStream:
+            inst_point.fct_stream_us.add(fct);
+            break;
+          case traffic::OpClass::kCollective:
+            inst_point.fct_collective_us.add(fct);
+            break;
+        }
+      }
+      for (std::int32_t b = 0; b < 64; b += 8) {
+        inst_point.digest ^= (s.digest >> b) & 0xffu;
+        inst_point.digest *= 1099511628211ull;  // FNV-1a prime
+      }
     }
     point.merge(inst_point);
   }

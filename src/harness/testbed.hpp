@@ -14,6 +14,8 @@
 #include "sim/stats.hpp"
 #include "topology/fat_tree.hpp"
 #include "topology/irregular.hpp"
+#include "traffic/scheduler.hpp"
+#include "traffic/workload.hpp"
 
 namespace nimcast::harness {
 
@@ -51,6 +53,26 @@ struct StreamingPoint {
   sim::Summary telemetry_snapshots;
 
   void merge(const StreamingPoint& other);
+};
+
+/// Measurement summaries of one multi-tenant traffic sweep point
+/// (Testbed::measure_traffic). Scalar summaries fold one sample per
+/// (topology, workload-seed) replication; the FCT pools hold every
+/// operation's flow-completion time so per-class p50/p99 tails are exact.
+struct TrafficPoint {
+  sim::Summary ops_per_sec;    ///< sustained admitted-op throughput
+  sim::Summary flits_per_us;   ///< delivered payload throughput
+  sim::Summary makespan_us;    ///< first arrival to last completion
+  sim::Summary deferral_ticks; ///< scheduler deferrals per replication
+  sim::Samples fct_us;         ///< FCT pool, every op of every replication
+  sim::Samples fct_multicast_us;
+  sim::Samples fct_stream_us;
+  sim::Samples fct_collective_us;
+  /// FNV-1a chain over per-replication completion digests in fold order —
+  /// the byte-determinism witness for the whole sweep point.
+  std::uint64_t digest = 14695981039346656037ull;
+
+  void merge(const TrafficPoint& other);
 };
 
 /// Runs `repetitions` multicasts of an m-packet message to n-1 random
@@ -149,6 +171,17 @@ class Testbed {
       std::int32_t stream_packets, std::int32_t rotation_trees,
       std::int32_t fanout_bound, int threads = 0,
       mcast::Selection selection = mcast::Selection::kStatic) const;
+
+  /// Multi-tenant traffic: one generated workload mix per (topology,
+  /// set) replication — `workload` with the replication's derived seed —
+  /// run end to end through traffic::TrafficEngine under `scheduler`.
+  /// Thread-budget split (pick_shards, once per call for the shared
+  /// fabric), per-replication seeding and the topology-major fold order
+  /// follow measure(), so the point — including its completion digest —
+  /// is bit-identical for every thread and shard count.
+  [[nodiscard]] TrafficPoint measure_traffic(
+      const traffic::WorkloadConfig& workload,
+      const traffic::SchedulerConfig& scheduler, int threads = 0) const;
 
   [[nodiscard]] const TestbedSpec& spec() const { return spec_; }
   [[nodiscard]] std::int32_t num_hosts() const { return spec_.num_hosts; }

@@ -1,0 +1,101 @@
+#include "mcast/fabric.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "topology/partition.hpp"
+
+namespace nimcast::mcast {
+
+sim::Time Fabric::conservative_window(const net::NetworkConfig& network,
+                                      std::size_t max_hops,
+                                      sim::Time override_window) {
+  sim::Time w = network.t_hop;
+  if (network.release_model == net::ReleaseModel::kPipelined) {
+    // The earliest staggered release of a worm whose path crosses
+    // max_hops switch links (max_hops + 2 channels with injection and
+    // ejection) fires serialization_time - max_hops * t_hop after its
+    // drain is scheduled; a cross-shard release must clear the window.
+    const sim::Time bound =
+        network.serialization_time() -
+        network.t_hop * static_cast<sim::Time::rep>(max_hops);
+    w = std::min(w, bound);
+  }
+  if (override_window > sim::Time::zero()) w = std::min(w, override_window);
+  return w > sim::Time::zero() ? w : sim::Time::zero();
+}
+
+Fabric::Fabric(const topo::Topology& topology,
+               const routing::RouteTable& routes,
+               const net::NetworkConfig& network, std::int32_t shards,
+               sim::Time window,
+               const std::vector<std::uint64_t>& partition_weights,
+               sim::Trace* trace)
+    : window_{window} {
+  const bool sharded_mode = window > sim::Time::zero();
+  num_shards_ =
+      sharded_mode ? std::min(shards, topology.num_switches()) : 1;
+  if (sharded_mode) {
+    shardsim_ = std::make_unique<sim::ShardedSimulator>(num_shards_, window);
+    network_ = std::make_unique<net::WormholeNetwork>(
+        *shardsim_, topology, routes, network,
+        topo::partition_switches(topology.switches(), num_shards_,
+                                 partition_weights));
+  } else {
+    serial_ = std::make_unique<sim::Simulator>();
+    network_ = std::make_unique<net::WormholeNetwork>(*serial_, topology,
+                                                      routes, network, trace);
+  }
+}
+
+sim::Simulator& Fabric::sim_for_host(topo::HostId h) {
+  return shardsim_ ? shardsim_->shard(network_->shard_of_host(h)) : *serial_;
+}
+
+std::int32_t Fabric::shard_of_host(topo::HostId h) const {
+  return shardsim_ ? network_->shard_of_host(h) : 0;
+}
+
+void Fabric::run(std::int32_t shard_threads) {
+  if (shardsim_) {
+    const int threads = shard_threads > 0 ? static_cast<int>(shard_threads)
+                                          : static_cast<int>(num_shards_);
+    shardsim_->run(threads);
+  } else {
+    serial_->run();
+  }
+}
+
+sim::Time Fabric::end_time() const {
+  return shardsim_ ? shardsim_->last_event_time() : serial_->now();
+}
+
+std::int64_t Fabric::events_dispatched() const {
+  return static_cast<std::int64_t>(shardsim_ ? shardsim_->events_dispatched()
+                                             : serial_->events_dispatched());
+}
+
+std::int64_t Fabric::barrier_wall_ns() const {
+  return shardsim_ ? static_cast<std::int64_t>(shardsim_->barrier_wall_ns())
+                   : 0;
+}
+
+std::int64_t Fabric::windows_planned() const {
+  return shardsim_ ? static_cast<std::int64_t>(shardsim_->windows_planned())
+                   : 0;
+}
+
+std::uint64_t Fabric::reserve_coordination_key() {
+  return shardsim_ ? 0 : serial_->reserve_order();
+}
+
+void Fabric::schedule_coordinated(sim::Time at, std::uint64_t key,
+                                  std::function<void()> fn) {
+  if (shardsim_) {
+    shardsim_->schedule_global(at, std::move(fn));
+  } else {
+    serial_->schedule_at_keyed(at, 0, key, std::move(fn));
+  }
+}
+
+}  // namespace nimcast::mcast

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "core/kbinomial.hpp"
+#include "mcast/fabric.hpp"
 #include "mcast/tree_repair.hpp"
 #include "netif/conventional_ni.hpp"
 #include "netif/reliable_ni.hpp"
@@ -16,9 +17,7 @@
 #include "network/wormhole_network.hpp"
 #include "routing/repair.hpp"
 #include "routing/route_alternatives.hpp"
-#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
-#include "topology/partition.hpp"
 
 namespace nimcast::mcast {
 
@@ -109,19 +108,8 @@ MulticastEngine::MulticastEngine(const topo::Topology& topology,
     : topology_{topology}, routes_{routes}, config_{config}, trace_{trace} {}
 
 sim::Time MulticastEngine::pick_window(std::size_t max_hops) const {
-  sim::Time w = config_.network.t_hop;
-  if (config_.network.release_model == net::ReleaseModel::kPipelined) {
-    // The earliest staggered release of a worm whose path crosses
-    // max_hops switch links (max_hops + 2 channels with injection and
-    // ejection) fires serialization_time - max_hops * t_hop after its
-    // drain is scheduled; a cross-shard release must clear the window.
-    const sim::Time bound =
-        config_.network.serialization_time() -
-        config_.network.t_hop * static_cast<sim::Time::rep>(max_hops);
-    w = std::min(w, bound);
-  }
-  if (config_.window > sim::Time::zero()) w = std::min(w, config_.window);
-  return w > sim::Time::zero() ? w : sim::Time::zero();
+  return Fabric::conservative_window(config_.network, max_hops,
+                                     config_.window);
 }
 
 std::vector<std::uint64_t> MulticastEngine::partition_weights() const {
@@ -198,47 +186,19 @@ MultiMulticastResult MulticastEngine::run_many(
     }
     window = pick_window(max_hops);
   }
-  const bool sharded_mode = window > sim::Time::zero();
-  const std::int32_t num_shards =
-      sharded_mode ? std::min(config_.shards, topology_.num_switches()) : 1;
-
-  std::unique_ptr<sim::Simulator> serial_sim;
-  std::unique_ptr<sim::ShardedSimulator> shardsim;
-  std::unique_ptr<net::WormholeNetwork> network_owner;
-  if (sharded_mode) {
-    shardsim = std::make_unique<sim::ShardedSimulator>(num_shards, window);
-    network_owner = std::make_unique<net::WormholeNetwork>(
-        *shardsim, topology_, routes_, config_.network,
-        topo::partition_switches(topology_.switches(), num_shards,
-                                 partition_weights()));
-  } else {
-    serial_sim = std::make_unique<sim::Simulator>();
-    network_owner = std::make_unique<net::WormholeNetwork>(
-        *serial_sim, topology_, routes_, config_.network, trace_);
-  }
-  net::WormholeNetwork& network = *network_owner;
   // Every per-host actor (NI, host, its timers and receive events) lives
   // on the shard owning that host's switch; in serial mode everything
   // shares the one simulator.
+  Fabric fabric{topology_,      routes_, config_.network,     config_.shards,
+                window,         partition_weights(),          trace_};
+  const bool sharded_mode = fabric.sharded();
+  const std::int32_t num_shards = fabric.num_shards();
+  net::WormholeNetwork& network = fabric.network();
   const auto sim_for_host = [&](topo::HostId h) -> sim::Simulator& {
-    return sharded_mode ? shardsim->shard(network.shard_of_host(h))
-                        : *serial_sim;
+    return fabric.sim_for_host(h);
   };
-  const auto run_sim = [&] {
-    if (sharded_mode) {
-      const int threads = config_.shard_threads > 0
-                              ? static_cast<int>(config_.shard_threads)
-                              : static_cast<int>(num_shards);
-      shardsim->run(threads);
-    } else {
-      serial_sim->run();
-    }
-  };
-  // Time of the last dispatched event — what the serial engine's now()
-  // reads once run() drains; the anchor for repair-round backoff.
-  const auto end_time = [&] {
-    return sharded_mode ? shardsim->last_event_time() : serial_sim->now();
-  };
+  const auto run_sim = [&] { fabric.run(config_.shard_threads); };
+  const auto end_time = [&] { return fabric.end_time(); };
 
   // Fault-time route repair: rebuild up*/down* on the surviving subgraph
   // and rebind. The hook fires on *every* fault event — failures AND
@@ -553,15 +513,11 @@ MultiMulticastResult MulticastEngine::run_many(
   batch.total_channel_block_time = network.total_block_time();
   batch.packets_killed = network.packets_killed();
   batch.faults_applied = network.faults_applied();
-  batch.events_dispatched = static_cast<std::int64_t>(
-      sharded_mode ? shardsim->events_dispatched()
-                   : serial_sim->events_dispatched());
+  batch.events_dispatched = fabric.events_dispatched();
   if (sharded_mode) {
     batch.window_ns = window.count_ns();
-    batch.barrier_wall_ns =
-        static_cast<std::int64_t>(shardsim->barrier_wall_ns());
-    batch.windows_planned =
-        static_cast<std::int64_t>(shardsim->windows_planned());
+    batch.barrier_wall_ns = fabric.barrier_wall_ns();
+    batch.windows_planned = fabric.windows_planned();
     record_switch_load(network.switch_load());
   }
   if (config_.style == NiStyle::kReliableFpfs) {
@@ -656,42 +612,16 @@ StreamingResult MulticastEngine::run_streaming(
     }
     window = pick_window(max_hops);
   }
-  const bool sharded_mode = window > sim::Time::zero();
-  const std::int32_t num_shards =
-      sharded_mode ? std::min(config_.shards, topology_.num_switches()) : 1;
-
-  std::unique_ptr<sim::Simulator> serial_sim;
-  std::unique_ptr<sim::ShardedSimulator> shardsim;
-  std::unique_ptr<net::WormholeNetwork> network_owner;
-  if (sharded_mode) {
-    shardsim = std::make_unique<sim::ShardedSimulator>(num_shards, window);
-    network_owner = std::make_unique<net::WormholeNetwork>(
-        *shardsim, topology_, routes_, config_.network,
-        topo::partition_switches(topology_.switches(), num_shards,
-                                 partition_weights()));
-  } else {
-    serial_sim = std::make_unique<sim::Simulator>();
-    network_owner = std::make_unique<net::WormholeNetwork>(
-        *serial_sim, topology_, routes_, config_.network, trace_);
-  }
-  net::WormholeNetwork& network = *network_owner;
+  Fabric fabric{topology_,      routes_, config_.network,     config_.shards,
+                window,         partition_weights(),          trace_};
+  const bool sharded_mode = fabric.sharded();
+  const std::int32_t num_shards = fabric.num_shards();
+  net::WormholeNetwork& network = fabric.network();
   const auto sim_for_host = [&](topo::HostId h) -> sim::Simulator& {
-    return sharded_mode ? shardsim->shard(network.shard_of_host(h))
-                        : *serial_sim;
+    return fabric.sim_for_host(h);
   };
-  const auto run_sim = [&] {
-    if (sharded_mode) {
-      const int threads = config_.shard_threads > 0
-                              ? static_cast<int>(config_.shard_threads)
-                              : static_cast<int>(num_shards);
-      shardsim->run(threads);
-    } else {
-      serial_sim->run();
-    }
-  };
-  const auto end_time = [&] {
-    return sharded_mode ? shardsim->last_event_time() : serial_sim->now();
-  };
+  const auto run_sim = [&] { fabric.run(config_.shard_threads); };
+  const auto end_time = [&] { return fabric.end_time(); };
 
   // Rotation members ride their decorrelated routes via route classes;
   // member 0 (and any member planned on the primary table) stays on
@@ -1030,13 +960,9 @@ StreamingResult MulticastEngine::run_streaming(
   std::function<void()> snapshot_tick;
   sim::Time next_snap = snap_period;
   std::uint64_t snap_key = 0;
-  if (adaptive && !sharded_mode) snap_key = serial_sim->reserve_order();
+  if (adaptive) snap_key = fabric.reserve_coordination_key();
   const auto schedule_snapshot = [&] {
-    if (sharded_mode) {
-      shardsim->schedule_global(next_snap, snapshot_tick);
-    } else {
-      serial_sim->schedule_at_keyed(next_snap, 0, snap_key, snapshot_tick);
-    }
+    fabric.schedule_coordinated(next_snap, snap_key, snapshot_tick);
   };
   snapshot_tick = [&] {
     if (sel.issued >= S || !network.host_alive(root)) return;
@@ -1404,15 +1330,11 @@ StreamingResult MulticastEngine::run_streaming(
   result.telemetry_snapshots = adaptive ? sel.snapshots : 0;
   result.telemetry_digest = adaptive ? sel.digest : 0;
   result.total_channel_block_time = network.total_block_time();
-  result.events_dispatched = static_cast<std::int64_t>(
-      sharded_mode ? shardsim->events_dispatched()
-                   : serial_sim->events_dispatched());
+  result.events_dispatched = fabric.events_dispatched();
   if (sharded_mode) {
     result.window_ns = window.count_ns();
-    result.barrier_wall_ns =
-        static_cast<std::int64_t>(shardsim->barrier_wall_ns());
-    result.windows_planned =
-        static_cast<std::int64_t>(shardsim->windows_planned());
+    result.barrier_wall_ns = fabric.barrier_wall_ns();
+    result.windows_planned = fabric.windows_planned();
     record_switch_load(network.switch_load());
   }
   return result;

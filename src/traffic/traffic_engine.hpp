@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netif/system_params.hpp"
+#include "network/network_config.hpp"
+#include "routing/route_table.hpp"
+#include "sim/sim_time.hpp"
+#include "topology/topology.hpp"
+#include "traffic/scheduler.hpp"
+#include "traffic/workload.hpp"
+
+namespace nimcast::traffic {
+
+/// Engine configuration. The traffic engine always drives smart FPFS
+/// NIs (the style every multi-tenant scenario targets) over a pristine
+/// fabric: fault plans and loss are rejected — repair interacting with
+/// admission control is its own future workload.
+struct TrafficConfig {
+  netif::SystemParams params;
+  net::NetworkConfig network;
+  SchedulerConfig scheduler;
+  /// Intra-run parallelism, exactly as mcast::MulticastEngine::Config:
+  /// > 1 runs the whole mix on the sharded engine, bit-identical to
+  /// serial. Computed ONCE for the shared fabric (see TrafficResult::
+  /// window_ns) — a mid-mix re-shard would tear down every in-flight
+  /// worm, so the engine asserts the choice is stable across the run.
+  std::int32_t shards = 1;
+  std::int32_t shard_threads = 0;
+  /// Conservative-window override (narrowing only), NIMCAST_WINDOW.
+  sim::Time window = sim::Time::zero();
+};
+
+/// Per-operation completion record.
+struct OpRecord {
+  OpClass cls = OpClass::kMulticast;
+  sim::Time arrival;
+  /// When the scheduler admitted (launched) the op; == arrival under
+  /// FIFO and for unpaced admissions.
+  sim::Time admitted;
+  /// Last host-level completion over every message of the op.
+  sim::Time completed;
+  std::int32_t group = 0;
+  std::int32_t packets = 0;
+  bool churn = false;
+  /// Coordinator ticks the op sat in the deferred queue (paced only).
+  std::int32_t deferral_ticks = 0;
+  /// Distinct (destination, packet) deliveries of this op.
+  std::int64_t packets_delivered = 0;
+
+  /// Flow-completion time: offered arrival to last completion — queueing
+  /// wait included, which is what a tenant observes.
+  [[nodiscard]] sim::Time fct() const { return completed - arrival; }
+};
+
+/// Result of one multi-tenant run.
+struct TrafficResult {
+  /// Per op, in workload order.
+  std::vector<OpRecord> ops;
+  /// First arrival to last host-level completion.
+  sim::Time makespan;
+  /// Distinct (destination, packet) deliveries across the mix.
+  std::int64_t packets_delivered = 0;
+  /// Sustained ops per second of makespan.
+  double ops_per_sec = 0.0;
+  /// Delivered 8-byte flits per microsecond of makespan.
+  double flits_per_us = 0.0;
+  /// Coordinator ticks the run consumed.
+  std::int64_t ticks = 0;
+  /// Sum of per-op deferral ticks.
+  std::int64_t deferral_ticks = 0;
+  sim::Time total_channel_block_time;
+  std::int64_t events_dispatched = 0;
+  /// The single engine choice for the whole mix: shards actually used
+  /// and the conservative window (0 = serial engine). The engine throws
+  /// std::logic_error if the per-op recomputation could ever disagree
+  /// mid-mix (the re-shard regression this replaces).
+  std::int32_t shards_used = 1;
+  std::int64_t window_ns = 0;
+  std::int64_t barrier_wall_ns = 0;
+  std::int64_t windows_planned = 0;
+  /// FNV-1a digest over the merged, sorted host-completion stream — the
+  /// serial-vs-sharded and double-run byte-identity witness.
+  std::uint64_t digest = 0;
+};
+
+/// Multi-tenant workload engine: N concurrent multicast / streaming /
+/// collective operations over ONE shared wormhole fabric, admitted and
+/// paced by the contention-aware GroupScheduler.
+///
+/// Arrivals and coordinator ticks ride coordinated events
+/// (mcast::Fabric::schedule_coordinated), so every scheduler decision
+/// observes barrier-consistent state and the whole mix is bit-identical
+/// between the serial and sharded engines. Compound operations
+/// (collective gather -> broadcast, churn prefix -> re-bound suffix)
+/// launch their second phase at the first tick after phase 1 completes.
+class TrafficEngine {
+ public:
+  TrafficEngine(const topo::Topology& topology,
+                const routing::RouteTable& routes, TrafficConfig config);
+
+  [[nodiscard]] const TrafficConfig& config() const { return config_; }
+
+  /// Runs the whole mix in one simulation. Throws std::invalid_argument
+  /// on malformed workloads (empty, non-monotone arrivals, hosts out of
+  /// range, faulty/lossy network config) and std::runtime_error if any
+  /// destination fails to complete (the fabric is pristine, so anything
+  /// less is a bug).
+  [[nodiscard]] TrafficResult run(const Workload& workload) const;
+
+  /// The conservative window run() will pick for this workload under
+  /// the configured shards (zero = serial engine). Exposed so tests can
+  /// assert the once-per-mix choice equals the min over per-op safe
+  /// windows.
+  [[nodiscard]] sim::Time planned_window(const Workload& workload) const;
+
+ private:
+  const topo::Topology& topology_;
+  const routing::RouteTable& routes_;
+  TrafficConfig config_;
+};
+
+}  // namespace nimcast::traffic

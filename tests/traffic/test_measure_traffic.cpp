@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "api/communicator.hpp"
+#include "harness/testbed.hpp"
+
+namespace nimcast::harness {
+namespace {
+
+TestbedSpec small_spec() {
+  TestbedSpec spec = TestbedSpec::make_irregular(32);
+  spec.num_topologies = 2;
+  spec.sets_per_topology = 2;
+  spec.seed = 7;
+  return spec;
+}
+
+traffic::WorkloadConfig small_mix() {
+  traffic::WorkloadConfig cfg;
+  cfg.num_ops = 10;
+  cfg.ops_per_ms = 10.0;
+  cfg.min_group = 3;
+  cfg.max_group = 8;
+  return cfg;
+}
+
+TEST(MeasureTraffic, FoldsOneSamplePerReplication) {
+  const Testbed bed{small_spec()};
+  const TrafficPoint p =
+      bed.measure_traffic(small_mix(), traffic::SchedulerConfig{});
+  EXPECT_EQ(p.ops_per_sec.count(), 4u);
+  EXPECT_EQ(p.makespan_us.count(), 4u);
+  // Every op of every replication lands in the FCT pool.
+  EXPECT_EQ(p.fct_us.count(), 4u * 10u);
+  EXPECT_EQ(p.fct_multicast_us.count() + p.fct_stream_us.count() +
+                p.fct_collective_us.count(),
+            p.fct_us.count());
+  EXPECT_GT(p.ops_per_sec.mean(), 0.0);
+  EXPECT_GT(p.flits_per_us.mean(), 0.0);
+}
+
+TEST(MeasureTraffic, BitIdenticalAcrossInstancesAndThreads) {
+  const Testbed a{small_spec()};
+  const Testbed b{small_spec()};
+  const traffic::SchedulerConfig sched;
+  const TrafficPoint pa = a.measure_traffic(small_mix(), sched, 1);
+  const TrafficPoint pb = b.measure_traffic(small_mix(), sched, 3);
+  EXPECT_EQ(pa.digest, pb.digest);
+  EXPECT_DOUBLE_EQ(pa.ops_per_sec.mean(), pb.ops_per_sec.mean());
+  EXPECT_DOUBLE_EQ(pa.fct_us.percentile(0.99), pb.fct_us.percentile(0.99));
+  EXPECT_DOUBLE_EQ(pa.makespan_us.max(), pb.makespan_us.max());
+}
+
+TEST(MeasureTraffic, PairedAcrossPolicies) {
+  // The FIFO and paced sweeps replay identical workload draws, so at a
+  // load this light (no contention to pace) the points coincide exactly.
+  const Testbed bed{small_spec()};
+  traffic::WorkloadConfig mix = small_mix();
+  mix.ops_per_ms = 0.002;
+  mix.num_ops = 4;
+  traffic::SchedulerConfig fifo;
+  fifo.policy = traffic::Policy::kFifo;
+  traffic::SchedulerConfig paced;
+  paced.policy = traffic::Policy::kPaced;
+  const TrafficPoint pf = bed.measure_traffic(mix, fifo);
+  const TrafficPoint pp = bed.measure_traffic(mix, paced);
+  EXPECT_EQ(pf.digest, pp.digest);
+  EXPECT_DOUBLE_EQ(pf.ops_per_sec.mean(), pp.ops_per_sec.mean());
+  EXPECT_EQ(pp.deferral_ticks.mean(), 0.0);
+}
+
+TEST(CommunicatorTraffic, RunsAndReports) {
+  topo::IrregularConfig topo_cfg;
+  topo_cfg.num_hosts = 32;
+  topo_cfg.num_switches = 8;
+  api::Communicator::Options opt;
+  opt.seed = 5;
+  opt.traffic_workload.num_ops = 12;
+  opt.traffic_workload.ops_per_ms = 5.0;
+  opt.traffic_workload.min_group = 3;
+  opt.traffic_workload.max_group = 8;
+  const api::Communicator comm =
+      api::Communicator::irregular(topo_cfg, opt);
+  const api::Communicator::TrafficReport report = comm.run_traffic();
+  EXPECT_EQ(report.ops, 12);
+  EXPECT_EQ(report.multicasts + report.streams + report.collectives, 12);
+  EXPECT_GT(report.ops_per_sec, 0.0);
+  EXPECT_GT(report.packets_delivered, 0);
+  EXPECT_GT(report.makespan, sim::Time::zero());
+  EXPECT_GE(report.fct_p99, report.fct_p50);
+  EXPECT_NE(report.digest, 0u);
+}
+
+}  // namespace
+}  // namespace nimcast::harness

@@ -1,0 +1,148 @@
+#include "traffic/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/ordering.hpp"
+#include "routing/up_down.hpp"
+#include "sim/rng.hpp"
+#include "topology/irregular.hpp"
+
+namespace nimcast::traffic {
+namespace {
+
+struct Rig {
+  topo::Topology topology;
+  core::Chain cco;
+};
+
+Rig make_rig(std::uint64_t seed, std::int32_t hosts = 32) {
+  topo::IrregularConfig cfg;
+  cfg.num_hosts = hosts;
+  cfg.num_switches = hosts / 4;
+  sim::Rng rng{seed};
+  topo::Topology topology = topo::make_irregular(cfg, rng);
+  const routing::UpDownRouter router{topology.switches()};
+  core::Chain cco = core::cco_ordering(topology, router);
+  return Rig{std::move(topology), std::move(cco)};
+}
+
+WorkloadConfig small_config() {
+  WorkloadConfig cfg;
+  cfg.num_ops = 40;
+  cfg.min_group = 3;
+  cfg.max_group = 10;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Workload, DeterministicForSameInputs) {
+  const Rig rig = make_rig(5);
+  const Workload a = generate_workload(32, rig.cco, small_config());
+  const Workload b = generate_workload(32, rig.cco, small_config());
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].arrival, b.ops[i].arrival);
+    EXPECT_EQ(a.ops[i].cls, b.ops[i].cls);
+    EXPECT_EQ(a.ops[i].tree.nodes, b.ops[i].tree.nodes);
+    EXPECT_EQ(a.ops[i].churn, b.ops[i].churn);
+    EXPECT_EQ(a.ops[i].split, b.ops[i].split);
+  }
+}
+
+TEST(Workload, SeedChangesTheMix) {
+  const Rig rig = make_rig(5);
+  WorkloadConfig cfg = small_config();
+  const Workload a = generate_workload(32, rig.cco, cfg);
+  cfg.seed = 12;
+  const Workload b = generate_workload(32, rig.cco, cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    if (a.ops[i].arrival != b.ops[i].arrival ||
+        a.ops[i].tree.nodes != b.ops[i].tree.nodes) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, RespectsBoundsAndCensus) {
+  const Rig rig = make_rig(7);
+  const WorkloadConfig cfg = small_config();
+  const Workload wl = generate_workload(32, rig.cco, cfg);
+  ASSERT_EQ(wl.ops.size(), static_cast<std::size_t>(cfg.num_ops));
+  EXPECT_EQ(wl.multicasts + wl.streams + wl.collectives, cfg.num_ops);
+  std::int32_t churns = 0;
+  sim::Time prev = sim::Time::zero();
+  for (const TrafficOp& op : wl.ops) {
+    EXPECT_GT(op.arrival, prev);  // >= 1 ns quantized gaps
+    prev = op.arrival;
+    EXPECT_GE(op.group_size(), cfg.min_group);
+    EXPECT_LE(op.group_size(), cfg.max_group);
+    std::unordered_set<topo::HostId> uniq;
+    for (topo::HostId h : op.tree.nodes) {
+      EXPECT_GE(h, 0);
+      EXPECT_LT(h, 32);
+      EXPECT_TRUE(uniq.insert(h).second) << "duplicate member";
+    }
+    churns += op.churn ? 1 : 0;
+  }
+  EXPECT_EQ(churns, wl.churns);
+  EXPECT_GT(wl.multicasts, 0);
+  EXPECT_GT(wl.streams, 0);
+  EXPECT_GT(wl.collectives, 0);
+  EXPECT_GT(wl.churns, 0);
+}
+
+TEST(Workload, ChurnRebindIsWellFormed) {
+  const Rig rig = make_rig(9);
+  WorkloadConfig cfg = small_config();
+  cfg.num_ops = 120;
+  cfg.churn_probability = 1.0;
+  cfg.stream_fraction = 0.8;
+  cfg.collective_fraction = 0.1;
+  const Workload wl = generate_workload(32, rig.cco, cfg);
+  ASSERT_GT(wl.churns, 0);
+  for (const TrafficOp& op : wl.ops) {
+    if (!op.churn) continue;
+    EXPECT_EQ(op.cls, OpClass::kStream);
+    EXPECT_GE(op.split, 1);
+    EXPECT_LT(op.split, op.packets);
+    EXPECT_EQ(op.tree2.root, op.tree.root);
+    const std::unordered_set<topo::HostId> before(op.tree.nodes.begin(),
+                                                  op.tree.nodes.end());
+    const std::unordered_set<topo::HostId> after(op.tree2.nodes.begin(),
+                                                 op.tree2.nodes.end());
+    // Exactly one member left; when a spare host existed one joined.
+    std::int32_t left = 0;
+    std::int32_t joined = 0;
+    for (topo::HostId h : before) left += after.contains(h) ? 0 : 1;
+    for (topo::HostId h : after) joined += before.contains(h) ? 0 : 1;
+    EXPECT_EQ(left, 1);
+    EXPECT_EQ(joined, 32 > op.group_size() ? 1 : 0);
+    EXPECT_TRUE(after.contains(op.tree.root));
+  }
+}
+
+TEST(Workload, RejectsBadConfigs) {
+  const Rig rig = make_rig(3);
+  WorkloadConfig cfg = small_config();
+  cfg.num_ops = 0;
+  EXPECT_THROW(generate_workload(32, rig.cco, cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.max_group = 64;  // > hosts
+  EXPECT_THROW(generate_workload(32, rig.cco, cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.ops_per_ms = 0.0;
+  EXPECT_THROW(generate_workload(32, rig.cco, cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.stream_fraction = 0.8;
+  cfg.collective_fraction = 0.4;  // sums past 1
+  EXPECT_THROW(generate_workload(32, rig.cco, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nimcast::traffic
