@@ -130,7 +130,7 @@ def main():
         return 0
 
     flagged = [r for r in rows if abs(r[5]) > args.threshold]
-    shown = rows if (args.all or not flagged) and len(rows) <= 40 else flagged
+    shown = rows if args.all or (not flagged and len(rows) <= 40) else flagged
     if shown:
         print("| bench | point | metric | previous | current | delta |")
         print("|---|---|---|---:|---:|---:|")

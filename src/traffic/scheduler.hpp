@@ -34,8 +34,10 @@ struct SchedulerConfig {
   /// says it is congested even when no admitted footprint covers it.
   /// 0 asks the engine to derive ~4 packet serialization times.
   std::int64_t hot_block_ns = 0;
-  /// Starvation bound: the deferred-queue head is force-admitted after
-  /// waiting this many ticks, whatever its score.
+  /// Starvation bound: any deferred operation is force-admitted once it
+  /// has waited this many ticks, whatever its score (per-op aging, not
+  /// head-of-line only — a younger op whose wait expires is admitted
+  /// even while an older deferred op is still waiting).
   std::int32_t max_defer_ticks = 12;
   /// Coordinator tick period (re-score cadence, phase-transition
   /// granularity). Zero asks the engine to derive one steady-state
@@ -52,7 +54,8 @@ struct SchedulerConfig {
 /// footprint covers it, or when the latest telemetry refresh saw more
 /// than `hot_block_ns` of fresh block time on it. An operation admits
 /// when at most `overlap_tolerance_x1000`/1000 of its footprint is busy
-/// (an empty fabric always admits; an aged-out head always admits).
+/// (an empty fabric always admits; any op aged past `max_defer_ticks`
+/// always admits).
 class GroupScheduler {
  public:
   GroupScheduler(SchedulerConfig cfg, std::int32_t num_channels);

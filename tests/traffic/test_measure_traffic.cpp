@@ -46,7 +46,7 @@ TEST(MeasureTraffic, BitIdenticalAcrossInstancesAndThreads) {
   const TrafficPoint pb = b.measure_traffic(small_mix(), sched, 3);
   EXPECT_EQ(pa.digest, pb.digest);
   EXPECT_DOUBLE_EQ(pa.ops_per_sec.mean(), pb.ops_per_sec.mean());
-  EXPECT_DOUBLE_EQ(pa.fct_us.percentile(0.99), pb.fct_us.percentile(0.99));
+  EXPECT_DOUBLE_EQ(pa.fct_us.percentile(99.0), pb.fct_us.percentile(99.0));
   EXPECT_DOUBLE_EQ(pa.makespan_us.max(), pb.makespan_us.max());
 }
 
